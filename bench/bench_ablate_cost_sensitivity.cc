@@ -1,0 +1,105 @@
+// Design-choice ablation (DESIGN.md §5): how sensitive are the headline
+// results to the network cost model? Sweeps RTT × bandwidth around the
+// default (3 µs, 50 Gbps) and re-runs the graph example. Mira's compiler
+// re-derives line sizes and prefetch distances from each model ("we
+// determine when to prefetch based on system environments", §4.5), so the
+// Mira-beats-swap ordering should hold across regimes even as magnitudes
+// shift.
+
+#include "bench/common.h"
+
+namespace mira::bench {
+namespace {
+
+const workloads::Workload& Graph() {
+  static const workloads::Workload w = workloads::BuildGraphTraversal();
+  return w;
+}
+
+struct Net {
+  const char* name;
+  uint64_t rtt_ns;
+  double bytes_per_ns;
+};
+
+const std::vector<Net>& Nets() {
+  static const std::vector<Net> kNets = {
+      {"cxl_like_1us_100g", 1000, 12.5},
+      {"rdma_default_3us_50g", 3000, 6.25},
+      {"slow_fabric_10us_10g", 10000, 1.25},
+  };
+  return kNets;
+}
+
+uint64_t RunWith(const ir::Module& module, pipeline::SystemKind kind, uint64_t local,
+                 const sim::CostModel& cost, const runtime::CachePlan& plan = {}) {
+  pipeline::World world = pipeline::MakeWorld(kind, local, plan, cost);
+  interp::Interpreter interp(&module, world.backend.get());
+  auto r = interp.Run("main");
+  MIRA_CHECK_MSG(r.ok(), r.status().ToString().c_str());
+  world.backend->Drain(interp.clock());
+  return interp.clock().now_ns();
+}
+
+void BM_Sensitivity(benchmark::State& state, const Net* net) {
+  const auto& w = Graph();
+  const uint64_t local = LocalBytes(w, 50);
+  static sim::CostModel model;  // must outlive the worlds below
+  model = sim::CostModel();
+  model.rdma_rtt_ns = net->rtt_ns;
+  model.network_bytes_per_ns = net->bytes_per_ns;
+  for (auto _ : state) {
+    // Compile against this network: profile → full-scope plan → passes.
+    pipeline::World prof_world =
+        pipeline::MakeWorld(pipeline::SystemKind::kMira, local, {}, model);
+    interp::InterpOptions popts_i;
+    popts_i.profiling = true;
+    interp::Interpreter prof(w.module.get(), prof_world.backend.get(), popts_i);
+    MIRA_CHECK(prof.Run("main").ok());
+    analysis::AccessAnalysis access(w.module.get());
+    access.Run();
+    pipeline::PlannerOptions popts = CacheOnly();
+    popts.local_bytes = local;
+    popts.func_frac = 1.0;
+    popts.obj_frac = 1.0;
+    const auto draft =
+        pipeline::DerivePlan(*w.module, access, prof.profile(), model, popts);
+    const ir::Module compiled = pipeline::CompileWithPlan(*w.module, draft, popts, "main");
+
+    const uint64_t native = RunWith(*w.module, pipeline::SystemKind::kNative, 0, model);
+    const uint64_t fast = RunWith(*w.module, pipeline::SystemKind::kFastSwap, local, model);
+    const uint64_t mira =
+        RunWith(compiled, pipeline::SystemKind::kMira, local, model, draft.plan);
+    state.counters["mira_norm"] = Norm(native, mira);
+    state.counters["fastswap_norm"] = Norm(native, fast);
+    state.counters["mira_speedup_vs_fastswap"] =
+        static_cast<double>(fast) / static_cast<double>(mira);
+    // The compiler's adapted choices, for the record.
+    const auto it = draft.plan.object_to_section.find("edges");
+    if (it != draft.plan.object_to_section.end()) {
+      state.counters["edge_line_bytes"] =
+          static_cast<double>(draft.plan.sections[it->second].line_bytes);
+      state.counters["edge_prefetch_distance"] =
+          static_cast<double>(draft.plan.sections[it->second].prefetch_distance);
+    }
+  }
+}
+
+void RegisterAll() {
+  for (const auto& net : Nets()) {
+    benchmark::RegisterBenchmark((std::string("sensitivity/") + net.name).c_str(),
+                                 BM_Sensitivity, &net)
+        ->Iterations(1);
+  }
+}
+
+}  // namespace
+}  // namespace mira::bench
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  mira::bench::RegisterAll();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

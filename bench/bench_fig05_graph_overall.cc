@@ -1,0 +1,74 @@
+// Figure 5: overall performance of the graph-traversal rundown example —
+// Mira vs FastSwap vs Leap vs AIFM across local memory sizes, normalized to
+// native execution on full local memory.
+//
+// Two Mira series are reported: full Mira (which may offload the traversal
+// kernel to the far node, §4.8) and Mira restricted to its cache techniques
+// (sections + prefetch + hints + batching), matching the paper's cache-
+// focused discussion of this example.
+
+#include "bench/common.h"
+
+namespace mira::bench {
+namespace {
+
+const workloads::Workload& Graph() {
+  static const workloads::Workload w = workloads::BuildGraphTraversal();
+  return w;
+}
+
+void BM_System(benchmark::State& state, pipeline::SystemKind kind) {
+  const auto& w = Graph();
+  const uint64_t local = LocalBytes(w, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    const RunOutput out = Run(*w.module, kind, local);
+    state.counters["sim_ms"] = out.failed ? 0 : static_cast<double>(out.sim_ns) / 1e6;
+    state.counters["norm"] = out.failed ? 0 : Norm(NativeNs(*w.module), out.sim_ns);
+    state.counters["failed"] = out.failed ? 1 : 0;
+  }
+}
+
+void BM_Mira(benchmark::State& state, bool offload) {
+  const auto& w = Graph();
+  const uint64_t local = LocalBytes(w, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    const auto& compiled = CompileMira(w, local, offload ? AllOn() : CacheOnly());
+    const RunOutput out =
+        Run(compiled.module, pipeline::SystemKind::kMira, local, compiled.plan);
+    state.counters["sim_ms"] = static_cast<double>(out.sim_ns) / 1e6;
+    state.counters["norm"] = Norm(NativeNs(*w.module), out.sim_ns);
+    const uint64_t fastswap_ns =
+        Run(*w.module, pipeline::SystemKind::kFastSwap, local).sim_ns;
+    state.counters["speedup_vs_fastswap"] =
+        static_cast<double>(fastswap_ns) / static_cast<double>(out.sim_ns);
+  }
+}
+
+void RegisterAll() {
+  for (const int pct : MemoryPercents()) {
+    benchmark::RegisterBenchmark("fig05/fastswap", BM_System, pipeline::SystemKind::kFastSwap)
+        ->Arg(pct)
+        ->Iterations(1);
+    benchmark::RegisterBenchmark("fig05/leap", BM_System, pipeline::SystemKind::kLeap)
+        ->Arg(pct)
+        ->Iterations(1);
+    benchmark::RegisterBenchmark("fig05/aifm", BM_System, pipeline::SystemKind::kAifm)
+        ->Arg(pct)
+        ->Iterations(1);
+    benchmark::RegisterBenchmark("fig05/mira", BM_Mira, true)->Arg(pct)->Iterations(1);
+    benchmark::RegisterBenchmark("fig05/mira_cache_only", BM_Mira, false)
+        ->Arg(pct)
+        ->Iterations(1);
+  }
+}
+
+}  // namespace
+}  // namespace mira::bench
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  mira::bench::RegisterAll();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Figure 6: effect of Mira techniques on the graph-traversal example at a
+// fixed local-memory budget — techniques added cumulatively over the
+// generic-swap baseline, normalized to native.
+
+#include "bench/common.h"
+
+namespace mira::bench {
+namespace {
+
+const workloads::Workload& Graph() {
+  static const workloads::Workload w = workloads::BuildGraphTraversal();
+  return w;
+}
+
+struct Step {
+  const char* name;
+  pipeline::PlannerOptions toggles;
+};
+
+const std::vector<Step>& Steps() {
+  //                     sections prefetch evict  batch  promote selective offload
+  static const std::vector<Step> kSteps = {
+      {"swap_baseline", Toggles(false, false, false, false, false, false, false)},
+      {"plus_sections", Toggles(true, false, false, false, false, false, false)},
+      {"plus_prefetch", Toggles(true, true, false, false, false, false, false)},
+      {"plus_evict_hints", Toggles(true, true, true, false, false, false, false)},
+      {"plus_batch_promote", Toggles(true, true, true, true, true, false, false)},
+      {"plus_selective", Toggles(true, true, true, true, true, true, false)},
+      {"plus_offload", Toggles(true, true, true, true, true, true, true)},
+  };
+  return kSteps;
+}
+
+void BM_Step(benchmark::State& state, const Step* step) {
+  const auto& w = Graph();
+  const uint64_t local = LocalBytes(w, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    const auto& compiled = CompileMira(w, local, step->toggles, /*max_iterations=*/2);
+    const RunOutput out =
+        Run(compiled.module, pipeline::SystemKind::kMira, local, compiled.plan);
+    state.counters["sim_ms"] = static_cast<double>(out.sim_ns) / 1e6;
+    state.counters["norm"] = Norm(NativeNs(*w.module), out.sim_ns);
+  }
+}
+
+void RegisterAll() {
+  for (const int pct : {25, 50}) {
+    for (const auto& step : Steps()) {
+      benchmark::RegisterBenchmark((std::string("fig06/") + step.name).c_str(), BM_Step, &step)
+          ->Arg(pct)
+          ->Iterations(1);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mira::bench
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  mira::bench::RegisterAll();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Figure 7: Mira with vs without cache-section separation on the graph
+// example (AIFM as reference). "Joint" keeps the compiled remote code but
+// serves every object from a single fully-associative 4 KiB-line cache;
+// "separated" is the per-pattern plan.
+//
+// Figure 8 companion data (node-array miss rate in both configurations) is
+// produced by bench_fig08_node_missrate.
+
+#include "bench/common.h"
+
+namespace mira::bench {
+namespace {
+
+const workloads::Workload& Graph() {
+  static const workloads::Workload w = workloads::BuildGraphTraversal();
+  return w;
+}
+
+runtime::CachePlan JointPlan(const runtime::CachePlan& separated, uint64_t local_bytes) {
+  runtime::CachePlan joint;
+  cache::SectionConfig one;
+  one.name = "joint";
+  one.structure = cache::SectionStructure::kFullyAssociative;
+  one.line_bytes = 4096;
+  one.size_bytes = (local_bytes * 9 / 10) & ~4095ULL;
+  joint.sections.push_back(one);
+  for (const auto& [obj, idx] : separated.object_to_section) {
+    joint.object_to_section[obj] = 0;
+  }
+  joint.discard_on_release = separated.discard_on_release;
+  return joint;
+}
+
+void BM_Config(benchmark::State& state, bool separated) {
+  const auto& w = Graph();
+  const uint64_t local = LocalBytes(w, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    const MiraCompiled compiled = FullPlanCompile(w, local, CacheOnly());
+    const runtime::CachePlan plan =
+        separated ? compiled.plan : JointPlan(compiled.plan, local);
+    const RunOutput out = Run(compiled.module, pipeline::SystemKind::kMira, local, plan);
+    state.counters["sim_ms"] = static_cast<double>(out.sim_ns) / 1e6;
+    state.counters["norm"] = Norm(NativeNs(*w.module), out.sim_ns);
+  }
+}
+
+void BM_Aifm(benchmark::State& state) {
+  const auto& w = Graph();
+  const uint64_t local = LocalBytes(w, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    const RunOutput out = Run(*w.module, pipeline::SystemKind::kAifm, local);
+    state.counters["sim_ms"] = out.failed ? 0 : static_cast<double>(out.sim_ns) / 1e6;
+    state.counters["norm"] = out.failed ? 0 : Norm(NativeNs(*w.module), out.sim_ns);
+    state.counters["failed"] = out.failed ? 1 : 0;
+  }
+}
+
+void RegisterAll() {
+  for (const int pct : MemoryPercents()) {
+    benchmark::RegisterBenchmark("fig07/separated", BM_Config, true)->Arg(pct)->Iterations(1);
+    benchmark::RegisterBenchmark("fig07/joint", BM_Config, false)->Arg(pct)->Iterations(1);
+    benchmark::RegisterBenchmark("fig07/aifm_ref", BM_Aifm)->Arg(pct)->Iterations(1);
+  }
+}
+
+}  // namespace
+}  // namespace mira::bench
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  mira::bench::RegisterAll();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

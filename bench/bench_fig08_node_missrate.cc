@@ -1,0 +1,102 @@
+// Figure 8: miss rate of the node array in a joint cache vs after cache
+// separation (paper: 44–78% drop after separation), plus the edge array's
+// (unchanged) miss rate.
+
+#include "bench/common.h"
+
+namespace mira::bench {
+namespace {
+
+const workloads::Workload& Graph() {
+  static const workloads::Workload w = workloads::BuildGraphTraversal();
+  return w;
+}
+
+struct ProbeResult {
+  double node_miss_rate = 0;
+  double edge_miss_rate = 0;
+};
+
+// Runs the compiled module with `plan`, probing node/edge address ranges
+// inside their (possibly shared) sections. Object addresses are
+// deterministic across worlds, so a native discovery run provides them.
+ProbeResult RunProbed(const MiraCompiled& compiled, runtime::CachePlan plan,
+                      uint64_t local_bytes) {
+  const workloads::Workload& w = Graph();
+  static std::map<std::string, farmem::RemoteAddr>* addrs = nullptr;
+  if (addrs == nullptr) {
+    static std::map<std::string, farmem::RemoteAddr> discovered =
+        Run(*w.module, pipeline::SystemKind::kNative, 0).object_addrs;
+    addrs = &discovered;
+  }
+  pipeline::World world =
+      pipeline::MakeWorld(pipeline::SystemKind::kMira, local_bytes, std::move(plan));
+  auto* mira = static_cast<backends::MiraBackend*>(world.backend.get());
+  const auto& p = mira->plan();
+  const uint64_t node_lo = addrs->at("nodes");
+  const uint64_t node_hi = node_lo + 15'000 * 128;
+  const uint64_t edge_lo = addrs->at("edges");
+  const uint64_t edge_hi = edge_lo + 60'000 * 16;
+  cache::Section* node_section = mira->SectionAt(p.object_to_section.at("nodes"));
+  cache::Section* edge_section = mira->SectionAt(p.object_to_section.at("edges"));
+  node_section->SetProbeRange(node_lo, node_hi);
+  if (edge_section != node_section) {
+    edge_section->SetProbeRange(edge_lo, edge_hi);
+  }
+  interp::Interpreter interp(&compiled.module, world.backend.get());
+  auto r = interp.Run("main");
+  MIRA_CHECK_MSG(r.ok(), r.status().ToString().c_str());
+  ProbeResult out;
+  out.node_miss_rate = node_section->probe().miss_rate();
+  out.edge_miss_rate = edge_section != node_section
+                           ? edge_section->probe().miss_rate()
+                           : edge_section->stats().lines.miss_rate();
+  return out;
+}
+
+runtime::CachePlan JointPlan(const runtime::CachePlan& separated, uint64_t local_bytes) {
+  runtime::CachePlan joint;
+  cache::SectionConfig one;
+  one.name = "joint";
+  one.structure = cache::SectionStructure::kFullyAssociative;
+  one.line_bytes = 4096;
+  one.size_bytes = (local_bytes * 9 / 10) & ~4095ULL;
+  joint.sections.push_back(one);
+  for (const auto& [obj, idx] : separated.object_to_section) {
+    joint.object_to_section[obj] = 0;
+  }
+  joint.discard_on_release = separated.discard_on_release;
+  return joint;
+}
+
+void BM_MissRate(benchmark::State& state, bool separated) {
+  const auto& w = Graph();
+  const uint64_t local = LocalBytes(w, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    const MiraCompiled compiled = FullPlanCompile(w, local, CacheOnly());
+    const ProbeResult probe = RunProbed(
+        compiled, separated ? compiled.plan : JointPlan(compiled.plan, local), local);
+    state.counters["node_miss_rate"] = probe.node_miss_rate;
+    state.counters["edge_miss_rate"] = probe.edge_miss_rate;
+  }
+}
+
+void RegisterAll() {
+  for (const int pct : MemoryPercents()) {
+    benchmark::RegisterBenchmark("fig08/separated", BM_MissRate, true)
+        ->Arg(pct)
+        ->Iterations(1);
+    benchmark::RegisterBenchmark("fig08/joint", BM_MissRate, false)->Arg(pct)->Iterations(1);
+  }
+}
+
+}  // namespace
+}  // namespace mira::bench
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  mira::bench::RegisterAll();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

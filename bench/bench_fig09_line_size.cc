@@ -1,0 +1,67 @@
+// Figure 9: cache performance overhead vs cache-line size for the node and
+// edge sections. Paper shape: the randomly-accessed node array is best at
+// the smallest line that holds its 128 B element; the sequentially-accessed
+// edge array improves with larger lines up to the network's efficient
+// transfer size.
+
+#include "bench/common.h"
+
+namespace mira::bench {
+namespace {
+
+const workloads::Workload& Graph() {
+  static const workloads::Workload w = workloads::BuildGraphTraversal();
+  return w;
+}
+
+// Cache performance overhead of one section: runtime+stall over the rest of
+// execution (§4.1's definition, scoped to the section).
+double SectionOverhead(const cache::SectionStats& stats, uint64_t total_ns) {
+  const uint64_t oh = stats.overhead_ns();
+  const uint64_t rest = total_ns > oh ? total_ns - oh : 1;
+  return static_cast<double>(oh) / static_cast<double>(rest);
+}
+
+void BM_LineSize(benchmark::State& state, const char* object) {
+  const auto& w = Graph();
+  const uint64_t local = LocalBytes(w, 50);
+  const uint32_t line = static_cast<uint32_t>(state.range(0));
+  for (auto _ : state) {
+    const MiraCompiled compiled =
+        FullPlanCompile(w, local, CacheOnly(), {{object, line}});
+    pipeline::World world =
+        pipeline::MakeWorld(pipeline::SystemKind::kMira, local, compiled.plan);
+    interp::Interpreter interp(&compiled.module, world.backend.get());
+    auto r = interp.Run("main");
+    MIRA_CHECK_MSG(r.ok(), r.status().ToString().c_str());
+    auto* mira = static_cast<backends::MiraBackend*>(world.backend.get());
+    const uint32_t index = mira->plan().object_to_section.at(object);
+    state.counters["overhead"] =
+        SectionOverhead(mira->SectionStatsAt(index), interp.clock().now_ns());
+    state.counters["sim_ms"] = static_cast<double>(interp.clock().now_ns()) / 1e6;
+    state.counters["bytes_fetched_mb"] =
+        static_cast<double>(mira->SectionStatsAt(index).bytes_fetched) / 1e6;
+  }
+}
+
+void RegisterAll() {
+  for (const int line : {128, 256, 512, 1024, 2048, 4096, 8192}) {
+    benchmark::RegisterBenchmark("fig09/node_section", BM_LineSize, "nodes")
+        ->Arg(line)
+        ->Iterations(1);
+    benchmark::RegisterBenchmark("fig09/edge_section", BM_LineSize, "edges")
+        ->Arg(line)
+        ->Iterations(1);
+  }
+}
+
+}  // namespace
+}  // namespace mira::bench
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  mira::bench::RegisterAll();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Figure 10: effect of the cache-section structure (direct-mapped /
+// set-associative / fully-associative) on the node section across local
+// memory sizes. Paper shape: full associativity pays a constant lookup
+// overhead when memory is plentiful but wins when memory is scarce (no
+// conflict misses); direct mapping is the opposite.
+
+#include "bench/common.h"
+
+namespace mira::bench {
+namespace {
+
+const workloads::Workload& Graph() {
+  static const workloads::Workload w = workloads::BuildGraphTraversal();
+  return w;
+}
+
+void BM_Structure(benchmark::State& state, cache::SectionStructure structure, uint32_t ways) {
+  const auto& w = Graph();
+  const uint64_t local = LocalBytes(w, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    MiraCompiled compiled = FullPlanCompile(w, local, CacheOnly());
+    auto& node_section =
+        compiled.plan.sections[compiled.plan.object_to_section.at("nodes")];
+    node_section.structure = structure;
+    node_section.ways = ways;
+    const RunOutput out =
+        Run(compiled.module, pipeline::SystemKind::kMira, local, compiled.plan);
+    state.counters["sim_ms"] = static_cast<double>(out.sim_ns) / 1e6;
+    state.counters["norm"] = Norm(NativeNs(*w.module), out.sim_ns);
+  }
+}
+
+void RegisterAll() {
+  for (const int pct : MemoryPercents()) {
+    benchmark::RegisterBenchmark("fig10/direct", BM_Structure,
+                                 cache::SectionStructure::kDirectMapped, 1)
+        ->Arg(pct)
+        ->Iterations(1);
+    benchmark::RegisterBenchmark("fig10/setassoc8", BM_Structure,
+                                 cache::SectionStructure::kSetAssociative, 8)
+        ->Arg(pct)
+        ->Iterations(1);
+    benchmark::RegisterBenchmark("fig10/fullassoc", BM_Structure,
+                                 cache::SectionStructure::kFullyAssociative, 0)
+        ->Arg(pct)
+        ->Iterations(1);
+  }
+}
+
+}  // namespace
+}  // namespace mira::bench
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  mira::bench::RegisterAll();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

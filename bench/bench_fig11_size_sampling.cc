@@ -1,0 +1,76 @@
+// Figure 11: per-section cache performance overhead at sampled section
+// sizes (the §4.3 sampling step), on the graph example extended with a
+// third, uniformly-randomly accessed array. Paper shape: the sequential
+// edge section is flat beyond a tiny size; the indirect node section and
+// the random third section respond non-linearly.
+
+#include "bench/common.h"
+
+namespace mira::bench {
+namespace {
+
+const workloads::Workload& Graph3() {
+  static const workloads::Workload w = [] {
+    workloads::GraphParams p;
+    p.third_array = true;
+    return workloads::BuildGraphTraversal(p);
+  }();
+  return w;
+}
+
+double SectionOverhead(const cache::SectionStats& stats, uint64_t total_ns) {
+  const uint64_t oh = stats.overhead_ns();
+  const uint64_t rest = total_ns > oh ? total_ns - oh : 1;
+  return static_cast<double>(oh) / static_cast<double>(rest);
+}
+
+void BM_SizeSample(benchmark::State& state, const char* object) {
+  const auto& w = Graph3();
+  const uint64_t local = LocalBytes(w, 50);
+  const int pct_of_avail = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    MiraCompiled compiled = FullPlanCompile(w, local, CacheOnly());
+    const uint32_t index = compiled.plan.object_to_section.at(object);
+    auto& section = compiled.plan.sections[index];
+    const uint64_t avail = local * 9 / 10;
+    uint64_t size = avail * static_cast<uint64_t>(pct_of_avail) / 100;
+    size = std::max<uint64_t>(size - size % section.line_bytes,
+                              static_cast<uint64_t>(section.line_bytes) * 4);
+    section.size_bytes = size;
+    pipeline::World world =
+        pipeline::MakeWorld(pipeline::SystemKind::kMira, local, compiled.plan);
+    interp::Interpreter interp(&compiled.module, world.backend.get());
+    auto r = interp.Run("main");
+    MIRA_CHECK_MSG(r.ok(), r.status().ToString().c_str());
+    auto* mira = static_cast<backends::MiraBackend*>(world.backend.get());
+    state.counters["overhead"] =
+        SectionOverhead(mira->SectionStatsAt(index), interp.clock().now_ns());
+    state.counters["size_kb"] = static_cast<double>(size) / 1024.0;
+    state.counters["miss_rate"] = mira->SectionStatsAt(index).lines.miss_rate();
+  }
+}
+
+void RegisterAll() {
+  for (const int pct : {5, 10, 20, 40, 60, 80}) {
+    benchmark::RegisterBenchmark("fig11/edges", BM_SizeSample, "edges")
+        ->Arg(pct)
+        ->Iterations(1);
+    benchmark::RegisterBenchmark("fig11/nodes", BM_SizeSample, "nodes")
+        ->Arg(pct)
+        ->Iterations(1);
+    benchmark::RegisterBenchmark("fig11/third", BM_SizeSample, "third")
+        ->Arg(pct)
+        ->Iterations(1);
+  }
+}
+
+}  // namespace
+}  // namespace mira::bench
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  mira::bench::RegisterAll();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

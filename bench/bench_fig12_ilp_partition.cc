@@ -1,0 +1,128 @@
+// Figure 12: application performance under different partitions of local
+// memory between the node section and the random third section (edge
+// section fixed at its small optimal size), plus the partition Mira's ILP
+// selects from sampled per-section overheads. Paper shape: the optimum
+// gives most memory to the non-sequential sections and the ILP choice
+// matches it.
+
+#include "bench/common.h"
+
+#include "src/solver/ilp.h"
+
+namespace mira::bench {
+namespace {
+
+const workloads::Workload& Graph3() {
+  static const workloads::Workload w = [] {
+    workloads::GraphParams p;
+    p.third_array = true;
+    return workloads::BuildGraphTraversal(p);
+  }();
+  return w;
+}
+
+struct Partitioned {
+  runtime::CachePlan plan;
+  uint32_t node_index = 0;
+  uint32_t third_index = 0;
+  uint64_t budget = 0;  // memory split between node and third
+};
+
+Partitioned MakePartition(const MiraCompiled& compiled, uint64_t local, int node_pct) {
+  Partitioned out;
+  out.plan = compiled.plan;
+  out.node_index = out.plan.object_to_section.at("nodes");
+  out.third_index = out.plan.object_to_section.at("third");
+  const uint64_t edge_bytes =
+      out.plan.sections[out.plan.object_to_section.at("edges")].size_bytes;
+  const uint64_t avail = local * 9 / 10;
+  out.budget = avail > edge_bytes ? avail - edge_bytes : avail / 2;
+  auto& node = out.plan.sections[out.node_index];
+  auto& third = out.plan.sections[out.third_index];
+  uint64_t node_size = out.budget * static_cast<uint64_t>(node_pct) / 100;
+  node_size = std::max<uint64_t>(node_size - node_size % node.line_bytes,
+                                 static_cast<uint64_t>(node.line_bytes) * 4);
+  uint64_t third_size = out.budget - node_size;
+  third_size = std::max<uint64_t>(third_size - third_size % third.line_bytes,
+                                  static_cast<uint64_t>(third.line_bytes) * 4);
+  node.size_bytes = node_size;
+  third.size_bytes = third_size;
+  return out;
+}
+
+void BM_Partition(benchmark::State& state) {
+  const auto& w = Graph3();
+  const uint64_t local = LocalBytes(w, 50);
+  const int node_pct = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    const MiraCompiled compiled = FullPlanCompile(w, local, CacheOnly());
+    const Partitioned part = MakePartition(compiled, local, node_pct);
+    const RunOutput out =
+        Run(compiled.module, pipeline::SystemKind::kMira, local, part.plan);
+    state.counters["sim_ms"] = static_cast<double>(out.sim_ns) / 1e6;
+    state.counters["norm"] = Norm(NativeNs(*w.module), out.sim_ns);
+  }
+}
+
+// The ILP step: sample both sections' overheads at candidate splits, solve,
+// and report the chosen node share plus the performance at that choice.
+void BM_IlpChoice(benchmark::State& state) {
+  const auto& w = Graph3();
+  const uint64_t local = LocalBytes(w, 50);
+  for (auto _ : state) {
+    const MiraCompiled compiled = FullPlanCompile(w, local, CacheOnly());
+    const std::vector<int> shares = {20, 40, 50, 60, 80};
+    std::vector<solver::SectionChoices> choices(2);
+    uint64_t budget = 0;
+    for (const int pct : shares) {
+      const Partitioned part = MakePartition(compiled, local, pct);
+      budget = part.budget;
+      pipeline::World world =
+          pipeline::MakeWorld(pipeline::SystemKind::kMira, local, part.plan);
+      interp::Interpreter interp(&compiled.module, world.backend.get());
+      auto r = interp.Run("main");
+      MIRA_CHECK_MSG(r.ok(), r.status().ToString().c_str());
+      auto* mira = static_cast<backends::MiraBackend*>(world.backend.get());
+      choices[0].sizes.push_back(part.plan.sections[part.node_index].size_bytes);
+      choices[0].costs.push_back(
+          static_cast<double>(mira->SectionStatsAt(part.node_index).overhead_ns()));
+      choices[1].sizes.push_back(part.plan.sections[part.third_index].size_bytes);
+      choices[1].costs.push_back(
+          static_cast<double>(mira->SectionStatsAt(part.third_index).overhead_ns()));
+    }
+    solver::CapacityConstraint constraint;
+    constraint.members = {0, 1};
+    constraint.capacity = budget;
+    const auto solution = solver::SolveSectionSizing(choices, {constraint});
+    MIRA_CHECK(solution.feasible);
+    const uint64_t node_size = choices[0].sizes[static_cast<size_t>(solution.choice[0])];
+    state.counters["ilp_node_share_pct"] =
+        100.0 * static_cast<double>(node_size) / static_cast<double>(budget);
+    // Performance at the ILP-selected partition.
+    Partitioned part = MakePartition(compiled, local, 50);
+    part.plan.sections[part.node_index].size_bytes = node_size;
+    part.plan.sections[part.third_index].size_bytes =
+        choices[1].sizes[static_cast<size_t>(solution.choice[1])];
+    const RunOutput out =
+        Run(compiled.module, pipeline::SystemKind::kMira, local, part.plan);
+    state.counters["norm_at_ilp_choice"] = Norm(NativeNs(*w.module), out.sim_ns);
+  }
+}
+
+void RegisterAll() {
+  for (const int pct : {20, 40, 50, 60, 80}) {
+    benchmark::RegisterBenchmark("fig12/node_share", BM_Partition)->Arg(pct)->Iterations(1);
+  }
+  benchmark::RegisterBenchmark("fig12/ilp_choice", BM_IlpChoice)->Iterations(1);
+}
+
+}  // namespace
+}  // namespace mira::bench
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  mira::bench::RegisterAll();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

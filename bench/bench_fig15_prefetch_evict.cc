@@ -1,0 +1,70 @@
+// Figure 15: benefit of compiler-inserted prefetching and eviction hints on
+// the graph example, against Leap's history-based majority prefetching.
+// Paper shape: prefetching contributes most (it hides the sequential edge
+// latency and follows the indirect node accesses); eviction hints hide
+// write-back off the critical path; Leap's single global pattern cannot
+// serve the interleaved edge/node access mix.
+
+#include "bench/common.h"
+
+namespace mira::bench {
+namespace {
+
+const workloads::Workload& Graph() {
+  static const workloads::Workload w = workloads::BuildGraphTraversal();
+  return w;
+}
+
+void BM_Mira(benchmark::State& state, bool prefetch, bool evict) {
+  const auto& w = Graph();
+  const uint64_t local = LocalBytes(w, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    const auto toggles = Toggles(true, prefetch, evict, true, true, true, false);
+    const MiraCompiled compiled = FullPlanCompile(w, local, toggles);
+    const RunOutput out =
+        Run(compiled.module, pipeline::SystemKind::kMira, local, compiled.plan);
+    state.counters["sim_ms"] = static_cast<double>(out.sim_ns) / 1e6;
+    state.counters["norm"] = Norm(NativeNs(*w.module), out.sim_ns);
+  }
+}
+
+void BM_Swap(benchmark::State& state, pipeline::SystemKind kind) {
+  const auto& w = Graph();
+  const uint64_t local = LocalBytes(w, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    const RunOutput out = Run(*w.module, kind, local);
+    state.counters["sim_ms"] = static_cast<double>(out.sim_ns) / 1e6;
+    state.counters["norm"] = Norm(NativeNs(*w.module), out.sim_ns);
+  }
+}
+
+void RegisterAll() {
+  for (const int pct : {25, 50, 75}) {
+    benchmark::RegisterBenchmark("fig15/mira_no_pf_no_evict", BM_Mira, false, false)
+        ->Arg(pct)
+        ->Iterations(1);
+    benchmark::RegisterBenchmark("fig15/mira_prefetch", BM_Mira, true, false)
+        ->Arg(pct)
+        ->Iterations(1);
+    benchmark::RegisterBenchmark("fig15/mira_prefetch_evict", BM_Mira, true, true)
+        ->Arg(pct)
+        ->Iterations(1);
+    benchmark::RegisterBenchmark("fig15/leap", BM_Swap, pipeline::SystemKind::kLeap)
+        ->Arg(pct)
+        ->Iterations(1);
+    benchmark::RegisterBenchmark("fig15/fastswap", BM_Swap, pipeline::SystemKind::kFastSwap)
+        ->Arg(pct)
+        ->Iterations(1);
+  }
+}
+
+}  // namespace
+}  // namespace mira::bench
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  mira::bench::RegisterAll();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

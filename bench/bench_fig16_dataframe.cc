@@ -1,0 +1,84 @@
+// Figure 16: overall DataFrame performance — Mira vs AIFM vs FastSwap vs
+// Leap across local memory sizes. Mira is "trained" on one synthetic
+// taxi-year (seed 2014) and tested on unseen years (seeds 2015/2016), as in
+// the paper. Paper shape: Mira on top; Leap below FastSwap (slower swap
+// data path); AIFM pays constant dereference overhead even at 100% memory.
+
+#include "bench/common.h"
+
+namespace mira::bench {
+namespace {
+
+constexpr uint64_t kTrainSeed = 2014;
+constexpr uint64_t kTestSeed = 2015;
+
+const workloads::Workload& Df() {
+  static const workloads::Workload w = workloads::BuildDataFrame();
+  return w;
+}
+
+void BM_System(benchmark::State& state, pipeline::SystemKind kind) {
+  const auto& w = Df();
+  const uint64_t local = LocalBytes(w, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    const RunOutput out = Run(*w.module, kind, local, {}, kTestSeed);
+    state.counters["sim_ms"] = out.failed ? 0 : static_cast<double>(out.sim_ns) / 1e6;
+    state.counters["norm"] =
+        out.failed ? 0 : Norm(NativeNs(*w.module, kTestSeed), out.sim_ns);
+    state.counters["failed"] = out.failed ? 1 : 0;
+  }
+}
+
+void BM_Mira(benchmark::State& state, uint64_t test_seed) {
+  const auto& w = Df();
+  const uint64_t local = LocalBytes(w, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    // Train (profile + compile) on the 2014 data, evaluate on test data.
+    pipeline::OptimizeOptions opts;
+    opts.local_bytes = local;
+    opts.max_iterations = 3;
+    opts.train_seed = kTrainSeed;
+    pipeline::IterativeOptimizer optimizer(w.module.get(), opts);
+    static std::map<uint64_t, pipeline::CompiledProgram> cache;
+    auto it = cache.find(local);
+    if (it == cache.end()) {
+      it = cache.emplace(local, optimizer.Optimize()).first;
+    }
+    const auto& compiled = it->second;
+    const RunOutput out = Run(compiled.module, pipeline::SystemKind::kMira, local,
+                              compiled.plan, test_seed);
+    state.counters["sim_ms"] = static_cast<double>(out.sim_ns) / 1e6;
+    state.counters["norm"] = Norm(NativeNs(*w.module, test_seed), out.sim_ns);
+  }
+}
+
+void RegisterAll() {
+  for (const int pct : MemoryPercents()) {
+    benchmark::RegisterBenchmark("fig16/fastswap", BM_System, pipeline::SystemKind::kFastSwap)
+        ->Arg(pct)
+        ->Iterations(1);
+    benchmark::RegisterBenchmark("fig16/leap", BM_System, pipeline::SystemKind::kLeap)
+        ->Arg(pct)
+        ->Iterations(1);
+    benchmark::RegisterBenchmark("fig16/aifm", BM_System, pipeline::SystemKind::kAifm)
+        ->Arg(pct)
+        ->Iterations(1);
+    benchmark::RegisterBenchmark("fig16/mira_test2015", BM_Mira, kTestSeed)
+        ->Arg(pct)
+        ->Iterations(1);
+    benchmark::RegisterBenchmark("fig16/mira_test2016", BM_Mira, uint64_t{2016})
+        ->Arg(pct)
+        ->Iterations(1);
+  }
+}
+
+}  // namespace
+}  // namespace mira::bench
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  mira::bench::RegisterAll();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Figure 17: GPT-2-style inference — Mira vs FastSwap vs Leap (the paper
+// excludes AIFM: no matrix-operation support). Paper shape: Mira's
+// performance stays flat down to ~4.5% local memory because per-layer
+// lifetimes let a small cache stream each layer's weights; the swap systems
+// degrade steeply.
+
+#include "bench/common.h"
+
+namespace mira::bench {
+namespace {
+
+const workloads::Workload& Gpt2() {
+  static const workloads::Workload w = workloads::BuildGpt2();
+  return w;
+}
+
+const std::vector<int>& Gpt2MemPercents() {
+  static const std::vector<int> kPercents = {4, 10, 25, 50, 75, 100};
+  return kPercents;
+}
+
+void BM_System(benchmark::State& state, pipeline::SystemKind kind) {
+  const auto& w = Gpt2();
+  const uint64_t local = LocalBytes(w, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    const RunOutput out = Run(*w.module, kind, local);
+    state.counters["sim_ms"] = static_cast<double>(out.sim_ns) / 1e6;
+    state.counters["norm"] = Norm(NativeNs(*w.module), out.sim_ns);
+  }
+}
+
+void BM_Mira(benchmark::State& state) {
+  const auto& w = Gpt2();
+  const uint64_t local = LocalBytes(w, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    const auto& compiled = CompileMira(w, local, CacheOnly(), /*max_iterations=*/3);
+    const RunOutput out =
+        Run(compiled.module, pipeline::SystemKind::kMira, local, compiled.plan);
+    state.counters["sim_ms"] = static_cast<double>(out.sim_ns) / 1e6;
+    state.counters["norm"] = Norm(NativeNs(*w.module), out.sim_ns);
+    state.counters["sections"] = static_cast<double>(compiled.plan.sections.size());
+  }
+}
+
+void RegisterAll() {
+  for (const int pct : Gpt2MemPercents()) {
+    benchmark::RegisterBenchmark("fig17/fastswap", BM_System, pipeline::SystemKind::kFastSwap)
+        ->Arg(pct)
+        ->Iterations(1);
+    benchmark::RegisterBenchmark("fig17/leap", BM_System, pipeline::SystemKind::kLeap)
+        ->Arg(pct)
+        ->Iterations(1);
+    benchmark::RegisterBenchmark("fig17/mira", BM_Mira)->Arg(pct)->Iterations(1);
+  }
+}
+
+}  // namespace
+}  // namespace mira::bench
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  mira::bench::RegisterAll();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Figure 21: effect of Mira techniques added one or two at a time, per
+// application (DataFrame, GPT-2, MCF), over the generic-swap baseline.
+// Paper shape: section separation helps everything except MCF (analysis-
+// hostile); prefetch/eviction hints dominate for the streaming apps;
+// offload only pays off where computation is light relative to traffic.
+
+#include "bench/common.h"
+
+namespace mira::bench {
+namespace {
+
+struct App {
+  const char* name;
+  const workloads::Workload& (*get)();
+};
+
+const workloads::Workload& Df() {
+  static const workloads::Workload w = workloads::BuildDataFrame();
+  return w;
+}
+const workloads::Workload& Gpt() {
+  static const workloads::Workload w = workloads::BuildGpt2();
+  return w;
+}
+const workloads::Workload& Mc() {
+  static const workloads::Workload w = workloads::BuildMcf();
+  return w;
+}
+
+const std::vector<App>& Apps() {
+  static const std::vector<App> kApps = {{"dataframe", &Df}, {"gpt2", &Gpt}, {"mcf", &Mc}};
+  return kApps;
+}
+
+struct Step {
+  const char* name;
+  pipeline::PlannerOptions toggles;
+};
+
+const std::vector<Step>& Steps() {
+  static const std::vector<Step> kSteps = {
+      {"swap_baseline", Toggles(false, false, false, false, false, false, false)},
+      {"plus_sections", Toggles(true, false, false, false, false, false, false)},
+      {"plus_prefetch_evict", Toggles(true, true, true, false, false, false, false)},
+      {"plus_batch_selective", Toggles(true, true, true, true, true, true, false)},
+      {"plus_offload", Toggles(true, true, true, true, true, true, true)},
+  };
+  return kSteps;
+}
+
+void BM_Step(benchmark::State& state, const App* app, const Step* step) {
+  const auto& w = app->get();
+  const uint64_t local = LocalBytes(w, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    const auto& compiled = CompileMira(w, local, step->toggles, /*max_iterations=*/2);
+    const RunOutput out =
+        Run(compiled.module, pipeline::SystemKind::kMira, local, compiled.plan);
+    state.counters["sim_ms"] = static_cast<double>(out.sim_ns) / 1e6;
+    state.counters["norm"] = Norm(NativeNs(*w.module), out.sim_ns);
+  }
+}
+
+void RegisterAll() {
+  for (const auto& app : Apps()) {
+    for (const auto& step : Steps()) {
+      benchmark::RegisterBenchmark(
+          (std::string("fig21/") + app.name + "/" + step.name).c_str(), BM_Step, &app, &step)
+          ->Arg(25)
+          ->Iterations(1);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mira::bench
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  mira::bench::RegisterAll();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Figure 23: data-access batching on a DataFrame job computing avg, min and
+// max over the same vector (three consecutive loops in the source). Mira
+// fuses the loops and batch-fetches the vector once; without program
+// knowledge, AIFM executes each operator in isolation and FastSwap drags
+// whole pages three times. Paper shape: batching helps Mira consistently at
+// every local-memory size.
+
+#include "bench/common.h"
+
+namespace mira::bench {
+namespace {
+
+const workloads::Workload& Job() {
+  static const workloads::Workload w = [] {
+    workloads::DataFrameParams p;
+    p.rows = 200'000;
+    p.filter_op = false;
+    p.groupby_op = false;
+    p.wide_row_scan = false;
+    p.batch_job = true;
+    return workloads::BuildDataFrame(p);
+  }();
+  return w;
+}
+
+void BM_Mira(benchmark::State& state, bool batching) {
+  const auto& w = Job();
+  const uint64_t local = LocalBytes(w, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto toggles = Toggles(true, true, true, batching, true, true, false);
+    const MiraCompiled compiled = FullPlanCompile(w, local, toggles);
+    const RunOutput out =
+        Run(compiled.module, pipeline::SystemKind::kMira, local, compiled.plan);
+    state.counters["sim_ms"] = static_cast<double>(out.sim_ns) / 1e6;
+    state.counters["norm"] = Norm(NativeNs(*w.module), out.sim_ns);
+    state.counters["net_msgs"] = static_cast<double>(out.world.net->stats().messages);
+    state.counters["net_mb"] =
+        static_cast<double>(out.world.net->stats().total_bytes()) / 1e6;
+  }
+}
+
+void BM_System(benchmark::State& state, pipeline::SystemKind kind) {
+  const auto& w = Job();
+  const uint64_t local = LocalBytes(w, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    const RunOutput out = Run(*w.module, kind, local);
+    state.counters["sim_ms"] = out.failed ? 0 : static_cast<double>(out.sim_ns) / 1e6;
+    state.counters["norm"] = out.failed ? 0 : Norm(NativeNs(*w.module), out.sim_ns);
+    state.counters["failed"] = out.failed ? 1 : 0;
+  }
+}
+
+void RegisterAll() {
+  for (const int pct : MemoryPercents()) {
+    benchmark::RegisterBenchmark("fig23/mira_batching", BM_Mira, true)
+        ->Arg(pct)
+        ->Iterations(1);
+    benchmark::RegisterBenchmark("fig23/mira_no_batching", BM_Mira, false)
+        ->Arg(pct)
+        ->Iterations(1);
+    benchmark::RegisterBenchmark("fig23/aifm", BM_System, pipeline::SystemKind::kAifm)
+        ->Arg(pct)
+        ->Iterations(1);
+    benchmark::RegisterBenchmark("fig23/fastswap", BM_System, pipeline::SystemKind::kFastSwap)
+        ->Arg(pct)
+        ->Iterations(1);
+  }
+}
+
+}  // namespace
+}  // namespace mira::bench
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  mira::bench::RegisterAll();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,139 @@
+// Figure 24: multi-threaded GPT-2 inference scaling — Mira with per-thread
+// private cache sections (§4.6: shared-nothing / read-only threads) vs
+// FastSwap's shared swap cache with its serialized kernel fault path.
+// Threads run independent inferences over the same read-only weights.
+//
+// Threads are simulated on the deterministic MtScheduler (DESIGN.md §5);
+// the kernel below performs the same access sequence the compiled per-layer
+// streaming code produces: guarded prefetch one RTT ahead + promoted loads.
+
+#include "bench/common.h"
+
+#include "src/backends/fastswap_backend.h"
+#include "src/sim/mt_scheduler.h"
+
+namespace mira::bench {
+namespace {
+
+constexpr int64_t kLayers = 6;
+constexpr int64_t kD = 128;
+constexpr uint64_t kWeightsPerLayer = kD * kD * 8;  // bytes
+constexpr uint64_t kComputePerElemNs = 12;
+constexpr uint32_t kLine = 4096;
+constexpr uint32_t kPrefetchDistance = 2;
+
+struct SharedWorld {
+  farmem::FarMemoryNode node;
+  net::Transport net{&node, sim::CostModel::Default()};
+  farmem::RemoteAddr weights = 0;
+
+  SharedWorld() {
+    auto r = node.AllocRange(kLayers * kWeightsPerLayer);
+    MIRA_CHECK(r.ok());
+    weights = r.value();
+  }
+};
+
+// One thread's inference: streams each layer's weights, starting at a
+// thread-specific layer (threads serve different requests, so they sit at
+// different pipeline positions) and wrapping around. Returns a step
+// function for the MtScheduler.
+template <typename AccessFn>
+std::function<bool(sim::SimClock&)> MakeThread(AccessFn access, farmem::RemoteAddr weights,
+                                               int thread_index) {
+  const uint64_t total = kLayers * kWeightsPerLayer / 8;
+  const uint64_t elems_per_layer = kWeightsPerLayer / 8;
+  const uint64_t start =
+      (static_cast<uint64_t>(thread_index) % kLayers) * elems_per_layer;
+  auto done = std::make_shared<uint64_t>(0);
+  constexpr uint64_t kChunk = 2048;
+  return [=](sim::SimClock& clk) {
+    const uint64_t end = std::min(total, *done + kChunk);
+    for (uint64_t i = *done; i < end; ++i) {
+      const uint64_t elem = (start + i) % total;
+      access(clk, weights + elem * 8, elem);
+      clk.Advance(kComputePerElemNs);
+    }
+    *done = end;
+    return *done < total;
+  };
+}
+
+void BM_MiraPrivate(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    SharedWorld shared;
+    // Per-thread private direct-mapped streaming sections (§4.6).
+    std::vector<std::unique_ptr<cache::Section>> sections;
+    for (int t = 0; t < threads; ++t) {
+      cache::SectionConfig config;
+      config.name = "weights-private";
+      config.structure = cache::SectionStructure::kDirectMapped;
+      config.line_bytes = kLine;
+      config.size_bytes = kLine * (2 * kPrefetchDistance + 8);
+      sections.push_back(cache::MakeSection(config, &shared.net));
+    }
+    sim::MtScheduler scheduler;
+    for (int t = 0; t < threads; ++t) {
+      cache::Section* section = sections[static_cast<size_t>(t)].get();
+      scheduler.AddThread(MakeThread(
+          [section](sim::SimClock& clk, farmem::RemoteAddr addr, uint64_t i) {
+            constexpr uint64_t kElemsPerLine = kLine / 8;
+            if (i % kElemsPerLine == 0) {
+              section->Prefetch(clk, addr + kPrefetchDistance * kLine, kLine);
+            }
+            section->AccessPromoted(clk, addr, 8, /*write=*/false);
+          },
+          shared.weights, t));
+    }
+    const uint64_t makespan = scheduler.RunToCompletion();
+    state.counters["sim_ms"] = static_cast<double>(makespan) / 1e6;
+    state.counters["threads"] = threads;
+  }
+}
+
+void BM_FastSwapShared(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    SharedWorld shared;
+    // One shared swap cache (half the weight footprint) + serialized
+    // kernel fault path.
+    cache::SwapSection swap(kLayers * kWeightsPerLayer / 2, &shared.net,
+                            std::make_unique<cache::ReadaheadPrefetcher>());
+    sim::SerialResource fault_lock;
+    swap.SetFaultLock(&fault_lock);
+    sim::MtScheduler scheduler;
+    for (int t = 0; t < threads; ++t) {
+      scheduler.AddThread(MakeThread(
+          [&swap](sim::SimClock& clk, farmem::RemoteAddr addr, uint64_t) {
+            swap.Access(clk, addr, 8, /*write=*/false);
+          },
+          shared.weights, t));
+    }
+    const uint64_t makespan = scheduler.RunToCompletion();
+    state.counters["sim_ms"] = static_cast<double>(makespan) / 1e6;
+    state.counters["threads"] = threads;
+  }
+}
+
+void RegisterAll() {
+  for (const int threads : {1, 2, 4, 8, 16}) {
+    benchmark::RegisterBenchmark("fig24/mira_private_sections", BM_MiraPrivate)
+        ->Arg(threads)
+        ->Iterations(1);
+    benchmark::RegisterBenchmark("fig24/fastswap_shared", BM_FastSwapShared)
+        ->Arg(threads)
+        ->Iterations(1);
+  }
+}
+
+}  // namespace
+}  // namespace mira::bench
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  mira::bench::RegisterAll();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

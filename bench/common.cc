@@ -1,0 +1,120 @@
+#include "bench/common.h"
+
+#include <chrono>
+
+namespace mira::bench {
+
+RunOutput Run(const ir::Module& module, pipeline::SystemKind kind, uint64_t local_bytes,
+              runtime::CachePlan plan, uint64_t seed, bool profiling,
+              const std::string& entry) {
+  RunOutput out;
+  out.world = pipeline::MakeWorld(kind, local_bytes, std::move(plan));
+  interp::InterpOptions opts;
+  opts.seed = seed;
+  opts.profiling = profiling;
+  interp::Interpreter interp(&module, out.world.backend.get(), opts);
+  auto result = interp.Run(entry);
+  if (!result.ok()) {
+    out.failed = true;
+    out.fail_reason = result.status().ToString();
+    return out;
+  }
+  out.world.backend->Drain(interp.clock());
+  out.sim_ns = interp.clock().now_ns();
+  out.result = result.value();
+  out.profile = interp.profile();
+  out.object_addrs = interp.object_addrs();
+  return out;
+}
+
+uint64_t NativeNs(const ir::Module& module, uint64_t seed, const std::string& entry) {
+  static std::map<std::pair<const ir::Module*, uint64_t>, uint64_t> cache;
+  const auto key = std::make_pair(&module, seed);
+  const auto it = cache.find(key);
+  if (it != cache.end()) {
+    return it->second;
+  }
+  const RunOutput out = Run(module, pipeline::SystemKind::kNative, 0, {}, seed, false, entry);
+  MIRA_CHECK_MSG(!out.failed, out.fail_reason.c_str());
+  cache[key] = out.sim_ns;
+  return out.sim_ns;
+}
+
+MiraCompiled FullPlanCompile(const workloads::Workload& w, uint64_t local_bytes,
+                             const pipeline::PlannerOptions& toggles,
+                             const std::map<std::string, uint32_t>& line_override) {
+  // One profiling run on the generic swap configuration.
+  const RunOutput prof = Run(*w.module, pipeline::SystemKind::kMira, local_bytes, {}, 42,
+                             /*profiling=*/true, w.entry);
+  MIRA_CHECK_MSG(!prof.failed, prof.fail_reason.c_str());
+  analysis::AccessAnalysis access(w.module.get());
+  access.Run();
+  pipeline::PlannerOptions popts = toggles;
+  popts.local_bytes = local_bytes;
+  popts.func_frac = 1.0;
+  popts.obj_frac = 1.0;
+  pipeline::PlanDraft draft =
+      pipeline::DerivePlan(*w.module, access, prof.profile, sim::CostModel::Default(), popts);
+  for (const auto& [obj, line] : line_override) {
+    const auto it = draft.plan.object_to_section.find(obj);
+    if (it == draft.plan.object_to_section.end()) {
+      continue;
+    }
+    auto& section = draft.plan.sections[it->second];
+    const uint64_t lines = std::max<uint64_t>(8, section.size_bytes / section.line_bytes);
+    section.line_bytes = line;
+    section.size_bytes = lines * line;
+    auto info_it = draft.compile_info.find(obj);
+    if (info_it != draft.compile_info.end()) {
+      info_it->second.line_bytes = line;
+    }
+  }
+  MiraCompiled out;
+  out.module = pipeline::CompileWithPlan(*w.module, draft, popts, w.entry);
+  out.plan = draft.plan;
+  out.draft = std::move(draft);
+  out.baseline_swap_ns = prof.sim_ns;
+  return out;
+}
+
+const MiraCompiled& CompileMira(const workloads::Workload& w, uint64_t local_bytes,
+                                const pipeline::PlannerOptions& toggles, int max_iterations) {
+  const uint64_t mask = (toggles.enable_sections ? 1u : 0u) |
+                        (toggles.enable_prefetch ? 2u : 0u) |
+                        (toggles.enable_evict_hints ? 4u : 0u) |
+                        (toggles.enable_batching ? 8u : 0u) |
+                        (toggles.enable_promote ? 16u : 0u) |
+                        (toggles.enable_selective ? 32u : 0u) |
+                        (toggles.enable_offload ? 64u : 0u) |
+                        (static_cast<uint64_t>(max_iterations) << 8);
+  static std::map<std::tuple<const ir::Module*, uint64_t, uint64_t>,
+                  std::unique_ptr<MiraCompiled>>
+      cache;
+  const auto key = std::make_tuple(w.module.get(), local_bytes, mask);
+  const auto it = cache.find(key);
+  if (it != cache.end()) {
+    return *it->second;
+  }
+  pipeline::OptimizeOptions opts;
+  opts.entry = w.entry;
+  opts.local_bytes = local_bytes;
+  opts.max_iterations = max_iterations;
+  opts.planner = toggles;
+  pipeline::IterativeOptimizer optimizer(w.module.get(), opts);
+  const auto t0 = std::chrono::steady_clock::now();
+  auto compiled = optimizer.Optimize();
+  const auto t1 = std::chrono::steady_clock::now();
+  auto entry = std::make_unique<MiraCompiled>();
+  entry->module = std::move(compiled.module);
+  entry->plan = std::move(compiled.plan);
+  entry->draft = std::move(compiled.draft);
+  entry->baseline_swap_ns = optimizer.baseline_swap_ns();
+  entry->optimize_wall_ms =
+      std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0).count() / 1000.0;
+  entry->log = optimizer.log();
+  auto& slot = cache[key];
+  slot = std::move(entry);
+  return *slot;
+}
+
+}  // namespace mira::bench

@@ -1,0 +1,110 @@
+// Shared helpers for the figure-reproduction benchmarks.
+//
+// Every benchmark reports *simulated* time (deterministic; see DESIGN.md §5)
+// through google-benchmark counters:
+//   sim_ms    — simulated milliseconds of the measured program
+//   norm      — performance normalized to native full-local-memory execution
+//               (the paper's y-axis on every overall-performance figure)
+// plus figure-specific counters (miss rates, traffic, ...). Wall time in the
+// "Time" column is just host execution of the simulator — ignore it.
+
+#ifndef MIRA_BENCH_COMMON_H_
+#define MIRA_BENCH_COMMON_H_
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "src/backends/aifm_backend.h"
+#include "src/backends/mira_backend.h"
+#include "src/interp/interpreter.h"
+#include "src/pipeline/optimizer.h"
+#include "src/pipeline/world.h"
+#include "src/workloads/workloads.h"
+
+namespace mira::bench {
+
+struct RunOutput {
+  pipeline::World world;
+  uint64_t sim_ns = 0;
+  uint64_t result = 0;
+  interp::RunProfile profile;
+  std::map<std::string, farmem::RemoteAddr> object_addrs;
+  bool failed = false;  // e.g. AIFM metadata OOM
+  std::string fail_reason;
+};
+
+// One full measured execution on a fresh world.
+RunOutput Run(const ir::Module& module, pipeline::SystemKind kind, uint64_t local_bytes,
+              runtime::CachePlan plan = {}, uint64_t seed = 42, bool profiling = false,
+              const std::string& entry = "main");
+
+// Native full-local-memory execution time for a module (memoized per module
+// pointer + seed).
+uint64_t NativeNs(const ir::Module& module, uint64_t seed = 42,
+                  const std::string& entry = "main");
+
+struct MiraCompiled {
+  ir::Module module;
+  runtime::CachePlan plan;
+  pipeline::PlanDraft draft;
+  uint64_t baseline_swap_ns = 0;
+  double optimize_wall_ms = 0;  // host-side "compile time"
+  std::vector<pipeline::IterationLog> log;
+};
+
+// Runs the full iterative optimizer for `w` at `local_bytes` with the given
+// ablation toggles; memoized on (module pointer, local_bytes, toggle mask).
+const MiraCompiled& CompileMira(const workloads::Workload& w, uint64_t local_bytes,
+                                const pipeline::PlannerOptions& toggles, int max_iterations = 3);
+
+// Deep-dive compilations: full analysis scope (100% of functions/objects),
+// one profiling run, no iterative search — used by the figure benches that
+// sweep a single knob (line size, structure, section size) around an
+// otherwise fixed plan. `line_override` rewrites an object's cache-line
+// size before code generation so prefetch guards match the line geometry.
+MiraCompiled FullPlanCompile(const workloads::Workload& w, uint64_t local_bytes,
+                             const pipeline::PlannerOptions& toggles,
+                             const std::map<std::string, uint32_t>& line_override = {});
+
+inline pipeline::PlannerOptions Toggles(bool sections, bool prefetch, bool evict, bool batch,
+                                        bool promote, bool selective, bool offload) {
+  pipeline::PlannerOptions t;
+  t.enable_sections = sections;
+  t.enable_prefetch = prefetch;
+  t.enable_evict_hints = evict;
+  t.enable_batching = batch;
+  t.enable_promote = promote;
+  t.enable_selective = selective;
+  t.enable_offload = offload;
+  return t;
+}
+
+inline pipeline::PlannerOptions AllOn() {
+  return Toggles(true, true, true, true, true, true, true);
+}
+// Cache techniques only — used where the paper studies section behavior.
+inline pipeline::PlannerOptions CacheOnly() {
+  return Toggles(true, true, true, true, true, true, false);
+}
+
+// Normalized performance: native_time / system_time (1.0 = native speed).
+inline double Norm(uint64_t native_ns, uint64_t sys_ns) {
+  return sys_ns == 0 ? 0.0 : static_cast<double>(native_ns) / static_cast<double>(sys_ns);
+}
+
+// The standard local-memory sweep, as % of the workload footprint.
+inline const std::vector<int>& MemoryPercents() {
+  static const std::vector<int> kPercents = {13, 25, 50, 75, 100};
+  return kPercents;
+}
+
+inline uint64_t LocalBytes(const workloads::Workload& w, int percent) {
+  return w.footprint_bytes * static_cast<uint64_t>(percent) / 100;
+}
+
+}  // namespace mira::bench
+
+#endif  // MIRA_BENCH_COMMON_H_

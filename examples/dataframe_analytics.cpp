@@ -1,0 +1,80 @@
+// DataFrame analytics over synthetic taxi-trip data: trains Mira's
+// compilation on one data year (seed 2014) and deploys it on unseen years,
+// demonstrating input adaptation (§3) and the per-operator optimizations —
+// full-line filter writes, fused/batched avg-min-max (Fig 23), indirect
+// group-by, and selective transmission on a wide row table.
+//
+// Run: ./build/examples/dataframe_analytics
+
+#include <cstdio>
+
+#include "src/interp/interpreter.h"
+#include "src/pipeline/optimizer.h"
+#include "src/pipeline/world.h"
+#include "src/support/str.h"
+#include "src/workloads/workloads.h"
+
+using namespace mira;
+
+namespace {
+
+struct Measured {
+  uint64_t ns = 0;
+  uint64_t net_bytes = 0;
+  bool failed = false;
+};
+
+Measured RunOn(const ir::Module& module, pipeline::SystemKind kind, uint64_t local_bytes,
+               uint64_t seed, runtime::CachePlan plan = {}) {
+  auto world = pipeline::MakeWorld(kind, local_bytes, std::move(plan));
+  interp::InterpOptions opts;
+  opts.seed = seed;
+  interp::Interpreter interp(&module, world.backend.get(), opts);
+  auto r = interp.Run("main");
+  Measured m;
+  if (!r.ok()) {
+    m.failed = true;
+    return m;
+  }
+  world.backend->Drain(interp.clock());
+  m.ns = interp.clock().now_ns();
+  m.net_bytes = world.net->stats().total_bytes();
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  workloads::Workload w = workloads::BuildDataFrame();
+  const uint64_t local = w.footprint_bytes / 4;  // 25 % local memory
+  std::printf("DataFrame: %s far data, %s local memory\n",
+              support::HumanBytes(w.footprint_bytes).c_str(),
+              support::HumanBytes(local).c_str());
+
+  // Train on the 2014 data year.
+  pipeline::OptimizeOptions opts;
+  opts.local_bytes = local;
+  opts.max_iterations = 3;
+  opts.train_seed = 2014;
+  pipeline::IterativeOptimizer optimizer(w.module.get(), opts);
+  auto compiled = optimizer.Optimize();
+  std::printf("\ntrained cache plan (on 2014 data):\n%s\n", compiled.plan.ToString().c_str());
+
+  // Deploy on unseen years.
+  std::printf("%-18s %14s %14s %14s %12s\n", "test year (seed)", "mira", "fastswap", "aifm",
+              "net traffic");
+  for (const uint64_t year : {2015ULL, 2016ULL}) {
+    const Measured mira =
+        RunOn(compiled.module, pipeline::SystemKind::kMira, local, year, compiled.plan);
+    const Measured fast = RunOn(*w.module, pipeline::SystemKind::kFastSwap, local, year);
+    const Measured aifm = RunOn(*w.module, pipeline::SystemKind::kAifm, local, year);
+    std::printf("%-18llu %11.3f ms %11.3f ms %11.3f ms %12s\n",
+                static_cast<unsigned long long>(year), static_cast<double>(mira.ns) / 1e6,
+                static_cast<double>(fast.ns) / 1e6,
+                aifm.failed ? 0.0 : static_cast<double>(aifm.ns) / 1e6,
+                support::HumanBytes(mira.net_bytes).c_str());
+  }
+  std::printf("\nMira's compilation, trained on one input year, carries over to unseen\n"
+              "inputs: the optimizations are program-based, not trace-based (§4.5).\n");
+  return 0;
+}

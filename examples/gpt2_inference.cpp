@@ -1,0 +1,63 @@
+// GPT-2-style transformer inference on far memory: Mira's lifetime analysis
+// ends each layer's section the moment the layer completes, so a sliver of
+// local memory streams the whole model (paper Fig 17: flat performance down
+// to 4.5 % local memory).
+//
+// Run: ./build/examples/gpt2_inference
+
+#include <cstdio>
+
+#include "src/interp/interpreter.h"
+#include "src/pipeline/optimizer.h"
+#include "src/pipeline/world.h"
+#include "src/support/str.h"
+#include "src/workloads/workloads.h"
+
+using namespace mira;
+
+namespace {
+
+uint64_t RunOn(const ir::Module& module, pipeline::SystemKind kind, uint64_t local_bytes,
+               runtime::CachePlan plan = {}) {
+  auto world = pipeline::MakeWorld(kind, local_bytes, std::move(plan));
+  interp::Interpreter interp(&module, world.backend.get());
+  auto r = interp.Run("main");
+  MIRA_CHECK(r.ok());
+  world.backend->Drain(interp.clock());
+  return interp.clock().now_ns();
+}
+
+}  // namespace
+
+int main() {
+  workloads::Workload w = workloads::BuildGpt2();
+  std::printf("GPT-2-like inference: %s of weights + KV cache\n\n",
+              support::HumanBytes(w.footprint_bytes).c_str());
+
+  const uint64_t native = RunOn(*w.module, pipeline::SystemKind::kNative, 0);
+  std::printf("%8s %12s %12s %12s   (normalized to native %0.3f ms)\n", "local%", "mira",
+              "fastswap", "leap", static_cast<double>(native) / 1e6);
+
+  for (const int pct : {4, 10, 25, 50, 100}) {
+    const uint64_t local = w.footprint_bytes * static_cast<uint64_t>(pct) / 100;
+    pipeline::OptimizeOptions opts;
+    opts.local_bytes = local;
+    opts.max_iterations = 2;
+    opts.planner.enable_offload = false;
+    pipeline::IterativeOptimizer optimizer(w.module.get(), opts);
+    auto compiled = optimizer.Optimize();
+    const uint64_t mira =
+        RunOn(compiled.module, pipeline::SystemKind::kMira, local, compiled.plan);
+    const uint64_t fast = RunOn(*w.module, pipeline::SystemKind::kFastSwap, local);
+    const uint64_t leap = RunOn(*w.module, pipeline::SystemKind::kLeap, local);
+    std::printf("%7d%% %11.3f %12.3f %12.3f   norm: %.2f / %.2f / %.2f\n", pct,
+                static_cast<double>(mira) / 1e6, static_cast<double>(fast) / 1e6,
+                static_cast<double>(leap) / 1e6,
+                static_cast<double>(native) / static_cast<double>(mira),
+                static_cast<double>(native) / static_cast<double>(fast),
+                static_cast<double>(native) / static_cast<double>(leap));
+  }
+  std::printf("\nLayer-by-layer lifetimes let Mira release each layer's weights as soon\n"
+              "as the layer finishes — performance stays flat as local memory shrinks.\n");
+  return 0;
+}

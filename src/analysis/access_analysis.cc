@@ -1,0 +1,453 @@
+#include "src/analysis/access_analysis.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace mira::analysis {
+
+const char* AccessPatternName(AccessPattern p) {
+  switch (p) {
+    case AccessPattern::kSequential:
+      return "sequential";
+    case AccessPattern::kStrided:
+      return "strided";
+    case AccessPattern::kIndirect:
+      return "indirect";
+    case AccessPattern::kPointerChase:
+      return "pointer-chase";
+    case AccessPattern::kUnknown:
+      return "unknown";
+  }
+  return "?";
+}
+
+double ObjectBehavior::AccessedFraction() const {
+  if (elem_bytes == 0 || fields.empty()) {
+    return 1.0;
+  }
+  uint64_t covered = 0;
+  for (const auto& [off, len] : fields) {
+    covered += len;
+  }
+  if (covered >= elem_bytes) {
+    return 1.0;
+  }
+  return static_cast<double>(covered) / static_cast<double>(elem_bytes);
+}
+
+namespace {
+
+// Where a value comes from, relative to the innermost loop of its use.
+struct Scev {
+  enum class Kind {
+    kConst,      // loop-invariant w.r.t. the innermost loop
+    kAffine,     // coeff * iv + inv
+    kFromLoad,   // produced (directly or affinely) by a memory load
+    kFromLocal,  // produced via a mutable local slot
+    kOther,
+  };
+  Kind kind = Kind::kOther;
+  int64_t coeff = 0;                  // iv coefficient (kAffine)
+  const ir::Instr* src_load = nullptr;  // defining load (kFromLoad)
+};
+
+struct LoopCtx {
+  const ir::Instr* loop = nullptr;   // the kFor
+  uint32_t iv = UINT32_MAX;
+  int64_t step = 1;                  // constant step if known, else 1
+  const ir::Region* body = nullptr;
+};
+
+uint64_t CountOps(const ir::Region& r) {
+  uint64_t n = 0;
+  for (const auto& i : r.body) {
+    ++n;
+    for (const auto& sub : i.regions) {
+      n += CountOps(sub);
+    }
+  }
+  return n;
+}
+
+class FunctionClassifier {
+ public:
+  FunctionClassifier(const ir::Function& func,
+                     const std::map<uint32_t, std::set<std::string>>& bindings,
+                     FunctionAccessInfo* out)
+      : func_(func), bindings_(bindings), out_(out) {}
+
+  void Run() {
+    BuildDefMap(func_.body);
+    Walk(func_.body);
+  }
+
+ private:
+  void BuildDefMap(const ir::Region& region) {
+    for (const auto& instr : region.body) {
+      if (instr.has_result()) {
+        defs_[instr.result] = &instr;
+      }
+      for (const auto& sub : instr.regions) {
+        BuildDefMap(sub);
+      }
+    }
+  }
+
+  // Constant value of `id` if statically known.
+  bool ConstOf(uint32_t id, int64_t* out) const {
+    const auto it = defs_.find(id);
+    if (it == defs_.end() || it->second->kind != ir::OpKind::kConstI) {
+      return false;
+    }
+    *out = it->second->i_attr;
+    return true;
+  }
+
+  Scev Analyze(uint32_t id, int depth) const {
+    if (depth > 16) {
+      return Scev{};
+    }
+    // Induction variable of the innermost loop?
+    if (!loops_.empty() && id == loops_.back().iv) {
+      return Scev{Scev::Kind::kAffine, 1, nullptr};
+    }
+    // IV of an outer loop is invariant within the innermost one.
+    for (const auto& l : loops_) {
+      if (id == l.iv) {
+        return Scev{Scev::Kind::kConst, 0, nullptr};
+      }
+    }
+    const auto it = defs_.find(id);
+    if (it == defs_.end()) {
+      // Parameter: loop-invariant.
+      return Scev{Scev::Kind::kConst, 0, nullptr};
+    }
+    const ir::Instr& d = *it->second;
+    switch (d.kind) {
+      case ir::OpKind::kConstI:
+      case ir::OpKind::kConstF:
+        return Scev{Scev::Kind::kConst, 0, nullptr};
+      case ir::OpKind::kAdd:
+      case ir::OpKind::kSub: {
+        const Scev a = Analyze(d.operands[0], depth + 1);
+        const Scev b = Analyze(d.operands[1], depth + 1);
+        const int64_t sign = d.kind == ir::OpKind::kSub ? -1 : 1;
+        if (a.kind == Scev::Kind::kAffine || b.kind == Scev::Kind::kAffine) {
+          if ((a.kind == Scev::Kind::kAffine || a.kind == Scev::Kind::kConst) &&
+              (b.kind == Scev::Kind::kAffine || b.kind == Scev::Kind::kConst)) {
+            return Scev{Scev::Kind::kAffine, a.coeff + sign * b.coeff, nullptr};
+          }
+        }
+        if (a.kind == Scev::Kind::kConst && b.kind == Scev::Kind::kConst) {
+          return Scev{Scev::Kind::kConst, 0, nullptr};
+        }
+        if (a.kind == Scev::Kind::kFromLoad || b.kind == Scev::Kind::kFromLoad) {
+          const Scev& l = a.kind == Scev::Kind::kFromLoad ? a : b;
+          return Scev{Scev::Kind::kFromLoad, 0, l.src_load};
+        }
+        if (a.kind == Scev::Kind::kFromLocal || b.kind == Scev::Kind::kFromLocal) {
+          return Scev{Scev::Kind::kFromLocal, 0, nullptr};
+        }
+        return Scev{};
+      }
+      case ir::OpKind::kMul: {
+        const Scev a = Analyze(d.operands[0], depth + 1);
+        const Scev b = Analyze(d.operands[1], depth + 1);
+        int64_t c = 0;
+        if (a.kind == Scev::Kind::kAffine && ConstOf(d.operands[1], &c)) {
+          return Scev{Scev::Kind::kAffine, a.coeff * c, nullptr};
+        }
+        if (b.kind == Scev::Kind::kAffine && ConstOf(d.operands[0], &c)) {
+          return Scev{Scev::Kind::kAffine, b.coeff * c, nullptr};
+        }
+        if (a.kind == Scev::Kind::kConst && b.kind == Scev::Kind::kConst) {
+          return Scev{Scev::Kind::kConst, 0, nullptr};
+        }
+        if (a.kind == Scev::Kind::kFromLoad || b.kind == Scev::Kind::kFromLoad) {
+          const Scev& l = a.kind == Scev::Kind::kFromLoad ? a : b;
+          return Scev{Scev::Kind::kFromLoad, 0, l.src_load};
+        }
+        return Scev{};
+      }
+      case ir::OpKind::kRem:
+      case ir::OpKind::kDiv:
+      case ir::OpKind::kMin:
+      case ir::OpKind::kMax:
+      case ir::OpKind::kAnd:
+      case ir::OpKind::kShr:
+      case ir::OpKind::kShl: {
+        // Conservative: propagate load provenance, else unknown unless both
+        // invariant.
+        const Scev a = Analyze(d.operands[0], depth + 1);
+        const Scev b = Analyze(d.operands[1], depth + 1);
+        if (a.kind == Scev::Kind::kConst && b.kind == Scev::Kind::kConst) {
+          return Scev{Scev::Kind::kConst, 0, nullptr};
+        }
+        if (a.kind == Scev::Kind::kFromLoad) {
+          return Scev{Scev::Kind::kFromLoad, 0, a.src_load};
+        }
+        if (b.kind == Scev::Kind::kFromLoad) {
+          return Scev{Scev::Kind::kFromLoad, 0, b.src_load};
+        }
+        return Scev{};
+      }
+      case ir::OpKind::kLoad:
+      case ir::OpKind::kRmemLoad:
+        return Scev{Scev::Kind::kFromLoad, 0, &d};
+      case ir::OpKind::kLocalLoad:
+        return Scev{Scev::Kind::kFromLocal, 0, nullptr};
+      case ir::OpKind::kF2I:
+      case ir::OpKind::kI2F:
+      case ir::OpKind::kSelect: {
+        const Scev a = Analyze(d.operands[d.kind == ir::OpKind::kSelect ? 1 : 0], depth + 1);
+        return a;
+      }
+      default:
+        return Scev{};
+    }
+  }
+
+  std::set<std::string> ObjectsOf(uint32_t id) const {
+    const auto it = bindings_.find(id);
+    return it == bindings_.end() ? std::set<std::string>{} : it->second;
+  }
+
+  void Classify(const ir::Instr& access) {
+    MemAccessInfo info;
+    info.instr = &access;
+    info.is_store =
+        access.kind == ir::OpKind::kStore || access.kind == ir::OpKind::kRmemStore;
+    info.bytes = access.mem.bytes;
+    info.loop_depth = static_cast<int>(loops_.size());
+    if (!loops_.empty()) {
+      info.loop_body = loops_.back().body;
+      info.loop_body_ops = CountOps(*loops_.back().body);
+    }
+    const uint32_t addr_id = access.operands[0];
+    info.objects = ObjectsOf(addr_id);
+    const auto def_it = defs_.find(addr_id);
+    const ir::Instr* addr_def = def_it == defs_.end() ? nullptr : def_it->second;
+    if (addr_def != nullptr && addr_def->kind == ir::OpKind::kIndex) {
+      info.elem_bytes = static_cast<uint32_t>(std::abs(addr_def->i_attr));
+      info.field_offset = addr_def->i_attr2;
+      if (info.objects.empty()) {
+        info.objects = ObjectsOf(addr_def->operands[0]);
+      }
+      const Scev idx = Analyze(addr_def->operands[1], 0);
+      const int64_t step = loops_.empty() ? 1 : loops_.back().step;
+      switch (idx.kind) {
+        case Scev::Kind::kAffine: {
+          info.stride_bytes = idx.coeff * step * addr_def->i_attr;
+          const int64_t elem = addr_def->i_attr;
+          info.pattern = (info.stride_bytes == elem) ? AccessPattern::kSequential
+                                                     : AccessPattern::kStrided;
+          if (info.stride_bytes == 0) {
+            info.pattern = AccessPattern::kUnknown;  // invariant address
+          }
+          break;
+        }
+        case Scev::Kind::kFromLoad:
+          info.pattern = AccessPattern::kIndirect;
+          if (idx.src_load != nullptr) {
+            const auto src_def = defs_.find(idx.src_load->operands[0]);
+            if (src_def != defs_.end() && src_def->second->kind == ir::OpKind::kIndex) {
+              info.index_source_objects = ObjectsOf(src_def->second->operands[0]);
+            } else {
+              info.index_source_objects = ObjectsOf(idx.src_load->operands[0]);
+            }
+          }
+          break;
+        case Scev::Kind::kFromLocal:
+        case Scev::Kind::kConst:
+        case Scev::Kind::kOther:
+          info.pattern = AccessPattern::kUnknown;
+          break;
+      }
+    } else if (addr_def != nullptr &&
+               (addr_def->kind == ir::OpKind::kLoad ||
+                addr_def->kind == ir::OpKind::kRmemLoad)) {
+      info.pattern = AccessPattern::kPointerChase;
+    } else {
+      info.pattern = AccessPattern::kUnknown;
+    }
+    for (const auto& o : info.objects) {
+      out_->touched_objects.insert(o);
+    }
+    out_->accesses.push_back(std::move(info));
+  }
+
+  void Walk(const ir::Region& region) {
+    for (const auto& instr : region.body) {
+      if (ir::IsMemoryAccess(instr.kind)) {
+        Classify(instr);
+      }
+      if (instr.kind == ir::OpKind::kFor) {
+        LoopCtx ctx;
+        ctx.loop = &instr;
+        ctx.iv = instr.regions[0].args[0];
+        int64_t step = 1;
+        if (!ConstOf(instr.operands[2], &step)) {
+          step = 1;
+        }
+        ctx.step = step;
+        ctx.body = &instr.regions[0];
+        loops_.push_back(ctx);
+        Walk(instr.regions[0]);
+        loops_.pop_back();
+      } else {
+        for (const auto& sub : instr.regions) {
+          Walk(sub);
+        }
+      }
+    }
+  }
+
+  const ir::Function& func_;
+  const std::map<uint32_t, std::set<std::string>>& bindings_;
+  FunctionAccessInfo* out_;
+  std::map<uint32_t, const ir::Instr*> defs_;
+  std::vector<LoopCtx> loops_;
+};
+
+}  // namespace
+
+void AccessAnalysis::BindPointers() {
+  // Fixpoint forward dataflow. Within a function: alloc/result propagation;
+  // across calls: argument bindings flow into parameter bindings.
+  bool changed = true;
+  int rounds = 0;
+  while (changed && rounds < 32) {
+    changed = false;
+    ++rounds;
+    for (const auto& f : module_->functions) {
+      auto& b = bindings_[f->name];
+      std::function<void(const ir::Region&)> walk = [&](const ir::Region& region) {
+        for (const auto& instr : region.body) {
+          if (instr.kind == ir::OpKind::kAlloc) {
+            auto& dst = b[instr.result];
+            if (dst.insert(instr.s_attr).second) {
+              changed = true;
+            }
+          } else if (instr.kind == ir::OpKind::kIndex ||
+                     instr.kind == ir::OpKind::kSelect) {
+            // Propagate from ptr operands to result.
+            for (const uint32_t op : instr.operands) {
+              if (f->ValueType(op) == ir::Type::kPtr) {
+                for (const auto& label : b[op]) {
+                  if (b[instr.result].insert(label).second) {
+                    changed = true;
+                  }
+                }
+              }
+            }
+          } else if (instr.kind == ir::OpKind::kCall ||
+                     instr.kind == ir::OpKind::kOffloadCall) {
+            const ir::Function& callee = *module_->functions[instr.callee];
+            auto& cb = bindings_[callee.name];
+            for (size_t i = 0; i < instr.operands.size(); ++i) {
+              if (callee.param_types[i] == ir::Type::kPtr) {
+                for (const auto& label : b[instr.operands[i]]) {
+                  if (cb[callee.params[i]].insert(label).second) {
+                    changed = true;
+                  }
+                }
+              }
+            }
+          }
+          for (const auto& sub : instr.regions) {
+            walk(sub);
+          }
+        }
+      };
+      walk(f->body);
+    }
+  }
+}
+
+void AccessAnalysis::ClassifyFunction(const ir::Function& func) {
+  FunctionClassifier(func, bindings_[func.name], &infos_[func.name]).Run();
+}
+
+void AccessAnalysis::Run() {
+  BindPointers();
+  for (const auto& f : module_->functions) {
+    ClassifyFunction(*f);
+  }
+}
+
+const FunctionAccessInfo& AccessAnalysis::ForFunction(const std::string& name) const {
+  const auto it = infos_.find(name);
+  if (it != infos_.end()) {
+    return it->second;
+  }
+  static const FunctionAccessInfo kEmpty;
+  return kEmpty;
+}
+
+const std::map<uint32_t, std::set<std::string>>& AccessAnalysis::Bindings(
+    const std::string& name) const {
+  const auto it = bindings_.find(name);
+  if (it != bindings_.end()) {
+    return it->second;
+  }
+  static const std::map<uint32_t, std::set<std::string>> kEmpty;
+  return kEmpty;
+}
+
+ObjectBehavior AccessAnalysis::Summarize(const std::string& object,
+                                         const std::set<std::string>& functions) const {
+  ObjectBehavior behavior;
+  behavior.label = object;
+  // Pattern priority: an object accessed sequentially somewhere but
+  // indirectly elsewhere is dominated by the "harder" pattern. kUnknown
+  // (e.g., data-dependent cursors, random indices) outranks the contiguous
+  // patterns — a cold sequential init loop must not mask a hot random
+  // consumer — but not the indirect/pointer-chase patterns, which already
+  // get conflict-tolerant structures plus runahead prefetch.
+  auto rank = [](AccessPattern p) {
+    switch (p) {
+      case AccessPattern::kSequential:
+        return 0;
+      case AccessPattern::kStrided:
+        return 1;
+      case AccessPattern::kUnknown:
+        return 2;
+      case AccessPattern::kIndirect:
+        return 3;
+      case AccessPattern::kPointerChase:
+        return 4;
+    }
+    return 4;
+  };
+  bool have_pattern = false;
+  for (const auto& [fname, info] : infos_) {
+    if (!functions.empty() && functions.find(fname) == functions.end()) {
+      continue;
+    }
+    for (const auto& a : info.accesses) {
+      if (a.objects.find(object) == a.objects.end()) {
+        continue;
+      }
+      if (!a.is_store) {
+        behavior.has_reads = true;
+      } else {
+        behavior.has_writes = true;
+      }
+      // The hardest pattern (by the ranking above) dominates.
+      if (!have_pattern || rank(a.pattern) > rank(behavior.pattern)) {
+        behavior.pattern = a.pattern;
+        behavior.stride_bytes = a.stride_bytes;
+        have_pattern = true;
+      }
+      if (a.elem_bytes > behavior.elem_bytes) {
+        behavior.elem_bytes = a.elem_bytes;
+      }
+      auto& len = behavior.fields[a.field_offset];
+      len = std::max(len, a.bytes);
+      behavior.loop_body_ops = std::max(behavior.loop_body_ops, a.loop_body_ops);
+    }
+  }
+  return behavior;
+}
+
+}  // namespace mira::analysis

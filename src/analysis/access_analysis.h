@@ -1,0 +1,114 @@
+// Static analysis of memory-access behavior (paper §4.2, §5.2.2).
+//
+// Combines:
+//   - abstract pointer binding: a forward interprocedural dataflow that maps
+//     every ptr-typed SSA value to the set of allocation-site labels it may
+//     point to (the paper's SSA lattice analysis + type-based aliasing);
+//   - scalar evolution on index expressions relative to the innermost
+//     enclosing loop, yielding the classic patterns the compiler keys on:
+//     SEQUENTIAL, STRIDED, INDIRECT (B[A[i]]), POINTER_CHASE (addresses
+//     loaded from memory), UNKNOWN;
+//   - per-access granularity: element size and field (offset,len) within
+//     the element, which powers selective transmission (§4.5).
+
+#ifndef MIRA_SRC_ANALYSIS_ACCESS_ANALYSIS_H_
+#define MIRA_SRC_ANALYSIS_ACCESS_ANALYSIS_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/ir/ir.h"
+
+namespace mira::analysis {
+
+enum class AccessPattern {
+  kSequential,    // unit-element stride in the innermost loop
+  kStrided,       // constant non-unit stride
+  kIndirect,      // index loaded from another object (B[A[i]])
+  kPointerChase,  // address itself loaded from memory
+  kUnknown,       // accumulator-driven or otherwise unanalyzable
+};
+
+const char* AccessPatternName(AccessPattern p);
+
+struct MemAccessInfo {
+  const ir::Instr* instr = nullptr;
+  bool is_store = false;
+  uint32_t bytes = 0;
+  AccessPattern pattern = AccessPattern::kUnknown;
+  // Byte distance between consecutive innermost-loop iterations (signed).
+  int64_t stride_bytes = 0;
+  // Possible target objects (allocation-site labels); empty if unknown.
+  std::set<std::string> objects;
+  // For kIndirect: the object the index was loaded from.
+  std::set<std::string> index_source_objects;
+  // Element layout, from the kIndex feeding the access.
+  uint32_t elem_bytes = 0;    // |scale| of the index op (0 if no index op)
+  int64_t field_offset = 0;   // byte offset within the element
+  int loop_depth = 0;         // 0 = not in any loop
+  // Estimated cost of one innermost-loop iteration in IR ops (for prefetch
+  // distance: one network round trip of work ahead, §4.5).
+  uint64_t loop_body_ops = 0;
+  // Instruction count of the innermost loop's body region.
+  const ir::Region* loop_body = nullptr;
+};
+
+struct FunctionAccessInfo {
+  std::vector<MemAccessInfo> accesses;
+
+  // Aggregate: all objects this function touches.
+  std::set<std::string> touched_objects;
+};
+
+// Per-object aggregated behavior over a set of analyzed functions: the
+// input to cache-section configuration (§4.2 "group similar patterns into
+// one section").
+struct ObjectBehavior {
+  std::string label;
+  AccessPattern pattern = AccessPattern::kUnknown;
+  int64_t stride_bytes = 0;
+  uint32_t elem_bytes = 8;
+  bool has_reads = false;
+  bool has_writes = false;
+  // Distinct element fields touched: offset → max length.
+  std::map<int64_t, uint32_t> fields;
+  uint64_t loop_body_ops = 0;
+
+  // Fraction of each element actually accessed (selective transmission).
+  double AccessedFraction() const;
+};
+
+class AccessAnalysis {
+ public:
+  explicit AccessAnalysis(const ir::Module* module) : module_(module) {}
+
+  // Runs the interprocedural pointer binding, then classifies every memory
+  // access in every function.
+  void Run();
+
+  const FunctionAccessInfo& ForFunction(const std::string& name) const;
+
+  // Aggregates behavior of `object` over the given functions (empty set =
+  // all functions).
+  ObjectBehavior Summarize(const std::string& object,
+                           const std::set<std::string>& functions) const;
+
+  // Pointer bindings of function `name`: value id → labels.
+  const std::map<uint32_t, std::set<std::string>>& Bindings(const std::string& name) const;
+
+ private:
+  void BindPointers();
+  void ClassifyFunction(const ir::Function& func);
+
+  const ir::Module* module_;
+  std::map<std::string, std::map<uint32_t, std::set<std::string>>> bindings_;
+  std::map<std::string, FunctionAccessInfo> infos_;
+  std::map<std::string, FunctionAccessInfo> empty_;
+};
+
+}  // namespace mira::analysis
+
+#endif  // MIRA_SRC_ANALYSIS_ACCESS_ANALYSIS_H_

@@ -1,0 +1,99 @@
+#include "src/analysis/lifetime.h"
+
+namespace mira::analysis {
+
+void LifetimeAnalysis::CollectTouchedRegion(const ir::Function& func, const ir::Region& region,
+                                            std::set<std::string>* out, int depth) const {
+  for (const auto& instr : region.body) {
+    CollectTouched(func, instr, out, depth);
+  }
+}
+
+void LifetimeAnalysis::CollectTouched(const ir::Function& func, const ir::Instr& instr,
+                                      std::set<std::string>* out, int depth) const {
+  if (depth > 16) {
+    return;
+  }
+  if (instr.kind == ir::OpKind::kAlloc) {
+    out->insert(instr.s_attr);
+  }
+  if (ir::IsMemoryAccess(instr.kind)) {
+    const auto& binds = access_->Bindings(func.name);
+    const auto it = binds.find(instr.operands[0]);
+    if (it != binds.end()) {
+      out->insert(it->second.begin(), it->second.end());
+    }
+    // Also resolve through the defining kIndex (binding may be on the base).
+  }
+  if (instr.kind == ir::OpKind::kCall || instr.kind == ir::OpKind::kOffloadCall) {
+    // Argument-aware: the callee can only touch what its pointer arguments
+    // reach at THIS call site, plus objects it allocates itself (directly
+    // or via nested calls). Using the callee's context-insensitive touched
+    // set would merge lifetimes of every object ever passed to it.
+    const ir::Function& callee = *module_->functions[instr.callee];
+    const auto& caller_binds = access_->Bindings(func.name);
+    for (const uint32_t arg : instr.operands) {
+      const auto it = caller_binds.find(arg);
+      if (it != caller_binds.end()) {
+        out->insert(it->second.begin(), it->second.end());
+      }
+    }
+    CollectCalleeAllocs(callee, out, depth + 1);
+  }
+  for (const auto& sub : instr.regions) {
+    CollectTouchedRegion(func, sub, out, depth);
+  }
+}
+
+void LifetimeAnalysis::CollectCalleeAllocs(const ir::Function& callee,
+                                           std::set<std::string>* out, int depth) const {
+  if (depth > 16) {
+    return;
+  }
+  ir::WalkInstrs(callee.body, [&](const ir::Instr& instr) {
+    if (instr.kind == ir::OpKind::kAlloc) {
+      out->insert(instr.s_attr);
+    }
+    if (instr.kind == ir::OpKind::kCall || instr.kind == ir::OpKind::kOffloadCall) {
+      CollectCalleeAllocs(*module_->functions[instr.callee], out, depth + 1);
+    }
+  });
+}
+
+void LifetimeAnalysis::Run(const std::string& root) {
+  lifetimes_.clear();
+  const ir::Function* func = module_->FindFunction(root);
+  MIRA_CHECK_MSG(func != nullptr, "lifetime root function not found");
+  statement_count_ = static_cast<int>(func->body.body.size());
+  for (int stmt = 0; stmt < statement_count_; ++stmt) {
+    std::set<std::string> touched;
+    CollectTouched(*func, func->body.body[static_cast<size_t>(stmt)], &touched, 0);
+    for (const auto& obj : touched) {
+      auto& lt = lifetimes_[obj];
+      if (lt.first_stmt < 0) {
+        lt.first_stmt = stmt;
+      }
+      lt.last_stmt = stmt;
+    }
+  }
+  for (auto& [obj, lt] : lifetimes_) {
+    lt.read_only = !access_->Summarize(obj, {}).has_writes;
+  }
+}
+
+std::set<std::string> LifetimeAnalysis::LiveAt(int stmt) const {
+  std::set<std::string> live;
+  for (const auto& [obj, lt] : lifetimes_) {
+    if (lt.first_stmt <= stmt && stmt <= lt.last_stmt) {
+      live.insert(obj);
+    }
+  }
+  return live;
+}
+
+bool LifetimeAnalysis::StmtWrites(const ir::Function& func, const ir::Instr& instr,
+                                  const std::string& obj, int depth) const {
+  return false;  // reserved for finer-grained writeback elision
+}
+
+}  // namespace mira::analysis

@@ -1,0 +1,71 @@
+// Lifetime analysis (paper §4.2 "we use lifetime analysis to determine when
+// to start and end a section", §5.2.2).
+//
+// For a chosen root function (the program's driver), objects' lifetimes are
+// expressed as intervals over the sequence of *top-level statements* of that
+// function's body — a loop nest or a call counts as one statement. The
+// interval of an object starts at the first statement that may touch it and
+// ends at the last. These phases feed:
+//   - kLifetimeEnd insertion (release a section the moment its data dies);
+//   - the ILP section-sizing constraint "at any time, the total size of
+//     live sections fits in local memory" (§4.3).
+
+#ifndef MIRA_SRC_ANALYSIS_LIFETIME_H_
+#define MIRA_SRC_ANALYSIS_LIFETIME_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+
+#include "src/analysis/access_analysis.h"
+#include "src/ir/ir.h"
+
+namespace mira::analysis {
+
+struct ObjectLifetime {
+  int first_stmt = -1;
+  int last_stmt = -1;
+  // The object is only read after `last_write_stmt` (safe to discard
+  // instead of writing back when releasing past that point).
+  bool read_only = false;
+
+  bool OverlapsWith(const ObjectLifetime& other) const {
+    return first_stmt <= other.last_stmt && other.first_stmt <= last_stmt;
+  }
+};
+
+class LifetimeAnalysis {
+ public:
+  LifetimeAnalysis(const ir::Module* module, const AccessAnalysis* access)
+      : module_(module), access_(access) {}
+
+  // Computes lifetimes of all objects w.r.t. `root`'s top-level statements.
+  void Run(const std::string& root);
+
+  const std::map<std::string, ObjectLifetime>& lifetimes() const { return lifetimes_; }
+  int statement_count() const { return statement_count_; }
+
+  // Objects live during top-level statement `stmt`.
+  std::set<std::string> LiveAt(int stmt) const;
+
+ private:
+  // All objects possibly touched by a statement (including through calls).
+  void CollectTouched(const ir::Function& func, const ir::Instr& instr,
+                      std::set<std::string>* out, int depth) const;
+  void CollectTouchedRegion(const ir::Function& func, const ir::Region& region,
+                            std::set<std::string>* out, int depth) const;
+  void CollectCalleeAllocs(const ir::Function& callee, std::set<std::string>* out,
+                           int depth) const;
+  bool StmtWrites(const ir::Function& func, const ir::Instr& instr, const std::string& obj,
+                  int depth) const;
+
+  const ir::Module* module_;
+  const AccessAnalysis* access_;
+  std::map<std::string, ObjectLifetime> lifetimes_;
+  int statement_count_ = 0;
+};
+
+}  // namespace mira::analysis
+
+#endif  // MIRA_SRC_ANALYSIS_LIFETIME_H_

@@ -1,0 +1,95 @@
+#include "src/analysis/offload_cost.h"
+
+#include <functional>
+
+namespace mira::analysis {
+
+namespace {
+
+// Rough dynamic-cost weights: a loop multiplies its body by the constant
+// trip count when known, else by a default.
+constexpr uint64_t kDefaultTrip = 64;
+
+struct StaticCounts {
+  uint64_t ops = 0;
+  uint64_t accesses = 0;
+};
+
+void CountRegion(const ir::Region& region, uint64_t mult, StaticCounts* out,
+                 const std::map<uint32_t, int64_t>& consts) {
+  for (const auto& instr : region.body) {
+    if (ir::IsMemoryAccess(instr.kind)) {
+      out->accesses += mult;
+    } else {
+      out->ops += mult;
+    }
+    if (instr.kind == ir::OpKind::kFor) {
+      uint64_t trip = kDefaultTrip;
+      const auto lo = consts.find(instr.operands[0]);
+      const auto hi = consts.find(instr.operands[1]);
+      if (lo != consts.end() && hi != consts.end() && hi->second > lo->second) {
+        trip = static_cast<uint64_t>(hi->second - lo->second);
+      }
+      CountRegion(instr.regions[0], mult * trip, out, consts);
+    } else {
+      for (const auto& sub : instr.regions) {
+        CountRegion(sub, mult, out, consts);
+      }
+    }
+  }
+}
+
+void CollectConsts(const ir::Region& region, std::map<uint32_t, int64_t>* consts) {
+  for (const auto& instr : region.body) {
+    if (instr.kind == ir::OpKind::kConstI) {
+      (*consts)[instr.result] = instr.i_attr;
+    }
+    for (const auto& sub : instr.regions) {
+      CollectConsts(sub, consts);
+    }
+  }
+}
+
+bool HasCalls(const ir::Region& region) {
+  bool found = false;
+  ir::WalkInstrs(region, [&](const ir::Instr& i) {
+    if (i.kind == ir::OpKind::kCall || i.kind == ir::OpKind::kOffloadCall ||
+        i.kind == ir::OpKind::kAlloc) {
+      found = true;
+    }
+  });
+  return found;
+}
+
+}  // namespace
+
+void OffloadCostAnalysis::Run(const std::map<std::string, uint64_t>& profiled_traffic) {
+  for (const auto& f : module_->functions) {
+    OffloadEstimate est;
+    // Structural candidacy (§5.2.1): leaf functions that access remotable
+    // objects / own locals only — no nested calls, no allocation.
+    est.candidate = !f->body.body.empty() && !HasCalls(f->body);
+    std::map<uint32_t, int64_t> consts;
+    CollectConsts(f->body, &consts);
+    StaticCounts counts;
+    CountRegion(f->body, 1, &counts, consts);
+    est.compute_ops = counts.ops;
+    est.mem_accesses = counts.accesses;
+    const auto it = profiled_traffic.find(f->name);
+    est.local_traffic_bytes =
+        it != profiled_traffic.end() ? it->second : counts.accesses * 64;
+    // Local cost ≈ traffic transfer + per-line RTT amortization (already in
+    // traffic via profiling); remote cost ≈ compute slowdown + RPC.
+    const int64_t local_ns = static_cast<int64_t>(cost_.TransferNs(est.local_traffic_bytes)) +
+                             static_cast<int64_t>(est.compute_ops * cost_.compute_op_ns);
+    const int64_t remote_ns =
+        static_cast<int64_t>(static_cast<double>(est.compute_ops * cost_.compute_op_ns) *
+                             cost_.remote_compute_slowdown) +
+        static_cast<int64_t>(cost_.rdma_rtt_ns + cost_.rpc_dispatch_ns) +
+        static_cast<int64_t>(est.mem_accesses * cost_.native_access_ns);
+    est.benefit_ns = local_ns - remote_ns;
+    estimates_[f->name] = est;
+  }
+}
+
+}  // namespace mira::analysis

@@ -1,0 +1,53 @@
+// Offload-candidate analysis (paper §4.8): which functions are worth
+// running on the far-memory node. A function is a candidate if it has no
+// shared writable data with concurrent threads (we analyze single-threaded
+// programs here, so: any function that only touches remotable objects and
+// its own locals). The decision weighs local execution (network transfers
+// for the data it touches) against remote execution (slower far-node CPU +
+// one RPC round trip).
+
+#ifndef MIRA_SRC_ANALYSIS_OFFLOAD_COST_H_
+#define MIRA_SRC_ANALYSIS_OFFLOAD_COST_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "src/analysis/access_analysis.h"
+#include "src/ir/ir.h"
+#include "src/sim/cost_model.h"
+
+namespace mira::analysis {
+
+struct OffloadEstimate {
+  bool candidate = false;     // structurally offloadable
+  uint64_t compute_ops = 0;   // static op count (× trip estimates)
+  uint64_t mem_accesses = 0;  // static access count (× trip estimates)
+  // Profiled (or estimated) bytes moved if executed locally.
+  uint64_t local_traffic_bytes = 0;
+  // Expected benefit in ns (>0 ⇒ offload).
+  int64_t benefit_ns = 0;
+};
+
+class OffloadCostAnalysis {
+ public:
+  OffloadCostAnalysis(const ir::Module* module, const AccessAnalysis* access,
+                      const sim::CostModel& cost)
+      : module_(module), access_(access), cost_(cost) {}
+
+  // `profiled_traffic`: per-function bytes fetched from far memory during
+  // the profiling run (0 if unknown → static estimate).
+  void Run(const std::map<std::string, uint64_t>& profiled_traffic);
+
+  const std::map<std::string, OffloadEstimate>& estimates() const { return estimates_; }
+
+ private:
+  const ir::Module* module_;
+  const AccessAnalysis* access_;
+  const sim::CostModel& cost_;
+  std::map<std::string, OffloadEstimate> estimates_;
+};
+
+}  // namespace mira::analysis
+
+#endif  // MIRA_SRC_ANALYSIS_OFFLOAD_COST_H_

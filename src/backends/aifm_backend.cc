@@ -1,0 +1,85 @@
+#include "src/backends/aifm_backend.h"
+
+#include <algorithm>
+
+#include "src/support/str.h"
+
+namespace mira::backends {
+
+support::Result<farmem::RemoteAddr> AifmBackend::Alloc(sim::SimClock& clk, uint64_t bytes,
+                                                       std::string_view label,
+                                                       uint32_t elem_bytes) {
+  auto result = Backend::Alloc(clk, bytes, label, elem_bytes);
+  if (!result.ok()) {
+    return result;
+  }
+  // One remoteable pointer per data item (paper §6.1: AIFM "requires a
+  // significant amount of metadata for their remotable pointers, which
+  // reduces the local memory space usable by actual data").
+  const uint64_t elems = bytes / std::max<uint32_t>(1, elem_bytes);
+  metadata_bytes_ += elems * cost().aifm_meta_bytes_per_ptr;
+  if (usable_bytes() < kChunkBytes) {
+    failed_ = true;
+    return support::Status::OutOfMemory(support::StrFormat(
+        "AIFM pointer metadata (%s) exceeds local memory (%s)",
+        support::HumanBytes(metadata_bytes_).c_str(),
+        support::HumanBytes(local_bytes_).c_str()));
+  }
+  section_.reset();  // budget changed; rebuild lazily
+  return result;
+}
+
+void AifmBackend::EnsureSection() {
+  if (section_ != nullptr) {
+    return;
+  }
+  cache::SectionConfig config;
+  config.name = "aifm-object-cache";
+  config.structure = cache::SectionStructure::kFullyAssociative;
+  config.line_bytes = kChunkBytes;
+  config.size_bytes = std::max<uint64_t>(kChunkBytes, usable_bytes());
+  section_ = cache::MakeSection(config, net_);
+}
+
+void AifmBackend::AccessImpl(sim::SimClock& clk, farmem::RemoteAddr addr, uint32_t len,
+                             bool write) {
+  MIRA_CHECK_MSG(!failed_, "AIFM backend already failed (metadata OOM)");
+  EnsureSection();
+  // Per-dereference runtime cost (dereference scope + remote-bit check).
+  clk.Advance(cost().aifm_deref_ns);
+  // Charge the user-space miss path on top of the fetch when missing.
+  const uint64_t misses_before = section_->stats().lines.misses;
+  section_->Access(clk, addr, len, write);
+  if (section_->stats().lines.misses > misses_before) {
+    clk.Advance(cost().aifm_miss_cpu_ns);
+  }
+  // Library-level sequential prefetch inside the object's chunked array.
+  const ObjectInfo* obj = FindObject(addr);
+  if (obj != nullptr) {
+    StreamState& st = streams_[obj->addr];
+    const uint64_t line = addr / kChunkBytes;
+    if (st.last_line != UINT64_MAX && line == st.last_line + 1) {
+      st.streak = std::min<uint32_t>(st.streak + 1, 8);
+      const uint64_t obj_end = obj->addr + obj->bytes;
+      const uint64_t pf_base = (line + 1) * kChunkBytes;
+      const uint32_t pf_lines = st.streak;
+      if (pf_base < obj_end) {
+        const uint32_t span = static_cast<uint32_t>(
+            std::min<uint64_t>(static_cast<uint64_t>(pf_lines) * kChunkBytes,
+                               obj_end - pf_base));
+        section_->Prefetch(clk, pf_base, span);
+      }
+    } else if (line != st.last_line) {
+      st.streak = 0;
+    }
+    st.last_line = line;
+  }
+}
+
+void AifmBackend::Drain(sim::SimClock& clk) {
+  if (section_ != nullptr) {
+    section_->Release(clk);
+  }
+}
+
+}  // namespace mira::backends

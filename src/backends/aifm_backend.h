@@ -1,0 +1,77 @@
+// AIFM baseline [Ruan et al., OSDI'20]: application-integrated far memory
+// with a remoteable-pointer programming model, as characterized by the Mira
+// paper's comparison:
+//   - every dereference of a remoteable pointer pays a runtime cost (scope
+//     registration, remote-bit check) that cannot be elided, because AIFM
+//     has no program analysis;
+//   - each remoteable pointer carries metadata (~16 B) that consumes local
+//     memory usable for data — enough to make AIFM fail outright on MCF
+//     below full memory (paper Fig 18);
+//   - objects are fetched whole at the library-chosen chunk granularity,
+//     with library-level sequential prefetching inside its array library;
+//   - misses take a user-space (not kernel) path.
+
+#ifndef MIRA_SRC_BACKENDS_AIFM_BACKEND_H_
+#define MIRA_SRC_BACKENDS_AIFM_BACKEND_H_
+
+#include <memory>
+#include <unordered_map>
+
+#include "src/backends/backend.h"
+#include "src/cache/section.h"
+
+namespace mira::backends {
+
+class AifmBackend : public Backend {
+ public:
+  static constexpr uint32_t kChunkBytes = 4096;  // AIFM array-lib chunk
+
+  AifmBackend(farmem::FarMemoryNode* node, net::Transport* net, uint64_t local_bytes)
+      : Backend(node, net, local_bytes) {}
+
+  std::string_view name() const override { return "aifm"; }
+
+  // Tracks per-pointer metadata; fails with kOutOfMemory once metadata
+  // leaves less than one chunk of usable local memory.
+  support::Result<farmem::RemoteAddr> Alloc(sim::SimClock& clk, uint64_t bytes,
+                                            std::string_view label,
+                                            uint32_t elem_bytes) override;
+
+  void Load(sim::SimClock& clk, farmem::RemoteAddr addr, uint32_t len,
+            const AccessHints& hints) override {
+    AccessImpl(clk, addr, len, /*write=*/false);
+  }
+  void Store(sim::SimClock& clk, farmem::RemoteAddr addr, uint32_t len,
+             const AccessHints& hints) override {
+    AccessImpl(clk, addr, len, /*write=*/true);
+  }
+  void Drain(sim::SimClock& clk) override;
+
+  uint64_t metadata_bytes() const { return metadata_bytes_; }
+  uint64_t usable_bytes() const {
+    return metadata_bytes_ >= local_bytes_ ? 0 : local_bytes_ - metadata_bytes_;
+  }
+  bool failed() const { return failed_; }
+  const cache::SectionStats* section_stats() const {
+    return section_ ? &section_->stats() : nullptr;
+  }
+
+ private:
+  void AccessImpl(sim::SimClock& clk, farmem::RemoteAddr addr, uint32_t len, bool write);
+  // (Re)builds the object cache sized to the metadata-reduced budget.
+  void EnsureSection();
+
+  std::unique_ptr<cache::Section> section_;
+  uint64_t metadata_bytes_ = 0;
+  bool failed_ = false;
+  // Library-level stream prefetch state per object.
+  struct StreamState {
+    uint64_t last_line = UINT64_MAX;
+    uint32_t streak = 0;
+  };
+  std::unordered_map<farmem::RemoteAddr, StreamState> streams_;
+};
+
+}  // namespace mira::backends
+
+#endif  // MIRA_SRC_BACKENDS_AIFM_BACKEND_H_

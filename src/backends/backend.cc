@@ -1,0 +1,47 @@
+#include "src/backends/backend.h"
+
+namespace mira::backends {
+
+support::Result<farmem::RemoteAddr> Backend::Alloc(sim::SimClock& clk, uint64_t bytes,
+                                                   std::string_view label, uint32_t elem_bytes) {
+  auto addr = node_->AllocRange(bytes);
+  if (!addr.ok()) {
+    return addr.status();
+  }
+  ObjectInfo info;
+  info.label = std::string(label);
+  info.addr = addr.value();
+  info.bytes = bytes;
+  info.elem_bytes = elem_bytes == 0 ? 64 : elem_bytes;
+  objects_[addr.value()] = std::move(info);
+  return addr.take();
+}
+
+void Backend::Free(sim::SimClock& clk, farmem::RemoteAddr addr) {
+  auto it = objects_.find(addr);
+  if (it != objects_.end()) {
+    node_->FreeRange(addr, it->second.bytes);
+    objects_.erase(it);
+  }
+}
+
+void Backend::LoadBatch(sim::SimClock& clk,
+                        const std::vector<std::pair<farmem::RemoteAddr, uint32_t>>& accesses) {
+  for (const auto& [addr, len] : accesses) {
+    Load(clk, addr, len, AccessHints{});
+  }
+}
+
+const ObjectInfo* Backend::FindObject(farmem::RemoteAddr addr) const {
+  auto it = objects_.upper_bound(addr);
+  if (it == objects_.begin()) {
+    return nullptr;
+  }
+  --it;
+  if (addr >= it->second.addr && addr < it->second.addr + it->second.bytes) {
+    return &it->second;
+  }
+  return nullptr;
+}
+
+}  // namespace mira::backends

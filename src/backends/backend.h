@@ -1,0 +1,140 @@
+// The far-memory system interface the interpreter executes against.
+//
+// A Backend owns the timing model of one system (Mira, FastSwap, Leap,
+// AIFM, or native local memory). The interpreter performs the data plane
+// itself (write-through to the far arena) and calls the backend once per
+// IR-level memory event for timing and bookkeeping. This separation
+// guarantees all systems compute identical results and differ only in
+// simulated time — which is also how we test them.
+
+#ifndef MIRA_SRC_BACKENDS_BACKEND_H_
+#define MIRA_SRC_BACKENDS_BACKEND_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/farmem/far_memory_node.h"
+#include "src/net/transport.h"
+#include "src/sim/clock.h"
+#include "src/sim/cost_model.h"
+#include "src/support/status.h"
+
+namespace mira::backends {
+
+// Compiler-provided facts about one memory access (Mira only; other
+// systems ignore them — they have no program knowledge).
+struct AccessHints {
+  // Native-load promotion applied (§4.4): proven resident, no conflicts.
+  bool promoted = false;
+  // A store proven to cover whole cache lines (§4.5): skip the fetch.
+  bool full_line_write = false;
+};
+
+// One allocation site, as recorded by profiling (§4.1 collects "allocation
+// sizes of all data objects").
+struct ObjectInfo {
+  std::string label;
+  farmem::RemoteAddr addr = farmem::kNullRemoteAddr;
+  uint64_t bytes = 0;
+  uint32_t elem_bytes = 0;  // element granularity hint (64 if unknown)
+};
+
+class Backend {
+ public:
+  Backend(farmem::FarMemoryNode* node, net::Transport* net, uint64_t local_bytes)
+      : node_(node), net_(net), local_bytes_(local_bytes) {}
+  virtual ~Backend() = default;
+
+  Backend(const Backend&) = delete;
+  Backend& operator=(const Backend&) = delete;
+
+  virtual std::string_view name() const = 0;
+
+  // Allocates a far object. The default implementation allocates from the
+  // node and records the site; subclasses extend bookkeeping.
+  virtual support::Result<farmem::RemoteAddr> Alloc(sim::SimClock& clk, uint64_t bytes,
+                                                    std::string_view label,
+                                                    uint32_t elem_bytes = 8);
+  virtual void Free(sim::SimClock& clk, farmem::RemoteAddr addr);
+
+  // Timing of one load/store of `len` bytes at `addr`.
+  virtual void Load(sim::SimClock& clk, farmem::RemoteAddr addr, uint32_t len,
+                    const AccessHints& hints) = 0;
+  virtual void Store(sim::SimClock& clk, farmem::RemoteAddr addr, uint32_t len,
+                     const AccessHints& hints) = 0;
+
+  // Batched access: default decomposes into individual loads (only Mira
+  // exploits batching).
+  virtual void LoadBatch(sim::SimClock& clk,
+                         const std::vector<std::pair<farmem::RemoteAddr, uint32_t>>& accesses);
+
+  // Compiler-inserted hints; no-ops for systems without program knowledge.
+  virtual void Prefetch(sim::SimClock& clk, farmem::RemoteAddr addr, uint32_t len) {}
+  virtual void EvictHint(sim::SimClock& clk, farmem::RemoteAddr addr, uint32_t len) {}
+  // End of an object's lifetime in its scope (§4.5/§6.2 "end a section as
+  // soon as its lifetime ends").
+  virtual void LifetimeEnd(sim::SimClock& clk, farmem::RemoteAddr addr) {}
+
+  // Pin/unpin for shared-writable multithreading (§4.6).
+  virtual void Pin(sim::SimClock& clk, farmem::RemoteAddr addr, uint32_t len) {}
+  virtual void Unpin(sim::SimClock& clk, farmem::RemoteAddr addr, uint32_t len) {}
+
+  // Whether this backend can execute offloaded functions (Mira only), and
+  // the offload invocation itself: flush + RPC round trip carrying
+  // `req_bytes`/`resp_bytes` with `remote_service_ns` of far-node work.
+  virtual bool SupportsOffload() const { return false; }
+  virtual void OffloadCall(sim::SimClock& clk, uint32_t req_bytes, uint32_t resp_bytes,
+                           uint64_t remote_service_ns) {
+    net_->Rpc(clk, req_bytes, resp_bytes, remote_service_ns);
+  }
+
+  // Finish outstanding work / write back dirty state (end of program).
+  virtual void Drain(sim::SimClock& clk) {}
+
+  // Charge `ops` units of local compute.
+  void Compute(sim::SimClock& clk, uint64_t ops) {
+    clk.Advance(ops * net_->cost().compute_op_ns);
+  }
+
+  farmem::FarMemoryNode* node() { return node_; }
+  net::Transport* net() { return net_; }
+  const sim::CostModel& cost() const { return net_->cost(); }
+  uint64_t local_bytes() const { return local_bytes_; }
+
+  const std::map<farmem::RemoteAddr, ObjectInfo>& objects() const { return objects_; }
+  // The object containing `addr`, or nullptr.
+  const ObjectInfo* FindObject(farmem::RemoteAddr addr) const;
+
+ protected:
+  farmem::FarMemoryNode* node_;
+  net::Transport* net_;
+  uint64_t local_bytes_;
+  std::map<farmem::RemoteAddr, ObjectInfo> objects_;
+};
+
+// Native execution with full local memory: the normalization baseline for
+// every figure ("relative performance normalized over native execution").
+class NativeBackend : public Backend {
+ public:
+  NativeBackend(farmem::FarMemoryNode* node, net::Transport* net)
+      : Backend(node, net, 0) {}
+
+  std::string_view name() const override { return "native"; }
+
+  void Load(sim::SimClock& clk, farmem::RemoteAddr addr, uint32_t len,
+            const AccessHints& hints) override {
+    clk.Advance(cost().native_access_ns);
+  }
+  void Store(sim::SimClock& clk, farmem::RemoteAddr addr, uint32_t len,
+             const AccessHints& hints) override {
+    clk.Advance(cost().native_access_ns);
+  }
+};
+
+}  // namespace mira::backends
+
+#endif  // MIRA_SRC_BACKENDS_BACKEND_H_

@@ -1,0 +1,41 @@
+// FastSwap baseline [Amaro et al., EuroSys'20]: kernel swap over RDMA with
+// an efficient data path and Linux-style sequential readahead. Page
+// granularity, no program knowledge.
+
+#ifndef MIRA_SRC_BACKENDS_FASTSWAP_BACKEND_H_
+#define MIRA_SRC_BACKENDS_FASTSWAP_BACKEND_H_
+
+#include <memory>
+
+#include "src/backends/backend.h"
+#include "src/cache/swap_section.h"
+
+namespace mira::backends {
+
+class FastSwapBackend : public Backend {
+ public:
+  FastSwapBackend(farmem::FarMemoryNode* node, net::Transport* net, uint64_t local_bytes)
+      : Backend(node, net, local_bytes),
+        swap_(local_bytes, net, std::make_unique<cache::ReadaheadPrefetcher>()) {}
+
+  std::string_view name() const override { return "fastswap"; }
+
+  void Load(sim::SimClock& clk, farmem::RemoteAddr addr, uint32_t len,
+            const AccessHints& hints) override {
+    swap_.Access(clk, addr, len, /*write=*/false);
+  }
+  void Store(sim::SimClock& clk, farmem::RemoteAddr addr, uint32_t len,
+             const AccessHints& hints) override {
+    swap_.Access(clk, addr, len, /*write=*/true);
+  }
+  void Drain(sim::SimClock& clk) override { swap_.Release(clk); }
+
+  const cache::SectionStats& swap_stats() const { return swap_.stats(); }
+
+ private:
+  cache::SwapSection swap_;
+};
+
+}  // namespace mira::backends
+
+#endif  // MIRA_SRC_BACKENDS_FASTSWAP_BACKEND_H_

@@ -1,0 +1,44 @@
+// Leap baseline [Al Maruf & Chowdhury, ATC'20]: swap-based far memory with
+// majority-trend prefetching. Uses the same page-swap data path as FastSwap
+// but with Leap's prefetcher and a slower swap implementation (the Mira
+// paper attributes Leap's deficit vs FastSwap to "FastSwap's more efficient
+// data-path implementation in Linux").
+
+#ifndef MIRA_SRC_BACKENDS_LEAP_BACKEND_H_
+#define MIRA_SRC_BACKENDS_LEAP_BACKEND_H_
+
+#include <memory>
+
+#include "src/backends/backend.h"
+#include "src/cache/swap_section.h"
+
+namespace mira::backends {
+
+class LeapBackend : public Backend {
+ public:
+  LeapBackend(farmem::FarMemoryNode* node, net::Transport* net, uint64_t local_bytes)
+      : Backend(node, net, local_bytes),
+        swap_(local_bytes, net, std::make_unique<cache::LeapPrefetcher>(),
+              net->cost().leap_datapath_factor) {}
+
+  std::string_view name() const override { return "leap"; }
+
+  void Load(sim::SimClock& clk, farmem::RemoteAddr addr, uint32_t len,
+            const AccessHints& hints) override {
+    swap_.Access(clk, addr, len, /*write=*/false);
+  }
+  void Store(sim::SimClock& clk, farmem::RemoteAddr addr, uint32_t len,
+             const AccessHints& hints) override {
+    swap_.Access(clk, addr, len, /*write=*/true);
+  }
+  void Drain(sim::SimClock& clk) override { swap_.Release(clk); }
+
+  const cache::SectionStats& swap_stats() const { return swap_.stats(); }
+
+ private:
+  cache::SwapSection swap_;
+};
+
+}  // namespace mira::backends
+
+#endif  // MIRA_SRC_BACKENDS_LEAP_BACKEND_H_

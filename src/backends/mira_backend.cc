@@ -1,0 +1,171 @@
+#include "src/backends/mira_backend.h"
+
+#include <algorithm>
+#include <map>
+
+namespace mira::backends {
+
+MiraBackend::MiraBackend(farmem::FarMemoryNode* node, net::Transport* net,
+                         uint64_t local_bytes, runtime::CachePlan plan)
+    : Backend(node, net, local_bytes), plan_(std::move(plan)), local_alloc_(node, net) {
+  // Carve sections out of local memory; whatever the plan reserves for the
+  // generic swap section (at least one page) takes the rest.
+  uint64_t swap_bytes = plan_.swap_bytes;
+  if (swap_bytes == 0) {
+    const uint64_t used = plan_.SectionBytesTotal();
+    swap_bytes = local_bytes > used ? local_bytes - used : cache::SwapSection::kPageBytes;
+  }
+  auto swap = std::make_unique<cache::SwapSection>(
+      swap_bytes, net, std::make_unique<cache::ReadaheadPrefetcher>());
+  sections_ = std::make_unique<cache::SectionManager>(std::move(swap));
+  for (const auto& config : plan_.sections) {
+    section_ids_.push_back(sections_->AddSection(cache::MakeSection(config, net)));
+  }
+}
+
+support::Result<farmem::RemoteAddr> MiraBackend::Alloc(sim::SimClock& clk, uint64_t bytes,
+                                                       std::string_view label,
+                                                       uint32_t elem_bytes) {
+  // remotable.alloc: local allocator first; refills RPC to the far node.
+  auto result = local_alloc_.Alloc(clk, bytes);
+  if (!result.ok()) {
+    return result;
+  }
+  ObjectInfo info;
+  info.label = std::string(label);
+  info.addr = result.value();
+  info.bytes = bytes;
+  info.elem_bytes = elem_bytes == 0 ? 64 : elem_bytes;
+  objects_[result.value()] = std::move(info);
+  const auto it = plan_.object_to_section.find(std::string(label));
+  if (it != plan_.object_to_section.end()) {
+    MIRA_CHECK(it->second < section_ids_.size());
+    sections_->MapRange(result.value(), bytes, section_ids_[it->second]);
+  }
+  return result;
+}
+
+void MiraBackend::Free(sim::SimClock& clk, farmem::RemoteAddr addr) {
+  const auto it = objects_.find(addr);
+  if (it != objects_.end()) {
+    sections_->UnmapRange(addr);
+    local_alloc_.Free(addr, it->second.bytes);
+    objects_.erase(it);
+  }
+}
+
+void MiraBackend::AccessImpl(sim::SimClock& clk, farmem::RemoteAddr addr, uint32_t len,
+                             bool write, const AccessHints& hints) {
+  const cache::Placement p = sections_->Resolve(addr);
+  if (p.section == nullptr) {
+    sections_->swap()->Access(clk, addr, len, write);
+    return;
+  }
+  if (hints.promoted) {
+    p.section->AccessPromoted(clk, addr, len, write);
+    return;
+  }
+  p.section->Access(clk, addr, len, write, hints.full_line_write && write);
+}
+
+void MiraBackend::Load(sim::SimClock& clk, farmem::RemoteAddr addr, uint32_t len,
+                       const AccessHints& hints) {
+  AccessImpl(clk, addr, len, /*write=*/false, hints);
+}
+
+void MiraBackend::Store(sim::SimClock& clk, farmem::RemoteAddr addr, uint32_t len,
+                        const AccessHints& hints) {
+  AccessImpl(clk, addr, len, /*write=*/true, hints);
+}
+
+void MiraBackend::LoadBatch(
+    sim::SimClock& clk, const std::vector<std::pair<farmem::RemoteAddr, uint32_t>>& accesses) {
+  // Group accesses by section; each section turns its group into a single
+  // scatter-gather fetch. Swap-managed accesses degrade to individual.
+  std::map<cache::Section*, std::vector<std::pair<uint64_t, uint32_t>>> groups;
+  for (const auto& [addr, len] : accesses) {
+    const cache::Placement p = sections_->Resolve(addr);
+    if (p.section == nullptr) {
+      sections_->swap()->Access(clk, addr, len, /*write=*/false);
+    } else {
+      groups[p.section].push_back({addr, len});
+    }
+  }
+  for (auto& [section, group] : groups) {
+    section->AccessBatch(clk, group, /*write=*/false);
+  }
+}
+
+void MiraBackend::Prefetch(sim::SimClock& clk, farmem::RemoteAddr addr, uint32_t len) {
+  const cache::Placement p = sections_->Resolve(addr);
+  if (p.section != nullptr) {
+    p.section->Prefetch(clk, addr, len);
+  }
+}
+
+void MiraBackend::EvictHint(sim::SimClock& clk, farmem::RemoteAddr addr, uint32_t len) {
+  const cache::Placement p = sections_->Resolve(addr);
+  if (p.section != nullptr) {
+    p.section->EvictHint(clk, addr, len);
+  }
+}
+
+void MiraBackend::LifetimeEnd(sim::SimClock& clk, farmem::RemoteAddr addr) {
+  const cache::Placement p = sections_->Resolve(addr);
+  if (p.section == nullptr) {
+    return;
+  }
+  bool discard = false;
+  const ObjectInfo* obj = FindObject(addr);
+  if (obj != nullptr) {
+    const auto it = plan_.discard_on_release.find(obj->label);
+    discard = it != plan_.discard_on_release.end() && it->second;
+  }
+  p.section->Release(clk, discard);
+}
+
+void MiraBackend::Pin(sim::SimClock& clk, farmem::RemoteAddr addr, uint32_t len) {
+  const cache::Placement p = sections_->Resolve(addr);
+  if (p.section != nullptr) {
+    p.section->Pin(addr, len);
+  }
+}
+
+void MiraBackend::Unpin(sim::SimClock& clk, farmem::RemoteAddr addr, uint32_t len) {
+  const cache::Placement p = sections_->Resolve(addr);
+  if (p.section != nullptr) {
+    p.section->Unpin(addr, len);
+  }
+}
+
+void MiraBackend::OffloadCall(sim::SimClock& clk, uint32_t req_bytes, uint32_t resp_bytes,
+                              uint64_t remote_service_ns) {
+  // Flush cached remotable state the offloaded function may read (§4.8;
+  // the compiler narrows this to accessed sections — we flush all dirty
+  // lines, which is what the paper's implementation does per function).
+  for (size_t i = 0; i < section_ids_.size(); ++i) {
+    sections_->section(section_ids_[i])->FlushAll(clk);
+  }
+  net_->Rpc(clk, req_bytes, resp_bytes, remote_service_ns);
+}
+
+void MiraBackend::Drain(sim::SimClock& clk) { sections_->ReleaseAll(clk); }
+
+const cache::SectionStats& MiraBackend::SectionStatsAt(uint32_t index) {
+  MIRA_CHECK(index < section_ids_.size());
+  return sections_->section(section_ids_[index])->stats();
+}
+
+const cache::SectionStats& MiraBackend::swap_stats() const {
+  return const_cast<MiraBackend*>(this)->sections_->swap()->stats();
+}
+
+cache::RemotePtr MiraBackend::EncodePtr(farmem::RemoteAddr addr) const {
+  const cache::Placement p = const_cast<MiraBackend*>(this)->sections_->Resolve(addr);
+  if (p.section == nullptr) {
+    return cache::RemotePtr::Local(addr);
+  }
+  return cache::RemotePtr::Encode(p.section_id, addr);
+}
+
+}  // namespace mira::backends

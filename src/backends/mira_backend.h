@@ -1,0 +1,83 @@
+// The Mira runtime backend: a SectionManager configured from a CachePlan
+// (the output of the analysis/compilation pipeline), servicing compiled
+// remote operations — promoted native loads, demand accesses, prefetches,
+// eviction hints, batched fetches, lifetime releases, and offload RPCs.
+
+#ifndef MIRA_SRC_BACKENDS_MIRA_BACKEND_H_
+#define MIRA_SRC_BACKENDS_MIRA_BACKEND_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/backends/backend.h"
+#include "src/cache/section_manager.h"
+#include "src/farmem/local_allocator.h"
+#include "src/runtime/plan.h"
+
+namespace mira::backends {
+
+class MiraBackend : public Backend {
+ public:
+  MiraBackend(farmem::FarMemoryNode* node, net::Transport* net, uint64_t local_bytes,
+              runtime::CachePlan plan);
+
+  std::string_view name() const override { return "mira"; }
+
+  // remotable.alloc (§5.2.1): served by the range-buffering local allocator
+  // — most allocations complete without a network round trip; refills go
+  // to the far node's low-level allocator via RPC.
+  support::Result<farmem::RemoteAddr> Alloc(sim::SimClock& clk, uint64_t bytes,
+                                            std::string_view label,
+                                            uint32_t elem_bytes) override;
+  void Free(sim::SimClock& clk, farmem::RemoteAddr addr) override;
+
+  void Load(sim::SimClock& clk, farmem::RemoteAddr addr, uint32_t len,
+            const AccessHints& hints) override;
+  void Store(sim::SimClock& clk, farmem::RemoteAddr addr, uint32_t len,
+             const AccessHints& hints) override;
+  void LoadBatch(sim::SimClock& clk,
+                 const std::vector<std::pair<farmem::RemoteAddr, uint32_t>>& accesses) override;
+
+  void Prefetch(sim::SimClock& clk, farmem::RemoteAddr addr, uint32_t len) override;
+  void EvictHint(sim::SimClock& clk, farmem::RemoteAddr addr, uint32_t len) override;
+  void LifetimeEnd(sim::SimClock& clk, farmem::RemoteAddr addr) override;
+  void Pin(sim::SimClock& clk, farmem::RemoteAddr addr, uint32_t len) override;
+  void Unpin(sim::SimClock& clk, farmem::RemoteAddr addr, uint32_t len) override;
+
+  bool SupportsOffload() const override { return true; }
+  void OffloadCall(sim::SimClock& clk, uint32_t req_bytes, uint32_t resp_bytes,
+                   uint64_t remote_service_ns) override;
+
+  void Drain(sim::SimClock& clk) override;
+
+  const runtime::CachePlan& plan() const { return plan_; }
+  cache::SectionManager& sections() { return *sections_; }
+  // Stats of plan section `index` (0-based plan index).
+  const cache::SectionStats& SectionStatsAt(uint32_t index);
+  // The runtime section instantiated for plan index `index`.
+  cache::Section* SectionAt(uint32_t index) {
+    MIRA_CHECK(index < section_ids_.size());
+    return sections_->section(section_ids_[index]);
+  }
+  const cache::SectionStats& swap_stats() const;
+
+  // Encodes the RemotePtr the compiled code would hold for `addr` (§5.2.1):
+  // section id + offset, or a section-0 "local" pointer for swap-managed /
+  // local data.
+  cache::RemotePtr EncodePtr(farmem::RemoteAddr addr) const;
+
+ private:
+  void AccessImpl(sim::SimClock& clk, farmem::RemoteAddr addr, uint32_t len, bool write,
+                  const AccessHints& hints);
+
+  runtime::CachePlan plan_;
+  farmem::LocalAllocator local_alloc_;
+  std::unique_ptr<cache::SectionManager> sections_;
+  // Plan section index → runtime section id.
+  std::vector<uint16_t> section_ids_;
+};
+
+}  // namespace mira::backends
+
+#endif  // MIRA_SRC_BACKENDS_MIRA_BACKEND_H_

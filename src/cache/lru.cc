@@ -1,0 +1,137 @@
+#include "src/cache/lru.h"
+
+namespace mira::cache {
+
+ActiveInactiveLru::ActiveInactiveLru(uint32_t slots)
+    : prev_(slots, kNil),
+      next_(slots, kNil),
+      list_of_(slots, ListId::kNone),
+      referenced_(slots, 0) {}
+
+void ActiveInactiveLru::PushHead(List& list, ListId id, uint32_t slot) {
+  prev_[slot] = kNil;
+  next_[slot] = list.head;
+  if (list.head != kNil) {
+    prev_[list.head] = slot;
+  }
+  list.head = slot;
+  if (list.tail == kNil) {
+    list.tail = slot;
+  }
+  list_of_[slot] = id;
+  (id == ListId::kActive ? active_size_ : inactive_size_)++;
+}
+
+void ActiveInactiveLru::PushTail(List& list, ListId id, uint32_t slot) {
+  next_[slot] = kNil;
+  prev_[slot] = list.tail;
+  if (list.tail != kNil) {
+    next_[list.tail] = slot;
+  }
+  list.tail = slot;
+  if (list.head == kNil) {
+    list.head = slot;
+  }
+  list_of_[slot] = id;
+  (id == ListId::kActive ? active_size_ : inactive_size_)++;
+}
+
+void ActiveInactiveLru::Unlink(List& list, uint32_t slot) {
+  const uint32_t p = prev_[slot];
+  const uint32_t n = next_[slot];
+  if (p != kNil) {
+    next_[p] = n;
+  } else {
+    list.head = n;
+  }
+  if (n != kNil) {
+    prev_[n] = p;
+  } else {
+    list.tail = p;
+  }
+  (list_of_[slot] == ListId::kActive ? active_size_ : inactive_size_)--;
+  list_of_[slot] = ListId::kNone;
+  prev_[slot] = next_[slot] = kNil;
+}
+
+void ActiveInactiveLru::OnInsert(uint32_t slot) {
+  MIRA_CHECK(list_of_[slot] == ListId::kNone);
+  referenced_[slot] = 0;
+  PushHead(inactive_, ListId::kInactive, slot);
+}
+
+void ActiveInactiveLru::OnTouch(uint32_t slot) {
+  const ListId id = list_of_[slot];
+  if (id == ListId::kNone) {
+    return;
+  }
+  if (id == ListId::kInactive && referenced_[slot] != 0) {
+    Unlink(inactive_, slot);
+    referenced_[slot] = 0;
+    PushHead(active_, ListId::kActive, slot);
+    return;
+  }
+  referenced_[slot] = 1;
+}
+
+void ActiveInactiveLru::Remove(uint32_t slot) {
+  const ListId id = list_of_[slot];
+  if (id == ListId::kNone) {
+    return;
+  }
+  Unlink(ListFor(id), slot);
+  referenced_[slot] = 0;
+}
+
+uint32_t ActiveInactiveLru::ChooseVictim(const std::vector<uint16_t>& pin_counts,
+                                         const std::vector<uint8_t>& soft_pins) {
+  uint32_t soft_fallback = kNil;
+  // Consecutive unproductive steps (rotations of pinned/soft entries): once
+  // the whole inactive list has been rotated without finding a victim, pull
+  // a candidate from the active tail instead — otherwise a handful of
+  // in-flight prefetched lines would starve eviction forever.
+  uint32_t unproductive = 0;
+  // Bounded scan so a fully-referenced inactive list cannot loop forever.
+  for (uint32_t scanned = 0; scanned < 2 * resident() + 2; ++scanned) {
+    if (inactive_size_ == 0 || unproductive > inactive_size_) {
+      if (active_size_ == 0) {
+        break;
+      }
+      const uint32_t demote = active_.tail;
+      Unlink(active_, demote);
+      referenced_[demote] = 0;
+      // Tail, not head: the demoted slot is the next candidate examined.
+      PushTail(inactive_, ListId::kInactive, demote);
+      unproductive = 0;
+    }
+    const uint32_t cand = inactive_.tail;
+    if (referenced_[cand] != 0) {
+      // Second-chance: promote and keep scanning.
+      Unlink(inactive_, cand);
+      referenced_[cand] = 0;
+      PushHead(active_, ListId::kActive, cand);
+      continue;
+    }
+    if (!pin_counts.empty() && pin_counts[cand] != 0) {
+      // Hard-pinned (dont-evict): rotate to the inactive head and continue.
+      Unlink(inactive_, cand);
+      PushHead(inactive_, ListId::kInactive, cand);
+      ++unproductive;
+      continue;
+    }
+    if (!soft_pins.empty() && soft_pins[cand] != 0) {
+      // In-flight prefetched line: avoid if anything else is available.
+      if (soft_fallback == kNil) {
+        soft_fallback = cand;
+      }
+      Unlink(inactive_, cand);
+      PushHead(inactive_, ListId::kInactive, cand);
+      ++unproductive;
+      continue;
+    }
+    return cand;
+  }
+  return soft_fallback;
+}
+
+}  // namespace mira::cache

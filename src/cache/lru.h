@@ -1,0 +1,73 @@
+// Linux-style approximate LRU over cache slots: an active and an inactive
+// doubly-linked list plus per-slot reference bits (paper §5.3: "an
+// approximation of LRU eviction using active and inactive lists").
+//
+// Lists are index-linked over flat arrays — no per-node allocation.
+
+#ifndef MIRA_SRC_CACHE_LRU_H_
+#define MIRA_SRC_CACHE_LRU_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/support/check.h"
+
+namespace mira::cache {
+
+class ActiveInactiveLru {
+ public:
+  static constexpr uint32_t kNil = UINT32_MAX;
+
+  explicit ActiveInactiveLru(uint32_t slots);
+
+  // A new line was inserted into `slot` → head of the inactive list (second
+  // touch promotes it; this is the Linux page-cache discipline).
+  void OnInsert(uint32_t slot);
+
+  // `slot` was accessed: set its reference bit; inactive slots with the bit
+  // already set are promoted to the active head.
+  void OnTouch(uint32_t slot);
+
+  // Removes `slot` from whichever list holds it (explicit invalidation).
+  void Remove(uint32_t slot);
+
+  // Picks a victim: the inactive tail, skipping (and promoting) referenced
+  // slots; refills the inactive list from the active tail when it runs dry.
+  // Slots with a nonzero hard pin count are never returned. Slots flagged
+  // in `soft_pins` (in-flight prefetched lines awaiting first use) are
+  // avoided while any alternative exists, but returned as a last resort.
+  // Returns kNil only if every resident slot is hard-pinned.
+  uint32_t ChooseVictim(const std::vector<uint16_t>& pin_counts,
+                        const std::vector<uint8_t>& soft_pins = {});
+
+  bool Contains(uint32_t slot) const { return list_of_[slot] != ListId::kNone; }
+  uint32_t resident() const { return active_size_ + inactive_size_; }
+  uint32_t active_size() const { return active_size_; }
+  uint32_t inactive_size() const { return inactive_size_; }
+
+ private:
+  enum class ListId : uint8_t { kNone, kActive, kInactive };
+
+  struct List {
+    uint32_t head = kNil;
+    uint32_t tail = kNil;
+  };
+
+  void PushHead(List& list, ListId id, uint32_t slot);
+  void PushTail(List& list, ListId id, uint32_t slot);
+  void Unlink(List& list, uint32_t slot);
+  List& ListFor(ListId id) { return id == ListId::kActive ? active_ : inactive_; }
+
+  std::vector<uint32_t> prev_;
+  std::vector<uint32_t> next_;
+  std::vector<ListId> list_of_;
+  std::vector<uint8_t> referenced_;
+  List active_;
+  List inactive_;
+  uint32_t active_size_ = 0;
+  uint32_t inactive_size_ = 0;
+};
+
+}  // namespace mira::cache
+
+#endif  // MIRA_SRC_CACHE_LRU_H_

@@ -1,0 +1,489 @@
+#include "src/cache/section.h"
+
+#include <algorithm>
+
+#include "src/support/check.h"
+
+namespace mira::cache {
+
+Section::Section(SectionConfig config, net::Transport* net)
+    : config_(std::move(config)), net_(net) {
+  MIRA_CHECK_MSG(config_.line_bytes > 0, "section line size must be positive");
+  MIRA_CHECK_MSG(config_.num_lines() > 0, "section must hold at least one line");
+  slots_.resize(config_.num_lines());
+  pins_.resize(config_.num_lines(), 0);
+  soft_pins_.resize(config_.num_lines(), 0);
+}
+
+void Section::Access(sim::SimClock& clk, uint64_t raddr, uint32_t len, bool write,
+                     bool full_line_write) {
+  const uint64_t first = LineOf(raddr);
+  const uint64_t last = LineOf(raddr + (len > 0 ? len - 1 : 0));
+  for (uint64_t line = first; line <= last; ++line) {
+    AccessLine(clk, line, write, full_line_write);
+  }
+  // The data access itself.
+  clk.Advance(net_->cost().native_access_ns);
+}
+
+void Section::AccessPromoted(sim::SimClock& clk, uint64_t raddr, uint32_t len, bool write) {
+  const uint64_t first = LineOf(raddr);
+  const uint64_t last = LineOf(raddr + (len > 0 ? len - 1 : 0));
+  for (uint64_t line = first; line <= last; ++line) {
+    const uint32_t slot = FindSlot(line);
+    if (slot != kNoSlot && slots_[slot].valid() && slots_[slot].tag == line) {
+      LineMeta& m = slots_[slot];
+      if (m.ready_at_ns > clk.now_ns()) {
+        // Prefetch issued but not landed: honest stall.
+        const uint64_t wait = m.ready_at_ns - clk.now_ns();
+        stats_.stall_ns += wait;
+        stats_.prefetch_late_ns += wait;
+        clk.AdvanceTo(m.ready_at_ns);
+      }
+      if (m.prefetched) {
+        ++stats_.prefetched_hits;
+        m.prefetched = false;
+        soft_pins_[slot] = 0;
+      }
+      stats_.lines.Hit();
+      if (write) {
+        m.dirty = true;
+      }
+      continue;
+    }
+    // Compiler mis-speculation: degrade to a demand access.
+    AccessLine(clk, line, write, /*full_line_write=*/false);
+  }
+  clk.Advance(net_->cost().native_access_ns);
+}
+
+void Section::AccessLine(sim::SimClock& clk, uint64_t line, bool write, bool full_line_write) {
+  clk.Advance(LookupCostNs());
+  stats_.runtime_ns += LookupCostNs();
+  const bool probed =
+      probe_hi_ != 0 && line * config_.line_bytes >= probe_lo_ &&
+      line * config_.line_bytes < probe_hi_;
+  const uint32_t slot = FindSlot(line);
+  if (slot != kNoSlot && slots_[slot].valid() && slots_[slot].tag == line) {
+    // Hit — possibly on an in-flight prefetch.
+    if (probed) {
+      probe_.Hit();
+    }
+    LineMeta& m = slots_[slot];
+    if (m.ready_at_ns > clk.now_ns()) {
+      const uint64_t wait = m.ready_at_ns - clk.now_ns();
+      stats_.stall_ns += wait;
+      stats_.prefetch_late_ns += wait;
+      clk.AdvanceTo(m.ready_at_ns);
+    }
+    if (m.prefetched) {
+      ++stats_.prefetched_hits;
+      m.prefetched = false;
+      soft_pins_[slot] = 0;
+    }
+    stats_.lines.Hit();
+    m.last_use = ++use_counter_;
+    m.evictable = false;  // re-used after a hint: un-mark
+    if (write) {
+      m.dirty = true;
+    }
+    OnTouch(slot);
+    return;
+  }
+  // Miss.
+  if (probed) {
+    probe_.Miss();
+  }
+  stats_.lines.Miss();
+  const uint32_t victim = ChooseSlot(line);
+  MIRA_CHECK_MSG(victim != kNoSlot, "no evictable slot (all pinned?)");
+  EvictSlot(clk, victim);
+  LineMeta& m = slots_[victim];
+  m.tag = line;
+  m.last_use = ++use_counter_;
+  m.dirty = write;
+  m.evictable = false;
+  m.prefetched = false;
+  ++resident_;
+  OnInsert(victim, line);
+  clk.Advance(net_->cost().line_insert_ns);
+  stats_.runtime_ns += net_->cost().line_insert_ns;
+  if (write && full_line_write) {
+    // Write covering the whole line: no fetch required (§4.5).
+    m.ready_at_ns = clk.now_ns();
+    return;
+  }
+  const uint64_t t0 = clk.now_ns();
+  const uint64_t done = FetchLine(clk, line, victim, /*demand=*/true);
+  clk.AdvanceTo(done);
+  m.ready_at_ns = done;
+  stats_.stall_ns += clk.now_ns() - t0;
+}
+
+uint64_t Section::FetchLine(sim::SimClock& clk, uint64_t line, uint32_t slot, bool demand) {
+  const uint64_t raddr = line * config_.line_bytes;
+  uint32_t bytes = config_.line_bytes;
+  if (config_.comm == CommMethod::kTwoSided && config_.transfer_fraction < 1.0) {
+    // Selective transmission: the far CPU gathers only the accessed fields.
+    bytes = std::max<uint32_t>(
+        1, static_cast<uint32_t>(config_.transfer_fraction * config_.line_bytes));
+    stats_.bytes_fetched += bytes;
+    // Timing-only two-sided read; returns via clock, so run it on a scratch
+    // clock for the async case.
+    if (demand) {
+      net_->TwoSidedReadSync(clk, raddr, nullptr, bytes, config_.gather_fields);
+      return clk.now_ns();
+    }
+    sim::SimClock shadow(clk.now_ns());
+    net_->TwoSidedReadSync(shadow, raddr, nullptr, bytes, config_.gather_fields);
+    return shadow.now_ns();
+  }
+  stats_.bytes_fetched += bytes;
+  return net_->ReadAsync(clk, raddr, nullptr, bytes);
+}
+
+void Section::EvictSlot(sim::SimClock& clk, uint32_t slot) {
+  LineMeta& m = slots_[slot];
+  if (!m.valid()) {
+    return;
+  }
+  ++stats_.evictions;
+  if (m.evictable) {
+    ++stats_.hint_evictions;
+  }
+  if (soft_pins_[slot] != 0) {
+    ++stats_.soft_evictions;
+  }
+  if (m.dirty) {
+    // Asynchronous writeback: costs issue CPU; wire time overlaps compute
+    // but still occupies the shared link.
+    clk.Advance(net_->cost().flush_issue_ns);
+    stats_.runtime_ns += net_->cost().flush_issue_ns;
+    const uint64_t done =
+        net_->WriteAsync(clk, m.tag * config_.line_bytes, nullptr, config_.line_bytes);
+    last_writeback_done_ns_ = std::max(last_writeback_done_ns_, done);
+    ++stats_.writebacks;
+    stats_.bytes_written_back += config_.line_bytes;
+  }
+  clk.Advance(net_->cost().line_evict_ns);
+  stats_.runtime_ns += net_->cost().line_evict_ns;
+  OnInvalidate(slot, m.tag);
+  soft_pins_[slot] = 0;
+  m.Invalidate();
+  MIRA_CHECK(resident_ > 0);
+  --resident_;
+}
+
+void Section::AccessBatch(sim::SimClock& clk,
+                          const std::vector<std::pair<uint64_t, uint32_t>>& accesses,
+                          bool write) {
+  // Phase 1: identify the distinct missing lines, reserving slots.
+  std::vector<net::Segment> segs;
+  std::vector<uint32_t> filled_slots;
+  for (const auto& [raddr, len] : accesses) {
+    const uint64_t first = LineOf(raddr);
+    const uint64_t last = LineOf(raddr + (len > 0 ? len - 1 : 0));
+    for (uint64_t line = first; line <= last; ++line) {
+      clk.Advance(LookupCostNs());
+      stats_.runtime_ns += LookupCostNs();
+      const uint32_t slot = FindSlot(line);
+      if (slot != kNoSlot && slots_[slot].valid() && slots_[slot].tag == line) {
+        LineMeta& m = slots_[slot];
+        stats_.lines.Hit();
+        m.last_use = ++use_counter_;
+        if (write) {
+          m.dirty = true;
+        }
+        OnTouch(slot);
+        continue;
+      }
+      stats_.lines.Miss();
+      const uint32_t victim = ChooseSlot(line);
+      MIRA_CHECK_MSG(victim != kNoSlot, "no evictable slot for batch fetch");
+      EvictSlot(clk, victim);
+      LineMeta& m = slots_[victim];
+      m.tag = line;
+      m.last_use = ++use_counter_;
+      m.dirty = write;
+      m.evictable = false;
+      m.prefetched = false;
+      ++resident_;
+      OnInsert(victim, line);
+      clk.Advance(net_->cost().line_insert_ns);
+      stats_.runtime_ns += net_->cost().line_insert_ns;
+      segs.push_back(net::Segment{line * config_.line_bytes, nullptr, config_.line_bytes});
+      filled_slots.push_back(victim);
+      stats_.bytes_fetched += config_.line_bytes;
+    }
+  }
+  // Phase 2: one gather message for everything that missed.
+  if (!segs.empty()) {
+    const uint64_t t0 = clk.now_ns();
+    const uint64_t done = net_->ReadGatherAsync(clk, segs);
+    clk.AdvanceTo(done);
+    stats_.stall_ns += clk.now_ns() - t0;
+    for (const uint32_t slot : filled_slots) {
+      slots_[slot].ready_at_ns = done;
+    }
+  }
+  // Phase 3: the data accesses themselves.
+  clk.Advance(accesses.size() * net_->cost().native_access_ns);
+}
+
+void Section::Prefetch(sim::SimClock& clk, uint64_t raddr, uint32_t len) {
+  const uint64_t first = LineOf(raddr);
+  const uint64_t last = LineOf(raddr + (len > 0 ? len - 1 : 0));
+  for (uint64_t line = first; line <= last; ++line) {
+    if (FindSlot(line) != kNoSlot) {
+      continue;  // already resident or in flight
+    }
+    const uint32_t victim = ChooseSlot(line);
+    if (victim == kNoSlot) {
+      return;  // nothing evictable; drop the prefetch
+    }
+    EvictSlot(clk, victim);
+    clk.Advance(net_->cost().prefetch_issue_ns);
+    stats_.runtime_ns += net_->cost().prefetch_issue_ns;
+    LineMeta& m = slots_[victim];
+    m.tag = line;
+    m.last_use = ++use_counter_;
+    m.dirty = false;
+    m.prefetched = true;
+    m.ready_at_ns = FetchLine(clk, line, victim, /*demand=*/false);
+    ++resident_;
+    ++stats_.prefetches_issued;
+    soft_pins_[victim] = 1;
+    OnInsert(victim, line);
+  }
+}
+
+void Section::EvictHint(sim::SimClock& clk, uint64_t raddr, uint32_t len) {
+  const uint64_t first = LineOf(raddr);
+  const uint64_t last = LineOf(raddr + (len > 0 ? len - 1 : 0));
+  for (uint64_t line = first; line <= last; ++line) {
+    const uint32_t slot = FindSlot(line);
+    if (slot == kNoSlot || !slots_[slot].valid()) {
+      continue;
+    }
+    LineMeta& m = slots_[slot];
+    clk.Advance(net_->cost().flush_issue_ns);
+    stats_.runtime_ns += net_->cost().flush_issue_ns;
+    if (m.dirty) {
+      const uint64_t done =
+          net_->WriteAsync(clk, m.tag * config_.line_bytes, nullptr, config_.line_bytes);
+      last_writeback_done_ns_ = std::max(last_writeback_done_ns_, done);
+      ++stats_.writebacks;
+      stats_.bytes_written_back += config_.line_bytes;
+      m.dirty = false;
+    }
+    m.evictable = true;
+    OnEvictHint(slot);
+  }
+}
+
+void Section::Pin(uint64_t raddr, uint32_t len) {
+  const uint64_t first = LineOf(raddr);
+  const uint64_t last = LineOf(raddr + (len > 0 ? len - 1 : 0));
+  for (uint64_t line = first; line <= last; ++line) {
+    const uint32_t slot = FindSlot(line);
+    if (slot != kNoSlot) {
+      ++pins_[slot];
+    }
+  }
+}
+
+void Section::Unpin(uint64_t raddr, uint32_t len) {
+  const uint64_t first = LineOf(raddr);
+  const uint64_t last = LineOf(raddr + (len > 0 ? len - 1 : 0));
+  for (uint64_t line = first; line <= last; ++line) {
+    const uint32_t slot = FindSlot(line);
+    if (slot != kNoSlot && pins_[slot] > 0) {
+      --pins_[slot];
+    }
+  }
+}
+
+void Section::FlushAll(sim::SimClock& clk) {
+  for (auto& m : slots_) {
+    if (m.valid() && m.dirty) {
+      clk.Advance(net_->cost().flush_issue_ns);
+      stats_.runtime_ns += net_->cost().flush_issue_ns;
+      const uint64_t done =
+          net_->WriteAsync(clk, m.tag * config_.line_bytes, nullptr, config_.line_bytes);
+      last_writeback_done_ns_ = std::max(last_writeback_done_ns_, done);
+      ++stats_.writebacks;
+      stats_.bytes_written_back += config_.line_bytes;
+      m.dirty = false;
+    }
+  }
+  // Flush is a synchronization point (e.g., before an offloaded call).
+  if (last_writeback_done_ns_ > clk.now_ns()) {
+    stats_.stall_ns += last_writeback_done_ns_ - clk.now_ns();
+    clk.AdvanceTo(last_writeback_done_ns_);
+  }
+}
+
+void Section::Release(sim::SimClock& clk, bool discard) {
+  if (!discard) {
+    FlushAll(clk);
+  }
+  for (uint32_t slot = 0; slot < slots_.size(); ++slot) {
+    if (slots_[slot].valid()) {
+      OnInvalidate(slot, slots_[slot].tag);
+      slots_[slot].Invalidate();
+    }
+    pins_[slot] = 0;
+    soft_pins_[slot] = 0;
+  }
+  resident_ = 0;
+}
+
+// ---------------- DirectMappedSection ----------------
+
+DirectMappedSection::DirectMappedSection(SectionConfig config, net::Transport* net)
+    : Section(std::move(config), net) {}
+
+uint64_t DirectMappedSection::LookupCostNs() const {
+  return net_->cost().cache_lookup_direct_ns;
+}
+
+uint32_t DirectMappedSection::FindSlot(uint64_t line) const {
+  const uint32_t slot = static_cast<uint32_t>(line % slots_.size());
+  return (slots_[slot].valid() && slots_[slot].tag == line) ? slot : kNoSlot;
+}
+
+uint32_t DirectMappedSection::ChooseSlot(uint64_t line) {
+  const uint32_t slot = static_cast<uint32_t>(line % slots_.size());
+  return pins_[slot] == 0 ? slot : kNoSlot;
+}
+
+// ---------------- SetAssociativeSection ----------------
+
+SetAssociativeSection::SetAssociativeSection(SectionConfig config, net::Transport* net)
+    : Section(std::move(config), net) {
+  const uint32_t ways = std::max<uint32_t>(1, config_.ways);
+  sets_ = std::max<uint32_t>(1, static_cast<uint32_t>(slots_.size()) / ways);
+  config_.ways = ways;
+}
+
+uint64_t SetAssociativeSection::LookupCostNs() const {
+  return net_->cost().cache_lookup_setassoc_ns;
+}
+
+uint32_t SetAssociativeSection::FindSlot(uint64_t line) const {
+  const uint32_t set = static_cast<uint32_t>(line % sets_);
+  const uint32_t base = set * config_.ways;
+  for (uint32_t w = 0; w < config_.ways && base + w < slots_.size(); ++w) {
+    if (slots_[base + w].valid() && slots_[base + w].tag == line) {
+      return base + w;
+    }
+  }
+  return kNoSlot;
+}
+
+uint32_t SetAssociativeSection::ChooseSlot(uint64_t line) {
+  const uint32_t set = static_cast<uint32_t>(line % sets_);
+  const uint32_t base = set * config_.ways;
+  uint32_t victim = kNoSlot;
+  uint64_t oldest = UINT64_MAX;
+  uint32_t soft_victim = kNoSlot;
+  uint64_t soft_oldest = UINT64_MAX;
+  for (uint32_t w = 0; w < config_.ways && base + w < slots_.size(); ++w) {
+    const uint32_t s = base + w;
+    if (pins_[s] != 0) {
+      continue;
+    }
+    if (!slots_[s].valid()) {
+      return s;
+    }
+    if (slots_[s].evictable) {
+      return s;  // hint-marked lines evicted first
+    }
+    if (soft_pins_[s] != 0) {
+      // In-flight prefetched line: last resort only.
+      if (slots_[s].last_use < soft_oldest) {
+        soft_oldest = slots_[s].last_use;
+        soft_victim = s;
+      }
+      continue;
+    }
+    if (slots_[s].last_use < oldest) {
+      oldest = slots_[s].last_use;
+      victim = s;
+    }
+  }
+  return victim != kNoSlot ? victim : soft_victim;
+}
+
+// ---------------- FullyAssociativeSection ----------------
+
+FullyAssociativeSection::FullyAssociativeSection(SectionConfig config, net::Transport* net)
+    : Section(std::move(config), net), lru_(config_.num_lines()) {
+  free_slots_.reserve(slots_.size());
+  for (uint32_t s = static_cast<uint32_t>(slots_.size()); s > 0; --s) {
+    free_slots_.push_back(s - 1);
+  }
+  map_.reserve(slots_.size() * 2);
+}
+
+uint64_t FullyAssociativeSection::LookupCostNs() const {
+  return net_->cost().cache_lookup_fullassoc_ns;
+}
+
+uint32_t FullyAssociativeSection::FindSlot(uint64_t line) const {
+  const auto it = map_.find(line);
+  return it == map_.end() ? kNoSlot : it->second;
+}
+
+uint32_t FullyAssociativeSection::ChooseSlot(uint64_t line) {
+  // OnInvalidate pushes every evicted slot here, but eviction is normally
+  // followed by immediate reuse of the same slot — such entries are stale
+  // (the slot holds a valid line again) and must be discarded on pop, or a
+  // single slot would be handed out repeatedly while the rest of the cache
+  // sits idle.
+  while (!free_slots_.empty()) {
+    const uint32_t s = free_slots_.back();
+    free_slots_.pop_back();
+    if (!slots_[s].valid()) {
+      return s;
+    }
+  }
+  // Evictable-marked lines first.
+  while (!evictable_queue_.empty()) {
+    const uint32_t s = evictable_queue_.back();
+    evictable_queue_.pop_back();
+    if (slots_[s].valid() && slots_[s].evictable && pins_[s] == 0) {
+      return s;
+    }
+  }
+  return lru_.ChooseVictim(pins_, soft_pins_);
+}
+
+void FullyAssociativeSection::OnInsert(uint32_t slot, uint64_t line) {
+  map_[line] = slot;
+  lru_.OnInsert(slot);
+}
+
+void FullyAssociativeSection::OnTouch(uint32_t slot) { lru_.OnTouch(slot); }
+
+void FullyAssociativeSection::OnInvalidate(uint32_t slot, uint64_t line) {
+  map_.erase(line);
+  lru_.Remove(slot);
+  free_slots_.push_back(slot);
+}
+
+std::unique_ptr<Section> MakeSection(const SectionConfig& config, net::Transport* net) {
+  switch (config.structure) {
+    case SectionStructure::kDirectMapped:
+      return std::make_unique<DirectMappedSection>(config, net);
+    case SectionStructure::kSetAssociative:
+      return std::make_unique<SetAssociativeSection>(config, net);
+    case SectionStructure::kFullyAssociative:
+      return std::make_unique<FullyAssociativeSection>(config, net);
+    case SectionStructure::kSwap:
+      MIRA_UNREACHABLE("use SwapSection for kSwap configs");
+  }
+  MIRA_UNREACHABLE("unknown section structure");
+}
+
+}  // namespace mira::cache

@@ -1,0 +1,226 @@
+// Cache sections: the software-configurable local-DRAM cache (paper §4.2,
+// §5.3). A Section tracks residency metadata and charges simulated time for
+// lookups, misses, insertions, writebacks, and prefetches. The data plane
+// (actual bytes) is write-through to the far arena and handled by the
+// interpreter, so sections run timing-only transfers (null buffers).
+//
+// Three structures are provided, mirroring the paper: direct-mapped,
+// K-way set-associative, and fully-associative (remote-address→slot map plus
+// active/inactive approximate LRU). The transparent swap section lives in
+// swap_section.h.
+
+#ifndef MIRA_SRC_CACHE_SECTION_H_
+#define MIRA_SRC_CACHE_SECTION_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/cache/lru.h"
+#include "src/cache/section_config.h"
+#include "src/net/transport.h"
+#include "src/sim/clock.h"
+#include "src/support/stats.h"
+
+namespace mira::cache {
+
+// Per-section counters backing the paper's "cache performance overhead"
+// metric (runtime time / remaining execution time, §4.1).
+struct SectionStats {
+  support::HitMissCounter lines;   // line-granular lookups
+  uint64_t runtime_ns = 0;         // CPU spent inside the runtime (lookup, insert, evict)
+  uint64_t stall_ns = 0;           // waiting for the network on the critical path
+  uint64_t evictions = 0;
+  uint64_t hint_evictions = 0;     // victims that were marked evictable
+  uint64_t soft_evictions = 0;     // in-flight prefetched lines evicted unused
+  uint64_t writebacks = 0;
+  uint64_t prefetches_issued = 0;
+  uint64_t prefetch_late_ns = 0;   // stall on lines whose prefetch hadn't landed
+  uint64_t prefetched_hits = 0;    // hits served by a completed prefetch
+  uint64_t bytes_fetched = 0;
+  uint64_t bytes_written_back = 0;
+
+  uint64_t overhead_ns() const { return runtime_ns + stall_ns; }
+  void Reset() { *this = SectionStats{}; }
+};
+
+// One resident (or in-flight) cache line.
+struct LineMeta {
+  static constexpr uint64_t kInvalidTag = UINT64_MAX;
+
+  uint64_t tag = kInvalidTag;  // line id = remote_addr / line_bytes
+  uint64_t ready_at_ns = 0;    // completion time of the fetch that loaded it
+  uint64_t last_use = 0;       // logical use counter (set-assoc LRU)
+  bool dirty = false;
+  bool evictable = false;      // compiler eviction hint (§4.5)
+  bool prefetched = false;     // loaded by a prefetch, not a demand miss
+
+  bool valid() const { return tag != kInvalidTag; }
+  void Invalidate() { *this = LineMeta{}; }
+};
+
+class Section {
+ public:
+  Section(SectionConfig config, net::Transport* net);
+  virtual ~Section() = default;
+
+  Section(const Section&) = delete;
+  Section& operator=(const Section&) = delete;
+
+  // One dereference of [raddr, raddr+len). `full_line_write` marks writes
+  // the compiler proved cover whole lines (no fetch needed, §4.5
+  // "read/write optimization").
+  void Access(sim::SimClock& clk, uint64_t raddr, uint32_t len, bool write,
+              bool full_line_write = false);
+
+  // Compiler-promoted dereference (§4.4): proven resident with no possible
+  // conflict, compiled to a native load. No lookup cost or LRU maintenance
+  // is charged. The simulator still verifies residency on a free host-side
+  // path — if the compiler mis-speculated (line in flight or absent), the
+  // access degrades to a stall or a demand miss so timing never lies.
+  void AccessPromoted(sim::SimClock& clk, uint64_t raddr, uint32_t len, bool write);
+
+  // Batched access (§4.5 "data access batching"): all missing lines across
+  // `accesses` are fetched with a single scatter-gather message — one RTT,
+  // one per-message CPU cost — instead of one message per line.
+  void AccessBatch(sim::SimClock& clk,
+                   const std::vector<std::pair<uint64_t, uint32_t>>& accesses, bool write);
+
+  // Asynchronous prefetch of the line(s) covering [raddr, raddr+len).
+  void Prefetch(sim::SimClock& clk, uint64_t raddr, uint32_t len);
+
+  // Eviction hint at last access: async-flush if dirty, mark evictable.
+  void EvictHint(sim::SimClock& clk, uint64_t raddr, uint32_t len);
+
+  // Pin / unpin (shared sections' dont-evict marks, §4.6).
+  void Pin(uint64_t raddr, uint32_t len);
+  void Unpin(uint64_t raddr, uint32_t len);
+
+  // Flush all dirty lines (before offloading a function, §4.8). Blocking up
+  // to the last writeback's completion.
+  void FlushAll(sim::SimClock& clk);
+
+  // End of the section's lifetime: writeback dirty lines (unless
+  // `discard`, for read-only scopes) and drop all residency.
+  void Release(sim::SimClock& clk, bool discard = false);
+
+  const SectionConfig& config() const { return config_; }
+  const SectionStats& stats() const { return stats_; }
+  void ResetStats() { stats_.Reset(); }
+  uint32_t resident_lines() const { return resident_; }
+
+  // Tracks hit/miss separately for accesses inside [lo, hi) — used by the
+  // evaluation to report one object's miss rate within a shared cache.
+  void SetProbeRange(uint64_t lo, uint64_t hi) {
+    probe_lo_ = lo;
+    probe_hi_ = hi;
+  }
+  const support::HitMissCounter& probe() const { return probe_; }
+
+ protected:
+  // Structure-specific behavior.
+  virtual uint64_t LookupCostNs() const = 0;
+  // Slot holding `line` or kNoSlot.
+  virtual uint32_t FindSlot(uint64_t line) const = 0;
+  // Slot to place `line` into, possibly evicting (bookkeeping updated by
+  // caller). Must return a slot; aborts if all candidates are pinned.
+  virtual uint32_t ChooseSlot(uint64_t line) = 0;
+  // Structure bookkeeping on insert/touch/invalidate.
+  virtual void OnInsert(uint32_t slot, uint64_t line) = 0;
+  virtual void OnTouch(uint32_t slot) = 0;
+  virtual void OnInvalidate(uint32_t slot, uint64_t line) = 0;
+  // A line in `slot` was just marked evictable.
+  virtual void OnEvictHint(uint32_t slot) {}
+
+  static constexpr uint32_t kNoSlot = UINT32_MAX;
+
+  uint64_t LineOf(uint64_t raddr) const { return raddr / config_.line_bytes; }
+
+  // Handles one line's demand access.
+  void AccessLine(sim::SimClock& clk, uint64_t line, bool write, bool full_line_write);
+
+  // Evicts the line currently in `slot` (if valid): writeback if dirty.
+  void EvictSlot(sim::SimClock& clk, uint32_t slot);
+
+  // Issues the fetch for `line` into `slot`; returns completion timestamp.
+  uint64_t FetchLine(sim::SimClock& clk, uint64_t line, uint32_t slot, bool demand);
+
+  SectionConfig config_;
+  net::Transport* net_;
+  SectionStats stats_;
+  // Soft pins: 1 while a prefetched line awaits its first use. Victim
+  // selection avoids these unless nothing else is evictable.
+  std::vector<uint8_t> soft_pins_;
+  uint64_t probe_lo_ = 0;
+  uint64_t probe_hi_ = 0;
+  support::HitMissCounter probe_;
+  std::vector<LineMeta> slots_;
+  std::vector<uint16_t> pins_;
+  uint64_t use_counter_ = 0;
+  uint32_t resident_ = 0;
+  uint64_t last_writeback_done_ns_ = 0;
+};
+
+// slot = line % num_lines; no conflict for sequential/strided patterns.
+class DirectMappedSection : public Section {
+ public:
+  DirectMappedSection(SectionConfig config, net::Transport* net);
+
+ protected:
+  uint64_t LookupCostNs() const override;
+  uint32_t FindSlot(uint64_t line) const override;
+  uint32_t ChooseSlot(uint64_t line) override;
+  void OnInsert(uint32_t slot, uint64_t line) override {}
+  void OnTouch(uint32_t slot) override {}
+  void OnInvalidate(uint32_t slot, uint64_t line) override {}
+};
+
+// K ways per set, exact LRU within a set (K is small).
+class SetAssociativeSection : public Section {
+ public:
+  SetAssociativeSection(SectionConfig config, net::Transport* net);
+
+ protected:
+  uint64_t LookupCostNs() const override;
+  uint32_t FindSlot(uint64_t line) const override;
+  uint32_t ChooseSlot(uint64_t line) override;
+  void OnInsert(uint32_t slot, uint64_t line) override {}
+  void OnTouch(uint32_t slot) override {}
+  void OnInvalidate(uint32_t slot, uint64_t line) override {}
+
+ private:
+  uint32_t sets_;
+};
+
+// Hash map + free list + active/inactive approximate LRU (paper §5.3).
+class FullyAssociativeSection : public Section {
+ public:
+  FullyAssociativeSection(SectionConfig config, net::Transport* net);
+
+ protected:
+  uint64_t LookupCostNs() const override;
+  uint32_t FindSlot(uint64_t line) const override;
+  uint32_t ChooseSlot(uint64_t line) override;
+  void OnInsert(uint32_t slot, uint64_t line) override;
+  void OnTouch(uint32_t slot) override;
+  void OnInvalidate(uint32_t slot, uint64_t line) override;
+  void OnEvictHint(uint32_t slot) override { evictable_queue_.push_back(slot); }
+
+ private:
+  std::unordered_map<uint64_t, uint32_t> map_;  // line → slot
+  std::vector<uint32_t> free_slots_;
+  ActiveInactiveLru lru_;
+  // Evictable-marked slots checked before LRU (paper §4.5: "when inserting
+  // a new cache line, we check which existing lines are marked evictable and
+  // evict those first").
+  std::vector<uint32_t> evictable_queue_;
+};
+
+// Factory: builds the right structure for `config` (kSwap is rejected here;
+// use SwapSection).
+std::unique_ptr<Section> MakeSection(const SectionConfig& config, net::Transport* net);
+
+}  // namespace mira::cache
+
+#endif  // MIRA_SRC_CACHE_SECTION_H_

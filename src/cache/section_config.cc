@@ -1,0 +1,47 @@
+#include "src/cache/section_config.h"
+
+#include "src/support/str.h"
+
+namespace mira::cache {
+
+const char* SectionStructureName(SectionStructure s) {
+  switch (s) {
+    case SectionStructure::kDirectMapped:
+      return "direct";
+    case SectionStructure::kSetAssociative:
+      return "set-assoc";
+    case SectionStructure::kFullyAssociative:
+      return "full-assoc";
+    case SectionStructure::kSwap:
+      return "swap";
+  }
+  return "?";
+}
+
+const char* PrefetchKindName(PrefetchKind k) {
+  switch (k) {
+    case PrefetchKind::kNone:
+      return "none";
+    case PrefetchKind::kSequential:
+      return "sequential";
+    case PrefetchKind::kStrided:
+      return "strided";
+    case PrefetchKind::kIndirect:
+      return "indirect";
+    case PrefetchKind::kPointerChase:
+      return "pointer-chase";
+  }
+  return "?";
+}
+
+std::string SectionConfig::ToString() const {
+  return support::StrFormat(
+      "%s{%s, line=%s, size=%s, ways=%u, comm=%s, xfer=%.2f, evict_hints=%d, prefetch=%s/%u%s}",
+      name.c_str(), SectionStructureName(structure), support::HumanBytes(line_bytes).c_str(),
+      support::HumanBytes(size_bytes).c_str(), ways,
+      comm == CommMethod::kOneSided ? "1-sided" : "2-sided", transfer_fraction,
+      eviction_hints ? 1 : 0, PrefetchKindName(prefetch), prefetch_distance,
+      shared ? ", shared" : "");
+}
+
+}  // namespace mira::cache

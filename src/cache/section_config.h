@@ -1,0 +1,77 @@
+// Cache-section configuration vocabulary (paper §3 step 2, §4.2).
+//
+// A section is a region of local DRAM dedicated to one access pattern. The
+// analysis pipeline produces one SectionConfig per pattern; the runtime
+// instantiates a Section from it.
+
+#ifndef MIRA_SRC_CACHE_SECTION_CONFIG_H_
+#define MIRA_SRC_CACHE_SECTION_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+
+namespace mira::cache {
+
+enum class SectionStructure {
+  kDirectMapped,
+  kSetAssociative,
+  kFullyAssociative,
+  kSwap,  // transparent 4 KB page swap (the generic fallback section)
+};
+
+const char* SectionStructureName(SectionStructure s);
+
+// §4.7: one-sided for whole-structure access, two-sided for partial.
+enum class CommMethod {
+  kOneSided,
+  kTwoSided,
+};
+
+// What the compiler's prefetch-insertion pass decided for this section.
+enum class PrefetchKind {
+  kNone,
+  kSequential,    // next lines in address order
+  kStrided,       // constant non-unit stride
+  kIndirect,      // B[A[i]] — prefetch driven by a runahead index load
+  kPointerChase,  // follow pointer values (MCF-style)
+};
+
+const char* PrefetchKindName(PrefetchKind k);
+
+struct SectionConfig {
+  std::string name = "section";
+  SectionStructure structure = SectionStructure::kFullyAssociative;
+  // Size of one cache line. Multiple data items per line are encouraged for
+  // contiguous patterns (§4.2, Fig 9); 4096 for swap.
+  uint32_t line_bytes = 4096;
+  // Local memory dedicated to the section.
+  uint64_t size_bytes = 0;
+  // Associativity for kSetAssociative.
+  uint32_t ways = 8;
+  CommMethod comm = CommMethod::kOneSided;
+  // Fraction of each line actually transferred under selective transmission
+  // (two-sided partial-structure fetch, §4.5/§4.7). 1.0 = whole line.
+  double transfer_fraction = 1.0;
+  // Number of discontiguous fields gathered per line by the far-node CPU
+  // when comm is two-sided.
+  uint32_t gather_fields = 1;
+  // Eviction hints enabled (compiler inserts flush+mark-evictable at the
+  // last access, §4.5).
+  bool eviction_hints = false;
+  PrefetchKind prefetch = PrefetchKind::kNone;
+  // How many lines ahead to prefetch (compiler: one network RTT of work).
+  uint32_t prefetch_distance = 0;
+  // Shared writable section for multi-threading (§4.6): forces full
+  // associativity, disables eviction hints, uses dont-evict pinning.
+  bool shared = false;
+
+  uint32_t num_lines() const {
+    return line_bytes == 0 ? 0 : static_cast<uint32_t>(size_bytes / line_bytes);
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace mira::cache
+
+#endif  // MIRA_SRC_CACHE_SECTION_CONFIG_H_

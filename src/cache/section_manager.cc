@@ -1,0 +1,50 @@
+#include "src/cache/section_manager.h"
+
+namespace mira::cache {
+
+uint16_t SectionManager::AddSection(std::unique_ptr<Section> section) {
+  MIRA_CHECK_MSG(sections_.size() < 0xfffe, "too many sections");
+  sections_.push_back(std::move(section));
+  return static_cast<uint16_t>(sections_.size());
+}
+
+void SectionManager::MapRange(farmem::RemoteAddr addr, uint64_t size, uint16_t section_id) {
+  MIRA_CHECK(section_id == 0 || section_id <= sections_.size());
+  ranges_[addr] = Range{size, section_id};
+}
+
+void SectionManager::UnmapRange(farmem::RemoteAddr addr) { ranges_.erase(addr); }
+
+Placement SectionManager::Resolve(farmem::RemoteAddr addr) const {
+  auto it = ranges_.upper_bound(addr);
+  if (it != ranges_.begin()) {
+    --it;
+    if (addr >= it->first && addr < it->first + it->second.size) {
+      const uint16_t id = it->second.section_id;
+      if (id == 0) {
+        return Placement{0, nullptr};
+      }
+      return Placement{id, sections_[id - 1].get()};
+    }
+  }
+  return Placement{0, nullptr};  // unmapped → swap
+}
+
+uint64_t SectionManager::TotalLocalBytes() const {
+  uint64_t total = swap_ ? swap_->size_bytes() : 0;
+  for (const auto& s : sections_) {
+    total += s->config().size_bytes;
+  }
+  return total;
+}
+
+void SectionManager::ReleaseAll(sim::SimClock& clk) {
+  for (auto& s : sections_) {
+    s->Release(clk);
+  }
+  if (swap_) {
+    swap_->Release(clk);
+  }
+}
+
+}  // namespace mira::cache

@@ -1,0 +1,92 @@
+// SectionManager: the registry of cache sections plus the remote-pointer
+// encoding from paper §5.2.1 — section ID in the highest 16 bits, offset in
+// the lower 48. Section ID 0 is reserved for pointers to *local* objects
+// (their normal virtual addresses have zero high bits), letting one
+// dereference path serve pointers that may target either local or remotable
+// objects at run time.
+
+#ifndef MIRA_SRC_CACHE_SECTION_MANAGER_H_
+#define MIRA_SRC_CACHE_SECTION_MANAGER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/cache/section.h"
+#include "src/cache/swap_section.h"
+#include "src/farmem/far_memory_node.h"
+
+namespace mira::cache {
+
+// Encoded far-memory pointer: 16-bit section id | 48-bit offset.
+struct RemotePtr {
+  static constexpr int kOffsetBits = 48;
+  static constexpr uint64_t kOffsetMask = (1ULL << kOffsetBits) - 1;
+  static constexpr uint16_t kLocalSection = 0;
+
+  uint64_t bits = 0;
+
+  static RemotePtr Encode(uint16_t section, uint64_t offset) {
+    return RemotePtr{(static_cast<uint64_t>(section) << kOffsetBits) | (offset & kOffsetMask)};
+  }
+  // A pointer to a local object is its virtual address verbatim; the high
+  // 16 bits of canonical user-space addresses are zero, so it decodes as
+  // section 0.
+  static RemotePtr Local(uint64_t vaddr) { return RemotePtr{vaddr & kOffsetMask}; }
+
+  uint16_t section() const { return static_cast<uint16_t>(bits >> kOffsetBits); }
+  uint64_t offset() const { return bits & kOffsetMask; }
+  bool is_local() const { return section() == kLocalSection; }
+};
+
+// Where a remote address is cached. section_id 0 means the swap section.
+struct Placement {
+  uint16_t section_id = 0;
+  Section* section = nullptr;  // null for swap
+};
+
+class SectionManager {
+ public:
+  // The swap section is mandatory: it serves all unmapped ranges (the
+  // paper's initial configuration and the fallback for pre-compiled code).
+  explicit SectionManager(std::unique_ptr<SwapSection> swap) : swap_(std::move(swap)) {}
+
+  // Registers a section; returns its id (≥ 1).
+  uint16_t AddSection(std::unique_ptr<Section> section);
+
+  // Routes the remote range [addr, addr+size) to `section_id` (0 = swap).
+  // Overrides any previous mapping of the exact same base address.
+  void MapRange(farmem::RemoteAddr addr, uint64_t size, uint16_t section_id);
+  void UnmapRange(farmem::RemoteAddr addr);
+
+  // Which section services `addr`.
+  Placement Resolve(farmem::RemoteAddr addr) const;
+
+  Section* section(uint16_t id) {
+    MIRA_CHECK(id >= 1 && id <= sections_.size());
+    return sections_[id - 1].get();
+  }
+  size_t section_count() const { return sections_.size(); }
+  SwapSection* swap() { return swap_.get(); }
+
+  // Sum of configured local-memory use across sections + swap pool.
+  uint64_t TotalLocalBytes() const;
+
+  // Release every section and the swap pool (writebacks included).
+  void ReleaseAll(sim::SimClock& clk);
+
+ private:
+  struct Range {
+    uint64_t size;
+    uint16_t section_id;
+  };
+
+  std::unique_ptr<SwapSection> swap_;
+  std::vector<std::unique_ptr<Section>> sections_;
+  std::map<farmem::RemoteAddr, Range> ranges_;
+};
+
+}  // namespace mira::cache
+
+#endif  // MIRA_SRC_CACHE_SECTION_MANAGER_H_

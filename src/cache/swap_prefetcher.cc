@@ -1,0 +1,77 @@
+#include "src/cache/swap_prefetcher.h"
+
+#include <algorithm>
+
+namespace mira::cache {
+
+void ReadaheadPrefetcher::OnFault(uint64_t page, std::vector<uint64_t>* out) {
+  if (last_page_ != UINT64_MAX && page == last_page_ + 1) {
+    window_ = std::min(window_ * 2, max_window_);
+  } else {
+    window_ = 1;
+  }
+  last_page_ = page;
+  for (uint32_t i = 1; i <= window_; ++i) {
+    out->push_back(page + i);
+  }
+}
+
+int64_t LeapPrefetcher::MajorityStride() const {
+  // Boyer-Moore majority vote over the recorded deltas; a candidate must
+  // actually hold a strict majority to win.
+  int64_t cand = 0;
+  int count = 0;
+  for (const int64_t d : deltas_) {
+    if (count == 0) {
+      cand = d;
+      count = 1;
+    } else if (d == cand) {
+      ++count;
+    } else {
+      --count;
+    }
+  }
+  if (count == 0 || cand == 0) {
+    return 0;
+  }
+  const auto occur = std::count(deltas_.begin(), deltas_.end(), cand);
+  return static_cast<size_t>(occur) * 2 > deltas_.size() ? cand : 0;
+}
+
+void LeapPrefetcher::OnFault(uint64_t page, std::vector<uint64_t>* out) {
+  if (last_page_ != UINT64_MAX) {
+    deltas_.push_back(static_cast<int64_t>(page) - static_cast<int64_t>(last_page_));
+    if (deltas_.size() > history_) {
+      deltas_.pop_front();
+    }
+  }
+  last_page_ = page;
+  const int64_t stride = MajorityStride();
+  if (stride == 0) {
+    return;
+  }
+  for (uint32_t i = 1; i <= window_; ++i) {
+    const int64_t target = static_cast<int64_t>(page) + stride * static_cast<int64_t>(i);
+    if (target >= 0) {
+      out->push_back(static_cast<uint64_t>(target));
+    }
+  }
+}
+
+void LeapPrefetcher::Feedback(bool useful) {
+  if (useful) {
+    if (++useful_ >= 4) {
+      window_ = std::min(window_ * 2, max_window_);
+      useful_ = 0;
+    }
+    useless_ = 0;
+  } else {
+    if (++useless_ >= 4) {
+      window_ = std::max<uint32_t>(window_ / 2, 1);
+      useless_ = 0;
+    }
+    useful_ = 0;
+  }
+}
+
+}  // namespace mira::cache

@@ -1,0 +1,78 @@
+// Prefetch policies for the transparent swap path.
+//
+// ReadaheadPrefetcher models FastSwap/Linux swap readahead: a window of
+// consecutive pages that doubles on sequential fault streaks.
+//
+// LeapPrefetcher models Leap [Al Maruf & Chowdhury, ATC'20]: it finds the
+// *majority* access-stride over a recent window of fault addresses
+// (Boyer-Moore majority vote) and prefetches along that trend with an
+// adaptive window. Leap captures a single global pattern well and fails on
+// interleaved per-object patterns — exactly the contrast the Mira paper
+// draws in its Fig 15 discussion.
+
+#ifndef MIRA_SRC_CACHE_SWAP_PREFETCHER_H_
+#define MIRA_SRC_CACHE_SWAP_PREFETCHER_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+namespace mira::cache {
+
+class SwapPrefetcher {
+ public:
+  virtual ~SwapPrefetcher() = default;
+
+  // Called on each demand fault; fills `out` with pages to prefetch.
+  virtual void OnFault(uint64_t page, std::vector<uint64_t>* out) = 0;
+
+  // Feedback: a previously prefetched page was used before eviction (true)
+  // or evicted unused (false). Adaptive policies resize their window.
+  virtual void Feedback(bool useful) {}
+};
+
+// No prefetching at all.
+class NullPrefetcher : public SwapPrefetcher {
+ public:
+  void OnFault(uint64_t page, std::vector<uint64_t>* out) override {}
+};
+
+class ReadaheadPrefetcher : public SwapPrefetcher {
+ public:
+  explicit ReadaheadPrefetcher(uint32_t max_window = 8) : max_window_(max_window) {}
+
+  void OnFault(uint64_t page, std::vector<uint64_t>* out) override;
+
+ private:
+  uint32_t max_window_;
+  uint32_t window_ = 1;
+  uint64_t last_page_ = UINT64_MAX;
+};
+
+class LeapPrefetcher : public SwapPrefetcher {
+ public:
+  // `history` is the size of the access-history window examined by the
+  // majority vote; `max_window` bounds the prefetch window.
+  explicit LeapPrefetcher(uint32_t history = 32, uint32_t max_window = 16)
+      : history_(history), max_window_(max_window) {}
+
+  void OnFault(uint64_t page, std::vector<uint64_t>* out) override;
+  void Feedback(bool useful) override;
+
+  // Exposed for tests: the current majority stride (0 = none found).
+  int64_t MajorityStride() const;
+
+ private:
+  uint32_t history_;
+  uint32_t max_window_;
+  uint32_t window_ = 2;
+  uint64_t last_page_ = UINT64_MAX;
+  std::deque<int64_t> deltas_;
+  // Adaptive feedback accounting.
+  uint32_t useful_ = 0;
+  uint32_t useless_ = 0;
+};
+
+}  // namespace mira::cache
+
+#endif  // MIRA_SRC_CACHE_SWAP_PREFETCHER_H_

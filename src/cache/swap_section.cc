@@ -1,0 +1,164 @@
+#include "src/cache/swap_section.h"
+
+#include <algorithm>
+
+#include "src/support/check.h"
+
+namespace mira::cache {
+
+SwapSection::SwapSection(uint64_t size_bytes, net::Transport* net,
+                         std::unique_ptr<SwapPrefetcher> prefetcher, double datapath_factor)
+    : net_(net),
+      prefetcher_(std::move(prefetcher)),
+      datapath_factor_(datapath_factor),
+      num_pages_(static_cast<uint32_t>(std::max<uint64_t>(1, size_bytes / kPageBytes))),
+      frames_(num_pages_),
+      no_pins_(num_pages_, 0),
+      lru_(num_pages_) {
+  free_frames_.reserve(num_pages_);
+  for (uint32_t f = num_pages_; f > 0; --f) {
+    free_frames_.push_back(f - 1);
+  }
+  table_.reserve(num_pages_ * 2);
+}
+
+void SwapSection::Access(sim::SimClock& clk, uint64_t raddr, uint32_t len, bool write) {
+  const uint64_t first = raddr >> kPageShift;
+  const uint64_t last = (raddr + (len > 0 ? len - 1 : 0)) >> kPageShift;
+  for (uint64_t page = first; page <= last; ++page) {
+    const auto it = table_.find(page);
+    if (it != table_.end()) {
+      PageMeta& m = frames_[it->second];
+      if (m.ready_at_ns > clk.now_ns()) {
+        // Minor fault on an in-flight (prefetched) page.
+        const uint64_t minor = static_cast<uint64_t>(
+            static_cast<double>(net_->cost().page_fault_ns) * 0.25 * datapath_factor_);
+        clk.Advance(minor);
+        stats_.runtime_ns += minor;
+        const uint64_t wait = m.ready_at_ns - clk.now_ns();
+        if (m.ready_at_ns > clk.now_ns()) {
+          stats_.stall_ns += wait;
+          stats_.prefetch_late_ns += wait;
+          clk.AdvanceTo(m.ready_at_ns);
+        }
+      }
+      if (m.prefetched) {
+        ++stats_.prefetched_hits;
+        m.prefetched = false;
+        prefetcher_->Feedback(true);
+      }
+      stats_.lines.Hit();
+      m.dirty = m.dirty || write;
+      lru_.OnTouch(it->second);
+    } else {
+      stats_.lines.Miss();
+      const uint32_t frame = FaultIn(clk, page, /*demand=*/true);
+      MIRA_CHECK(frame != UINT32_MAX);
+      frames_[frame].dirty = write;
+      // Prefetcher reacts to the demand fault.
+      std::vector<uint64_t> candidates;
+      prefetcher_->OnFault(page, &candidates);
+      for (const uint64_t p : candidates) {
+        if (table_.find(p) == table_.end()) {
+          FaultIn(clk, p, /*demand=*/false);
+        }
+      }
+    }
+  }
+  // Mapped pages are accessed at native speed.
+  clk.Advance(net_->cost().native_access_ns);
+}
+
+uint32_t SwapSection::FaultIn(sim::SimClock& clk, uint64_t page, bool demand) {
+  uint32_t frame;
+  if (!free_frames_.empty()) {
+    frame = free_frames_.back();
+    free_frames_.pop_back();
+  } else {
+    frame = lru_.ChooseVictim(no_pins_);
+    if (frame == ActiveInactiveLru::kNil) {
+      return UINT32_MAX;
+    }
+    EvictFrame(clk, frame);
+  }
+  PageMeta& m = frames_[frame];
+  m.page = page;
+  m.dirty = false;
+  m.prefetched = !demand;
+  const uint64_t raddr = page << kPageShift;
+  if (demand) {
+    // Kernel fault path + synchronous page fetch, serialized across
+    // threads when a fault lock is configured.
+    const uint64_t fault =
+        static_cast<uint64_t>(static_cast<double>(net_->cost().page_fault_ns) * datapath_factor_);
+    if (fault_lock_ != nullptr) {
+      const uint64_t done = fault_lock_->Acquire(clk.now_ns(), fault);
+      stats_.runtime_ns += done - clk.now_ns();
+      clk.AdvanceTo(done);
+    } else {
+      clk.Advance(fault);
+      stats_.runtime_ns += fault;
+    }
+    const uint64_t t0 = clk.now_ns();
+    net_->ReadSync(clk, raddr, nullptr, kPageBytes);
+    m.ready_at_ns = clk.now_ns();
+    stats_.stall_ns += clk.now_ns() - t0;
+  } else {
+    const uint64_t issue = net_->cost().prefetch_issue_ns;
+    clk.Advance(issue);
+    stats_.runtime_ns += issue;
+    m.ready_at_ns = net_->ReadAsync(clk, raddr, nullptr, kPageBytes);
+    ++stats_.prefetches_issued;
+  }
+  stats_.bytes_fetched += kPageBytes;
+  table_[page] = frame;
+  lru_.OnInsert(frame);
+  return frame;
+}
+
+void SwapSection::EvictFrame(sim::SimClock& clk, uint32_t slot) {
+  PageMeta& m = frames_[slot];
+  MIRA_CHECK(m.page != UINT64_MAX);
+  ++stats_.evictions;
+  if (m.prefetched) {
+    prefetcher_->Feedback(false);  // prefetched but never used
+  }
+  const uint64_t evict = static_cast<uint64_t>(
+      static_cast<double>(net_->cost().page_evict_ns) * datapath_factor_);
+  clk.Advance(evict);
+  stats_.runtime_ns += evict;
+  if (m.dirty) {
+    const uint64_t done = net_->WriteAsync(clk, m.page << kPageShift, nullptr, kPageBytes);
+    last_writeback_done_ns_ = std::max(last_writeback_done_ns_, done);
+    ++stats_.writebacks;
+    stats_.bytes_written_back += kPageBytes;
+  }
+  table_.erase(m.page);
+  lru_.Remove(slot);
+  m = PageMeta{};
+}
+
+void SwapSection::Release(sim::SimClock& clk) {
+  for (uint32_t f = 0; f < frames_.size(); ++f) {
+    PageMeta& m = frames_[f];
+    if (m.page == UINT64_MAX) {
+      continue;
+    }
+    if (m.dirty) {
+      const uint64_t done = net_->WriteAsync(clk, m.page << kPageShift, nullptr, kPageBytes);
+      last_writeback_done_ns_ = std::max(last_writeback_done_ns_, done);
+      ++stats_.writebacks;
+      stats_.bytes_written_back += kPageBytes;
+    }
+    table_.erase(m.page);
+    lru_.Remove(f);
+    m = PageMeta{};
+    free_frames_.push_back(f);
+  }
+  if (last_writeback_done_ns_ > clk.now_ns()) {
+    stats_.stall_ns += last_writeback_done_ns_ - clk.now_ns();
+    clk.AdvanceTo(last_writeback_done_ns_);
+  }
+}
+
+}  // namespace mira::cache

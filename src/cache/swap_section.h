@@ -1,0 +1,87 @@
+// The transparent swap cache (paper §5.3, "Swap-based cache section").
+//
+// Models a user-space swap system built on userfaultfd: 4 KB pages, a
+// dynamic virtual→physical mapping, a kernel-fault cost per miss, global
+// approximate LRU eviction (active/inactive lists), and a pluggable
+// prefetcher. Once a page is mapped, accesses are native-speed — swap's
+// advantage over lookup-based sections — but every miss moves a whole page
+// (amplification, the paper's core complaint about swap systems).
+//
+// The same class serves as (a) Mira's generic swap section (the initial
+// configuration and the fallback for analysis-hostile scopes), (b) the
+// FastSwap baseline (ReadaheadPrefetcher), and (c) the Leap baseline
+// (LeapPrefetcher plus a slower data-path factor).
+
+#ifndef MIRA_SRC_CACHE_SWAP_SECTION_H_
+#define MIRA_SRC_CACHE_SWAP_SECTION_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/cache/lru.h"
+#include "src/cache/section.h"
+#include "src/cache/swap_prefetcher.h"
+#include "src/net/transport.h"
+#include "src/sim/clock.h"
+#include "src/sim/resource.h"
+
+namespace mira::cache {
+
+class SwapSection {
+ public:
+  static constexpr uint32_t kPageShift = 12;
+  static constexpr uint32_t kPageBytes = 1u << kPageShift;
+
+  // `size_bytes` is the local page-pool size; `datapath_factor` scales the
+  // kernel fault/eviction path (Leap > FastSwap, paper §6.1).
+  SwapSection(uint64_t size_bytes, net::Transport* net,
+              std::unique_ptr<SwapPrefetcher> prefetcher, double datapath_factor = 1.0);
+
+  // One memory access of `len` bytes at remote address `raddr`.
+  void Access(sim::SimClock& clk, uint64_t raddr, uint32_t len, bool write);
+
+  // Writes back all dirty pages and drops residency.
+  void Release(sim::SimClock& clk);
+
+  // Serializes the kernel fault path across logical threads (the Linux swap
+  // locking bottleneck the paper's Fig 24 discussion points at). Null by
+  // default (single-threaded runs).
+  void SetFaultLock(sim::SerialResource* lock) { fault_lock_ = lock; }
+
+  const SectionStats& stats() const { return stats_; }
+  void ResetStats() { stats_.Reset(); }
+  uint32_t resident_pages() const { return lru_.resident(); }
+  uint64_t size_bytes() const { return static_cast<uint64_t>(num_pages_) * kPageBytes; }
+
+ private:
+  struct PageMeta {
+    uint64_t page = UINT64_MAX;
+    uint64_t ready_at_ns = 0;
+    bool dirty = false;
+    bool prefetched = false;
+  };
+
+  // Faults `page` in (demand or prefetch); returns the chosen slot, or
+  // UINT32_MAX if no frame could be freed.
+  uint32_t FaultIn(sim::SimClock& clk, uint64_t page, bool demand);
+  void EvictFrame(sim::SimClock& clk, uint32_t slot);
+
+  net::Transport* net_;
+  std::unique_ptr<SwapPrefetcher> prefetcher_;
+  double datapath_factor_;
+  uint32_t num_pages_;
+  std::vector<PageMeta> frames_;
+  std::vector<uint32_t> free_frames_;
+  std::vector<uint16_t> no_pins_;  // swap never pins; shared empty pin table
+  std::unordered_map<uint64_t, uint32_t> table_;  // page → frame
+  ActiveInactiveLru lru_;
+  SectionStats stats_;
+  uint64_t last_writeback_done_ns_ = 0;
+  sim::SerialResource* fault_lock_ = nullptr;
+};
+
+}  // namespace mira::cache
+
+#endif  // MIRA_SRC_CACHE_SWAP_SECTION_H_

@@ -1,0 +1,126 @@
+#include "src/farmem/far_memory_node.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/support/check.h"
+#include "src/support/str.h"
+
+namespace mira::farmem {
+
+FarMemoryNode::FarMemoryNode(uint64_t capacity_bytes) : capacity_bytes_(capacity_bytes) {}
+
+void FarMemoryNode::EnsureMapped(RemoteAddr addr, uint64_t len) {
+  const uint64_t last_chunk = (addr + len - 1) >> kChunkShift;
+  while (chunks_.size() <= last_chunk) {
+    auto chunk = std::make_unique<uint8_t[]>(kChunkSize);
+    std::memset(chunk.get(), 0, kChunkSize);
+    chunks_.push_back(std::move(chunk));
+  }
+}
+
+support::Result<RemoteAddr> FarMemoryNode::AllocRange(uint64_t bytes) {
+  if (bytes == 0) {
+    return support::Status::InvalidArgument("AllocRange of 0 bytes");
+  }
+  // Round to 64 B so distinct objects never share a minimal cache line.
+  bytes = (bytes + 63) & ~63ULL;
+  if (capacity_bytes_ != 0 && allocated_bytes_ + bytes > capacity_bytes_) {
+    return support::Status::OutOfMemory(
+        support::StrFormat("far memory exhausted: %llu + %llu > %llu",
+                           static_cast<unsigned long long>(allocated_bytes_),
+                           static_cast<unsigned long long>(bytes),
+                           static_cast<unsigned long long>(capacity_bytes_)));
+  }
+  // Best-fit over the free list first.
+  auto best = free_ranges_.end();
+  for (auto it = free_ranges_.begin(); it != free_ranges_.end(); ++it) {
+    if (it->second >= bytes && (best == free_ranges_.end() || it->second < best->second)) {
+      best = it;
+    }
+  }
+  RemoteAddr addr;
+  if (best != free_ranges_.end()) {
+    addr = best->first;
+    const uint64_t remain = best->second - bytes;
+    free_ranges_.erase(best);
+    if (remain > 0) {
+      free_ranges_[addr + bytes] = remain;
+    }
+  } else {
+    addr = bump_;
+    bump_ += bytes;
+  }
+  EnsureMapped(addr, bytes);
+  allocated_bytes_ += bytes;
+  return addr;
+}
+
+void FarMemoryNode::FreeRange(RemoteAddr addr, uint64_t bytes) {
+  MIRA_CHECK(addr != kNullRemoteAddr);
+  bytes = (bytes + 63) & ~63ULL;
+  MIRA_CHECK(allocated_bytes_ >= bytes);
+  allocated_bytes_ -= bytes;
+  // Insert and coalesce with neighbors.
+  auto [it, inserted] = free_ranges_.emplace(addr, bytes);
+  MIRA_CHECK_MSG(inserted, "double free of remote range");
+  // Merge with next.
+  auto next = std::next(it);
+  if (next != free_ranges_.end() && it->first + it->second == next->first) {
+    it->second += next->second;
+    free_ranges_.erase(next);
+  }
+  // Merge with prev.
+  if (it != free_ranges_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->first + prev->second == it->first) {
+      prev->second += it->second;
+      free_ranges_.erase(it);
+    }
+  }
+}
+
+uint8_t* FarMemoryNode::Mem(RemoteAddr addr, uint64_t len) {
+  MIRA_CHECK_MSG(addr >= kBaseAddr, "remote address below arena base");
+  EnsureMapped(addr, len);
+  // Accesses must not straddle a chunk boundary unless chunks are
+  // contiguous in the arena — they are not, so we require single-chunk
+  // spans. Allocation rounding plus ≤1 MiB line sizes guarantee this for
+  // all system-generated accesses; cross-chunk bulk copies go segmentwise
+  // through MemCopyIn/MemCopyOut in the transport.
+  const uint64_t chunk = addr >> kChunkShift;
+  const uint64_t off = addr & (kChunkSize - 1);
+  MIRA_CHECK_MSG(off + len <= kChunkSize, "remote access straddles a chunk boundary");
+  return chunks_[chunk].get() + off;
+}
+
+const uint8_t* FarMemoryNode::Mem(RemoteAddr addr, uint64_t len) const {
+  return const_cast<FarMemoryNode*>(this)->Mem(addr, len);
+}
+
+void FarMemoryNode::CopyOut(RemoteAddr addr, void* dst, uint64_t len) const {
+  auto* self = const_cast<FarMemoryNode*>(this);
+  auto* out = static_cast<uint8_t*>(dst);
+  while (len > 0) {
+    const uint64_t off = addr & (kChunkSize - 1);
+    const uint64_t n = std::min<uint64_t>(len, kChunkSize - off);
+    std::memcpy(out, self->Mem(addr, n), n);
+    addr += n;
+    out += n;
+    len -= n;
+  }
+}
+
+void FarMemoryNode::CopyIn(RemoteAddr addr, const void* src, uint64_t len) {
+  const auto* in = static_cast<const uint8_t*>(src);
+  while (len > 0) {
+    const uint64_t off = addr & (kChunkSize - 1);
+    const uint64_t n = std::min<uint64_t>(len, kChunkSize - off);
+    std::memcpy(Mem(addr, n), in, n);
+    addr += n;
+    in += n;
+    len -= n;
+  }
+}
+
+}  // namespace mira::farmem

@@ -1,0 +1,69 @@
+// The far-memory node: backing storage plus a low-level remote allocator.
+//
+// The node owns a chunked arena addressed by a remote virtual address space
+// starting at kBaseAddr. The network transport copies bytes between local
+// buffers and this arena; timing is charged separately by the cost model
+// (data plane and timing plane are decoupled — see DESIGN.md §3).
+
+#ifndef MIRA_SRC_FARMEM_FAR_MEMORY_NODE_H_
+#define MIRA_SRC_FARMEM_FAR_MEMORY_NODE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/support/status.h"
+
+namespace mira::farmem {
+
+// Remote virtual addresses handed out by the node. Address 0 is never used
+// (null). The arena grows in fixed chunks; addresses are stable for the
+// lifetime of the node.
+using RemoteAddr = uint64_t;
+
+inline constexpr RemoteAddr kNullRemoteAddr = 0;
+
+class FarMemoryNode {
+ public:
+  static constexpr uint64_t kChunkShift = 20;  // 1 MiB chunks
+  static constexpr uint64_t kChunkSize = 1ULL << kChunkShift;
+  static constexpr RemoteAddr kBaseAddr = kChunkSize;  // skip chunk 0 → no addr 0
+
+  // `capacity_bytes` bounds total far memory (0 = unbounded).
+  explicit FarMemoryNode(uint64_t capacity_bytes = 0);
+
+  // Low-level allocator ("remote allocator" in the paper §5.2.1): allocates
+  // a contiguous remote range. Never splits a range across an unmapped hole.
+  support::Result<RemoteAddr> AllocRange(uint64_t bytes);
+  void FreeRange(RemoteAddr addr, uint64_t bytes);
+
+  // Host pointer to the backing bytes at `addr`. The span [addr, addr+len)
+  // must not straddle a 1 MiB chunk boundary; use CopyIn/CopyOut for
+  // arbitrary spans.
+  uint8_t* Mem(RemoteAddr addr, uint64_t len);
+  const uint8_t* Mem(RemoteAddr addr, uint64_t len) const;
+
+  // Data-plane copies that handle chunk-boundary crossings.
+  void CopyOut(RemoteAddr addr, void* dst, uint64_t len) const;
+  void CopyIn(RemoteAddr addr, const void* src, uint64_t len);
+
+  uint64_t allocated_bytes() const { return allocated_bytes_; }
+  uint64_t capacity_bytes() const { return capacity_bytes_; }
+  uint64_t arena_bytes() const { return chunks_.size() * kChunkSize; }
+
+ private:
+  // Ensures backing chunks exist for [addr, addr+len).
+  void EnsureMapped(RemoteAddr addr, uint64_t len);
+
+  uint64_t capacity_bytes_;
+  uint64_t allocated_bytes_ = 0;
+  RemoteAddr bump_ = kBaseAddr;
+  std::vector<std::unique_ptr<uint8_t[]>> chunks_;
+  // Free ranges by address → size (coalesced on free).
+  std::map<RemoteAddr, uint64_t> free_ranges_;
+};
+
+}  // namespace mira::farmem
+
+#endif  // MIRA_SRC_FARMEM_FAR_MEMORY_NODE_H_

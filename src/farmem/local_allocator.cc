@@ -1,0 +1,66 @@
+#include "src/farmem/local_allocator.h"
+
+#include <algorithm>
+
+#include "src/support/check.h"
+
+namespace mira::farmem {
+
+support::Result<RemoteAddr> LocalAllocator::Alloc(sim::SimClock& clk, uint64_t bytes) {
+  bytes = (bytes + 63) & ~63ULL;
+  // First-fit over buffered ranges.
+  for (auto it = buffered_.begin(); it != buffered_.end(); ++it) {
+    if (it->second >= bytes) {
+      const RemoteAddr addr = it->first;
+      const uint64_t remain = it->second - bytes;
+      buffered_.erase(it);
+      if (remain > 0) {
+        buffered_[addr + bytes] = remain;
+      }
+      buffered_bytes_ -= bytes;
+      return addr;
+    }
+  }
+  // Refill from the remote allocator: one RPC, charged to the caller.
+  const uint64_t ask = std::max(bytes, kRefillBytes);
+  auto range = node_->AllocRange(ask);
+  if (!range.ok()) {
+    // Retry with the exact size (the big refill may overshoot capacity).
+    range = node_->AllocRange(bytes);
+    if (!range.ok()) {
+      return range.status();
+    }
+    net_->Rpc(clk, 16, 16, net_->cost().remote_alloc_rpc_ns);
+    ++refill_rpcs_;
+    return range.take();
+  }
+  net_->Rpc(clk, 16, 16, net_->cost().remote_alloc_rpc_ns);
+  ++refill_rpcs_;
+  const RemoteAddr base = range.take();
+  if (ask > bytes) {
+    buffered_[base + bytes] = ask - bytes;
+    buffered_bytes_ += ask - bytes;
+  }
+  return base;
+}
+
+void LocalAllocator::Free(RemoteAddr addr, uint64_t bytes) {
+  bytes = (bytes + 63) & ~63ULL;
+  auto [it, inserted] = buffered_.emplace(addr, bytes);
+  MIRA_CHECK_MSG(inserted, "double free in local allocator");
+  buffered_bytes_ += bytes;
+  auto next = std::next(it);
+  if (next != buffered_.end() && it->first + it->second == next->first) {
+    it->second += next->second;
+    buffered_.erase(next);
+  }
+  if (it != buffered_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->first + prev->second == it->first) {
+      prev->second += it->second;
+      buffered_.erase(it);
+    }
+  }
+}
+
+}  // namespace mira::farmem

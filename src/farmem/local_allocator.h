@@ -1,0 +1,48 @@
+// The local allocator (paper §5.2.1, "Implementing remotable.alloc").
+//
+// Buffers remote address ranges obtained from the far node's low-level
+// allocator so that most remotable.alloc calls are satisfied locally without
+// a network round trip — the malloc-vs-mmap split the paper describes.
+
+#ifndef MIRA_SRC_FARMEM_LOCAL_ALLOCATOR_H_
+#define MIRA_SRC_FARMEM_LOCAL_ALLOCATOR_H_
+
+#include <cstdint>
+#include <map>
+
+#include "src/farmem/far_memory_node.h"
+#include "src/net/transport.h"
+#include "src/sim/clock.h"
+#include "src/support/status.h"
+
+namespace mira::farmem {
+
+class LocalAllocator {
+ public:
+  static constexpr uint64_t kRefillBytes = 4ULL << 20;  // 4 MiB per refill RPC
+
+  LocalAllocator(FarMemoryNode* node, net::Transport* net) : node_(node), net_(net) {}
+
+  // Allocates `bytes` of far memory. Served from buffered ranges when
+  // possible; otherwise performs a (charged) refill RPC to the remote
+  // allocator.
+  support::Result<RemoteAddr> Alloc(sim::SimClock& clk, uint64_t bytes);
+
+  // Returns a range to the local buffer (not to the far node — mirrors a
+  // user-level allocator's behavior).
+  void Free(RemoteAddr addr, uint64_t bytes);
+
+  uint64_t buffered_bytes() const { return buffered_bytes_; }
+  uint64_t refill_rpcs() const { return refill_rpcs_; }
+
+ private:
+  FarMemoryNode* node_;
+  net::Transport* net_;
+  std::map<RemoteAddr, uint64_t> buffered_;  // addr → size, coalesced
+  uint64_t buffered_bytes_ = 0;
+  uint64_t refill_rpcs_ = 0;
+};
+
+}  // namespace mira::farmem
+
+#endif  // MIRA_SRC_FARMEM_LOCAL_ALLOCATOR_H_

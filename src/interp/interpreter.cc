@@ -1,0 +1,555 @@
+#include "src/interp/interpreter.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "src/support/str.h"
+
+namespace mira::interp {
+
+using support::Status;
+
+Interpreter::Interpreter(const ir::Module* module, backends::Backend* backend,
+                         InterpOptions options)
+    : module_(module), backend_(backend), options_(options), rng_(options.seed) {}
+
+farmem::RemoteAddr Interpreter::ObjectAddr(const std::string& label) const {
+  const auto it = first_alloc_addr_.find(label);
+  return it == first_alloc_addr_.end() ? farmem::kNullRemoteAddr : it->second;
+}
+
+support::Result<uint64_t> Interpreter::Run(std::string_view func_name,
+                                           std::vector<uint64_t> args) {
+  const ir::Function* func = module_->FindFunction(func_name);
+  if (func == nullptr) {
+    return Status::NotFound(std::string(func_name));
+  }
+  uint64_t result = 0;
+  const uint64_t t0 = clock_.now_ns();
+  if (auto s = CallFunction(module_->FunctionIndex(func_name), args, &result); !s.ok()) {
+    return s;
+  }
+  profile_.total_ns += clock_.now_ns() - t0;
+  return result;
+}
+
+void Interpreter::ChargeCompute(uint64_t ops) {
+  const auto& cost = backend_->cost();
+  uint64_t ns = ops * cost.compute_op_ns;
+  if (remote_mode_) {
+    ns = static_cast<uint64_t>(static_cast<double>(ns) * cost.remote_compute_slowdown);
+  }
+  clock_.Advance(ns);
+}
+
+uint64_t Interpreter::LoadData(farmem::RemoteAddr addr, uint32_t bytes) const {
+  uint64_t bits = 0;
+  backend_->node()->CopyOut(addr, &bits, bytes);
+  return bits;
+}
+
+void Interpreter::StoreData(farmem::RemoteAddr addr, uint64_t bits, uint32_t bytes) {
+  backend_->node()->CopyIn(addr, &bits, bytes);
+}
+
+void Interpreter::MemAccess(Frame& frame, const ir::Instr& instr, bool is_store) {
+  const auto& cost = backend_->cost();
+  if (remote_mode_) {
+    // Offloaded execution: the data is local to the far node.
+    clock_.Advance(cost.native_access_ns);
+    return;
+  }
+  backends::AccessHints hints;
+  hints.promoted = instr.mem.promoted;
+  hints.full_line_write = instr.mem.full_line_write;
+  const farmem::RemoteAddr addr = frame.values[instr.operands[0]];
+  const uint64_t t0 = clock_.now_ns();
+  if (instr.mem.pinned) {
+    backend_->Pin(clock_, addr, instr.mem.bytes);
+  }
+  if (is_store) {
+    backend_->Store(clock_, addr, instr.mem.bytes, hints);
+  } else {
+    backend_->Load(clock_, addr, instr.mem.bytes, hints);
+  }
+  if (instr.mem.pinned) {
+    backend_->Unpin(clock_, addr, instr.mem.bytes);
+  }
+  const uint64_t delta = clock_.now_ns() - t0;
+  const uint64_t native = cost.native_access_ns;
+  const uint64_t overhead = delta > native ? delta - native : 0;
+  if (!func_stack_.empty()) {
+    FuncProfile& fp = profile_.funcs[func_stack_.back()];
+    fp.overhead_ns += overhead;
+    ++fp.mem_accesses;
+  }
+  profile_.total_overhead_ns += overhead;
+  if (options_.profiling && overhead > 0) {
+    // Non-native cache events carry the (tiny) instrumentation cost.
+    clock_.Advance(cost.profile_event_ns);
+  }
+}
+
+void Interpreter::ServiceBatchGroup(Frame& frame, const ir::Region& region, size_t pos) {
+  const ir::Instr& first = region.body[pos];
+  const int32_t group = first.mem.batch_group;
+  std::vector<std::pair<farmem::RemoteAddr, uint32_t>> accesses;
+  for (size_t i = pos; i < region.body.size(); ++i) {
+    const ir::Instr& instr = region.body[i];
+    if (instr.kind == ir::OpKind::kRmemLoad && instr.mem.batch_group == group) {
+      accesses.push_back({frame.values[instr.operands[0]], instr.mem.bytes});
+    }
+  }
+  const uint64_t t0 = clock_.now_ns();
+  backend_->LoadBatch(clock_, accesses);
+  const uint64_t native = accesses.size() * backend_->cost().native_access_ns;
+  const uint64_t delta = clock_.now_ns() - t0;
+  const uint64_t overhead = delta > native ? delta - native : 0;
+  if (!func_stack_.empty()) {
+    FuncProfile& fp = profile_.funcs[func_stack_.back()];
+    fp.overhead_ns += overhead;
+    fp.mem_accesses += accesses.size();
+  }
+  profile_.total_overhead_ns += overhead;
+  frame.batched_groups.push_back(group);
+}
+
+support::Status Interpreter::CallFunction(uint32_t index, const std::vector<uint64_t>& args,
+                                          uint64_t* result_bits) {
+  MIRA_CHECK(index < module_->functions.size());
+  const ir::Function& func = *module_->functions[index];
+  if (call_depth_ > 64) {
+    return Status::Internal("call depth exceeded (recursion not supported)");
+  }
+  if (args.size() != func.param_types.size()) {
+    return Status::InvalidArgument(
+        support::StrFormat("call @%s: bad arg count", func.name.c_str()));
+  }
+  Frame frame;
+  frame.func = &func;
+  frame.values.resize(func.value_types.size(), 0);
+  frame.locals.resize(func.local_slots, 0);
+  for (size_t i = 0; i < args.size(); ++i) {
+    frame.values[func.params[i]] = args[i];
+  }
+  ++call_depth_;
+  func_stack_.push_back(func.name);
+  FuncProfile& fp = ProfileOf(func);
+  ++fp.calls;
+  if (options_.profiling) {
+    clock_.Advance(backend_->cost().profile_event_ns);  // entry event
+  }
+  const uint64_t t0 = clock_.now_ns();
+  Flow flow = Flow::kNormal;
+  Status status = ExecRegion(frame, func.body, &flow);
+  fp.inclusive_ns += clock_.now_ns() - t0;
+  if (options_.profiling) {
+    clock_.Advance(backend_->cost().profile_event_ns);  // exit event
+  }
+  func_stack_.pop_back();
+  --call_depth_;
+  if (!status.ok()) {
+    return status;
+  }
+  if (result_bits != nullptr) {
+    *result_bits = frame.ret_bits;
+  }
+  return Status::Ok();
+}
+
+support::Status Interpreter::ExecRegion(Frame& frame, const ir::Region& region, Flow* flow) {
+  for (size_t i = 0; i < region.body.size(); ++i) {
+    if (auto s = ExecInstr(frame, region, i, flow); !s.ok()) {
+      return s;
+    }
+    if (*flow == Flow::kReturned) {
+      return Status::Ok();
+    }
+  }
+  return Status::Ok();
+}
+
+support::Status Interpreter::ExecInstr(Frame& frame, const ir::Region& region, size_t pos,
+                                       Flow* flow) {
+  const ir::Instr& instr = region.body[pos];
+  ++instrs_executed_;
+  if (options_.max_instrs != 0 && instrs_executed_ > options_.max_instrs) {
+    return Status::Internal("instruction budget exceeded");
+  }
+  auto& vals = frame.values;
+  auto I = [&](size_t i) { return static_cast<int64_t>(vals[instr.operands[i]]); };
+  auto F = [&](size_t i) { return UnpackF64(vals[instr.operands[i]]); };
+  auto SetI = [&](int64_t v) { vals[instr.result] = static_cast<uint64_t>(v); };
+  auto SetF = [&](double v) { vals[instr.result] = PackF64(v); };
+
+  switch (instr.kind) {
+    case ir::OpKind::kConstI:
+      SetI(instr.i_attr);
+      break;
+    case ir::OpKind::kConstF:
+      SetF(instr.f_attr);
+      break;
+    case ir::OpKind::kAdd:
+    case ir::OpKind::kSub:
+    case ir::OpKind::kMul:
+    case ir::OpKind::kDiv:
+    case ir::OpKind::kRem:
+    case ir::OpKind::kMin:
+    case ir::OpKind::kMax: {
+      ChargeCompute(1);
+      if (instr.type == ir::Type::kF64) {
+        const double a = F(0), b = F(1);
+        switch (instr.kind) {
+          case ir::OpKind::kAdd:
+            SetF(a + b);
+            break;
+          case ir::OpKind::kSub:
+            SetF(a - b);
+            break;
+          case ir::OpKind::kMul:
+            SetF(a * b);
+            break;
+          case ir::OpKind::kDiv:
+            SetF(b == 0.0 ? 0.0 : a / b);
+            break;
+          case ir::OpKind::kRem:
+            SetF(b == 0.0 ? 0.0 : std::fmod(a, b));
+            break;
+          case ir::OpKind::kMin:
+            SetF(a < b ? a : b);
+            break;
+          case ir::OpKind::kMax:
+            SetF(a > b ? a : b);
+            break;
+          default:
+            MIRA_UNREACHABLE("float binop");
+        }
+      } else {
+        const int64_t a = I(0), b = I(1);
+        switch (instr.kind) {
+          case ir::OpKind::kAdd:
+            SetI(a + b);
+            break;
+          case ir::OpKind::kSub:
+            SetI(a - b);
+            break;
+          case ir::OpKind::kMul:
+            SetI(a * b);
+            break;
+          case ir::OpKind::kDiv:
+            SetI(b == 0 ? 0 : a / b);
+            break;
+          case ir::OpKind::kRem:
+            SetI(b == 0 ? 0 : a % b);
+            break;
+          case ir::OpKind::kMin:
+            SetI(a < b ? a : b);
+            break;
+          case ir::OpKind::kMax:
+            SetI(a > b ? a : b);
+            break;
+          default:
+            MIRA_UNREACHABLE("int binop");
+        }
+      }
+      break;
+    }
+    case ir::OpKind::kCmpEq:
+    case ir::OpKind::kCmpNe:
+    case ir::OpKind::kCmpLt:
+    case ir::OpKind::kCmpLe:
+    case ir::OpKind::kCmpGt:
+    case ir::OpKind::kCmpGe: {
+      ChargeCompute(1);
+      const ir::Type t = frame.func->ValueType(instr.operands[0]);
+      bool r = false;
+      if (t == ir::Type::kF64) {
+        const double a = F(0), b = F(1);
+        switch (instr.kind) {
+          case ir::OpKind::kCmpEq:
+            r = a == b;
+            break;
+          case ir::OpKind::kCmpNe:
+            r = a != b;
+            break;
+          case ir::OpKind::kCmpLt:
+            r = a < b;
+            break;
+          case ir::OpKind::kCmpLe:
+            r = a <= b;
+            break;
+          case ir::OpKind::kCmpGt:
+            r = a > b;
+            break;
+          case ir::OpKind::kCmpGe:
+            r = a >= b;
+            break;
+          default:
+            MIRA_UNREACHABLE("cmp");
+        }
+      } else {
+        const int64_t a = I(0), b = I(1);
+        switch (instr.kind) {
+          case ir::OpKind::kCmpEq:
+            r = a == b;
+            break;
+          case ir::OpKind::kCmpNe:
+            r = a != b;
+            break;
+          case ir::OpKind::kCmpLt:
+            r = a < b;
+            break;
+          case ir::OpKind::kCmpLe:
+            r = a <= b;
+            break;
+          case ir::OpKind::kCmpGt:
+            r = a > b;
+            break;
+          case ir::OpKind::kCmpGe:
+            r = a >= b;
+            break;
+          default:
+            MIRA_UNREACHABLE("cmp");
+        }
+      }
+      SetI(r ? 1 : 0);
+      break;
+    }
+    case ir::OpKind::kAnd:
+      ChargeCompute(1);
+      SetI(I(0) & I(1));
+      break;
+    case ir::OpKind::kOr:
+      ChargeCompute(1);
+      SetI(I(0) | I(1));
+      break;
+    case ir::OpKind::kXor:
+      ChargeCompute(1);
+      SetI(I(0) ^ I(1));
+      break;
+    case ir::OpKind::kShl:
+      ChargeCompute(1);
+      SetI(I(0) << (I(1) & 63));
+      break;
+    case ir::OpKind::kShr:
+      ChargeCompute(1);
+      SetI(static_cast<int64_t>(static_cast<uint64_t>(I(0)) >> (I(1) & 63)));
+      break;
+    case ir::OpKind::kSelect:
+      ChargeCompute(1);
+      vals[instr.result] = I(0) != 0 ? vals[instr.operands[1]] : vals[instr.operands[2]];
+      break;
+    case ir::OpKind::kI2F:
+      ChargeCompute(1);
+      SetF(static_cast<double>(I(0)));
+      break;
+    case ir::OpKind::kF2I:
+      ChargeCompute(1);
+      SetI(static_cast<int64_t>(F(0)));
+      break;
+    case ir::OpKind::kSqrt:
+      ChargeCompute(4);
+      SetF(std::sqrt(F(0)));
+      break;
+    case ir::OpKind::kExp:
+      ChargeCompute(8);
+      SetF(std::exp(F(0)));
+      break;
+    case ir::OpKind::kTanh:
+      ChargeCompute(8);
+      SetF(std::tanh(F(0)));
+      break;
+    case ir::OpKind::kRand: {
+      ChargeCompute(2);
+      const int64_t bound = I(0);
+      SetI(bound <= 0 ? 0 : static_cast<int64_t>(rng_.NextBelow(static_cast<uint64_t>(bound))));
+      break;
+    }
+    case ir::OpKind::kLocalAlloc:
+      break;  // slots pre-allocated in the frame
+    case ir::OpKind::kLocalLoad:
+      ChargeCompute(1);
+      vals[instr.result] = frame.locals[static_cast<size_t>(instr.i_attr)];
+      break;
+    case ir::OpKind::kLocalStore:
+      ChargeCompute(1);
+      frame.locals[static_cast<size_t>(instr.i_attr)] = vals[instr.operands[0]];
+      break;
+    case ir::OpKind::kAlloc: {
+      const uint64_t bytes = vals[instr.operands[0]];
+      auto addr = backend_->Alloc(clock_, bytes, instr.s_attr,
+                                  static_cast<uint32_t>(instr.i_attr));
+      if (!addr.ok()) {
+        return addr.status();
+      }
+      vals[instr.result] = addr.value();
+      profile_.alloc_bytes[instr.s_attr] += bytes;
+      first_alloc_addr_.emplace(instr.s_attr, addr.value());
+      if (options_.profiling) {
+        clock_.Advance(backend_->cost().profile_event_ns);  // allocation-site event
+      }
+      break;
+    }
+    case ir::OpKind::kFree:
+      backend_->Free(clock_, vals[instr.operands[0]]);
+      break;
+    case ir::OpKind::kLifetimeEnd:
+      if (!remote_mode_) {
+        backend_->LifetimeEnd(clock_, vals[instr.operands[0]]);
+      }
+      break;
+    case ir::OpKind::kIndex:
+      ChargeCompute(1);
+      vals[instr.result] = vals[instr.operands[0]] +
+                           static_cast<uint64_t>(I(1) * instr.i_attr + instr.i_attr2);
+      break;
+    case ir::OpKind::kLoad:
+    case ir::OpKind::kRmemLoad: {
+      if (instr.mem.batch_group >= 0 && !remote_mode_) {
+        bool serviced = false;
+        for (const int32_t g : frame.batched_groups) {
+          if (g == instr.mem.batch_group) {
+            serviced = true;
+            break;
+          }
+        }
+        if (!serviced) {
+          ServiceBatchGroup(frame, region, pos);
+        }
+      } else {
+        MemAccess(frame, instr, /*is_store=*/false);
+      }
+      vals[instr.result] = LoadData(vals[instr.operands[0]], instr.mem.bytes);
+      break;
+    }
+    case ir::OpKind::kStore:
+    case ir::OpKind::kRmemStore:
+      MemAccess(frame, instr, /*is_store=*/true);
+      StoreData(vals[instr.operands[0]], vals[instr.operands[1]], instr.mem.bytes);
+      break;
+    case ir::OpKind::kPrefetch:
+      if (!remote_mode_) {
+        backend_->Prefetch(clock_, vals[instr.operands[0]],
+                           static_cast<uint32_t>(instr.mem.bytes));
+      }
+      break;
+    case ir::OpKind::kEvictHint:
+      if (!remote_mode_) {
+        backend_->EvictHint(clock_, vals[instr.operands[0]],
+                            static_cast<uint32_t>(instr.mem.bytes));
+      }
+      break;
+    case ir::OpKind::kFor: {
+      const int64_t lo = I(0);
+      const int64_t hi = I(1);
+      const int64_t step = I(2);
+      MIRA_CHECK_MSG(step > 0, "for step must be positive");
+      const ir::Region& body = instr.regions[0];
+      const uint32_t iv = body.args[0];
+      for (int64_t i = lo; i < hi; i += step) {
+        ChargeCompute(1);  // induction update + bound check
+        vals[iv] = static_cast<uint64_t>(i);
+        frame.batched_groups.clear();
+        if (auto s = ExecRegion(frame, body, flow); !s.ok()) {
+          return s;
+        }
+        if (*flow == Flow::kReturned) {
+          return Status::Ok();
+        }
+      }
+      break;
+    }
+    case ir::OpKind::kWhile: {
+      const ir::Region& cond = instr.regions[0];
+      const ir::Region& body = instr.regions[1];
+      while (true) {
+        ChargeCompute(1);
+        if (auto s = ExecRegion(frame, cond, flow); !s.ok()) {
+          return s;
+        }
+        if (*flow == Flow::kReturned) {
+          return Status::Ok();
+        }
+        const ir::Instr& yield = cond.body.back();
+        if (vals[yield.operands[0]] == 0) {
+          break;
+        }
+        frame.batched_groups.clear();
+        if (auto s = ExecRegion(frame, body, flow); !s.ok()) {
+          return s;
+        }
+        if (*flow == Flow::kReturned) {
+          return Status::Ok();
+        }
+      }
+      break;
+    }
+    case ir::OpKind::kIf: {
+      ChargeCompute(1);
+      const ir::Region& taken = I(0) != 0 ? instr.regions[0] : instr.regions[1];
+      if (auto s = ExecRegion(frame, taken, flow); !s.ok()) {
+        return s;
+      }
+      break;
+    }
+    case ir::OpKind::kYield:
+      break;
+    case ir::OpKind::kCall: {
+      std::vector<uint64_t> args;
+      args.reserve(instr.operands.size());
+      for (const uint32_t op : instr.operands) {
+        args.push_back(vals[op]);
+      }
+      uint64_t result = 0;
+      if (auto s = CallFunction(instr.callee, args, &result); !s.ok()) {
+        return s;
+      }
+      if (instr.has_result()) {
+        vals[instr.result] = result;
+      }
+      break;
+    }
+    case ir::OpKind::kOffloadCall: {
+      std::vector<uint64_t> args;
+      args.reserve(instr.operands.size());
+      for (const uint32_t op : instr.operands) {
+        args.push_back(vals[op]);
+      }
+      uint64_t result = 0;
+      if (remote_mode_ || !backend_->SupportsOffload()) {
+        // Already on the far node (or backend can't offload): plain call.
+        if (auto s = CallFunction(instr.callee, args, &result); !s.ok()) {
+          return s;
+        }
+      } else {
+        // Execute remotely on a shadow clock to measure service time, then
+        // charge flush + RPC to the real clock.
+        remote_mode_ = true;
+        const uint64_t t0 = clock_.now_ns();
+        auto s = CallFunction(instr.callee, args, &result);
+        remote_mode_ = false;
+        if (!s.ok()) {
+          return s;
+        }
+        const uint64_t service = clock_.now_ns() - t0;
+        clock_.Reset(t0);  // rewind: the remote work happens inside the RPC
+        const uint32_t req = static_cast<uint32_t>(8 * args.size() + 16);
+        backend_->OffloadCall(clock_, req, 16, service);
+      }
+      if (instr.has_result()) {
+        vals[instr.result] = result;
+      }
+      break;
+    }
+    case ir::OpKind::kReturn:
+      if (!instr.operands.empty()) {
+        frame.ret_bits = vals[instr.operands[0]];
+      }
+      frame.returned = true;
+      *flow = Flow::kReturned;
+      break;
+  }
+  return Status::Ok();
+}
+
+}  // namespace mira::interp

@@ -1,0 +1,139 @@
+// The IR interpreter: executes a verified module against a far-memory
+// Backend. Stands in for the paper's compiled binary — each IR instruction
+// charges its simulated cost, memory ops consult the backend for timing,
+// and the data plane reads/writes the far arena directly so results are
+// identical across backends.
+//
+// Also implements:
+//  - per-function run-time profiling (the §4.1 ledger: calls, inclusive
+//    time, cache overhead) with optional instrumentation cost;
+//  - function offloading (§4.8): kOffloadCall runs the callee in "remote
+//    mode" (compute scaled by the far node's slowdown, memory at native
+//    speed) and charges an RPC round trip;
+//  - fused-loop batch fetches: rmem loads sharing a batch_group are issued
+//    as one scatter-gather LoadBatch per loop iteration.
+
+#ifndef MIRA_SRC_INTERP_INTERPRETER_H_
+#define MIRA_SRC_INTERP_INTERPRETER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/backends/backend.h"
+#include "src/ir/ir.h"
+#include "src/sim/clock.h"
+#include "src/support/rng.h"
+#include "src/support/status.h"
+
+namespace mira::interp {
+
+struct FuncProfile {
+  uint64_t calls = 0;
+  uint64_t inclusive_ns = 0;           // wall (simulated) time inside the call
+  uint64_t overhead_ns = 0;            // cache runtime+stall beyond native, exclusive
+  uint64_t mem_accesses = 0;
+  uint64_t compute_instrs = 0;
+};
+
+struct RunProfile {
+  std::map<std::string, FuncProfile> funcs;
+  // Allocation-site label → total bytes (paper: "we collect allocation
+  // sizes of all data objects").
+  std::map<std::string, uint64_t> alloc_bytes;
+  uint64_t total_ns = 0;
+  uint64_t total_overhead_ns = 0;
+
+  // The paper's "cache performance overhead": runtime time over remaining
+  // execution time.
+  double OverheadRatio() const {
+    const uint64_t rest = total_ns > total_overhead_ns ? total_ns - total_overhead_ns : 1;
+    return static_cast<double>(total_overhead_ns) / static_cast<double>(rest);
+  }
+};
+
+struct InterpOptions {
+  // Seed for the kRand op's generator (workload data synthesis).
+  uint64_t seed = 42;
+  // Insert profiling instrumentation cost (paper: coarse-grained
+  // function-level events, 0.4–0.7% overhead).
+  bool profiling = false;
+  // Abort (via Status) after this many executed instructions (0 = off).
+  uint64_t max_instrs = 0;
+};
+
+class Interpreter {
+ public:
+  Interpreter(const ir::Module* module, backends::Backend* backend, InterpOptions options = {});
+
+  // Runs `func_name` with i64/f64/ptr arguments packed as raw bits.
+  support::Result<uint64_t> Run(std::string_view func_name, std::vector<uint64_t> args = {});
+
+  sim::SimClock& clock() { return clock_; }
+  const RunProfile& profile() const { return profile_; }
+  uint64_t instrs_executed() const { return instrs_executed_; }
+
+  // Remote address of the object allocated at site `label` (first hit).
+  farmem::RemoteAddr ObjectAddr(const std::string& label) const;
+  const std::map<std::string, farmem::RemoteAddr>& object_addrs() const {
+    return first_alloc_addr_;
+  }
+
+ private:
+  struct Frame {
+    const ir::Function* func = nullptr;
+    std::vector<uint64_t> values;
+    std::vector<uint64_t> locals;
+    uint64_t ret_bits = 0;
+    bool returned = false;
+    // Batch groups already serviced in the current innermost iteration.
+    std::vector<int32_t> batched_groups;
+  };
+
+  enum class Flow { kNormal, kReturned };
+
+  support::Status CallFunction(uint32_t index, const std::vector<uint64_t>& args,
+                               uint64_t* result_bits);
+  support::Status ExecRegion(Frame& frame, const ir::Region& region, Flow* flow);
+  support::Status ExecInstr(Frame& frame, const ir::Region& region, size_t pos, Flow* flow);
+
+  void ChargeCompute(uint64_t ops);
+  void MemAccess(Frame& frame, const ir::Instr& instr, bool is_store);
+  void ServiceBatchGroup(Frame& frame, const ir::Region& region, size_t pos);
+
+  uint64_t LoadData(farmem::RemoteAddr addr, uint32_t bytes) const;
+  void StoreData(farmem::RemoteAddr addr, uint64_t bits, uint32_t bytes);
+
+  FuncProfile& ProfileOf(const ir::Function& f) { return profile_.funcs[f.name]; }
+
+  const ir::Module* module_;
+  backends::Backend* backend_;
+  InterpOptions options_;
+  sim::SimClock clock_;
+  RunProfile profile_;
+  uint64_t instrs_executed_ = 0;
+  bool remote_mode_ = false;
+  int call_depth_ = 0;
+  std::vector<std::string> func_stack_;
+  std::map<std::string, farmem::RemoteAddr> first_alloc_addr_;
+  support::Rng rng_{42};
+  support::Status failure_ = support::Status::Ok();
+};
+
+// Helpers to pack/unpack f64 arguments.
+inline uint64_t PackF64(double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  __builtin_memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+inline double UnpackF64(uint64_t bits) {
+  double v;
+  __builtin_memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+}  // namespace mira::interp
+
+#endif  // MIRA_SRC_INTERP_INTERPRETER_H_

@@ -1,0 +1,270 @@
+#include "src/ir/builder.h"
+
+namespace mira::ir {
+
+FunctionBuilder::FunctionBuilder(Module* module, std::string name, std::vector<Type> params,
+                                 Type return_type)
+    : module_(module) {
+  func_ = module->AddFunction(std::move(name));
+  func_->param_types = std::move(params);
+  func_->return_type = return_type;
+  for (const Type t : func_->param_types) {
+    func_->params.push_back(func_->NewValue(t));
+  }
+  region_stack_.push_back(&func_->body);
+}
+
+Value FunctionBuilder::Arg(uint32_t i) const {
+  MIRA_CHECK(i < func_->params.size());
+  return Value{func_->params[i], func_->param_types[i]};
+}
+
+Instr& FunctionBuilder::Append(Instr instr) {
+  current()->body.push_back(std::move(instr));
+  return current()->body.back();
+}
+
+Value FunctionBuilder::MakeResult(Instr& instr, Type t) {
+  instr.type = t;
+  instr.result = func_->NewValue(t);
+  return Value{instr.result, t};
+}
+
+Value FunctionBuilder::ConstI(int64_t v) {
+  Instr instr;
+  instr.kind = OpKind::kConstI;
+  instr.i_attr = v;
+  Instr& ref = Append(std::move(instr));
+  return MakeResult(ref, Type::kI64);
+}
+
+Value FunctionBuilder::ConstF(double v) {
+  Instr instr;
+  instr.kind = OpKind::kConstF;
+  instr.f_attr = v;
+  Instr& ref = Append(std::move(instr));
+  return MakeResult(ref, Type::kF64);
+}
+
+Value FunctionBuilder::Binary(OpKind kind, Value a, Value b) {
+  MIRA_CHECK_MSG(a.type == b.type || a.type == Type::kPtr || b.type == Type::kPtr,
+                 "binary op on mismatched types");
+  Instr instr;
+  instr.kind = kind;
+  instr.operands = {a.id, b.id};
+  Instr& ref = Append(std::move(instr));
+  return MakeResult(ref, a.type);
+}
+
+Value FunctionBuilder::Cmp(OpKind kind, Value a, Value b) {
+  MIRA_CHECK(a.type == b.type);
+  Instr instr;
+  instr.kind = kind;
+  instr.operands = {a.id, b.id};
+  Instr& ref = Append(std::move(instr));
+  return MakeResult(ref, Type::kI64);
+}
+
+Value FunctionBuilder::Select(Value cond, Value a, Value b) {
+  MIRA_CHECK(cond.type == Type::kI64 && a.type == b.type);
+  Instr instr;
+  instr.kind = OpKind::kSelect;
+  instr.operands = {cond.id, a.id, b.id};
+  Instr& ref = Append(std::move(instr));
+  return MakeResult(ref, a.type);
+}
+
+Value FunctionBuilder::I2F(Value v) {
+  Instr instr;
+  instr.kind = OpKind::kI2F;
+  instr.operands = {v.id};
+  Instr& ref = Append(std::move(instr));
+  return MakeResult(ref, Type::kF64);
+}
+
+Value FunctionBuilder::F2I(Value v) {
+  Instr instr;
+  instr.kind = OpKind::kF2I;
+  instr.operands = {v.id};
+  Instr& ref = Append(std::move(instr));
+  return MakeResult(ref, Type::kI64);
+}
+
+Value FunctionBuilder::Unary(OpKind kind, Value v) {
+  MIRA_CHECK(kind == OpKind::kSqrt || kind == OpKind::kExp || kind == OpKind::kTanh);
+  Instr instr;
+  instr.kind = kind;
+  instr.operands = {v.id};
+  Instr& ref = Append(std::move(instr));
+  return MakeResult(ref, Type::kF64);
+}
+
+Value FunctionBuilder::Rand(Value bound) {
+  MIRA_CHECK(bound.type == Type::kI64);
+  Instr instr;
+  instr.kind = OpKind::kRand;
+  instr.operands = {bound.id};
+  Instr& ref = Append(std::move(instr));
+  return MakeResult(ref, Type::kI64);
+}
+
+Local FunctionBuilder::DeclLocal(Type type) {
+  Instr instr;
+  instr.kind = OpKind::kLocalAlloc;
+  instr.i_attr = func_->local_slots;
+  Append(std::move(instr));
+  return Local{func_->local_slots++, type};
+}
+
+Value FunctionBuilder::LoadLocal(Local local) {
+  Instr instr;
+  instr.kind = OpKind::kLocalLoad;
+  instr.i_attr = local.slot;
+  Instr& ref = Append(std::move(instr));
+  return MakeResult(ref, local.type);
+}
+
+void FunctionBuilder::StoreLocal(Local local, Value v) {
+  MIRA_CHECK(v.type == local.type);
+  Instr instr;
+  instr.kind = OpKind::kLocalStore;
+  instr.i_attr = local.slot;
+  instr.operands = {v.id};
+  Append(std::move(instr));
+}
+
+Value FunctionBuilder::Alloc(Value size_bytes, std::string label, uint32_t elem_bytes) {
+  Instr instr;
+  instr.kind = OpKind::kAlloc;
+  instr.operands = {size_bytes.id};
+  instr.s_attr = std::move(label);
+  instr.i_attr = elem_bytes;
+  Instr& ref = Append(std::move(instr));
+  return MakeResult(ref, Type::kPtr);
+}
+
+void FunctionBuilder::Free(Value ptr) {
+  Instr instr;
+  instr.kind = OpKind::kFree;
+  instr.operands = {ptr.id};
+  Append(std::move(instr));
+}
+
+Value FunctionBuilder::Index(Value base, Value idx, int64_t scale, int64_t offset) {
+  MIRA_CHECK(base.type == Type::kPtr && idx.type == Type::kI64);
+  Instr instr;
+  instr.kind = OpKind::kIndex;
+  instr.operands = {base.id, idx.id};
+  instr.i_attr = scale;
+  instr.i_attr2 = offset;
+  Instr& ref = Append(std::move(instr));
+  return MakeResult(ref, Type::kPtr);
+}
+
+Value FunctionBuilder::Load(Value ptr, uint32_t bytes, Type as) {
+  MIRA_CHECK(ptr.type == Type::kPtr);
+  Instr instr;
+  instr.kind = OpKind::kLoad;
+  instr.operands = {ptr.id};
+  instr.mem.bytes = bytes;
+  Instr& ref = Append(std::move(instr));
+  return MakeResult(ref, as);
+}
+
+void FunctionBuilder::Store(Value ptr, Value v, uint32_t bytes) {
+  MIRA_CHECK(ptr.type == Type::kPtr);
+  Instr instr;
+  instr.kind = OpKind::kStore;
+  instr.operands = {ptr.id, v.id};
+  instr.mem.bytes = bytes;
+  Append(std::move(instr));
+}
+
+void FunctionBuilder::LifetimeEnd(Value ptr) {
+  Instr instr;
+  instr.kind = OpKind::kLifetimeEnd;
+  instr.operands = {ptr.id};
+  Append(std::move(instr));
+}
+
+void FunctionBuilder::For(Value lo, Value hi, Value step,
+                          const std::function<void(Value)>& body) {
+  Instr instr;
+  instr.kind = OpKind::kFor;
+  instr.operands = {lo.id, hi.id, step.id};
+  instr.regions.emplace_back();
+  const uint32_t iv = func_->NewValue(Type::kI64);
+  instr.regions[0].args.push_back(iv);
+  Instr& ref = Append(std::move(instr));
+  region_stack_.push_back(&ref.regions[0]);
+  body(Value{iv, Type::kI64});
+  region_stack_.pop_back();
+}
+
+void FunctionBuilder::While(const std::function<Value()>& cond,
+                            const std::function<void()>& body) {
+  Instr instr;
+  instr.kind = OpKind::kWhile;
+  instr.regions.emplace_back();  // cond
+  instr.regions.emplace_back();  // body
+  Instr& ref = Append(std::move(instr));
+  region_stack_.push_back(&ref.regions[0]);
+  const Value c = cond();
+  MIRA_CHECK(c.type == Type::kI64);
+  Instr yield;
+  yield.kind = OpKind::kYield;
+  yield.operands = {c.id};
+  Append(std::move(yield));
+  region_stack_.pop_back();
+  region_stack_.push_back(&ref.regions[1]);
+  body();
+  region_stack_.pop_back();
+}
+
+void FunctionBuilder::If(Value cond, const std::function<void()>& then_fn,
+                         const std::function<void()>& else_fn) {
+  MIRA_CHECK(cond.type == Type::kI64);
+  Instr instr;
+  instr.kind = OpKind::kIf;
+  instr.operands = {cond.id};
+  instr.regions.emplace_back();  // then
+  instr.regions.emplace_back();  // else
+  Instr& ref = Append(std::move(instr));
+  region_stack_.push_back(&ref.regions[0]);
+  then_fn();
+  region_stack_.pop_back();
+  if (else_fn) {
+    region_stack_.push_back(&ref.regions[1]);
+    else_fn();
+    region_stack_.pop_back();
+  }
+}
+
+Value FunctionBuilder::Call(std::string_view callee, std::vector<Value> args) {
+  Function* target = module_->FindFunction(callee);
+  MIRA_CHECK_MSG(target != nullptr, "call to unknown function");
+  Instr instr;
+  instr.kind = OpKind::kCall;
+  instr.callee = module_->FunctionIndex(callee);
+  for (const Value& a : args) {
+    instr.operands.push_back(a.id);
+  }
+  Instr& ref = Append(std::move(instr));
+  if (target->return_type == Type::kVoid) {
+    return Value{};
+  }
+  return MakeResult(ref, target->return_type);
+}
+
+void FunctionBuilder::Return(Value v) {
+  Instr instr;
+  instr.kind = OpKind::kReturn;
+  if (v.valid()) {
+    instr.operands = {v.id};
+  }
+  Append(std::move(instr));
+}
+
+void FunctionBuilder::Return() { Return(Value{}); }
+
+}  // namespace mira::ir

@@ -1,0 +1,107 @@
+// Ergonomic construction of IR functions. The builder keeps an insertion
+// point (a stack of regions) so structured control flow nests via lambdas:
+//
+//   FunctionBuilder f(module, "sum", {Type::kPtr, Type::kI64}, Type::kF64);
+//   Value arr = f.Arg(0), n = f.Arg(1);
+//   Local acc = f.DeclLocal(Type::kF64);
+//   f.For(f.ConstI(0), n, f.ConstI(1), [&](Value iv) {
+//     Value v = f.Load(f.Index(arr, iv, 8), 8, Type::kF64);
+//     f.StoreLocal(acc, f.Add(f.LoadLocal(acc), v));
+//   });
+//   f.Return(f.LoadLocal(acc));
+
+#ifndef MIRA_SRC_IR_BUILDER_H_
+#define MIRA_SRC_IR_BUILDER_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/ir/ir.h"
+
+namespace mira::ir {
+
+// A mutable function-local scalar slot.
+struct Local {
+  uint32_t slot = UINT32_MAX;
+  Type type = Type::kVoid;
+};
+
+class FunctionBuilder {
+ public:
+  FunctionBuilder(Module* module, std::string name, std::vector<Type> params,
+                  Type return_type = Type::kVoid);
+
+  Function* function() { return func_; }
+  Value Arg(uint32_t i) const;
+
+  // ---- Constants & arithmetic ----
+  Value ConstI(int64_t v);
+  Value ConstF(double v);
+  Value Binary(OpKind kind, Value a, Value b);
+  Value Add(Value a, Value b) { return Binary(OpKind::kAdd, a, b); }
+  Value Sub(Value a, Value b) { return Binary(OpKind::kSub, a, b); }
+  Value Mul(Value a, Value b) { return Binary(OpKind::kMul, a, b); }
+  Value Div(Value a, Value b) { return Binary(OpKind::kDiv, a, b); }
+  Value Rem(Value a, Value b) { return Binary(OpKind::kRem, a, b); }
+  Value Min(Value a, Value b) { return Binary(OpKind::kMin, a, b); }
+  Value Max(Value a, Value b) { return Binary(OpKind::kMax, a, b); }
+  Value And(Value a, Value b) { return Binary(OpKind::kAnd, a, b); }
+  Value Or(Value a, Value b) { return Binary(OpKind::kOr, a, b); }
+  Value Xor(Value a, Value b) { return Binary(OpKind::kXor, a, b); }
+  Value Shl(Value a, Value b) { return Binary(OpKind::kShl, a, b); }
+  Value Shr(Value a, Value b) { return Binary(OpKind::kShr, a, b); }
+  Value Cmp(OpKind kind, Value a, Value b);
+  Value CmpEq(Value a, Value b) { return Cmp(OpKind::kCmpEq, a, b); }
+  Value CmpNe(Value a, Value b) { return Cmp(OpKind::kCmpNe, a, b); }
+  Value CmpLt(Value a, Value b) { return Cmp(OpKind::kCmpLt, a, b); }
+  Value CmpLe(Value a, Value b) { return Cmp(OpKind::kCmpLe, a, b); }
+  Value CmpGt(Value a, Value b) { return Cmp(OpKind::kCmpGt, a, b); }
+  Value CmpGe(Value a, Value b) { return Cmp(OpKind::kCmpGe, a, b); }
+  Value Select(Value cond, Value a, Value b);
+  Value I2F(Value v);
+  Value F2I(Value v);
+  Value Unary(OpKind kind, Value v);  // sqrt/exp/tanh
+  // Uniform pseudo-random i64 in [0, bound).
+  Value Rand(Value bound);
+
+  // ---- Locals ----
+  Local DeclLocal(Type type);
+  Value LoadLocal(Local local);
+  void StoreLocal(Local local, Value v);
+
+  // ---- Memory ----
+  // Allocates `size_bytes` (i64 value) with an allocation-site label used
+  // by profiling and the cache plan. `elem_bytes` is the element
+  // granularity of the object.
+  Value Alloc(Value size_bytes, std::string label, uint32_t elem_bytes);
+  void Free(Value ptr);
+  // base + idx*scale + offset — the analyzable addressing form.
+  Value Index(Value base, Value idx, int64_t scale, int64_t offset = 0);
+  Value Load(Value ptr, uint32_t bytes, Type as);
+  void Store(Value ptr, Value v, uint32_t bytes);
+  void LifetimeEnd(Value ptr);
+
+  // ---- Control flow ----
+  void For(Value lo, Value hi, Value step, const std::function<void(Value)>& body);
+  void While(const std::function<Value()>& cond, const std::function<void()>& body);
+  void If(Value cond, const std::function<void()>& then_fn,
+          const std::function<void()>& else_fn = nullptr);
+
+  Value Call(std::string_view callee, std::vector<Value> args);
+  void Return(Value v);
+  void Return();
+
+ private:
+  Instr& Append(Instr instr);
+  Value MakeResult(Instr& instr, Type t);
+  Region* current() { return region_stack_.back(); }
+
+  Module* module_;
+  Function* func_;
+  std::vector<Region*> region_stack_;
+};
+
+}  // namespace mira::ir
+
+#endif  // MIRA_SRC_IR_BUILDER_H_

@@ -1,0 +1,184 @@
+#include "src/ir/ir.h"
+
+#include <functional>
+
+namespace mira::ir {
+
+const char* TypeName(Type t) {
+  switch (t) {
+    case Type::kVoid:
+      return "void";
+    case Type::kI64:
+      return "i64";
+    case Type::kF64:
+      return "f64";
+    case Type::kPtr:
+      return "ptr";
+  }
+  return "?";
+}
+
+const char* OpKindName(OpKind k) {
+  switch (k) {
+    case OpKind::kConstI:
+      return "const.i";
+    case OpKind::kConstF:
+      return "const.f";
+    case OpKind::kAdd:
+      return "add";
+    case OpKind::kSub:
+      return "sub";
+    case OpKind::kMul:
+      return "mul";
+    case OpKind::kDiv:
+      return "div";
+    case OpKind::kRem:
+      return "rem";
+    case OpKind::kMin:
+      return "min";
+    case OpKind::kMax:
+      return "max";
+    case OpKind::kCmpEq:
+      return "cmp.eq";
+    case OpKind::kCmpNe:
+      return "cmp.ne";
+    case OpKind::kCmpLt:
+      return "cmp.lt";
+    case OpKind::kCmpLe:
+      return "cmp.le";
+    case OpKind::kCmpGt:
+      return "cmp.gt";
+    case OpKind::kCmpGe:
+      return "cmp.ge";
+    case OpKind::kAnd:
+      return "and";
+    case OpKind::kOr:
+      return "or";
+    case OpKind::kXor:
+      return "xor";
+    case OpKind::kShl:
+      return "shl";
+    case OpKind::kShr:
+      return "shr";
+    case OpKind::kSelect:
+      return "select";
+    case OpKind::kI2F:
+      return "i2f";
+    case OpKind::kF2I:
+      return "f2i";
+    case OpKind::kSqrt:
+      return "sqrt";
+    case OpKind::kExp:
+      return "exp";
+    case OpKind::kTanh:
+      return "tanh";
+    case OpKind::kRand:
+      return "rand";
+    case OpKind::kLocalAlloc:
+      return "local.alloc";
+    case OpKind::kLocalLoad:
+      return "local.load";
+    case OpKind::kLocalStore:
+      return "local.store";
+    case OpKind::kAlloc:
+      return "remotable.alloc";
+    case OpKind::kFree:
+      return "remotable.free";
+    case OpKind::kIndex:
+      return "index";
+    case OpKind::kLoad:
+      return "load";
+    case OpKind::kStore:
+      return "store";
+    case OpKind::kFor:
+      return "for";
+    case OpKind::kWhile:
+      return "while";
+    case OpKind::kIf:
+      return "if";
+    case OpKind::kYield:
+      return "yield";
+    case OpKind::kCall:
+      return "call";
+    case OpKind::kReturn:
+      return "return";
+    case OpKind::kRmemLoad:
+      return "rmem.load";
+    case OpKind::kRmemStore:
+      return "rmem.store";
+    case OpKind::kPrefetch:
+      return "rmem.prefetch";
+    case OpKind::kEvictHint:
+      return "rmem.evict_hint";
+    case OpKind::kLifetimeEnd:
+      return "rmem.lifetime_end";
+    case OpKind::kOffloadCall:
+      return "rmem.offload_call";
+  }
+  return "?";
+}
+
+bool IsMemoryAccess(OpKind k) {
+  return k == OpKind::kLoad || k == OpKind::kStore || k == OpKind::kRmemLoad ||
+         k == OpKind::kRmemStore;
+}
+
+uint32_t Module::FunctionIndex(std::string_view fname) const {
+  for (uint32_t i = 0; i < functions.size(); ++i) {
+    if (functions[i]->name == fname) {
+      return i;
+    }
+  }
+  MIRA_CHECK_MSG(false, "function not found");
+  return UINT32_MAX;
+}
+
+Module Module::Clone() const {
+  Module copy;
+  copy.name = name;
+  for (const auto& f : functions) {
+    copy.functions.push_back(std::make_unique<Function>(*f));
+  }
+  return copy;
+}
+
+namespace {
+uint64_t CountRegion(const Region& r) {
+  uint64_t n = 0;
+  for (const auto& instr : r.body) {
+    ++n;
+    for (const auto& sub : instr.regions) {
+      n += CountRegion(sub);
+    }
+  }
+  return n;
+}
+}  // namespace
+
+uint64_t Module::InstrCount() const {
+  uint64_t n = 0;
+  for (const auto& f : functions) {
+    n += CountRegion(f->body);
+  }
+  return n;
+}
+
+void WalkInstrs(Region& region, const std::function<void(Instr&)>& fn) {
+  for (auto& instr : region.body) {
+    fn(instr);
+    for (auto& sub : instr.regions) {
+      WalkInstrs(sub, fn);
+    }
+  }
+}
+
+void WalkInstrs(const Region& region, const std::function<void(const Instr&)>& fn) {
+  for (const auto& instr : region.body) {
+    fn(instr);
+    for (const auto& sub : instr.regions) {
+      WalkInstrs(sub, fn);
+    }
+  }
+}
+
+}  // namespace mira::ir

@@ -1,0 +1,206 @@
+// Mira's multi-level intermediate representation.
+//
+// The paper implements its analyses and transforms as MLIR dialects
+// (remotable + rmem layered over scf/memref/arith). This repository
+// reproduces that stack with a compact structured IR of the same shape:
+//
+//   - SSA values inside structured regions (like MLIR's scf): kFor with an
+//     induction variable, kWhile with a condition region, kIf;
+//   - mutable scalars live in function-local slots (kLocalAlloc /
+//     kLocalLoad / kLocalStore), which keeps loops single-argument and the
+//     address analyses simple while losing nothing the paper's passes need;
+//   - memory ops in the "memref layer": kAlloc/kFree/kLoad/kStore plus
+//     kIndex, the analyzable addressing form base + idx*scale + offset;
+//   - the rmem dialect, produced by RemotableConversion and the optimizers:
+//     kRmemLoad/kRmemStore (with compiler hints: promotion, full-line
+//     write, batch group), kPrefetch, kEvictHint, kLifetimeEnd,
+//     kOffloadCall.
+//
+// Programs are built with IrBuilder (builder.h), checked by the Verifier
+// (verifier.h), transformed by passes (src/passes/) and executed by the
+// Interpreter (src/interp/) against a far-memory Backend.
+
+#ifndef MIRA_SRC_IR_IR_H_
+#define MIRA_SRC_IR_IR_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/support/check.h"
+
+namespace mira::ir {
+
+enum class Type : uint8_t { kVoid, kI64, kF64, kPtr };
+
+const char* TypeName(Type t);
+
+// An SSA value handle: id indexes the owning Function's value table.
+struct Value {
+  uint32_t id = UINT32_MAX;
+  Type type = Type::kVoid;
+
+  bool valid() const { return id != UINT32_MAX; }
+};
+
+enum class OpKind : uint8_t {
+  // Constants.
+  kConstI,
+  kConstF,
+  // Integer/float arithmetic — dispatched on result type.
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kRem,
+  kMin,
+  kMax,
+  // Comparisons (i64 result 0/1).
+  kCmpEq,
+  kCmpNe,
+  kCmpLt,
+  kCmpLe,
+  kCmpGt,
+  kCmpGe,
+  // Bitwise / logic on i64.
+  kAnd,
+  kOr,
+  kXor,
+  kShl,
+  kShr,
+  kSelect,
+  // Conversions and math (for the ML workloads).
+  kI2F,
+  kF2I,
+  kSqrt,
+  kExp,
+  kTanh,
+  // Deterministic pseudo-random i64 in [0, operand) — workload synthesis
+  // (seeded per interpreter run, so execution is reproducible).
+  kRand,
+  // Function-local mutable scalar slots (native memory: stack variables).
+  kLocalAlloc,
+  kLocalLoad,
+  kLocalStore,
+  // Heap / far-memory layer.
+  kAlloc,   // attrs: label (s_attr), elem bytes (i_attr); operand: byte size
+  kFree,    // operand: ptr
+  kIndex,   // operands: base ptr, index; attrs: scale (i_attr), offset (i_attr2) → ptr
+  kLoad,    // operand: ptr; attr bytes (mem.bytes); result i64/f64/ptr
+  kStore,   // operands: ptr, value; attr bytes
+  // Control flow.
+  kFor,     // operands: lo, hi, step; regions[0] = body (arg0 = iv)
+  kWhile,   // regions[0] = cond (terminated by kYield of i64), regions[1] = body
+  kIf,      // operand: cond; regions[0] = then, regions[1] = else (may be empty)
+  kYield,   // region terminator; operand optional (kWhile cond)
+  kCall,    // attr callee (callee_attr); operands: args; result per callee
+  kReturn,  // operand optional
+  // rmem dialect (inserted by compilation passes).
+  kRmemLoad,
+  kRmemStore,
+  kPrefetch,      // operand: ptr; attr bytes
+  kEvictHint,     // operand: ptr; attr bytes
+  kLifetimeEnd,   // operand: ptr (object base)
+  kOffloadCall,   // like kCall, executed on the far node via RPC
+};
+
+const char* OpKindName(OpKind k);
+bool IsMemoryAccess(OpKind k);  // kLoad/kStore/kRmemLoad/kRmemStore
+
+// Compiler-attached facts for rmem memory ops.
+struct MemAttrs {
+  uint32_t bytes = 8;       // access granularity
+  bool promoted = false;    // native-load promotion (§4.4)
+  bool full_line_write = false;
+  int32_t batch_group = -1;  // ≥0: fused-loop batch group (§4.5)
+  bool pinned = false;       // shared-section access pins its line (§4.6)
+};
+
+struct Region;
+
+struct Instr {
+  OpKind kind = OpKind::kConstI;
+  Type type = Type::kVoid;       // result type
+  uint32_t result = UINT32_MAX;  // result value id
+  std::vector<uint32_t> operands;
+
+  // Attributes (meaning depends on kind).
+  int64_t i_attr = 0;    // const value / alloc elem bytes / index scale / access bytes
+  int64_t i_attr2 = 0;   // index byte offset
+  double f_attr = 0.0;   // const float
+  std::string s_attr;    // alloc label
+  uint32_t callee = UINT32_MAX;  // kCall / kOffloadCall target function index
+  MemAttrs mem;
+
+  std::vector<Region> regions;
+
+  bool has_result() const { return result != UINT32_MAX; }
+};
+
+// A structured region: a list of instructions plus region arguments (the
+// for-loop induction variable).
+struct Region {
+  std::vector<uint32_t> args;  // value ids (e.g. [iv])
+  std::vector<Instr> body;
+};
+
+struct Function {
+  std::string name;
+  std::vector<Type> param_types;
+  Type return_type = Type::kVoid;
+  // Value table: type of each SSA value (params first).
+  std::vector<Type> value_types;
+  std::vector<uint32_t> params;  // value ids of the parameters
+  Region body;
+  // Number of local scalar slots (kLocalAlloc results index these).
+  uint32_t local_slots = 0;
+  // Marked remotable by OffloadExtraction (§5.2.1): may run on the far node.
+  bool remotable = false;
+
+  uint32_t NewValue(Type t) {
+    value_types.push_back(t);
+    return static_cast<uint32_t>(value_types.size() - 1);
+  }
+  Type ValueType(uint32_t id) const {
+    MIRA_CHECK(id < value_types.size());
+    return value_types[id];
+  }
+};
+
+struct Module {
+  std::string name;
+  std::vector<std::unique_ptr<Function>> functions;
+
+  Function* AddFunction(std::string fname) {
+    functions.push_back(std::make_unique<Function>());
+    functions.back()->name = std::move(fname);
+    return functions.back().get();
+  }
+  Function* FindFunction(std::string_view fname) const {
+    for (const auto& f : functions) {
+      if (f->name == fname) {
+        return f.get();
+      }
+    }
+    return nullptr;
+  }
+  uint32_t FunctionIndex(std::string_view fname) const;
+
+  // Deep copy (passes transform copies so the pipeline can roll back).
+  Module Clone() const;
+
+  // Total instruction count — the "lines of code" metric for the
+  // analysis-scope-reduction table.
+  uint64_t InstrCount() const;
+};
+
+// Walks every instruction in a region tree (pre-order).
+void WalkInstrs(Region& region, const std::function<void(Instr&)>& fn);
+void WalkInstrs(const Region& region, const std::function<void(const Instr&)>& fn);
+
+}  // namespace mira::ir
+
+#endif  // MIRA_SRC_IR_IR_H_

@@ -1,0 +1,145 @@
+#include "src/ir/printer.h"
+
+#include "src/support/str.h"
+
+namespace mira::ir {
+
+namespace {
+
+class Printer {
+ public:
+  explicit Printer(const Function& func) : func_(func) {}
+
+  std::string Run() {
+    out_ += support::StrFormat("func @%s(", func_.name.c_str());
+    for (size_t i = 0; i < func_.params.size(); ++i) {
+      if (i > 0) {
+        out_ += ", ";
+      }
+      out_ += support::StrFormat("%%%u: %s", func_.params[i], TypeName(func_.param_types[i]));
+    }
+    out_ += support::StrFormat(") -> %s%s {\n", TypeName(func_.return_type),
+                               func_.remotable ? " remotable" : "");
+    PrintRegion(func_.body, 1);
+    out_ += "}\n";
+    return out_;
+  }
+
+ private:
+  void Indent(int depth) { out_.append(static_cast<size_t>(depth) * 2, ' '); }
+
+  void PrintRegion(const Region& region, int depth) {
+    for (const Instr& instr : region.body) {
+      PrintInstr(instr, depth);
+    }
+  }
+
+  void PrintInstr(const Instr& instr, int depth) {
+    Indent(depth);
+    if (instr.has_result()) {
+      out_ += support::StrFormat("%%%u = ", instr.result);
+    }
+    out_ += OpKindName(instr.kind);
+    switch (instr.kind) {
+      case OpKind::kConstI:
+        out_ += support::StrFormat(" %lld", static_cast<long long>(instr.i_attr));
+        break;
+      case OpKind::kConstF:
+        out_ += support::StrFormat(" %g", instr.f_attr);
+        break;
+      case OpKind::kAlloc:
+        out_ += support::StrFormat("(%%%u) label=\"%s\" elem=%lld", instr.operands[0],
+                                   instr.s_attr.c_str(), static_cast<long long>(instr.i_attr));
+        break;
+      case OpKind::kIndex:
+        out_ += support::StrFormat("(%%%u, %%%u) scale=%lld off=%lld", instr.operands[0],
+                                   instr.operands[1], static_cast<long long>(instr.i_attr),
+                                   static_cast<long long>(instr.i_attr2));
+        break;
+      case OpKind::kLocalAlloc:
+      case OpKind::kLocalLoad:
+        out_ += support::StrFormat(" slot=%lld", static_cast<long long>(instr.i_attr));
+        break;
+      case OpKind::kLocalStore:
+        out_ += support::StrFormat("(%%%u) slot=%lld", instr.operands[0],
+                                   static_cast<long long>(instr.i_attr));
+        break;
+      default: {
+        if (!instr.operands.empty()) {
+          out_ += "(";
+          for (size_t i = 0; i < instr.operands.size(); ++i) {
+            if (i > 0) {
+              out_ += ", ";
+            }
+            out_ += support::StrFormat("%%%u", instr.operands[i]);
+          }
+          out_ += ")";
+        }
+        break;
+      }
+    }
+    if (IsMemoryAccess(instr.kind) || instr.kind == OpKind::kPrefetch ||
+        instr.kind == OpKind::kEvictHint) {
+      out_ += support::StrFormat(" bytes=%u", instr.mem.bytes);
+      if (instr.mem.promoted) {
+        out_ += " promoted";
+      }
+      if (instr.mem.full_line_write) {
+        out_ += " full_line";
+      }
+      if (instr.mem.batch_group >= 0) {
+        out_ += support::StrFormat(" batch=%d", instr.mem.batch_group);
+      }
+      if (instr.mem.pinned) {
+        out_ += " pinned";
+      }
+    }
+    if (instr.kind == OpKind::kCall || instr.kind == OpKind::kOffloadCall) {
+      out_ += support::StrFormat(" @%u", instr.callee);
+    }
+    if (instr.kind == OpKind::kFor) {
+      out_ += support::StrFormat(" iv=%%%u {\n", instr.regions[0].args[0]);
+      PrintRegion(instr.regions[0], depth + 1);
+      Indent(depth);
+      out_ += "}";
+    } else if (instr.kind == OpKind::kWhile) {
+      out_ += " cond {\n";
+      PrintRegion(instr.regions[0], depth + 1);
+      Indent(depth);
+      out_ += "} body {\n";
+      PrintRegion(instr.regions[1], depth + 1);
+      Indent(depth);
+      out_ += "}";
+    } else if (instr.kind == OpKind::kIf) {
+      out_ += " {\n";
+      PrintRegion(instr.regions[0], depth + 1);
+      Indent(depth);
+      out_ += "}";
+      if (!instr.regions[1].body.empty()) {
+        out_ += " else {\n";
+        PrintRegion(instr.regions[1], depth + 1);
+        Indent(depth);
+        out_ += "}";
+      }
+    }
+    out_ += "\n";
+  }
+
+  const Function& func_;
+  std::string out_;
+};
+
+}  // namespace
+
+std::string PrintFunction(const Function& func) { return Printer(func).Run(); }
+
+std::string PrintModule(const Module& module) {
+  std::string out = support::StrFormat("module @%s {\n", module.name.c_str());
+  for (const auto& f : module.functions) {
+    out += PrintFunction(*f);
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace mira::ir

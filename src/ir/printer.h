@@ -1,0 +1,18 @@
+// Textual dump of IR modules/functions, MLIR-flavored. Used by tests, the
+// examples, and documentation of compiled output (paper Figs 13/14).
+
+#ifndef MIRA_SRC_IR_PRINTER_H_
+#define MIRA_SRC_IR_PRINTER_H_
+
+#include <string>
+
+#include "src/ir/ir.h"
+
+namespace mira::ir {
+
+std::string PrintFunction(const Function& func);
+std::string PrintModule(const Module& module);
+
+}  // namespace mira::ir
+
+#endif  // MIRA_SRC_IR_PRINTER_H_

@@ -1,0 +1,275 @@
+#include "src/ir/verifier.h"
+
+#include <vector>
+
+#include "src/support/str.h"
+
+namespace mira::ir {
+
+namespace {
+
+using support::Status;
+using support::StrFormat;
+
+class FunctionVerifier {
+ public:
+  FunctionVerifier(const Module& module, const Function& func)
+      : module_(module), func_(func), defined_(func.value_types.size(), false) {}
+
+  Status Run() {
+    for (const uint32_t p : func_.params) {
+      if (p >= defined_.size()) {
+        return Err("parameter value id out of range");
+      }
+      defined_[p] = true;
+    }
+    return CheckRegion(func_.body);
+  }
+
+ private:
+  Status Err(const std::string& msg) const {
+    return Status::Internal(StrFormat("verify %s: %s", func_.name.c_str(), msg.c_str()));
+  }
+
+  Status CheckValue(uint32_t id, const Instr& instr) const {
+    if (id >= defined_.size()) {
+      return Err(StrFormat("%s: operand %%%u out of range", OpKindName(instr.kind), id));
+    }
+    if (!defined_[id]) {
+      return Err(StrFormat("%s: operand %%%u used before definition", OpKindName(instr.kind), id));
+    }
+    return Status::Ok();
+  }
+
+  Status ExpectOperands(const Instr& instr, size_t n) const {
+    if (instr.operands.size() != n) {
+      return Err(StrFormat("%s: expected %zu operands, got %zu", OpKindName(instr.kind), n,
+                           instr.operands.size()));
+    }
+    return Status::Ok();
+  }
+
+  Status CheckRegion(const Region& region) {
+    // Region args become defined inside (and remain defined after — our
+    // value namespace is function-wide, which is fine for verification as
+    // long as uses are dominated; region args are only referenced inside by
+    // construction of the builder, and dominance still holds).
+    for (const uint32_t a : region.args) {
+      if (a >= defined_.size()) {
+        return Err("region arg out of range");
+      }
+      defined_[a] = true;
+    }
+    for (const Instr& instr : region.body) {
+      for (const uint32_t op : instr.operands) {
+        if (auto s = CheckValue(op, instr); !s.ok()) {
+          return s;
+        }
+      }
+      if (auto s = CheckInstr(instr); !s.ok()) {
+        return s;
+      }
+      for (const Region& sub : instr.regions) {
+        if (auto s = CheckRegion(sub); !s.ok()) {
+          return s;
+        }
+      }
+      if (instr.has_result()) {
+        if (instr.result >= defined_.size()) {
+          return Err("result id out of range");
+        }
+        defined_[instr.result] = true;
+        if (func_.ValueType(instr.result) != instr.type) {
+          return Err(StrFormat("%s: result type mismatch", OpKindName(instr.kind)));
+        }
+      }
+    }
+    return Status::Ok();
+  }
+
+  Type OperandType(const Instr& instr, size_t i) const {
+    return func_.ValueType(instr.operands[i]);
+  }
+
+  Status CheckInstr(const Instr& instr) {
+    switch (instr.kind) {
+      case OpKind::kConstI:
+      case OpKind::kConstF:
+        return ExpectOperands(instr, 0);
+      case OpKind::kAdd:
+      case OpKind::kSub:
+      case OpKind::kMul:
+      case OpKind::kDiv:
+      case OpKind::kRem:
+      case OpKind::kMin:
+      case OpKind::kMax:
+      case OpKind::kAnd:
+      case OpKind::kOr:
+      case OpKind::kXor:
+      case OpKind::kShl:
+      case OpKind::kShr:
+        return ExpectOperands(instr, 2);
+      case OpKind::kCmpEq:
+      case OpKind::kCmpNe:
+      case OpKind::kCmpLt:
+      case OpKind::kCmpLe:
+      case OpKind::kCmpGt:
+      case OpKind::kCmpGe: {
+        if (auto s = ExpectOperands(instr, 2); !s.ok()) {
+          return s;
+        }
+        if (instr.type != Type::kI64) {
+          return Err("cmp result must be i64");
+        }
+        return Status::Ok();
+      }
+      case OpKind::kSelect:
+        return ExpectOperands(instr, 3);
+      case OpKind::kI2F:
+      case OpKind::kF2I:
+      case OpKind::kSqrt:
+      case OpKind::kExp:
+      case OpKind::kTanh:
+      case OpKind::kRand:
+        return ExpectOperands(instr, 1);
+      case OpKind::kLocalAlloc:
+        if (static_cast<uint32_t>(instr.i_attr) >= func_.local_slots) {
+          return Err("local slot out of range");
+        }
+        return Status::Ok();
+      case OpKind::kLocalLoad:
+      case OpKind::kLocalStore:
+        if (static_cast<uint32_t>(instr.i_attr) >= func_.local_slots) {
+          return Err("local slot out of range");
+        }
+        return Status::Ok();
+      case OpKind::kAlloc: {
+        if (auto s = ExpectOperands(instr, 1); !s.ok()) {
+          return s;
+        }
+        if (instr.s_attr.empty()) {
+          return Err("alloc without a label");
+        }
+        if (instr.type != Type::kPtr) {
+          return Err("alloc must produce ptr");
+        }
+        return Status::Ok();
+      }
+      case OpKind::kFree:
+      case OpKind::kLifetimeEnd:
+        return ExpectOperands(instr, 1);
+      case OpKind::kIndex: {
+        if (auto s = ExpectOperands(instr, 2); !s.ok()) {
+          return s;
+        }
+        if (OperandType(instr, 0) != Type::kPtr || OperandType(instr, 1) != Type::kI64) {
+          return Err("index expects (ptr, i64)");
+        }
+        return Status::Ok();
+      }
+      case OpKind::kLoad:
+      case OpKind::kRmemLoad: {
+        if (auto s = ExpectOperands(instr, 1); !s.ok()) {
+          return s;
+        }
+        if (OperandType(instr, 0) != Type::kPtr) {
+          return Err("load address must be ptr");
+        }
+        if (instr.mem.bytes == 0) {
+          return Err("load of zero bytes");
+        }
+        return Status::Ok();
+      }
+      case OpKind::kStore:
+      case OpKind::kRmemStore: {
+        if (auto s = ExpectOperands(instr, 2); !s.ok()) {
+          return s;
+        }
+        if (OperandType(instr, 0) != Type::kPtr) {
+          return Err("store address must be ptr");
+        }
+        return Status::Ok();
+      }
+      case OpKind::kPrefetch:
+      case OpKind::kEvictHint: {
+        if (auto s = ExpectOperands(instr, 1); !s.ok()) {
+          return s;
+        }
+        if (OperandType(instr, 0) != Type::kPtr) {
+          return Err("hint address must be ptr");
+        }
+        return Status::Ok();
+      }
+      case OpKind::kFor: {
+        if (auto s = ExpectOperands(instr, 3); !s.ok()) {
+          return s;
+        }
+        if (instr.regions.size() != 1 || instr.regions[0].args.size() != 1) {
+          return Err("for needs one body region with one iv arg");
+        }
+        return Status::Ok();
+      }
+      case OpKind::kWhile: {
+        if (instr.regions.size() != 2) {
+          return Err("while needs cond+body regions");
+        }
+        const Region& cond = instr.regions[0];
+        if (cond.body.empty() || cond.body.back().kind != OpKind::kYield ||
+            cond.body.back().operands.size() != 1) {
+          return Err("while cond must end with yield(i64)");
+        }
+        return Status::Ok();
+      }
+      case OpKind::kIf: {
+        if (auto s = ExpectOperands(instr, 1); !s.ok()) {
+          return s;
+        }
+        if (instr.regions.size() != 2) {
+          return Err("if needs then+else regions");
+        }
+        return Status::Ok();
+      }
+      case OpKind::kYield:
+        return Status::Ok();
+      case OpKind::kCall:
+      case OpKind::kOffloadCall: {
+        if (instr.callee >= module_.functions.size()) {
+          return Err("call to out-of-range function");
+        }
+        const Function& target = *module_.functions[instr.callee];
+        if (instr.operands.size() != target.param_types.size()) {
+          return Err(StrFormat("call to @%s with %zu args, expected %zu", target.name.c_str(),
+                               instr.operands.size(), target.param_types.size()));
+        }
+        return Status::Ok();
+      }
+      case OpKind::kReturn:
+        if (func_.return_type == Type::kVoid && !instr.operands.empty()) {
+          return Err("return with value in void function");
+        }
+        return Status::Ok();
+    }
+    return Err("unknown op kind");
+  }
+
+  const Module& module_;
+  const Function& func_;
+  std::vector<bool> defined_;
+};
+
+}  // namespace
+
+support::Status VerifyFunction(const Module& module, const Function& func) {
+  return FunctionVerifier(module, func).Run();
+}
+
+support::Status VerifyModule(const Module& module) {
+  for (const auto& f : module.functions) {
+    if (auto s = VerifyFunction(module, *f); !s.ok()) {
+      return s;
+    }
+  }
+  return support::Status::Ok();
+}
+
+}  // namespace mira::ir

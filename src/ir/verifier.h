@@ -1,0 +1,23 @@
+// Structural and type checking of IR modules. The analysis and transform
+// passes run only on verified modules; the pass manager re-verifies after
+// every transformation.
+
+#ifndef MIRA_SRC_IR_VERIFIER_H_
+#define MIRA_SRC_IR_VERIFIER_H_
+
+#include "src/ir/ir.h"
+#include "src/support/status.h"
+
+namespace mira::ir {
+
+// Checks one function: SSA dominance (every operand defined before use in
+// an enclosing-or-same region), result/operand types, region shapes
+// (kFor body has one iv arg, kWhile cond yields i64, terminators last),
+// valid callee indices and local slots.
+support::Status VerifyFunction(const Module& module, const Function& func);
+
+support::Status VerifyModule(const Module& module);
+
+}  // namespace mira::ir
+
+#endif  // MIRA_SRC_IR_VERIFIER_H_

@@ -1,0 +1,107 @@
+#include "src/net/transport.h"
+
+namespace mira::net {
+
+uint64_t Transport::MessageDoneAt(sim::SimClock& clk, uint64_t bytes, uint64_t extra_ns) {
+  // Caller pays CPU to post the verb; the wire occupies the shared link for
+  // the transfer; propagation (RTT) overlaps across messages.
+  clk.Advance(cost_.per_message_cpu_ns);
+  ++stats_.messages;
+  return link_.Transfer(clk.now_ns(), bytes, cost_.rdma_rtt_ns + extra_ns);
+}
+
+void Transport::ReadSync(sim::SimClock& clk, farmem::RemoteAddr raddr, void* dst, uint32_t len) {
+  if (dst != nullptr) {
+    node_->CopyOut(raddr, dst, len);
+  }
+  ++stats_.one_sided_reads;
+  stats_.bytes_in += len;
+  clk.AdvanceTo(MessageDoneAt(clk, len, 0));
+}
+
+void Transport::WriteSync(sim::SimClock& clk, farmem::RemoteAddr raddr, const void* src,
+                          uint32_t len) {
+  if (src != nullptr) {
+    node_->CopyIn(raddr, src, len);
+  }
+  ++stats_.one_sided_writes;
+  stats_.bytes_out += len;
+  clk.AdvanceTo(MessageDoneAt(clk, len, 0));
+}
+
+uint64_t Transport::ReadAsync(sim::SimClock& clk, farmem::RemoteAddr raddr, void* dst,
+                              uint32_t len) {
+  if (dst != nullptr) {
+    node_->CopyOut(raddr, dst, len);
+  }
+  ++stats_.one_sided_reads;
+  stats_.bytes_in += len;
+  return MessageDoneAt(clk, len, 0);
+}
+
+uint64_t Transport::WriteAsync(sim::SimClock& clk, farmem::RemoteAddr raddr, const void* src,
+                               uint32_t len) {
+  if (src != nullptr) {
+    node_->CopyIn(raddr, src, len);
+  }
+  ++stats_.one_sided_writes;
+  stats_.bytes_out += len;
+  return MessageDoneAt(clk, len, 0);
+}
+
+void Transport::ReadGatherSync(sim::SimClock& clk, const std::vector<Segment>& segs) {
+  clk.AdvanceTo(ReadGatherAsync(clk, segs));
+}
+
+uint64_t Transport::ReadGatherAsync(sim::SimClock& clk, const std::vector<Segment>& segs) {
+  uint64_t bytes = 0;
+  for (const auto& s : segs) {
+    if (s.dst != nullptr) {
+      node_->CopyOut(s.raddr, s.dst, s.len);
+    }
+    bytes += s.len;
+  }
+  ++stats_.one_sided_reads;
+  stats_.bytes_in += bytes;
+  stats_.sg_segments += segs.size();
+  const uint64_t sg_cost =
+      segs.empty() ? 0 : (segs.size() - 1) * cost_.sg_segment_ns;
+  return MessageDoneAt(clk, bytes, sg_cost);
+}
+
+void Transport::TwoSidedReadSync(sim::SimClock& clk, farmem::RemoteAddr raddr, void* dst,
+                                 uint32_t len, uint32_t gather_segments) {
+  if (dst != nullptr) {
+    node_->CopyOut(raddr, dst, len);
+  }
+  ++stats_.two_sided_msgs;
+  stats_.bytes_in += len;
+  const uint64_t handler =
+      cost_.two_sided_handler_ns + gather_segments * cost_.sg_segment_ns;
+  clk.AdvanceTo(MessageDoneAt(clk, len, handler));
+}
+
+void Transport::TwoSidedWriteSync(sim::SimClock& clk, farmem::RemoteAddr raddr, const void* src,
+                                  uint32_t len, uint32_t gather_segments) {
+  if (src != nullptr) {
+    node_->CopyIn(raddr, src, len);
+  }
+  ++stats_.two_sided_msgs;
+  stats_.bytes_out += len;
+  const uint64_t handler =
+      cost_.two_sided_handler_ns + gather_segments * cost_.sg_segment_ns;
+  clk.AdvanceTo(MessageDoneAt(clk, len, handler));
+}
+
+uint64_t Transport::Rpc(sim::SimClock& clk, uint32_t req_bytes, uint32_t resp_bytes,
+                        uint64_t remote_service_ns) {
+  ++stats_.rpcs;
+  stats_.bytes_out += req_bytes;
+  stats_.bytes_in += resp_bytes;
+  const uint64_t done = MessageDoneAt(clk, req_bytes + resp_bytes,
+                                      cost_.rpc_dispatch_ns + remote_service_ns);
+  clk.AdvanceTo(done);
+  return done;
+}
+
+}  // namespace mira::net

@@ -1,0 +1,117 @@
+// The RDMA-like transport between the local node and the far-memory node.
+//
+// Models the verbs Mira's compiler targets (§4.7, §5.2.1 of the paper):
+//   - one-sided read/write: zero-copy access to whole remote ranges;
+//   - scatter-gather one-sided reads: one message, many segments (batching);
+//   - two-sided messages: the far node's CPU assembles/handles the payload,
+//     used for partial-structure (selective) transmission;
+//   - RPC: offloaded function invocation.
+//
+// All methods take the calling logical thread's SimClock. Blocking variants
+// advance the clock past completion; async variants return the completion
+// timestamp so the caller (prefetcher, flusher) can overlap it with compute.
+// The data plane always executes immediately on the host (memcpy), which
+// keeps results identical across timing models. Callers whose data plane is
+// handled elsewhere (the cache sections — the interpreter writes through to
+// the far arena directly) pass nullptr buffers for timing-only transfers.
+
+#ifndef MIRA_SRC_NET_TRANSPORT_H_
+#define MIRA_SRC_NET_TRANSPORT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/farmem/far_memory_node.h"
+#include "src/sim/clock.h"
+#include "src/sim/cost_model.h"
+#include "src/sim/resource.h"
+
+namespace mira::net {
+
+struct NetworkStats {
+  uint64_t messages = 0;
+  uint64_t one_sided_reads = 0;
+  uint64_t one_sided_writes = 0;
+  uint64_t two_sided_msgs = 0;
+  uint64_t rpcs = 0;
+  uint64_t bytes_in = 0;   // far → local
+  uint64_t bytes_out = 0;  // local → far
+  uint64_t sg_segments = 0;
+
+  uint64_t total_bytes() const { return bytes_in + bytes_out; }
+  void Reset() { *this = NetworkStats{}; }
+};
+
+// A segment of a scatter-gather read.
+struct Segment {
+  farmem::RemoteAddr raddr;
+  void* dst;
+  uint32_t len;
+};
+
+class Transport {
+ public:
+  Transport(farmem::FarMemoryNode* node, const sim::CostModel& cost)
+      : node_(node), cost_(cost), link_(cost.network_bytes_per_ns) {}
+
+  // ---- One-sided verbs ----
+
+  // Blocking one-sided read of [raddr, raddr+len) into dst.
+  void ReadSync(sim::SimClock& clk, farmem::RemoteAddr raddr, void* dst, uint32_t len);
+
+  // Blocking one-sided write.
+  void WriteSync(sim::SimClock& clk, farmem::RemoteAddr raddr, const void* src, uint32_t len);
+
+  // Async one-sided read: data lands in dst "at" the returned timestamp.
+  // Charges only the issue cost to the caller's clock.
+  uint64_t ReadAsync(sim::SimClock& clk, farmem::RemoteAddr raddr, void* dst, uint32_t len);
+
+  // Async one-sided write (used for asynchronous flush / writeback).
+  uint64_t WriteAsync(sim::SimClock& clk, farmem::RemoteAddr raddr, const void* src,
+                      uint32_t len);
+
+  // Blocking scatter-gather read: one message, many segments.
+  void ReadGatherSync(sim::SimClock& clk, const std::vector<Segment>& segs);
+
+  // Async scatter-gather read.
+  uint64_t ReadGatherAsync(sim::SimClock& clk, const std::vector<Segment>& segs);
+
+  // ---- Two-sided messages ----
+
+  // Blocking two-sided partial read: the far node CPU gathers `len` bytes at
+  // raddr into a message (selective transmission, §4.7). `gather_segments`
+  // models how many discontiguous fields the far CPU copies.
+  void TwoSidedReadSync(sim::SimClock& clk, farmem::RemoteAddr raddr, void* dst, uint32_t len,
+                        uint32_t gather_segments = 1);
+
+  void TwoSidedWriteSync(sim::SimClock& clk, farmem::RemoteAddr raddr, const void* src,
+                         uint32_t len, uint32_t gather_segments = 1);
+
+  // ---- RPC ----
+
+  // Round trip carrying `req_bytes` out and `resp_bytes` back, plus
+  // `remote_service_ns` of far-node service time (e.g., an offloaded
+  // function's execution). Returns the completion timestamp.
+  uint64_t Rpc(sim::SimClock& clk, uint32_t req_bytes, uint32_t resp_bytes,
+               uint64_t remote_service_ns);
+
+  farmem::FarMemoryNode* node() { return node_; }
+  const sim::CostModel& cost() const { return cost_; }
+  const NetworkStats& stats() const { return stats_; }
+  sim::BandwidthLink& link() { return link_; }
+  void ResetStats() { stats_.Reset(); }
+
+ private:
+  // Completion time of a message of `bytes` issued at clk.now(), after the
+  // caller-side CPU cost. Shares the link across logical threads.
+  uint64_t MessageDoneAt(sim::SimClock& clk, uint64_t bytes, uint64_t extra_ns);
+
+  farmem::FarMemoryNode* node_;
+  const sim::CostModel& cost_;
+  sim::BandwidthLink link_;
+  NetworkStats stats_;
+};
+
+}  // namespace mira::net
+
+#endif  // MIRA_SRC_NET_TRANSPORT_H_

@@ -1,0 +1,31 @@
+// Per-object compilation directives derived by the planner from analysis +
+// profiling, consumed by the IR-rewriting passes.
+
+#ifndef MIRA_SRC_PASSES_COMPILE_INFO_H_
+#define MIRA_SRC_PASSES_COMPILE_INFO_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "src/analysis/access_analysis.h"
+
+namespace mira::passes {
+
+struct ObjectCompileInfo {
+  analysis::AccessPattern pattern = analysis::AccessPattern::kUnknown;
+  uint32_t line_bytes = 4096;
+  uint32_t elem_bytes = 8;
+  // Prefetch lookahead: lines for contiguous patterns, elements for
+  // indirect ones. 0 disables prefetch insertion.
+  uint32_t prefetch_distance = 0;
+  bool eviction_hints = false;
+  // Native-load promotion is legal for this object's loop accesses (§4.4).
+  bool promote = false;
+};
+
+using CompileInfoMap = std::map<std::string, ObjectCompileInfo>;
+
+}  // namespace mira::passes
+
+#endif  // MIRA_SRC_PASSES_COMPILE_INFO_H_

@@ -1,0 +1,111 @@
+#include "src/passes/convert.h"
+
+#include <algorithm>
+
+namespace mira::passes {
+
+namespace {
+
+bool Intersects(const std::set<std::string>& a, const std::set<std::string>& b) {
+  for (const auto& x : a) {
+    if (b.find(x) != b.end()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+int RemotableConversion(ir::Module* module, const analysis::AccessAnalysis& access,
+                        const std::set<std::string>& selected) {
+  int converted = 0;
+  for (auto& f : module->functions) {
+    const auto& bindings = access.Bindings(f->name);
+    ir::WalkInstrs(f->body, [&](ir::Instr& instr) {
+      if (instr.kind != ir::OpKind::kLoad && instr.kind != ir::OpKind::kStore) {
+        return;
+      }
+      const auto it = bindings.find(instr.operands[0]);
+      if (it == bindings.end() || !Intersects(it->second, selected)) {
+        return;
+      }
+      instr.kind = instr.kind == ir::OpKind::kLoad ? ir::OpKind::kRmemLoad
+                                                   : ir::OpKind::kRmemStore;
+      ++converted;
+    });
+  }
+  return converted;
+}
+
+int PromoteNativeLoads(ir::Module* module, const analysis::AccessAnalysis& access,
+                       const CompileInfoMap& info) {
+  int promoted = 0;
+  for (auto& f : module->functions) {
+    const auto& finfo = access.ForFunction(f->name);
+    for (const auto& a : finfo.accesses) {
+      if (a.objects.empty()) {
+        continue;
+      }
+      bool all_promotable = true;
+      for (const auto& obj : a.objects) {
+        const auto it = info.find(obj);
+        if (it == info.end() || !it->second.promote) {
+          all_promotable = false;
+          break;
+        }
+      }
+      // The analysis holds const pointers into `module`, which we own here.
+      auto* instr = const_cast<ir::Instr*>(a.instr);
+      if (instr->kind != ir::OpKind::kRmemLoad && instr->kind != ir::OpKind::kRmemStore) {
+        continue;
+      }
+      const bool contiguous = a.pattern == analysis::AccessPattern::kSequential ||
+                              a.pattern == analysis::AccessPattern::kStrided;
+      if (all_promotable && contiguous && a.loop_depth > 0) {
+        instr->mem.promoted = true;
+        ++promoted;
+      }
+      // Write-only full-line stores skip the fetch (§4.5): the loop writes
+      // each consecutive element and never reads the object in that loop.
+      if (a.is_store && a.pattern == analysis::AccessPattern::kSequential &&
+          a.bytes == a.elem_bytes && a.loop_body != nullptr) {
+        bool read_in_loop = false;
+        for (const auto& other : finfo.accesses) {
+          if (!other.is_store && other.loop_body == a.loop_body &&
+              Intersects(other.objects, a.objects)) {
+            read_in_loop = true;
+            break;
+          }
+        }
+        if (!read_in_loop) {
+          instr->mem.full_line_write = true;
+        }
+      }
+    }
+  }
+  return promoted;
+}
+
+int OffloadExtraction(ir::Module* module, const std::set<std::string>& functions) {
+  int count = 0;
+  std::set<uint32_t> indices;
+  for (const auto& name : functions) {
+    if (module->FindFunction(name) != nullptr) {
+      const uint32_t idx = module->FunctionIndex(name);
+      indices.insert(idx);
+      module->functions[idx]->remotable = true;
+    }
+  }
+  for (auto& f : module->functions) {
+    ir::WalkInstrs(f->body, [&](ir::Instr& instr) {
+      if (instr.kind == ir::OpKind::kCall && indices.count(instr.callee) > 0) {
+        instr.kind = ir::OpKind::kOffloadCall;
+        ++count;
+      }
+    });
+  }
+  return count;
+}
+
+}  // namespace mira::passes

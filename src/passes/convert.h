@@ -1,0 +1,38 @@
+// Conversion and attribute passes:
+//
+//  - RemotableConversion (§4.4, §5.2.1): loads/stores whose pointers bind to
+//    selected far objects become rmem.load / rmem.store.
+//  - PromoteNativeLoads (§4.4): rmem accesses proven conflict-free and
+//    covered by prefetching are marked `promoted`, compiling to native
+//    loads; full-line write-only stores are marked `full_line_write`.
+//  - OffloadExtraction (§4.8): calls to chosen functions become
+//    rmem.offload_call and the callee is marked remotable.
+
+#ifndef MIRA_SRC_PASSES_CONVERT_H_
+#define MIRA_SRC_PASSES_CONVERT_H_
+
+#include <set>
+#include <string>
+
+#include "src/analysis/access_analysis.h"
+#include "src/ir/ir.h"
+#include "src/passes/compile_info.h"
+
+namespace mira::passes {
+
+// Rewrites kLoad/kStore → kRmemLoad/kRmemStore for accesses that may touch
+// `selected` objects. Returns the number of converted accesses.
+int RemotableConversion(ir::Module* module, const analysis::AccessAnalysis& access,
+                        const std::set<std::string>& selected);
+
+// Marks promotion / full-line-write attributes per `info`. Returns the
+// number of promoted accesses.
+int PromoteNativeLoads(ir::Module* module, const analysis::AccessAnalysis& access,
+                       const CompileInfoMap& info);
+
+// Converts calls to `functions` into offload calls. Returns count.
+int OffloadExtraction(ir::Module* module, const std::set<std::string>& functions);
+
+}  // namespace mira::passes
+
+#endif  // MIRA_SRC_PASSES_CONVERT_H_

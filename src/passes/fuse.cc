@@ -1,0 +1,204 @@
+#include "src/passes/fuse.h"
+
+#include <map>
+
+#include "src/passes/rewrite_util.h"
+
+namespace mira::passes {
+
+namespace {
+
+bool FusionSafeBody(const ir::Region& body) {
+  for (const auto& instr : body.body) {
+    switch (instr.kind) {
+      case ir::OpKind::kStore:
+      case ir::OpKind::kRmemStore:
+      case ir::OpKind::kCall:
+      case ir::OpKind::kOffloadCall:
+      case ir::OpKind::kAlloc:
+      case ir::OpKind::kFree:
+      case ir::OpKind::kFor:
+      case ir::OpKind::kWhile:
+      case ir::OpKind::kIf:
+      case ir::OpKind::kReturn:
+        return false;
+      default:
+        break;
+    }
+  }
+  return true;
+}
+
+// Do two bound operands denote the same value (same SSA value or equal
+// constants)?
+bool SameBound(const ir::Function& func, const std::map<uint32_t, const ir::Instr*>& defs,
+               uint32_t a, uint32_t b) {
+  if (a == b) {
+    return true;
+  }
+  const auto da = defs.find(a);
+  const auto db = defs.find(b);
+  return da != defs.end() && db != defs.end() && da->second->kind == ir::OpKind::kConstI &&
+         db->second->kind == ir::OpKind::kConstI && da->second->i_attr == db->second->i_attr;
+}
+
+void SubstituteValue(ir::Region& region, uint32_t from, uint32_t to) {
+  ir::WalkInstrs(region, [&](ir::Instr& instr) {
+    for (uint32_t& op : instr.operands) {
+      if (op == from) {
+        op = to;
+      }
+    }
+  });
+}
+
+// Is `value` a pure function of the iv / constants / loop-invariant values
+// (i.e., safe to hoist its chain to the body front)?
+bool AddrPure(const std::map<uint32_t, const ir::Instr*>& local_defs, uint32_t value,
+              uint32_t iv, int depth = 0) {
+  if (value == iv || depth > 12) {
+    return value == iv;
+  }
+  const auto it = local_defs.find(value);
+  if (it == local_defs.end()) {
+    return true;  // defined outside the body: invariant
+  }
+  const ir::Instr& d = *it->second;
+  switch (d.kind) {
+    case ir::OpKind::kConstI:
+      return true;
+    case ir::OpKind::kAdd:
+    case ir::OpKind::kSub:
+    case ir::OpKind::kMul:
+    case ir::OpKind::kDiv:
+    case ir::OpKind::kRem:
+    case ir::OpKind::kMin:
+    case ir::OpKind::kMax:
+    case ir::OpKind::kIndex: {
+      for (const uint32_t op : d.operands) {
+        if (!AddrPure(local_defs, op, iv, depth + 1)) {
+          return false;
+        }
+      }
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+int next_batch_group = 0;
+
+void FuseRegion(ir::Function& func, ir::Region& region, int* fused) {
+  for (auto& instr : region.body) {
+    for (auto& sub : instr.regions) {
+      FuseRegion(func, sub, fused);
+    }
+  }
+  auto defs = BuildDefMap(func);
+  // "Adjacent" loops may be separated by pure constant materialization (the
+  // builder emits each loop's bound constants right before it).
+  auto is_glue = [](const ir::Instr& i) {
+    return i.kind == ir::OpKind::kConstI || i.kind == ir::OpKind::kConstF ||
+           i.kind == ir::OpKind::kLocalAlloc;
+  };
+  for (size_t i = 0; i < region.body.size();) {
+    if (region.body[i].kind != ir::OpKind::kFor) {
+      ++i;
+      continue;
+    }
+    // Next loop after only glue instructions?
+    size_t j = i + 1;
+    while (j < region.body.size() && is_glue(region.body[j])) {
+      ++j;
+    }
+    if (j >= region.body.size() || region.body[j].kind != ir::OpKind::kFor) {
+      ++i;
+      continue;
+    }
+    ir::Instr& a = region.body[i];
+    ir::Instr& b = region.body[j];
+    if (!SameBound(func, defs, a.operands[0], b.operands[0]) ||
+        !SameBound(func, defs, a.operands[1], b.operands[1]) ||
+        !SameBound(func, defs, a.operands[2], b.operands[2]) ||
+        !FusionSafeBody(a.regions[0]) || !FusionSafeBody(b.regions[0])) {
+      ++i;
+      continue;
+    }
+    // Fuse b into a: substitute b's iv with a's, splice bodies.
+    const uint32_t iv_a = a.regions[0].args[0];
+    const uint32_t iv_b = b.regions[0].args[0];
+    SubstituteValue(b.regions[0], iv_b, iv_a);
+    for (auto& moved : b.regions[0].body) {
+      a.regions[0].body.push_back(std::move(moved));
+    }
+    region.body.erase(region.body.begin() + static_cast<long>(j));
+    ++*fused;
+    // The erase relocated instructions; refresh the def map before the next
+    // bound comparison. Keep `i` so chains of 3+ loops fuse fully.
+    defs = BuildDefMap(func);
+  }
+  // Tag + hoist batchable loads in every fused loop (only loops that
+  // contain ≥ 2 rmem loads benefit).
+  for (auto& instr : region.body) {
+    if (instr.kind != ir::OpKind::kFor) {
+      continue;
+    }
+    ir::Region& body = instr.regions[0];
+    const uint32_t iv = body.args[0];
+    std::map<uint32_t, const ir::Instr*> local_defs;
+    for (const auto& bi : body.body) {
+      if (bi.has_result()) {
+        local_defs[bi.result] = &bi;
+      }
+    }
+    std::vector<ir::Instr*> loads;
+    for (auto& bi : body.body) {
+      if (bi.kind == ir::OpKind::kRmemLoad && bi.mem.batch_group < 0 &&
+          AddrPure(local_defs, bi.operands[0], iv)) {
+        loads.push_back(&bi);
+      }
+    }
+    if (loads.size() < 2) {
+      continue;
+    }
+    const int group = next_batch_group++;
+    for (ir::Instr* l : loads) {
+      l->mem.batch_group = group;
+    }
+    // Hoist the address-pure chains to the front, preserving relative
+    // order, so every group member's address is computed before the first
+    // member executes (the interpreter's batch contract).
+    std::vector<ir::Instr> front;
+    std::vector<ir::Instr> rest;
+    for (auto& bi : body.body) {
+      const bool pure =
+          (bi.kind == ir::OpKind::kConstI || bi.kind == ir::OpKind::kIndex ||
+           bi.kind == ir::OpKind::kAdd || bi.kind == ir::OpKind::kSub ||
+           bi.kind == ir::OpKind::kMul || bi.kind == ir::OpKind::kDiv ||
+           bi.kind == ir::OpKind::kRem || bi.kind == ir::OpKind::kMin ||
+           bi.kind == ir::OpKind::kMax) &&
+          bi.has_result() && AddrPure(local_defs, bi.result, iv);
+      (pure ? front : rest).push_back(std::move(bi));
+    }
+    body.body.clear();
+    for (auto& x : front) {
+      body.body.push_back(std::move(x));
+    }
+    for (auto& x : rest) {
+      body.body.push_back(std::move(x));
+    }
+  }
+}
+
+}  // namespace
+
+int FuseAndBatchLoops(ir::Module* module) {
+  int fused = 0;
+  for (auto& f : module->functions) {
+    FuseRegion(*f, f->body, &fused);
+  }
+  return fused;
+}
+
+}  // namespace mira::passes

@@ -1,0 +1,24 @@
+// Loop fusion + data-access batching (§4.5 "data access batching").
+//
+// Adjacent for-loops with identical bounds whose bodies are fusion-safe
+// (no memory stores, no calls, no nested control flow — reductions into
+// locals are fine) are merged into one loop. All rmem loads in the fused
+// body whose addresses are pure functions of the induction variable get a
+// shared batch group: the runtime fetches all their missing lines with one
+// scatter-gather message per iteration. Loads of the *same* address across
+// fused bodies (the paper's avg/min/max DataFrame job, Fig 23) naturally
+// deduplicate into a single fetch.
+
+#ifndef MIRA_SRC_PASSES_FUSE_H_
+#define MIRA_SRC_PASSES_FUSE_H_
+
+#include "src/ir/ir.h"
+
+namespace mira::passes {
+
+// Returns the number of loops fused away.
+int FuseAndBatchLoops(ir::Module* module);
+
+}  // namespace mira::passes
+
+#endif  // MIRA_SRC_PASSES_FUSE_H_

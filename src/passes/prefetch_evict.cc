@@ -1,0 +1,450 @@
+#include "src/passes/prefetch_evict.h"
+
+#include <algorithm>
+
+#include "src/passes/rewrite_util.h"
+
+namespace mira::passes {
+
+namespace {
+
+// Minimal per-loop scalar evolution: is `value` affine in `iv`?
+bool AffineInIv(const std::map<uint32_t, const ir::Instr*>& defs, uint32_t value, uint32_t iv,
+                int64_t* coeff, int depth = 0) {
+  if (value == iv) {
+    *coeff = 1;
+    return true;
+  }
+  if (depth > 12) {
+    return false;
+  }
+  const auto it = defs.find(value);
+  if (it == defs.end()) {
+    *coeff = 0;  // parameter / outer region arg: invariant
+    return true;
+  }
+  const ir::Instr& d = *it->second;
+  switch (d.kind) {
+    case ir::OpKind::kConstI:
+      *coeff = 0;
+      return true;
+    case ir::OpKind::kAdd:
+    case ir::OpKind::kSub: {
+      int64_t a = 0, b = 0;
+      if (!AffineInIv(defs, d.operands[0], iv, &a, depth + 1) ||
+          !AffineInIv(defs, d.operands[1], iv, &b, depth + 1)) {
+        return false;
+      }
+      *coeff = d.kind == ir::OpKind::kSub ? a - b : a + b;
+      return true;
+    }
+    case ir::OpKind::kMul: {
+      int64_t a = 0, b = 0;
+      const auto ca = defs.find(d.operands[0]);
+      const auto cb = defs.find(d.operands[1]);
+      if (cb != defs.end() && cb->second->kind == ir::OpKind::kConstI &&
+          AffineInIv(defs, d.operands[0], iv, &a, depth + 1)) {
+        *coeff = a * cb->second->i_attr;
+        return true;
+      }
+      if (ca != defs.end() && ca->second->kind == ir::OpKind::kConstI &&
+          AffineInIv(defs, d.operands[1], iv, &b, depth + 1)) {
+        *coeff = b * ca->second->i_attr;
+        return true;
+      }
+      return false;
+    }
+    default:
+      return false;
+  }
+}
+
+// The load instruction feeding `value` (possibly through affine arith), or
+// nullptr.
+const ir::Instr* FeedingLoad(const std::map<uint32_t, const ir::Instr*>& defs, uint32_t value,
+                             int depth = 0) {
+  if (depth > 12) {
+    return nullptr;
+  }
+  const auto it = defs.find(value);
+  if (it == defs.end()) {
+    return nullptr;
+  }
+  const ir::Instr& d = *it->second;
+  if (d.kind == ir::OpKind::kRmemLoad || d.kind == ir::OpKind::kLoad) {
+    return &d;
+  }
+  if (d.kind == ir::OpKind::kAdd || d.kind == ir::OpKind::kSub ||
+      d.kind == ir::OpKind::kMul) {
+    for (const uint32_t op : d.operands) {
+      if (const ir::Instr* l = FeedingLoad(defs, op, depth + 1)) {
+        return l;
+      }
+    }
+  }
+  return nullptr;
+}
+
+// Picks the object (with compile info) an access binds to.
+const std::string* ObjectOf(const std::map<uint32_t, std::set<std::string>>& bindings,
+                            uint32_t addr_value, const CompileInfoMap& info) {
+  const auto it = bindings.find(addr_value);
+  if (it == bindings.end()) {
+    return nullptr;
+  }
+  for (const auto& label : it->second) {
+    const auto info_it = info.find(label);
+    if (info_it != info.end()) {
+      return &info_it->first;
+    }
+  }
+  return nullptr;
+}
+
+class PrefetchInserter {
+ public:
+  PrefetchInserter(ir::Module* module, ir::Function* func,
+                   const std::map<uint32_t, std::set<std::string>>& bindings,
+                   const CompileInfoMap& info)
+      : module_(module), func_(func), bindings_(bindings), info_(info) {}
+
+  int Run() {
+    ProcessRegion(func_->body);
+    return inserted_;
+  }
+
+ private:
+  void ProcessRegion(ir::Region& region) {
+    // Bottom-up: children first. Iterate by index; insertions happen only
+    // after children of the current loop are done.
+    for (size_t i = 0; i < region.body.size(); ++i) {
+      for (auto& sub : region.body[i].regions) {
+        ProcessRegion(sub);
+      }
+      if (region.body[i].kind == ir::OpKind::kFor) {
+        i += ProcessLoop(region, i);  // may insert a prologue before i
+      }
+    }
+  }
+
+  // Returns how many instructions were inserted *before* the loop at `pos`.
+  size_t ProcessLoop(ir::Region& parent, size_t pos) {
+    ir::Instr& loop = parent.body[pos];
+    ir::Region& body = loop.regions[0];
+    const uint32_t iv = body.args[0];
+    const auto defs = BuildDefMap(*func_);
+
+    struct SeqPlan {
+      std::string object;
+      uint32_t base;
+      int64_t scale;
+      uint32_t line;
+      uint32_t elem;
+      uint32_t distance;
+    };
+    struct IndirectPlan {
+      std::string b_object;
+      const ir::Instr* b_index;   // kIndex feeding the indirect access
+      const ir::Instr* a_load;    // the load producing the index
+      uint32_t distance;
+      bool a_promote;
+      uint32_t b_line;
+    };
+    std::vector<SeqPlan> seq;
+    std::vector<IndirectPlan> indirect;
+    // Dedup: one prefetch construct per object for contiguous patterns, and
+    // one per (object, index-source field) for indirect ones — B[A[i].x]
+    // and B[A[i].y] each get their own runahead chain.
+    std::set<std::string> planned;
+
+    for (const auto& instr : body.body) {
+      if (instr.kind != ir::OpKind::kRmemLoad && instr.kind != ir::OpKind::kRmemStore) {
+        continue;
+      }
+      const auto addr_def = defs.find(instr.operands[0]);
+      if (addr_def == defs.end() || addr_def->second->kind != ir::OpKind::kIndex) {
+        continue;
+      }
+      const ir::Instr& index = *addr_def->second;
+      const std::string* obj = ObjectOf(bindings_, instr.operands[0], info_);
+      if (obj == nullptr) {
+        obj = ObjectOf(bindings_, index.operands[0], info_);
+      }
+      if (obj == nullptr) {
+        continue;
+      }
+      const ObjectCompileInfo& oi = info_.at(*obj);
+      if (oi.prefetch_distance == 0) {
+        continue;
+      }
+      int64_t coeff = 0;
+      if (AffineInIv(defs, index.operands[1], iv, &coeff) && coeff != 0) {
+        if (!planned.insert(*obj).second) {
+          continue;
+        }
+        seq.push_back(SeqPlan{*obj, index.operands[0], index.i_attr, oi.line_bytes,
+                              oi.elem_bytes, oi.prefetch_distance});
+      } else if (const ir::Instr* a_load = FeedingLoad(defs, index.operands[1])) {
+        // Key the runahead by the source load's address expression (its
+        // kIndex), so distinct source fields each get coverage.
+        const std::string key =
+            *obj + "#" + std::to_string(a_load->operands[0]);
+        if (!planned.insert(key).second) {
+          continue;
+        }
+        const std::string* a_obj = ObjectOf(bindings_, a_load->operands[0], info_);
+        indirect.push_back(IndirectPlan{*obj, &index, a_load, oi.prefetch_distance,
+                                        a_obj != nullptr && info_.at(*a_obj).promote,
+                                        oi.line_bytes});
+      }
+    }
+    if (seq.empty() && indirect.empty()) {
+      return 0;
+    }
+
+    // ---- In-loop constructs, built back-to-front so prefix order holds.
+    std::vector<ir::Instr> prefix;
+    for (const auto& p : seq) {
+      const uint32_t epl = std::max<uint32_t>(1, p.line / std::max<uint32_t>(1, p.elem));
+      uint32_t c_epl, c_zero, c_ahead, rem, is_edge, idx2, addr2;
+      prefix.push_back(MakeConstI(func_, epl, &c_epl));
+      prefix.push_back(MakeConstI(func_, 0, &c_zero));
+      prefix.push_back(
+          MakeConstI(func_, static_cast<int64_t>(p.distance) * epl, &c_ahead));
+      prefix.push_back(MakeBinary(func_, ir::OpKind::kRem, iv, c_epl, ir::Type::kI64, &rem));
+      prefix.push_back(
+          MakeBinary(func_, ir::OpKind::kCmpEq, rem, c_zero, ir::Type::kI64, &is_edge));
+      ir::Instr guard;
+      guard.kind = ir::OpKind::kIf;
+      guard.operands = {is_edge};
+      guard.regions.resize(2);
+      std::vector<ir::Instr> then_body;
+      then_body.push_back(
+          MakeBinary(func_, ir::OpKind::kAdd, iv, c_ahead, ir::Type::kI64, &idx2));
+      then_body.push_back(MakeIndex(func_, p.base, idx2, p.scale, 0, &addr2));
+      then_body.push_back(MakePrefetch(addr2, p.line));
+      guard.regions[0].body = std::move(then_body);
+      prefix.push_back(std::move(guard));
+    }
+    for (const auto& p : indirect) {
+      uint32_t c_d, c_one, iv2, him, iv2m;
+      prefix.push_back(MakeConstI(func_, p.distance, &c_d));
+      prefix.push_back(MakeConstI(func_, 1, &c_one));
+      prefix.push_back(MakeBinary(func_, ir::OpKind::kAdd, iv, c_d, ir::Type::kI64, &iv2));
+      prefix.push_back(MakeBinary(func_, ir::OpKind::kSub, loop.operands[1], c_one,
+                                  ir::Type::kI64, &him));
+      prefix.push_back(MakeBinary(func_, ir::OpKind::kMin, iv2, him, ir::Type::kI64, &iv2m));
+      // Runahead load of the index source at i+d.
+      std::map<uint32_t, uint32_t> subst{{iv, iv2m}};
+      const uint32_t a_addr2 =
+          CloneExpr(func_, defs, p.a_load->operands[0], subst, &prefix);
+      if (a_addr2 == UINT32_MAX) {
+        continue;
+      }
+      ir::Instr a2;
+      a2.kind = ir::OpKind::kRmemLoad;
+      a2.operands = {a_addr2};
+      a2.mem.bytes = p.a_load->mem.bytes;
+      a2.mem.promoted = p.a_promote;
+      a2.type = p.a_load->type;
+      a2.result = func_->NewValue(p.a_load->type);
+      const uint32_t aval2 = a2.result;
+      prefix.push_back(std::move(a2));
+      // Address of B at the runahead index.
+      subst[p.a_load->result] = aval2;
+      const uint32_t b_addr2 = CloneExpr(func_, defs, p.b_index->result, subst, &prefix);
+      if (b_addr2 == UINT32_MAX) {
+        prefix.pop_back();
+        continue;
+      }
+      prefix.push_back(MakePrefetch(b_addr2, p.b_line));
+    }
+    inserted_ += static_cast<int>(seq.size() + indirect.size());
+    body.body.insert(body.body.begin(), std::make_move_iterator(prefix.begin()),
+                     std::make_move_iterator(prefix.end()));
+
+    // ---- Prologue: prefetch the first `distance` lines before the loop.
+    std::vector<ir::Instr> prologue;
+    for (const auto& p : seq) {
+      uint32_t addr0;
+      prologue.push_back(MakeIndex(func_, p.base, loop.operands[0], p.scale, 0, &addr0));
+      const uint32_t span =
+          std::min<uint32_t>(p.distance, 8) * p.line;
+      prologue.push_back(MakePrefetch(addr0, span));
+    }
+    const size_t n = prologue.size();
+    parent.body.insert(parent.body.begin() + static_cast<long>(pos),
+                       std::make_move_iterator(prologue.begin()),
+                       std::make_move_iterator(prologue.end()));
+    return n;
+  }
+
+  ir::Module* module_;
+  ir::Function* func_;
+  const std::map<uint32_t, std::set<std::string>>& bindings_;
+  const CompileInfoMap& info_;
+  int inserted_ = 0;
+};
+
+}  // namespace
+
+int InsertPrefetches(ir::Module* module, const analysis::AccessAnalysis& access,
+                     const CompileInfoMap& info) {
+  int total = 0;
+  for (auto& f : module->functions) {
+    total += PrefetchInserter(module, f.get(), access.Bindings(f->name), info).Run();
+  }
+  return total;
+}
+
+namespace {
+
+class EvictHintInserter {
+ public:
+  EvictHintInserter(ir::Function* func,
+                    const std::map<uint32_t, std::set<std::string>>& bindings,
+                    const CompileInfoMap& info)
+      : func_(func), bindings_(bindings), info_(info) {}
+
+  int Run() {
+    ProcessRegion(func_->body);
+    return inserted_;
+  }
+
+ private:
+  void ProcessRegion(ir::Region& region) {
+    for (auto& instr : region.body) {
+      for (auto& sub : instr.regions) {
+        ProcessRegion(sub);
+      }
+      if (instr.kind == ir::OpKind::kFor) {
+        ProcessLoop(instr);
+      }
+    }
+  }
+
+  void ProcessLoop(ir::Instr& loop) {
+    ir::Region& body = loop.regions[0];
+    const uint32_t iv = body.args[0];
+    const auto defs = BuildDefMap(*func_);
+    struct Plan {
+      uint32_t base;
+      int64_t scale;
+      uint32_t line;
+      uint32_t elem;
+    };
+    std::vector<Plan> plans;
+    std::set<std::string> planned;
+    for (const auto& instr : body.body) {
+      if (instr.kind != ir::OpKind::kRmemLoad && instr.kind != ir::OpKind::kRmemStore) {
+        continue;
+      }
+      const auto addr_def = defs.find(instr.operands[0]);
+      if (addr_def == defs.end() || addr_def->second->kind != ir::OpKind::kIndex) {
+        continue;
+      }
+      const ir::Instr& index = *addr_def->second;
+      const std::string* obj = ObjectOf(bindings_, instr.operands[0], info_);
+      if (obj == nullptr) {
+        obj = ObjectOf(bindings_, index.operands[0], info_);
+      }
+      if (obj == nullptr || planned.count(*obj) > 0) {
+        continue;
+      }
+      const ObjectCompileInfo& oi = info_.at(*obj);
+      if (!oi.eviction_hints) {
+        continue;
+      }
+      int64_t coeff = 0;
+      if (!AffineInIv(defs, index.operands[1], iv, &coeff) || coeff == 0) {
+        continue;  // hints only for analyzable contiguous last-accesses
+      }
+      plans.push_back(Plan{index.operands[0], index.i_attr, oi.line_bytes, oi.elem_bytes});
+      planned.insert(*obj);
+    }
+    for (const auto& p : plans) {
+      const uint32_t epl = std::max<uint32_t>(1, p.line / std::max<uint32_t>(1, p.elem));
+      uint32_t c_epl, c_last, rem, is_last, addr;
+      std::vector<ir::Instr> suffix;
+      suffix.push_back(MakeConstI(func_, epl, &c_epl));
+      suffix.push_back(MakeConstI(func_, epl - 1, &c_last));
+      suffix.push_back(MakeBinary(func_, ir::OpKind::kRem, iv, c_epl, ir::Type::kI64, &rem));
+      suffix.push_back(
+          MakeBinary(func_, ir::OpKind::kCmpEq, rem, c_last, ir::Type::kI64, &is_last));
+      ir::Instr guard;
+      guard.kind = ir::OpKind::kIf;
+      guard.operands = {is_last};
+      guard.regions.resize(2);
+      std::vector<ir::Instr> then_body;
+      then_body.push_back(MakeIndex(func_, p.base, iv, p.scale, 0, &addr));
+      then_body.push_back(MakeEvictHint(addr, 1));
+      guard.regions[0].body = std::move(then_body);
+      suffix.push_back(std::move(guard));
+      body.body.insert(body.body.end(), std::make_move_iterator(suffix.begin()),
+                       std::make_move_iterator(suffix.end()));
+      ++inserted_;
+    }
+  }
+
+  ir::Function* func_;
+  const std::map<uint32_t, std::set<std::string>>& bindings_;
+  const CompileInfoMap& info_;
+  int inserted_ = 0;
+};
+
+}  // namespace
+
+int InsertEvictionHints(ir::Module* module, const analysis::AccessAnalysis& access,
+                        const CompileInfoMap& info) {
+  int total = 0;
+  for (auto& f : module->functions) {
+    total += EvictHintInserter(f.get(), access.Bindings(f->name), info).Run();
+  }
+  return total;
+}
+
+int InsertLifetimeEnds(ir::Module* module, const std::string& root,
+                       const analysis::LifetimeAnalysis& lifetime,
+                       const std::set<std::string>& objects) {
+  ir::Function* func = module->FindFunction(root);
+  if (func == nullptr) {
+    return 0;
+  }
+  // Find alloc sites in root: label → (stmt index, result value).
+  struct AllocSite {
+    int stmt;
+    uint32_t value;
+  };
+  std::map<std::string, AllocSite> sites;
+  for (int i = 0; i < static_cast<int>(func->body.body.size()); ++i) {
+    const ir::Instr& instr = func->body.body[static_cast<size_t>(i)];
+    if (instr.kind == ir::OpKind::kAlloc && sites.find(instr.s_attr) == sites.end()) {
+      sites[instr.s_attr] = AllocSite{i, instr.result};
+    }
+  }
+  // Collect insertions (position after last_stmt), apply in descending
+  // order so positions stay valid.
+  std::vector<std::pair<int, uint32_t>> points;  // (insert position, ptr value)
+  for (const auto& obj : objects) {
+    const auto lt = lifetime.lifetimes().find(obj);
+    const auto site = sites.find(obj);
+    if (lt == lifetime.lifetimes().end() || site == sites.end()) {
+      continue;
+    }
+    if (lt->second.last_stmt + 1 >= static_cast<int>(func->body.body.size())) {
+      continue;  // dies at program end anyway
+    }
+    points.push_back({lt->second.last_stmt + 1, site->second.value});
+  }
+  std::sort(points.begin(), points.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  for (const auto& [pos, value] : points) {
+    ir::Instr end;
+    end.kind = ir::OpKind::kLifetimeEnd;
+    end.operands = {value};
+    func->body.body.insert(func->body.body.begin() + pos, std::move(end));
+  }
+  return static_cast<int>(points.size());
+}
+
+}  // namespace mira::passes

@@ -1,0 +1,44 @@
+// Prefetch insertion (§4.5 "adaptive prefetching") and eviction hints
+// (§4.5 "eviction hints"), plus lifetime-end insertion (§6.2: "we end a
+// section as soon as its lifetime in the program ends").
+//
+// Prefetching is compiled into the program, not predicted at run time:
+//   - contiguous patterns: a line-boundary-guarded rmem.prefetch of the
+//     line `distance` lines ahead, plus a prologue prefetch covering the
+//     first `distance` lines before the loop (paper Fig 14's async fetch +
+//     wait structure);
+//   - indirect patterns (B[A[i]]): a per-iteration runahead — load
+//     A[i+distance] (cheap: A's lines are prefetched/promoted) and prefetch
+//     B at the loaded index — exactly the paper's §1 example.
+
+#ifndef MIRA_SRC_PASSES_PREFETCH_EVICT_H_
+#define MIRA_SRC_PASSES_PREFETCH_EVICT_H_
+
+#include <set>
+#include <string>
+
+#include "src/analysis/access_analysis.h"
+#include "src/analysis/lifetime.h"
+#include "src/ir/ir.h"
+#include "src/passes/compile_info.h"
+
+namespace mira::passes {
+
+// Returns the number of prefetch sites inserted.
+int InsertPrefetches(ir::Module* module, const analysis::AccessAnalysis& access,
+                     const CompileInfoMap& info);
+
+// Returns the number of eviction-hint sites inserted.
+int InsertEvictionHints(ir::Module* module, const analysis::AccessAnalysis& access,
+                        const CompileInfoMap& info);
+
+// Inserts rmem.lifetime_end in `root` after the last statement touching
+// each object in `objects` (only objects allocated in `root`). Returns the
+// number of markers inserted.
+int InsertLifetimeEnds(ir::Module* module, const std::string& root,
+                       const analysis::LifetimeAnalysis& lifetime,
+                       const std::set<std::string>& objects);
+
+}  // namespace mira::passes
+
+#endif  // MIRA_SRC_PASSES_PREFETCH_EVICT_H_

@@ -1,0 +1,121 @@
+#include "src/passes/rewrite_util.h"
+
+namespace mira::passes {
+
+std::map<uint32_t, const ir::Instr*> BuildDefMap(const ir::Function& func) {
+  std::map<uint32_t, const ir::Instr*> defs;
+  ir::WalkInstrs(const_cast<ir::Region&>(func.body), [&](ir::Instr& instr) {
+    if (instr.has_result()) {
+      defs[instr.result] = &instr;
+    }
+  });
+  return defs;
+}
+
+ir::Instr MakeConstI(ir::Function* func, int64_t v, uint32_t* result) {
+  ir::Instr instr;
+  instr.kind = ir::OpKind::kConstI;
+  instr.i_attr = v;
+  instr.type = ir::Type::kI64;
+  instr.result = func->NewValue(ir::Type::kI64);
+  *result = instr.result;
+  return instr;
+}
+
+ir::Instr MakeBinary(ir::Function* func, ir::OpKind kind, uint32_t a, uint32_t b, ir::Type t,
+                     uint32_t* result) {
+  ir::Instr instr;
+  instr.kind = kind;
+  instr.operands = {a, b};
+  instr.type = t;
+  instr.result = func->NewValue(t);
+  *result = instr.result;
+  return instr;
+}
+
+ir::Instr MakeIndex(ir::Function* func, uint32_t base, uint32_t idx, int64_t scale,
+                    int64_t offset, uint32_t* result) {
+  ir::Instr instr;
+  instr.kind = ir::OpKind::kIndex;
+  instr.operands = {base, idx};
+  instr.i_attr = scale;
+  instr.i_attr2 = offset;
+  instr.type = ir::Type::kPtr;
+  instr.result = func->NewValue(ir::Type::kPtr);
+  *result = instr.result;
+  return instr;
+}
+
+ir::Instr MakePrefetch(uint32_t addr, uint32_t bytes) {
+  ir::Instr instr;
+  instr.kind = ir::OpKind::kPrefetch;
+  instr.operands = {addr};
+  instr.mem.bytes = bytes;
+  return instr;
+}
+
+ir::Instr MakeEvictHint(uint32_t addr, uint32_t bytes) {
+  ir::Instr instr;
+  instr.kind = ir::OpKind::kEvictHint;
+  instr.operands = {addr};
+  instr.mem.bytes = bytes;
+  return instr;
+}
+
+uint32_t CloneExpr(ir::Function* func, const std::map<uint32_t, const ir::Instr*>& defs,
+                   uint32_t value, const std::map<uint32_t, uint32_t>& subst,
+                   std::vector<ir::Instr>* out, int depth) {
+  const auto sub_it = subst.find(value);
+  if (sub_it != subst.end()) {
+    return sub_it->second;
+  }
+  if (depth > 12) {
+    return UINT32_MAX;
+  }
+  const auto it = defs.find(value);
+  if (it == defs.end()) {
+    // Parameter or region arg (not the iv): loop-invariant, reuse directly.
+    return value;
+  }
+  const ir::Instr& d = *it->second;
+  switch (d.kind) {
+    case ir::OpKind::kConstI:
+      // Invariant; reuse (dominance holds only if defined outside the loop —
+      // constants are rematerialized to be safe).
+      {
+        uint32_t r;
+        out->push_back(MakeConstI(func, d.i_attr, &r));
+        return r;
+      }
+    case ir::OpKind::kAdd:
+    case ir::OpKind::kSub:
+    case ir::OpKind::kMul:
+    case ir::OpKind::kDiv:
+    case ir::OpKind::kRem:
+    case ir::OpKind::kMin:
+    case ir::OpKind::kMax: {
+      const uint32_t a = CloneExpr(func, defs, d.operands[0], subst, out, depth + 1);
+      const uint32_t b = CloneExpr(func, defs, d.operands[1], subst, out, depth + 1);
+      if (a == UINT32_MAX || b == UINT32_MAX) {
+        return UINT32_MAX;
+      }
+      uint32_t r;
+      out->push_back(MakeBinary(func, d.kind, a, b, d.type, &r));
+      return r;
+    }
+    case ir::OpKind::kIndex: {
+      const uint32_t base = d.operands[0];  // invariant base pointer
+      const uint32_t idx = CloneExpr(func, defs, d.operands[1], subst, out, depth + 1);
+      if (idx == UINT32_MAX) {
+        return UINT32_MAX;
+      }
+      uint32_t r;
+      out->push_back(MakeIndex(func, base, idx, d.i_attr, d.i_attr2, &r));
+      return r;
+    }
+    default:
+      return UINT32_MAX;
+  }
+}
+
+}  // namespace mira::passes

@@ -1,0 +1,39 @@
+// Shared helpers for IR-rewriting passes: creating instructions with fresh
+// SSA values, locating definitions, and cloning address expressions with the
+// induction variable substituted (used by prefetch insertion's runahead
+// address computation).
+
+#ifndef MIRA_SRC_PASSES_REWRITE_UTIL_H_
+#define MIRA_SRC_PASSES_REWRITE_UTIL_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "src/ir/ir.h"
+
+namespace mira::passes {
+
+// Map of value id → defining instruction for one function.
+std::map<uint32_t, const ir::Instr*> BuildDefMap(const ir::Function& func);
+
+// Instruction factories (result ids allocated from `func`).
+ir::Instr MakeConstI(ir::Function* func, int64_t v, uint32_t* result);
+ir::Instr MakeBinary(ir::Function* func, ir::OpKind kind, uint32_t a, uint32_t b, ir::Type t,
+                     uint32_t* result);
+ir::Instr MakeIndex(ir::Function* func, uint32_t base, uint32_t idx, int64_t scale,
+                    int64_t offset, uint32_t* result);
+ir::Instr MakePrefetch(uint32_t addr, uint32_t bytes);
+ir::Instr MakeEvictHint(uint32_t addr, uint32_t bytes);
+
+// Clones the pure expression tree producing `value` (consts, arith, index)
+// with values remapped through `subst`, appending the cloned instructions
+// to `out`. Returns the cloned value id, or UINT32_MAX if the expression is
+// not pure/cloneable (touches memory or locals).
+uint32_t CloneExpr(ir::Function* func, const std::map<uint32_t, const ir::Instr*>& defs,
+                   uint32_t value, const std::map<uint32_t, uint32_t>& subst,
+                   std::vector<ir::Instr>* out, int depth = 0);
+
+}  // namespace mira::passes
+
+#endif  // MIRA_SRC_PASSES_REWRITE_UTIL_H_

@@ -1,0 +1,62 @@
+#include "src/pipeline/adaptive.h"
+
+#include "src/interp/interpreter.h"
+
+namespace mira::pipeline {
+
+AdaptiveRuntime::Invocation AdaptiveRuntime::Execute(const CompiledProgram& program,
+                                                     uint64_t seed) const {
+  World world = MakeWorld(SystemKind::kMira, options_.local_bytes, program.plan);
+  interp::InterpOptions iopts;
+  iopts.seed = seed;
+  iopts.profiling = true;  // sampled profiling invocation
+  interp::Interpreter interp(&program.module, world.backend.get(), iopts);
+  auto result = interp.Run(options_.entry);
+  MIRA_CHECK_MSG(result.ok(), result.status().ToString().c_str());
+  world.backend->Drain(interp.clock());
+  Invocation out;
+  out.result = result.value();
+  out.sim_ns = interp.clock().now_ns();
+  out.overhead_ratio = interp.profile().OverheadRatio();
+  return out;
+}
+
+void AdaptiveRuntime::Reoptimize(uint64_t seed) {
+  OptimizeOptions opts = options_;
+  opts.train_seed = seed;
+  IterativeOptimizer optimizer(source_, opts);
+  CompiledProgram candidate = optimizer.Optimize();
+  if (!compiled_) {
+    current_ = std::move(candidate);
+    compiled_ = true;
+  } else {
+    // Adopt only if the candidate actually beats the current compilation on
+    // this input (rollback discipline).
+    const Invocation old_run = Execute(current_, seed);
+    const Invocation new_run = Execute(candidate, seed);
+    if (new_run.sim_ns < old_run.sim_ns) {
+      current_ = std::move(candidate);
+    }
+  }
+  ++rounds_;
+  reference_overhead_ = Execute(current_, seed).overhead_ratio;
+}
+
+AdaptiveRuntime::Invocation AdaptiveRuntime::Invoke(uint64_t seed) {
+  if (!compiled_) {
+    Reoptimize(seed);
+    Invocation out = Execute(current_, seed);
+    out.reoptimized = true;
+    return out;
+  }
+  Invocation out = Execute(current_, seed);
+  if (reference_overhead_ > 0.0 &&
+      out.overhead_ratio > degrade_factor_ * reference_overhead_) {
+    Reoptimize(seed);
+    out = Execute(current_, seed);
+    out.reoptimized = true;
+  }
+  return out;
+}
+
+}  // namespace mira::pipeline

@@ -1,0 +1,56 @@
+// Input adaptation (paper §3): at deployment, user invocations keep using
+// the current compilation while Mira samples profiling runs; if the cache
+// performance overhead degrades past a threshold (e.g., the input
+// distribution changed), a new round of iterative optimization is triggered
+// and its compilation replaces the current one only if it measures better —
+// the same rollback discipline as the offline loop.
+
+#ifndef MIRA_SRC_PIPELINE_ADAPTIVE_H_
+#define MIRA_SRC_PIPELINE_ADAPTIVE_H_
+
+#include <cstdint>
+
+#include "src/pipeline/optimizer.h"
+
+namespace mira::pipeline {
+
+class AdaptiveRuntime {
+ public:
+  struct Invocation {
+    uint64_t result = 0;
+    uint64_t sim_ns = 0;
+    double overhead_ratio = 0.0;
+    bool reoptimized = false;  // this invocation triggered a new round
+  };
+
+  // `degrade_factor`: re-optimize when the observed overhead ratio exceeds
+  // degrade_factor × the ratio measured right after the last optimization.
+  AdaptiveRuntime(const ir::Module* source, OptimizeOptions options,
+                  double degrade_factor = 1.5)
+      : source_(source), options_(std::move(options)), degrade_factor_(degrade_factor) {}
+
+  // Serves one program invocation with input `seed`. The first invocation
+  // compiles from scratch (the paper's initial profiling run on the generic
+  // swap configuration plays that role).
+  Invocation Invoke(uint64_t seed);
+
+  int optimization_rounds() const { return rounds_; }
+  const CompiledProgram& current() const { return current_; }
+
+ private:
+  // One measured execution of `program` with `seed`; fills ratio.
+  Invocation Execute(const CompiledProgram& program, uint64_t seed) const;
+  void Reoptimize(uint64_t seed);
+
+  const ir::Module* source_;
+  OptimizeOptions options_;
+  double degrade_factor_;
+  CompiledProgram current_;
+  bool compiled_ = false;
+  double reference_overhead_ = 0.0;
+  int rounds_ = 0;
+};
+
+}  // namespace mira::pipeline
+
+#endif  // MIRA_SRC_PIPELINE_ADAPTIVE_H_

@@ -1,0 +1,288 @@
+#include "src/pipeline/optimizer.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/backends/mira_backend.h"
+#include "src/ir/verifier.h"
+#include "src/passes/convert.h"
+#include "src/passes/fuse.h"
+#include "src/passes/prefetch_evict.h"
+
+namespace mira::pipeline {
+
+ir::Module CompileWithPlan(const ir::Module& source, const PlanDraft& draft,
+                           const PlannerOptions& options, const std::string& entry) {
+  ir::Module module = source.Clone();
+  {
+    analysis::AccessAnalysis access(&module);
+    access.Run();
+    passes::RemotableConversion(&module, access, draft.selected_objects);
+  }
+  if (options.enable_batching) {
+    passes::FuseAndBatchLoops(&module);
+  }
+  if (options.enable_prefetch) {
+    analysis::AccessAnalysis access(&module);
+    access.Run();
+    passes::InsertPrefetches(&module, access, draft.compile_info);
+  }
+  if (options.enable_evict_hints) {
+    analysis::AccessAnalysis access(&module);
+    access.Run();
+    passes::InsertEvictionHints(&module, access, draft.compile_info);
+  }
+  {
+    analysis::AccessAnalysis access(&module);
+    access.Run();
+    analysis::LifetimeAnalysis lifetime(&module, &access);
+    lifetime.Run(entry);
+    passes::InsertLifetimeEnds(&module, entry, lifetime, draft.selected_objects);
+  }
+  if (options.enable_promote) {
+    analysis::AccessAnalysis access(&module);
+    access.Run();
+    passes::PromoteNativeLoads(&module, access, draft.compile_info);
+  }
+  if (options.enable_offload && !draft.offload_functions.empty()) {
+    passes::OffloadExtraction(&module, draft.offload_functions);
+  }
+  auto status = ir::VerifyModule(module);
+  MIRA_CHECK_MSG(status.ok(), status.ToString().c_str());
+  return module;
+}
+
+uint64_t IterativeOptimizer::Evaluate(const ir::Module& module, const runtime::CachePlan& plan,
+                                      interp::RunProfile* profile,
+                                      bool profiling_instrumented) {
+  World world = MakeWorld(SystemKind::kMira, options_.local_bytes, plan, cost_);
+  interp::InterpOptions iopts;
+  iopts.seed = options_.train_seed;
+  iopts.profiling = profiling_instrumented;
+  interp::Interpreter interp(&module, world.backend.get(), iopts);
+  auto result = interp.Run(options_.entry);
+  MIRA_CHECK_MSG(result.ok(), result.status().ToString().c_str());
+  world.backend->Drain(interp.clock());
+  if (profile != nullptr) {
+    *profile = interp.profile();
+  }
+  if (options_.verbose) {
+    auto* mira = static_cast<backends::MiraBackend*>(world.backend.get());
+    for (uint32_t i = 0; i < plan.sections.size(); ++i) {
+      const auto& st = mira->SectionStatsAt(i);
+      std::fprintf(stderr,
+                   "[mira-opt]   section %u '%s': hits=%llu misses=%llu stall=%.3fms "
+                   "runtime=%.3fms pf=%llu pf_hits=%llu pf_late=%.3fms evict=%llu\n",
+                   i, plan.sections[i].name.c_str(),
+                   static_cast<unsigned long long>(st.lines.hits),
+                   static_cast<unsigned long long>(st.lines.misses),
+                   static_cast<double>(st.stall_ns) / 1e6,
+                   static_cast<double>(st.runtime_ns) / 1e6,
+                   static_cast<unsigned long long>(st.prefetches_issued),
+                   static_cast<unsigned long long>(st.prefetched_hits),
+                   static_cast<double>(st.prefetch_late_ns) / 1e6,
+                   static_cast<unsigned long long>(st.evictions));
+    }
+    const auto& sw = mira->swap_stats();
+    std::fprintf(stderr, "[mira-opt]   swap: hits=%llu misses=%llu stall=%.3fms\n",
+                 static_cast<unsigned long long>(sw.lines.hits),
+                 static_cast<unsigned long long>(sw.lines.misses),
+                 static_cast<double>(sw.stall_ns) / 1e6);
+  }
+  return interp.clock().now_ns();
+}
+
+void IterativeOptimizer::SizeSections(const ir::Module& compiled, PlanDraft* draft,
+                                      const analysis::LifetimeAnalysis& lifetime) {
+  if (draft->sample_sections.empty()) {
+    return;
+  }
+  const uint64_t avail = static_cast<uint64_t>(
+      static_cast<double>(options_.local_bytes) * (1.0 - options_.planner.swap_reserve));
+  uint64_t fixed = 0;
+  for (uint32_t i = 0; i < draft->plan.sections.size(); ++i) {
+    if (std::find(draft->sample_sections.begin(), draft->sample_sections.end(), i) ==
+        draft->sample_sections.end()) {
+      fixed += draft->plan.sections[i].size_bytes;
+    }
+  }
+  const uint64_t budget = avail > fixed ? avail - fixed : avail / 2;
+
+  // Sample each section's overhead at the candidate sizes.
+  std::vector<solver::SectionChoices> choices(draft->sample_sections.size());
+  for (size_t si = 0; si < draft->sample_sections.size(); ++si) {
+    const uint32_t section_index = draft->sample_sections[si];
+    for (const double ratio : options_.size_samples) {
+      runtime::CachePlan probe = draft->plan;
+      auto& target = probe.sections[section_index];
+      const uint64_t size = std::max<uint64_t>(
+          static_cast<uint64_t>(static_cast<double>(budget) * ratio),
+          static_cast<uint64_t>(target.line_bytes) * 4);
+      target.size_bytes = size - size % target.line_bytes;
+      // Other sampled sections keep their defaults (equal shares).
+      World world = MakeWorld(SystemKind::kMira, options_.local_bytes, probe, cost_);
+      interp::InterpOptions iopts;
+      iopts.seed = options_.train_seed;
+      interp::Interpreter interp(&compiled, world.backend.get(), iopts);
+      auto result = interp.Run(options_.entry);
+      MIRA_CHECK_MSG(result.ok(), result.status().ToString().c_str());
+      auto* mira = static_cast<backends::MiraBackend*>(world.backend.get());
+      const auto& stats = mira->SectionStatsAt(section_index);
+      choices[si].sizes.push_back(target.size_bytes);
+      choices[si].costs.push_back(static_cast<double>(stats.overhead_ns()));
+    }
+  }
+
+  // Constraints: per lifetime phase, live sampled sections fit in `budget`.
+  // Map objects → sampled-section slots.
+  std::vector<solver::CapacityConstraint> constraints;
+  const int stmts = lifetime.statement_count();
+  std::set<std::vector<int>> seen;
+  for (int stmt = 0; stmt < std::max(stmts, 1); ++stmt) {
+    std::vector<int> members;
+    for (size_t si = 0; si < draft->sample_sections.size(); ++si) {
+      const uint32_t section_index = draft->sample_sections[si];
+      bool live = stmts == 0;
+      for (const auto& [obj, idx] : draft->plan.object_to_section) {
+        if (idx != section_index) {
+          continue;
+        }
+        const auto lt = lifetime.lifetimes().find(obj);
+        if (lt == lifetime.lifetimes().end() ||
+            (lt->second.first_stmt <= stmt && stmt <= lt->second.last_stmt)) {
+          live = true;
+          break;
+        }
+      }
+      if (live) {
+        members.push_back(static_cast<int>(si));
+      }
+    }
+    if (members.empty() || !seen.insert(members).second) {
+      continue;
+    }
+    constraints.push_back(solver::CapacityConstraint{members, budget});
+  }
+  if (constraints.empty()) {
+    std::vector<int> all;
+    for (size_t si = 0; si < draft->sample_sections.size(); ++si) {
+      all.push_back(static_cast<int>(si));
+    }
+    constraints.push_back(solver::CapacityConstraint{all, budget});
+  }
+
+  const solver::IlpSolution solution = solver::SolveSectionSizing(choices, constraints);
+  if (!solution.feasible) {
+    return;  // keep defaults
+  }
+  for (size_t si = 0; si < draft->sample_sections.size(); ++si) {
+    draft->plan.sections[draft->sample_sections[si]].size_bytes =
+        choices[si].sizes[static_cast<size_t>(solution.choice[si])];
+  }
+}
+
+CompiledProgram IterativeOptimizer::Optimize() {
+  // Iteration 0: generic swap configuration, profiling instrumented.
+  runtime::CachePlan swap_plan;  // empty: everything in swap
+  interp::RunProfile profile;
+  baseline_swap_ns_ = Evaluate(*source_, swap_plan, &profile, /*profiling=*/true);
+
+  CompiledProgram best;
+  best.module = source_->Clone();
+  best.plan = swap_plan;
+  best.total_instrs = source_->InstrCount();
+  uint64_t best_ns = baseline_swap_ns_;
+
+  std::set<std::string> cumulative_functions;
+  std::set<std::string> cumulative_objects;
+  for (int iter = 1; iter <= options_.max_iterations; ++iter) {
+    PlannerOptions popts = options_.planner;
+    popts.local_bytes = options_.local_bytes;
+    popts.func_frac = std::min(1.0, 0.10 * iter);
+    popts.obj_frac = std::min(1.0, 0.10 * iter);
+    popts.seed_functions = cumulative_functions;
+    popts.seed_objects = cumulative_objects;
+
+    analysis::AccessAnalysis access(source_);
+    access.Run();
+    PlanDraft draft = DerivePlan(*source_, access, profile, cost_, popts);
+
+    cumulative_functions = draft.selected_functions;
+    cumulative_objects = draft.selected_objects;
+
+    ir::Module compiled = CompileWithPlan(*source_, draft, popts, options_.entry);
+
+    analysis::AccessAnalysis caccess(&compiled);
+    caccess.Run();
+    analysis::LifetimeAnalysis lifetime(&compiled, &caccess);
+    lifetime.Run(options_.entry);
+    SizeSections(compiled, &draft, lifetime);
+
+    interp::RunProfile iter_profile;
+    uint64_t ns = Evaluate(compiled, draft.plan, &iter_profile, /*profiling=*/true);
+
+    // The offload decision rests on a traffic estimate that optimization
+    // itself changes, so measure the other variant too and keep the winner
+    // (the profiling-guided analogue of the paper's rollback).
+    if (!draft.offload_functions.empty()) {
+      PlanDraft alt = draft;
+      alt.offload_functions.clear();
+      ir::Module no_offload = CompileWithPlan(*source_, alt, popts, options_.entry);
+      interp::RunProfile alt_profile;
+      const uint64_t alt_ns =
+          Evaluate(no_offload, alt.plan, &alt_profile, /*profiling=*/true);
+      if (options_.verbose) {
+        std::fprintf(stderr, "[mira-opt]   offload variant %.3f ms vs plain %.3f ms\n",
+                     static_cast<double>(ns) / 1e6, static_cast<double>(alt_ns) / 1e6);
+      }
+      if (alt_ns < ns) {
+        ns = alt_ns;
+        compiled = std::move(no_offload);
+        draft = std::move(alt);
+        iter_profile = alt_profile;
+      }
+    }
+
+    IterationLog entry;
+    entry.iteration = iter;
+    entry.func_frac = popts.func_frac;
+    entry.time_ns = ns;
+    entry.functions_selected = draft.selected_functions.size();
+    entry.objects_selected = draft.selected_objects.size();
+    entry.sections = draft.plan.sections.size();
+    entry.rolled_back = ns >= best_ns;
+    log_.push_back(entry);
+    if (options_.verbose) {
+      std::fprintf(stderr, "[mira-opt] iter %d: %.3f ms (%zu funcs, %zu objs, %zu sections)%s\n",
+                   iter, static_cast<double>(ns) / 1e6, draft.selected_functions.size(),
+                   draft.selected_objects.size(), draft.plan.sections.size(),
+                   entry.rolled_back ? " [rolled back]" : "");
+      std::fprintf(stderr, "[mira-opt]   funcs:");
+      for (const auto& fn : draft.selected_functions) {
+        std::fprintf(stderr, " %s", fn.c_str());
+      }
+      std::fprintf(stderr, "\n[mira-opt]   %s\n", draft.plan.ToString().c_str());
+    }
+
+    if (ns < best_ns) {
+      best_ns = ns;
+      best.module = std::move(compiled);
+      best.plan = draft.plan;
+      best.draft = draft;
+      best.analysis_scope_instrs = 0;
+      for (const auto& fname : draft.selected_functions) {
+        const ir::Function* f = source_->FindFunction(fname);
+        if (f != nullptr) {
+          ir::Module tmp;  // count instrs of this function only
+          uint64_t n = 0;
+          ir::WalkInstrs(f->body, [&](const ir::Instr&) { ++n; });
+          best.analysis_scope_instrs += n;
+        }
+      }
+    }
+    profile = iter_profile;
+  }
+  return best;
+}
+
+}  // namespace mira::pipeline

@@ -1,0 +1,91 @@
+// The Figure-1 loop: profile → select scopes → analyze → configure cache →
+// compile → size sections (sampling + ILP) → evaluate → iterate/rollback.
+//
+// Each iteration widens the analysis scope (top 10%, 20%, ... functions;
+// largest 10%, 20%, ... objects) exactly as §4.1 describes. If a new
+// configuration performs worse than the previous best, it is rolled back.
+
+#ifndef MIRA_SRC_PIPELINE_OPTIMIZER_H_
+#define MIRA_SRC_PIPELINE_OPTIMIZER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/analysis/lifetime.h"
+#include "src/interp/interpreter.h"
+#include "src/ir/ir.h"
+#include "src/pipeline/planner.h"
+#include "src/pipeline/world.h"
+#include "src/solver/ilp.h"
+
+namespace mira::pipeline {
+
+struct OptimizeOptions {
+  std::string entry = "main";
+  uint64_t local_bytes = 64 << 20;
+  int max_iterations = 3;
+  // Input seed used for profiling/evaluation runs during optimization (the
+  // "training" input; deployment may see different inputs).
+  uint64_t train_seed = 42;
+  PlannerOptions planner;  // local_bytes is overwritten from here
+  // Sampled size ratios for non-contiguous sections (§4.3).
+  std::vector<double> size_samples = {0.2, 0.4, 0.6, 0.8};
+  bool verbose = false;
+};
+
+struct IterationLog {
+  int iteration = 0;
+  double func_frac = 0.0;
+  uint64_t time_ns = 0;
+  size_t functions_selected = 0;
+  size_t objects_selected = 0;
+  size_t sections = 0;
+  bool rolled_back = false;
+};
+
+struct CompiledProgram {
+  ir::Module module;
+  runtime::CachePlan plan;
+  PlanDraft draft;
+  uint64_t analysis_scope_instrs = 0;  // instrs in selected functions
+  uint64_t total_instrs = 0;
+};
+
+// Applies the full pass stack for `draft` to a clone of `source`.
+ir::Module CompileWithPlan(const ir::Module& source, const PlanDraft& draft,
+                           const PlannerOptions& options, const std::string& entry);
+
+class IterativeOptimizer {
+ public:
+  IterativeOptimizer(const ir::Module* source, OptimizeOptions options,
+                     const sim::CostModel& cost = sim::CostModel::Default())
+      : source_(source), options_(std::move(options)), cost_(cost) {
+    options_.planner.local_bytes = options_.local_bytes;
+  }
+
+  // Runs the loop; returns the best compilation found.
+  CompiledProgram Optimize();
+
+  const std::vector<IterationLog>& log() const { return log_; }
+  // The initial all-swap profiling run's duration.
+  uint64_t baseline_swap_ns() const { return baseline_swap_ns_; }
+
+ private:
+  // One full program execution; returns simulated ns (and profile out).
+  uint64_t Evaluate(const ir::Module& module, const runtime::CachePlan& plan,
+                    interp::RunProfile* profile, bool profiling_instrumented);
+
+  // Section sizing by sampling + ILP (§4.3). Mutates draft.plan sizes.
+  void SizeSections(const ir::Module& compiled, PlanDraft* draft,
+                    const analysis::LifetimeAnalysis& lifetime);
+
+  const ir::Module* source_;
+  OptimizeOptions options_;
+  const sim::CostModel& cost_;
+  std::vector<IterationLog> log_;
+  uint64_t baseline_swap_ns_ = 0;
+};
+
+}  // namespace mira::pipeline
+
+#endif  // MIRA_SRC_PIPELINE_OPTIMIZER_H_

@@ -1,0 +1,335 @@
+#include "src/pipeline/planner.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/analysis/offload_cost.h"
+#include "src/support/str.h"
+
+namespace mira::pipeline {
+
+uint32_t Pow2AtLeast(uint32_t v) {
+  uint32_t p = 64;
+  while (p < v) {
+    p <<= 1;
+  }
+  return p;
+}
+
+uint32_t ContiguousLineBytes(const sim::CostModel& cost) {
+  // Balance: transfer time of one line ≈ a modest fraction of the RTT, so
+  // the pipeline of prefetched lines stays ahead of consumption without
+  // bloating each message. rtt*bw/4 ≈ 4.6 KiB on the default model → 4 KiB.
+  const double target =
+      static_cast<double>(cost.rdma_rtt_ns) * cost.network_bytes_per_ns / 4.0;
+  uint32_t line = 512;
+  while (static_cast<double>(line) * 2.0 <= target && line < 65536) {
+    line <<= 1;
+  }
+  return line;
+}
+
+namespace {
+
+// Prefetch distance in lines for contiguous access: cover one RTT of
+// compute (§4.5 "one network round trip earlier than actual access").
+uint32_t SeqPrefetchDistance(const sim::CostModel& cost, uint64_t body_ops, uint32_t line,
+                             uint32_t elem) {
+  const uint64_t per_elem_ns = std::max<uint64_t>(1, body_ops) * cost.compute_op_ns +
+                               2 * cost.native_access_ns;
+  const uint64_t per_line_ns = per_elem_ns * std::max<uint32_t>(1, line / std::max(1u, elem));
+  const uint64_t d = cost.rdma_rtt_ns / std::max<uint64_t>(1, per_line_ns) + 1;
+  return static_cast<uint32_t>(std::clamp<uint64_t>(d, 1, 16));
+}
+
+uint32_t IndirectPrefetchDistance(const sim::CostModel& cost, uint64_t body_ops) {
+  const uint64_t per_iter_ns =
+      std::max<uint64_t>(4, body_ops) * cost.compute_op_ns + 4 * cost.native_access_ns;
+  const uint64_t d = cost.rdma_rtt_ns / std::max<uint64_t>(1, per_iter_ns) + 2;
+  return static_cast<uint32_t>(std::clamp<uint64_t>(d, 4, 512));
+}
+
+}  // namespace
+
+PlanDraft DerivePlan(const ir::Module& module, const analysis::AccessAnalysis& access,
+                     const interp::RunProfile& profile, const sim::CostModel& cost,
+                     const PlannerOptions& options) {
+  PlanDraft draft;
+  draft.total_functions = profile.funcs.size();
+  draft.total_objects = profile.alloc_bytes.size();
+
+  if (!options.enable_sections) {
+    // Everything stays in the generic swap section.
+    return draft;
+  }
+
+  // ---- Function selection: highest func_frac by cache overhead ratio.
+  struct FuncRank {
+    std::string name;
+    double ratio;
+  };
+  std::vector<FuncRank> ranked;
+  for (const auto& [name, fp] : profile.funcs) {
+    if (fp.overhead_ns == 0) {
+      continue;
+    }
+    const uint64_t rest = fp.inclusive_ns > fp.overhead_ns ? fp.inclusive_ns - fp.overhead_ns
+                                                           : 1;
+    ranked.push_back({name, static_cast<double>(fp.overhead_ns) / static_cast<double>(rest)});
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const FuncRank& a, const FuncRank& b) { return a.ratio > b.ratio; });
+  draft.selected_functions = options.seed_functions;
+  const size_t func_take = std::max<size_t>(
+      1, static_cast<size_t>(std::ceil(options.func_frac * static_cast<double>(
+                                           std::max<size_t>(1, profile.funcs.size())))));
+  size_t func_added = 0;
+  for (const auto& fr : ranked) {
+    if (func_added >= func_take) {
+      break;
+    }
+    if (draft.selected_functions.insert(fr.name).second) {
+      ++func_added;  // widening: each round admits the next-worst functions
+    }
+  }
+  // Selecting a function implicitly selects all its callees (§4.1).
+  bool grew = true;
+  while (grew) {
+    grew = false;
+    for (const auto& f : module.functions) {
+      if (draft.selected_functions.count(f->name) == 0) {
+        continue;
+      }
+      ir::WalkInstrs(f->body, [&](const ir::Instr& instr) {
+        if (instr.kind == ir::OpKind::kCall || instr.kind == ir::OpKind::kOffloadCall) {
+          const std::string& callee = module.functions[instr.callee]->name;
+          if (draft.selected_functions.insert(callee).second) {
+            grew = true;
+          }
+        }
+      });
+    }
+  }
+
+  // ---- Object selection: largest obj_frac among objects those functions
+  // touch.
+  std::set<std::string> candidates;
+  for (const auto& fname : draft.selected_functions) {
+    const auto& touched = access.ForFunction(fname).touched_objects;
+    candidates.insert(touched.begin(), touched.end());
+  }
+  struct ObjRank {
+    std::string name;
+    uint64_t bytes;
+  };
+  std::vector<ObjRank> obj_ranked;
+  for (const auto& obj : candidates) {
+    const auto it = profile.alloc_bytes.find(obj);
+    obj_ranked.push_back({obj, it == profile.alloc_bytes.end() ? 0 : it->second});
+  }
+  std::sort(obj_ranked.begin(), obj_ranked.end(),
+            [](const ObjRank& a, const ObjRank& b) { return a.bytes > b.bytes; });
+  draft.selected_objects = options.seed_objects;
+  const size_t obj_take = std::max<size_t>(
+      1, static_cast<size_t>(std::ceil(options.obj_frac * static_cast<double>(std::max<size_t>(
+                                           1, profile.alloc_bytes.size())))));
+  size_t obj_added = 0;
+  for (const auto& obj : obj_ranked) {
+    if (obj_added >= obj_take) {
+      break;
+    }
+    if (draft.selected_objects.insert(obj.name).second) {
+      ++obj_added;  // widening: next-largest objects join each round
+    }
+  }
+
+  // Interleaving relation (§4.4's no-conflict analysis): objects touched in
+  // the same innermost loop form concurrent access streams. Grouping two
+  // interleaved contiguous streams into one direct-mapped section would
+  // ping-pong its slots, so such groups get a set-associative structure and
+  // lose native-load promotion.
+  std::map<const ir::Region*, std::set<std::string>> loop_objects;
+  for (const auto& f : module.functions) {
+    for (const auto& a : access.ForFunction(f->name).accesses) {
+      if (a.loop_body == nullptr) {
+        continue;
+      }
+      for (const auto& obj : a.objects) {
+        loop_objects[a.loop_body].insert(obj);
+      }
+    }
+  }
+  auto interleaved = [&](const std::string& a, const std::string& b) {
+    for (const auto& [loop, objs] : loop_objects) {
+      if (objs.count(a) > 0 && objs.count(b) > 0) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  // ---- Per-object behavior → section configs, grouping similar patterns.
+  const uint64_t avail = static_cast<uint64_t>(
+      static_cast<double>(options.local_bytes) * (1.0 - options.swap_reserve));
+  std::map<std::string, uint32_t> group_to_section;  // group key → plan index
+  for (const auto& obj : draft.selected_objects) {
+    const analysis::ObjectBehavior behavior =
+        access.Summarize(obj, draft.selected_functions);
+    passes::ObjectCompileInfo info;
+    info.pattern = behavior.pattern;
+    info.elem_bytes = std::max<uint32_t>(behavior.elem_bytes, 8);
+
+    cache::SectionConfig config;
+    config.name = obj;
+    bool sample_size = false;
+    switch (behavior.pattern) {
+      case analysis::AccessPattern::kSequential:
+      case analysis::AccessPattern::kStrided: {
+        config.structure = cache::SectionStructure::kDirectMapped;
+        config.line_bytes = behavior.pattern == analysis::AccessPattern::kSequential
+                                ? ContiguousLineBytes(cost)
+                                : Pow2AtLeast(info.elem_bytes);
+        if (options.enable_prefetch) {
+          info.prefetch_distance = SeqPrefetchDistance(cost, behavior.loop_body_ops,
+                                                       config.line_bytes, info.elem_bytes);
+          config.prefetch = behavior.pattern == analysis::AccessPattern::kSequential
+                                ? cache::PrefetchKind::kSequential
+                                : cache::PrefetchKind::kStrided;
+          config.prefetch_distance = info.prefetch_distance;
+        }
+        info.promote = options.enable_promote;
+        info.eviction_hints = options.enable_evict_hints;
+        config.eviction_hints = info.eviction_hints;
+        // Sequential sections need only a prefetch pipeline of lines (§4.3).
+        config.size_bytes =
+            static_cast<uint64_t>(config.line_bytes) * (2 * info.prefetch_distance + 8);
+        break;
+      }
+      case analysis::AccessPattern::kIndirect: {
+        config.structure = cache::SectionStructure::kSetAssociative;
+        config.ways = 8;
+        config.line_bytes = Pow2AtLeast(info.elem_bytes);
+        if (options.enable_prefetch) {
+          info.prefetch_distance = IndirectPrefetchDistance(cost, behavior.loop_body_ops);
+          config.prefetch = cache::PrefetchKind::kIndirect;
+          config.prefetch_distance = info.prefetch_distance;
+        }
+        sample_size = true;
+        break;
+      }
+      case analysis::AccessPattern::kPointerChase:
+      case analysis::AccessPattern::kUnknown: {
+        config.structure = cache::SectionStructure::kFullyAssociative;
+        config.line_bytes = Pow2AtLeast(info.elem_bytes);
+        sample_size = true;
+        break;
+      }
+    }
+    info.line_bytes = config.line_bytes;
+
+    // Selective transmission (§4.5): partial-structure access ⇒ two-sided.
+    const double fraction = behavior.AccessedFraction();
+    if (options.enable_selective && fraction < 0.5) {
+      config.comm = cache::CommMethod::kTwoSided;
+      config.transfer_fraction = fraction;
+      config.gather_fields = static_cast<uint32_t>(behavior.fields.size());
+    }
+
+    // Group objects with identical pattern + geometry into one section.
+    const std::string key = support::StrFormat(
+        "%s/%u/%d", analysis::AccessPatternName(behavior.pattern), config.line_bytes,
+        config.comm == cache::CommMethod::kTwoSided ? 1 : 0);
+    auto group_it = group_to_section.find(key);
+    uint32_t section_index;
+    if (group_it == group_to_section.end()) {
+      config.name = key;
+      section_index = static_cast<uint32_t>(draft.plan.sections.size());
+      draft.plan.sections.push_back(config);
+      group_to_section[key] = section_index;
+      if (sample_size) {
+        draft.sample_sections.push_back(section_index);
+      }
+    } else {
+      section_index = group_it->second;
+      // Conflict check against current members of the group.
+      auto& section = draft.plan.sections[section_index];
+      bool conflicts = false;
+      for (const auto& [member, idx] : draft.plan.object_to_section) {
+        if (idx == section_index && interleaved(member, obj)) {
+          conflicts = true;
+          break;
+        }
+      }
+      if (conflicts && section.structure == cache::SectionStructure::kDirectMapped) {
+        section.structure = cache::SectionStructure::kSetAssociative;
+        section.ways = 4;
+        // Interleaved streams double the in-flight window the section must
+        // hold; grow it and withdraw promotion (residency no longer proven).
+        section.size_bytes *= 2;
+        for (auto& [member, minfo] : draft.compile_info) {
+          if (draft.plan.object_to_section.count(member) > 0 &&
+              draft.plan.object_to_section.at(member) == section_index) {
+            minfo.promote = false;
+          }
+        }
+        info.promote = false;
+      }
+    }
+    draft.plan.object_to_section[obj] = section_index;
+    if (!behavior.has_writes) {
+      draft.plan.discard_on_release[obj] = true;
+    }
+    draft.compile_info[obj] = info;
+  }
+
+  // Default sizes for sampled sections: an equal share of what's left.
+  uint64_t fixed = 0;
+  for (uint32_t i = 0; i < draft.plan.sections.size(); ++i) {
+    bool sampled = false;
+    for (const uint32_t s : draft.sample_sections) {
+      sampled |= s == i;
+    }
+    if (!sampled) {
+      fixed += draft.plan.sections[i].size_bytes;
+    }
+  }
+  if (!draft.sample_sections.empty()) {
+    const uint64_t rest = avail > fixed ? avail - fixed : 0;
+    const uint64_t share =
+        std::max<uint64_t>(rest / draft.sample_sections.size(), 64 * 1024);
+    for (const uint32_t s : draft.sample_sections) {
+      auto& section = draft.plan.sections[s];
+      section.size_bytes = std::max<uint64_t>(
+          share - share % section.line_bytes, static_cast<uint64_t>(section.line_bytes) * 4);
+    }
+  }
+
+  // ---- Offload candidates (§4.8).
+  if (options.enable_offload) {
+    analysis::OffloadCostAnalysis offload(&module, &access, cost);
+    std::map<std::string, uint64_t> traffic;
+    for (const auto& [name, fp] : profile.funcs) {
+      // Approximate bytes moved by the time spent in cache overhead at full
+      // link utilization.
+      traffic[name] = static_cast<uint64_t>(static_cast<double>(fp.overhead_ns) *
+                                            cost.network_bytes_per_ns * 0.5);
+    }
+    offload.Run(traffic);
+    const ir::Function* entry = module.functions.empty() ? nullptr : module.functions[0].get();
+    for (const auto& [name, est] : offload.estimates()) {
+      if (!est.candidate || est.benefit_ns <= static_cast<int64_t>(cost.rdma_rtt_ns)) {
+        continue;
+      }
+      if (entry != nullptr && name == entry->name) {
+        continue;
+      }
+      if (draft.selected_functions.count(name) == 0) {
+        continue;
+      }
+      draft.offload_functions.insert(name);
+    }
+  }
+  return draft;
+}
+
+}  // namespace mira::pipeline

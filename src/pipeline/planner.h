@@ -1,0 +1,72 @@
+// The planner: turns profiling results + static analysis into a cache plan
+// and per-object compilation directives (paper §4.1–§4.3 and Fig 3).
+//
+// Selection follows the paper's iterative discipline: the highest
+// `func_frac` of functions by cache performance overhead are analyzed
+// (callees included implicitly), and within them the largest `obj_frac` of
+// objects get their own sections; fractions grow by 10 points per
+// iteration.
+
+#ifndef MIRA_SRC_PIPELINE_PLANNER_H_
+#define MIRA_SRC_PIPELINE_PLANNER_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/analysis/access_analysis.h"
+#include "src/interp/interpreter.h"
+#include "src/ir/ir.h"
+#include "src/passes/compile_info.h"
+#include "src/runtime/plan.h"
+#include "src/sim/cost_model.h"
+
+namespace mira::pipeline {
+
+struct PlannerOptions {
+  uint64_t local_bytes = 64 << 20;
+  double func_frac = 0.10;
+  double obj_frac = 0.10;
+  // Ablation toggles (Fig 6/21).
+  bool enable_sections = true;
+  bool enable_prefetch = true;
+  bool enable_evict_hints = true;
+  bool enable_batching = true;
+  bool enable_promote = true;
+  bool enable_selective = true;
+  bool enable_offload = true;
+  // Fraction of local memory reserved for the generic swap section.
+  double swap_reserve = 0.10;
+  // Scopes selected by earlier iterations: the paper *widens* the analysis
+  // scope each round, so previous selections are kept.
+  std::set<std::string> seed_functions;
+  std::set<std::string> seed_objects;
+};
+
+struct PlanDraft {
+  runtime::CachePlan plan;
+  passes::CompileInfoMap compile_info;
+  std::set<std::string> selected_functions;
+  std::set<std::string> selected_objects;
+  std::set<std::string> offload_functions;
+  // Plan section indices whose sizes must be determined by sampling + ILP.
+  std::vector<uint32_t> sample_sections;
+  // Scope-reduction bookkeeping for the §6.1 table.
+  size_t total_functions = 0;
+  size_t total_objects = 0;
+};
+
+PlanDraft DerivePlan(const ir::Module& module, const analysis::AccessAnalysis& access,
+                     const interp::RunProfile& profile, const sim::CostModel& cost,
+                     const PlannerOptions& options);
+
+// The compiler's line-size choice for contiguous sections: large enough to
+// amortize per-line dereference cost against the measured network, small
+// enough to transfer efficiently (paper Fig 9's knee).
+uint32_t ContiguousLineBytes(const sim::CostModel& cost);
+
+uint32_t Pow2AtLeast(uint32_t v);
+
+}  // namespace mira::pipeline
+
+#endif  // MIRA_SRC_PIPELINE_PLANNER_H_

@@ -1,0 +1,55 @@
+#include "src/pipeline/world.h"
+
+#include "src/backends/aifm_backend.h"
+#include "src/backends/fastswap_backend.h"
+#include "src/backends/leap_backend.h"
+#include "src/backends/mira_backend.h"
+
+namespace mira::pipeline {
+
+const char* SystemName(SystemKind k) {
+  switch (k) {
+    case SystemKind::kNative:
+      return "native";
+    case SystemKind::kFastSwap:
+      return "fastswap";
+    case SystemKind::kLeap:
+      return "leap";
+    case SystemKind::kAifm:
+      return "aifm";
+    case SystemKind::kMira:
+      return "mira";
+  }
+  return "?";
+}
+
+World MakeWorld(SystemKind kind, uint64_t local_bytes, runtime::CachePlan plan,
+                const sim::CostModel& cost) {
+  World w;
+  w.node = std::make_unique<farmem::FarMemoryNode>();
+  w.net = std::make_unique<net::Transport>(w.node.get(), cost);
+  switch (kind) {
+    case SystemKind::kNative:
+      w.backend = std::make_unique<backends::NativeBackend>(w.node.get(), w.net.get());
+      break;
+    case SystemKind::kFastSwap:
+      w.backend = std::make_unique<backends::FastSwapBackend>(w.node.get(), w.net.get(),
+                                                              local_bytes);
+      break;
+    case SystemKind::kLeap:
+      w.backend =
+          std::make_unique<backends::LeapBackend>(w.node.get(), w.net.get(), local_bytes);
+      break;
+    case SystemKind::kAifm:
+      w.backend =
+          std::make_unique<backends::AifmBackend>(w.node.get(), w.net.get(), local_bytes);
+      break;
+    case SystemKind::kMira:
+      w.backend = std::make_unique<backends::MiraBackend>(w.node.get(), w.net.get(),
+                                                          local_bytes, std::move(plan));
+      break;
+  }
+  return w;
+}
+
+}  // namespace mira::pipeline

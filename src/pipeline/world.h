@@ -1,0 +1,35 @@
+// A "world" bundles one experiment's far-memory node, transport, and system
+// backend. Benches and the pipeline create a fresh world per measured run
+// so no cache state leaks between configurations.
+
+#ifndef MIRA_SRC_PIPELINE_WORLD_H_
+#define MIRA_SRC_PIPELINE_WORLD_H_
+
+#include <memory>
+#include <string>
+
+#include "src/backends/backend.h"
+#include "src/net/transport.h"
+#include "src/runtime/plan.h"
+#include "src/sim/cost_model.h"
+
+namespace mira::pipeline {
+
+enum class SystemKind { kNative, kFastSwap, kLeap, kAifm, kMira };
+
+const char* SystemName(SystemKind k);
+
+struct World {
+  std::unique_ptr<farmem::FarMemoryNode> node;
+  std::unique_ptr<net::Transport> net;
+  std::unique_ptr<backends::Backend> backend;
+};
+
+// `local_bytes` is the local cache budget (ignored by kNative). The plan is
+// only used by kMira.
+World MakeWorld(SystemKind kind, uint64_t local_bytes, runtime::CachePlan plan = {},
+                const sim::CostModel& cost = sim::CostModel::Default());
+
+}  // namespace mira::pipeline
+
+#endif  // MIRA_SRC_PIPELINE_WORLD_H_

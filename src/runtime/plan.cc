@@ -1,0 +1,24 @@
+#include "src/runtime/plan.h"
+
+#include "src/support/str.h"
+
+namespace mira::runtime {
+
+std::string CachePlan::ToString() const {
+  std::string out = support::StrFormat("CachePlan{swap=%s, %zu sections:\n",
+                                       support::HumanBytes(swap_bytes).c_str(), sections.size());
+  for (size_t i = 0; i < sections.size(); ++i) {
+    out += "  [" + std::to_string(i) + "] " + sections[i].ToString();
+    out += " objects:";
+    for (const auto& [obj, idx] : object_to_section) {
+      if (idx == i) {
+        out += " " + obj;
+      }
+    }
+    out += "\n";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace mira::runtime

@@ -1,0 +1,47 @@
+// The output of Mira's analysis/compilation pipeline that configures the
+// runtime: which cache sections exist, how each is configured, and which
+// allocation sites (objects) map into which section. Objects are named by
+// allocation-site labels because remote addresses only exist at run time.
+
+#ifndef MIRA_SRC_RUNTIME_PLAN_H_
+#define MIRA_SRC_RUNTIME_PLAN_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/cache/section_config.h"
+
+namespace mira::runtime {
+
+struct CachePlan {
+  // Section configurations; index in this vector is the plan-local section
+  // index (the runtime assigns real 16-bit ids at instantiation).
+  std::vector<cache::SectionConfig> sections;
+
+  // Allocation-site label → index into `sections`. Objects not listed stay
+  // in the generic swap section.
+  std::map<std::string, uint32_t> object_to_section;
+
+  // Local memory reserved for the swap section after carving out sections.
+  uint64_t swap_bytes = 0;
+
+  // Objects whose scopes are read-only: their sections are discarded (no
+  // writeback) on release (§4.5 read/write optimization).
+  std::map<std::string, bool> discard_on_release;
+
+  uint64_t SectionBytesTotal() const {
+    uint64_t total = 0;
+    for (const auto& s : sections) {
+      total += s.size_bytes;
+    }
+    return total;
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace mira::runtime
+
+#endif  // MIRA_SRC_RUNTIME_PLAN_H_

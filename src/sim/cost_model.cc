@@ -1,0 +1,10 @@
+#include "src/sim/cost_model.h"
+
+namespace mira::sim {
+
+const CostModel& CostModel::Default() {
+  static const CostModel kDefault;
+  return kDefault;
+}
+
+}  // namespace mira::sim

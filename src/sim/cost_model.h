@@ -1,0 +1,94 @@
+// The single home of every latency / CPU-cost constant in the simulation.
+//
+// The paper evaluates on a CloudLab cluster with 50 Gbps InfiniBand and
+// FDR-CX3 NICs; we model the same class of hardware. Mira's design decisions
+// depend only on *relative* costs (network RTT vs per-iteration compute,
+// line size vs bandwidth-delay product), so the reproduction targets curve
+// shapes, not absolute numbers. See DESIGN.md §5.
+
+#ifndef MIRA_SRC_SIM_COST_MODEL_H_
+#define MIRA_SRC_SIM_COST_MODEL_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mira::sim {
+
+struct CostModel {
+  // ---- Network ----
+  // One-sided RDMA read/write round trip for a minimal payload.
+  uint64_t rdma_rtt_ns = 3000;
+  // Link bandwidth in bits per nanosecond terms: 50 Gbps = 6.25 bytes/ns.
+  double network_bytes_per_ns = 6.25;
+  // CPU cost to post/complete one verb or message (doorbell, CQE handling).
+  uint64_t per_message_cpu_ns = 600;
+  // Extra cost of a two-sided message: remote CPU copies into/out of the
+  // final location and runs a handler.
+  uint64_t two_sided_handler_ns = 250;
+  // Per-segment cost of a scatter-gather element beyond the first.
+  uint64_t sg_segment_ns = 40;
+
+  // ---- Swap data path (FastSwap / Leap baselines and Mira's swap section) ----
+  // Kernel page-fault + swap-entry path per 4 KB fault, excluding transfer.
+  uint64_t page_fault_ns = 4000;
+  // Leap's swap data path is less optimized than FastSwap's (paper §6.1:
+  // "FastSwap's more efficient data-path implementation in Linux").
+  double leap_datapath_factor = 1.3;
+  // Page eviction bookkeeping (unmap + writeback issue).
+  uint64_t page_evict_ns = 1200;
+
+  // ---- Local CPU ----
+  // A native cached memory load/store (the unit everything normalizes to).
+  uint64_t native_access_ns = 2;
+  // One arithmetic IR op.
+  uint64_t compute_op_ns = 1;
+  // Mira cache lookup on the non-promoted dereference path.
+  uint64_t cache_lookup_direct_ns = 6;
+  uint64_t cache_lookup_setassoc_ns = 10;
+  uint64_t cache_lookup_fullassoc_ns = 18;
+  // Runtime cost of inserting a fetched line (map update, list splice).
+  uint64_t line_insert_ns = 60;
+  // Eviction selection + metadata update per evicted line.
+  uint64_t line_evict_ns = 90;
+  // Asynchronous flush issue cost (hidden off critical path after issue).
+  uint64_t flush_issue_ns = 40;
+  // Prefetch issue cost.
+  uint64_t prefetch_issue_ns = 50;
+
+  // ---- AIFM model ----
+  // Per-dereference cost of an AIFM remoteable pointer (scope management,
+  // remote-bit checks, per-object metadata touch).
+  uint64_t aifm_deref_ns = 35;
+  // Local-memory metadata bytes consumed per remoteable pointer.
+  uint64_t aifm_meta_bytes_per_ptr = 16;
+  // AIFM miss handling (userspace object fetch path, excluding transfer).
+  uint64_t aifm_miss_cpu_ns = 2500;
+
+  // ---- Far node ----
+  // Far-memory node compute is slower (low-power cores).
+  double remote_compute_slowdown = 2.0;
+  // RPC dispatch on the far node for offloaded function calls.
+  uint64_t rpc_dispatch_ns = 1500;
+  // Remote allocator RPC (amortized by local-allocator range buffering).
+  uint64_t remote_alloc_rpc_ns = 2000;
+
+  // ---- Profiling instrumentation ----
+  uint64_t profile_event_ns = 4;
+
+  // Transfer time of `bytes` over the link (excludes RTT and CPU costs).
+  uint64_t TransferNs(size_t bytes) const {
+    return static_cast<uint64_t>(static_cast<double>(bytes) / network_bytes_per_ns);
+  }
+
+  // Full cost of one blocking one-sided read of `bytes`.
+  uint64_t OneSidedReadNs(size_t bytes) const {
+    return rdma_rtt_ns + TransferNs(bytes) + per_message_cpu_ns;
+  }
+
+  // The default model used by all experiments.
+  static const CostModel& Default();
+};
+
+}  // namespace mira::sim
+
+#endif  // MIRA_SRC_SIM_COST_MODEL_H_

@@ -1,0 +1,32 @@
+#include "src/sim/mt_scheduler.h"
+
+#include <limits>
+
+namespace mira::sim {
+
+uint64_t MtScheduler::RunToCompletion() {
+  uint64_t makespan = 0;
+  while (true) {
+    // Pick the live thread with the smallest clock.
+    SimThread* next = nullptr;
+    uint64_t best = std::numeric_limits<uint64_t>::max();
+    for (auto& t : threads_) {
+      if (!t.done && t.clock.now_ns() < best) {
+        best = t.clock.now_ns();
+        next = &t;
+      }
+    }
+    if (next == nullptr) {
+      break;
+    }
+    if (!next->step(next->clock)) {
+      next->done = true;
+    }
+    if (next->clock.now_ns() > makespan) {
+      makespan = next->clock.now_ns();
+    }
+  }
+  return makespan;
+}
+
+}  // namespace mira::sim

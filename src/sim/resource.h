@@ -1,0 +1,76 @@
+// Timestamp-arbitrated shared resources for the multi-threaded simulation.
+
+#ifndef MIRA_SRC_SIM_RESOURCE_H_
+#define MIRA_SRC_SIM_RESOURCE_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mira::sim {
+
+// A shared serial resource (network link, swap-subsystem lock). A requester
+// arriving at `start_ns` with a demand of `busy_ns` is granted the interval
+// [max(start, free_time), max(start, free_time) + busy) and the resource's
+// free time moves to the end of that interval. Single-threaded host code;
+// callers present monotone-ish timestamps (the min-clock-first scheduler
+// guarantees near-monotone arrival order).
+class SerialResource {
+ public:
+  // Returns the completion timestamp of the request.
+  uint64_t Acquire(uint64_t start_ns, uint64_t busy_ns) {
+    const uint64_t begin = start_ns > free_at_ns_ ? start_ns : free_at_ns_;
+    free_at_ns_ = begin + busy_ns;
+    total_busy_ns_ += busy_ns;
+    ++requests_;
+    if (begin > start_ns) {
+      total_queue_ns_ += begin - start_ns;
+    }
+    return free_at_ns_;
+  }
+
+  uint64_t free_at_ns() const { return free_at_ns_; }
+  uint64_t total_busy_ns() const { return total_busy_ns_; }
+  uint64_t total_queue_ns() const { return total_queue_ns_; }
+  uint64_t requests() const { return requests_; }
+
+  void Reset() { *this = SerialResource(); }
+
+ private:
+  uint64_t free_at_ns_ = 0;
+  uint64_t total_busy_ns_ = 0;
+  uint64_t total_queue_ns_ = 0;
+  uint64_t requests_ = 0;
+};
+
+// A shared link: transfer occupancy is serialized (bandwidth sharing), but
+// propagation latency overlaps across requesters.
+class BandwidthLink {
+ public:
+  explicit BandwidthLink(double bytes_per_ns) : bytes_per_ns_(bytes_per_ns) {}
+
+  // A transfer of `bytes` issued at `start_ns`; returns completion time
+  // including `latency_ns` propagation.
+  uint64_t Transfer(uint64_t start_ns, size_t bytes, uint64_t latency_ns) {
+    const uint64_t occupancy =
+        static_cast<uint64_t>(static_cast<double>(bytes) / bytes_per_ns_);
+    const uint64_t done = occupancy_.Acquire(start_ns, occupancy);
+    total_bytes_ += bytes;
+    return done + latency_ns;
+  }
+
+  uint64_t total_bytes() const { return total_bytes_; }
+  const SerialResource& occupancy() const { return occupancy_; }
+  void Reset() {
+    occupancy_.Reset();
+    total_bytes_ = 0;
+  }
+
+ private:
+  double bytes_per_ns_;
+  SerialResource occupancy_;
+  uint64_t total_bytes_ = 0;
+};
+
+}  // namespace mira::sim
+
+#endif  // MIRA_SRC_SIM_RESOURCE_H_

@@ -1,0 +1,116 @@
+#include "src/solver/ilp.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "src/support/check.h"
+
+namespace mira::solver {
+
+namespace {
+
+struct Node {
+  std::vector<int> choice;  // assigned prefix
+  double cost = 0.0;        // cost of the prefix
+  double bound = 0.0;       // admissible lower bound on the total
+
+  bool operator>(const Node& other) const { return bound > other.bound; }
+};
+
+}  // namespace
+
+IlpSolution SolveSectionSizing(const std::vector<SectionChoices>& sections,
+                               const std::vector<CapacityConstraint>& constraints) {
+  IlpSolution solution;
+  const size_t n = sections.size();
+  if (n == 0) {
+    solution.feasible = true;
+    return solution;
+  }
+  for (const auto& s : sections) {
+    MIRA_CHECK_MSG(!s.sizes.empty() && s.sizes.size() == s.costs.size(),
+                   "section candidates malformed");
+  }
+  // Cheapest cost and smallest size per section (for bounds/feasibility).
+  std::vector<double> min_cost(n);
+  std::vector<uint64_t> min_size(n);
+  for (size_t i = 0; i < n; ++i) {
+    min_cost[i] = *std::min_element(sections[i].costs.begin(), sections[i].costs.end());
+    min_size[i] = *std::min_element(sections[i].sizes.begin(), sections[i].sizes.end());
+  }
+
+  // A partial assignment is feasible-extensible if each constraint can
+  // still be met by giving unassigned members their smallest sizes.
+  auto feasible_prefix = [&](const std::vector<int>& choice) {
+    for (const auto& c : constraints) {
+      uint64_t used = 0;
+      for (const int m : c.members) {
+        MIRA_CHECK(m >= 0 && static_cast<size_t>(m) < n);
+        if (static_cast<size_t>(m) < choice.size()) {
+          used += sections[static_cast<size_t>(m)].sizes[static_cast<size_t>(
+              choice[static_cast<size_t>(m)])];
+        } else {
+          used += min_size[static_cast<size_t>(m)];
+        }
+      }
+      if (used > c.capacity) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  double best_cost = std::numeric_limits<double>::infinity();
+  std::vector<int> best_choice;
+
+  std::priority_queue<Node, std::vector<Node>, std::greater<Node>> frontier;
+  Node root;
+  for (size_t i = 0; i < n; ++i) {
+    root.bound += min_cost[i];
+  }
+  frontier.push(root);
+  uint64_t explored = 0;
+
+  while (!frontier.empty()) {
+    Node node = frontier.top();
+    frontier.pop();
+    ++explored;
+    if (node.bound >= best_cost) {
+      break;  // best-first: nothing better remains
+    }
+    const size_t depth = node.choice.size();
+    if (depth == n) {
+      if (node.cost < best_cost) {
+        best_cost = node.cost;
+        best_choice = node.choice;
+      }
+      continue;
+    }
+    for (size_t k = 0; k < sections[depth].sizes.size(); ++k) {
+      Node child = node;
+      child.choice.push_back(static_cast<int>(k));
+      child.cost += sections[depth].costs[k];
+      if (!feasible_prefix(child.choice)) {
+        continue;
+      }
+      child.bound = child.cost;
+      for (size_t i = depth + 1; i < n; ++i) {
+        child.bound += min_cost[i];
+      }
+      if (child.bound < best_cost) {
+        frontier.push(std::move(child));
+      }
+    }
+  }
+
+  solution.nodes_explored = explored;
+  if (!best_choice.empty() || (n == 0)) {
+    solution.feasible = best_choice.size() == n;
+    solution.choice = std::move(best_choice);
+    solution.total_cost = best_cost;
+  }
+  return solution;
+}
+
+}  // namespace mira::solver

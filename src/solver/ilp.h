@@ -1,0 +1,46 @@
+// A small exact integer-program solver for cache-section sizing (§4.3).
+//
+// Variables: one size choice per section, drawn from its sampled candidate
+// sizes with profiled overhead costs. Objective: minimize total overhead.
+// Constraints: for every lifetime phase, the sizes of sections live in that
+// phase must fit in local memory.
+//
+// Solved with best-first branch & bound: the admissible lower bound of a
+// partial assignment is its cost so far plus each unassigned section's
+// cheapest candidate. Problem sizes here are tiny (≤ ~16 sections × ~8
+// candidates), so the exact search is instant; the implementation still
+// prunes properly so tests can stress it with larger random instances.
+
+#ifndef MIRA_SRC_SOLVER_ILP_H_
+#define MIRA_SRC_SOLVER_ILP_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace mira::solver {
+
+// Candidate assignments for one section.
+struct SectionChoices {
+  std::vector<uint64_t> sizes;  // candidate sizes (bytes)
+  std::vector<double> costs;    // profiled overhead at each size
+};
+
+// sum(size of sections in `members`) ≤ capacity.
+struct CapacityConstraint {
+  std::vector<int> members;
+  uint64_t capacity = 0;
+};
+
+struct IlpSolution {
+  bool feasible = false;
+  std::vector<int> choice;  // index into each section's candidates
+  double total_cost = 0.0;
+  uint64_t nodes_explored = 0;
+};
+
+IlpSolution SolveSectionSizing(const std::vector<SectionChoices>& sections,
+                               const std::vector<CapacityConstraint>& constraints);
+
+}  // namespace mira::solver
+
+#endif  // MIRA_SRC_SOLVER_ILP_H_

@@ -1,0 +1,11 @@
+#include "src/support/check.h"
+
+namespace mira::support {
+
+void CheckFailed(const char* expr, const char* file, int line, const char* msg) {
+  std::fprintf(stderr, "MIRA_CHECK failed: %s at %s:%d%s%s\n", expr, file, line,
+               msg != nullptr ? " — " : "", msg != nullptr ? msg : "");
+  std::abort();
+}
+
+}  // namespace mira::support

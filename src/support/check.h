@@ -1,0 +1,35 @@
+// Lightweight assertion macros used throughout the Mira codebase.
+//
+// MIRA_CHECK is always on (including release builds): far-memory bookkeeping
+// bugs corrupt simulated results silently, so we prefer a loud abort. The
+// macros print the failing expression and location before aborting.
+
+#ifndef MIRA_SRC_SUPPORT_CHECK_H_
+#define MIRA_SRC_SUPPORT_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace mira::support {
+
+[[noreturn]] void CheckFailed(const char* expr, const char* file, int line, const char* msg);
+
+}  // namespace mira::support
+
+#define MIRA_CHECK(expr)                                                 \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      ::mira::support::CheckFailed(#expr, __FILE__, __LINE__, nullptr);  \
+    }                                                                    \
+  } while (0)
+
+#define MIRA_CHECK_MSG(expr, msg)                                     \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      ::mira::support::CheckFailed(#expr, __FILE__, __LINE__, (msg)); \
+    }                                                                 \
+  } while (0)
+
+#define MIRA_UNREACHABLE(msg) ::mira::support::CheckFailed("unreachable", __FILE__, __LINE__, (msg))
+
+#endif  // MIRA_SRC_SUPPORT_CHECK_H_

@@ -1,0 +1,67 @@
+#include "src/support/rng.h"
+
+#include <cmath>
+
+#include "src/support/check.h"
+
+namespace mira::support {
+
+namespace {
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (auto& s : s_) {
+    s = sm.Next();
+  }
+}
+
+uint64_t Rng::NextU64() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBelow(uint64_t bound) {
+  MIRA_CHECK(bound > 0);
+  // Lemire-style multiply-shift; the slight modulo bias at 64 bits is
+  // irrelevant for workload synthesis.
+  return static_cast<uint64_t>((static_cast<__uint128_t>(NextU64()) * bound) >> 64);
+}
+
+int64_t Rng::NextRange(int64_t lo, int64_t hi) {
+  MIRA_CHECK(lo <= hi);
+  return lo + static_cast<int64_t>(NextBelow(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(NextU64() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+uint64_t Rng::NextZipf(uint64_t n, double theta) {
+  MIRA_CHECK(n > 0);
+  if (theta <= 0.0) {
+    return NextBelow(n);
+  }
+  // Approximate inverse-CDF sampling of a Zipf-like distribution via the
+  // bounded Pareto transform; preserves head-heavy skew, which is all the
+  // cache experiments depend on.
+  const double u = NextDouble();
+  const double alpha = 1.0 - theta;
+  const double x = std::pow(static_cast<double>(n), alpha);
+  const double v = std::pow(u * (x - 1.0) + 1.0, 1.0 / alpha) - 1.0;
+  uint64_t idx = static_cast<uint64_t>(v);
+  if (idx >= n) {
+    idx = n - 1;
+  }
+  return idx;
+}
+
+}  // namespace mira::support

@@ -1,0 +1,20 @@
+#include "src/support/stats.h"
+
+namespace mira::support {
+
+uint64_t LatencyHistogram::PercentileNs(double p) const {
+  if (count_ == 0) {
+    return 0;
+  }
+  const auto target = static_cast<uint64_t>(p / 100.0 * static_cast<double>(count_));
+  uint64_t seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    seen += buckets_[b];
+    if (seen > target) {
+      return b == 0 ? 0 : (1ULL << b);
+    }
+  }
+  return 1ULL << (kBuckets - 1);
+}
+
+}  // namespace mira::support

@@ -1,0 +1,93 @@
+// Small statistics accumulators used by profiling and benchmark reporting.
+
+#ifndef MIRA_SRC_SUPPORT_STATS_H_
+#define MIRA_SRC_SUPPORT_STATS_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace mira::support {
+
+// Streaming mean/min/max/count accumulator (Welford variance).
+class RunningStat {
+ public:
+  void Add(double x) {
+    ++count_;
+    if (count_ == 1) {
+      min_ = max_ = x;
+    } else {
+      min_ = std::min(min_, x);
+      max_ = std::max(max_, x);
+    }
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+  }
+
+  uint64_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  double variance() const { return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0; }
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+  void Reset() { *this = RunningStat(); }
+
+ private:
+  uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Fixed-bucket latency histogram (power-of-two nanosecond buckets) with
+// approximate percentile queries. 48 buckets cover [1ns, ~78h].
+class LatencyHistogram {
+ public:
+  static constexpr int kBuckets = 48;
+
+  void Add(uint64_t ns) {
+    int b = 0;
+    uint64_t v = ns;
+    while (v > 1 && b < kBuckets - 1) {
+      v >>= 1;
+      ++b;
+    }
+    ++buckets_[b];
+    ++count_;
+    sum_ += ns;
+  }
+
+  uint64_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? static_cast<double>(sum_) / count_ : 0.0; }
+
+  // Returns the lower bound of the bucket containing percentile p (0..100).
+  uint64_t PercentileNs(double p) const;
+
+  void Reset() { *this = LatencyHistogram(); }
+
+ private:
+  uint64_t buckets_[kBuckets] = {};
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+};
+
+// Ratio counter for hit/miss style metrics.
+struct HitMissCounter {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+
+  void Hit() { ++hits; }
+  void Miss() { ++misses; }
+  uint64_t total() const { return hits + misses; }
+  double miss_rate() const {
+    return total() > 0 ? static_cast<double>(misses) / static_cast<double>(total()) : 0.0;
+  }
+  void Reset() { *this = HitMissCounter{}; }
+};
+
+}  // namespace mira::support
+
+#endif  // MIRA_SRC_SUPPORT_STATS_H_

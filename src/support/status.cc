@@ -1,0 +1,39 @@
+#include "src/support/status.h"
+
+namespace mira::support {
+
+const char* ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk:
+      return "ok";
+    case ErrorCode::kInvalidArgument:
+      return "invalid_argument";
+    case ErrorCode::kNotFound:
+      return "not_found";
+    case ErrorCode::kOutOfMemory:
+      return "out_of_memory";
+    case ErrorCode::kAlreadyExists:
+      return "already_exists";
+    case ErrorCode::kFailedPrecondition:
+      return "failed_precondition";
+    case ErrorCode::kUnimplemented:
+      return "unimplemented";
+    case ErrorCode::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) {
+    return "ok";
+  }
+  std::string out = ErrorCodeName(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace mira::support

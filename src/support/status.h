@@ -1,0 +1,96 @@
+// Minimal error-handling vocabulary (no exceptions, Google-style StatusOr).
+//
+// Fallible public APIs return Status or Result<T>. Internal invariants use
+// MIRA_CHECK instead.
+
+#ifndef MIRA_SRC_SUPPORT_STATUS_H_
+#define MIRA_SRC_SUPPORT_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "src/support/check.h"
+
+namespace mira::support {
+
+enum class ErrorCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfMemory,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kUnimplemented,
+  kInternal,
+};
+
+// Human-readable name for an error code ("ok", "invalid_argument", ...).
+const char* ErrorCodeName(ErrorCode code);
+
+// A success-or-error value with an optional message. Cheap to copy on the
+// success path (no allocation).
+class Status {
+ public:
+  Status() : code_(ErrorCode::kOk) {}
+  Status(ErrorCode code, std::string message) : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string m) {
+    return Status(ErrorCode::kInvalidArgument, std::move(m));
+  }
+  static Status NotFound(std::string m) { return Status(ErrorCode::kNotFound, std::move(m)); }
+  static Status OutOfMemory(std::string m) { return Status(ErrorCode::kOutOfMemory, std::move(m)); }
+  static Status FailedPrecondition(std::string m) {
+    return Status(ErrorCode::kFailedPrecondition, std::move(m));
+  }
+  static Status Unimplemented(std::string m) {
+    return Status(ErrorCode::kUnimplemented, std::move(m));
+  }
+  static Status Internal(std::string m) { return Status(ErrorCode::kInternal, std::move(m)); }
+
+  bool ok() const { return code_ == ErrorCode::kOk; }
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "ok" or "<code>: <message>".
+  std::string ToString() const;
+
+ private:
+  ErrorCode code_;
+  std::string message_;
+};
+
+// Result<T> holds either a value or an error Status.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}                      // NOLINT(google-explicit-*)
+  Result(Status status) : status_(std::move(status)) {               // NOLINT(google-explicit-*)
+    MIRA_CHECK_MSG(!status_.ok(), "Result constructed from OK status without a value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  T& value() {
+    MIRA_CHECK_MSG(ok(), "Result::value() called on error");
+    return *value_;
+  }
+  const T& value() const {
+    MIRA_CHECK_MSG(ok(), "Result::value() called on error");
+    return *value_;
+  }
+  T take() {
+    MIRA_CHECK_MSG(ok(), "Result::take() called on error");
+    return std::move(*value_);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace mira::support
+
+#endif  // MIRA_SRC_SUPPORT_STATUS_H_

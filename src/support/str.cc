@@ -1,0 +1,47 @@
+#include "src/support/str.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace mira::support {
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list ap;
+  va_start(ap, fmt);
+  va_list ap2;
+  va_copy(ap2, ap);
+  const int n = std::vsnprintf(nullptr, 0, fmt, ap);
+  va_end(ap);
+  std::string out(static_cast<size_t>(n), '\0');
+  std::vsnprintf(out.data(), out.size() + 1, fmt, ap2);
+  va_end(ap2);
+  return out;
+}
+
+std::string HumanBytes(uint64_t bytes) {
+  const char* units[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  double v = static_cast<double>(bytes);
+  int u = 0;
+  while (v >= 1024.0 && u < 4) {
+    v /= 1024.0;
+    ++u;
+  }
+  return u == 0 ? StrFormat("%.0fB", v) : StrFormat("%.1f%s", v, units[u]);
+}
+
+std::string HumanNs(uint64_t ns) {
+  if (ns < 1000) {
+    return StrFormat("%luns", static_cast<unsigned long>(ns));
+  }
+  const double us = static_cast<double>(ns) / 1000.0;
+  if (us < 1000.0) {
+    return StrFormat("%.1fus", us);
+  }
+  const double ms = us / 1000.0;
+  if (ms < 1000.0) {
+    return StrFormat("%.2fms", ms);
+  }
+  return StrFormat("%.3fs", ms / 1000.0);
+}
+
+}  // namespace mira::support

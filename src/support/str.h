@@ -1,0 +1,22 @@
+// printf-style std::string formatting and human-readable size helpers.
+
+#ifndef MIRA_SRC_SUPPORT_STR_H_
+#define MIRA_SRC_SUPPORT_STR_H_
+
+#include <cstdint>
+#include <string>
+
+namespace mira::support {
+
+// printf into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+// "4.0KiB", "1.5MiB", ... for byte counts.
+std::string HumanBytes(uint64_t bytes);
+
+// "3.2us", "1.5ms", ... for nanosecond durations.
+std::string HumanNs(uint64_t ns);
+
+}  // namespace mira::support
+
+#endif  // MIRA_SRC_SUPPORT_STR_H_

@@ -1,0 +1,55 @@
+#include "src/ir/builder.h"
+#include "src/workloads/workloads.h"
+
+namespace mira::workloads {
+
+using ir::FunctionBuilder;
+using ir::Local;
+using ir::Type;
+using ir::Value;
+
+Workload BuildArraySum(const ArraySumParams& params) {
+  Workload w;
+  w.name = "arraysum";
+  w.module = std::make_unique<ir::Module>();
+  w.module->name = w.name;
+  w.footprint_bytes = static_cast<uint64_t>(params.elems) * 8;
+
+  {
+    FunctionBuilder f(w.module.get(), "fill", {Type::kPtr, Type::kI64});
+    const Value arr = f.Arg(0);
+    const Value n = f.Arg(1);
+    f.For(f.ConstI(0), n, f.ConstI(1), [&](Value i) {
+      f.Store(f.Index(arr, i, 8, 0), f.Rand(f.ConstI(1000)), 8);
+    });
+    f.Return();
+  }
+  {
+    FunctionBuilder f(w.module.get(), "sum", {Type::kPtr, Type::kI64}, Type::kI64);
+    const Value arr = f.Arg(0);
+    const Value n = f.Arg(1);
+    const Local acc = f.DeclLocal(Type::kI64);
+    f.StoreLocal(acc, f.ConstI(0));
+    f.For(f.ConstI(0), n, f.ConstI(1), [&](Value i) {
+      const Value v = f.Load(f.Index(arr, i, 8, 0), 8, Type::kI64);
+      f.StoreLocal(acc, f.Add(f.LoadLocal(acc), v));
+    });
+    f.Return(f.LoadLocal(acc));
+  }
+  {
+    FunctionBuilder f(w.module.get(), "main", {}, Type::kI64);
+    const Value arr = f.Alloc(f.ConstI(params.elems * 8), "array", 8);
+    const Value n = f.ConstI(params.elems);
+    f.Call("fill", {arr, n});
+    const Local total = f.DeclLocal(Type::kI64);
+    f.StoreLocal(total, f.ConstI(0));
+    f.For(f.ConstI(0), f.ConstI(params.epochs), f.ConstI(1), [&](Value) {
+      const Value s = f.Call("sum", {arr, n});
+      f.StoreLocal(total, f.Add(f.LoadLocal(total), s));
+    });
+    f.Return(f.LoadLocal(total));
+  }
+  return w;
+}
+
+}  // namespace mira::workloads

@@ -1,0 +1,176 @@
+#include "src/ir/builder.h"
+#include "src/workloads/workloads.h"
+
+namespace mira::workloads {
+
+using ir::FunctionBuilder;
+using ir::Local;
+using ir::Type;
+using ir::Value;
+
+namespace {
+constexpr int64_t kRowBytes = 4096;  // wide row: a big record, 2 fields accessed
+}  // namespace
+
+// A columnar analytics job over synthetic taxi-trip data. Columns are
+// separate far objects (distinct access patterns per operator); a wide
+// row-store table exercises selective transmission.
+Workload BuildDataFrame(const DataFrameParams& params) {
+  Workload w;
+  w.name = "dataframe";
+  w.module = std::make_unique<ir::Module>();
+  w.module->name = w.name;
+  const int64_t rows = params.rows;
+  const int64_t wide_rows = rows / 8;  // the wide table has fewer, fat rows
+  w.footprint_bytes = static_cast<uint64_t>(rows) * (8 /*zone*/ + 8 /*fare*/ + 8 /*flags*/) +
+                      static_cast<uint64_t>(params.groups) * 8 +
+                      (params.wide_row_scan ? static_cast<uint64_t>(wide_rows) * kRowBytes : 0);
+
+  // init(zone, fare, wide, n, groups)
+  {
+    std::vector<Type> sig{Type::kPtr, Type::kPtr, Type::kI64, Type::kI64};
+    if (params.wide_row_scan) {
+      sig.insert(sig.begin() + 2, Type::kPtr);
+      sig.push_back(Type::kI64);  // wide-row count
+    }
+    FunctionBuilder f(w.module.get(), "load_table", sig);
+    const Value zone = f.Arg(0);
+    const Value fare = f.Arg(1);
+    const Value wide = params.wide_row_scan ? f.Arg(2) : Value{};
+    const Value n = f.Arg(params.wide_row_scan ? 3 : 2);
+    const Value groups = f.Arg(params.wide_row_scan ? 4 : 3);
+    f.For(f.ConstI(0), n, f.ConstI(1), [&](Value i) {
+      f.Store(f.Index(zone, i, 8, 0), f.Rand(groups), 8);
+      const Value cents = f.Rand(f.ConstI(10'000));
+      f.Store(f.Index(fare, i, 8, 0), f.I2F(cents), 8);
+    });
+    if (params.wide_row_scan) {
+      const Value wn = f.Arg(5);
+      f.For(f.ConstI(0), wn, f.ConstI(1), [&](Value i) {
+        // Only two fields get meaningful data; the row is mostly payload.
+        f.Store(f.Index(wide, i, kRowBytes, 0), f.I2F(f.Rand(f.ConstI(10'000))), 8);
+        f.Store(f.Index(wide, i, kRowBytes, 8), f.Rand(f.ConstI(100)), 8);
+      });
+    }
+    f.Return();
+  }
+
+  // filter_flags(zone, flags, n, threshold): full-line sequential writes.
+  if (params.filter_op) {
+    FunctionBuilder f(w.module.get(), "filter_flags",
+                      {Type::kPtr, Type::kPtr, Type::kI64, Type::kI64});
+    const Value zone = f.Arg(0);
+    const Value flags = f.Arg(1);
+    const Value n = f.Arg(2);
+    const Value threshold = f.Arg(3);
+    f.For(f.ConstI(0), n, f.ConstI(1), [&](Value i) {
+      const Value z = f.Load(f.Index(zone, i, 8, 0), 8, Type::kI64);
+      f.Store(f.Index(flags, i, 8, 0), f.CmpLt(z, threshold), 8);
+    });
+    f.Return();
+  }
+
+  // avg_min_max(fare, n) — Fig 23's job: three consecutive loops over the
+  // same vector, fusable + batchable by the compiler.
+  if (params.batch_job) {
+    FunctionBuilder f(w.module.get(), "avg_min_max", {Type::kPtr, Type::kI64}, Type::kF64);
+    const Value fare = f.Arg(0);
+    const Value n = f.Arg(1);
+    const Local sum = f.DeclLocal(Type::kF64);
+    const Local mn = f.DeclLocal(Type::kF64);
+    const Local mx = f.DeclLocal(Type::kF64);
+    f.StoreLocal(sum, f.ConstF(0.0));
+    f.StoreLocal(mn, f.ConstF(1e18));
+    f.StoreLocal(mx, f.ConstF(-1e18));
+    f.For(f.ConstI(0), n, f.ConstI(1), [&](Value i) {
+      const Value v = f.Load(f.Index(fare, i, 8, 0), 8, Type::kF64);
+      f.StoreLocal(sum, f.Add(f.LoadLocal(sum), v));
+    });
+    f.For(f.ConstI(0), n, f.ConstI(1), [&](Value i) {
+      const Value v = f.Load(f.Index(fare, i, 8, 0), 8, Type::kF64);
+      f.StoreLocal(mn, f.Min(f.LoadLocal(mn), v));
+    });
+    f.For(f.ConstI(0), n, f.ConstI(1), [&](Value i) {
+      const Value v = f.Load(f.Index(fare, i, 8, 0), 8, Type::kF64);
+      f.StoreLocal(mx, f.Max(f.LoadLocal(mx), v));
+    });
+    const Value avg = f.Div(f.LoadLocal(sum), f.I2F(n));
+    f.Return(f.Add(avg, f.Add(f.LoadLocal(mn), f.LoadLocal(mx))));
+  }
+
+  // groupby_sum(zone, fare, agg, n): indirect accumulation per zone.
+  if (params.groupby_op) {
+    FunctionBuilder f(w.module.get(), "groupby_sum",
+                      {Type::kPtr, Type::kPtr, Type::kPtr, Type::kI64});
+    const Value zone = f.Arg(0);
+    const Value fare = f.Arg(1);
+    const Value agg = f.Arg(2);
+    const Value n = f.Arg(3);
+    f.For(f.ConstI(0), n, f.ConstI(1), [&](Value i) {
+      const Value z = f.Load(f.Index(zone, i, 8, 0), 8, Type::kI64);
+      const Value v = f.Load(f.Index(fare, i, 8, 0), 8, Type::kF64);
+      const Value p = f.Index(agg, z, 8, 0);
+      f.Store(p, f.Add(f.Load(p, 8, Type::kF64), v), 8);
+    });
+    f.Return();
+  }
+
+  // scan_wide(wide, n): touches 2 of 16 fields per 128 B row — selective
+  // transmission (§4.5) cuts traffic by 8×.
+  if (params.wide_row_scan) {
+    FunctionBuilder f(w.module.get(), "scan_wide", {Type::kPtr, Type::kI64}, Type::kF64);
+    const Value wide = f.Arg(0);
+    const Value n = f.Arg(1);
+    const Local acc = f.DeclLocal(Type::kF64);
+    f.StoreLocal(acc, f.ConstF(0.0));
+    f.For(f.ConstI(0), n, f.ConstI(1), [&](Value i) {
+      const Value fare = f.Load(f.Index(wide, i, kRowBytes, 0), 8, Type::kF64);
+      const Value tip = f.Load(f.Index(wide, i, kRowBytes, 8), 8, Type::kI64);
+      f.StoreLocal(acc, f.Add(f.LoadLocal(acc), f.Add(fare, f.I2F(tip))));
+    });
+    f.Return(f.LoadLocal(acc));
+  }
+
+  // main
+  {
+    FunctionBuilder f(w.module.get(), "main", {}, Type::kF64);
+    const Value zone = f.Alloc(f.ConstI(rows * 8), "col_zone", 512);
+    const Value fare = f.Alloc(f.ConstI(rows * 8), "col_fare", 512);
+    Value wide{};
+    if (params.wide_row_scan) {
+      // AIFM treats each 128 B row as one remoteable object (and fetches it
+      // whole — the selective-transmission contrast in §4.5).
+      wide = f.Alloc(f.ConstI(wide_rows * kRowBytes), "wide_rows", kRowBytes);
+    }
+    const Value flags =
+        params.filter_op ? f.Alloc(f.ConstI(rows * 8), "col_flags", 512) : Value{};
+    const Value agg = f.Alloc(f.ConstI(params.groups * 8), "agg_groups", 8);
+    const Value n = f.ConstI(rows);
+    if (params.wide_row_scan) {
+      f.Call("load_table",
+             {zone, fare, wide, n, f.ConstI(params.groups), f.ConstI(wide_rows)});
+    } else {
+      f.Call("load_table", {zone, fare, n, f.ConstI(params.groups)});
+    }
+    const Local out = f.DeclLocal(Type::kF64);
+    f.StoreLocal(out, f.ConstF(0.0));
+    if (params.filter_op) {
+      f.Call("filter_flags", {zone, flags, n, f.ConstI(params.groups / 2)});
+    }
+    if (params.batch_job) {
+      const Value r = f.Call("avg_min_max", {fare, n});
+      f.StoreLocal(out, f.Add(f.LoadLocal(out), r));
+    }
+    if (params.groupby_op) {
+      f.Call("groupby_sum", {zone, fare, agg, n});
+    }
+    if (params.wide_row_scan) {
+      const Value r = f.Call("scan_wide", {wide, f.ConstI(wide_rows)});
+      f.StoreLocal(out, f.Add(f.LoadLocal(out), r));
+    }
+    f.Return(f.LoadLocal(out));
+  }
+  return w;
+}
+
+}  // namespace mira::workloads

@@ -1,0 +1,130 @@
+#include "src/ir/builder.h"
+#include "src/support/str.h"
+#include "src/workloads/workloads.h"
+
+namespace mira::workloads {
+
+using ir::FunctionBuilder;
+using ir::Local;
+using ir::Type;
+using ir::Value;
+
+// Scaled-down transformer inference preserving the structure the paper's
+// GPT-2 result depends on: per-layer weight matrices and KV caches whose
+// lifetimes end when the layer's computation finishes (§6.1: "data used in
+// one layer is not needed anymore in the remaining layers").
+//
+// Each layer l is its own function layer<l> and its own top-level call
+// statement in main, so lifetime analysis sees one phase per layer. Weights
+// stream sequentially through the matvecs; the KV cache is appended
+// (full-line writes) then read back within the layer.
+Workload BuildGpt2(const Gpt2Params& params) {
+  Workload w;
+  w.name = "gpt2";
+  w.module = std::make_unique<ir::Module>();
+  w.module->name = w.name;
+  const int64_t d = params.d_model;
+  const int64_t t = params.tokens;
+  w.footprint_bytes = static_cast<uint64_t>(params.layers) *
+                          (static_cast<uint64_t>(d * d * 8) /*W*/ +
+                           2 * static_cast<uint64_t>(t * d * 8) /*K,V*/) +
+                      2 * static_cast<uint64_t>(d * 8) /*activations*/;
+
+  // init_weights(wl, count): pseudo-random parameters.
+  {
+    FunctionBuilder f(w.module.get(), "init_matrix", {Type::kPtr, Type::kI64});
+    const Value m = f.Arg(0);
+    const Value count = f.Arg(1);
+    f.For(f.ConstI(0), count, f.ConstI(1), [&](Value i) {
+      const Value r = f.Rand(f.ConstI(2000));
+      const Value x = f.Div(f.Sub(f.I2F(r), f.ConstF(1000.0)), f.ConstF(1000.0));
+      f.Store(f.Index(m, i, 8, 0), x, 8);
+    });
+    f.Return();
+  }
+
+  // layer<l>(w, k, v, x, y): for each token: matvec through W (sequential
+  // streaming), append to K/V, attend over the cache, activation.
+  for (int64_t layer = 0; layer < params.layers; ++layer) {
+    FunctionBuilder f(w.module.get(), support::StrFormat("layer%lld",
+                                                         static_cast<long long>(layer)),
+                      {Type::kPtr, Type::kPtr, Type::kPtr, Type::kPtr, Type::kPtr});
+    const Value wm = f.Arg(0);
+    const Value kc = f.Arg(1);
+    const Value vc = f.Arg(2);
+    const Value x = f.Arg(3);
+    const Value y = f.Arg(4);
+    f.For(f.ConstI(0), f.ConstI(t), f.ConstI(1), [&](Value tok) {
+      // y[j] = Σ_i W[j*d+i] * x[i]   (W streamed sequentially)
+      f.For(f.ConstI(0), f.ConstI(d), f.ConstI(1), [&](Value j) {
+        const Local acc = f.DeclLocal(Type::kF64);
+        f.StoreLocal(acc, f.ConstF(0.0));
+        const Value row = f.Mul(j, f.ConstI(d));
+        f.For(f.ConstI(0), f.ConstI(d), f.ConstI(1), [&](Value i) {
+          const Value wv = f.Load(f.Index(wm, f.Add(row, i), 8, 0), 8, Type::kF64);
+          const Value xv = f.Load(f.Index(x, i, 8, 0), 8, Type::kF64);
+          f.StoreLocal(acc, f.Add(f.LoadLocal(acc), f.Mul(wv, xv)));
+        });
+        f.Store(f.Index(y, j, 8, 0), f.Unary(ir::OpKind::kTanh, f.LoadLocal(acc)), 8);
+      });
+      // Append keys/values for this token (write-only full rows).
+      const Value base = f.Mul(tok, f.ConstI(d));
+      f.For(f.ConstI(0), f.ConstI(d), f.ConstI(1), [&](Value i) {
+        const Value yv = f.Load(f.Index(y, i, 8, 0), 8, Type::kF64);
+        f.Store(f.Index(kc, f.Add(base, i), 8, 0), yv, 8);
+        f.Store(f.Index(vc, f.Add(base, i), 8, 0), yv, 8);
+      });
+      // Attend over the cache so far: x[i] = Σ_{t2≤tok} K[t2*d+i]*V[t2*d+i].
+      f.For(f.ConstI(0), f.ConstI(d), f.ConstI(1), [&](Value i) {
+        const Local acc = f.DeclLocal(Type::kF64);
+        f.StoreLocal(acc, f.ConstF(0.0));
+        const Value upto = f.Add(tok, f.ConstI(1));
+        f.For(f.ConstI(0), upto, f.ConstI(1), [&](Value t2) {
+          const Value off = f.Add(f.Mul(t2, f.ConstI(d)), i);
+          const Value kv = f.Load(f.Index(kc, off, 8, 0), 8, Type::kF64);
+          const Value vv = f.Load(f.Index(vc, off, 8, 0), 8, Type::kF64);
+          f.StoreLocal(acc, f.Add(f.LoadLocal(acc), f.Mul(kv, vv)));
+        });
+        f.Store(f.Index(x, i, 8, 0),
+                f.Unary(ir::OpKind::kTanh, f.Div(f.LoadLocal(acc), f.I2F(upto))), 8);
+      });
+    });
+    f.Return();
+  }
+
+  // main: allocate the model, run layers in order (one statement each).
+  {
+    FunctionBuilder f(w.module.get(), "main", {}, Type::kF64);
+    std::vector<Value> wm(static_cast<size_t>(params.layers));
+    std::vector<Value> kc(static_cast<size_t>(params.layers));
+    std::vector<Value> vc(static_cast<size_t>(params.layers));
+    for (int64_t l = 0; l < params.layers; ++l) {
+      const std::string suffix = std::to_string(l);
+      wm[static_cast<size_t>(l)] =
+          f.Alloc(f.ConstI(d * d * 8), "weights" + suffix, 8);
+      kc[static_cast<size_t>(l)] = f.Alloc(f.ConstI(t * d * 8), "kcache" + suffix, 8);
+      vc[static_cast<size_t>(l)] = f.Alloc(f.ConstI(t * d * 8), "vcache" + suffix, 8);
+    }
+    const Value x = f.Alloc(f.ConstI(d * 8), "act_x", 8);
+    const Value y = f.Alloc(f.ConstI(d * 8), "act_y", 8);
+    for (int64_t l = 0; l < params.layers; ++l) {
+      f.Call("init_matrix", {wm[static_cast<size_t>(l)], f.ConstI(d * d)});
+    }
+    f.Call("init_matrix", {x, f.ConstI(d)});
+    for (int64_t l = 0; l < params.layers; ++l) {
+      f.Call(support::StrFormat("layer%lld", static_cast<long long>(l)),
+             {wm[static_cast<size_t>(l)], kc[static_cast<size_t>(l)],
+              vc[static_cast<size_t>(l)], x, y});
+    }
+    // Output checksum.
+    const Local acc = f.DeclLocal(Type::kF64);
+    f.StoreLocal(acc, f.ConstF(0.0));
+    f.For(f.ConstI(0), f.ConstI(d), f.ConstI(1), [&](Value i) {
+      f.StoreLocal(acc, f.Add(f.LoadLocal(acc), f.Load(f.Index(x, i, 8, 0), 8, Type::kF64)));
+    });
+    f.Return(f.LoadLocal(acc));
+  }
+  return w;
+}
+
+}  // namespace mira::workloads

@@ -1,0 +1,129 @@
+#include "src/ir/builder.h"
+#include "src/workloads/workloads.h"
+
+namespace mira::workloads {
+
+using ir::FunctionBuilder;
+using ir::Local;
+using ir::Type;
+using ir::Value;
+
+namespace {
+constexpr int64_t kEdgeBytes = 16;   // {from: i64 @0, to: i64 @8}
+constexpr int64_t kNodeBytes = 128;  // counter @0, 120 B payload
+}  // namespace
+
+Workload BuildGraphTraversal(const GraphParams& params) {
+  Workload w;
+  w.name = params.third_array ? "graph3" : "graph";
+  w.module = std::make_unique<ir::Module>();
+  w.module->name = w.name;
+  w.footprint_bytes = static_cast<uint64_t>(params.num_edges * kEdgeBytes +
+                                            params.num_nodes * kNodeBytes +
+                                            (params.third_array ? params.third_elems * 8 : 0));
+
+  // init_edges(edges, num_edges, num_nodes): random endpoints.
+  {
+    FunctionBuilder f(w.module.get(), "init_edges", {Type::kPtr, Type::kI64, Type::kI64});
+    const Value edges = f.Arg(0);
+    const Value n = f.Arg(1);
+    const Value m = f.Arg(2);
+    f.For(f.ConstI(0), n, f.ConstI(1), [&](Value i) {
+      f.Store(f.Index(edges, i, kEdgeBytes, 0), f.Rand(m), 8);
+      f.Store(f.Index(edges, i, kEdgeBytes, 8), f.Rand(m), 8);
+    });
+    f.Return();
+  }
+
+  // init_third(third, elems): zero fill.
+  if (params.third_array) {
+    FunctionBuilder f(w.module.get(), "init_third", {Type::kPtr, Type::kI64});
+    const Value third = f.Arg(0);
+    const Value n = f.Arg(1);
+    f.For(f.ConstI(0), n, f.ConstI(1), [&](Value i) {
+      f.Store(f.Index(third, i, 8, 0), f.ConstI(0), 8);
+    });
+    f.Return();
+  }
+
+  // traverse(edges, nodes, n [, third, third_elems]): Fig 4's loop. The
+  // node updates are written inline (the paper's Fig 13 compiled form).
+  {
+    std::vector<Type> sig{Type::kPtr, Type::kPtr, Type::kI64};
+    if (params.third_array) {
+      sig.push_back(Type::kPtr);
+      sig.push_back(Type::kI64);
+    }
+    FunctionBuilder f(w.module.get(), "traverse", sig);
+    const Value edges = f.Arg(0);
+    const Value nodes = f.Arg(1);
+    const Value n = f.Arg(2);
+    f.For(f.ConstI(0), n, f.ConstI(1), [&](Value i) {
+      const Value from = f.Load(f.Index(edges, i, kEdgeBytes, 0), 8, Type::kI64);
+      const Value to = f.Load(f.Index(edges, i, kEdgeBytes, 8), 8, Type::kI64);
+      // Edge weight: a little real computation per edge, as update_node in
+      // the paper's application would do.
+      const Local mix = f.DeclLocal(Type::kI64);
+      f.StoreLocal(mix, f.Add(f.Mul(from, f.ConstI(31)), to));
+      f.For(f.ConstI(0), f.ConstI(8), f.ConstI(1), [&](Value) {
+        const Value m = f.LoadLocal(mix);
+        f.StoreLocal(mix, f.Xor(f.Mul(m, f.ConstI(6364136223846793005LL)),
+                                f.Shr(m, f.ConstI(29))));
+      });
+      const Value weight = f.Rem(f.LoadLocal(mix), f.ConstI(127));
+      // update_node(edges[i].from)
+      const Value pf = f.Index(nodes, from, kNodeBytes, 0);
+      f.Store(pf, f.Add(f.Load(pf, 8, Type::kI64), weight), 8);
+      // update_node(edges[i].to)
+      const Value pt = f.Index(nodes, to, kNodeBytes, 0);
+      f.Store(pt, f.Add(f.Load(pt, 8, Type::kI64), weight), 8);
+      if (params.third_array) {
+        const Value third = f.Arg(3);
+        const Value telems = f.Arg(4);
+        const Value r = f.Rand(telems);
+        const Value p3 = f.Index(third, r, 8, 0);
+        f.Store(p3, f.Add(f.Load(p3, 8, Type::kI64), f.ConstI(1)), 8);
+      }
+    });
+    f.Return();
+  }
+
+  // main: allocate, initialize, run epochs, checksum.
+  {
+    FunctionBuilder f(w.module.get(), "main", {}, Type::kI64);
+    // AIFM's port wraps edges in 4-edge remoteable chunks (64 B), the
+    // granularity its array library would choose for a 16 B struct.
+    const Value edges =
+        f.Alloc(f.ConstI(params.num_edges * kEdgeBytes), "edges", 64);
+    const Value nodes =
+        f.Alloc(f.ConstI(params.num_nodes * kNodeBytes), "nodes", kNodeBytes);
+    Value third{};
+    if (params.third_array) {
+      third = f.Alloc(f.ConstI(params.third_elems * 8), "third", 8);
+    }
+    f.Call("init_edges", {edges, f.ConstI(params.num_edges), f.ConstI(params.num_nodes)});
+    if (params.third_array) {
+      f.Call("init_third", {third, f.ConstI(params.third_elems)});
+    }
+    f.For(f.ConstI(0), f.ConstI(params.epochs), f.ConstI(1), [&](Value) {
+      if (params.third_array) {
+        f.Call("traverse", {edges, nodes, f.ConstI(params.num_edges), third,
+                            f.ConstI(params.third_elems)});
+      } else {
+        f.Call("traverse", {edges, nodes, f.ConstI(params.num_edges)});
+      }
+    });
+    // Checksum over a node sample so results are comparable across systems.
+    const Local sum = f.DeclLocal(Type::kI64);
+    f.StoreLocal(sum, f.ConstI(0));
+    const int64_t stride = std::max<int64_t>(1, params.num_nodes / 256);
+    f.For(f.ConstI(0), f.ConstI(params.num_nodes), f.ConstI(stride), [&](Value i) {
+      const Value v = f.Load(f.Index(nodes, i, kNodeBytes, 0), 8, Type::kI64);
+      f.StoreLocal(sum, f.Add(f.LoadLocal(sum), v));
+    });
+    f.Return(f.LoadLocal(sum));
+  }
+  return w;
+}
+
+}  // namespace mira::workloads

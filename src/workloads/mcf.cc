@@ -1,0 +1,144 @@
+#include "src/ir/builder.h"
+#include "src/workloads/workloads.h"
+
+namespace mira::workloads {
+
+using ir::FunctionBuilder;
+using ir::Local;
+using ir::Type;
+using ir::Value;
+
+namespace {
+// Arc: tail @0, head @8, cost @16, flow @24, pad → 64 B.
+constexpr int64_t kArcBytes = 64;
+// Node: potential @0, next (tree successor) @8, depth @16, pad → 64 B.
+constexpr int64_t kNodeBytes = 64;
+}  // namespace
+
+// A single-depot vehicle-scheduling kernel in the shape of SPEC-2006 MCF:
+// network-simplex-style arc pricing (sequential over arcs, indirect into
+// node potentials) plus a spanning-tree walk whose next pointer is loaded
+// from memory — the control-flow-dependent pattern that makes MCF "the
+// least friendly to program analysis" (§6.1).
+//
+// The arrays are allocated with 8-byte element granularity, matching how
+// the paper ports MCF to AIFM's array library ("MCF's data structures
+// allocated in continuous memory") — which is what makes AIFM's
+// per-element pointer metadata exceed local memory below full size.
+Workload BuildMcf(const McfParams& params) {
+  Workload w;
+  w.name = "mcf";
+  w.module = std::make_unique<ir::Module>();
+  w.module->name = w.name;
+  w.footprint_bytes = static_cast<uint64_t>(params.arcs * kArcBytes +
+                                            params.nodes * kNodeBytes);
+
+  // build_network(arcs, nodes, m, n): random arc endpoints, random tree
+  // permutation via next pointers.
+  {
+    FunctionBuilder f(w.module.get(), "build_network",
+                      {Type::kPtr, Type::kPtr, Type::kI64, Type::kI64});
+    const Value arcs = f.Arg(0);
+    const Value nodes = f.Arg(1);
+    const Value m = f.Arg(2);
+    const Value n = f.Arg(3);
+    f.For(f.ConstI(0), m, f.ConstI(1), [&](Value a) {
+      f.Store(f.Index(arcs, a, kArcBytes, 0), f.Rand(n), 8);
+      f.Store(f.Index(arcs, a, kArcBytes, 8), f.Rand(n), 8);
+      f.Store(f.Index(arcs, a, kArcBytes, 16), f.Rand(f.ConstI(1000)), 8);
+      f.Store(f.Index(arcs, a, kArcBytes, 24), f.ConstI(0), 8);
+    });
+    f.For(f.ConstI(0), n, f.ConstI(1), [&](Value v) {
+      f.Store(f.Index(nodes, v, kNodeBytes, 0), f.Rand(f.ConstI(500)), 8);
+      // A random successor keeps the walk unpredictable (pointer values).
+      f.Store(f.Index(nodes, v, kNodeBytes, 8), f.Rand(n), 8);
+      f.Store(f.Index(nodes, v, kNodeBytes, 16), f.ConstI(0), 8);
+    });
+    f.Return();
+  }
+
+  // price_arcs(arcs, nodes, m) → i64: reduced costs; marks negative arcs.
+  {
+    FunctionBuilder f(w.module.get(), "price_arcs", {Type::kPtr, Type::kPtr, Type::kI64},
+                      Type::kI64);
+    const Value arcs = f.Arg(0);
+    const Value nodes = f.Arg(1);
+    const Value m = f.Arg(2);
+    const Local negatives = f.DeclLocal(Type::kI64);
+    f.StoreLocal(negatives, f.ConstI(0));
+    f.For(f.ConstI(0), m, f.ConstI(1), [&](Value a) {
+      const Value tail = f.Load(f.Index(arcs, a, kArcBytes, 0), 8, Type::kI64);
+      const Value head = f.Load(f.Index(arcs, a, kArcBytes, 8), 8, Type::kI64);
+      const Value cost = f.Load(f.Index(arcs, a, kArcBytes, 16), 8, Type::kI64);
+      const Value pt = f.Load(f.Index(nodes, tail, kNodeBytes, 0), 8, Type::kI64);
+      const Value ph = f.Load(f.Index(nodes, head, kNodeBytes, 0), 8, Type::kI64);
+      const Value reduced = f.Sub(f.Add(cost, ph), pt);
+      const Value neg = f.CmpLt(reduced, f.ConstI(0));
+      f.Store(f.Index(arcs, a, kArcBytes, 24), reduced, 8);
+      f.StoreLocal(negatives, f.Add(f.LoadLocal(negatives), neg));
+    });
+    f.Return(f.LoadLocal(negatives));
+  }
+
+  // tree_walk(nodes, steps, start) → i64: follow next pointers, bumping
+  // depth — the analysis-hostile pointer chase.
+  {
+    FunctionBuilder f(w.module.get(), "tree_walk", {Type::kPtr, Type::kI64, Type::kI64},
+                      Type::kI64);
+    const Value nodes = f.Arg(0);
+    const Value steps = f.Arg(1);
+    const Value start = f.Arg(2);
+    const Local cur = f.DeclLocal(Type::kI64);
+    const Local sum = f.DeclLocal(Type::kI64);
+    f.StoreLocal(cur, start);
+    f.StoreLocal(sum, f.ConstI(0));
+    f.For(f.ConstI(0), steps, f.ConstI(1), [&](Value) {
+      const Value c = f.LoadLocal(cur);
+      const Value pot = f.Load(f.Index(nodes, c, kNodeBytes, 0), 8, Type::kI64);
+      const Value nxt = f.Load(f.Index(nodes, c, kNodeBytes, 8), 8, Type::kI64);
+      const Value pd = f.Index(nodes, c, kNodeBytes, 16);
+      f.Store(pd, f.Add(f.Load(pd, 8, Type::kI64), f.ConstI(1)), 8);
+      f.StoreLocal(sum, f.Add(f.LoadLocal(sum), pot));
+      f.StoreLocal(cur, nxt);
+    });
+    f.Return(f.LoadLocal(sum));
+  }
+
+  // update_potentials(nodes, n): sweep applying accumulated depth.
+  {
+    FunctionBuilder f(w.module.get(), "update_potentials", {Type::kPtr, Type::kI64});
+    const Value nodes = f.Arg(0);
+    const Value n = f.Arg(1);
+    f.For(f.ConstI(0), n, f.ConstI(1), [&](Value v) {
+      const Value pp = f.Index(nodes, v, kNodeBytes, 0);
+      const Value pd = f.Index(nodes, v, kNodeBytes, 16);
+      const Value pot = f.Load(pp, 8, Type::kI64);
+      const Value depth = f.Load(pd, 8, Type::kI64);
+      f.Store(pp, f.Add(pot, depth), 8);
+      f.Store(pd, f.ConstI(0), 8);
+    });
+    f.Return();
+  }
+
+  // main
+  {
+    FunctionBuilder f(w.module.get(), "main", {}, Type::kI64);
+    const Value arcs = f.Alloc(f.ConstI(params.arcs * kArcBytes), "mcf_arcs", 8);
+    const Value nodes = f.Alloc(f.ConstI(params.nodes * kNodeBytes), "mcf_nodes", 8);
+    const Value m = f.ConstI(params.arcs);
+    const Value n = f.ConstI(params.nodes);
+    f.Call("build_network", {arcs, nodes, m, n});
+    const Local total = f.DeclLocal(Type::kI64);
+    f.StoreLocal(total, f.ConstI(0));
+    f.For(f.ConstI(0), f.ConstI(params.iterations), f.ConstI(1), [&](Value it) {
+      const Value negs = f.Call("price_arcs", {arcs, nodes, m});
+      const Value walked = f.Call("tree_walk", {nodes, f.ConstI(params.tree_steps), it});
+      f.Call("update_potentials", {nodes, n});
+      f.StoreLocal(total, f.Add(f.LoadLocal(total), f.Add(negs, walked)));
+    });
+    f.Return(f.LoadLocal(total));
+  }
+  return w;
+}
+
+}  // namespace mira::workloads

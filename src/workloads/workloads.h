@@ -1,0 +1,84 @@
+// Workload programs, expressed in the Mira IR exactly as an application
+// author would write them for local memory: plain loads/stores, no
+// far-memory awareness. The pipeline converts and optimizes them.
+//
+// Paper mapping:
+//   - BuildGraphTraversal: the Fig 4 rundown example (sequential edge array
+//     driving indirect node updates), optionally with the third
+//     uniformly-random array of Figs 11/12.
+//   - BuildArraySum: the "simple loop over an array" runtime microbench.
+//   - BuildDataFrame: NYC-taxi-like analytics — filter (full-line writes),
+//     the avg/min/max job of Fig 23 (three adjacent loops → fusion +
+//     batching), zone group-by (indirect), and a wide-row scan that touches
+//     2 of 16 fields (selective transmission).
+//   - BuildGpt2: layer-by-layer transformer inference with per-layer weight
+//     and KV-cache objects whose lifetimes end when the layer finishes.
+//   - BuildMcf: SPEC-MCF-like vehicle scheduling — sequential arc pricing
+//     with indirect node potentials plus an analysis-hostile pointer-chase
+//     tree walk.
+//
+// All data synthesis happens inside the program via the seeded kRand op, so
+// every system executes identical accesses for a given interpreter seed.
+
+#ifndef MIRA_SRC_WORKLOADS_WORKLOADS_H_
+#define MIRA_SRC_WORKLOADS_WORKLOADS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/ir/ir.h"
+
+namespace mira::workloads {
+
+struct Workload {
+  std::unique_ptr<ir::Module> module;
+  std::string entry = "main";
+  uint64_t footprint_bytes = 0;  // total far-object bytes ("full memory")
+  std::string name;
+};
+
+struct GraphParams {
+  int64_t num_edges = 60'000;
+  int64_t num_nodes = 15'000;
+  int64_t epochs = 4;
+  bool third_array = false;       // Figs 11/12
+  int64_t third_elems = 100'000;  // 8 B elements, uniform random access
+};
+Workload BuildGraphTraversal(const GraphParams& params = {});
+
+struct ArraySumParams {
+  int64_t elems = 400'000;  // 8 B each
+  int64_t epochs = 2;
+};
+Workload BuildArraySum(const ArraySumParams& params = {});
+
+struct DataFrameParams {
+  int64_t rows = 120'000;
+  int64_t groups = 512;
+  // Wide-row scan: 128 B rows, 16 B accessed (selective transmission).
+  bool wide_row_scan = true;
+  bool filter_op = true;
+  bool batch_job = true;  // avg/min/max over one column (Fig 23)
+  bool groupby_op = true;
+};
+Workload BuildDataFrame(const DataFrameParams& params = {});
+
+struct Gpt2Params {
+  int64_t layers = 6;
+  int64_t d_model = 128;
+  int64_t tokens = 12;
+};
+Workload BuildGpt2(const Gpt2Params& params = {});
+
+struct McfParams {
+  int64_t nodes = 20'000;
+  int64_t arcs = 60'000;
+  int64_t iterations = 2;
+  int64_t tree_steps = 30'000;  // pointer-chase walk length per iteration
+};
+Workload BuildMcf(const McfParams& params = {});
+
+}  // namespace mira::workloads
+
+#endif  // MIRA_SRC_WORKLOADS_WORKLOADS_H_

@@ -1,0 +1,244 @@
+// Static analyses: pointer binding, access-pattern classification (scalar
+// evolution), lifetime, offload cost.
+
+#include <gtest/gtest.h>
+
+#include "src/analysis/access_analysis.h"
+#include "src/analysis/lifetime.h"
+#include "src/analysis/offload_cost.h"
+#include "src/ir/builder.h"
+
+namespace mira::analysis {
+namespace {
+
+using ir::FunctionBuilder;
+using ir::Local;
+using ir::Module;
+using ir::Type;
+using ir::Value;
+
+// A module with one function per pattern the classifier must recognize.
+std::unique_ptr<Module> PatternZoo() {
+  auto m = std::make_unique<Module>();
+  {
+    // sequential: a[i]
+    FunctionBuilder f(m.get(), "seq", {Type::kPtr, Type::kI64}, Type::kI64);
+    const Local acc = f.DeclLocal(Type::kI64);
+    f.StoreLocal(acc, f.ConstI(0));
+    f.For(f.ConstI(0), f.Arg(1), f.ConstI(1), [&](Value i) {
+      f.StoreLocal(acc, f.Add(f.LoadLocal(acc),
+                              f.Load(f.Index(f.Arg(0), i, 8, 0), 8, Type::kI64)));
+    });
+    f.Return(f.LoadLocal(acc));
+  }
+  {
+    // strided: a[4*i]
+    FunctionBuilder f(m.get(), "strided", {Type::kPtr, Type::kI64});
+    f.For(f.ConstI(0), f.Arg(1), f.ConstI(1), [&](Value i) {
+      f.Load(f.Index(f.Arg(0), f.Mul(i, f.ConstI(4)), 8, 0), 8, Type::kI64);
+    });
+    f.Return();
+  }
+  {
+    // indirect: b[a[i]]
+    FunctionBuilder f(m.get(), "indirect", {Type::kPtr, Type::kPtr, Type::kI64});
+    f.For(f.ConstI(0), f.Arg(2), f.ConstI(1), [&](Value i) {
+      const Value idx = f.Load(f.Index(f.Arg(0), i, 8, 0), 8, Type::kI64);
+      f.Load(f.Index(f.Arg(1), idx, 64, 0), 8, Type::kI64);
+    });
+    f.Return();
+  }
+  {
+    // unknown: a[cursor] with a local-driven cursor
+    FunctionBuilder f(m.get(), "cursor", {Type::kPtr, Type::kI64});
+    const Local cur = f.DeclLocal(Type::kI64);
+    f.StoreLocal(cur, f.ConstI(0));
+    f.For(f.ConstI(0), f.Arg(1), f.ConstI(1), [&](Value) {
+      const Value c = f.LoadLocal(cur);
+      const Value v = f.Load(f.Index(f.Arg(0), c, 8, 0), 8, Type::kI64);
+      f.StoreLocal(cur, v);
+    });
+    f.Return();
+  }
+  {
+    // main allocates and calls everything (binds params to objects).
+    FunctionBuilder f(m.get(), "main", {}, Type::kVoid);
+    const Value a = f.Alloc(f.ConstI(8192), "arr_a", 8);
+    const Value b = f.Alloc(f.ConstI(65536), "arr_b", 64);
+    const Value n = f.ConstI(512);
+    f.Call("seq", {a, n});
+    f.Call("strided", {a, f.ConstI(128)});
+    f.Call("indirect", {a, b, n});
+    f.Call("cursor", {a, n});
+    f.Return();
+  }
+  return m;
+}
+
+AccessPattern PatternIn(const AccessAnalysis& analysis, const std::string& func,
+                        const std::string& object) {
+  for (const auto& a : analysis.ForFunction(func).accesses) {
+    if (a.objects.count(object) > 0 && !a.is_store) {
+      return a.pattern;
+    }
+  }
+  return AccessPattern::kUnknown;
+}
+
+TEST(AccessAnalysis, BindsParamsToAllocationSites) {
+  auto m = PatternZoo();
+  AccessAnalysis analysis(m.get());
+  analysis.Run();
+  EXPECT_TRUE(analysis.ForFunction("seq").touched_objects.count("arr_a"));
+  EXPECT_TRUE(analysis.ForFunction("indirect").touched_objects.count("arr_b"));
+  EXPECT_FALSE(analysis.ForFunction("seq").touched_objects.count("arr_b"));
+}
+
+TEST(AccessAnalysis, ClassifiesSequential) {
+  auto m = PatternZoo();
+  AccessAnalysis analysis(m.get());
+  analysis.Run();
+  EXPECT_EQ(PatternIn(analysis, "seq", "arr_a"), AccessPattern::kSequential);
+}
+
+TEST(AccessAnalysis, ClassifiesStrided) {
+  auto m = PatternZoo();
+  AccessAnalysis analysis(m.get());
+  analysis.Run();
+  EXPECT_EQ(PatternIn(analysis, "strided", "arr_a"), AccessPattern::kStrided);
+}
+
+TEST(AccessAnalysis, ClassifiesIndirectWithSource) {
+  auto m = PatternZoo();
+  AccessAnalysis analysis(m.get());
+  analysis.Run();
+  EXPECT_EQ(PatternIn(analysis, "indirect", "arr_b"), AccessPattern::kIndirect);
+  for (const auto& a : analysis.ForFunction("indirect").accesses) {
+    if (a.objects.count("arr_b") > 0) {
+      EXPECT_TRUE(a.index_source_objects.count("arr_a"));
+    }
+  }
+}
+
+TEST(AccessAnalysis, ClassifiesLocalCursorAsUnknown) {
+  auto m = PatternZoo();
+  AccessAnalysis analysis(m.get());
+  analysis.Run();
+  EXPECT_EQ(PatternIn(analysis, "cursor", "arr_a"), AccessPattern::kUnknown);
+}
+
+TEST(AccessAnalysis, StrideBytesComputed) {
+  auto m = PatternZoo();
+  AccessAnalysis analysis(m.get());
+  analysis.Run();
+  for (const auto& a : analysis.ForFunction("strided").accesses) {
+    if (a.pattern == AccessPattern::kStrided) {
+      EXPECT_EQ(a.stride_bytes, 32);  // 4 elems × 8 B
+    }
+  }
+  for (const auto& a : analysis.ForFunction("seq").accesses) {
+    if (a.pattern == AccessPattern::kSequential) {
+      EXPECT_EQ(a.stride_bytes, 8);
+    }
+  }
+}
+
+TEST(AccessAnalysis, SummarizeAggregatesHardestPattern) {
+  auto m = PatternZoo();
+  AccessAnalysis analysis(m.get());
+  analysis.Run();
+  // arr_a is sequential in seq, strided in strided, unknown in cursor and
+  // the index source in indirect; hardest analyzable = strided.
+  const ObjectBehavior all = analysis.Summarize("arr_a", {});
+  EXPECT_TRUE(all.has_reads);
+  // Restricted to `seq` only: sequential.
+  const ObjectBehavior seq_only = analysis.Summarize("arr_a", {"seq", "main"});
+  EXPECT_EQ(seq_only.pattern, AccessPattern::kSequential);
+}
+
+TEST(AccessAnalysis, FieldCoverageForSelectiveTransmission) {
+  auto m = std::make_unique<Module>();
+  FunctionBuilder f(m.get(), "main", {}, Type::kVoid);
+  const Value rows = f.Alloc(f.ConstI(128 * 100), "rows", 128);
+  f.For(f.ConstI(0), f.ConstI(100), f.ConstI(1), [&](Value i) {
+    f.Load(f.Index(rows, i, 128, 0), 8, Type::kI64);
+    f.Load(f.Index(rows, i, 128, 24), 8, Type::kI64);
+  });
+  f.Return();
+  AccessAnalysis analysis(m.get());
+  analysis.Run();
+  const ObjectBehavior b = analysis.Summarize("rows", {});
+  EXPECT_EQ(b.elem_bytes, 128u);
+  EXPECT_EQ(b.fields.size(), 2u);
+  EXPECT_NEAR(b.AccessedFraction(), 16.0 / 128.0, 1e-9);
+}
+
+TEST(Lifetime, IntervalsFollowStatementOrder) {
+  auto m = std::make_unique<Module>();
+  {
+    FunctionBuilder f(m.get(), "use", {Type::kPtr, Type::kI64});
+    f.For(f.ConstI(0), f.Arg(1), f.ConstI(1),
+          [&](Value i) { f.Load(f.Index(f.Arg(0), i, 8, 0), 8, Type::kI64); });
+    f.Return();
+  }
+  FunctionBuilder f(m.get(), "main", {}, Type::kVoid);
+  const Value a = f.Alloc(f.ConstI(1024), "early", 8);  // stmt 1 (const first)
+  const Value b = f.Alloc(f.ConstI(1024), "late", 8);
+  const Value n = f.ConstI(128);
+  f.Call("use", {a, n});
+  f.Call("use", {b, n});
+  f.Call("use", {b, n});
+  f.Return();
+  AccessAnalysis analysis(m.get());
+  analysis.Run();
+  LifetimeAnalysis lifetime(m.get(), &analysis);
+  lifetime.Run("main");
+  const auto& lts = lifetime.lifetimes();
+  ASSERT_TRUE(lts.count("early"));
+  ASSERT_TRUE(lts.count("late"));
+  EXPECT_LT(lts.at("early").last_stmt, lts.at("late").last_stmt);
+  EXPECT_TRUE(lts.at("early").read_only);
+  // Live sets: at "early"'s last statement both are... early ends before
+  // late's final use.
+  const auto live_at_end = lifetime.LiveAt(lts.at("late").last_stmt);
+  EXPECT_TRUE(live_at_end.count("late"));
+  EXPECT_FALSE(live_at_end.count("early"));
+}
+
+TEST(Lifetime, WritesDisableReadOnly) {
+  auto m = std::make_unique<Module>();
+  FunctionBuilder f(m.get(), "main", {}, Type::kVoid);
+  const Value a = f.Alloc(f.ConstI(1024), "written", 8);
+  f.Store(f.Index(a, f.ConstI(0), 8, 0), f.ConstI(1), 8);
+  f.Return();
+  AccessAnalysis analysis(m.get());
+  analysis.Run();
+  LifetimeAnalysis lifetime(m.get(), &analysis);
+  lifetime.Run("main");
+  EXPECT_FALSE(lifetime.lifetimes().at("written").read_only);
+}
+
+TEST(OffloadCost, LeafFunctionsAreCandidates) {
+  auto m = PatternZoo();
+  AccessAnalysis analysis(m.get());
+  analysis.Run();
+  OffloadCostAnalysis offload(m.get(), &analysis, sim::CostModel::Default());
+  offload.Run({});
+  EXPECT_TRUE(offload.estimates().at("seq").candidate);
+  EXPECT_FALSE(offload.estimates().at("main").candidate);  // calls + allocs
+}
+
+TEST(OffloadCost, HighTrafficFavorsOffload) {
+  auto m = PatternZoo();
+  AccessAnalysis analysis(m.get());
+  analysis.Run();
+  OffloadCostAnalysis cheap(m.get(), &analysis, sim::CostModel::Default());
+  cheap.Run({{"seq", 100}});  // almost no traffic
+  OffloadCostAnalysis heavy(m.get(), &analysis, sim::CostModel::Default());
+  heavy.Run({{"seq", 100 << 20}});  // 100 MiB of traffic if run locally
+  EXPECT_GT(heavy.estimates().at("seq").benefit_ns, cheap.estimates().at("seq").benefit_ns);
+  EXPECT_GT(heavy.estimates().at("seq").benefit_ns, 0);
+}
+
+}  // namespace
+}  // namespace mira::analysis

@@ -1,0 +1,171 @@
+// System backends: relative timing behavior that the figures depend on.
+
+#include <gtest/gtest.h>
+
+#include "src/backends/aifm_backend.h"
+#include "src/backends/fastswap_backend.h"
+#include "src/backends/leap_backend.h"
+#include "src/backends/mira_backend.h"
+#include "src/pipeline/world.h"
+
+namespace mira::backends {
+namespace {
+
+using pipeline::MakeWorld;
+using pipeline::SystemKind;
+
+TEST(NativeBackend, ChargesNativeCostOnly) {
+  auto w = MakeWorld(SystemKind::kNative, 0);
+  sim::SimClock clk;
+  const auto addr = w.backend->Alloc(clk, 4096, "x", 8).take();
+  const uint64_t t0 = clk.now_ns();
+  w.backend->Load(clk, addr, 8, {});
+  EXPECT_EQ(clk.now_ns() - t0, sim::CostModel::Default().native_access_ns);
+}
+
+TEST(Backend, ObjectRegistryTracksAllocations) {
+  auto w = MakeWorld(SystemKind::kNative, 0);
+  sim::SimClock clk;
+  const auto a = w.backend->Alloc(clk, 1000, "first", 16).take();
+  const auto b = w.backend->Alloc(clk, 2000, "second", 8).take();
+  EXPECT_EQ(w.backend->objects().size(), 2u);
+  EXPECT_STREQ(w.backend->FindObject(a + 500)->label.c_str(), "first");
+  EXPECT_STREQ(w.backend->FindObject(b)->label.c_str(), "second");
+  EXPECT_EQ(w.backend->FindObject(b + 5000), nullptr);
+  w.backend->Free(clk, a);
+  EXPECT_EQ(w.backend->objects().size(), 1u);
+}
+
+TEST(FastSwap, SequentialScanBenefitsFromReadahead) {
+  auto fast = MakeWorld(SystemKind::kFastSwap, 1 << 20);
+  sim::SimClock clk;
+  const auto addr = fast.backend->Alloc(clk, 512 << 10, "arr", 8).take();
+  clk.Reset();
+  for (uint64_t off = 0; off < (256 << 10); off += 64) {
+    fast.backend->Load(clk, addr + off, 8, {});
+  }
+  const auto* backend = static_cast<FastSwapBackend*>(fast.backend.get());
+  EXPECT_GT(backend->swap_stats().prefetched_hits, 0u);
+}
+
+TEST(Leap, SlowerDataPathThanFastSwap) {
+  auto fast = MakeWorld(SystemKind::kFastSwap, 64 << 10);
+  auto leap = MakeWorld(SystemKind::kLeap, 64 << 10);
+  sim::SimClock cf, cl;
+  const auto af = fast.backend->Alloc(cf, 4096, "x", 8).take();
+  const auto al = leap.backend->Alloc(cl, 4096, "x", 8).take();
+  cf.Reset();
+  cl.Reset();
+  fast.backend->Load(cf, af, 8, {});
+  leap.backend->Load(cl, al, 8, {});
+  EXPECT_GT(cl.now_ns(), cf.now_ns());
+}
+
+TEST(Aifm, DerefCostOnEveryAccessEvenWhenCached) {
+  auto w = MakeWorld(SystemKind::kAifm, 1 << 20);
+  sim::SimClock clk;
+  const auto addr = w.backend->Alloc(clk, 4096, "x", 64).take();
+  w.backend->Load(clk, addr, 8, {});  // miss
+  const uint64_t t0 = clk.now_ns();
+  w.backend->Load(clk, addr + 8, 8, {});  // cached chunk — still pays deref
+  EXPECT_GE(clk.now_ns() - t0, sim::CostModel::Default().aifm_deref_ns);
+}
+
+TEST(Aifm, MetadataScalesInverselyWithElementSize) {
+  auto w1 = MakeWorld(SystemKind::kAifm, 10 << 20);
+  auto w2 = MakeWorld(SystemKind::kAifm, 10 << 20);
+  sim::SimClock clk;
+  w1.backend->Alloc(clk, 1 << 20, "longs", 8).take();
+  w2.backend->Alloc(clk, 1 << 20, "structs", 128).take();
+  const auto* a1 = static_cast<AifmBackend*>(w1.backend.get());
+  const auto* a2 = static_cast<AifmBackend*>(w2.backend.get());
+  EXPECT_EQ(a1->metadata_bytes(), (1u << 20) / 8 * 16);  // 2× the data!
+  EXPECT_EQ(a2->metadata_bytes(), (1u << 20) / 128 * 16);
+}
+
+TEST(Aifm, FailsWhenMetadataExceedsLocalMemory) {
+  auto w = MakeWorld(SystemKind::kAifm, 1 << 20);
+  sim::SimClock clk;
+  // 1 MiB of longs → 2 MiB of metadata > 1 MiB local.
+  auto r = w.backend->Alloc(clk, 1 << 20, "longs", 8);
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(static_cast<AifmBackend*>(w.backend.get())->failed());
+}
+
+runtime::CachePlan OneSectionPlan(const std::string& object) {
+  runtime::CachePlan plan;
+  cache::SectionConfig config;
+  config.name = "s";
+  config.structure = cache::SectionStructure::kDirectMapped;
+  config.line_bytes = 1024;
+  config.size_bytes = 16 << 10;
+  plan.sections.push_back(config);
+  plan.object_to_section[object] = 0;
+  return plan;
+}
+
+TEST(Mira, PlanRoutesObjectToSectionOthersToSwap) {
+  auto w = MakeWorld(SystemKind::kMira, 1 << 20, OneSectionPlan("hot"));
+  auto* mira = static_cast<MiraBackend*>(w.backend.get());
+  sim::SimClock clk;
+  const auto hot = mira->Alloc(clk, 8192, "hot", 8).take();
+  const auto cold = mira->Alloc(clk, 8192, "cold", 8).take();
+  mira->Load(clk, hot, 8, {});
+  mira->Load(clk, cold, 8, {});
+  EXPECT_EQ(mira->SectionStatsAt(0).lines.total(), 1u);
+  EXPECT_EQ(mira->swap_stats().lines.total(), 1u);
+}
+
+TEST(Mira, EncodePtrUsesSectionIdAndOffset) {
+  auto w = MakeWorld(SystemKind::kMira, 1 << 20, OneSectionPlan("hot"));
+  auto* mira = static_cast<MiraBackend*>(w.backend.get());
+  sim::SimClock clk;
+  const auto hot = mira->Alloc(clk, 8192, "hot", 8).take();
+  const auto cold = mira->Alloc(clk, 8192, "cold", 8).take();
+  const cache::RemotePtr hp = mira->EncodePtr(hot);
+  const cache::RemotePtr cp = mira->EncodePtr(cold);
+  EXPECT_FALSE(hp.is_local());
+  EXPECT_EQ(hp.offset(), hot);
+  EXPECT_TRUE(cp.is_local());  // swap-managed → section 0 (paper §5.2.1)
+}
+
+TEST(Mira, LifetimeEndReleasesSection) {
+  auto w = MakeWorld(SystemKind::kMira, 1 << 20, OneSectionPlan("hot"));
+  auto* mira = static_cast<MiraBackend*>(w.backend.get());
+  sim::SimClock clk;
+  const auto hot = mira->Alloc(clk, 8192, "hot", 8).take();
+  mira->Load(clk, hot, 8, {});
+  EXPECT_GT(mira->SectionAt(0)->resident_lines(), 0u);
+  mira->LifetimeEnd(clk, hot);
+  EXPECT_EQ(mira->SectionAt(0)->resident_lines(), 0u);
+}
+
+TEST(Mira, OffloadFlushesDirtySections) {
+  auto w = MakeWorld(SystemKind::kMira, 1 << 20, OneSectionPlan("hot"));
+  auto* mira = static_cast<MiraBackend*>(w.backend.get());
+  sim::SimClock clk;
+  const auto hot = mira->Alloc(clk, 8192, "hot", 8).take();
+  mira->Store(clk, hot, 8, {});
+  const uint64_t wb_before = mira->SectionStatsAt(0).writebacks;
+  const uint64_t rpcs_before = w.net->stats().rpcs;  // alloc refill RPCs
+  mira->OffloadCall(clk, 64, 16, 1000);
+  EXPECT_GT(mira->SectionStatsAt(0).writebacks, wb_before);
+  EXPECT_EQ(w.net->stats().rpcs, rpcs_before + 1);
+}
+
+TEST(Mira, BatchLoadGroupsBySection) {
+  auto w = MakeWorld(SystemKind::kMira, 1 << 20, OneSectionPlan("hot"));
+  auto* mira = static_cast<MiraBackend*>(w.backend.get());
+  sim::SimClock clk;
+  const auto hot = mira->Alloc(clk, 64 << 10, "hot", 8).take();
+  std::vector<std::pair<farmem::RemoteAddr, uint32_t>> accesses;
+  for (int i = 0; i < 4; ++i) {
+    accesses.push_back({hot + static_cast<uint64_t>(i) * 4096, 8});
+  }
+  const uint64_t msgs_before = w.net->stats().messages;
+  mira->LoadBatch(clk, accesses);
+  EXPECT_EQ(w.net->stats().messages, msgs_before + 1);  // one gather
+}
+
+}  // namespace
+}  // namespace mira::backends

@@ -1,0 +1,451 @@
+// Cache sections: LRU, the three structures, hints, pinning, promotion,
+// batching, selective transmission.
+
+#include <gtest/gtest.h>
+
+#include "src/cache/lru.h"
+#include "src/cache/section.h"
+#include "src/cache/section_manager.h"
+#include "src/farmem/far_memory_node.h"
+
+namespace mira::cache {
+namespace {
+
+struct Env {
+  farmem::FarMemoryNode node;
+  net::Transport net{&node, sim::CostModel::Default()};
+  sim::SimClock clk;
+
+  std::unique_ptr<Section> Make(SectionStructure structure, uint32_t line, uint64_t size,
+                                uint32_t ways = 4) {
+    SectionConfig config;
+    config.name = "test";
+    config.structure = structure;
+    config.line_bytes = line;
+    config.size_bytes = size;
+    config.ways = ways;
+    return MakeSection(config, &net);
+  }
+};
+
+// ---------------- ActiveInactiveLru ----------------
+
+TEST(Lru, InsertTouchVictim) {
+  ActiveInactiveLru lru(4);
+  std::vector<uint16_t> pins(4, 0);
+  lru.OnInsert(0);
+  lru.OnInsert(1);
+  lru.OnInsert(2);
+  // 0 is the inactive tail → first victim.
+  EXPECT_EQ(lru.ChooseVictim(pins), 0u);
+  // Touch twice to promote to active; then 1 becomes the victim.
+  lru.OnTouch(0);
+  lru.OnTouch(0);
+  EXPECT_EQ(lru.ChooseVictim(pins), 1u);
+}
+
+TEST(Lru, SecondChanceViaReferenceBit) {
+  ActiveInactiveLru lru(3);
+  std::vector<uint16_t> pins(3, 0);
+  lru.OnInsert(0);
+  lru.OnInsert(1);
+  lru.OnTouch(0);  // sets reference bit on inactive 0
+  // Victim scan skips (promotes) 0, evicts 1.
+  EXPECT_EQ(lru.ChooseVictim(pins), 1u);
+  EXPECT_EQ(lru.active_size(), 1u);
+}
+
+TEST(Lru, PinnedSlotsSkipped) {
+  ActiveInactiveLru lru(3);
+  std::vector<uint16_t> pins(3, 0);
+  lru.OnInsert(0);
+  lru.OnInsert(1);
+  pins[0] = 1;
+  EXPECT_EQ(lru.ChooseVictim(pins), 1u);
+}
+
+TEST(Lru, AllPinnedReturnsNil) {
+  ActiveInactiveLru lru(2);
+  std::vector<uint16_t> pins(2, 1);
+  lru.OnInsert(0);
+  lru.OnInsert(1);
+  EXPECT_EQ(lru.ChooseVictim(pins), ActiveInactiveLru::kNil);
+}
+
+TEST(Lru, RemoveMakesSlotUntracked) {
+  ActiveInactiveLru lru(2);
+  lru.OnInsert(0);
+  EXPECT_TRUE(lru.Contains(0));
+  lru.Remove(0);
+  EXPECT_FALSE(lru.Contains(0));
+  EXPECT_EQ(lru.resident(), 0u);
+}
+
+// ---------------- Section structures ----------------
+
+struct StructureCase {
+  std::string name;
+  SectionStructure structure;
+};
+
+class SectionStructures : public ::testing::TestWithParam<StructureCase> {};
+
+TEST_P(SectionStructures, MissThenHit) {
+  Env env;
+  auto s = env.Make(GetParam().structure, 256, 16 * 256);
+  s->Access(env.clk, 1000, 8, false);
+  EXPECT_EQ(s->stats().lines.misses, 1u);
+  s->Access(env.clk, 1008, 8, false);  // same line
+  EXPECT_EQ(s->stats().lines.hits, 1u);
+  EXPECT_EQ(s->resident_lines(), 1u);
+}
+
+TEST_P(SectionStructures, MissCostsNetworkHitDoesNot) {
+  Env env;
+  auto s = env.Make(GetParam().structure, 256, 16 * 256);
+  const uint64_t t0 = env.clk.now_ns();
+  s->Access(env.clk, 0, 8, false);
+  const uint64_t miss_cost = env.clk.now_ns() - t0;
+  const uint64_t t1 = env.clk.now_ns();
+  s->Access(env.clk, 8, 8, false);
+  const uint64_t hit_cost = env.clk.now_ns() - t1;
+  EXPECT_GT(miss_cost, sim::CostModel::Default().rdma_rtt_ns);
+  EXPECT_LT(hit_cost, 100u);
+}
+
+TEST_P(SectionStructures, CapacityRespected) {
+  Env env;
+  auto s = env.Make(GetParam().structure, 256, 8 * 256);
+  for (uint64_t i = 0; i < 64; ++i) {
+    s->Access(env.clk, i * 256, 8, false);
+  }
+  EXPECT_LE(s->resident_lines(), 8u);
+  EXPECT_GT(s->stats().evictions, 0u);
+}
+
+TEST_P(SectionStructures, DirtyEvictionWritesBack) {
+  Env env;
+  auto s = env.Make(GetParam().structure, 256, 4 * 256);
+  for (uint64_t i = 0; i < 32; ++i) {
+    s->Access(env.clk, i * 256, 8, /*write=*/true);
+  }
+  EXPECT_GT(s->stats().writebacks, 0u);
+  EXPECT_GT(s->stats().bytes_written_back, 0u);
+}
+
+TEST_P(SectionStructures, ReleaseDropsResidencyAndFlushes) {
+  Env env;
+  auto s = env.Make(GetParam().structure, 256, 8 * 256);
+  s->Access(env.clk, 0, 8, true);
+  s->Access(env.clk, 256, 8, false);
+  s->Release(env.clk);
+  EXPECT_EQ(s->resident_lines(), 0u);
+  EXPECT_EQ(s->stats().writebacks, 1u);  // only the dirty line
+}
+
+TEST_P(SectionStructures, ReleaseDiscardSkipsWriteback) {
+  Env env;
+  auto s = env.Make(GetParam().structure, 256, 8 * 256);
+  s->Access(env.clk, 0, 8, true);
+  s->Release(env.clk, /*discard=*/true);
+  EXPECT_EQ(s->stats().writebacks, 0u);
+}
+
+TEST_P(SectionStructures, PrefetchHidesLatency) {
+  Env env;
+  auto s = env.Make(GetParam().structure, 256, 16 * 256);
+  s->Prefetch(env.clk, 0, 256);
+  EXPECT_EQ(s->stats().prefetches_issued, 1u);
+  // Let the prefetch land.
+  env.clk.Advance(sim::CostModel::Default().rdma_rtt_ns * 2);
+  const uint64_t t0 = env.clk.now_ns();
+  s->Access(env.clk, 0, 8, false);
+  EXPECT_LT(env.clk.now_ns() - t0, 100u);
+  EXPECT_EQ(s->stats().prefetched_hits, 1u);
+}
+
+TEST_P(SectionStructures, EarlyAccessToInflightPrefetchStalls) {
+  Env env;
+  auto s = env.Make(GetParam().structure, 256, 16 * 256);
+  s->Prefetch(env.clk, 0, 256);
+  const uint64_t t0 = env.clk.now_ns();
+  s->Access(env.clk, 0, 8, false);  // prefetch not landed yet
+  EXPECT_GT(env.clk.now_ns() - t0, 1000u);
+  EXPECT_GT(s->stats().prefetch_late_ns, 0u);
+}
+
+TEST_P(SectionStructures, FullLineWriteSkipsFetch) {
+  Env env;
+  auto s = env.Make(GetParam().structure, 256, 16 * 256);
+  const uint64_t bytes_before = env.net.stats().bytes_in;
+  s->Access(env.clk, 0, 8, /*write=*/true, /*full_line_write=*/true);
+  EXPECT_EQ(env.net.stats().bytes_in, bytes_before);  // no fetch
+  EXPECT_EQ(s->stats().lines.misses, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStructures, SectionStructures,
+    ::testing::Values(StructureCase{"direct", SectionStructure::kDirectMapped},
+                      StructureCase{"setassoc", SectionStructure::kSetAssociative},
+                      StructureCase{"fullassoc", SectionStructure::kFullyAssociative}),
+    [](const ::testing::TestParamInfo<StructureCase>& info) { return info.param.name; });
+
+// ---------------- Structure-specific behavior ----------------
+
+TEST(DirectMapped, ConflictingLinesEvictEachOther) {
+  Env env;
+  auto s = env.Make(SectionStructure::kDirectMapped, 256, 4 * 256);
+  // Lines 0 and 4 map to the same slot (4 slots).
+  s->Access(env.clk, 0, 8, false);
+  s->Access(env.clk, 4 * 256, 8, false);
+  s->Access(env.clk, 0, 8, false);
+  EXPECT_EQ(s->stats().lines.misses, 3u);  // ping-pong
+}
+
+TEST(SetAssociative, WaysAbsorbConflicts) {
+  Env env;
+  auto s = env.Make(SectionStructure::kSetAssociative, 256, 8 * 256, /*ways=*/4);
+  // 2 sets × 4 ways: lines 0,2,4,6 share set 0 and all fit.
+  for (const uint64_t line : {0, 2, 4, 6}) {
+    s->Access(env.clk, line * 256, 8, false);
+  }
+  for (const uint64_t line : {0, 2, 4, 6}) {
+    s->Access(env.clk, line * 256, 8, false);
+  }
+  EXPECT_EQ(s->stats().lines.misses, 4u);
+  EXPECT_EQ(s->stats().lines.hits, 4u);
+}
+
+TEST(FullyAssociative, NoConflictMissesUntilFull) {
+  Env env;
+  auto s = env.Make(SectionStructure::kFullyAssociative, 256, 8 * 256);
+  for (uint64_t i = 0; i < 8; ++i) {
+    s->Access(env.clk, i * 97 * 256, 8, false);  // scattered lines
+  }
+  for (uint64_t i = 0; i < 8; ++i) {
+    s->Access(env.clk, i * 97 * 256, 8, false);
+  }
+  EXPECT_EQ(s->stats().lines.misses, 8u);
+  EXPECT_EQ(s->stats().lines.hits, 8u);
+}
+
+TEST(LookupCosts, OrderedByStructure) {
+  Env env;
+  const auto& cost = sim::CostModel::Default();
+  EXPECT_LT(cost.cache_lookup_direct_ns, cost.cache_lookup_setassoc_ns);
+  EXPECT_LT(cost.cache_lookup_setassoc_ns, cost.cache_lookup_fullassoc_ns);
+}
+
+// ---------------- Hints, pins, promotion, batching ----------------
+
+TEST(EvictHints, HintedLinesEvictedFirst) {
+  Env env;
+  auto s = env.Make(SectionStructure::kFullyAssociative, 256, 4 * 256);
+  for (uint64_t i = 0; i < 4; ++i) {
+    s->Access(env.clk, i * 256, 8, false);
+  }
+  s->EvictHint(env.clk, 2 * 256, 1);  // mark line 2 evictable
+  s->Access(env.clk, 100 * 256, 8, false);  // needs a victim
+  EXPECT_EQ(s->stats().hint_evictions, 1u);
+  // Line 2 gone, others still resident.
+  const uint64_t hits_before = s->stats().lines.hits;
+  s->Access(env.clk, 0, 8, false);
+  s->Access(env.clk, 256, 8, false);
+  s->Access(env.clk, 3 * 256, 8, false);
+  EXPECT_EQ(s->stats().lines.hits, hits_before + 3);
+}
+
+TEST(EvictHints, HintFlushesDirtyLineAsynchronously) {
+  Env env;
+  auto s = env.Make(SectionStructure::kFullyAssociative, 256, 4 * 256);
+  s->Access(env.clk, 0, 8, /*write=*/true);
+  const uint64_t t0 = env.clk.now_ns();
+  s->EvictHint(env.clk, 0, 1);
+  // Async: only issue + post CPU on the critical path, no RTT.
+  EXPECT_LT(env.clk.now_ns() - t0, 1000u);
+  EXPECT_EQ(s->stats().writebacks, 1u);
+}
+
+TEST(Pinning, PinnedLineNeverEvicted) {
+  Env env;
+  auto s = env.Make(SectionStructure::kFullyAssociative, 256, 4 * 256);
+  s->Access(env.clk, 0, 8, false);
+  s->Pin(0, 8);
+  for (uint64_t i = 1; i < 40; ++i) {
+    s->Access(env.clk, i * 256, 8, false);
+  }
+  const uint64_t hits_before = s->stats().lines.hits;
+  s->Access(env.clk, 0, 8, false);
+  EXPECT_EQ(s->stats().lines.hits, hits_before + 1);  // still resident
+  s->Unpin(0, 8);
+}
+
+TEST(Promotion, PromotedHitIsNativeSpeed) {
+  Env env;
+  auto s = env.Make(SectionStructure::kDirectMapped, 256, 8 * 256);
+  s->Access(env.clk, 0, 8, false);  // bring the line in
+  const uint64_t t0 = env.clk.now_ns();
+  s->AccessPromoted(env.clk, 8, 8, false);
+  EXPECT_EQ(env.clk.now_ns() - t0, sim::CostModel::Default().native_access_ns);
+}
+
+TEST(Promotion, MisSpeculationDegradesToDemandMiss) {
+  Env env;
+  auto s = env.Make(SectionStructure::kDirectMapped, 256, 8 * 256);
+  const uint64_t t0 = env.clk.now_ns();
+  s->AccessPromoted(env.clk, 0, 8, false);  // line absent
+  EXPECT_GT(env.clk.now_ns() - t0, sim::CostModel::Default().rdma_rtt_ns);
+  EXPECT_EQ(s->stats().lines.misses, 1u);
+}
+
+TEST(Batching, OneGatherMessageForManyLines) {
+  Env env;
+  auto s = env.Make(SectionStructure::kFullyAssociative, 256, 32 * 256);
+  std::vector<std::pair<uint64_t, uint32_t>> accesses;
+  for (uint64_t i = 0; i < 8; ++i) {
+    accesses.push_back({i * 1024, 8});
+  }
+  s->AccessBatch(env.clk, accesses, false);
+  EXPECT_EQ(env.net.stats().messages, 1u);
+  EXPECT_EQ(s->stats().lines.misses, 8u);
+  // Repeat: all hits, no more traffic.
+  s->AccessBatch(env.clk, accesses, false);
+  EXPECT_EQ(env.net.stats().messages, 1u);
+}
+
+TEST(Batching, DuplicateAddressesDeduplicate) {
+  Env env;
+  auto s = env.Make(SectionStructure::kFullyAssociative, 256, 32 * 256);
+  // Three reads of the same element (the fused avg/min/max case).
+  std::vector<std::pair<uint64_t, uint32_t>> accesses = {{0, 8}, {0, 8}, {0, 8}};
+  s->AccessBatch(env.clk, accesses, false);
+  EXPECT_EQ(s->stats().lines.misses, 1u);
+  EXPECT_EQ(s->stats().lines.hits, 2u);
+  EXPECT_EQ(s->stats().bytes_fetched, 256u);
+}
+
+TEST(Selective, TwoSidedPartialFetchMovesFewerBytes) {
+  Env env;
+  SectionConfig config;
+  config.name = "partial";
+  config.structure = SectionStructure::kFullyAssociative;
+  config.line_bytes = 1024;
+  config.size_bytes = 16 * 1024;
+  config.comm = CommMethod::kTwoSided;
+  config.transfer_fraction = 0.125;
+  config.gather_fields = 2;
+  auto s = MakeSection(config, &env.net);
+  s->Access(env.clk, 0, 8, false);
+  EXPECT_EQ(env.net.stats().bytes_in, 128u);  // 1024 × 0.125
+  EXPECT_EQ(env.net.stats().two_sided_msgs, 1u);
+}
+
+// Regression: eviction pushes the victim slot onto the free list, but the
+// caller reuses that slot immediately — the stale entry must not be handed
+// out again while the slot holds a valid line (it once ping-ponged a single
+// slot while the other 4 K sat idle).
+TEST(FullyAssociative, EvictReuseDoesNotRecycleOneSlot) {
+  Env env;
+  auto s = env.Make(SectionStructure::kFullyAssociative, 256, 8 * 256);
+  for (uint64_t i = 0; i < 8; ++i) {
+    s->Access(env.clk, i * 256, 8, false);  // fill
+  }
+  // Three more lines: each eviction's slot is reused; the next insert must
+  // pick a *different* victim, not the stale free-list entry.
+  for (uint64_t i = 100; i < 103; ++i) {
+    s->Access(env.clk, i * 256, 8, false);
+  }
+  const uint64_t hits_before = s->stats().lines.hits;
+  for (uint64_t i = 100; i < 103; ++i) {
+    s->Access(env.clk, i * 256, 8, false);
+  }
+  EXPECT_EQ(s->stats().lines.hits, hits_before + 3);  // all three survived
+}
+
+// Regression: in-flight prefetched lines must not be chosen as victims
+// while consumed lines are available (soft pinning) — the approximate LRU
+// once starved the prefetch stream at full capacity.
+TEST(FullyAssociative, PrefetchedLinesSurviveUntilUse) {
+  Env env;
+  auto s = env.Make(SectionStructure::kFullyAssociative, 256, 16 * 256);
+  // Fill with demand lines and consume them.
+  for (uint64_t i = 0; i < 16; ++i) {
+    s->Access(env.clk, i * 256, 8, false);
+  }
+  // Prefetch 4 fresh lines into the full cache...
+  for (uint64_t i = 100; i < 104; ++i) {
+    s->Prefetch(env.clk, i * 256, 256);
+  }
+  // ...then cause more demand churn.
+  for (uint64_t i = 200; i < 208; ++i) {
+    s->Access(env.clk, i * 256, 8, false);
+  }
+  // The prefetched lines were never victims: all 4 hit.
+  env.clk.Advance(1'000'000);
+  const uint64_t pf_hits_before = s->stats().prefetched_hits;
+  for (uint64_t i = 100; i < 104; ++i) {
+    s->Access(env.clk, i * 256, 8, false);
+  }
+  EXPECT_EQ(s->stats().prefetched_hits, pf_hits_before + 4);
+  EXPECT_EQ(s->stats().soft_evictions, 0u);
+}
+
+// When *everything* evictable is an unconsumed prefetched line, eviction
+// must still make progress (soft pins are a preference, not a deadlock).
+TEST(FullyAssociative, AllSoftPinnedStillEvicts) {
+  Env env;
+  auto s = env.Make(SectionStructure::kFullyAssociative, 256, 4 * 256);
+  for (uint64_t i = 0; i < 4; ++i) {
+    s->Prefetch(env.clk, i * 256, 256);
+  }
+  s->Access(env.clk, 100 * 256, 8, false);  // needs a victim: must not abort
+  EXPECT_EQ(s->stats().soft_evictions, 1u);
+}
+
+// ---------------- SectionManager & RemotePtr ----------------
+
+TEST(RemotePtr, EncodeDecodeRoundTrip) {
+  const RemotePtr p = RemotePtr::Encode(7, 0x123456789ABCULL);
+  EXPECT_EQ(p.section(), 7u);
+  EXPECT_EQ(p.offset(), 0x123456789ABCULL);
+  EXPECT_FALSE(p.is_local());
+}
+
+TEST(RemotePtr, LocalPointersDecodeAsSectionZero) {
+  const RemotePtr p = RemotePtr::Local(0x7fff12345678ULL);
+  EXPECT_TRUE(p.is_local());
+  EXPECT_EQ(p.offset(), 0x7fff12345678ULL);
+}
+
+TEST(SectionManager, ResolveRoutesRanges) {
+  Env env;
+  auto swap = std::make_unique<SwapSection>(1 << 20, &env.net,
+                                            std::make_unique<NullPrefetcher>());
+  SectionManager mgr(std::move(swap));
+  SectionConfig config;
+  config.line_bytes = 256;
+  config.size_bytes = 4096;
+  const uint16_t id = mgr.AddSection(MakeSection(config, &env.net));
+  mgr.MapRange(0x10000, 0x1000, id);
+  EXPECT_EQ(mgr.Resolve(0x10000).section_id, id);
+  EXPECT_EQ(mgr.Resolve(0x10FFF).section_id, id);
+  EXPECT_EQ(mgr.Resolve(0x11000).section_id, 0u);  // swap
+  EXPECT_EQ(mgr.Resolve(0x0FFFF).section_id, 0u);
+  mgr.UnmapRange(0x10000);
+  EXPECT_EQ(mgr.Resolve(0x10000).section_id, 0u);
+}
+
+TEST(SectionManager, TotalLocalBytes) {
+  Env env;
+  auto swap = std::make_unique<SwapSection>(1 << 20, &env.net,
+                                            std::make_unique<NullPrefetcher>());
+  SectionManager mgr(std::move(swap));
+  SectionConfig config;
+  config.line_bytes = 256;
+  config.size_bytes = 4096;
+  mgr.AddSection(MakeSection(config, &env.net));
+  EXPECT_EQ(mgr.TotalLocalBytes(), (1u << 20) + 4096u);
+}
+
+}  // namespace
+}  // namespace mira::cache

@@ -1,0 +1,256 @@
+// Interpreter correctness: arithmetic, control flow, memory, calls,
+// batching, offload, and determinism.
+
+#include <gtest/gtest.h>
+
+#include "src/interp/interpreter.h"
+#include "src/ir/builder.h"
+#include "src/ir/verifier.h"
+#include "src/pipeline/world.h"
+
+namespace mira {
+namespace {
+
+using interp::Interpreter;
+using interp::PackF64;
+using interp::UnpackF64;
+using ir::FunctionBuilder;
+using ir::Local;
+using ir::Type;
+using ir::Value;
+using pipeline::MakeWorld;
+using pipeline::SystemKind;
+
+struct Env {
+  pipeline::World world = MakeWorld(SystemKind::kNative, 0);
+};
+
+TEST(Interp, ArithmeticAndLocals) {
+  ir::Module m;
+  FunctionBuilder f(&m, "main", {}, Type::kI64);
+  const Local acc = f.DeclLocal(Type::kI64);
+  f.StoreLocal(acc, f.ConstI(10));
+  const Value a = f.Mul(f.ConstI(6), f.ConstI(7));          // 42
+  const Value b = f.Sub(a, f.ConstI(2));                    // 40
+  const Value c = f.Div(b, f.ConstI(5));                    // 8
+  const Value d = f.Rem(c, f.ConstI(3));                    // 2
+  f.StoreLocal(acc, f.Add(f.LoadLocal(acc), d));            // 12
+  f.Return(f.LoadLocal(acc));
+  ASSERT_TRUE(ir::VerifyModule(m).ok());
+  Env env;
+  Interpreter interp(&m, env.world.backend.get());
+  auto r = interp.Run("main");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 12u);
+}
+
+TEST(Interp, FloatOps) {
+  ir::Module m;
+  FunctionBuilder f(&m, "main", {}, Type::kF64);
+  const Value x = f.Add(f.ConstF(1.5), f.ConstF(2.5));  // 4.0
+  const Value y = f.Unary(ir::OpKind::kSqrt, x);        // 2.0
+  f.Return(f.Mul(y, f.ConstF(3.0)));                    // 6.0
+  Env env;
+  Interpreter interp(&m, env.world.backend.get());
+  auto r = interp.Run("main");
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(UnpackF64(r.value()), 6.0);
+}
+
+TEST(Interp, ForLoopSum) {
+  ir::Module m;
+  FunctionBuilder f(&m, "main", {}, Type::kI64);
+  const Local acc = f.DeclLocal(Type::kI64);
+  f.StoreLocal(acc, f.ConstI(0));
+  f.For(f.ConstI(0), f.ConstI(100), f.ConstI(1), [&](Value i) {
+    f.StoreLocal(acc, f.Add(f.LoadLocal(acc), i));
+  });
+  f.Return(f.LoadLocal(acc));
+  Env env;
+  Interpreter interp(&m, env.world.backend.get());
+  EXPECT_EQ(interp.Run("main").value(), 4950u);
+}
+
+TEST(Interp, WhileLoop) {
+  ir::Module m;
+  FunctionBuilder f(&m, "main", {}, Type::kI64);
+  const Local x = f.DeclLocal(Type::kI64);
+  f.StoreLocal(x, f.ConstI(1));
+  f.While([&] { return f.CmpLt(f.LoadLocal(x), f.ConstI(1000)); },
+          [&] { f.StoreLocal(x, f.Mul(f.LoadLocal(x), f.ConstI(2))); });
+  f.Return(f.LoadLocal(x));
+  Env env;
+  Interpreter interp(&m, env.world.backend.get());
+  EXPECT_EQ(interp.Run("main").value(), 1024u);
+}
+
+TEST(Interp, IfElse) {
+  ir::Module m;
+  FunctionBuilder f(&m, "main", {}, Type::kI64);
+  const Local out = f.DeclLocal(Type::kI64);
+  f.If(f.CmpGt(f.ConstI(3), f.ConstI(5)), [&] { f.StoreLocal(out, f.ConstI(111)); },
+       [&] { f.StoreLocal(out, f.ConstI(222)); });
+  f.Return(f.LoadLocal(out));
+  Env env;
+  Interpreter interp(&m, env.world.backend.get());
+  EXPECT_EQ(interp.Run("main").value(), 222u);
+}
+
+TEST(Interp, MemoryRoundTrip) {
+  ir::Module m;
+  FunctionBuilder f(&m, "main", {}, Type::kI64);
+  const Value arr = f.Alloc(f.ConstI(1024), "a", 8);
+  f.For(f.ConstI(0), f.ConstI(128), f.ConstI(1), [&](Value i) {
+    f.Store(f.Index(arr, i, 8, 0), f.Mul(i, i), 8);
+  });
+  const Local acc = f.DeclLocal(Type::kI64);
+  f.StoreLocal(acc, f.ConstI(0));
+  f.For(f.ConstI(0), f.ConstI(128), f.ConstI(1), [&](Value i) {
+    f.StoreLocal(acc, f.Add(f.LoadLocal(acc), f.Load(f.Index(arr, i, 8, 0), 8, Type::kI64)));
+  });
+  f.Return(f.LoadLocal(acc));
+  Env env;
+  Interpreter interp(&m, env.world.backend.get());
+  // Σ i² for i<128 = 127*128*255/6
+  EXPECT_EQ(interp.Run("main").value(), 690880u);
+}
+
+TEST(Interp, SubByteWidthAccess) {
+  ir::Module m;
+  FunctionBuilder f(&m, "main", {}, Type::kI64);
+  const Value arr = f.Alloc(f.ConstI(64), "a", 1);
+  f.Store(f.Index(arr, f.ConstI(3), 1, 0), f.ConstI(0xAB), 1);
+  f.Return(f.Load(f.Index(arr, f.ConstI(3), 1, 0), 1, Type::kI64));
+  Env env;
+  Interpreter interp(&m, env.world.backend.get());
+  EXPECT_EQ(interp.Run("main").value(), 0xABu);
+}
+
+TEST(Interp, FunctionCallWithArgs) {
+  ir::Module m;
+  {
+    FunctionBuilder f(&m, "double_it", {Type::kI64}, Type::kI64);
+    f.Return(f.Mul(f.Arg(0), f.ConstI(2)));
+  }
+  {
+    FunctionBuilder f(&m, "main", {}, Type::kI64);
+    const Value r = f.Call("double_it", {f.ConstI(21)});
+    f.Return(r);
+  }
+  Env env;
+  Interpreter interp(&m, env.world.backend.get());
+  EXPECT_EQ(interp.Run("main").value(), 42u);
+}
+
+TEST(Interp, RandIsDeterministicPerSeed) {
+  ir::Module m;
+  FunctionBuilder f(&m, "main", {}, Type::kI64);
+  const Local acc = f.DeclLocal(Type::kI64);
+  f.StoreLocal(acc, f.ConstI(0));
+  f.For(f.ConstI(0), f.ConstI(64), f.ConstI(1), [&](Value) {
+    f.StoreLocal(acc, f.Add(f.LoadLocal(acc), f.Rand(f.ConstI(1000))));
+  });
+  f.Return(f.LoadLocal(acc));
+  Env e1, e2, e3;
+  interp::InterpOptions seeded;
+  seeded.seed = 7;
+  Interpreter i1(&m, e1.world.backend.get(), seeded);
+  Interpreter i2(&m, e2.world.backend.get(), seeded);
+  Interpreter i3(&m, e3.world.backend.get());  // default seed differs
+  const uint64_t a = i1.Run("main").value();
+  const uint64_t b = i2.Run("main").value();
+  const uint64_t c = i3.Run("main").value();
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(Interp, OffloadCallMatchesLocalResult) {
+  // The same function called plainly vs offloaded must compute the same
+  // value; offload must also charge RPC time on a Mira backend.
+  auto build = [](bool offload) {
+    auto m = std::make_unique<ir::Module>();
+    {
+      FunctionBuilder f(m.get(), "kernel", {Type::kPtr, Type::kI64}, Type::kI64);
+      const Value arr = f.Arg(0);
+      const Value n = f.Arg(1);
+      const Local acc = f.DeclLocal(Type::kI64);
+      f.StoreLocal(acc, f.ConstI(0));
+      f.For(f.ConstI(0), n, f.ConstI(1), [&](Value i) {
+        f.StoreLocal(acc,
+                     f.Add(f.LoadLocal(acc), f.Load(f.Index(arr, i, 8, 0), 8, Type::kI64)));
+      });
+      f.Return(f.LoadLocal(acc));
+    }
+    {
+      FunctionBuilder f(m.get(), "main", {}, Type::kI64);
+      const Value arr = f.Alloc(f.ConstI(256 * 8), "a", 8);
+      f.For(f.ConstI(0), f.ConstI(256), f.ConstI(1), [&](Value i) {
+        f.Store(f.Index(arr, i, 8, 0), i, 8);
+      });
+      f.Return(f.Call("kernel", {arr, f.ConstI(256)}));
+    }
+    if (offload) {
+      // Rewrite the call by hand (the pass does the same thing).
+      ir::WalkInstrs(m->FindFunction("main")->body, [&](ir::Instr& instr) {
+        if (instr.kind == ir::OpKind::kCall && instr.callee == 0) {
+          instr.kind = ir::OpKind::kOffloadCall;
+        }
+      });
+    }
+    return m;
+  };
+  auto plain = build(false);
+  auto off = build(true);
+  auto w1 = MakeWorld(SystemKind::kMira, 1 << 20, {});
+  auto w2 = MakeWorld(SystemKind::kMira, 1 << 20, {});
+  Interpreter i1(plain.get(), w1.backend.get());
+  Interpreter i2(off.get(), w2.backend.get());
+  EXPECT_EQ(i1.Run("main").value(), i2.Run("main").value());
+  EXPECT_EQ(i1.Run("main").value(), 256u * 255 / 2);
+  // Each world pays one allocator-refill RPC; only the offloaded variant
+  // adds the function-call RPC on top.
+  EXPECT_EQ(w2.net->stats().rpcs, w1.net->stats().rpcs + 1);
+}
+
+TEST(Interp, ProfilingLedgerTracksFunctions) {
+  ir::Module m;
+  {
+    FunctionBuilder f(&m, "leaf", {}, Type::kI64);
+    f.Return(f.ConstI(1));
+  }
+  {
+    FunctionBuilder f(&m, "main", {}, Type::kI64);
+    const Local acc = f.DeclLocal(Type::kI64);
+    f.StoreLocal(acc, f.ConstI(0));
+    f.For(f.ConstI(0), f.ConstI(10), f.ConstI(1), [&](Value) {
+      f.StoreLocal(acc, f.Add(f.LoadLocal(acc), f.Call("leaf", {})));
+    });
+    f.Return(f.LoadLocal(acc));
+  }
+  Env env;
+  Interpreter interp(&m, env.world.backend.get());
+  EXPECT_EQ(interp.Run("main").value(), 10u);
+  const auto& prof = interp.profile();
+  ASSERT_TRUE(prof.funcs.count("leaf"));
+  EXPECT_EQ(prof.funcs.at("leaf").calls, 10u);
+  EXPECT_EQ(prof.funcs.at("main").calls, 1u);
+  EXPECT_GT(prof.total_ns, 0u);
+}
+
+TEST(Interp, MaxInstrBudgetAborts) {
+  ir::Module m;
+  FunctionBuilder f(&m, "main", {}, Type::kI64);
+  const Local x = f.DeclLocal(Type::kI64);
+  f.StoreLocal(x, f.ConstI(0));
+  f.While([&] { return f.ConstI(1); },
+          [&] { f.StoreLocal(x, f.Add(f.LoadLocal(x), f.ConstI(1))); });
+  f.Return(f.LoadLocal(x));
+  Env env;
+  interp::InterpOptions opts;
+  opts.max_instrs = 10'000;
+  Interpreter interp(&m, env.world.backend.get(), opts);
+  EXPECT_FALSE(interp.Run("main").ok());
+}
+
+}  // namespace
+}  // namespace mira

@@ -1,0 +1,181 @@
+// IR construction, printing, verification, cloning.
+
+#include <gtest/gtest.h>
+
+#include "src/ir/builder.h"
+#include "src/ir/printer.h"
+#include "src/ir/verifier.h"
+
+namespace mira::ir {
+namespace {
+
+TEST(Builder, SimpleFunctionShape) {
+  Module m;
+  FunctionBuilder f(&m, "add2", {Type::kI64, Type::kI64}, Type::kI64);
+  f.Return(f.Add(f.Arg(0), f.Arg(1)));
+  ASSERT_EQ(m.functions.size(), 1u);
+  const Function& func = *m.functions[0];
+  EXPECT_EQ(func.name, "add2");
+  EXPECT_EQ(func.params.size(), 2u);
+  EXPECT_EQ(func.body.body.size(), 2u);  // add + return
+  EXPECT_TRUE(VerifyModule(m).ok());
+}
+
+TEST(Builder, NestedControlFlowVerifies) {
+  Module m;
+  FunctionBuilder f(&m, "main", {}, Type::kI64);
+  const Local acc = f.DeclLocal(Type::kI64);
+  f.StoreLocal(acc, f.ConstI(0));
+  f.For(f.ConstI(0), f.ConstI(10), f.ConstI(1), [&](Value i) {
+    f.If(f.CmpLt(i, f.ConstI(5)),
+         [&] { f.StoreLocal(acc, f.Add(f.LoadLocal(acc), i)); },
+         [&] { f.StoreLocal(acc, f.Sub(f.LoadLocal(acc), i)); });
+    f.For(f.ConstI(0), i, f.ConstI(1),
+          [&](Value j) { f.StoreLocal(acc, f.Add(f.LoadLocal(acc), j)); });
+  });
+  f.Return(f.LoadLocal(acc));
+  EXPECT_TRUE(VerifyModule(m).ok());
+}
+
+TEST(Builder, MemoryOpsCarryAttributes) {
+  Module m;
+  FunctionBuilder f(&m, "main", {}, Type::kVoid);
+  const Value p = f.Alloc(f.ConstI(4096), "buf", 16);
+  const Value addr = f.Index(p, f.ConstI(3), 16, 8);
+  f.Store(addr, f.ConstI(1), 8);
+  f.Return();
+  EXPECT_TRUE(VerifyModule(m).ok());
+  const Function& func = *m.functions[0];
+  const Instr* alloc = nullptr;
+  const Instr* index = nullptr;
+  WalkInstrs(func.body, [&](const Instr& i) {
+    if (i.kind == OpKind::kAlloc) {
+      alloc = &i;
+    }
+    if (i.kind == OpKind::kIndex) {
+      index = &i;
+    }
+  });
+  ASSERT_NE(alloc, nullptr);
+  EXPECT_EQ(alloc->s_attr, "buf");
+  EXPECT_EQ(alloc->i_attr, 16);
+  ASSERT_NE(index, nullptr);
+  EXPECT_EQ(index->i_attr, 16);
+  EXPECT_EQ(index->i_attr2, 8);
+}
+
+TEST(Printer, ShowsRmemDialectMarkers) {
+  Module m;
+  FunctionBuilder f(&m, "main", {}, Type::kVoid);
+  const Value p = f.Alloc(f.ConstI(64), "x", 8);
+  const Value v = f.Load(f.Index(p, f.ConstI(0), 8, 0), 8, Type::kI64);
+  (void)v;
+  f.Return();
+  // Convert the load to an rmem op with attributes by hand.
+  WalkInstrs(m.functions[0]->body, [&](Instr& i) {
+    if (i.kind == OpKind::kLoad) {
+      i.kind = OpKind::kRmemLoad;
+      i.mem.promoted = true;
+      i.mem.batch_group = 3;
+    }
+  });
+  const std::string text = PrintModule(m);
+  EXPECT_NE(text.find("rmem.load"), std::string::npos);
+  EXPECT_NE(text.find("promoted"), std::string::npos);
+  EXPECT_NE(text.find("batch=3"), std::string::npos);
+  EXPECT_NE(text.find("remotable.alloc"), std::string::npos);
+}
+
+TEST(Verifier, CatchesUseBeforeDef) {
+  Module m;
+  FunctionBuilder f(&m, "main", {}, Type::kI64);
+  f.Return(f.ConstI(1));
+  // Corrupt: make return reference an undefined value.
+  m.functions[0]->body.body.back().operands[0] = 999;
+  EXPECT_FALSE(VerifyModule(m).ok());
+}
+
+TEST(Verifier, CatchesBadOperandCount) {
+  Module m;
+  FunctionBuilder f(&m, "main", {}, Type::kVoid);
+  const Value a = f.ConstI(1);
+  const Value b = f.Add(a, a);
+  (void)b;
+  f.Return();
+  m.functions[0]->body.body[1].operands.pop_back();
+  EXPECT_FALSE(VerifyModule(m).ok());
+}
+
+TEST(Verifier, CatchesAllocWithoutLabel) {
+  Module m;
+  FunctionBuilder f(&m, "main", {}, Type::kVoid);
+  f.Alloc(f.ConstI(64), "x", 8);
+  f.Return();
+  m.functions[0]->body.body[1].s_attr.clear();
+  EXPECT_FALSE(VerifyModule(m).ok());
+}
+
+TEST(Verifier, CatchesBadCallee) {
+  Module m;
+  FunctionBuilder f(&m, "callee", {}, Type::kVoid);
+  f.Return();
+  FunctionBuilder g(&m, "main", {}, Type::kVoid);
+  g.Call("callee", {});
+  g.Return();
+  WalkInstrs(m.functions[1]->body, [&](Instr& i) {
+    if (i.kind == OpKind::kCall) {
+      i.callee = 42;
+    }
+  });
+  EXPECT_FALSE(VerifyModule(m).ok());
+}
+
+TEST(Verifier, CatchesZeroByteLoad) {
+  Module m;
+  FunctionBuilder f(&m, "main", {}, Type::kVoid);
+  const Value p = f.Alloc(f.ConstI(64), "x", 8);
+  f.Load(p, 8, Type::kI64);
+  f.Return();
+  WalkInstrs(m.functions[0]->body, [&](Instr& i) {
+    if (i.kind == OpKind::kLoad) {
+      i.mem.bytes = 0;
+    }
+  });
+  EXPECT_FALSE(VerifyModule(m).ok());
+}
+
+TEST(Module, CloneIsDeepAndIndependent) {
+  Module m;
+  FunctionBuilder f(&m, "main", {}, Type::kI64);
+  f.Return(f.ConstI(7));
+  Module copy = m.Clone();
+  copy.functions[0]->body.body[0].i_attr = 9;
+  EXPECT_EQ(m.functions[0]->body.body[0].i_attr, 7);
+  EXPECT_EQ(copy.functions[0]->body.body[0].i_attr, 9);
+  EXPECT_EQ(m.InstrCount(), copy.InstrCount());
+}
+
+TEST(Module, InstrCountRecursesIntoRegions) {
+  Module m;
+  FunctionBuilder f(&m, "main", {}, Type::kVoid);
+  f.For(f.ConstI(0), f.ConstI(10), f.ConstI(1), [&](Value i) {
+    f.If(f.CmpLt(i, f.ConstI(5)), [&] { f.ConstI(1); });
+  });
+  f.Return();
+  // consts(3) + for + cmp-const + cmp + if + inner const + return = 9
+  EXPECT_EQ(m.InstrCount(), 9u);
+}
+
+TEST(Module, FindFunctionAndIndex) {
+  Module m;
+  FunctionBuilder f(&m, "a", {}, Type::kVoid);
+  f.Return();
+  FunctionBuilder g(&m, "b", {}, Type::kVoid);
+  g.Return();
+  EXPECT_NE(m.FindFunction("a"), nullptr);
+  EXPECT_EQ(m.FindFunction("zzz"), nullptr);
+  EXPECT_EQ(m.FunctionIndex("b"), 1u);
+}
+
+}  // namespace
+}  // namespace mira::ir

@@ -1,0 +1,317 @@
+// Transformation passes: conversion, prefetch/evict insertion, fusion +
+// batching, promotion, offload extraction — including the key invariant
+// that every transformed module still verifies and computes the same
+// result as the original.
+
+#include <gtest/gtest.h>
+
+#include "src/analysis/access_analysis.h"
+#include "src/interp/interpreter.h"
+#include "src/ir/builder.h"
+#include "src/ir/verifier.h"
+#include "src/passes/convert.h"
+#include "src/passes/fuse.h"
+#include "src/passes/prefetch_evict.h"
+#include "src/pipeline/optimizer.h"
+#include "src/pipeline/world.h"
+#include "src/workloads/workloads.h"
+
+namespace mira::passes {
+namespace {
+
+using ir::FunctionBuilder;
+using ir::Local;
+using ir::Module;
+using ir::OpKind;
+using ir::Type;
+using ir::Value;
+
+int CountOps(const Module& m, OpKind kind) {
+  int n = 0;
+  for (const auto& f : m.functions) {
+    ir::WalkInstrs(f->body, [&](const ir::Instr& i) { n += i.kind == kind; });
+  }
+  return n;
+}
+
+uint64_t Execute(const Module& m, uint64_t local_bytes = 1 << 20) {
+  auto world = pipeline::MakeWorld(pipeline::SystemKind::kMira, local_bytes, {});
+  interp::Interpreter interp(&m, world.backend.get());
+  auto r = interp.Run("main");
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.ok() ? r.value() : ~0ULL;
+}
+
+std::unique_ptr<Module> SumProgram() {
+  auto m = std::make_unique<Module>();
+  FunctionBuilder f(m.get(), "main", {}, Type::kI64);
+  const Value a = f.Alloc(f.ConstI(4096), "a", 8);
+  f.For(f.ConstI(0), f.ConstI(512), f.ConstI(1),
+        [&](Value i) { f.Store(f.Index(a, i, 8, 0), f.Mul(i, f.ConstI(3)), 8); });
+  const Local acc = f.DeclLocal(Type::kI64);
+  f.StoreLocal(acc, f.ConstI(0));
+  f.For(f.ConstI(0), f.ConstI(512), f.ConstI(1), [&](Value i) {
+    f.StoreLocal(acc, f.Add(f.LoadLocal(acc), f.Load(f.Index(a, i, 8, 0), 8, Type::kI64)));
+  });
+  f.Return(f.LoadLocal(acc));
+  return m;
+}
+
+TEST(RemotableConversion, ConvertsOnlySelectedObjects) {
+  auto m = SumProgram();
+  analysis::AccessAnalysis access(m.get());
+  access.Run();
+  const int converted = RemotableConversion(m.get(), access, {"a"});
+  EXPECT_EQ(converted, 2);  // one store + one load
+  EXPECT_EQ(CountOps(*m, OpKind::kRmemLoad), 1);
+  EXPECT_EQ(CountOps(*m, OpKind::kRmemStore), 1);
+  EXPECT_EQ(CountOps(*m, OpKind::kLoad), 0);
+  EXPECT_TRUE(ir::VerifyModule(*m).ok());
+}
+
+TEST(RemotableConversion, NoSelectionNoChange) {
+  auto m = SumProgram();
+  analysis::AccessAnalysis access(m.get());
+  access.Run();
+  EXPECT_EQ(RemotableConversion(m.get(), access, {"other"}), 0);
+  EXPECT_EQ(CountOps(*m, OpKind::kRmemLoad), 0);
+}
+
+TEST(PrefetchInsertion, SequentialLoopGetsGuardedPrefetchAndPrologue) {
+  auto m = SumProgram();
+  analysis::AccessAnalysis access(m.get());
+  access.Run();
+  RemotableConversion(m.get(), access, {"a"});
+  analysis::AccessAnalysis access2(m.get());
+  access2.Run();
+  CompileInfoMap info;
+  info["a"] = ObjectCompileInfo{analysis::AccessPattern::kSequential, 512, 8, 2, false, false};
+  const int inserted = InsertPrefetches(m.get(), access2, info);
+  EXPECT_GE(inserted, 1);
+  EXPECT_GE(CountOps(*m, OpKind::kPrefetch), 2);  // prologue + in-loop
+  EXPECT_TRUE(ir::VerifyModule(*m).ok()) << ir::VerifyModule(*m).ToString();
+}
+
+TEST(PrefetchInsertion, PreservesSemantics) {
+  auto plain = SumProgram();
+  const uint64_t expected = Execute(*plain);
+  auto m = SumProgram();
+  analysis::AccessAnalysis access(m.get());
+  access.Run();
+  RemotableConversion(m.get(), access, {"a"});
+  analysis::AccessAnalysis access2(m.get());
+  access2.Run();
+  CompileInfoMap info;
+  info["a"] = ObjectCompileInfo{analysis::AccessPattern::kSequential, 512, 8, 2, true, true};
+  InsertPrefetches(m.get(), access2, info);
+  analysis::AccessAnalysis access3(m.get());
+  access3.Run();
+  InsertEvictionHints(m.get(), access3, info);
+  EXPECT_EQ(Execute(*m), expected);
+}
+
+TEST(EvictHints, InsertedAtLineBoundaries) {
+  auto m = SumProgram();
+  analysis::AccessAnalysis access(m.get());
+  access.Run();
+  RemotableConversion(m.get(), access, {"a"});
+  analysis::AccessAnalysis access2(m.get());
+  access2.Run();
+  CompileInfoMap info;
+  info["a"] = ObjectCompileInfo{analysis::AccessPattern::kSequential, 512, 8, 0, true, false};
+  const int inserted = InsertEvictionHints(m.get(), access2, info);
+  EXPECT_GE(inserted, 1);
+  EXPECT_GE(CountOps(*m, OpKind::kEvictHint), 1);
+  EXPECT_TRUE(ir::VerifyModule(*m).ok());
+}
+
+TEST(LifetimeEnds, InsertedAfterLastUse) {
+  auto m = std::make_unique<Module>();
+  {
+    FunctionBuilder f(m.get(), "use", {Type::kPtr});
+    f.Load(f.Index(f.Arg(0), f.ConstI(0), 8, 0), 8, Type::kI64);
+    f.Return();
+  }
+  FunctionBuilder f(m.get(), "main", {}, Type::kVoid);
+  const Value a = f.Alloc(f.ConstI(1024), "a", 8);
+  const Value b = f.Alloc(f.ConstI(1024), "b", 8);
+  f.Call("use", {a});
+  f.Call("use", {b});
+  f.Return();
+  analysis::AccessAnalysis access(m.get());
+  access.Run();
+  analysis::LifetimeAnalysis lifetime(m.get(), &access);
+  lifetime.Run("main");
+  const int inserted = InsertLifetimeEnds(m.get(), "main", lifetime, {"a", "b"});
+  EXPECT_EQ(inserted, 2);  // `a` after its call, `b` before the return
+  EXPECT_EQ(CountOps(*m, OpKind::kLifetimeEnd), 2);
+  EXPECT_TRUE(ir::VerifyModule(*m).ok());
+}
+
+std::unique_ptr<Module> ThreeLoopProgram() {
+  // The Fig 23 shape: three loops over one vector.
+  auto m = std::make_unique<Module>();
+  FunctionBuilder f(m.get(), "main", {}, Type::kI64);
+  const Value a = f.Alloc(f.ConstI(8192), "v", 8);
+  const Value n = f.ConstI(1024);
+  f.For(f.ConstI(0), n, f.ConstI(1),
+        [&](Value i) { f.Store(f.Index(a, i, 8, 0), i, 8); });
+  const Local s = f.DeclLocal(Type::kI64);
+  const Local mn = f.DeclLocal(Type::kI64);
+  const Local mx = f.DeclLocal(Type::kI64);
+  f.StoreLocal(s, f.ConstI(0));
+  f.StoreLocal(mn, f.ConstI(1 << 30));
+  f.StoreLocal(mx, f.ConstI(-(1 << 30)));
+  f.For(f.ConstI(0), n, f.ConstI(1), [&](Value i) {
+    f.StoreLocal(s, f.Add(f.LoadLocal(s), f.Load(f.Index(a, i, 8, 0), 8, Type::kI64)));
+  });
+  f.For(f.ConstI(0), n, f.ConstI(1), [&](Value i) {
+    f.StoreLocal(mn, f.Min(f.LoadLocal(mn), f.Load(f.Index(a, i, 8, 0), 8, Type::kI64)));
+  });
+  f.For(f.ConstI(0), n, f.ConstI(1), [&](Value i) {
+    f.StoreLocal(mx, f.Max(f.LoadLocal(mx), f.Load(f.Index(a, i, 8, 0), 8, Type::kI64)));
+  });
+  f.Return(f.Add(f.LoadLocal(s), f.Add(f.LoadLocal(mn), f.LoadLocal(mx))));
+  return m;
+}
+
+int CountForLoops(const Module& m) { return CountOps(m, OpKind::kFor); }
+
+TEST(Fusion, AdjacentCompatibleLoopsFuse) {
+  auto m = ThreeLoopProgram();
+  analysis::AccessAnalysis access(m.get());
+  access.Run();
+  RemotableConversion(m.get(), access, {"v"});
+  EXPECT_EQ(CountForLoops(*m), 4);
+  const int fused = FuseAndBatchLoops(m.get());
+  EXPECT_EQ(fused, 2);  // three read loops → one
+  EXPECT_EQ(CountForLoops(*m), 2);  // init (stores, unfusable) + fused reads
+  EXPECT_TRUE(ir::VerifyModule(*m).ok()) << ir::VerifyModule(*m).ToString();
+}
+
+TEST(Fusion, TagsBatchGroups) {
+  auto m = ThreeLoopProgram();
+  analysis::AccessAnalysis access(m.get());
+  access.Run();
+  RemotableConversion(m.get(), access, {"v"});
+  FuseAndBatchLoops(m.get());
+  int tagged = 0;
+  for (const auto& f : m->functions) {
+    ir::WalkInstrs(f->body, [&](const ir::Instr& i) {
+      tagged += i.kind == OpKind::kRmemLoad && i.mem.batch_group >= 0;
+    });
+  }
+  EXPECT_EQ(tagged, 3);
+}
+
+TEST(Fusion, PreservesSemantics) {
+  auto plain = ThreeLoopProgram();
+  const uint64_t expected = Execute(*plain);
+  auto m = ThreeLoopProgram();
+  analysis::AccessAnalysis access(m.get());
+  access.Run();
+  RemotableConversion(m.get(), access, {"v"});
+  FuseAndBatchLoops(m.get());
+  EXPECT_EQ(Execute(*m), expected);
+}
+
+TEST(Fusion, RefusesMismatchedBounds) {
+  auto m = std::make_unique<Module>();
+  FunctionBuilder f(m.get(), "main", {}, Type::kVoid);
+  const Value a = f.Alloc(f.ConstI(8192), "v", 8);
+  f.For(f.ConstI(0), f.ConstI(100), f.ConstI(1),
+        [&](Value i) { f.Load(f.Index(a, i, 8, 0), 8, Type::kI64); });
+  f.For(f.ConstI(0), f.ConstI(200), f.ConstI(1),
+        [&](Value i) { f.Load(f.Index(a, i, 8, 0), 8, Type::kI64); });
+  f.Return();
+  EXPECT_EQ(FuseAndBatchLoops(m.get()), 0);
+  EXPECT_EQ(CountForLoops(*m), 2);
+}
+
+TEST(Promotion, MarksSequentialRmemAccesses) {
+  auto m = SumProgram();
+  analysis::AccessAnalysis access(m.get());
+  access.Run();
+  RemotableConversion(m.get(), access, {"a"});
+  analysis::AccessAnalysis access2(m.get());
+  access2.Run();
+  CompileInfoMap info;
+  info["a"] = ObjectCompileInfo{analysis::AccessPattern::kSequential, 512, 8, 2, false, true};
+  const int promoted = PromoteNativeLoads(m.get(), access2, info);
+  EXPECT_GE(promoted, 2);
+  // The init loop's sequential stores also become full-line writes.
+  bool full_line = false;
+  for (const auto& f : m->functions) {
+    ir::WalkInstrs(f->body, [&](const ir::Instr& i) {
+      full_line |= i.kind == OpKind::kRmemStore && i.mem.full_line_write;
+    });
+  }
+  EXPECT_TRUE(full_line);
+}
+
+TEST(Promotion, SkipsWhenLoopAlsoReadsObject) {
+  // read-modify-write loop: stores must NOT be full-line (fetch needed).
+  auto m = std::make_unique<Module>();
+  FunctionBuilder f(m.get(), "main", {}, Type::kVoid);
+  const Value a = f.Alloc(f.ConstI(4096), "a", 8);
+  f.For(f.ConstI(0), f.ConstI(512), f.ConstI(1), [&](Value i) {
+    const Value p = f.Index(a, i, 8, 0);
+    f.Store(p, f.Add(f.Load(p, 8, Type::kI64), f.ConstI(1)), 8);
+  });
+  f.Return();
+  analysis::AccessAnalysis access(m.get());
+  access.Run();
+  RemotableConversion(m.get(), access, {"a"});
+  analysis::AccessAnalysis access2(m.get());
+  access2.Run();
+  CompileInfoMap info;
+  info["a"] = ObjectCompileInfo{analysis::AccessPattern::kSequential, 512, 8, 0, false, true};
+  PromoteNativeLoads(m.get(), access2, info);
+  for (const auto& fn : m->functions) {
+    ir::WalkInstrs(fn->body, [&](const ir::Instr& i) {
+      if (i.kind == OpKind::kRmemStore) {
+        EXPECT_FALSE(i.mem.full_line_write);
+      }
+    });
+  }
+}
+
+TEST(Offload, ExtractionRewritesCallsAndMarksRemotable) {
+  auto m = std::make_unique<Module>();
+  {
+    FunctionBuilder f(m.get(), "kernel", {Type::kPtr}, Type::kI64);
+    f.Return(f.Load(f.Index(f.Arg(0), f.ConstI(0), 8, 0), 8, Type::kI64));
+  }
+  FunctionBuilder f(m.get(), "main", {}, Type::kI64);
+  const Value a = f.Alloc(f.ConstI(64), "a", 8);
+  f.Store(f.Index(a, f.ConstI(0), 8, 0), f.ConstI(55), 8);
+  f.Return(f.Call("kernel", {a}));
+  const uint64_t expected = Execute(*m);
+  const int count = OffloadExtraction(m.get(), {"kernel"});
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(m->FindFunction("kernel")->remotable);
+  EXPECT_EQ(CountOps(*m, OpKind::kOffloadCall), 1);
+  EXPECT_TRUE(ir::VerifyModule(*m).ok());
+  EXPECT_EQ(Execute(*m), expected);
+  EXPECT_EQ(expected, 55u);
+}
+
+TEST(EndToEnd, FullPassStackPreservesWorkloadResults) {
+  // The strongest property: a fully optimized module computes exactly what
+  // the unoptimized one computes, for a real workload.
+  const auto w = workloads::BuildGraphTraversal(
+      workloads::GraphParams{.num_edges = 5000, .num_nodes = 1200, .epochs = 2});
+  const uint64_t expected = Execute(*w.module, w.footprint_bytes);
+  pipeline::OptimizeOptions opts;
+  opts.local_bytes = w.footprint_bytes / 2;
+  opts.max_iterations = 2;
+  pipeline::IterativeOptimizer optimizer(w.module.get(), opts);
+  auto compiled = optimizer.Optimize();
+  auto world = pipeline::MakeWorld(pipeline::SystemKind::kMira, opts.local_bytes,
+                                   compiled.plan);
+  interp::Interpreter interp(&compiled.module, world.backend.get());
+  EXPECT_EQ(interp.Run("main").value(), expected);
+}
+
+}  // namespace
+}  // namespace mira::passes

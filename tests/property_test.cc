@@ -1,0 +1,201 @@
+// Property-based tests: invariants that must hold for arbitrary access
+// traces, section geometries, and schedules.
+
+#include <gtest/gtest.h>
+
+#include "src/cache/section.h"
+#include "src/cache/section_manager.h"
+#include "src/cache/swap_section.h"
+#include "src/farmem/far_memory_node.h"
+#include "src/sim/mt_scheduler.h"
+#include "src/support/rng.h"
+
+namespace mira {
+namespace {
+
+struct TraceCase {
+  std::string name;
+  cache::SectionStructure structure;
+  uint32_t line_bytes;
+  uint32_t lines;
+  uint64_t seed;
+};
+
+class SectionTraceProperties : public ::testing::TestWithParam<TraceCase> {
+ protected:
+  struct Env {
+    farmem::FarMemoryNode node;
+    net::Transport net{&node, sim::CostModel::Default()};
+    sim::SimClock clk;
+  };
+
+  // Replays a pseudo-random mixed trace (reads, writes, prefetches, hints)
+  // and returns the final stats + clock.
+  static std::pair<cache::SectionStats, uint64_t> Replay(const TraceCase& c, Env& env) {
+    cache::SectionConfig config;
+    config.name = c.name;
+    config.structure = c.structure;
+    config.line_bytes = c.line_bytes;
+    config.size_bytes = static_cast<uint64_t>(c.line_bytes) * c.lines;
+    config.ways = 4;
+    auto section = cache::MakeSection(config, &env.net);
+    support::Rng rng(c.seed);
+    const uint64_t space = static_cast<uint64_t>(c.line_bytes) * c.lines * 16;
+    for (int i = 0; i < 3000; ++i) {
+      const uint64_t addr = rng.NextBelow(space);
+      switch (rng.NextBelow(10)) {
+        case 0:
+          section->Prefetch(env.clk, addr, 8);
+          break;
+        case 1:
+          section->EvictHint(env.clk, addr, 8);
+          break;
+        case 2:
+          section->Access(env.clk, addr, 8, /*write=*/true);
+          break;
+        default:
+          section->Access(env.clk, addr, 8, /*write=*/false);
+          break;
+      }
+      EXPECT_LE(section->resident_lines(), c.lines) << "capacity violated at step " << i;
+    }
+    auto result = std::make_pair(section->stats(), env.clk.now_ns());
+    section->Release(env.clk);
+    EXPECT_EQ(section->resident_lines(), 0u);
+    return result;
+  }
+};
+
+TEST_P(SectionTraceProperties, CapacityNeverExceededAndReleaseEmpties) {
+  Env env;
+  Replay(GetParam(), env);
+}
+
+TEST_P(SectionTraceProperties, DeterministicReplay) {
+  Env e1, e2;
+  const auto [s1, t1] = Replay(GetParam(), e1);
+  const auto [s2, t2] = Replay(GetParam(), e2);
+  EXPECT_EQ(t1, t2);
+  EXPECT_EQ(s1.lines.hits, s2.lines.hits);
+  EXPECT_EQ(s1.lines.misses, s2.lines.misses);
+  EXPECT_EQ(s1.evictions, s2.evictions);
+  EXPECT_EQ(s1.writebacks, s2.writebacks);
+  EXPECT_EQ(s1.bytes_fetched, s2.bytes_fetched);
+}
+
+TEST_P(SectionTraceProperties, AccountingConsistent) {
+  Env env;
+  const auto [stats, total_ns] = Replay(GetParam(), env);
+  // Every demand miss and prefetch fetched exactly one line (one-sided,
+  // whole lines; no full-line writes in this trace).
+  EXPECT_EQ(stats.bytes_fetched,
+            (stats.lines.misses + stats.prefetches_issued) *
+                static_cast<uint64_t>(GetParam().line_bytes));
+  // Time and overhead are sane: overhead is bounded by elapsed time.
+  EXPECT_LE(stats.runtime_ns, total_ns);
+  EXPECT_LE(stats.stall_ns, total_ns);
+  // Evictions never exceed insertions.
+  EXPECT_LE(stats.evictions, stats.lines.misses + stats.prefetches_issued);
+}
+
+std::vector<TraceCase> MakeCases() {
+  std::vector<TraceCase> cases;
+  int idx = 0;
+  for (const auto structure :
+       {cache::SectionStructure::kDirectMapped, cache::SectionStructure::kSetAssociative,
+        cache::SectionStructure::kFullyAssociative}) {
+    for (const uint32_t line : {64u, 1024u}) {
+      for (const uint64_t seed : {1ULL, 77ULL}) {
+        const char* sname = structure == cache::SectionStructure::kDirectMapped ? "direct"
+                            : structure == cache::SectionStructure::kSetAssociative
+                                ? "setassoc"
+                                : "fullassoc";
+        cases.push_back(TraceCase{std::string(sname) + "_line" + std::to_string(line) +
+                                      "_seed" + std::to_string(seed),
+                                  structure, line, 32, seed});
+        ++idx;
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomTraces, SectionTraceProperties,
+                         ::testing::ValuesIn(MakeCases()),
+                         [](const ::testing::TestParamInfo<TraceCase>& info) {
+                           return info.param.name;
+                         });
+
+TEST(SwapTraceProperties, DeterministicUnderRandomTraffic) {
+  auto run = [] {
+    farmem::FarMemoryNode node;
+    net::Transport net(&node, sim::CostModel::Default());
+    sim::SimClock clk;
+    cache::SwapSection swap(32 * 4096, &net,
+                            std::make_unique<cache::ReadaheadPrefetcher>());
+    support::Rng rng(5);
+    for (int i = 0; i < 5000; ++i) {
+      swap.Access(clk, rng.NextBelow(256 * 4096), 8, rng.NextBelow(4) == 0);
+      EXPECT_LE(swap.resident_pages(), 32u);
+    }
+    return clk.now_ns();
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(RemotePtrProperties, EncodeDecodeRoundTripsRandomValues) {
+  support::Rng rng(11);
+  for (int i = 0; i < 10'000; ++i) {
+    const uint16_t section = static_cast<uint16_t>(rng.NextBelow(65536));
+    const uint64_t offset = rng.NextBelow(1ULL << 48);
+    const cache::RemotePtr p = cache::RemotePtr::Encode(section, offset);
+    EXPECT_EQ(p.section(), section);
+    EXPECT_EQ(p.offset(), offset);
+    EXPECT_EQ(p.is_local(), section == 0);
+  }
+}
+
+TEST(MtSchedulerProperties, MakespanBoundsHold) {
+  // For independent threads, makespan == max per-thread total; with one
+  // fully-serialized resource, makespan == sum of all busy time.
+  support::Rng rng(21);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int threads = 2 + static_cast<int>(rng.NextBelow(6));
+    std::vector<uint64_t> totals(static_cast<size_t>(threads), 0);
+    sim::MtScheduler independent;
+    for (int t = 0; t < threads; ++t) {
+      auto steps = std::make_shared<int>(1 + static_cast<int>(rng.NextBelow(20)));
+      const uint64_t cost = 10 + rng.NextBelow(90);
+      totals[static_cast<size_t>(t)] = static_cast<uint64_t>(*steps) * cost;
+      independent.AddThread([steps, cost](sim::SimClock& clk) {
+        clk.Advance(cost);
+        return --*steps > 0;
+      });
+    }
+    const uint64_t expected = *std::max_element(totals.begin(), totals.end());
+    EXPECT_EQ(independent.RunToCompletion(), expected);
+  }
+}
+
+TEST(MtSchedulerProperties, SerializedResourceMakespanIsSum) {
+  support::Rng rng(22);
+  for (int trial = 0; trial < 10; ++trial) {
+    const int threads = 2 + static_cast<int>(rng.NextBelow(5));
+    sim::SerialResource lock;
+    sim::MtScheduler sched;
+    uint64_t total_busy = 0;
+    for (int t = 0; t < threads; ++t) {
+      auto steps = std::make_shared<int>(1 + static_cast<int>(rng.NextBelow(10)));
+      const uint64_t cost = 10 + rng.NextBelow(50);
+      total_busy += static_cast<uint64_t>(*steps) * cost;
+      sched.AddThread([steps, cost, &lock](sim::SimClock& clk) {
+        clk.AdvanceTo(lock.Acquire(clk.now_ns(), cost));
+        return --*steps > 0;
+      });
+    }
+    EXPECT_EQ(sched.RunToCompletion(), total_busy);
+  }
+}
+
+}  // namespace
+}  // namespace mira

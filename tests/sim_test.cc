@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "src/sim/clock.h"
+#include "src/sim/cost_model.h"
+#include "src/sim/mt_scheduler.h"
+#include "src/sim/resource.h"
+
+namespace mira::sim {
+namespace {
+
+TEST(SimClock, AdvanceAndAdvanceTo) {
+  SimClock c;
+  EXPECT_EQ(c.now_ns(), 0u);
+  c.Advance(100);
+  EXPECT_EQ(c.now_ns(), 100u);
+  c.AdvanceTo(50);  // no-op (past)
+  EXPECT_EQ(c.now_ns(), 100u);
+  c.AdvanceTo(250);
+  EXPECT_EQ(c.now_ns(), 250u);
+}
+
+TEST(CostModel, TransferScalesWithBytes) {
+  const CostModel& m = CostModel::Default();
+  EXPECT_EQ(m.TransferNs(0), 0u);
+  EXPECT_GT(m.TransferNs(4096), m.TransferNs(64));
+  // 50 Gbps = 6.25 B/ns → 4 KiB ≈ 655 ns.
+  EXPECT_NEAR(static_cast<double>(m.TransferNs(4096)), 655.0, 5.0);
+  EXPECT_GT(m.OneSidedReadNs(64), m.rdma_rtt_ns);
+}
+
+TEST(SerialResource, SerializesOverlappingRequests) {
+  SerialResource r;
+  EXPECT_EQ(r.Acquire(0, 100), 100u);
+  // Arrives at t=50 while busy until 100 → runs 100..200.
+  EXPECT_EQ(r.Acquire(50, 100), 200u);
+  // Arrives after idle → runs immediately.
+  EXPECT_EQ(r.Acquire(500, 10), 510u);
+  EXPECT_EQ(r.requests(), 3u);
+  EXPECT_EQ(r.total_busy_ns(), 210u);
+  EXPECT_EQ(r.total_queue_ns(), 50u);
+}
+
+TEST(BandwidthLink, OccupancySharedLatencyOverlapped) {
+  BandwidthLink link(1.0);  // 1 byte/ns
+  // Two concurrent 1000 B transfers with 500 ns latency: occupancy
+  // serializes (1000 + 1000), latency overlaps.
+  const uint64_t first = link.Transfer(0, 1000, 500);
+  const uint64_t second = link.Transfer(0, 1000, 500);
+  EXPECT_EQ(first, 1500u);
+  EXPECT_EQ(second, 2500u);
+  EXPECT_EQ(link.total_bytes(), 2000u);
+}
+
+TEST(MtScheduler, MinClockFirstInterleavesDeterministically) {
+  MtScheduler sched;
+  std::vector<int> order;
+  // Thread 0 steps cost 10ns, thread 1 steps cost 25ns.
+  int steps0 = 0, steps1 = 0;
+  sched.AddThread([&](SimClock& clk) {
+    order.push_back(0);
+    clk.Advance(10);
+    return ++steps0 < 5;
+  });
+  sched.AddThread([&](SimClock& clk) {
+    order.push_back(1);
+    clk.Advance(25);
+    return ++steps1 < 2;
+  });
+  const uint64_t makespan = sched.RunToCompletion();
+  EXPECT_EQ(makespan, 50u);
+  EXPECT_EQ(steps0, 5);
+  EXPECT_EQ(steps1, 2);
+  // The fast thread runs several steps between slow-thread steps.
+  const std::vector<int> expected = {0, 1, 0, 0, 1, 0, 0};
+  EXPECT_EQ(order, expected);
+}
+
+TEST(MtScheduler, SharedResourceContentionSlowsThreads) {
+  // N threads each need the same serial resource for all their work: the
+  // makespan must grow linearly with N.
+  auto run = [](int threads) {
+    SerialResource lock;
+    MtScheduler sched;
+    for (int t = 0; t < threads; ++t) {
+      auto remaining = std::make_shared<int>(10);
+      sched.AddThread([&lock, remaining](SimClock& clk) {
+        clk.AdvanceTo(lock.Acquire(clk.now_ns(), 100));
+        return --*remaining > 0;
+      });
+    }
+    return sched.RunToCompletion();
+  };
+  const uint64_t one = run(1);
+  const uint64_t four = run(4);
+  EXPECT_EQ(one, 1000u);
+  EXPECT_EQ(four, 4000u);
+}
+
+TEST(MtScheduler, EmptyIsZero) {
+  MtScheduler sched;
+  EXPECT_EQ(sched.RunToCompletion(), 0u);
+}
+
+}  // namespace
+}  // namespace mira::sim

@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/support/rng.h"
+#include "src/support/stats.h"
+#include "src/support/status.h"
+#include "src/support/str.h"
+
+namespace mira::support {
+namespace {
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(123), b(123), c(124);
+  for (int i = 0; i < 100; ++i) {
+    const uint64_t va = a.NextU64();
+    EXPECT_EQ(va, b.NextU64());
+    EXPECT_NE(va, c.NextU64());  // astronomically unlikely to collide 100×
+  }
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng r(7);
+  for (const uint64_t bound : {1ULL, 2ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(r.NextBelow(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, NextRangeInclusive) {
+  Rng r(9);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = r.NextRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng r(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = r.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, ZipfIsSkewed) {
+  Rng r(13);
+  uint64_t head = 0;
+  constexpr int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) {
+    if (r.NextZipf(1000, 0.9) < 100) {
+      ++head;
+    }
+  }
+  // With skew 0.9, far more than 10% of samples land in the first decile.
+  EXPECT_GT(head, kSamples / 5u);
+}
+
+TEST(Rng, ZipfZeroThetaIsUniformish) {
+  Rng r(17);
+  uint64_t head = 0;
+  constexpr int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) {
+    if (r.NextZipf(1000, 0.0) < 100) {
+      ++head;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(head) / kSamples, 0.1, 0.02);
+}
+
+TEST(RunningStat, Moments) {
+  RunningStat s;
+  for (const double v : {1.0, 2.0, 3.0, 4.0, 5.0}) {
+    s.Add(v);
+  }
+  EXPECT_EQ(s.count(), 5u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 2.5);
+  EXPECT_DOUBLE_EQ(s.sum(), 15.0);
+}
+
+TEST(RunningStat, EmptyIsZero) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(LatencyHistogram, PercentilesOrdered) {
+  LatencyHistogram h;
+  for (uint64_t i = 1; i <= 1000; ++i) {
+    h.Add(i * 100);
+  }
+  EXPECT_EQ(h.count(), 1000u);
+  EXPECT_LE(h.PercentileNs(50), h.PercentileNs(90));
+  EXPECT_LE(h.PercentileNs(90), h.PercentileNs(99));
+  EXPECT_GT(h.mean(), 0.0);
+}
+
+TEST(HitMissCounter, MissRate) {
+  HitMissCounter c;
+  EXPECT_EQ(c.miss_rate(), 0.0);
+  for (int i = 0; i < 3; ++i) {
+    c.Hit();
+  }
+  c.Miss();
+  EXPECT_DOUBLE_EQ(c.miss_rate(), 0.25);
+  EXPECT_EQ(c.total(), 4u);
+}
+
+TEST(Status, RoundTrip) {
+  EXPECT_TRUE(Status::Ok().ok());
+  const Status s = Status::NotFound("thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), ErrorCode::kNotFound);
+  EXPECT_EQ(s.ToString(), "not_found: thing");
+}
+
+TEST(Result, ValueAndError) {
+  Result<int> ok(42);
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 42);
+  Result<int> err(Status::OutOfMemory("x"));
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), ErrorCode::kOutOfMemory);
+}
+
+TEST(Str, Format) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+}
+
+TEST(Str, HumanBytes) {
+  EXPECT_EQ(HumanBytes(512), "512B");
+  EXPECT_EQ(HumanBytes(4096), "4.0KiB");
+  EXPECT_EQ(HumanBytes(3u << 20), "3.0MiB");
+}
+
+TEST(Str, HumanNs) {
+  EXPECT_EQ(HumanNs(500), "500ns");
+  EXPECT_EQ(HumanNs(1500), "1.5us");
+  EXPECT_EQ(HumanNs(2'500'000), "2.50ms");
+}
+
+}  // namespace
+}  // namespace mira::support

@@ -1,0 +1,177 @@
+// Swap section and the swap prefetchers (readahead, Leap majority-trend).
+
+#include <gtest/gtest.h>
+
+#include "src/cache/swap_prefetcher.h"
+#include "src/cache/swap_section.h"
+#include "src/support/rng.h"
+#include "src/farmem/far_memory_node.h"
+
+namespace mira::cache {
+namespace {
+
+struct Env {
+  farmem::FarMemoryNode node;
+  net::Transport net{&node, sim::CostModel::Default()};
+  sim::SimClock clk;
+};
+
+TEST(SwapSection, MajorFaultThenMappedAccess) {
+  Env env;
+  SwapSection swap(64 << 10, &env.net, std::make_unique<NullPrefetcher>());
+  const uint64_t t0 = env.clk.now_ns();
+  swap.Access(env.clk, 0x1000, 8, false);
+  const uint64_t fault_cost = env.clk.now_ns() - t0;
+  EXPECT_GT(fault_cost, sim::CostModel::Default().page_fault_ns);
+  const uint64_t t1 = env.clk.now_ns();
+  swap.Access(env.clk, 0x1008, 8, false);  // same page: native
+  EXPECT_EQ(env.clk.now_ns() - t1, sim::CostModel::Default().native_access_ns);
+}
+
+TEST(SwapSection, PageGranularityAmplification) {
+  Env env;
+  SwapSection swap(64 << 10, &env.net, std::make_unique<NullPrefetcher>());
+  swap.Access(env.clk, 0, 8, false);  // 8 bytes wanted
+  EXPECT_EQ(env.net.stats().bytes_in, 4096u);  // 4 KiB moved (512× blowup)
+}
+
+TEST(SwapSection, EvictsAtCapacityWithWriteback) {
+  Env env;
+  SwapSection swap(4 * 4096, &env.net, std::make_unique<NullPrefetcher>());
+  for (uint64_t p = 0; p < 16; ++p) {
+    swap.Access(env.clk, p * 4096, 8, /*write=*/true);
+  }
+  EXPECT_LE(swap.resident_pages(), 4u);
+  EXPECT_GT(swap.stats().evictions, 0u);
+  EXPECT_GT(swap.stats().writebacks, 0u);
+}
+
+TEST(SwapSection, DatapathFactorSlowsLeapStyleSwap) {
+  Env fast_env, slow_env;
+  SwapSection fast(64 << 10, &fast_env.net, std::make_unique<NullPrefetcher>(), 1.0);
+  SwapSection slow(64 << 10, &slow_env.net, std::make_unique<NullPrefetcher>(), 1.5);
+  fast.Access(fast_env.clk, 0, 8, false);
+  slow.Access(slow_env.clk, 0, 8, false);
+  EXPECT_GT(slow_env.clk.now_ns(), fast_env.clk.now_ns());
+}
+
+TEST(SwapSection, ReadaheadServesSequentialScan) {
+  Env ra_env, null_env;
+  SwapSection with_ra(256 << 10, &ra_env.net, std::make_unique<ReadaheadPrefetcher>());
+  SwapSection without(256 << 10, &null_env.net, std::make_unique<NullPrefetcher>());
+  for (uint64_t addr = 0; addr < (128 << 10); addr += 64) {
+    with_ra.Access(ra_env.clk, addr, 8, false);
+    without.Access(null_env.clk, addr, 8, false);
+  }
+  EXPECT_LT(ra_env.clk.now_ns(), null_env.clk.now_ns());
+  EXPECT_GT(with_ra.stats().prefetched_hits, 0u);
+}
+
+TEST(SwapSection, ReleaseWritesDirtyPagesBack) {
+  Env env;
+  SwapSection swap(64 << 10, &env.net, std::make_unique<NullPrefetcher>());
+  swap.Access(env.clk, 0, 8, true);
+  swap.Access(env.clk, 4096, 8, false);
+  swap.Release(env.clk);
+  EXPECT_EQ(swap.resident_pages(), 0u);
+  EXPECT_EQ(swap.stats().writebacks, 1u);
+}
+
+TEST(SwapSection, FaultLockSerializesThreads) {
+  Env env;
+  SwapSection swap(1 << 20, &env.net, std::make_unique<NullPrefetcher>());
+  sim::SerialResource lock;
+  swap.SetFaultLock(&lock);
+  sim::SimClock t1, t2;
+  swap.Access(t1, 0, 8, false);
+  swap.Access(t2, 8192, 8, false);  // concurrent fault at t=0 queues
+  EXPECT_GT(t2.now_ns(), sim::CostModel::Default().page_fault_ns * 2);
+}
+
+// ---------------- Prefetchers ----------------
+
+TEST(Readahead, WindowDoublesOnSequentialStreak) {
+  ReadaheadPrefetcher ra(8);
+  std::vector<uint64_t> out;
+  ra.OnFault(10, &out);
+  EXPECT_EQ(out.size(), 1u);  // cold: window 1
+  out.clear();
+  ra.OnFault(11, &out);
+  EXPECT_EQ(out.size(), 2u);
+  out.clear();
+  ra.OnFault(12, &out);
+  EXPECT_EQ(out.size(), 4u);
+  out.clear();
+  ra.OnFault(13, &out);
+  EXPECT_EQ(out.size(), 8u);
+  out.clear();
+  ra.OnFault(14, &out);
+  EXPECT_EQ(out.size(), 8u);  // capped
+  out.clear();
+  ra.OnFault(99, &out);  // streak broken
+  EXPECT_EQ(out.size(), 1u);
+}
+
+TEST(Leap, FindsUnitStrideMajority) {
+  LeapPrefetcher leap;
+  std::vector<uint64_t> out;
+  for (uint64_t p = 0; p < 8; ++p) {
+    out.clear();
+    leap.OnFault(p, &out);
+  }
+  EXPECT_EQ(leap.MajorityStride(), 1);
+  EXPECT_FALSE(out.empty());
+  EXPECT_EQ(out[0], 8u);  // next page along the trend
+}
+
+TEST(Leap, FindsNonUnitStride) {
+  LeapPrefetcher leap;
+  std::vector<uint64_t> out;
+  for (uint64_t p = 0; p < 64; p += 4) {
+    out.clear();
+    leap.OnFault(p, &out);
+  }
+  EXPECT_EQ(leap.MajorityStride(), 4);
+}
+
+TEST(Leap, NoMajorityOnInterleavedPatterns) {
+  // The paper's Fig 15 point: interleaved per-object patterns have no
+  // global majority stride, so Leap prefetches nothing useful.
+  LeapPrefetcher leap;
+  support::Rng rng(3);
+  std::vector<uint64_t> out;
+  for (int i = 0; i < 64; ++i) {
+    out.clear();
+    // Alternate a sequential page with a random far page.
+    const uint64_t page = (i % 2 == 0) ? static_cast<uint64_t>(i / 2)
+                                       : 100'000 + rng.NextBelow(50'000);
+    leap.OnFault(page, &out);
+  }
+  EXPECT_EQ(leap.MajorityStride(), 0);
+}
+
+TEST(Leap, WindowAdaptsToFeedback) {
+  LeapPrefetcher leap(32, 16);
+  std::vector<uint64_t> out;
+  for (uint64_t p = 0; p < 16; ++p) {
+    out.clear();
+    leap.OnFault(p, &out);
+  }
+  const size_t before = out.size();
+  for (int i = 0; i < 8; ++i) {
+    leap.Feedback(true);
+  }
+  out.clear();
+  leap.OnFault(16, &out);
+  EXPECT_GT(out.size(), before);
+  for (int i = 0; i < 16; ++i) {
+    leap.Feedback(false);
+  }
+  const size_t grown = out.size();
+  out.clear();
+  leap.OnFault(17, &out);
+  EXPECT_LT(out.size(), grown);
+}
+
+}  // namespace
+}  // namespace mira::cache

@@ -1,0 +1,166 @@
+// Workload programs: verify, execute on every backend, and confirm that
+// all systems compute identical results (data plane is shared; only timing
+// differs) while timing orders sanely.
+
+#include <gtest/gtest.h>
+
+#include "src/interp/interpreter.h"
+#include "src/ir/printer.h"
+#include "src/ir/verifier.h"
+#include "src/pipeline/world.h"
+#include "src/workloads/workloads.h"
+
+namespace mira {
+namespace {
+
+using interp::Interpreter;
+using pipeline::MakeWorld;
+using pipeline::SystemKind;
+using workloads::Workload;
+
+uint64_t RunOn(const Workload& w, SystemKind kind, uint64_t local_bytes, uint64_t* time_ns) {
+  auto world = MakeWorld(kind, local_bytes);
+  Interpreter interp(w.module.get(), world.backend.get());
+  auto r = interp.Run(w.entry);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  if (time_ns != nullptr) {
+    *time_ns = interp.clock().now_ns();
+  }
+  return r.ok() ? r.value() : 0;
+}
+
+class WorkloadVerify : public ::testing::Test {};
+
+TEST(WorkloadVerify, GraphVerifies) {
+  auto w = workloads::BuildGraphTraversal();
+  EXPECT_TRUE(ir::VerifyModule(*w.module).ok());
+  EXPECT_GT(w.footprint_bytes, 0u);
+}
+
+TEST(WorkloadVerify, GraphWithThirdArrayVerifies) {
+  workloads::GraphParams p;
+  p.third_array = true;
+  auto w = workloads::BuildGraphTraversal(p);
+  EXPECT_TRUE(ir::VerifyModule(*w.module).ok());
+}
+
+TEST(WorkloadVerify, ArraySumVerifies) {
+  auto w = workloads::BuildArraySum();
+  EXPECT_TRUE(ir::VerifyModule(*w.module).ok());
+}
+
+TEST(WorkloadVerify, DataFrameVerifies) {
+  auto w = workloads::BuildDataFrame();
+  EXPECT_TRUE(ir::VerifyModule(*w.module).ok());
+}
+
+TEST(WorkloadVerify, Gpt2Verifies) {
+  workloads::Gpt2Params p;
+  p.layers = 2;
+  p.d_model = 16;
+  p.tokens = 4;
+  auto w = workloads::BuildGpt2(p);
+  EXPECT_TRUE(ir::VerifyModule(*w.module).ok()) << ir::PrintModule(*w.module);
+}
+
+TEST(WorkloadVerify, McfVerifies) {
+  auto w = workloads::BuildMcf();
+  EXPECT_TRUE(ir::VerifyModule(*w.module).ok());
+}
+
+struct SmallWorkloadCase {
+  std::string name;
+  Workload (*build)();
+};
+
+Workload SmallGraph() {
+  workloads::GraphParams p;
+  p.num_edges = 4000;
+  p.num_nodes = 1000;
+  p.epochs = 2;
+  return workloads::BuildGraphTraversal(p);
+}
+Workload SmallArraySum() {
+  workloads::ArraySumParams p;
+  p.elems = 20'000;
+  return workloads::BuildArraySum(p);
+}
+Workload SmallDataFrame() {
+  workloads::DataFrameParams p;
+  p.rows = 5000;
+  return workloads::BuildDataFrame(p);
+}
+Workload SmallGpt2() {
+  workloads::Gpt2Params p;
+  p.layers = 2;
+  p.d_model = 24;
+  p.tokens = 4;
+  return workloads::BuildGpt2(p);
+}
+Workload SmallMcf() {
+  workloads::McfParams p;
+  p.nodes = 2000;
+  p.arcs = 6000;
+  p.iterations = 1;
+  p.tree_steps = 2000;
+  return workloads::BuildMcf(p);
+}
+
+class WorkloadEquivalence : public ::testing::TestWithParam<SmallWorkloadCase> {};
+
+TEST_P(WorkloadEquivalence, AllSystemsComputeIdenticalResults) {
+  const auto& param = GetParam();
+  const Workload w = param.build();
+  const uint64_t local = w.footprint_bytes / 2;
+  uint64_t t_native = 0, t_fast = 0, t_leap = 0, t_mira = 0;
+  const uint64_t native = RunOn(w, SystemKind::kNative, 0, &t_native);
+  const uint64_t fast = RunOn(w, SystemKind::kFastSwap, local, &t_fast);
+  const uint64_t leap = RunOn(w, SystemKind::kLeap, local, &t_leap);
+  const uint64_t mira = RunOn(w, SystemKind::kMira, local, &t_mira);
+  EXPECT_EQ(native, fast);
+  EXPECT_EQ(native, leap);
+  EXPECT_EQ(native, mira);
+  // Native with full local memory is the fastest configuration.
+  EXPECT_LT(t_native, t_fast);
+  EXPECT_LT(t_native, t_leap);
+  EXPECT_LT(t_native, t_mira);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, WorkloadEquivalence,
+    ::testing::Values(SmallWorkloadCase{"graph", &SmallGraph},
+                      SmallWorkloadCase{"arraysum", &SmallArraySum},
+                      SmallWorkloadCase{"dataframe", &SmallDataFrame},
+                      SmallWorkloadCase{"gpt2", &SmallGpt2},
+                      SmallWorkloadCase{"mcf", &SmallMcf}),
+    [](const ::testing::TestParamInfo<SmallWorkloadCase>& info) { return info.param.name; });
+
+TEST(WorkloadDeterminism, SameSeedSameResultAndTime) {
+  const Workload w = SmallGraph();
+  uint64_t t1 = 0, t2 = 0;
+  const uint64_t r1 = RunOn(w, SystemKind::kFastSwap, w.footprint_bytes / 2, &t1);
+  const uint64_t r2 = RunOn(w, SystemKind::kFastSwap, w.footprint_bytes / 2, &t2);
+  EXPECT_EQ(r1, r2);
+  EXPECT_EQ(t1, t2);
+}
+
+TEST(WorkloadAifm, RunsOnAifmWithMatchingResult) {
+  const Workload w = SmallDataFrame();
+  const uint64_t native = RunOn(w, SystemKind::kNative, 0, nullptr);
+  const uint64_t aifm = RunOn(w, SystemKind::kAifm, w.footprint_bytes * 2, nullptr);
+  EXPECT_EQ(native, aifm);
+}
+
+TEST(WorkloadAifm, McfMetadataExceedsSmallLocalMemory) {
+  // MCF's 8-byte-element arrays give AIFM 2× metadata-to-data; below that
+  // the allocation must fail (paper Fig 18: AIFM fails under full memory).
+  const Workload w = SmallMcf();
+  auto world = MakeWorld(SystemKind::kAifm, w.footprint_bytes / 2);
+  Interpreter interp(w.module.get(), world.backend.get());
+  auto r = interp.Run(w.entry);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), support::ErrorCode::kOutOfMemory);
+}
+
+}  // namespace
+}  // namespace mira
