@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_cost_sensitivity.dir/bench_ablate_cost_sensitivity.cc.o"
+  "CMakeFiles/bench_ablate_cost_sensitivity.dir/bench_ablate_cost_sensitivity.cc.o.d"
+  "bench_ablate_cost_sensitivity"
+  "bench_ablate_cost_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_cost_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_technique_effects.dir/bench_fig06_technique_effects.cc.o"
+  "CMakeFiles/bench_fig06_technique_effects.dir/bench_fig06_technique_effects.cc.o.d"
+  "bench_fig06_technique_effects"
+  "bench_fig06_technique_effects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_technique_effects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

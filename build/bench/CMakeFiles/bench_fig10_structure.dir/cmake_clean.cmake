@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_structure.dir/bench_fig10_structure.cc.o"
+  "CMakeFiles/bench_fig10_structure.dir/bench_fig10_structure.cc.o.d"
+  "bench_fig10_structure"
+  "bench_fig10_structure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_structure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

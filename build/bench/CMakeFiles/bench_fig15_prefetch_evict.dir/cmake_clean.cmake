@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_prefetch_evict.dir/bench_fig15_prefetch_evict.cc.o"
+  "CMakeFiles/bench_fig15_prefetch_evict.dir/bench_fig15_prefetch_evict.cc.o.d"
+  "bench_fig15_prefetch_evict"
+  "bench_fig15_prefetch_evict.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_prefetch_evict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig18_mcf.dir/bench_fig18_mcf.cc.o"
+  "CMakeFiles/bench_fig18_mcf.dir/bench_fig18_mcf.cc.o.d"
+  "bench_fig18_mcf"
+  "bench_fig18_mcf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_mcf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig23_batching.cc" "bench/CMakeFiles/bench_fig23_batching.dir/bench_fig23_batching.cc.o" "gcc" "bench/CMakeFiles/bench_fig23_batching.dir/bench_fig23_batching.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/mira_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/pipeline/CMakeFiles/mira_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/mira_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/mira_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/passes/CMakeFiles/mira_passes.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/mira_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/mira_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/backends/CMakeFiles/mira_backends.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/mira_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/mira_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/mira_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mira_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/farmem/CMakeFiles/mira_farmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mira_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mira_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig25_mt_filter.dir/bench_fig25_mt_filter.cc.o"
+  "CMakeFiles/bench_fig25_mt_filter.dir/bench_fig25_mt_filter.cc.o.d"
+  "bench_fig25_mt_filter"
+  "bench_fig25_mt_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig25_mt_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

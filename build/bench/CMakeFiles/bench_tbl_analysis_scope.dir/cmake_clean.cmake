@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tbl_analysis_scope.dir/bench_tbl_analysis_scope.cc.o"
+  "CMakeFiles/bench_tbl_analysis_scope.dir/bench_tbl_analysis_scope.cc.o.d"
+  "bench_tbl_analysis_scope"
+  "bench_tbl_analysis_scope.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tbl_analysis_scope.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

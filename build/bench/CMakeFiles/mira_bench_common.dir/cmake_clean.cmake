@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mira_bench_common.dir/common.cc.o"
+  "CMakeFiles/mira_bench_common.dir/common.cc.o.d"
+  "libmira_bench_common.a"
+  "libmira_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mira_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpt2_inference.dir/gpt2_inference.cpp.o"
+  "CMakeFiles/gpt2_inference.dir/gpt2_inference.cpp.o.d"
+  "gpt2_inference"
+  "gpt2_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpt2_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcf_scheduler.dir/mcf_scheduler.cpp.o"
+  "CMakeFiles/mcf_scheduler.dir/mcf_scheduler.cpp.o.d"
+  "mcf_scheduler"
+  "mcf_scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcf_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("sim")
+subdirs("net")
+subdirs("farmem")
+subdirs("cache")
+subdirs("runtime")
+subdirs("backends")
+subdirs("ir")
+subdirs("analysis")
+subdirs("passes")
+subdirs("interp")
+subdirs("solver")
+subdirs("pipeline")
+subdirs("workloads")

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/access_analysis.cc" "src/analysis/CMakeFiles/mira_analysis.dir/access_analysis.cc.o" "gcc" "src/analysis/CMakeFiles/mira_analysis.dir/access_analysis.cc.o.d"
+  "/root/repo/src/analysis/lifetime.cc" "src/analysis/CMakeFiles/mira_analysis.dir/lifetime.cc.o" "gcc" "src/analysis/CMakeFiles/mira_analysis.dir/lifetime.cc.o.d"
+  "/root/repo/src/analysis/offload_cost.cc" "src/analysis/CMakeFiles/mira_analysis.dir/offload_cost.cc.o" "gcc" "src/analysis/CMakeFiles/mira_analysis.dir/offload_cost.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/mira_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mira_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mira_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mira_analysis.dir/access_analysis.cc.o"
+  "CMakeFiles/mira_analysis.dir/access_analysis.cc.o.d"
+  "CMakeFiles/mira_analysis.dir/lifetime.cc.o"
+  "CMakeFiles/mira_analysis.dir/lifetime.cc.o.d"
+  "CMakeFiles/mira_analysis.dir/offload_cost.cc.o"
+  "CMakeFiles/mira_analysis.dir/offload_cost.cc.o.d"
+  "libmira_analysis.a"
+  "libmira_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mira_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

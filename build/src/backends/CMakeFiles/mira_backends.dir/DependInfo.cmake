@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/backends/aifm_backend.cc" "src/backends/CMakeFiles/mira_backends.dir/aifm_backend.cc.o" "gcc" "src/backends/CMakeFiles/mira_backends.dir/aifm_backend.cc.o.d"
+  "/root/repo/src/backends/backend.cc" "src/backends/CMakeFiles/mira_backends.dir/backend.cc.o" "gcc" "src/backends/CMakeFiles/mira_backends.dir/backend.cc.o.d"
+  "/root/repo/src/backends/mira_backend.cc" "src/backends/CMakeFiles/mira_backends.dir/mira_backend.cc.o" "gcc" "src/backends/CMakeFiles/mira_backends.dir/mira_backend.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cache/CMakeFiles/mira_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/mira_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mira_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/farmem/CMakeFiles/mira_farmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mira_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mira_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mira_backends.dir/aifm_backend.cc.o"
+  "CMakeFiles/mira_backends.dir/aifm_backend.cc.o.d"
+  "CMakeFiles/mira_backends.dir/backend.cc.o"
+  "CMakeFiles/mira_backends.dir/backend.cc.o.d"
+  "CMakeFiles/mira_backends.dir/mira_backend.cc.o"
+  "CMakeFiles/mira_backends.dir/mira_backend.cc.o.d"
+  "libmira_backends.a"
+  "libmira_backends.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mira_backends.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

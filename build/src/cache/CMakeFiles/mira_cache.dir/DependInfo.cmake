@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/lru.cc" "src/cache/CMakeFiles/mira_cache.dir/lru.cc.o" "gcc" "src/cache/CMakeFiles/mira_cache.dir/lru.cc.o.d"
+  "/root/repo/src/cache/section.cc" "src/cache/CMakeFiles/mira_cache.dir/section.cc.o" "gcc" "src/cache/CMakeFiles/mira_cache.dir/section.cc.o.d"
+  "/root/repo/src/cache/section_config.cc" "src/cache/CMakeFiles/mira_cache.dir/section_config.cc.o" "gcc" "src/cache/CMakeFiles/mira_cache.dir/section_config.cc.o.d"
+  "/root/repo/src/cache/section_manager.cc" "src/cache/CMakeFiles/mira_cache.dir/section_manager.cc.o" "gcc" "src/cache/CMakeFiles/mira_cache.dir/section_manager.cc.o.d"
+  "/root/repo/src/cache/swap_prefetcher.cc" "src/cache/CMakeFiles/mira_cache.dir/swap_prefetcher.cc.o" "gcc" "src/cache/CMakeFiles/mira_cache.dir/swap_prefetcher.cc.o.d"
+  "/root/repo/src/cache/swap_section.cc" "src/cache/CMakeFiles/mira_cache.dir/swap_section.cc.o" "gcc" "src/cache/CMakeFiles/mira_cache.dir/swap_section.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/mira_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mira_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mira_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/farmem/CMakeFiles/mira_farmem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mira_cache.dir/lru.cc.o"
+  "CMakeFiles/mira_cache.dir/lru.cc.o.d"
+  "CMakeFiles/mira_cache.dir/section.cc.o"
+  "CMakeFiles/mira_cache.dir/section.cc.o.d"
+  "CMakeFiles/mira_cache.dir/section_config.cc.o"
+  "CMakeFiles/mira_cache.dir/section_config.cc.o.d"
+  "CMakeFiles/mira_cache.dir/section_manager.cc.o"
+  "CMakeFiles/mira_cache.dir/section_manager.cc.o.d"
+  "CMakeFiles/mira_cache.dir/swap_prefetcher.cc.o"
+  "CMakeFiles/mira_cache.dir/swap_prefetcher.cc.o.d"
+  "CMakeFiles/mira_cache.dir/swap_section.cc.o"
+  "CMakeFiles/mira_cache.dir/swap_section.cc.o.d"
+  "libmira_cache.a"
+  "libmira_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mira_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mira_farmem.dir/far_memory_node.cc.o"
+  "CMakeFiles/mira_farmem.dir/far_memory_node.cc.o.d"
+  "libmira_farmem.a"
+  "libmira_farmem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mira_farmem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

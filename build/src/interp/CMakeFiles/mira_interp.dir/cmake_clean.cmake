@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mira_interp.dir/interpreter.cc.o"
+  "CMakeFiles/mira_interp.dir/interpreter.cc.o.d"
+  "libmira_interp.a"
+  "libmira_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mira_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mira_ir.dir/builder.cc.o"
+  "CMakeFiles/mira_ir.dir/builder.cc.o.d"
+  "CMakeFiles/mira_ir.dir/ir.cc.o"
+  "CMakeFiles/mira_ir.dir/ir.cc.o.d"
+  "CMakeFiles/mira_ir.dir/printer.cc.o"
+  "CMakeFiles/mira_ir.dir/printer.cc.o.d"
+  "CMakeFiles/mira_ir.dir/verifier.cc.o"
+  "CMakeFiles/mira_ir.dir/verifier.cc.o.d"
+  "libmira_ir.a"
+  "libmira_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mira_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/farmem/local_allocator.cc" "src/net/CMakeFiles/mira_net.dir/__/farmem/local_allocator.cc.o" "gcc" "src/net/CMakeFiles/mira_net.dir/__/farmem/local_allocator.cc.o.d"
+  "/root/repo/src/net/transport.cc" "src/net/CMakeFiles/mira_net.dir/transport.cc.o" "gcc" "src/net/CMakeFiles/mira_net.dir/transport.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/mira_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mira_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/farmem/CMakeFiles/mira_farmem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

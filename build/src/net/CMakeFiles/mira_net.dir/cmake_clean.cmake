@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mira_net.dir/__/farmem/local_allocator.cc.o"
+  "CMakeFiles/mira_net.dir/__/farmem/local_allocator.cc.o.d"
+  "CMakeFiles/mira_net.dir/transport.cc.o"
+  "CMakeFiles/mira_net.dir/transport.cc.o.d"
+  "libmira_net.a"
+  "libmira_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mira_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/passes/convert.cc" "src/passes/CMakeFiles/mira_passes.dir/convert.cc.o" "gcc" "src/passes/CMakeFiles/mira_passes.dir/convert.cc.o.d"
+  "/root/repo/src/passes/fuse.cc" "src/passes/CMakeFiles/mira_passes.dir/fuse.cc.o" "gcc" "src/passes/CMakeFiles/mira_passes.dir/fuse.cc.o.d"
+  "/root/repo/src/passes/prefetch_evict.cc" "src/passes/CMakeFiles/mira_passes.dir/prefetch_evict.cc.o" "gcc" "src/passes/CMakeFiles/mira_passes.dir/prefetch_evict.cc.o.d"
+  "/root/repo/src/passes/rewrite_util.cc" "src/passes/CMakeFiles/mira_passes.dir/rewrite_util.cc.o" "gcc" "src/passes/CMakeFiles/mira_passes.dir/rewrite_util.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/mira_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/mira_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mira_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mira_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

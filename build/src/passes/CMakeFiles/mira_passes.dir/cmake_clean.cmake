@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mira_passes.dir/convert.cc.o"
+  "CMakeFiles/mira_passes.dir/convert.cc.o.d"
+  "CMakeFiles/mira_passes.dir/fuse.cc.o"
+  "CMakeFiles/mira_passes.dir/fuse.cc.o.d"
+  "CMakeFiles/mira_passes.dir/prefetch_evict.cc.o"
+  "CMakeFiles/mira_passes.dir/prefetch_evict.cc.o.d"
+  "CMakeFiles/mira_passes.dir/rewrite_util.cc.o"
+  "CMakeFiles/mira_passes.dir/rewrite_util.cc.o.d"
+  "libmira_passes.a"
+  "libmira_passes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mira_passes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mira_pipeline.dir/adaptive.cc.o"
+  "CMakeFiles/mira_pipeline.dir/adaptive.cc.o.d"
+  "CMakeFiles/mira_pipeline.dir/optimizer.cc.o"
+  "CMakeFiles/mira_pipeline.dir/optimizer.cc.o.d"
+  "CMakeFiles/mira_pipeline.dir/planner.cc.o"
+  "CMakeFiles/mira_pipeline.dir/planner.cc.o.d"
+  "CMakeFiles/mira_pipeline.dir/world.cc.o"
+  "CMakeFiles/mira_pipeline.dir/world.cc.o.d"
+  "libmira_pipeline.a"
+  "libmira_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mira_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

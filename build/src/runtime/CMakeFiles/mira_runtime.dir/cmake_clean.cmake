@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mira_runtime.dir/plan.cc.o"
+  "CMakeFiles/mira_runtime.dir/plan.cc.o.d"
+  "libmira_runtime.a"
+  "libmira_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mira_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

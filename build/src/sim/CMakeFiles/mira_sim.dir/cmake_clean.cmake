@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mira_sim.dir/cost_model.cc.o"
+  "CMakeFiles/mira_sim.dir/cost_model.cc.o.d"
+  "CMakeFiles/mira_sim.dir/mt_scheduler.cc.o"
+  "CMakeFiles/mira_sim.dir/mt_scheduler.cc.o.d"
+  "libmira_sim.a"
+  "libmira_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mira_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

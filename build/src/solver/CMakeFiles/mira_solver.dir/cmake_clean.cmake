@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mira_solver.dir/ilp.cc.o"
+  "CMakeFiles/mira_solver.dir/ilp.cc.o.d"
+  "libmira_solver.a"
+  "libmira_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mira_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

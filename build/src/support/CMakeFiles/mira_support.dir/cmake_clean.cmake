@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mira_support.dir/check.cc.o"
+  "CMakeFiles/mira_support.dir/check.cc.o.d"
+  "CMakeFiles/mira_support.dir/rng.cc.o"
+  "CMakeFiles/mira_support.dir/rng.cc.o.d"
+  "CMakeFiles/mira_support.dir/stats.cc.o"
+  "CMakeFiles/mira_support.dir/stats.cc.o.d"
+  "CMakeFiles/mira_support.dir/status.cc.o"
+  "CMakeFiles/mira_support.dir/status.cc.o.d"
+  "CMakeFiles/mira_support.dir/str.cc.o"
+  "CMakeFiles/mira_support.dir/str.cc.o.d"
+  "libmira_support.a"
+  "libmira_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mira_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

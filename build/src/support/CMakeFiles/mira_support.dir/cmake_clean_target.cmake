@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmira_support.a"
+)

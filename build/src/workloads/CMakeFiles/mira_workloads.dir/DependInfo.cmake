@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/arraysum.cc" "src/workloads/CMakeFiles/mira_workloads.dir/arraysum.cc.o" "gcc" "src/workloads/CMakeFiles/mira_workloads.dir/arraysum.cc.o.d"
+  "/root/repo/src/workloads/dataframe.cc" "src/workloads/CMakeFiles/mira_workloads.dir/dataframe.cc.o" "gcc" "src/workloads/CMakeFiles/mira_workloads.dir/dataframe.cc.o.d"
+  "/root/repo/src/workloads/gpt2.cc" "src/workloads/CMakeFiles/mira_workloads.dir/gpt2.cc.o" "gcc" "src/workloads/CMakeFiles/mira_workloads.dir/gpt2.cc.o.d"
+  "/root/repo/src/workloads/graph.cc" "src/workloads/CMakeFiles/mira_workloads.dir/graph.cc.o" "gcc" "src/workloads/CMakeFiles/mira_workloads.dir/graph.cc.o.d"
+  "/root/repo/src/workloads/mcf.cc" "src/workloads/CMakeFiles/mira_workloads.dir/mcf.cc.o" "gcc" "src/workloads/CMakeFiles/mira_workloads.dir/mcf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/mira_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mira_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mira_workloads.dir/arraysum.cc.o"
+  "CMakeFiles/mira_workloads.dir/arraysum.cc.o.d"
+  "CMakeFiles/mira_workloads.dir/dataframe.cc.o"
+  "CMakeFiles/mira_workloads.dir/dataframe.cc.o.d"
+  "CMakeFiles/mira_workloads.dir/gpt2.cc.o"
+  "CMakeFiles/mira_workloads.dir/gpt2.cc.o.d"
+  "CMakeFiles/mira_workloads.dir/graph.cc.o"
+  "CMakeFiles/mira_workloads.dir/graph.cc.o.d"
+  "CMakeFiles/mira_workloads.dir/mcf.cc.o"
+  "CMakeFiles/mira_workloads.dir/mcf.cc.o.d"
+  "libmira_workloads.a"
+  "libmira_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mira_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

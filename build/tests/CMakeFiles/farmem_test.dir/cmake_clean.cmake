@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/farmem_test.dir/farmem_test.cc.o"
+  "CMakeFiles/farmem_test.dir/farmem_test.cc.o.d"
+  "farmem_test"
+  "farmem_test.pdb"
+  "farmem_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/farmem_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swap_test.dir/swap_test.cc.o"
+  "CMakeFiles/swap_test.dir/swap_test.cc.o.d"
+  "swap_test"
+  "swap_test.pdb"
+  "swap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
