@@ -91,9 +91,11 @@ void RegisterAll() {
 }  // namespace mira::bench
 
 int main(int argc, char** argv) {
+  mira::bench::InitTelemetry(&argc, argv);  // strips --trace-out= / --metrics-out=
   benchmark::Initialize(&argc, argv);
   mira::bench::RegisterAll();
   benchmark::RunSpecifiedBenchmarks();
+  mira::bench::FlushTelemetry();
   benchmark::Shutdown();
   return 0;
 }

@@ -4,6 +4,16 @@
 
 namespace mira::bench {
 
+namespace {
+telemetry::OutputOptions g_outputs;
+}  // namespace
+
+void InitTelemetry(int* argc, char** argv) {
+  g_outputs = telemetry::ParseOutputFlags(argc, argv);
+}
+
+void FlushTelemetry() { telemetry::FlushOutputs(g_outputs); }
+
 RunOutput Run(const ir::Module& module, pipeline::SystemKind kind, uint64_t local_bytes,
               runtime::CachePlan plan, uint64_t seed, bool profiling,
               const std::string& entry) {
@@ -24,6 +34,10 @@ RunOutput Run(const ir::Module& module, pipeline::SystemKind kind, uint64_t loca
   out.result = result.value();
   out.profile = interp.profile();
   out.object_addrs = interp.object_addrs();
+  // Snapshot this run's cache-section stats and function ledger into the
+  // registry; the last measured run before FlushTelemetry() wins.
+  out.world.backend->PublishMetrics(telemetry::Metrics());
+  interp::PublishRunProfile(telemetry::Metrics(), out.profile);
   return out;
 }
 

@@ -22,9 +22,17 @@
 #include "src/interp/interpreter.h"
 #include "src/pipeline/optimizer.h"
 #include "src/pipeline/world.h"
+#include "src/telemetry/telemetry.h"
 #include "src/workloads/workloads.h"
 
 namespace mira::bench {
+
+// Telemetry wiring for bench mains: call InitTelemetry(&argc, argv) BEFORE
+// benchmark::Initialize (it strips --trace-out=/--metrics-out= so
+// google-benchmark never sees them), and FlushTelemetry() after the runs to
+// write the requested files.
+void InitTelemetry(int* argc, char** argv);
+void FlushTelemetry();
 
 struct RunOutput {
   pipeline::World world;

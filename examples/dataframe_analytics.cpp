@@ -12,6 +12,7 @@
 #include "src/pipeline/optimizer.h"
 #include "src/pipeline/world.h"
 #include "src/support/str.h"
+#include "src/telemetry/telemetry.h"
 #include "src/workloads/workloads.h"
 
 using namespace mira;
@@ -44,7 +45,9 @@ Measured RunOn(const ir::Module& module, pipeline::SystemKind kind, uint64_t loc
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // --trace-out=<f>.json / --metrics-out=<f>.json dump the run telemetry.
+  const telemetry::OutputOptions touts = telemetry::ParseOutputFlags(&argc, argv);
   workloads::Workload w = workloads::BuildDataFrame();
   const uint64_t local = w.footprint_bytes / 4;  // 25 % local memory
   std::printf("DataFrame: %s far data, %s local memory\n",
@@ -76,5 +79,6 @@ int main() {
   }
   std::printf("\nMira's compilation, trained on one input year, carries over to unseen\n"
               "inputs: the optimizations are program-based, not trace-based (§4.5).\n");
+  telemetry::FlushOutputs(touts);
   return 0;
 }

@@ -11,6 +11,7 @@
 #include "src/pipeline/optimizer.h"
 #include "src/pipeline/world.h"
 #include "src/support/str.h"
+#include "src/telemetry/telemetry.h"
 #include "src/workloads/workloads.h"
 
 using namespace mira;
@@ -29,7 +30,9 @@ uint64_t RunOn(const ir::Module& module, pipeline::SystemKind kind, uint64_t loc
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // --trace-out=<f>.json / --metrics-out=<f>.json dump the run telemetry.
+  const telemetry::OutputOptions touts = telemetry::ParseOutputFlags(&argc, argv);
   workloads::Workload w = workloads::BuildGpt2();
   std::printf("GPT-2-like inference: %s of weights + KV cache\n\n",
               support::HumanBytes(w.footprint_bytes).c_str());
@@ -59,5 +62,6 @@ int main() {
   }
   std::printf("\nLayer-by-layer lifetimes let Mira release each layer's weights as soon\n"
               "as the layer finishes — performance stays flat as local memory shrinks.\n");
+  telemetry::FlushOutputs(touts);
   return 0;
 }

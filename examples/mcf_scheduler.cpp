@@ -14,6 +14,7 @@
 #include "src/pipeline/optimizer.h"
 #include "src/pipeline/world.h"
 #include "src/support/str.h"
+#include "src/telemetry/telemetry.h"
 #include "src/workloads/workloads.h"
 
 using namespace mira;
@@ -36,7 +37,9 @@ uint64_t RunOn(const ir::Module& module, pipeline::SystemKind kind, uint64_t loc
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // --trace-out=<f>.json / --metrics-out=<f>.json dump the run telemetry.
+  const telemetry::OutputOptions touts = telemetry::ParseOutputFlags(&argc, argv);
   workloads::Workload w = workloads::BuildMcf();
   std::printf("MCF scheduler: %s of arcs + nodes\n\n",
               support::HumanBytes(w.footprint_bytes).c_str());
@@ -68,5 +71,6 @@ int main() {
   std::printf("\n(native full-memory run: %.1f ms; AIFM 'DNF' = remoteable-pointer\n"
               "metadata exceeded local memory, as in the paper's Fig 18.)\n",
               static_cast<double>(native) / 1e6);
+  telemetry::FlushOutputs(touts);
   return 0;
 }

@@ -17,6 +17,7 @@
 #include "src/pipeline/optimizer.h"
 #include "src/pipeline/world.h"
 #include "src/support/str.h"
+#include "src/telemetry/telemetry.h"
 #include "src/workloads/workloads.h"
 
 using namespace mira;
@@ -39,7 +40,9 @@ uint64_t RunOn(const ir::Module& module, pipeline::SystemKind kind, uint64_t loc
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // --trace-out=<f>.json / --metrics-out=<f>.json dump the run telemetry.
+  const telemetry::OutputOptions touts = telemetry::ParseOutputFlags(&argc, argv);
   // 1. An unmodified program, written as if all memory were local.
   workloads::Workload w = workloads::BuildGraphTraversal();
   std::printf("workload: %s (%s of far data)\n", w.name.c_str(),
@@ -94,5 +97,6 @@ int main() {
   row("fastswap", fastswap);
   row("leap", leap);
   row("aifm", aifm);
+  telemetry::FlushOutputs(touts);
   return 0;
 }

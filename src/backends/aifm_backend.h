@@ -47,6 +47,15 @@ class AifmBackend : public Backend {
   }
   void Drain(sim::SimClock& clk) override;
 
+  void PublishMetrics(telemetry::MetricsRegistry& registry) const override {
+    if (section_ != nullptr) {
+      cache::PublishSectionStats(registry, "cache.section.aifm", section_->stats());
+      registry.SetCounter("cache.prefetch.useful", section_->stats().prefetched_hits);
+      registry.SetCounter("cache.prefetch.wasted", section_->stats().prefetch_wasted);
+    }
+    registry.SetCounter("aifm.metadata_bytes", metadata_bytes_);
+  }
+
   uint64_t metadata_bytes() const { return metadata_bytes_; }
   uint64_t usable_bytes() const {
     return metadata_bytes_ >= local_bytes_ ? 0 : local_bytes_ - metadata_bytes_;

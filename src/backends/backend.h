@@ -22,6 +22,7 @@
 #include "src/sim/clock.h"
 #include "src/sim/cost_model.h"
 #include "src/support/status.h"
+#include "src/telemetry/telemetry.h"
 
 namespace mira::backends {
 
@@ -94,6 +95,12 @@ class Backend {
 
   // Finish outstanding work / write back dirty state (end of program).
   virtual void Drain(sim::SimClock& clk) {}
+
+  // Snapshots this backend's cache state into the unified metrics registry
+  // under "cache.*" (per-section entries plus prefetch-accuracy
+  // aggregates). Transport verbs publish themselves continuously; this
+  // covers the stats only the backend can name.
+  virtual void PublishMetrics(telemetry::MetricsRegistry& registry) const {}
 
   // Charge `ops` units of local compute.
   void Compute(sim::SimClock& clk, uint64_t ops) {

@@ -33,6 +33,12 @@ class LeapBackend : public Backend {
   }
   void Drain(sim::SimClock& clk) override { swap_.Release(clk); }
 
+  void PublishMetrics(telemetry::MetricsRegistry& registry) const override {
+    cache::PublishSectionStats(registry, "cache.swap", swap_.stats());
+    registry.SetCounter("cache.prefetch.useful", swap_.stats().prefetched_hits);
+    registry.SetCounter("cache.prefetch.wasted", swap_.stats().prefetch_wasted);
+  }
+
   const cache::SectionStats& swap_stats() const { return swap_.stats(); }
 
  private:

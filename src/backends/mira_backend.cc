@@ -151,6 +151,24 @@ void MiraBackend::OffloadCall(sim::SimClock& clk, uint32_t req_bytes, uint32_t r
 
 void MiraBackend::Drain(sim::SimClock& clk) { sections_->ReleaseAll(clk); }
 
+void MiraBackend::PublishMetrics(telemetry::MetricsRegistry& registry) const {
+  auto* self = const_cast<MiraBackend*>(this);
+  uint64_t useful = 0;
+  uint64_t wasted = 0;
+  for (uint32_t i = 0; i < section_ids_.size(); ++i) {
+    const cache::SectionStats& st = self->sections_->section(section_ids_[i])->stats();
+    cache::PublishSectionStats(registry, "cache.section." + plan_.sections[i].name, st);
+    useful += st.prefetched_hits;
+    wasted += st.prefetch_wasted;
+  }
+  const cache::SectionStats& sw = self->sections_->swap()->stats();
+  cache::PublishSectionStats(registry, "cache.swap", sw);
+  useful += sw.prefetched_hits;
+  wasted += sw.prefetch_wasted;
+  registry.SetCounter("cache.prefetch.useful", useful);
+  registry.SetCounter("cache.prefetch.wasted", wasted);
+}
+
 const cache::SectionStats& MiraBackend::SectionStatsAt(uint32_t index) {
   MIRA_CHECK(index < section_ids_.size());
   return sections_->section(section_ids_[index])->stats();

@@ -51,6 +51,12 @@ class MiraBackend : public Backend {
 
   void Drain(sim::SimClock& clk) override;
 
+  // Per-section snapshots keyed "cache.section.<plan-name>.*" plus the swap
+  // fallback under "cache.swap.*" and the prefetch-accuracy aggregates
+  // ("cache.prefetch.useful" / "cache.prefetch.wasted") summed across all
+  // sections — the signal 3PO-style prefetch tuning consumes.
+  void PublishMetrics(telemetry::MetricsRegistry& registry) const override;
+
   const runtime::CachePlan& plan() const { return plan_; }
   cache::SectionManager& sections() { return *sections_; }
   // Stats of plan section `index` (0-based plan index).

@@ -3,8 +3,28 @@
 #include <algorithm>
 
 #include "src/support/check.h"
+#include "src/support/str.h"
 
 namespace mira::cache {
+
+void PublishSectionStats(telemetry::MetricsRegistry& registry, const std::string& prefix,
+                         const SectionStats& stats) {
+  registry.SetCounter(prefix + ".hits", stats.lines.hits);
+  registry.SetCounter(prefix + ".misses", stats.lines.misses);
+  registry.SetGauge(prefix + ".miss_rate", stats.lines.miss_rate());
+  registry.SetCounter(prefix + ".runtime_ns", stats.runtime_ns);
+  registry.SetCounter(prefix + ".stall_ns", stats.stall_ns);
+  registry.SetCounter(prefix + ".evictions", stats.evictions);
+  registry.SetCounter(prefix + ".hint_evictions", stats.hint_evictions);
+  registry.SetCounter(prefix + ".writebacks", stats.writebacks);
+  registry.SetCounter(prefix + ".prefetch.issued", stats.prefetches_issued);
+  registry.SetCounter(prefix + ".prefetch.useful", stats.prefetched_hits);
+  registry.SetCounter(prefix + ".prefetch.wasted", stats.prefetch_wasted);
+  registry.SetCounter(prefix + ".prefetch.late_ns", stats.prefetch_late_ns);
+  registry.SetGauge(prefix + ".prefetch.accuracy", stats.prefetch_accuracy());
+  registry.SetCounter(prefix + ".bytes_fetched", stats.bytes_fetched);
+  registry.SetCounter(prefix + ".bytes_written_back", stats.bytes_written_back);
+}
 
 Section::Section(SectionConfig config, net::Transport* net)
     : config_(std::move(config)), net_(net) {
@@ -118,6 +138,12 @@ void Section::AccessLine(sim::SimClock& clk, uint64_t line, bool write, bool ful
   clk.AdvanceTo(done);
   m.ready_at_ns = done;
   stats_.stall_ns += clk.now_ns() - t0;
+  auto& trace = telemetry::Trace();
+  if (trace.enabled()) {
+    trace.Complete(clk, t0, clk.now_ns() - t0, "cache." + config_.name + ".miss", "cache",
+                   support::StrFormat("{\"line\":%llu}",
+                                      static_cast<unsigned long long>(line)));
+  }
 }
 
 uint64_t Section::FetchLine(sim::SimClock& clk, uint64_t line, uint32_t slot, bool demand) {
@@ -153,6 +179,11 @@ void Section::EvictSlot(sim::SimClock& clk, uint32_t slot) {
   }
   if (soft_pins_[slot] != 0) {
     ++stats_.soft_evictions;
+  }
+  if (m.prefetched) {
+    // A prefetched line leaving the cache before its first use: the fetch
+    // was pure waste (3PO's accuracy denominator).
+    ++stats_.prefetch_wasted;
   }
   if (m.dirty) {
     // Asynchronous writeback: costs issue CPU; wire time overlaps compute
@@ -225,6 +256,12 @@ void Section::AccessBatch(sim::SimClock& clk,
     for (const uint32_t slot : filled_slots) {
       slots_[slot].ready_at_ns = done;
     }
+    auto& trace = telemetry::Trace();
+    if (trace.enabled()) {
+      trace.Complete(clk, t0, clk.now_ns() - t0, "cache." + config_.name + ".batch_miss",
+                     "cache",
+                     support::StrFormat("{\"lines\":%zu}", segs.size()));
+    }
   }
   // Phase 3: the data accesses themselves.
   clk.Advance(accesses.size() * net_->cost().native_access_ns);
@@ -254,6 +291,13 @@ void Section::Prefetch(sim::SimClock& clk, uint64_t raddr, uint32_t len) {
     ++stats_.prefetches_issued;
     soft_pins_[victim] = 1;
     OnInsert(victim, line);
+    auto& trace = telemetry::Trace();
+    if (trace.enabled()) {
+      trace.Instant(clk, "cache." + config_.name + ".prefetch", "cache",
+                    support::StrFormat("{\"line\":%llu,\"ready_at_ns\":%llu}",
+                                       static_cast<unsigned long long>(line),
+                                       static_cast<unsigned long long>(m.ready_at_ns)));
+    }
   }
 }
 
@@ -329,6 +373,9 @@ void Section::Release(sim::SimClock& clk, bool discard) {
   }
   for (uint32_t slot = 0; slot < slots_.size(); ++slot) {
     if (slots_[slot].valid()) {
+      if (slots_[slot].prefetched) {
+        ++stats_.prefetch_wasted;  // dropped at scope end without a use
+      }
       OnInvalidate(slot, slots_[slot].tag);
       slots_[slot].Invalidate();
     }

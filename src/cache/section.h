@@ -22,6 +22,7 @@
 #include "src/net/transport.h"
 #include "src/sim/clock.h"
 #include "src/support/stats.h"
+#include "src/telemetry/telemetry.h"
 
 namespace mira::cache {
 
@@ -37,13 +38,27 @@ struct SectionStats {
   uint64_t writebacks = 0;
   uint64_t prefetches_issued = 0;
   uint64_t prefetch_late_ns = 0;   // stall on lines whose prefetch hadn't landed
-  uint64_t prefetched_hits = 0;    // hits served by a completed prefetch
+  uint64_t prefetched_hits = 0;    // prefetched lines hit before eviction ("useful")
+  uint64_t prefetch_wasted = 0;    // prefetched lines evicted/released unused
   uint64_t bytes_fetched = 0;
   uint64_t bytes_written_back = 0;
 
   uint64_t overhead_ns() const { return runtime_ns + stall_ns; }
+  // 3PO-style prefetch accuracy: useful / issued-and-resolved. 0 when no
+  // prefetched line has been used or discarded yet.
+  double prefetch_accuracy() const {
+    const uint64_t resolved = prefetched_hits + prefetch_wasted;
+    return resolved > 0 ? static_cast<double>(prefetched_hits) / static_cast<double>(resolved)
+                        : 0.0;
+  }
   void Reset() { *this = SectionStats{}; }
 };
+
+// Snapshots `stats` into the registry under `prefix` (e.g.
+// "cache.section.hot"): hits/misses/miss_rate, runtime/stall ns, eviction
+// and writeback counts, prefetch issue/useful/wasted/accuracy, and traffic.
+void PublishSectionStats(telemetry::MetricsRegistry& registry, const std::string& prefix,
+                         const SectionStats& stats);
 
 // One resident (or in-flight) cache line.
 struct LineMeta {

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/support/check.h"
+#include "src/support/str.h"
 
 namespace mira::cache {
 
@@ -103,6 +104,12 @@ uint32_t SwapSection::FaultIn(sim::SimClock& clk, uint64_t page, bool demand) {
     net_->ReadSync(clk, raddr, nullptr, kPageBytes);
     m.ready_at_ns = clk.now_ns();
     stats_.stall_ns += clk.now_ns() - t0;
+    auto& trace = telemetry::Trace();
+    if (trace.enabled()) {
+      trace.Complete(clk, t0, clk.now_ns() - t0, "cache.swap.fault", "cache",
+                     support::StrFormat("{\"page\":%llu}",
+                                        static_cast<unsigned long long>(page)));
+    }
   } else {
     const uint64_t issue = net_->cost().prefetch_issue_ns;
     clk.Advance(issue);
@@ -121,6 +128,7 @@ void SwapSection::EvictFrame(sim::SimClock& clk, uint32_t slot) {
   MIRA_CHECK(m.page != UINT64_MAX);
   ++stats_.evictions;
   if (m.prefetched) {
+    ++stats_.prefetch_wasted;
     prefetcher_->Feedback(false);  // prefetched but never used
   }
   const uint64_t evict = static_cast<uint64_t>(
@@ -143,6 +151,9 @@ void SwapSection::Release(sim::SimClock& clk) {
     PageMeta& m = frames_[f];
     if (m.page == UINT64_MAX) {
       continue;
+    }
+    if (m.prefetched) {
+      ++stats_.prefetch_wasted;  // dropped at release without a use
     }
     if (m.dirty) {
       const uint64_t done = net_->WriteAsync(clk, m.page << kPageShift, nullptr, kPageBytes);

@@ -11,7 +11,23 @@ using support::Status;
 
 Interpreter::Interpreter(const ir::Module* module, backends::Backend* backend,
                          InterpOptions options)
-    : module_(module), backend_(backend), options_(options), rng_(options.seed) {}
+    : module_(module), backend_(backend), options_(options), rng_(options.seed) {
+  // Each interpreter run is one logical thread of the telemetry timeline.
+  clock_.set_tid(sim::AllocateTid());
+}
+
+void PublishRunProfile(telemetry::MetricsRegistry& registry, const RunProfile& profile) {
+  for (const auto& [name, fp] : profile.funcs) {
+    const std::string prefix = "interp.func." + name;
+    registry.SetCounter(prefix + ".calls", fp.calls);
+    registry.SetCounter(prefix + ".inclusive_ns", fp.inclusive_ns);
+    registry.SetCounter(prefix + ".overhead_ns", fp.overhead_ns);
+    registry.SetCounter(prefix + ".mem_accesses", fp.mem_accesses);
+  }
+  registry.SetCounter("interp.total_ns", profile.total_ns);
+  registry.SetCounter("interp.total_overhead_ns", profile.total_overhead_ns);
+  registry.SetGauge("interp.overhead_ratio", profile.OverheadRatio());
+}
 
 farmem::RemoteAddr Interpreter::ObjectAddr(const std::string& label) const {
   const auto it = first_alloc_addr_.find(label);
@@ -139,10 +155,18 @@ support::Status Interpreter::CallFunction(uint32_t index, const std::vector<uint
   if (options_.profiling) {
     clock_.Advance(backend_->cost().profile_event_ns);  // entry event
   }
+  auto& trace = telemetry::Trace();
+  const bool traced = trace.enabled();
+  if (traced) {
+    trace.Begin(clock_, func.name, "interp");
+  }
   const uint64_t t0 = clock_.now_ns();
   Flow flow = Flow::kNormal;
   Status status = ExecRegion(frame, func.body, &flow);
   fp.inclusive_ns += clock_.now_ns() - t0;
+  if (traced) {
+    trace.End(clock_);
+  }
   if (options_.profiling) {
     clock_.Advance(backend_->cost().profile_event_ns);  // exit event
   }

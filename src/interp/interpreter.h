@@ -26,6 +26,7 @@
 #include "src/sim/clock.h"
 #include "src/support/rng.h"
 #include "src/support/status.h"
+#include "src/telemetry/telemetry.h"
 
 namespace mira::interp {
 
@@ -52,6 +53,10 @@ struct RunProfile {
     return static_cast<double>(total_overhead_ns) / static_cast<double>(rest);
   }
 };
+
+// Snapshots a run profile into the registry: per-function ledgers under
+// "interp.func.<name>.*" plus run totals and the overhead ratio.
+void PublishRunProfile(telemetry::MetricsRegistry& registry, const RunProfile& profile);
 
 struct InterpOptions {
   // Seed for the kRand op's generator (workload data synthesis).

@@ -1,6 +1,43 @@
 #include "src/net/transport.h"
 
+#include "src/support/str.h"
+
 namespace mira::net {
+
+Transport::Transport(farmem::FarMemoryNode* node, const sim::CostModel& cost)
+    : node_(node), cost_(cost), link_(cost.network_bytes_per_ns) {
+  auto& m = telemetry::Metrics();
+  const auto verb = [&m](const char* name) {
+    VerbTelemetry v;
+    const std::string prefix = std::string("net.") + name;
+    v.count = m.Counter(prefix + ".count");
+    v.bytes = m.Counter(prefix + ".bytes");
+    v.latency = m.Histogram(prefix + ".latency_ns");
+    return v;
+  };
+  read_sync_ = verb("read.sync");
+  read_async_ = verb("read.async");
+  read_gather_ = verb("read.gather");
+  write_sync_ = verb("write.sync");
+  write_async_ = verb("write.async");
+  two_sided_read_ = verb("two_sided.read");
+  two_sided_write_ = verb("two_sided.write");
+  rpc_ = verb("rpc");
+}
+
+void Transport::RecordVerb(const VerbTelemetry& verb, const char* name,
+                           const sim::SimClock& clk, uint64_t start_ns, uint64_t done_ns,
+                           uint64_t bytes) {
+  ++*verb.count;
+  *verb.bytes += bytes;
+  verb.latency->Add(done_ns > start_ns ? done_ns - start_ns : 0);
+  auto& trace = telemetry::Trace();
+  if (trace.enabled()) {
+    trace.Complete(clk, start_ns, done_ns > start_ns ? done_ns - start_ns : 0, name, "net",
+                   support::StrFormat("{\"bytes\":%llu}",
+                                      static_cast<unsigned long long>(bytes)));
+  }
+}
 
 uint64_t Transport::MessageDoneAt(sim::SimClock& clk, uint64_t bytes, uint64_t extra_ns) {
   // Caller pays CPU to post the verb; the wire occupies the shared link for
@@ -16,7 +53,9 @@ void Transport::ReadSync(sim::SimClock& clk, farmem::RemoteAddr raddr, void* dst
   }
   ++stats_.one_sided_reads;
   stats_.bytes_in += len;
+  const uint64_t t0 = clk.now_ns();
   clk.AdvanceTo(MessageDoneAt(clk, len, 0));
+  RecordVerb(read_sync_, "net.read.sync", clk, t0, clk.now_ns(), len);
 }
 
 void Transport::WriteSync(sim::SimClock& clk, farmem::RemoteAddr raddr, const void* src,
@@ -26,7 +65,9 @@ void Transport::WriteSync(sim::SimClock& clk, farmem::RemoteAddr raddr, const vo
   }
   ++stats_.one_sided_writes;
   stats_.bytes_out += len;
+  const uint64_t t0 = clk.now_ns();
   clk.AdvanceTo(MessageDoneAt(clk, len, 0));
+  RecordVerb(write_sync_, "net.write.sync", clk, t0, clk.now_ns(), len);
 }
 
 uint64_t Transport::ReadAsync(sim::SimClock& clk, farmem::RemoteAddr raddr, void* dst,
@@ -36,7 +77,10 @@ uint64_t Transport::ReadAsync(sim::SimClock& clk, farmem::RemoteAddr raddr, void
   }
   ++stats_.one_sided_reads;
   stats_.bytes_in += len;
-  return MessageDoneAt(clk, len, 0);
+  const uint64_t t0 = clk.now_ns();
+  const uint64_t done = MessageDoneAt(clk, len, 0);
+  RecordVerb(read_async_, "net.read.async", clk, t0, done, len);
+  return done;
 }
 
 uint64_t Transport::WriteAsync(sim::SimClock& clk, farmem::RemoteAddr raddr, const void* src,
@@ -46,7 +90,10 @@ uint64_t Transport::WriteAsync(sim::SimClock& clk, farmem::RemoteAddr raddr, con
   }
   ++stats_.one_sided_writes;
   stats_.bytes_out += len;
-  return MessageDoneAt(clk, len, 0);
+  const uint64_t t0 = clk.now_ns();
+  const uint64_t done = MessageDoneAt(clk, len, 0);
+  RecordVerb(write_async_, "net.write.async", clk, t0, done, len);
+  return done;
 }
 
 void Transport::ReadGatherSync(sim::SimClock& clk, const std::vector<Segment>& segs) {
@@ -66,7 +113,10 @@ uint64_t Transport::ReadGatherAsync(sim::SimClock& clk, const std::vector<Segmen
   stats_.sg_segments += segs.size();
   const uint64_t sg_cost =
       segs.empty() ? 0 : (segs.size() - 1) * cost_.sg_segment_ns;
-  return MessageDoneAt(clk, bytes, sg_cost);
+  const uint64_t t0 = clk.now_ns();
+  const uint64_t done = MessageDoneAt(clk, bytes, sg_cost);
+  RecordVerb(read_gather_, "net.read.gather", clk, t0, done, bytes);
+  return done;
 }
 
 void Transport::TwoSidedReadSync(sim::SimClock& clk, farmem::RemoteAddr raddr, void* dst,
@@ -78,7 +128,9 @@ void Transport::TwoSidedReadSync(sim::SimClock& clk, farmem::RemoteAddr raddr, v
   stats_.bytes_in += len;
   const uint64_t handler =
       cost_.two_sided_handler_ns + gather_segments * cost_.sg_segment_ns;
+  const uint64_t t0 = clk.now_ns();
   clk.AdvanceTo(MessageDoneAt(clk, len, handler));
+  RecordVerb(two_sided_read_, "net.two_sided.read", clk, t0, clk.now_ns(), len);
 }
 
 void Transport::TwoSidedWriteSync(sim::SimClock& clk, farmem::RemoteAddr raddr, const void* src,
@@ -90,7 +142,9 @@ void Transport::TwoSidedWriteSync(sim::SimClock& clk, farmem::RemoteAddr raddr, 
   stats_.bytes_out += len;
   const uint64_t handler =
       cost_.two_sided_handler_ns + gather_segments * cost_.sg_segment_ns;
+  const uint64_t t0 = clk.now_ns();
   clk.AdvanceTo(MessageDoneAt(clk, len, handler));
+  RecordVerb(two_sided_write_, "net.two_sided.write", clk, t0, clk.now_ns(), len);
 }
 
 uint64_t Transport::Rpc(sim::SimClock& clk, uint32_t req_bytes, uint32_t resp_bytes,
@@ -98,9 +152,12 @@ uint64_t Transport::Rpc(sim::SimClock& clk, uint32_t req_bytes, uint32_t resp_by
   ++stats_.rpcs;
   stats_.bytes_out += req_bytes;
   stats_.bytes_in += resp_bytes;
+  const uint64_t t0 = clk.now_ns();
   const uint64_t done = MessageDoneAt(clk, req_bytes + resp_bytes,
                                       cost_.rpc_dispatch_ns + remote_service_ns);
   clk.AdvanceTo(done);
+  RecordVerb(rpc_, "net.rpc", clk, t0, done,
+             static_cast<uint64_t>(req_bytes) + resp_bytes);
   return done;
 }
 

@@ -25,6 +25,8 @@
 #include "src/sim/clock.h"
 #include "src/sim/cost_model.h"
 #include "src/sim/resource.h"
+#include "src/support/stats.h"
+#include "src/telemetry/telemetry.h"
 
 namespace mira::net {
 
@@ -51,8 +53,7 @@ struct Segment {
 
 class Transport {
  public:
-  Transport(farmem::FarMemoryNode* node, const sim::CostModel& cost)
-      : node_(node), cost_(cost), link_(cost.network_bytes_per_ns) {}
+  Transport(farmem::FarMemoryNode* node, const sim::CostModel& cost);
 
   // ---- One-sided verbs ----
 
@@ -102,14 +103,36 @@ class Transport {
   void ResetStats() { stats_.Reset(); }
 
  private:
+  // Cached registry pointers for one verb's "net.<verb>.{count,bytes}"
+  // counters and "net.<verb>.latency_ns" histogram, so hot-path recording
+  // is three pointer updates with no name lookup.
+  struct VerbTelemetry {
+    uint64_t* count = nullptr;
+    uint64_t* bytes = nullptr;
+    support::LatencyHistogram* latency = nullptr;
+  };
+
   // Completion time of a message of `bytes` issued at clk.now(), after the
   // caller-side CPU cost. Shares the link across logical threads.
   uint64_t MessageDoneAt(sim::SimClock& clk, uint64_t bytes, uint64_t extra_ns);
+
+  // Records one completed verb: registry counters/latency plus (when trace
+  // recording is on) a Complete event spanning [start_ns, done_ns).
+  void RecordVerb(const VerbTelemetry& verb, const char* name, const sim::SimClock& clk,
+                  uint64_t start_ns, uint64_t done_ns, uint64_t bytes);
 
   farmem::FarMemoryNode* node_;
   const sim::CostModel& cost_;
   sim::BandwidthLink link_;
   NetworkStats stats_;
+  VerbTelemetry read_sync_;
+  VerbTelemetry read_async_;
+  VerbTelemetry read_gather_;
+  VerbTelemetry write_sync_;
+  VerbTelemetry write_async_;
+  VerbTelemetry two_sided_read_;
+  VerbTelemetry two_sided_write_;
+  VerbTelemetry rpc_;
 };
 
 }  // namespace mira::net

@@ -1,6 +1,7 @@
 #include "src/pipeline/adaptive.h"
 
 #include "src/interp/interpreter.h"
+#include "src/telemetry/telemetry.h"
 
 namespace mira::pipeline {
 
@@ -26,6 +27,9 @@ void AdaptiveRuntime::Reoptimize(uint64_t seed) {
   opts.train_seed = seed;
   IterativeOptimizer optimizer(source_, opts);
   CompiledProgram candidate = optimizer.Optimize();
+  bool adopted = true;
+  uint64_t old_ns = 0;
+  uint64_t new_ns = 0;
   if (!compiled_) {
     current_ = std::move(candidate);
     compiled_ = true;
@@ -34,28 +38,59 @@ void AdaptiveRuntime::Reoptimize(uint64_t seed) {
     // this input (rollback discipline).
     const Invocation old_run = Execute(current_, seed);
     const Invocation new_run = Execute(candidate, seed);
-    if (new_run.sim_ns < old_run.sim_ns) {
+    old_ns = old_run.sim_ns;
+    new_ns = new_run.sim_ns;
+    adopted = new_run.sim_ns < old_run.sim_ns;
+    if (adopted) {
       current_ = std::move(candidate);
     }
   }
   ++rounds_;
   reference_overhead_ = Execute(current_, seed).overhead_ratio;
+  auto& trace = telemetry::Trace();
+  if (trace.enabled()) {
+    std::string args = "{\"round\":" + std::to_string(rounds_);
+    args += ",\"seed\":" + std::to_string(seed);
+    if (old_ns != 0) {
+      args += ",\"current_ns\":" + std::to_string(old_ns);
+      args += ",\"candidate_ns\":" + std::to_string(new_ns);
+    }
+    args += ",\"reference_overhead\":" + std::to_string(reference_overhead_);
+    args += adopted ? ",\"adopted\":true}" : ",\"adopted\":false}";
+    trace.Instant(trace_clock_, "adaptive.reoptimize", "pipeline", args);
+  }
 }
 
 AdaptiveRuntime::Invocation AdaptiveRuntime::Invoke(uint64_t seed) {
+  Invocation out;
   if (!compiled_) {
-    Reoptimize(seed);
-    Invocation out = Execute(current_, seed);
-    out.reoptimized = true;
-    return out;
-  }
-  Invocation out = Execute(current_, seed);
-  if (reference_overhead_ > 0.0 &&
-      out.overhead_ratio > degrade_factor_ * reference_overhead_) {
     Reoptimize(seed);
     out = Execute(current_, seed);
     out.reoptimized = true;
+  } else {
+    out = Execute(current_, seed);
+    if (reference_overhead_ > 0.0 &&
+        out.overhead_ratio > degrade_factor_ * reference_overhead_) {
+      Reoptimize(seed);
+      out = Execute(current_, seed);
+      out.reoptimized = true;
+    }
   }
+  ++invocations_;
+  trace_clock_.Advance(out.sim_ns);
+  auto& trace = telemetry::Trace();
+  if (trace.enabled()) {
+    std::string args = "{\"seed\":" + std::to_string(seed);
+    args += ",\"sim_ns\":" + std::to_string(out.sim_ns);
+    args += ",\"overhead_ratio\":" + std::to_string(out.overhead_ratio);
+    args += ",\"reference_overhead\":" + std::to_string(reference_overhead_);
+    args += out.reoptimized ? ",\"reoptimized\":true}" : ",\"reoptimized\":false}";
+    trace.Instant(trace_clock_, "adaptive.invoke", "pipeline", args);
+  }
+  auto& metrics = telemetry::Metrics();
+  metrics.SetCounter("adaptive.invocations", invocations_);
+  metrics.SetCounter("adaptive.reoptimizations", static_cast<uint64_t>(rounds_));
+  metrics.SetGauge("adaptive.reference_overhead", reference_overhead_);
   return out;
 }
 

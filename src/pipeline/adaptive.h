@@ -27,7 +27,9 @@ class AdaptiveRuntime {
   // degrade_factor × the ratio measured right after the last optimization.
   AdaptiveRuntime(const ir::Module* source, OptimizeOptions options,
                   double degrade_factor = 1.5)
-      : source_(source), options_(std::move(options)), degrade_factor_(degrade_factor) {}
+      : source_(source), options_(std::move(options)), degrade_factor_(degrade_factor) {
+    trace_clock_.set_tid(sim::AllocateTid());
+  }
 
   // Serves one program invocation with input `seed`. The first invocation
   // compiles from scratch (the paper's initial profiling run on the generic
@@ -49,6 +51,10 @@ class AdaptiveRuntime {
   bool compiled_ = false;
   double reference_overhead_ = 0.0;
   int rounds_ = 0;
+  uint64_t invocations_ = 0;
+  // Deployment timeline for telemetry: advances by each invocation's
+  // simulated duration, so adaptive instants form one monotonic track.
+  sim::SimClock trace_clock_;
 };
 
 }  // namespace mira::pipeline

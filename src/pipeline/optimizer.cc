@@ -8,6 +8,7 @@
 #include "src/passes/convert.h"
 #include "src/passes/fuse.h"
 #include "src/passes/prefetch_evict.h"
+#include "src/telemetry/telemetry.h"
 
 namespace mira::pipeline {
 
@@ -92,10 +93,10 @@ uint64_t IterativeOptimizer::Evaluate(const ir::Module& module, const runtime::C
   return interp.clock().now_ns();
 }
 
-void IterativeOptimizer::SizeSections(const ir::Module& compiled, PlanDraft* draft,
-                                      const analysis::LifetimeAnalysis& lifetime) {
+double IterativeOptimizer::SizeSections(const ir::Module& compiled, PlanDraft* draft,
+                                        const analysis::LifetimeAnalysis& lifetime) {
   if (draft->sample_sections.empty()) {
-    return;
+    return -1.0;
   }
   const uint64_t avail = static_cast<uint64_t>(
       static_cast<double>(options_.local_bytes) * (1.0 - options_.planner.swap_reserve));
@@ -173,19 +174,33 @@ void IterativeOptimizer::SizeSections(const ir::Module& compiled, PlanDraft* dra
 
   const solver::IlpSolution solution = solver::SolveSectionSizing(choices, constraints);
   if (!solution.feasible) {
-    return;  // keep defaults
+    return -1.0;  // keep defaults
   }
+  double predicted_overhead_ns = 0.0;
   for (size_t si = 0; si < draft->sample_sections.size(); ++si) {
-    draft->plan.sections[draft->sample_sections[si]].size_bytes =
-        choices[si].sizes[static_cast<size_t>(solution.choice[si])];
+    const auto pick = static_cast<size_t>(solution.choice[si]);
+    draft->plan.sections[draft->sample_sections[si]].size_bytes = choices[si].sizes[pick];
+    predicted_overhead_ns += choices[si].costs[pick];
   }
+  return predicted_overhead_ns;
 }
 
 CompiledProgram IterativeOptimizer::Optimize() {
+  // The optimization loop gets its own trace track: the clock advances by
+  // each candidate's measured run time, so iteration instants line up in
+  // the order (and at the cumulative cost) the loop actually paid.
+  sim::SimClock pclk(0, sim::AllocateTid());
+  auto& trace = telemetry::Trace();
+
   // Iteration 0: generic swap configuration, profiling instrumented.
   runtime::CachePlan swap_plan;  // empty: everything in swap
   interp::RunProfile profile;
   baseline_swap_ns_ = Evaluate(*source_, swap_plan, &profile, /*profiling=*/true);
+  pclk.Advance(baseline_swap_ns_);
+  if (trace.enabled()) {
+    trace.Instant(pclk, "pipeline.baseline", "pipeline",
+                  "{\"measured_ns\":" + std::to_string(baseline_swap_ns_) + "}");
+  }
 
   CompiledProgram best;
   best.module = source_->Clone();
@@ -216,7 +231,7 @@ CompiledProgram IterativeOptimizer::Optimize() {
     caccess.Run();
     analysis::LifetimeAnalysis lifetime(&compiled, &caccess);
     lifetime.Run(options_.entry);
-    SizeSections(compiled, &draft, lifetime);
+    const double predicted_overhead_ns = SizeSections(compiled, &draft, lifetime);
 
     interp::RunProfile iter_profile;
     uint64_t ns = Evaluate(compiled, draft.plan, &iter_profile, /*profiling=*/true);
@@ -252,6 +267,24 @@ CompiledProgram IterativeOptimizer::Optimize() {
     entry.sections = draft.plan.sections.size();
     entry.rolled_back = ns >= best_ns;
     log_.push_back(entry);
+    pclk.Advance(ns);
+    if (trace.enabled()) {
+      // One instant per iteration, carrying everything needed to replay the
+      // loop's decisions from the trace alone: the candidate configuration,
+      // the solver's predicted overhead, the measured time, the incumbent,
+      // and whether the candidate was accepted.
+      std::string args = "{\"iteration\":" + std::to_string(iter);
+      args += ",\"func_frac\":" + std::to_string(popts.func_frac);
+      args += ",\"config\":\"" + telemetry::JsonEscape(draft.plan.ToString()) + "\"";
+      if (predicted_overhead_ns >= 0.0) {
+        args += ",\"predicted_overhead_ns\":" +
+                std::to_string(static_cast<uint64_t>(predicted_overhead_ns));
+      }
+      args += ",\"measured_ns\":" + std::to_string(ns);
+      args += ",\"best_ns\":" + std::to_string(best_ns);
+      args += entry.rolled_back ? ",\"accepted\":false}" : ",\"accepted\":true}";
+      trace.Instant(pclk, "pipeline.iteration", "pipeline", args);
+    }
     if (options_.verbose) {
       std::fprintf(stderr, "[mira-opt] iter %d: %.3f ms (%zu funcs, %zu objs, %zu sections)%s\n",
                    iter, static_cast<double>(ns) / 1e6, draft.selected_functions.size(),
@@ -282,6 +315,16 @@ CompiledProgram IterativeOptimizer::Optimize() {
     }
     profile = iter_profile;
   }
+
+  auto& metrics = telemetry::Metrics();
+  uint64_t rollbacks = 0;
+  for (const auto& l : log_) {
+    rollbacks += l.rolled_back ? 1 : 0;
+  }
+  metrics.SetCounter("pipeline.iterations", log_.size());
+  metrics.SetCounter("pipeline.rollbacks", rollbacks);
+  metrics.SetCounter("pipeline.baseline_ns", baseline_swap_ns_);
+  metrics.SetCounter("pipeline.best_ns", best_ns);
   return best;
 }
 

@@ -76,8 +76,10 @@ class IterativeOptimizer {
                     interp::RunProfile* profile, bool profiling_instrumented);
 
   // Section sizing by sampling + ILP (§4.3). Mutates draft.plan sizes.
-  void SizeSections(const ir::Module& compiled, PlanDraft* draft,
-                    const analysis::LifetimeAnalysis& lifetime);
+  // Returns the solver's predicted overhead (ns) for the chosen sizes, or a
+  // negative value when nothing was sampled / the ILP was infeasible.
+  double SizeSections(const ir::Module& compiled, PlanDraft* draft,
+                      const analysis::LifetimeAnalysis& lifetime);
 
   const ir::Module* source_;
   OptimizeOptions options_;

@@ -13,12 +13,18 @@ namespace mira::sim {
 
 // A monotonically advancing nanosecond clock. One clock per logical thread
 // of execution; the multi-thread scheduler arbitrates between clocks.
+//
+// `tid` names the logical thread for telemetry: trace events stamped with
+// this clock land on track `tid` of the exported timeline. It never affects
+// simulated timing.
 class SimClock {
  public:
   SimClock() = default;
-  explicit SimClock(uint64_t start_ns) : now_ns_(start_ns) {}
+  explicit SimClock(uint64_t start_ns, uint32_t tid = 0) : now_ns_(start_ns), tid_(tid) {}
 
   uint64_t now_ns() const { return now_ns_; }
+  uint32_t tid() const { return tid_; }
+  void set_tid(uint32_t tid) { tid_ = tid; }
 
   // Advance by a delta. Deltas are additive simulated costs.
   void Advance(uint64_t delta_ns) { now_ns_ += delta_ns; }
@@ -35,7 +41,17 @@ class SimClock {
 
  private:
   uint64_t now_ns_ = 0;
+  uint32_t tid_ = 0;
 };
+
+// Process-wide logical-thread-id allocator. Each execution context that
+// owns a SimClock (interpreter run, scheduler thread, pipeline timeline)
+// takes a fresh id, so timestamps on any one id are monotonic — the
+// invariant the trace exporter relies on. Ids never influence timing.
+inline uint32_t AllocateTid() {
+  static uint32_t next_tid = 0;
+  return ++next_tid;
+}
 
 }  // namespace mira::sim
 

@@ -31,7 +31,7 @@ class MtScheduler {
  public:
   // Adds a thread starting at time `start_ns`.
   void AddThread(std::function<bool(SimClock&)> step, uint64_t start_ns = 0) {
-    threads_.push_back(SimThread{SimClock(start_ns), std::move(step), false});
+    threads_.push_back(SimThread{SimClock(start_ns, AllocateTid()), std::move(step), false});
   }
 
   size_t thread_count() const { return threads_.size(); }

@@ -1,0 +1,142 @@
+#include "src/telemetry/metrics.h"
+
+#include "src/support/str.h"
+
+namespace mira::telemetry {
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += support::StrFormat("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+uint64_t* MetricsRegistry::Counter(const std::string& name) { return &counters_[name]; }
+
+double* MetricsRegistry::Gauge(const std::string& name) { return &gauges_[name]; }
+
+support::LatencyHistogram* MetricsRegistry::Histogram(const std::string& name) {
+  return &histograms_[name];
+}
+
+const uint64_t* MetricsRegistry::FindCounter(const std::string& name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : &it->second;
+}
+
+const double* MetricsRegistry::FindGauge(const std::string& name) const {
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? nullptr : &it->second;
+}
+
+const support::LatencyHistogram* MetricsRegistry::FindHistogram(const std::string& name) const {
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+void MetricsRegistry::ResetValues() {
+  for (auto& [name, v] : counters_) {
+    v = 0;
+  }
+  for (auto& [name, v] : gauges_) {
+    v = 0.0;
+  }
+  for (auto& [name, h] : histograms_) {
+    h.Reset();
+  }
+}
+
+void MetricsRegistry::Clear() {
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, v] : counters_) {
+    out += support::StrFormat("%s\n    \"%s\": %llu", first ? "" : ",",
+                              JsonEscape(name).c_str(), static_cast<unsigned long long>(v));
+    first = false;
+  }
+  out += "\n  },\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, v] : gauges_) {
+    out += support::StrFormat("%s\n    \"%s\": %.9g", first ? "" : ",",
+                              JsonEscape(name).c_str(), v);
+    first = false;
+  }
+  out += "\n  },\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    out += support::StrFormat(
+        "%s\n    \"%s\": {\"count\": %llu, \"mean_ns\": %.3f, \"p50_ns\": %llu, "
+        "\"p90_ns\": %llu, \"p99_ns\": %llu}",
+        first ? "" : ",", JsonEscape(name).c_str(),
+        static_cast<unsigned long long>(h.count()), h.mean(),
+        static_cast<unsigned long long>(h.PercentileNs(50)),
+        static_cast<unsigned long long>(h.PercentileNs(90)),
+        static_cast<unsigned long long>(h.PercentileNs(99)));
+    first = false;
+  }
+  out += "\n  }\n}\n";
+  return out;
+}
+
+std::string MetricsRegistry::ToTable() const {
+  size_t width = 8;
+  for (const auto& [name, v] : counters_) {
+    width = std::max(width, name.size());
+  }
+  for (const auto& [name, v] : gauges_) {
+    width = std::max(width, name.size());
+  }
+  for (const auto& [name, h] : histograms_) {
+    width = std::max(width, name.size());
+  }
+  const int w = static_cast<int>(width);
+  std::string out;
+  for (const auto& [name, v] : counters_) {
+    out += support::StrFormat("%-*s %20llu\n", w, name.c_str(),
+                              static_cast<unsigned long long>(v));
+  }
+  for (const auto& [name, v] : gauges_) {
+    out += support::StrFormat("%-*s %20.6g\n", w, name.c_str(), v);
+  }
+  for (const auto& [name, h] : histograms_) {
+    out += support::StrFormat(
+        "%-*s count=%llu mean=%s p50=%s p99=%s\n", w, name.c_str(),
+        static_cast<unsigned long long>(h.count()),
+        support::HumanNs(static_cast<uint64_t>(h.mean())).c_str(),
+        support::HumanNs(h.PercentileNs(50)).c_str(),
+        support::HumanNs(h.PercentileNs(99)).c_str());
+  }
+  return out;
+}
+
+}  // namespace mira::telemetry

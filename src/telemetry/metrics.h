@@ -1,0 +1,65 @@
+// MetricsRegistry: the unified metric store behind Mira's observability
+// layer. Components register named counters, gauges, and latency histograms
+// and hold on to the returned pointers, so hot-path updates are a single
+// pointer increment — no lookup cost inside the simulation loops.
+//
+// Names are hierarchical dotted paths, lowercase, with the owning subsystem
+// first: `cache.section.<name>.misses`, `net.read.sync.latency_ns`,
+// `interp.func.<name>.calls`, `pipeline.iterations`. Units are spelled in
+// the final component where they are not obvious (`_ns`, `_bytes`).
+
+#ifndef MIRA_SRC_TELEMETRY_METRICS_H_
+#define MIRA_SRC_TELEMETRY_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "src/support/stats.h"
+
+namespace mira::telemetry {
+
+// Escapes `s` for embedding inside a JSON string literal.
+std::string JsonEscape(std::string_view s);
+
+class MetricsRegistry {
+ public:
+  // Get-or-create. Returned pointers stay valid until Clear() — the maps
+  // are node-based, so registration of further metrics never moves them.
+  uint64_t* Counter(const std::string& name);
+  double* Gauge(const std::string& name);
+  support::LatencyHistogram* Histogram(const std::string& name);
+
+  void AddCounter(const std::string& name, uint64_t delta) { *Counter(name) += delta; }
+  void SetCounter(const std::string& name, uint64_t value) { *Counter(name) = value; }
+  void SetGauge(const std::string& name, double value) { *Gauge(name) = value; }
+  void RecordLatency(const std::string& name, uint64_t ns) { Histogram(name)->Add(ns); }
+
+  // Lookup without creating; nullptr when absent.
+  const uint64_t* FindCounter(const std::string& name) const;
+  const double* FindGauge(const std::string& name) const;
+  const support::LatencyHistogram* FindHistogram(const std::string& name) const;
+
+  size_t size() const { return counters_.size() + gauges_.size() + histograms_.size(); }
+
+  // Zeroes every value but keeps registrations (and outstanding pointers).
+  void ResetValues();
+  // Drops everything; outstanding pointers become invalid.
+  void Clear();
+
+  // Full registry as a JSON object with "counters"/"gauges"/"histograms"
+  // sub-objects, keys sorted (maps iterate in order) for stable diffs.
+  std::string ToJson() const;
+  // Human-readable aligned table, one metric per line.
+  std::string ToTable() const;
+
+ private:
+  std::map<std::string, uint64_t> counters_;
+  std::map<std::string, double> gauges_;
+  std::map<std::string, support::LatencyHistogram> histograms_;
+};
+
+}  // namespace mira::telemetry
+
+#endif  // MIRA_SRC_TELEMETRY_METRICS_H_

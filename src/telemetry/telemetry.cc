@@ -1,0 +1,78 @@
+#include "src/telemetry/telemetry.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace mira::telemetry {
+
+Telemetry& Telemetry::Global() {
+  static Telemetry instance;
+  return instance;
+}
+
+support::Status WriteStringToFile(const std::string& path, const std::string& contents) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return support::Status::InvalidArgument("cannot open " + path);
+  }
+  const size_t written = std::fwrite(contents.data(), 1, contents.size(), f);
+  std::fclose(f);
+  if (written != contents.size()) {
+    return support::Status::Internal("short write to " + path);
+  }
+  return support::Status::Ok();
+}
+
+support::Status WriteMetricsJson(const std::string& path) {
+  return WriteStringToFile(path, Metrics().ToJson());
+}
+
+support::Status WriteTraceJson(const std::string& path) {
+  return WriteStringToFile(path, Trace().ToJson());
+}
+
+OutputOptions ParseOutputFlags(int* argc, char** argv) {
+  OutputOptions options;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--trace-out=", 12) == 0) {
+      options.trace_path = arg + 12;
+    } else if (std::strncmp(arg, "--metrics-out=", 14) == 0) {
+      options.metrics_path = arg + 14;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+  if (!options.trace_path.empty()) {
+    Trace().Enable(true);
+  }
+  return options;
+}
+
+void FlushOutputs(const OutputOptions& options) {
+  if (!options.trace_path.empty()) {
+    const auto status = WriteTraceJson(options.trace_path);
+    if (status.ok()) {
+      std::fprintf(stderr, "[telemetry] trace: %s (%zu events%s)\n",
+                   options.trace_path.c_str(), Trace().events().size(),
+                   Trace().dropped() > 0 ? ", some dropped at cap" : "");
+    } else {
+      std::fprintf(stderr, "[telemetry] trace write failed: %s\n",
+                   status.ToString().c_str());
+    }
+  }
+  if (!options.metrics_path.empty()) {
+    const auto status = WriteMetricsJson(options.metrics_path);
+    if (status.ok()) {
+      std::fprintf(stderr, "[telemetry] metrics: %s (%zu metrics)\n",
+                   options.metrics_path.c_str(), Metrics().size());
+    } else {
+      std::fprintf(stderr, "[telemetry] metrics write failed: %s\n",
+                   status.ToString().c_str());
+    }
+  }
+}
+
+}  // namespace mira::telemetry

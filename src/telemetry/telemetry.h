@@ -1,0 +1,68 @@
+// The process-wide telemetry context: one MetricsRegistry plus one
+// TraceRecorder shared by every subsystem (cache, net, interp, pipeline).
+// The simulation is single-host-threaded (logical threads are interleaved
+// by the deterministic scheduler), so no locking is needed.
+//
+// Hot-path components cache metric pointers at construction; end-of-run
+// code publishes snapshots (section stats, run profiles) via the Publish*
+// helpers next to each subsystem. Benches and examples route `--trace-out=`
+// / `--metrics-out=` here through ParseOutputFlags / FlushOutputs.
+
+#ifndef MIRA_SRC_TELEMETRY_TELEMETRY_H_
+#define MIRA_SRC_TELEMETRY_TELEMETRY_H_
+
+#include <string>
+
+#include "src/support/status.h"
+#include "src/telemetry/metrics.h"
+#include "src/telemetry/trace.h"
+
+namespace mira::telemetry {
+
+class Telemetry {
+ public:
+  static Telemetry& Global();
+
+  MetricsRegistry& metrics() { return metrics_; }
+  TraceRecorder& trace() { return trace_; }
+
+  // Drops all metrics and trace events (tracing enablement is kept).
+  void ResetAll() {
+    metrics_.Clear();
+    trace_.Clear();
+  }
+
+ private:
+  MetricsRegistry metrics_;
+  TraceRecorder trace_;
+};
+
+inline MetricsRegistry& Metrics() { return Telemetry::Global().metrics(); }
+inline TraceRecorder& Trace() { return Telemetry::Global().trace(); }
+
+// ---- Report sinks ----
+
+support::Status WriteStringToFile(const std::string& path, const std::string& contents);
+
+// Dumps the global registry as JSON / as a table, the global trace as
+// Chrome trace-event JSON.
+support::Status WriteMetricsJson(const std::string& path);
+support::Status WriteTraceJson(const std::string& path);
+
+// ---- CLI wiring for benches and examples ----
+
+struct OutputOptions {
+  std::string trace_path;    // --trace-out=<file>
+  std::string metrics_path;  // --metrics-out=<file>
+};
+
+// Strips `--trace-out=`/`--metrics-out=` from argv (so downstream flag
+// parsers never see them) and enables trace recording when requested.
+OutputOptions ParseOutputFlags(int* argc, char** argv);
+
+// Writes whatever ParseOutputFlags requested; logs destinations to stderr.
+void FlushOutputs(const OutputOptions& options);
+
+}  // namespace mira::telemetry
+
+#endif  // MIRA_SRC_TELEMETRY_TELEMETRY_H_

@@ -1,0 +1,97 @@
+#include "src/telemetry/trace.h"
+
+#include <algorithm>
+
+#include "src/telemetry/metrics.h"
+#include "src/support/str.h"
+
+namespace mira::telemetry {
+
+bool TraceRecorder::Admit(const std::string& cat) {
+  if (!enabled_) {
+    return false;
+  }
+  if (events_.size() >= max_events_ &&
+      std::find(pinned_cats_.begin(), pinned_cats_.end(), cat) == pinned_cats_.end()) {
+    ++dropped_;
+    return false;
+  }
+  return true;
+}
+
+void TraceRecorder::Begin(const sim::SimClock& clk, std::string name, std::string cat) {
+  if (!Admit(cat)) {
+    return;
+  }
+  open_[clk.tid()].push_back(events_.size());
+  events_.push_back(TraceEvent{'B', clk.tid(), clk.now_ns(), 0, std::move(name),
+                               std::move(cat), ""});
+}
+
+void TraceRecorder::End(const sim::SimClock& clk) {
+  if (!enabled_) {
+    return;
+  }
+  auto& stack = open_[clk.tid()];
+  if (stack.empty()) {
+    return;  // unmatched End (its Begin was dropped at the cap): skip
+  }
+  const size_t begin_index = stack.back();
+  stack.pop_back();
+  if (!Admit(events_[begin_index].cat)) {
+    return;
+  }
+  events_.push_back(TraceEvent{'E', clk.tid(), clk.now_ns(), 0, events_[begin_index].name,
+                               events_[begin_index].cat, ""});
+}
+
+void TraceRecorder::Complete(const sim::SimClock& clk, uint64_t ts_ns, uint64_t dur_ns,
+                             std::string name, std::string cat, std::string args_json) {
+  if (!Admit(cat)) {
+    return;
+  }
+  events_.push_back(TraceEvent{'X', clk.tid(), ts_ns, dur_ns, std::move(name),
+                               std::move(cat), std::move(args_json)});
+}
+
+void TraceRecorder::Instant(const sim::SimClock& clk, std::string name, std::string cat,
+                            std::string args_json) {
+  if (!Admit(cat)) {
+    return;
+  }
+  events_.push_back(TraceEvent{'i', clk.tid(), clk.now_ns(), 0, std::move(name),
+                               std::move(cat), std::move(args_json)});
+}
+
+void TraceRecorder::Clear() {
+  events_.clear();
+  open_.clear();
+  dropped_ = 0;
+}
+
+std::string TraceRecorder::ToJson() const {
+  std::string out = "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  bool first = true;
+  for (const auto& e : events_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += support::StrFormat(
+        "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"%c\",\"pid\":0,\"tid\":%u,\"ts\":%.3f",
+        JsonEscape(e.name).c_str(), JsonEscape(e.cat).c_str(), e.phase, e.tid,
+        static_cast<double>(e.ts_ns) / 1000.0);
+    if (e.phase == 'X') {
+      out += support::StrFormat(",\"dur\":%.3f", static_cast<double>(e.dur_ns) / 1000.0);
+    }
+    if (e.phase == 'i') {
+      out += ",\"s\":\"t\"";  // thread-scoped instant
+    }
+    if (!e.args_json.empty()) {
+      out += ",\"args\":" + e.args_json;
+    }
+    out += "}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+}  // namespace mira::telemetry

@@ -1,0 +1,85 @@
+// TraceRecorder: an event timeline over *simulated* time, exported in the
+// Chrome trace-event JSON format (open chrome://tracing or https://ui.
+// perfetto.dev and load the file). Because every timestamp comes from a
+// SimClock, traces are bit-identical across hosts, and one logical thread
+// of execution (one SimClock) maps to one trace-viewer track.
+//
+// Recording is off by default: every instrumentation site is gated on
+// enabled(), so the simulator pays nothing unless a run asked for a trace
+// (`--trace-out=`). A hard event cap bounds memory on huge runs; dropped
+// events are counted, never silently lost.
+
+#ifndef MIRA_SRC_TELEMETRY_TRACE_H_
+#define MIRA_SRC_TELEMETRY_TRACE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/sim/clock.h"
+
+namespace mira::telemetry {
+
+struct TraceEvent {
+  char phase = 'i';        // 'B' begin, 'E' end, 'X' complete, 'i' instant
+  uint32_t tid = 0;        // logical thread (SimClock id)
+  uint64_t ts_ns = 0;      // simulated time
+  uint64_t dur_ns = 0;     // 'X' only
+  std::string name;
+  std::string cat;
+  std::string args_json;   // "" or a complete JSON object ("{...}")
+};
+
+class TraceRecorder {
+ public:
+  void Enable(bool on) { enabled_ = on; }
+  bool enabled() const { return enabled_; }
+
+  // Memory backstop: further events beyond the cap are dropped and counted.
+  // Pinned categories are exempt: low-frequency control events (the
+  // optimizer/adaptive loop's decision points, category "pipeline") must
+  // survive even when millions of hot cache/net events filled the buffer
+  // first — they are what makes a long trace reconstructable.
+  void set_max_events(size_t n) { max_events_ = n; }
+  void PinCategory(std::string cat) { pinned_cats_.push_back(std::move(cat)); }
+
+  // Scoped duration events. End closes the innermost open Begin on the
+  // clock's thread and re-states its name (Perfetto accepts both forms;
+  // restating keeps the JSON self-describing).
+  void Begin(const sim::SimClock& clk, std::string name, std::string cat);
+  void End(const sim::SimClock& clk);
+
+  // A span known only at completion (e.g. an async fetch): starts at
+  // `ts_ns`, lasts `dur_ns`, attributed to the clock's thread.
+  void Complete(const sim::SimClock& clk, uint64_t ts_ns, uint64_t dur_ns, std::string name,
+                std::string cat, std::string args_json = "");
+
+  // A point event at the clock's current time.
+  void Instant(const sim::SimClock& clk, std::string name, std::string cat,
+               std::string args_json = "");
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  size_t dropped() const { return dropped_; }
+
+  void Clear();
+
+  // {"displayTimeUnit":"ns","traceEvents":[...]} — ts/dur in microseconds
+  // (the Chrome format's unit) with nanosecond fractions preserved.
+  std::string ToJson() const;
+
+ private:
+  bool Admit(const std::string& cat);
+
+  bool enabled_ = false;
+  size_t max_events_ = 4u << 20;
+  size_t dropped_ = 0;
+  std::vector<std::string> pinned_cats_{"pipeline"};
+  std::vector<TraceEvent> events_;
+  // Per-thread stack of open Begin event indices, for End name matching.
+  std::map<uint32_t, std::vector<size_t>> open_;
+};
+
+}  // namespace mira::telemetry
+
+#endif  // MIRA_SRC_TELEMETRY_TRACE_H_

@@ -105,6 +105,60 @@ TEST(LatencyHistogram, PercentilesOrdered) {
   EXPECT_GT(h.mean(), 0.0);
 }
 
+TEST(RunningStat, SingleSampleVarianceIsZero) {
+  RunningStat s;
+  s.Add(7.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 7.5);
+  EXPECT_DOUBLE_EQ(s.min(), 7.5);
+  EXPECT_DOUBLE_EQ(s.max(), 7.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 7.5);
+}
+
+TEST(LatencyHistogram, EmptyPercentilesAreZero) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.PercentileNs(0), 0u);
+  EXPECT_EQ(h.PercentileNs(50), 0u);
+  EXPECT_EQ(h.PercentileNs(100), 0u);
+}
+
+TEST(LatencyHistogram, PercentileEndpoints) {
+  LatencyHistogram h;
+  h.Add(1);     // bucket 0
+  h.Add(1000);  // bucket 9: [512, 1023]
+  // p0 lands in the first occupied bucket; bucket 0's lower bound is 0.
+  EXPECT_EQ(h.PercentileNs(0), 0u);
+  // p50 is the second sample's bucket lower bound.
+  EXPECT_EQ(h.PercentileNs(50), 512u);
+  // p100's target equals count, which no prefix strictly exceeds: the query
+  // saturates at the last bucket's lower bound (the documented upper rail).
+  EXPECT_EQ(h.PercentileNs(100), 1ULL << (LatencyHistogram::kBuckets - 1));
+}
+
+TEST(LatencyHistogram, ResetDropsSamples) {
+  LatencyHistogram h;
+  h.Add(64);
+  h.Add(128);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.PercentileNs(99), 0u);
+}
+
+TEST(HitMissCounter, ZeroTotalHasZeroMissRate) {
+  HitMissCounter c;
+  EXPECT_EQ(c.total(), 0u);
+  EXPECT_EQ(c.miss_rate(), 0.0);  // no division by zero
+  c.Hit();
+  c.Miss();
+  c.Reset();
+  EXPECT_EQ(c.total(), 0u);
+  EXPECT_EQ(c.miss_rate(), 0.0);
+}
+
 TEST(HitMissCounter, MissRate) {
   HitMissCounter c;
   EXPECT_EQ(c.miss_rate(), 0.0);

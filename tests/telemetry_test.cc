@@ -1,0 +1,285 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/sim/clock.h"
+#include "src/telemetry/telemetry.h"
+
+namespace mira::telemetry {
+namespace {
+
+// Minimal structural JSON check: every brace/bracket outside string
+// literals balances, and escapes inside strings are well-formed. Enough to
+// catch the classes of emitter bugs (truncated output, stray commas in
+// keys, unescaped quotes) without a JSON library.
+bool JsonBalanced(const std::string& s) {
+  std::vector<char> stack;
+  bool in_string = false;
+  for (size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    if (in_string) {
+      if (c == '\\') {
+        if (i + 1 >= s.size()) {
+          return false;
+        }
+        ++i;  // skip the escaped character
+      } else if (c == '"') {
+        in_string = false;
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        return false;  // raw control character inside a string
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_string = true;
+        break;
+      case '{':
+      case '[':
+        stack.push_back(c);
+        break;
+      case '}':
+        if (stack.empty() || stack.back() != '{') {
+          return false;
+        }
+        stack.pop_back();
+        break;
+      case ']':
+        if (stack.empty() || stack.back() != '[') {
+          return false;
+        }
+        stack.pop_back();
+        break;
+      default:
+        break;
+    }
+  }
+  return !in_string && stack.empty();
+}
+
+TEST(MetricsRegistry, GetOrCreateReturnsStablePointers) {
+  MetricsRegistry m;
+  uint64_t* c = m.Counter("cache.test.misses");
+  EXPECT_EQ(*c, 0u);
+  *c += 3;
+  // Registering more metrics must not move existing ones.
+  for (int i = 0; i < 100; ++i) {
+    m.Counter("net.pad." + std::to_string(i));
+  }
+  EXPECT_EQ(m.Counter("cache.test.misses"), c);
+  EXPECT_EQ(*m.FindCounter("cache.test.misses"), 3u);
+}
+
+TEST(MetricsRegistry, FindWithoutCreate) {
+  MetricsRegistry m;
+  EXPECT_EQ(m.FindCounter("absent"), nullptr);
+  EXPECT_EQ(m.FindGauge("absent"), nullptr);
+  EXPECT_EQ(m.FindHistogram("absent"), nullptr);
+  EXPECT_EQ(m.size(), 0u);  // Find never registers
+  m.SetGauge("g", 0.5);
+  EXPECT_NE(m.FindGauge("g"), nullptr);
+  EXPECT_DOUBLE_EQ(*m.FindGauge("g"), 0.5);
+}
+
+TEST(MetricsRegistry, ResetValuesKeepsRegistrations) {
+  MetricsRegistry m;
+  uint64_t* c = m.Counter("c");
+  double* g = m.Gauge("g");
+  m.RecordLatency("h", 1000);
+  *c = 7;
+  *g = 1.5;
+  m.ResetValues();
+  EXPECT_EQ(m.size(), 3u);
+  EXPECT_EQ(*c, 0u);  // outstanding pointers still valid, zeroed
+  EXPECT_DOUBLE_EQ(*g, 0.0);
+  EXPECT_EQ(m.FindHistogram("h")->count(), 0u);
+  m.Clear();
+  EXPECT_EQ(m.size(), 0u);
+}
+
+TEST(MetricsRegistry, JsonOutputBalancedAndComplete) {
+  MetricsRegistry m;
+  m.SetCounter("cache.section.s0.misses", 42);
+  m.SetGauge("cache.section.s0.miss_rate", 0.25);
+  m.RecordLatency("net.read.sync.latency_ns", 900);
+  m.RecordLatency("net.read.sync.latency_ns", 1800);
+  const std::string json = m.ToJson();
+  EXPECT_TRUE(JsonBalanced(json)) << json;
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"cache.section.s0.misses\": 42"), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"net.read.sync.latency_ns\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\": 2"), std::string::npos);
+
+  const std::string table = m.ToTable();
+  EXPECT_NE(table.find("cache.section.s0.misses"), std::string::npos);
+  EXPECT_NE(table.find("net.read.sync.latency_ns"), std::string::npos);
+}
+
+TEST(JsonEscapeTest, EscapesSpecials) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("a\nb"), "a\\nb");
+}
+
+TEST(TraceRecorder, DisabledRecordsNothing) {
+  TraceRecorder t;
+  sim::SimClock clk(0, 1);
+  t.Begin(clk, "f", "interp");
+  t.End(clk);
+  t.Instant(clk, "i", "cache");
+  EXPECT_TRUE(t.events().empty());
+  EXPECT_EQ(t.dropped(), 0u);
+}
+
+TEST(TraceRecorder, BalancedBeginEndPerThread) {
+  TraceRecorder t;
+  t.Enable(true);
+  sim::SimClock a(0, 1);
+  sim::SimClock b(0, 2);
+  t.Begin(a, "outer", "interp");
+  a.Advance(10);
+  t.Begin(a, "inner", "interp");
+  t.Begin(b, "other", "interp");
+  a.Advance(5);
+  t.End(a);  // closes inner
+  b.Advance(3);
+  t.End(b);  // closes other (thread 2's own stack)
+  a.Advance(5);
+  t.End(a);  // closes outer
+
+  std::map<uint32_t, int> depth;
+  std::map<uint32_t, uint64_t> last_ts;
+  for (const auto& e : t.events()) {
+    // Timestamps are non-decreasing per logical thread.
+    auto it = last_ts.find(e.tid);
+    if (it != last_ts.end()) {
+      EXPECT_GE(e.ts_ns, it->second);
+    }
+    last_ts[e.tid] = e.ts_ns;
+    if (e.phase == 'B') {
+      ++depth[e.tid];
+    } else if (e.phase == 'E') {
+      EXPECT_GT(depth[e.tid], 0);  // never an E without an open B
+      --depth[e.tid];
+    }
+  }
+  for (const auto& [tid, d] : depth) {
+    EXPECT_EQ(d, 0) << "unbalanced B/E on tid " << tid;
+  }
+  // End restates the matched Begin's name: inner closes before outer.
+  ASSERT_EQ(t.events().size(), 6u);
+  EXPECT_EQ(t.events()[3].name, "inner");
+  EXPECT_EQ(t.events()[5].name, "outer");
+}
+
+TEST(TraceRecorder, JsonParsesAndCarriesEventForms) {
+  TraceRecorder t;
+  t.Enable(true);
+  sim::SimClock clk(1000, 7);
+  t.Begin(clk, "span", "interp");
+  clk.Advance(500);
+  t.End(clk);
+  t.Complete(clk, 2000, 250, "fetch", "net", "{\"bytes\":64}");
+  t.Instant(clk, "mark", "pipeline", "{\"iteration\":1}");
+  const std::string json = t.ToJson();
+  EXPECT_TRUE(JsonBalanced(json)) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"B\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"E\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":0.250"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"s\":\"t\""), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"bytes\":64}"), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":7"), std::string::npos);
+  // ts is exported in microseconds with ns fractions: 1000ns -> 1.000us.
+  EXPECT_NE(json.find("\"ts\":1.000"), std::string::npos);
+}
+
+TEST(TraceRecorder, CapDropsAndCountsButPinnedSurvive) {
+  TraceRecorder t;
+  t.Enable(true);
+  t.set_max_events(4);
+  sim::SimClock clk(0, 1);
+  for (int i = 0; i < 10; ++i) {
+    t.Instant(clk, "hot", "cache");
+    clk.Advance(1);
+  }
+  EXPECT_EQ(t.events().size(), 4u);
+  EXPECT_EQ(t.dropped(), 6u);
+  // Control events (category "pipeline") bypass the cap: a long run must
+  // still be reconstructable from its optimizer decision points.
+  t.Instant(clk, "pipeline.iteration", "pipeline", "{\"iteration\":1}");
+  EXPECT_EQ(t.events().size(), 5u);
+  EXPECT_EQ(t.events().back().cat, "pipeline");
+  t.Clear();
+  EXPECT_TRUE(t.events().empty());
+  EXPECT_EQ(t.dropped(), 0u);
+}
+
+TEST(TelemetryGlobal, SingletonAndFileOutputs) {
+  auto& tel = Telemetry::Global();
+  EXPECT_EQ(&tel, &Telemetry::Global());
+  EXPECT_EQ(&Metrics(), &tel.metrics());
+  EXPECT_EQ(&Trace(), &tel.trace());
+
+  tel.ResetAll();
+  Metrics().SetCounter("test.counter", 5);
+  Trace().Enable(true);
+  sim::SimClock clk(0, 3);
+  Trace().Instant(clk, "evt", "cache");
+
+  const std::string mpath = ::testing::TempDir() + "/mira_metrics_test.json";
+  const std::string tpath = ::testing::TempDir() + "/mira_trace_test.json";
+  EXPECT_TRUE(WriteMetricsJson(mpath).ok());
+  EXPECT_TRUE(WriteTraceJson(tpath).ok());
+  for (const std::string& path : {mpath, tpath}) {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr) << path;
+    std::string contents;
+    char buf[4096];
+    size_t n = 0;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) {
+      contents.append(buf, n);
+    }
+    std::fclose(f);
+    EXPECT_TRUE(JsonBalanced(contents)) << path;
+    std::remove(path.c_str());
+  }
+  Trace().Enable(false);
+  tel.ResetAll();
+}
+
+TEST(TelemetryGlobal, ParseOutputFlagsStripsArgs) {
+  std::string a0 = "prog";
+  std::string a1 = "--trace-out=/tmp/t.json";
+  std::string a2 = "--benchmark_filter=abc";
+  std::string a3 = "--metrics-out=/tmp/m.json";
+  char* argv[] = {a0.data(), a1.data(), a2.data(), a3.data(), nullptr};
+  int argc = 4;
+  const OutputOptions opts = ParseOutputFlags(&argc, argv);
+  EXPECT_EQ(opts.trace_path, "/tmp/t.json");
+  EXPECT_EQ(opts.metrics_path, "/tmp/m.json");
+  EXPECT_EQ(argc, 2);  // only prog + the benchmark flag remain
+  EXPECT_STREQ(argv[0], "prog");
+  EXPECT_STREQ(argv[1], "--benchmark_filter=abc");
+  EXPECT_TRUE(Trace().enabled());  // a trace path enables recording
+  Trace().Enable(false);
+  Telemetry::Global().ResetAll();
+}
+
+TEST(SimClockTid, AllocateTidIsUniquePerCall) {
+  const uint32_t a = sim::AllocateTid();
+  const uint32_t b = sim::AllocateTid();
+  EXPECT_NE(a, b);
+  EXPECT_GT(b, a);
+}
+
+}  // namespace
+}  // namespace mira::telemetry
