@@ -1,0 +1,131 @@
+// Fault resilience: the deterministic fault-injection scenarios from
+// DESIGN.md "Failure model", run end to end on the graph workload's full
+// Mira compilation.
+//
+// Scenarios:
+//   clean        — injector attached with an empty plan; must match the
+//                  fault-free run bit for bit (pinned by fault_test.cc too)
+//   lossy        — 2% drop/timeout per attempt + 5% tail events at 4x
+//   bursty_outage— periodic far-node outages; sections ride them out in
+//                  degraded mode (degraded_ms > 0), nothing aborts
+//   degraded_bw  — link at 25% bandwidth for the whole run
+//
+// Every scenario asserts the program result equals the fault-free result:
+// injected faults are either retried to success or absorbed by a documented
+// degradation path — never silently wrong. `fault_adaptive` additionally
+// exercises the failure-aware adaptation trigger (sustained fault-inflated
+// overhead → re-optimization under the same fault schedule).
+
+#include <string>
+
+#include "bench/common.h"
+#include "src/pipeline/adaptive.h"
+
+namespace mira::bench {
+namespace {
+
+constexpr uint64_t kFaultSeed = 7;
+
+const workloads::Workload& Graph() {
+  static const workloads::Workload w = workloads::BuildGraphTraversal();
+  return w;
+}
+
+net::FaultPlan PlanFor(const std::string& scenario) {
+  if (scenario == "clean") {
+    return net::FaultPlan::Clean();
+  }
+  if (scenario == "lossy") {
+    return net::FaultPlan::Lossy(kFaultSeed);
+  }
+  if (scenario == "bursty_outage") {
+    // Three 0.6 ms far-node outages across the network-active phase. With
+    // offload on, all verbs issue in the first ~1.5 ms of simulated time
+    // (the rest of the run executes remotely), so the bursts must land
+    // there. Each window is several times the per-verb retry budget
+    // (~0.135 ms), so some verbs exhaust with kUnavailable and the
+    // sections wait the remainder out in degraded mode.
+    return net::FaultPlan::BurstyOutage(kFaultSeed, 0, 600'000, 800'000, 3);
+  }
+  MIRA_CHECK(scenario == "degraded_bw");
+  return net::FaultPlan::DegradedBandwidth(kFaultSeed, 0.25);
+}
+
+void BM_Scenario(benchmark::State& state, const std::string& scenario) {
+  const auto& w = Graph();
+  const uint64_t local = LocalBytes(w, 25);
+  const MiraCompiled& compiled = CompileMira(w, local, AllOn());
+  // Fault-free reference: the correctness oracle and the overhead baseline.
+  const RunOutput clean =
+      Run(compiled.module, pipeline::SystemKind::kMira, local, compiled.plan);
+  for (auto _ : state) {
+    const net::FaultPlan plan = PlanFor(scenario);
+    const RunOutput out = Run(compiled.module, pipeline::SystemKind::kMira, local,
+                              compiled.plan, 42, false, "main", &plan);
+    MIRA_CHECK_MSG(!out.failed, "faulted run must not abort");
+    MIRA_CHECK_MSG(out.result == clean.result,
+                   "fault injection must not change program results");
+    const net::FaultStats& fs = out.world.net->fault_stats();
+    state.counters["sim_ms"] = static_cast<double>(out.sim_ns) / 1e6;
+    state.counters["norm"] = Norm(NativeNs(*w.module), out.sim_ns);
+    state.counters["overhead_vs_clean"] =
+        clean.sim_ns > 0 ? static_cast<double>(out.sim_ns) / static_cast<double>(clean.sim_ns)
+                         : 0.0;
+    state.counters["faults"] = static_cast<double>(fs.faulted_attempts());
+    state.counters["retries"] = static_cast<double>(fs.retries);
+    state.counters["recovered"] = static_cast<double>(fs.recovered);
+    state.counters["exhausted"] = static_cast<double>(fs.exhausted);
+    state.counters["wasted_ms"] = static_cast<double>(fs.wasted_ns()) / 1e6;
+    state.counters["degraded_ms"] =
+        static_cast<double>(out.world.backend->DegradedNs()) / 1e6;
+    state.counters["offload_fallbacks"] = static_cast<double>(out.offload_fallbacks);
+  }
+}
+
+// Failure-aware adaptation: deploy under a lossy+outage environment and let
+// sustained fault-inflated overhead trigger re-optimization.
+void BM_Adaptive(benchmark::State& state) {
+  const auto& w = Graph();
+  for (auto _ : state) {
+    pipeline::OptimizeOptions opts;
+    opts.local_bytes = LocalBytes(w, 25);
+    opts.max_iterations = 2;
+    pipeline::AdaptiveRuntime runtime(w.module.get(), opts);
+    const pipeline::AdaptiveRuntime::Invocation first = runtime.Invoke(42);
+    net::FaultPlan plan = PlanFor("bursty_outage");
+    runtime.SetFaultPlan(&plan);
+    runtime.SetFaultDegradeTrigger(/*ratio=*/0.005, /*streak=*/2);
+    pipeline::AdaptiveRuntime::Invocation last;
+    for (uint64_t seed = 43; seed < 47; ++seed) {
+      last = runtime.Invoke(seed);
+      MIRA_CHECK_MSG(last.sim_ns > 0, "faulted invocation must complete");
+    }
+    state.counters["sim_ms"] = static_cast<double>(last.sim_ns) / 1e6;
+    state.counters["clean_sim_ms"] = static_cast<double>(first.sim_ns) / 1e6;
+    state.counters["fault_ratio"] = last.fault_ratio;
+    state.counters["rounds"] = static_cast<double>(runtime.optimization_rounds());
+    state.counters["fault_reopts"] = static_cast<double>(runtime.fault_reoptimizations());
+  }
+}
+
+void RegisterAll() {
+  for (const char* scenario : {"clean", "lossy", "bursty_outage", "degraded_bw"}) {
+    benchmark::RegisterBenchmark(("fault/" + std::string(scenario)).c_str(), BM_Scenario,
+                                 std::string(scenario))
+        ->Iterations(1);
+  }
+  benchmark::RegisterBenchmark("fault/adaptive", BM_Adaptive)->Iterations(1);
+}
+
+}  // namespace
+}  // namespace mira::bench
+
+int main(int argc, char** argv) {
+  mira::bench::InitTelemetry(&argc, argv);  // strips --trace-out= / --metrics-out=
+  benchmark::Initialize(&argc, argv);
+  mira::bench::RegisterAll();
+  benchmark::RunSpecifiedBenchmarks();
+  mira::bench::FlushTelemetry();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -16,9 +16,12 @@ void FlushTelemetry() { telemetry::FlushOutputs(g_outputs); }
 
 RunOutput Run(const ir::Module& module, pipeline::SystemKind kind, uint64_t local_bytes,
               runtime::CachePlan plan, uint64_t seed, bool profiling,
-              const std::string& entry) {
+              const std::string& entry, const net::FaultPlan* faults) {
   RunOutput out;
   out.world = pipeline::MakeWorld(kind, local_bytes, std::move(plan));
+  if (faults != nullptr) {
+    pipeline::AttachFaults(out.world, *faults);
+  }
   interp::InterpOptions opts;
   opts.seed = seed;
   opts.profiling = profiling;
@@ -32,6 +35,7 @@ RunOutput Run(const ir::Module& module, pipeline::SystemKind kind, uint64_t loca
   out.world.backend->Drain(interp.clock());
   out.sim_ns = interp.clock().now_ns();
   out.result = result.value();
+  out.offload_fallbacks = interp.offload_fallbacks();
   out.profile = interp.profile();
   out.object_addrs = interp.object_addrs();
   // Snapshot this run's cache-section stats and function ledger into the

@@ -40,14 +40,18 @@ struct RunOutput {
   uint64_t result = 0;
   interp::RunProfile profile;
   std::map<std::string, farmem::RemoteAddr> object_addrs;
-  bool failed = false;  // e.g. AIFM metadata OOM
+  uint64_t offload_fallbacks = 0;  // offloads denied admission, run locally
+  bool failed = false;             // e.g. AIFM metadata OOM
   std::string fail_reason;
 };
 
-// One full measured execution on a fresh world.
+// One full measured execution on a fresh world. When `faults` is non-null a
+// fresh injector for that plan is attached, so identical (plan, seed) runs
+// are bit-identical; the world's transport/backend expose the fault and
+// degradation counters afterwards.
 RunOutput Run(const ir::Module& module, pipeline::SystemKind kind, uint64_t local_bytes,
               runtime::CachePlan plan = {}, uint64_t seed = 42, bool profiling = false,
-              const std::string& entry = "main");
+              const std::string& entry = "main", const net::FaultPlan* faults = nullptr);
 
 // Native full-local-memory execution time for a module (memoized per module
 // pointer + seed).

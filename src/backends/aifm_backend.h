@@ -46,6 +46,9 @@ class AifmBackend : public Backend {
     AccessImpl(clk, addr, len, /*write=*/true);
   }
   void Drain(sim::SimClock& clk) override;
+  uint64_t DegradedNs() const override {
+    return section_ != nullptr ? section_->stats().degraded_ns : 0;
+  }
 
   void PublishMetrics(telemetry::MetricsRegistry& registry) const override {
     if (section_ != nullptr) {

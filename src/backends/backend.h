@@ -93,6 +93,18 @@ class Backend {
     net_->Rpc(clk, req_bytes, resp_bytes, remote_service_ns);
   }
 
+  // Pre-flight admission for an offloaded call (DESIGN.md "Failure model"):
+  // runs the RPC request leg's fault/retry protocol *before* the callee
+  // executes remotely. Returns false when the offload could not be
+  // initiated — the interpreter then runs the callee locally, with zero
+  // remote side effects ("offload faults strike at initiation").
+  virtual bool OffloadAdmission(sim::SimClock& clk) { return true; }
+
+  // Simulated time this backend's caches spent in fault-degraded mode
+  // (waiting out far-node outages). Feeds the adaptive loop's
+  // failure-degradation signal.
+  virtual uint64_t DegradedNs() const { return 0; }
+
   // Finish outstanding work / write back dirty state (end of program).
   virtual void Drain(sim::SimClock& clk) {}
 

@@ -29,6 +29,7 @@ class FastSwapBackend : public Backend {
     swap_.Access(clk, addr, len, /*write=*/true);
   }
   void Drain(sim::SimClock& clk) override { swap_.Release(clk); }
+  uint64_t DegradedNs() const override { return swap_.stats().degraded_ns; }
 
   void PublishMetrics(telemetry::MetricsRegistry& registry) const override {
     cache::PublishSectionStats(registry, "cache.swap", swap_.stats());

@@ -149,6 +149,22 @@ void MiraBackend::OffloadCall(sim::SimClock& clk, uint32_t req_bytes, uint32_t r
   net_->Rpc(clk, req_bytes, resp_bytes, remote_service_ns);
 }
 
+bool MiraBackend::OffloadAdmission(sim::SimClock& clk) {
+  // The request leg's fault/retry protocol runs here, before the callee is
+  // executed remotely; OffloadCall's subsequent plain Rpc charges the
+  // already-admitted round trip.
+  return net_->AdmitRpc(clk).ok();
+}
+
+uint64_t MiraBackend::DegradedNs() const {
+  auto* self = const_cast<MiraBackend*>(this);
+  uint64_t total = self->sections_->swap()->stats().degraded_ns;
+  for (const uint16_t id : section_ids_) {
+    total += self->sections_->section(id)->stats().degraded_ns;
+  }
+  return total;
+}
+
 void MiraBackend::Drain(sim::SimClock& clk) { sections_->ReleaseAll(clk); }
 
 void MiraBackend::PublishMetrics(telemetry::MetricsRegistry& registry) const {

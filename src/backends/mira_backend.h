@@ -48,6 +48,8 @@ class MiraBackend : public Backend {
   bool SupportsOffload() const override { return true; }
   void OffloadCall(sim::SimClock& clk, uint32_t req_bytes, uint32_t resp_bytes,
                    uint64_t remote_service_ns) override;
+  bool OffloadAdmission(sim::SimClock& clk) override;
+  uint64_t DegradedNs() const override;
 
   void Drain(sim::SimClock& clk) override;
 

@@ -24,6 +24,11 @@ void PublishSectionStats(telemetry::MetricsRegistry& registry, const std::string
   registry.SetGauge(prefix + ".prefetch.accuracy", stats.prefetch_accuracy());
   registry.SetCounter(prefix + ".bytes_fetched", stats.bytes_fetched);
   registry.SetCounter(prefix + ".bytes_written_back", stats.bytes_written_back);
+  registry.SetCounter(prefix + ".degraded_ns", stats.degraded_ns);
+  registry.SetCounter(prefix + ".prefetch.aborted", stats.prefetch_aborted);
+  registry.SetCounter(prefix + ".writebacks_requeued", stats.writebacks_requeued);
+  registry.SetCounter(prefix + ".forced_sync_flushes", stats.forced_sync_flushes);
+  registry.SetCounter(prefix + ".reliable_escalations", stats.reliable_escalations);
 }
 
 Section::Section(SectionConfig config, net::Transport* net)
@@ -134,7 +139,7 @@ void Section::AccessLine(sim::SimClock& clk, uint64_t line, bool write, bool ful
     return;
   }
   const uint64_t t0 = clk.now_ns();
-  const uint64_t done = FetchLine(clk, line, victim, /*demand=*/true);
+  const uint64_t done = FetchLineReliable(clk, line);
   clk.AdvanceTo(done);
   m.ready_at_ns = done;
   stats_.stall_ns += clk.now_ns() - t0;
@@ -146,26 +151,120 @@ void Section::AccessLine(sim::SimClock& clk, uint64_t line, bool write, bool ful
   }
 }
 
-uint64_t Section::FetchLine(sim::SimClock& clk, uint64_t line, uint32_t slot, bool demand) {
+support::Result<uint64_t> Section::TryFetchLine(sim::SimClock& clk, uint64_t line,
+                                                bool demand) {
   const uint64_t raddr = line * config_.line_bytes;
   uint32_t bytes = config_.line_bytes;
   if (config_.comm == CommMethod::kTwoSided && config_.transfer_fraction < 1.0) {
     // Selective transmission: the far CPU gathers only the accessed fields.
     bytes = std::max<uint32_t>(
         1, static_cast<uint32_t>(config_.transfer_fraction * config_.line_bytes));
-    stats_.bytes_fetched += bytes;
     // Timing-only two-sided read; returns via clock, so run it on a scratch
     // clock for the async case.
     if (demand) {
-      net_->TwoSidedReadSync(clk, raddr, nullptr, bytes, config_.gather_fields);
+      support::Status s =
+          net_->TryTwoSidedReadSync(clk, raddr, nullptr, bytes, config_.gather_fields);
+      if (!s.ok()) {
+        return s;
+      }
+      stats_.bytes_fetched += bytes;  // fetched only on the successful attempt
       return clk.now_ns();
     }
     sim::SimClock shadow(clk.now_ns());
-    net_->TwoSidedReadSync(shadow, raddr, nullptr, bytes, config_.gather_fields);
+    support::Status s =
+        net_->TryTwoSidedReadSync(shadow, raddr, nullptr, bytes, config_.gather_fields);
+    if (!s.ok()) {
+      return s;
+    }
+    stats_.bytes_fetched += bytes;
     return shadow.now_ns();
   }
+  support::Result<uint64_t> r = net_->TryReadAsync(clk, raddr, nullptr, bytes);
+  if (!r.ok()) {
+    return r;
+  }
   stats_.bytes_fetched += bytes;
-  return net_->ReadAsync(clk, raddr, nullptr, bytes);
+  return r;
+}
+
+uint64_t Section::FetchLineReliable(sim::SimClock& clk, uint64_t line) {
+  for (int round = 0;; ++round) {
+    support::Result<uint64_t> r = TryFetchLine(clk, line, /*demand=*/true);
+    if (r.ok()) {
+      return r.value();
+    }
+    if (r.status().code() == support::ErrorCode::kUnavailable) {
+      // Far node down: degraded mode — wait the outage out rather than abort.
+      WaitOutOutage(clk);
+    }
+    if (round + 1 >= kMaxFaultRounds) {
+      // Last rung of the ladder. A demand fetch cannot be dropped (the
+      // program needs the data), so model operator-grade recovery with the
+      // infallible verb.
+      ++stats_.reliable_escalations;
+      const uint64_t raddr = line * config_.line_bytes;
+      stats_.bytes_fetched += config_.line_bytes;
+      return net_->ReadAsync(clk, raddr, nullptr, config_.line_bytes);
+    }
+  }
+}
+
+void Section::WaitOutOutage(sim::SimClock& clk) {
+  const uint64_t until = net_->NextAvailableNs(clk.now_ns());
+  if (until <= clk.now_ns()) {
+    return;
+  }
+  const uint64_t t0 = clk.now_ns();
+  const uint64_t span = until - t0;
+  stats_.degraded_ns += span;
+  stats_.stall_ns += span;
+  clk.AdvanceTo(until);
+  auto& trace = telemetry::Trace();
+  if (trace.enabled()) {
+    trace.Complete(clk, t0, span, "cache." + config_.name + ".degraded", "cache", "{}");
+  }
+}
+
+void Section::WritebackLine(sim::SimClock& clk, uint64_t raddr) {
+  support::Result<uint64_t> r =
+      net_->TryWriteAsync(clk, raddr, nullptr, config_.line_bytes);
+  if (r.ok()) {
+    last_writeback_done_ns_ = std::max(last_writeback_done_ns_, r.value());
+    ++stats_.writebacks;
+    stats_.bytes_written_back += config_.line_bytes;
+    return;
+  }
+  // Write-back throttled degraded mode: hold the failed writeback; once the
+  // queue saturates, force a synchronous drain so dirty data is bounded.
+  pending_writebacks_.push_back(raddr);
+  ++stats_.writebacks_requeued;
+  if (pending_writebacks_.size() >= kPendingWritebackLimit) {
+    ++stats_.forced_sync_flushes;
+    DrainPendingWritebacks(clk);
+  }
+}
+
+void Section::DrainPendingWritebacks(sim::SimClock& clk) {
+  while (!pending_writebacks_.empty()) {
+    const uint64_t raddr = pending_writebacks_.back();
+    for (int round = 0;; ++round) {
+      support::Status s = net_->TryWriteSync(clk, raddr, nullptr, config_.line_bytes);
+      if (s.ok()) {
+        break;
+      }
+      if (s.code() == support::ErrorCode::kUnavailable) {
+        WaitOutOutage(clk);
+      }
+      if (round + 1 >= kMaxFaultRounds) {
+        ++stats_.reliable_escalations;
+        net_->WriteSync(clk, raddr, nullptr, config_.line_bytes);
+        break;
+      }
+    }
+    pending_writebacks_.pop_back();
+    ++stats_.writebacks;
+    stats_.bytes_written_back += config_.line_bytes;
+  }
 }
 
 void Section::EvictSlot(sim::SimClock& clk, uint32_t slot) {
@@ -190,11 +289,7 @@ void Section::EvictSlot(sim::SimClock& clk, uint32_t slot) {
     // but still occupies the shared link.
     clk.Advance(net_->cost().flush_issue_ns);
     stats_.runtime_ns += net_->cost().flush_issue_ns;
-    const uint64_t done =
-        net_->WriteAsync(clk, m.tag * config_.line_bytes, nullptr, config_.line_bytes);
-    last_writeback_done_ns_ = std::max(last_writeback_done_ns_, done);
-    ++stats_.writebacks;
-    stats_.bytes_written_back += config_.line_bytes;
+    WritebackLine(clk, m.tag * config_.line_bytes);
   }
   clk.Advance(net_->cost().line_evict_ns);
   stats_.runtime_ns += net_->cost().line_evict_ns;
@@ -250,7 +345,22 @@ void Section::AccessBatch(sim::SimClock& clk,
   // Phase 2: one gather message for everything that missed.
   if (!segs.empty()) {
     const uint64_t t0 = clk.now_ns();
-    const uint64_t done = net_->ReadGatherAsync(clk, segs);
+    uint64_t done = 0;
+    for (int round = 0;; ++round) {
+      support::Result<uint64_t> r = net_->TryReadGatherAsync(clk, segs);
+      if (r.ok()) {
+        done = r.value();
+        break;
+      }
+      if (r.status().code() == support::ErrorCode::kUnavailable) {
+        WaitOutOutage(clk);
+      }
+      if (round + 1 >= kMaxFaultRounds) {
+        ++stats_.reliable_escalations;
+        done = net_->ReadGatherAsync(clk, segs);
+        break;
+      }
+    }
     clk.AdvanceTo(done);
     stats_.stall_ns += clk.now_ns() - t0;
     for (const uint32_t slot : filled_slots) {
@@ -281,12 +391,26 @@ void Section::Prefetch(sim::SimClock& clk, uint64_t raddr, uint32_t len) {
     EvictSlot(clk, victim);
     clk.Advance(net_->cost().prefetch_issue_ns);
     stats_.runtime_ns += net_->cost().prefetch_issue_ns;
+    const support::Result<uint64_t> fetch = TryFetchLine(clk, line, /*demand=*/false);
+    if (!fetch.ok()) {
+      // Fault-dropped prefetch: leave the slot invalid and move on. The line
+      // downgrades to a demand fetch at its first real access — correctness
+      // is unaffected, only the latency hiding is lost.
+      ++stats_.prefetch_aborted;
+      auto& trace = telemetry::Trace();
+      if (trace.enabled()) {
+        trace.Instant(clk, "cache." + config_.name + ".prefetch_aborted", "cache",
+                      support::StrFormat("{\"line\":%llu}",
+                                         static_cast<unsigned long long>(line)));
+      }
+      continue;
+    }
     LineMeta& m = slots_[victim];
     m.tag = line;
     m.last_use = ++use_counter_;
     m.dirty = false;
     m.prefetched = true;
-    m.ready_at_ns = FetchLine(clk, line, victim, /*demand=*/false);
+    m.ready_at_ns = fetch.value();
     ++resident_;
     ++stats_.prefetches_issued;
     soft_pins_[victim] = 1;
@@ -313,12 +437,8 @@ void Section::EvictHint(sim::SimClock& clk, uint64_t raddr, uint32_t len) {
     clk.Advance(net_->cost().flush_issue_ns);
     stats_.runtime_ns += net_->cost().flush_issue_ns;
     if (m.dirty) {
-      const uint64_t done =
-          net_->WriteAsync(clk, m.tag * config_.line_bytes, nullptr, config_.line_bytes);
-      last_writeback_done_ns_ = std::max(last_writeback_done_ns_, done);
-      ++stats_.writebacks;
-      stats_.bytes_written_back += config_.line_bytes;
-      m.dirty = false;
+      WritebackLine(clk, m.tag * config_.line_bytes);
+      m.dirty = false;  // requeued on fault; the queue now owns the write
     }
     m.evictable = true;
     OnEvictHint(slot);
@@ -352,14 +472,13 @@ void Section::FlushAll(sim::SimClock& clk) {
     if (m.valid() && m.dirty) {
       clk.Advance(net_->cost().flush_issue_ns);
       stats_.runtime_ns += net_->cost().flush_issue_ns;
-      const uint64_t done =
-          net_->WriteAsync(clk, m.tag * config_.line_bytes, nullptr, config_.line_bytes);
-      last_writeback_done_ns_ = std::max(last_writeback_done_ns_, done);
-      ++stats_.writebacks;
-      stats_.bytes_written_back += config_.line_bytes;
+      WritebackLine(clk, m.tag * config_.line_bytes);
       m.dirty = false;
     }
   }
+  // A flush must leave nothing queued: push any fault-requeued writebacks
+  // through the reliable path before declaring the section clean.
+  DrainPendingWritebacks(clk);
   // Flush is a synchronization point (e.g., before an offloaded call).
   if (last_writeback_done_ns_ > clk.now_ns()) {
     stats_.stall_ns += last_writeback_done_ns_ - clk.now_ns();
@@ -370,6 +489,10 @@ void Section::FlushAll(sim::SimClock& clk) {
 void Section::Release(sim::SimClock& clk, bool discard) {
   if (!discard) {
     FlushAll(clk);
+  } else {
+    // Read-only scope: dirty data is discarded by contract, including any
+    // writebacks still queued from faulted attempts.
+    pending_writebacks_.clear();
   }
   for (uint32_t slot = 0; slot < slots_.size(); ++slot) {
     if (slots_[slot].valid()) {

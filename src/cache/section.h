@@ -22,6 +22,7 @@
 #include "src/net/transport.h"
 #include "src/sim/clock.h"
 #include "src/support/stats.h"
+#include "src/support/status.h"
 #include "src/telemetry/telemetry.h"
 
 namespace mira::cache {
@@ -42,6 +43,12 @@ struct SectionStats {
   uint64_t prefetch_wasted = 0;    // prefetched lines evicted/released unused
   uint64_t bytes_fetched = 0;
   uint64_t bytes_written_back = 0;
+  // ---- Failure-model counters (DESIGN.md "Failure model") ----
+  uint64_t degraded_ns = 0;            // time spent waiting out far-node outages
+  uint64_t prefetch_aborted = 0;       // prefetches dropped by faults (later demand-fetched)
+  uint64_t writebacks_requeued = 0;    // async writebacks that failed and were queued
+  uint64_t forced_sync_flushes = 0;    // queue saturations that forced a sync drain
+  uint64_t reliable_escalations = 0;   // transfers pushed through the infallible path
 
   uint64_t overhead_ns() const { return runtime_ns + stall_ns; }
   // 3PO-style prefetch accuracy: useful / issued-and-resolved. 0 when no
@@ -53,6 +60,12 @@ struct SectionStats {
   }
   void Reset() { *this = SectionStats{}; }
 };
+
+// Degradation-ladder bounds (shared by lookup sections and the swap
+// section): fault rounds per transfer before escalating to the infallible
+// verb, and failed writebacks held before a forced synchronous drain.
+inline constexpr int kMaxFaultRounds = 8;
+inline constexpr size_t kPendingWritebackLimit = 8;
 
 // Snapshots `stats` into the registry under `prefix` (e.g.
 // "cache.section.hot"): hits/misses/miss_rate, runtime/stall ns, eviction
@@ -158,8 +171,25 @@ class Section {
   // Evicts the line currently in `slot` (if valid): writeback if dirty.
   void EvictSlot(sim::SimClock& clk, uint32_t slot);
 
-  // Issues the fetch for `line` into `slot`; returns completion timestamp.
-  uint64_t FetchLine(sim::SimClock& clk, uint64_t line, uint32_t slot, bool demand);
+  // One fallible fetch of `line` (the transport retries per its policy).
+  // Returns the completion timestamp, or the transport's failure.
+  support::Result<uint64_t> TryFetchLine(sim::SimClock& clk, uint64_t line, bool demand);
+
+  // Demand-fetch degradation ladder: retry, wait out outage windows, and
+  // after kMaxFaultRounds escalate to the infallible verb. Never fails.
+  uint64_t FetchLineReliable(sim::SimClock& clk, uint64_t line);
+
+  // Async writeback of the line at `raddr`; on fault the line is requeued
+  // onto pending_writebacks_ and the queue drained synchronously once it
+  // saturates (write-back throttled degraded mode).
+  void WritebackLine(sim::SimClock& clk, uint64_t raddr);
+
+  // Reliably pushes every queued writeback through (sync path + ladder).
+  void DrainPendingWritebacks(sim::SimClock& clk);
+
+  // Blocks until the far node is reachable again, charging the wait to
+  // stall_ns and degraded_ns.
+  void WaitOutOutage(sim::SimClock& clk);
 
   SectionConfig config_;
   net::Transport* net_;
@@ -175,6 +205,8 @@ class Section {
   uint64_t use_counter_ = 0;
   uint32_t resident_ = 0;
   uint64_t last_writeback_done_ns_ = 0;
+  // Remote addresses of writebacks that failed and await a reliable drain.
+  std::vector<uint64_t> pending_writebacks_;
 };
 
 // slot = line % num_lines; no conflict for sequential/strided patterns.

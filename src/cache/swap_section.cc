@@ -101,7 +101,23 @@ uint32_t SwapSection::FaultIn(sim::SimClock& clk, uint64_t page, bool demand) {
       stats_.runtime_ns += fault;
     }
     const uint64_t t0 = clk.now_ns();
-    net_->ReadSync(clk, raddr, nullptr, kPageBytes);
+    // Demand-fetch ladder: retry, wait out outages, escalate to the
+    // infallible verb after kMaxFaultRounds — a major fault cannot be
+    // dropped, the faulting thread needs the page.
+    for (int round = 0;; ++round) {
+      const support::Status s = net_->TryReadSync(clk, raddr, nullptr, kPageBytes);
+      if (s.ok()) {
+        break;
+      }
+      if (s.code() == support::ErrorCode::kUnavailable) {
+        WaitOutOutage(clk);
+      }
+      if (round + 1 >= kMaxFaultRounds) {
+        ++stats_.reliable_escalations;
+        net_->ReadSync(clk, raddr, nullptr, kPageBytes);
+        break;
+      }
+    }
     m.ready_at_ns = clk.now_ns();
     stats_.stall_ns += clk.now_ns() - t0;
     auto& trace = telemetry::Trace();
@@ -114,7 +130,16 @@ uint32_t SwapSection::FaultIn(sim::SimClock& clk, uint64_t page, bool demand) {
     const uint64_t issue = net_->cost().prefetch_issue_ns;
     clk.Advance(issue);
     stats_.runtime_ns += issue;
-    m.ready_at_ns = net_->ReadAsync(clk, raddr, nullptr, kPageBytes);
+    const support::Result<uint64_t> r = net_->TryReadAsync(clk, raddr, nullptr, kPageBytes);
+    if (!r.ok()) {
+      // Fault-dropped prefetch: hand the frame back unmapped; the page
+      // downgrades to a demand fault at its first access.
+      ++stats_.prefetch_aborted;
+      m = PageMeta{};
+      free_frames_.push_back(frame);
+      return UINT32_MAX;
+    }
+    m.ready_at_ns = r.value();
     ++stats_.prefetches_issued;
   }
   stats_.bytes_fetched += kPageBytes;
@@ -136,14 +161,66 @@ void SwapSection::EvictFrame(sim::SimClock& clk, uint32_t slot) {
   clk.Advance(evict);
   stats_.runtime_ns += evict;
   if (m.dirty) {
-    const uint64_t done = net_->WriteAsync(clk, m.page << kPageShift, nullptr, kPageBytes);
-    last_writeback_done_ns_ = std::max(last_writeback_done_ns_, done);
-    ++stats_.writebacks;
-    stats_.bytes_written_back += kPageBytes;
+    WritebackPage(clk, m.page << kPageShift);
   }
   table_.erase(m.page);
   lru_.Remove(slot);
   m = PageMeta{};
+}
+
+void SwapSection::WaitOutOutage(sim::SimClock& clk) {
+  const uint64_t until = net_->NextAvailableNs(clk.now_ns());
+  if (until <= clk.now_ns()) {
+    return;
+  }
+  const uint64_t t0 = clk.now_ns();
+  const uint64_t span = until - t0;
+  stats_.degraded_ns += span;
+  stats_.stall_ns += span;
+  clk.AdvanceTo(until);
+  auto& trace = telemetry::Trace();
+  if (trace.enabled()) {
+    trace.Complete(clk, t0, span, "cache.swap.degraded", "cache", "{}");
+  }
+}
+
+void SwapSection::WritebackPage(sim::SimClock& clk, uint64_t raddr) {
+  const support::Result<uint64_t> r = net_->TryWriteAsync(clk, raddr, nullptr, kPageBytes);
+  if (r.ok()) {
+    last_writeback_done_ns_ = std::max(last_writeback_done_ns_, r.value());
+    ++stats_.writebacks;
+    stats_.bytes_written_back += kPageBytes;
+    return;
+  }
+  pending_writebacks_.push_back(raddr);
+  ++stats_.writebacks_requeued;
+  if (pending_writebacks_.size() >= kPendingWritebackLimit) {
+    ++stats_.forced_sync_flushes;
+    DrainPendingWritebacks(clk);
+  }
+}
+
+void SwapSection::DrainPendingWritebacks(sim::SimClock& clk) {
+  while (!pending_writebacks_.empty()) {
+    const uint64_t raddr = pending_writebacks_.back();
+    for (int round = 0;; ++round) {
+      const support::Status s = net_->TryWriteSync(clk, raddr, nullptr, kPageBytes);
+      if (s.ok()) {
+        break;
+      }
+      if (s.code() == support::ErrorCode::kUnavailable) {
+        WaitOutOutage(clk);
+      }
+      if (round + 1 >= kMaxFaultRounds) {
+        ++stats_.reliable_escalations;
+        net_->WriteSync(clk, raddr, nullptr, kPageBytes);
+        break;
+      }
+    }
+    pending_writebacks_.pop_back();
+    ++stats_.writebacks;
+    stats_.bytes_written_back += kPageBytes;
+  }
 }
 
 void SwapSection::Release(sim::SimClock& clk) {
@@ -156,16 +233,15 @@ void SwapSection::Release(sim::SimClock& clk) {
       ++stats_.prefetch_wasted;  // dropped at release without a use
     }
     if (m.dirty) {
-      const uint64_t done = net_->WriteAsync(clk, m.page << kPageShift, nullptr, kPageBytes);
-      last_writeback_done_ns_ = std::max(last_writeback_done_ns_, done);
-      ++stats_.writebacks;
-      stats_.bytes_written_back += kPageBytes;
+      WritebackPage(clk, m.page << kPageShift);
     }
     table_.erase(m.page);
     lru_.Remove(f);
     m = PageMeta{};
     free_frames_.push_back(f);
   }
+  // Release must leave nothing queued.
+  DrainPendingWritebacks(clk);
   if (last_writeback_done_ns_ > clk.now_ns()) {
     stats_.stall_ns += last_writeback_done_ns_ - clk.now_ns();
     clk.AdvanceTo(last_writeback_done_ns_);

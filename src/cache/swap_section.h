@@ -64,9 +64,16 @@ class SwapSection {
   };
 
   // Faults `page` in (demand or prefetch); returns the chosen slot, or
-  // UINT32_MAX if no frame could be freed.
+  // UINT32_MAX if no frame could be freed (or a prefetch fetch faulted).
   uint32_t FaultIn(sim::SimClock& clk, uint64_t page, bool demand);
   void EvictFrame(sim::SimClock& clk, uint32_t slot);
+
+  // Failure-model ladder (mirrors cache::Section; DESIGN.md "Failure
+  // model"): waits out outages, requeues faulted writebacks, and drains the
+  // queue synchronously when it saturates or at release.
+  void WaitOutOutage(sim::SimClock& clk);
+  void WritebackPage(sim::SimClock& clk, uint64_t raddr);
+  void DrainPendingWritebacks(sim::SimClock& clk);
 
   net::Transport* net_;
   std::unique_ptr<SwapPrefetcher> prefetcher_;
@@ -80,6 +87,7 @@ class SwapSection {
   SectionStats stats_;
   uint64_t last_writeback_done_ns_ = 0;
   sim::SerialResource* fault_lock_ = nullptr;
+  std::vector<uint64_t> pending_writebacks_;  // raddrs of faulted writebacks
 };
 
 }  // namespace mira::cache

@@ -251,14 +251,16 @@ support::Status Interpreter::ExecInstr(Frame& frame, const ir::Region& region, s
       } else {
         const int64_t a = I(0), b = I(1);
         switch (instr.kind) {
+          // Two's-complement wraparound semantics (the workloads' LCG mixing
+          // relies on it); compute unsigned to keep UBSan quiet.
           case ir::OpKind::kAdd:
-            SetI(a + b);
+            SetI(static_cast<int64_t>(static_cast<uint64_t>(a) + static_cast<uint64_t>(b)));
             break;
           case ir::OpKind::kSub:
-            SetI(a - b);
+            SetI(static_cast<int64_t>(static_cast<uint64_t>(a) - static_cast<uint64_t>(b)));
             break;
           case ir::OpKind::kMul:
-            SetI(a * b);
+            SetI(static_cast<int64_t>(static_cast<uint64_t>(a) * static_cast<uint64_t>(b)));
             break;
           case ir::OpKind::kDiv:
             SetI(b == 0 ? 0 : a / b);
@@ -540,8 +542,23 @@ support::Status Interpreter::ExecInstr(Frame& frame, const ir::Region& region, s
         args.push_back(vals[op]);
       }
       uint64_t result = 0;
-      if (remote_mode_ || !backend_->SupportsOffload()) {
-        // Already on the far node (or backend can't offload): plain call.
+      bool remote = !remote_mode_ && backend_->SupportsOffload();
+      if (remote && !backend_->OffloadAdmission(clock_)) {
+        // Offload faults strike at initiation: the request leg could not be
+        // admitted, so the callee runs locally — its data-plane effects are
+        // identical, only the timing differs (no remote side effects exist).
+        remote = false;
+        ++offload_fallbacks_;
+        telemetry::Metrics().AddCounter("interp.offload.local_fallbacks", 1);
+        auto& trace = telemetry::Trace();
+        if (trace.enabled()) {
+          trace.Instant(clock_, "interp.offload.fallback", "interp",
+                        support::StrFormat("{\"callee\":%u}", instr.callee));
+        }
+      }
+      if (!remote) {
+        // Already on the far node, backend can't offload, or admission
+        // failed: plain (local) call.
         if (auto s = CallFunction(instr.callee, args, &result); !s.ok()) {
           return s;
         }

@@ -78,6 +78,8 @@ class Interpreter {
   sim::SimClock& clock() { return clock_; }
   const RunProfile& profile() const { return profile_; }
   uint64_t instrs_executed() const { return instrs_executed_; }
+  // Offloaded calls whose RPC admission failed and ran locally instead.
+  uint64_t offload_fallbacks() const { return offload_fallbacks_; }
 
   // Remote address of the object allocated at site `label` (first hit).
   farmem::RemoteAddr ObjectAddr(const std::string& label) const;
@@ -118,6 +120,7 @@ class Interpreter {
   sim::SimClock clock_;
   RunProfile profile_;
   uint64_t instrs_executed_ = 0;
+  uint64_t offload_fallbacks_ = 0;  // offloads denied admission, run locally
   bool remote_mode_ = false;
   int call_depth_ = 0;
   std::vector<std::string> func_stack_;

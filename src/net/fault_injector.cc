@@ -1,0 +1,133 @@
+#include "src/net/fault_injector.h"
+
+namespace mira::net {
+
+const char* VerbName(Verb v) {
+  switch (v) {
+    case Verb::kReadSync:
+      return "read.sync";
+    case Verb::kReadAsync:
+      return "read.async";
+    case Verb::kReadGather:
+      return "read.gather";
+    case Verb::kWriteSync:
+      return "write.sync";
+    case Verb::kWriteAsync:
+      return "write.async";
+    case Verb::kTwoSidedRead:
+      return "two_sided.read";
+    case Verb::kTwoSidedWrite:
+      return "two_sided.write";
+    case Verb::kRpc:
+      return "rpc";
+  }
+  return "?";
+}
+
+bool FaultPlan::AnyFaults() const {
+  for (const auto& v : verbs) {
+    if (v.CanFault()) {
+      return true;
+    }
+  }
+  return !outages.empty() || !degraded.empty();
+}
+
+FaultPlan FaultPlan::Clean() { return FaultPlan{}; }
+
+FaultPlan FaultPlan::Lossy(uint64_t seed, double p, double tail_p) {
+  FaultPlan plan;
+  plan.seed = seed;
+  for (auto& v : plan.verbs) {
+    v.drop_probability = p / 2;
+    v.timeout_probability = p / 2;
+    v.tail_probability = tail_p;
+    v.tail_multiplier = 4.0;
+  }
+  return plan;
+}
+
+FaultPlan FaultPlan::BurstyOutage(uint64_t seed, uint64_t first_start_ns, uint64_t width_ns,
+                                  uint64_t period_ns, int count) {
+  FaultPlan plan;
+  plan.seed = seed;
+  for (int i = 0; i < count; ++i) {
+    const uint64_t start = first_start_ns + static_cast<uint64_t>(i) * period_ns;
+    plan.outages.push_back(OutageWindow{start, start + width_ns});
+  }
+  return plan;
+}
+
+FaultPlan FaultPlan::DegradedBandwidth(uint64_t seed, double bandwidth_factor) {
+  FaultPlan plan;
+  plan.seed = seed;
+  plan.degraded.push_back(DegradedWindow{0, UINT64_MAX, bandwidth_factor});
+  for (auto& v : plan.verbs) {
+    v.tail_probability = 0.02;
+    v.tail_multiplier = 2.0;
+  }
+  return plan;
+}
+
+FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)), rng_(plan_.seed) {}
+
+bool FaultInjector::InOutage(uint64_t now_ns) const {
+  for (const auto& w : plan_.outages) {
+    if (now_ns >= w.start_ns && now_ns < w.end_ns) {
+      return true;
+    }
+  }
+  return false;
+}
+
+uint64_t FaultInjector::NextAvailableNs(uint64_t now_ns) const {
+  // Windows may abut; chase through any chain covering `now_ns`.
+  uint64_t t = now_ns;
+  bool moved = true;
+  while (moved) {
+    moved = false;
+    for (const auto& w : plan_.outages) {
+      if (t >= w.start_ns && t < w.end_ns) {
+        t = w.end_ns;
+        moved = true;
+      }
+    }
+  }
+  return t;
+}
+
+FaultInjector::Decision FaultInjector::Evaluate(Verb verb, uint64_t now_ns, uint64_t wire_ns) {
+  Decision d;
+  if (InOutage(now_ns)) {
+    d.unavailable = true;
+    return d;  // no RNG draw: outage decisions are purely schedule-driven
+  }
+  const VerbFaultConfig& cfg = plan_.verb(verb);
+  // Draws are conditional on a nonzero probability so clean verbs consume no
+  // RNG state — the schedule for one verb is independent of which other
+  // verbs a scenario leaves clean.
+  if (cfg.drop_probability > 0.0 && rng_.NextDouble() < cfg.drop_probability) {
+    d.drop = true;
+    return d;
+  }
+  if (cfg.timeout_probability > 0.0 && rng_.NextDouble() < cfg.timeout_probability) {
+    d.timeout = true;
+    return d;
+  }
+  if (cfg.tail_probability > 0.0 && rng_.NextDouble() < cfg.tail_probability) {
+    d.extra_ns += static_cast<uint64_t>(static_cast<double>(wire_ns) *
+                                        (cfg.tail_multiplier - 1.0));
+  }
+  for (const auto& w : plan_.degraded) {
+    if (now_ns >= w.start_ns && now_ns < w.end_ns && w.bandwidth_factor > 0.0 &&
+        w.bandwidth_factor < 1.0) {
+      d.extra_ns += static_cast<uint64_t>(static_cast<double>(wire_ns) *
+                                          (1.0 / w.bandwidth_factor - 1.0));
+    }
+  }
+  return d;
+}
+
+double FaultInjector::NextJitter() { return rng_.NextDouble() * 2.0 - 1.0; }
+
+}  // namespace mira::net

@@ -1,0 +1,150 @@
+// Deterministic fault injection for the transport (DESIGN.md "Failure
+// model").
+//
+// A FaultInjector is configured from a FaultPlan: per-verb drop / timeout /
+// tail-latency probabilities plus scheduled far-node unavailability and
+// link-degradation windows over *simulated* time. All randomness flows
+// through one seeded support::Rng whose consumption order is the verb-issue
+// order — deterministic because the whole simulation is single-host-threaded
+// — so a fixed (plan, seed) reproduces the exact same fault schedule, retry
+// timestamps, and trace, bit for bit.
+//
+// The injector only *decides*; the Transport's Try* verbs act on the
+// decisions (charge timeouts, back off, retry, or fail) and the call sites
+// own the degradation ladder (see cache::Section and the interpreter's
+// offload fallback).
+
+#ifndef MIRA_SRC_NET_FAULT_INJECTOR_H_
+#define MIRA_SRC_NET_FAULT_INJECTOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/support/rng.h"
+
+namespace mira::net {
+
+// Transport verbs, as the injector and retry policies key on them.
+enum class Verb : uint8_t {
+  kReadSync = 0,
+  kReadAsync,
+  kReadGather,
+  kWriteSync,
+  kWriteAsync,
+  kTwoSidedRead,
+  kTwoSidedWrite,
+  kRpc,
+};
+inline constexpr size_t kNumVerbs = 8;
+
+const char* VerbName(Verb v);
+
+// Per-verb fault knobs. Probabilities are evaluated independently per
+// attempt; `tail_multiplier` scales the attempt's wire latency (RTT +
+// transfer) when a tail event fires.
+struct VerbFaultConfig {
+  double drop_probability = 0.0;     // request lost; caller observes a timeout
+  double timeout_probability = 0.0;  // completion lost; same cost, own counter
+  double tail_probability = 0.0;     // attempt completes, but slower
+  double tail_multiplier = 1.0;      // latency factor for tail events (>= 1)
+
+  bool CanFault() const {
+    return drop_probability > 0.0 || timeout_probability > 0.0 || tail_probability > 0.0;
+  }
+};
+
+// Far node unreachable during [start_ns, end_ns): every attempt fails.
+struct OutageWindow {
+  uint64_t start_ns = 0;
+  uint64_t end_ns = 0;
+};
+
+// Link degraded during [start_ns, end_ns): transfers take 1/bandwidth_factor
+// times longer (0 < bandwidth_factor <= 1).
+struct DegradedWindow {
+  uint64_t start_ns = 0;
+  uint64_t end_ns = 0;
+  double bandwidth_factor = 1.0;
+};
+
+// Bounded-attempt retry with exponential backoff and deterministic jitter.
+// All waiting (attempt timeouts, backoff) is charged to the caller's
+// SimClock, so retries show up as real tail latency in every bench.
+struct RetryPolicy {
+  uint32_t max_attempts = 5;
+  uint64_t attempt_timeout_ns = 15'000;  // declared lost after this wait
+  uint64_t base_backoff_ns = 4'000;
+  double backoff_multiplier = 2.0;
+  double jitter_fraction = 0.25;   // backoff * (1 ± jitter), drawn from the injector
+  uint64_t deadline_ns = 600'000;  // per-verb overall deadline across attempts
+
+  // Backoff before retry number `retry` (1-based), before jitter.
+  uint64_t BackoffNs(uint32_t retry) const {
+    double b = static_cast<double>(base_backoff_ns);
+    for (uint32_t i = 1; i < retry; ++i) {
+      b *= backoff_multiplier;
+    }
+    return static_cast<uint64_t>(b);
+  }
+};
+
+struct FaultPlan {
+  uint64_t seed = 1;
+  VerbFaultConfig verbs[kNumVerbs];
+  std::vector<OutageWindow> outages;
+  std::vector<DegradedWindow> degraded;
+
+  VerbFaultConfig& verb(Verb v) { return verbs[static_cast<size_t>(v)]; }
+  const VerbFaultConfig& verb(Verb v) const { return verbs[static_cast<size_t>(v)]; }
+
+  bool AnyFaults() const;
+
+  // ---- Canonical scenarios (bench_fault_resilience, tests) ----
+
+  // No faults at all; attaching this plan must not change any timing.
+  static FaultPlan Clean();
+  // Every verb drops/times out with probability `p` and sees `tail_p`
+  // tail events at 4x latency.
+  static FaultPlan Lossy(uint64_t seed, double p = 0.02, double tail_p = 0.05);
+  // `count` far-node outages of `width_ns`, every `period_ns` starting at
+  // `first_start_ns`.
+  static FaultPlan BurstyOutage(uint64_t seed, uint64_t first_start_ns, uint64_t width_ns,
+                                uint64_t period_ns, int count);
+  // Link at `bandwidth_factor` of nominal bandwidth for the whole run, with
+  // mild tail inflation.
+  static FaultPlan DegradedBandwidth(uint64_t seed, double bandwidth_factor = 0.25);
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan);
+
+  // Decision for one attempt of `verb` issued at `now_ns`.
+  struct Decision {
+    bool unavailable = false;  // inside an outage window
+    bool drop = false;         // request lost
+    bool timeout = false;      // completion lost
+    uint64_t extra_ns = 0;     // added wire latency (tail and/or degraded link)
+  };
+  // `wire_ns` is the attempt's nominal wire latency (RTT + transfer): the
+  // base that tail multipliers and degraded-bandwidth factors scale.
+  Decision Evaluate(Verb verb, uint64_t now_ns, uint64_t wire_ns);
+
+  // Deterministic jitter draw in [-1, 1) for retry backoff.
+  double NextJitter();
+
+  bool InOutage(uint64_t now_ns) const;
+  // End of the outage window covering `now_ns`, or `now_ns` if none.
+  uint64_t NextAvailableNs(uint64_t now_ns) const;
+
+  const FaultPlan& plan() const { return plan_; }
+
+ private:
+  FaultPlan plan_;
+  support::Rng rng_;
+};
+
+}  // namespace mira::net
+
+#endif  // MIRA_SRC_NET_FAULT_INJECTOR_H_

@@ -23,6 +23,25 @@ Transport::Transport(farmem::FarMemoryNode* node, const sim::CostModel& cost)
   two_sided_read_ = verb("two_sided.read");
   two_sided_write_ = verb("two_sided.write");
   rpc_ = verb("rpc");
+  fault_telemetry_.drops = m.Counter("net.fault.drops");
+  fault_telemetry_.timeouts = m.Counter("net.fault.timeouts");
+  fault_telemetry_.unavailable = m.Counter("net.fault.unavailable");
+  fault_telemetry_.tail_events = m.Counter("net.fault.tail_events");
+  fault_telemetry_.retries = m.Counter("net.retry.attempts");
+  fault_telemetry_.recovered = m.Counter("net.retry.recovered");
+  fault_telemetry_.exhausted = m.Counter("net.retry.exhausted");
+  fault_telemetry_.backoff_ns = m.Counter("net.retry.backoff_ns");
+  fault_telemetry_.lost_wait_ns = m.Counter("net.retry.lost_wait_ns");
+}
+
+void Transport::SetRetryPolicy(const RetryPolicy& policy) {
+  for (auto& p : policies_) {
+    p = policy;
+  }
+}
+
+void Transport::SetRetryPolicy(Verb verb, const RetryPolicy& policy) {
+  policies_[static_cast<size_t>(verb)] = policy;
 }
 
 void Transport::RecordVerb(const VerbTelemetry& verb, const char* name,
@@ -47,60 +66,218 @@ uint64_t Transport::MessageDoneAt(sim::SimClock& clk, uint64_t bytes, uint64_t e
   return link_.Transfer(clk.now_ns(), bytes, cost_.rdma_rtt_ns + extra_ns);
 }
 
-void Transport::ReadSync(sim::SimClock& clk, farmem::RemoteAddr raddr, void* dst, uint32_t len) {
+// ---- Fault/retry protocol ----
+
+support::Result<uint64_t> Transport::AdmitVerb(Verb verb, sim::SimClock& clk,
+                                               uint64_t wire_ns) {
+  const RetryPolicy& policy = policies_[static_cast<size_t>(verb)];
+  auto& trace = telemetry::Trace();
+  const uint64_t start_ns = clk.now_ns();
+  bool retried = false;
+  for (uint32_t attempt = 1;; ++attempt) {
+    const FaultInjector::Decision d = fault_->Evaluate(verb, clk.now_ns(), wire_ns);
+    if (!d.unavailable && !d.drop && !d.timeout) {
+      if (d.extra_ns > 0) {
+        ++fault_stats_.tail_events;
+        ++*fault_telemetry_.tail_events;
+      }
+      if (retried) {
+        ++fault_stats_.recovered;
+        ++*fault_telemetry_.recovered;
+      }
+      return d.extra_ns;
+    }
+    // Failed attempt: the caller waits out the attempt timeout before
+    // declaring the verb lost.
+    const char* kind;
+    if (d.unavailable) {
+      ++fault_stats_.unavailable;
+      ++*fault_telemetry_.unavailable;
+      kind = "net.fault.unavailable";
+    } else if (d.drop) {
+      ++fault_stats_.drops;
+      ++*fault_telemetry_.drops;
+      kind = "net.fault.drop";
+    } else {
+      ++fault_stats_.timeouts;
+      ++*fault_telemetry_.timeouts;
+      kind = "net.fault.timeout";
+    }
+    clk.Advance(policy.attempt_timeout_ns);
+    fault_stats_.lost_wait_ns += policy.attempt_timeout_ns;
+    *fault_telemetry_.lost_wait_ns += policy.attempt_timeout_ns;
+    if (trace.enabled()) {
+      trace.Instant(clk, kind, "net",
+                    support::StrFormat("{\"verb\":\"%s\",\"attempt\":%u}", VerbName(verb),
+                                       attempt));
+    }
+    const uint64_t elapsed = clk.now_ns() - start_ns;
+    if (attempt >= policy.max_attempts || elapsed >= policy.deadline_ns) {
+      ++fault_stats_.exhausted;
+      ++*fault_telemetry_.exhausted;
+      if (d.unavailable) {
+        return support::Status::Unavailable(support::StrFormat(
+            "%s: far node unreachable after %u attempts", VerbName(verb), attempt));
+      }
+      return support::Status::DeadlineExceeded(support::StrFormat(
+          "%s: gave up after %u attempts / %llu ns", VerbName(verb), attempt,
+          static_cast<unsigned long long>(elapsed)));
+    }
+    // Exponential backoff with deterministic jitter, charged to the caller.
+    uint64_t backoff = policy.BackoffNs(attempt);
+    if (policy.jitter_fraction > 0.0) {
+      const double jitter = policy.jitter_fraction * fault_->NextJitter();
+      backoff = static_cast<uint64_t>(static_cast<double>(backoff) * (1.0 + jitter));
+    }
+    clk.Advance(backoff);
+    fault_stats_.backoff_ns += backoff;
+    *fault_telemetry_.backoff_ns += backoff;
+    ++fault_stats_.retries;
+    ++*fault_telemetry_.retries;
+    retried = true;
+  }
+}
+
+// ---- One-sided verbs ----
+
+void Transport::ReadSyncImpl(sim::SimClock& clk, farmem::RemoteAddr raddr, void* dst,
+                             uint32_t len, uint64_t extra_ns) {
   if (dst != nullptr) {
     node_->CopyOut(raddr, dst, len);
   }
   ++stats_.one_sided_reads;
   stats_.bytes_in += len;
   const uint64_t t0 = clk.now_ns();
-  clk.AdvanceTo(MessageDoneAt(clk, len, 0));
+  clk.AdvanceTo(MessageDoneAt(clk, len, extra_ns));
   RecordVerb(read_sync_, "net.read.sync", clk, t0, clk.now_ns(), len);
 }
 
-void Transport::WriteSync(sim::SimClock& clk, farmem::RemoteAddr raddr, const void* src,
-                          uint32_t len) {
+void Transport::ReadSync(sim::SimClock& clk, farmem::RemoteAddr raddr, void* dst, uint32_t len) {
+  ReadSyncImpl(clk, raddr, dst, len, 0);
+}
+
+support::Status Transport::TryReadSync(sim::SimClock& clk, farmem::RemoteAddr raddr, void* dst,
+                                       uint32_t len) {
+  if (!FaultsActive()) {
+    ReadSync(clk, raddr, dst, len);
+    return support::Status::Ok();
+  }
+  auto admit = AdmitVerb(Verb::kReadSync, clk, WireNs(len, 0));
+  if (!admit.ok()) {
+    return admit.status();
+  }
+  ReadSyncImpl(clk, raddr, dst, len, admit.value());
+  return support::Status::Ok();
+}
+
+void Transport::WriteSyncImpl(sim::SimClock& clk, farmem::RemoteAddr raddr, const void* src,
+                              uint32_t len, uint64_t extra_ns) {
   if (src != nullptr) {
     node_->CopyIn(raddr, src, len);
   }
   ++stats_.one_sided_writes;
   stats_.bytes_out += len;
   const uint64_t t0 = clk.now_ns();
-  clk.AdvanceTo(MessageDoneAt(clk, len, 0));
+  clk.AdvanceTo(MessageDoneAt(clk, len, extra_ns));
   RecordVerb(write_sync_, "net.write.sync", clk, t0, clk.now_ns(), len);
 }
 
-uint64_t Transport::ReadAsync(sim::SimClock& clk, farmem::RemoteAddr raddr, void* dst,
-                              uint32_t len) {
+void Transport::WriteSync(sim::SimClock& clk, farmem::RemoteAddr raddr, const void* src,
+                          uint32_t len) {
+  WriteSyncImpl(clk, raddr, src, len, 0);
+}
+
+support::Status Transport::TryWriteSync(sim::SimClock& clk, farmem::RemoteAddr raddr,
+                                        const void* src, uint32_t len) {
+  if (!FaultsActive()) {
+    WriteSync(clk, raddr, src, len);
+    return support::Status::Ok();
+  }
+  auto admit = AdmitVerb(Verb::kWriteSync, clk, WireNs(len, 0));
+  if (!admit.ok()) {
+    return admit.status();
+  }
+  WriteSyncImpl(clk, raddr, src, len, admit.value());
+  return support::Status::Ok();
+}
+
+uint64_t Transport::ReadAsyncImpl(sim::SimClock& clk, farmem::RemoteAddr raddr, void* dst,
+                                  uint32_t len, uint64_t extra_ns) {
   if (dst != nullptr) {
     node_->CopyOut(raddr, dst, len);
   }
   ++stats_.one_sided_reads;
   stats_.bytes_in += len;
   const uint64_t t0 = clk.now_ns();
-  const uint64_t done = MessageDoneAt(clk, len, 0);
+  const uint64_t done = MessageDoneAt(clk, len, extra_ns);
   RecordVerb(read_async_, "net.read.async", clk, t0, done, len);
+  return done;
+}
+
+uint64_t Transport::ReadAsync(sim::SimClock& clk, farmem::RemoteAddr raddr, void* dst,
+                              uint32_t len) {
+  return ReadAsyncImpl(clk, raddr, dst, len, 0);
+}
+
+support::Result<uint64_t> Transport::TryReadAsync(sim::SimClock& clk, farmem::RemoteAddr raddr,
+                                                  void* dst, uint32_t len) {
+  if (!FaultsActive()) {
+    return ReadAsync(clk, raddr, dst, len);
+  }
+  auto admit = AdmitVerb(Verb::kReadAsync, clk, WireNs(len, 0));
+  if (!admit.ok()) {
+    return admit.status();
+  }
+  return ReadAsyncImpl(clk, raddr, dst, len, admit.value());
+}
+
+uint64_t Transport::WriteAsyncImpl(sim::SimClock& clk, farmem::RemoteAddr raddr,
+                                   const void* src, uint32_t len, uint64_t extra_ns) {
+  if (src != nullptr) {
+    node_->CopyIn(raddr, src, len);
+  }
+  ++stats_.one_sided_writes;
+  stats_.bytes_out += len;
+  const uint64_t t0 = clk.now_ns();
+  const uint64_t done = MessageDoneAt(clk, len, extra_ns);
+  RecordVerb(write_async_, "net.write.async", clk, t0, done, len);
   return done;
 }
 
 uint64_t Transport::WriteAsync(sim::SimClock& clk, farmem::RemoteAddr raddr, const void* src,
                                uint32_t len) {
-  if (src != nullptr) {
-    node_->CopyIn(raddr, src, len);
+  return WriteAsyncImpl(clk, raddr, src, len, 0);
+}
+
+support::Result<uint64_t> Transport::TryWriteAsync(sim::SimClock& clk,
+                                                   farmem::RemoteAddr raddr, const void* src,
+                                                   uint32_t len) {
+  if (!FaultsActive()) {
+    return WriteAsync(clk, raddr, src, len);
   }
-  ++stats_.one_sided_writes;
-  stats_.bytes_out += len;
-  const uint64_t t0 = clk.now_ns();
-  const uint64_t done = MessageDoneAt(clk, len, 0);
-  RecordVerb(write_async_, "net.write.async", clk, t0, done, len);
-  return done;
+  auto admit = AdmitVerb(Verb::kWriteAsync, clk, WireNs(len, 0));
+  if (!admit.ok()) {
+    return admit.status();
+  }
+  return WriteAsyncImpl(clk, raddr, src, len, admit.value());
 }
 
 void Transport::ReadGatherSync(sim::SimClock& clk, const std::vector<Segment>& segs) {
   clk.AdvanceTo(ReadGatherAsync(clk, segs));
 }
 
-uint64_t Transport::ReadGatherAsync(sim::SimClock& clk, const std::vector<Segment>& segs) {
+support::Status Transport::TryReadGatherSync(sim::SimClock& clk,
+                                             const std::vector<Segment>& segs) {
+  auto done = TryReadGatherAsync(clk, segs);
+  if (!done.ok()) {
+    return done.status();
+  }
+  clk.AdvanceTo(done.value());
+  return support::Status::Ok();
+}
+
+uint64_t Transport::ReadGatherAsyncImpl(sim::SimClock& clk, const std::vector<Segment>& segs,
+                                        uint64_t extra_ns) {
   uint64_t bytes = 0;
   for (const auto& s : segs) {
     if (s.dst != nullptr) {
@@ -111,16 +288,44 @@ uint64_t Transport::ReadGatherAsync(sim::SimClock& clk, const std::vector<Segmen
   ++stats_.one_sided_reads;
   stats_.bytes_in += bytes;
   stats_.sg_segments += segs.size();
-  const uint64_t sg_cost =
-      segs.empty() ? 0 : (segs.size() - 1) * cost_.sg_segment_ns;
+  const uint64_t sg_cost = (segs.size() - 1) * cost_.sg_segment_ns;
   const uint64_t t0 = clk.now_ns();
-  const uint64_t done = MessageDoneAt(clk, bytes, sg_cost);
+  const uint64_t done = MessageDoneAt(clk, bytes, sg_cost + extra_ns);
   RecordVerb(read_gather_, "net.read.gather", clk, t0, done, bytes);
   return done;
 }
 
-void Transport::TwoSidedReadSync(sim::SimClock& clk, farmem::RemoteAddr raddr, void* dst,
-                                 uint32_t len, uint32_t gather_segments) {
+uint64_t Transport::ReadGatherAsync(sim::SimClock& clk, const std::vector<Segment>& segs) {
+  if (segs.empty()) {
+    // Nothing to fetch: no message, no one-sided-read count, no CPU charge.
+    return clk.now_ns();
+  }
+  return ReadGatherAsyncImpl(clk, segs, 0);
+}
+
+support::Result<uint64_t> Transport::TryReadGatherAsync(sim::SimClock& clk,
+                                                        const std::vector<Segment>& segs) {
+  if (segs.empty()) {
+    return clk.now_ns();
+  }
+  if (!FaultsActive()) {
+    return ReadGatherAsyncImpl(clk, segs, 0);
+  }
+  uint64_t bytes = 0;
+  for (const auto& s : segs) {
+    bytes += s.len;
+  }
+  auto admit = AdmitVerb(Verb::kReadGather, clk,
+                         WireNs(bytes, (segs.size() - 1) * cost_.sg_segment_ns));
+  if (!admit.ok()) {
+    return admit.status();
+  }
+  return ReadGatherAsyncImpl(clk, segs, admit.value());
+}
+
+void Transport::TwoSidedReadSyncImpl(sim::SimClock& clk, farmem::RemoteAddr raddr, void* dst,
+                                     uint32_t len, uint32_t gather_segments,
+                                     uint64_t extra_ns) {
   if (dst != nullptr) {
     node_->CopyOut(raddr, dst, len);
   }
@@ -129,12 +334,35 @@ void Transport::TwoSidedReadSync(sim::SimClock& clk, farmem::RemoteAddr raddr, v
   const uint64_t handler =
       cost_.two_sided_handler_ns + gather_segments * cost_.sg_segment_ns;
   const uint64_t t0 = clk.now_ns();
-  clk.AdvanceTo(MessageDoneAt(clk, len, handler));
+  clk.AdvanceTo(MessageDoneAt(clk, len, handler + extra_ns));
   RecordVerb(two_sided_read_, "net.two_sided.read", clk, t0, clk.now_ns(), len);
 }
 
-void Transport::TwoSidedWriteSync(sim::SimClock& clk, farmem::RemoteAddr raddr, const void* src,
-                                  uint32_t len, uint32_t gather_segments) {
+void Transport::TwoSidedReadSync(sim::SimClock& clk, farmem::RemoteAddr raddr, void* dst,
+                                 uint32_t len, uint32_t gather_segments) {
+  TwoSidedReadSyncImpl(clk, raddr, dst, len, gather_segments, 0);
+}
+
+support::Status Transport::TryTwoSidedReadSync(sim::SimClock& clk, farmem::RemoteAddr raddr,
+                                               void* dst, uint32_t len,
+                                               uint32_t gather_segments) {
+  if (!FaultsActive()) {
+    TwoSidedReadSync(clk, raddr, dst, len, gather_segments);
+    return support::Status::Ok();
+  }
+  const uint64_t handler =
+      cost_.two_sided_handler_ns + gather_segments * cost_.sg_segment_ns;
+  auto admit = AdmitVerb(Verb::kTwoSidedRead, clk, WireNs(len, handler));
+  if (!admit.ok()) {
+    return admit.status();
+  }
+  TwoSidedReadSyncImpl(clk, raddr, dst, len, gather_segments, admit.value());
+  return support::Status::Ok();
+}
+
+void Transport::TwoSidedWriteSyncImpl(sim::SimClock& clk, farmem::RemoteAddr raddr,
+                                      const void* src, uint32_t len, uint32_t gather_segments,
+                                      uint64_t extra_ns) {
   if (src != nullptr) {
     node_->CopyIn(raddr, src, len);
   }
@@ -143,22 +371,77 @@ void Transport::TwoSidedWriteSync(sim::SimClock& clk, farmem::RemoteAddr raddr, 
   const uint64_t handler =
       cost_.two_sided_handler_ns + gather_segments * cost_.sg_segment_ns;
   const uint64_t t0 = clk.now_ns();
-  clk.AdvanceTo(MessageDoneAt(clk, len, handler));
+  clk.AdvanceTo(MessageDoneAt(clk, len, handler + extra_ns));
   RecordVerb(two_sided_write_, "net.two_sided.write", clk, t0, clk.now_ns(), len);
 }
 
-uint64_t Transport::Rpc(sim::SimClock& clk, uint32_t req_bytes, uint32_t resp_bytes,
-                        uint64_t remote_service_ns) {
+void Transport::TwoSidedWriteSync(sim::SimClock& clk, farmem::RemoteAddr raddr,
+                                  const void* src, uint32_t len, uint32_t gather_segments) {
+  TwoSidedWriteSyncImpl(clk, raddr, src, len, gather_segments, 0);
+}
+
+support::Status Transport::TryTwoSidedWriteSync(sim::SimClock& clk, farmem::RemoteAddr raddr,
+                                                const void* src, uint32_t len,
+                                                uint32_t gather_segments) {
+  if (!FaultsActive()) {
+    TwoSidedWriteSync(clk, raddr, src, len, gather_segments);
+    return support::Status::Ok();
+  }
+  const uint64_t handler =
+      cost_.two_sided_handler_ns + gather_segments * cost_.sg_segment_ns;
+  auto admit = AdmitVerb(Verb::kTwoSidedWrite, clk, WireNs(len, handler));
+  if (!admit.ok()) {
+    return admit.status();
+  }
+  TwoSidedWriteSyncImpl(clk, raddr, src, len, gather_segments, admit.value());
+  return support::Status::Ok();
+}
+
+uint64_t Transport::RpcImpl(sim::SimClock& clk, uint32_t req_bytes, uint32_t resp_bytes,
+                            uint64_t remote_service_ns, uint64_t extra_ns) {
   ++stats_.rpcs;
   stats_.bytes_out += req_bytes;
   stats_.bytes_in += resp_bytes;
   const uint64_t t0 = clk.now_ns();
   const uint64_t done = MessageDoneAt(clk, req_bytes + resp_bytes,
-                                      cost_.rpc_dispatch_ns + remote_service_ns);
+                                      cost_.rpc_dispatch_ns + remote_service_ns + extra_ns);
   clk.AdvanceTo(done);
   RecordVerb(rpc_, "net.rpc", clk, t0, done,
              static_cast<uint64_t>(req_bytes) + resp_bytes);
   return done;
+}
+
+uint64_t Transport::Rpc(sim::SimClock& clk, uint32_t req_bytes, uint32_t resp_bytes,
+                        uint64_t remote_service_ns) {
+  return RpcImpl(clk, req_bytes, resp_bytes, remote_service_ns, 0);
+}
+
+support::Result<uint64_t> Transport::TryRpc(sim::SimClock& clk, uint32_t req_bytes,
+                                            uint32_t resp_bytes, uint64_t remote_service_ns) {
+  if (!FaultsActive()) {
+    return Rpc(clk, req_bytes, resp_bytes, remote_service_ns);
+  }
+  auto admit = AdmitVerb(Verb::kRpc, clk,
+                         WireNs(static_cast<uint64_t>(req_bytes) + resp_bytes,
+                                cost_.rpc_dispatch_ns + remote_service_ns));
+  if (!admit.ok()) {
+    return admit.status();
+  }
+  return RpcImpl(clk, req_bytes, resp_bytes, remote_service_ns, admit.value());
+}
+
+support::Status Transport::AdmitRpc(sim::SimClock& clk) {
+  if (!FaultsActive()) {
+    return support::Status::Ok();
+  }
+  // Admission models the request leg only: a minimal payload, no service
+  // time. The successful attempt's tail latency (if any) is absorbed into
+  // the subsequent plain Rpc charge.
+  auto admit = AdmitVerb(Verb::kRpc, clk, WireNs(64, cost_.rpc_dispatch_ns));
+  if (!admit.ok()) {
+    return admit.status();
+  }
+  return support::Status::Ok();
 }
 
 }  // namespace mira::net

@@ -14,6 +14,17 @@
 // keeps results identical across timing models. Callers whose data plane is
 // handled elsewhere (the cache sections — the interpreter writes through to
 // the far arena directly) pass nullptr buffers for timing-only transfers.
+//
+// Failure model (DESIGN.md "Failure model"): the plain verbs are infallible
+// — the pre-fault-injection behavior, still used by code with no degradation
+// story. Each verb also has a Try* variant that consults an attached
+// FaultInjector and runs the verb's RetryPolicy: failed attempts charge the
+// attempt timeout to the caller's clock, retries back off exponentially with
+// deterministic jitter, and exhaustion returns kUnavailable (outage window)
+// or kDeadlineExceeded (lossy link). With no injector attached — or an
+// injector whose plan has no faults — Try* is bit-identical to the plain
+// verb. The data plane runs only on the successful attempt, so a failed Try*
+// never moved bytes.
 
 #ifndef MIRA_SRC_NET_TRANSPORT_H_
 #define MIRA_SRC_NET_TRANSPORT_H_
@@ -22,10 +33,12 @@
 #include <vector>
 
 #include "src/farmem/far_memory_node.h"
+#include "src/net/fault_injector.h"
 #include "src/sim/clock.h"
 #include "src/sim/cost_model.h"
 #include "src/sim/resource.h"
 #include "src/support/stats.h"
+#include "src/support/status.h"
 #include "src/telemetry/telemetry.h"
 
 namespace mira::net {
@@ -42,6 +55,27 @@ struct NetworkStats {
 
   uint64_t total_bytes() const { return bytes_in + bytes_out; }
   void Reset() { *this = NetworkStats{}; }
+};
+
+// Counters for injected faults and the retry machinery. Only successfully
+// completed verbs count in NetworkStats; everything that went wrong on the
+// way counts here.
+struct FaultStats {
+  uint64_t drops = 0;        // request lost
+  uint64_t timeouts = 0;     // completion lost
+  uint64_t unavailable = 0;  // attempt landed inside an outage window
+  uint64_t tail_events = 0;  // attempt completed with inflated latency
+  uint64_t retries = 0;      // backoff-then-retry transitions
+  uint64_t recovered = 0;    // verbs that succeeded after >= 1 failed attempt
+  uint64_t exhausted = 0;    // verbs that gave up (status returned to caller)
+  uint64_t backoff_ns = 0;   // total backoff charged to callers
+  uint64_t lost_wait_ns = 0;  // total attempt-timeout waiting charged
+
+  uint64_t faulted_attempts() const { return drops + timeouts + unavailable; }
+  // Clock time charged to callers that bought no progress — the fault-
+  // inflated overhead the adaptive loop watches.
+  uint64_t wasted_ns() const { return backoff_ns + lost_wait_ns; }
+  void Reset() { *this = FaultStats{}; }
 };
 
 // A segment of a scatter-gather read.
@@ -74,7 +108,8 @@ class Transport {
   // Blocking scatter-gather read: one message, many segments.
   void ReadGatherSync(sim::SimClock& clk, const std::vector<Segment>& segs);
 
-  // Async scatter-gather read.
+  // Async scatter-gather read. An empty segment list is a no-op returning
+  // the current time (no message, no stats).
   uint64_t ReadGatherAsync(sim::SimClock& clk, const std::vector<Segment>& segs);
 
   // ---- Two-sided messages ----
@@ -96,11 +131,66 @@ class Transport {
   uint64_t Rpc(sim::SimClock& clk, uint32_t req_bytes, uint32_t resp_bytes,
                uint64_t remote_service_ns);
 
+  // ---- Fallible variants (fault injection + retry; see header comment) ----
+
+  support::Status TryReadSync(sim::SimClock& clk, farmem::RemoteAddr raddr, void* dst,
+                              uint32_t len);
+  support::Status TryWriteSync(sim::SimClock& clk, farmem::RemoteAddr raddr, const void* src,
+                               uint32_t len);
+  support::Result<uint64_t> TryReadAsync(sim::SimClock& clk, farmem::RemoteAddr raddr,
+                                         void* dst, uint32_t len);
+  support::Result<uint64_t> TryWriteAsync(sim::SimClock& clk, farmem::RemoteAddr raddr,
+                                          const void* src, uint32_t len);
+  support::Status TryReadGatherSync(sim::SimClock& clk, const std::vector<Segment>& segs);
+  support::Result<uint64_t> TryReadGatherAsync(sim::SimClock& clk,
+                                               const std::vector<Segment>& segs);
+  support::Status TryTwoSidedReadSync(sim::SimClock& clk, farmem::RemoteAddr raddr, void* dst,
+                                      uint32_t len, uint32_t gather_segments = 1);
+  support::Status TryTwoSidedWriteSync(sim::SimClock& clk, farmem::RemoteAddr raddr,
+                                       const void* src, uint32_t len,
+                                       uint32_t gather_segments = 1);
+  support::Result<uint64_t> TryRpc(sim::SimClock& clk, uint32_t req_bytes, uint32_t resp_bytes,
+                                   uint64_t remote_service_ns);
+
+  // Admission handshake for an offloaded call: runs the RPC verb's fault /
+  // retry protocol for the request leg without charging the RPC itself.
+  // Callers that get OK then charge the full RPC through the plain verb —
+  // offload faults are modeled at initiation, so a failed admission can
+  // fall back to local execution with no remote side effects.
+  support::Status AdmitRpc(sim::SimClock& clk);
+
+  // ---- Fault configuration ----
+
+  // Attaches a fault injector (not owned; nullptr detaches). Plain verbs
+  // ignore it entirely.
+  void SetFaultInjector(FaultInjector* injector) { fault_ = injector; }
+  FaultInjector* fault_injector() const { return fault_; }
+  // True when Try* verbs can actually fail (injector attached with a
+  // non-empty plan).
+  bool FaultsActive() const { return fault_ != nullptr && fault_->plan().AnyFaults(); }
+  // When `now_ns` falls inside an outage window: the window's end. Call
+  // sites use this to wait out an unavailability instead of spinning.
+  uint64_t NextAvailableNs(uint64_t now_ns) const {
+    return fault_ == nullptr ? now_ns : fault_->NextAvailableNs(now_ns);
+  }
+
+  void SetRetryPolicy(const RetryPolicy& policy);              // all verbs
+  void SetRetryPolicy(Verb verb, const RetryPolicy& policy);   // one verb
+  const RetryPolicy& retry_policy(Verb verb) const {
+    return policies_[static_cast<size_t>(verb)];
+  }
+
   farmem::FarMemoryNode* node() { return node_; }
   const sim::CostModel& cost() const { return cost_; }
   const NetworkStats& stats() const { return stats_; }
+  const FaultStats& fault_stats() const { return fault_stats_; }
   sim::BandwidthLink& link() { return link_; }
+  // Resets ONLY NetworkStats. The telemetry registry ("net.*" counters /
+  // histograms) and FaultStats are cumulative and unaffected — pinned by a
+  // regression test in net_test.cc. Use telemetry::Metrics().ResetValues()
+  // / ResetFaultStats() for those.
   void ResetStats() { stats_.Reset(); }
+  void ResetFaultStats() { fault_stats_.Reset(); }
 
  private:
   // Cached registry pointers for one verb's "net.<verb>.{count,bytes}"
@@ -110,6 +200,18 @@ class Transport {
     uint64_t* count = nullptr;
     uint64_t* bytes = nullptr;
     support::LatencyHistogram* latency = nullptr;
+  };
+  // Same idea for the "net.fault.*" / "net.retry.*" counters.
+  struct FaultTelemetry {
+    uint64_t* drops = nullptr;
+    uint64_t* timeouts = nullptr;
+    uint64_t* unavailable = nullptr;
+    uint64_t* tail_events = nullptr;
+    uint64_t* retries = nullptr;
+    uint64_t* recovered = nullptr;
+    uint64_t* exhausted = nullptr;
+    uint64_t* backoff_ns = nullptr;
+    uint64_t* lost_wait_ns = nullptr;
   };
 
   // Completion time of a message of `bytes` issued at clk.now(), after the
@@ -121,10 +223,41 @@ class Transport {
   void RecordVerb(const VerbTelemetry& verb, const char* name, const sim::SimClock& clk,
                   uint64_t start_ns, uint64_t done_ns, uint64_t bytes);
 
+  // Fault/retry protocol for one Try* verb. On success returns the extra
+  // wire latency (tail / degraded link) to charge the winning attempt; on
+  // exhaustion returns kUnavailable or kDeadlineExceeded. All waiting is
+  // charged to `clk`. `wire_ns` is the attempt's nominal wire latency.
+  support::Result<uint64_t> AdmitVerb(Verb verb, sim::SimClock& clk, uint64_t wire_ns);
+
+  // Verb bodies shared by the plain (extra_ns = 0) and Try* paths.
+  void ReadSyncImpl(sim::SimClock& clk, farmem::RemoteAddr raddr, void* dst, uint32_t len,
+                    uint64_t extra_ns);
+  void WriteSyncImpl(sim::SimClock& clk, farmem::RemoteAddr raddr, const void* src,
+                     uint32_t len, uint64_t extra_ns);
+  uint64_t ReadAsyncImpl(sim::SimClock& clk, farmem::RemoteAddr raddr, void* dst, uint32_t len,
+                         uint64_t extra_ns);
+  uint64_t WriteAsyncImpl(sim::SimClock& clk, farmem::RemoteAddr raddr, const void* src,
+                          uint32_t len, uint64_t extra_ns);
+  uint64_t ReadGatherAsyncImpl(sim::SimClock& clk, const std::vector<Segment>& segs,
+                               uint64_t extra_ns);
+  void TwoSidedReadSyncImpl(sim::SimClock& clk, farmem::RemoteAddr raddr, void* dst,
+                            uint32_t len, uint32_t gather_segments, uint64_t extra_ns);
+  void TwoSidedWriteSyncImpl(sim::SimClock& clk, farmem::RemoteAddr raddr, const void* src,
+                             uint32_t len, uint32_t gather_segments, uint64_t extra_ns);
+  uint64_t RpcImpl(sim::SimClock& clk, uint32_t req_bytes, uint32_t resp_bytes,
+                   uint64_t remote_service_ns, uint64_t extra_ns);
+
+  uint64_t WireNs(uint64_t bytes, uint64_t handler_ns) const {
+    return cost_.rdma_rtt_ns + cost_.TransferNs(bytes) + handler_ns;
+  }
+
   farmem::FarMemoryNode* node_;
   const sim::CostModel& cost_;
   sim::BandwidthLink link_;
   NetworkStats stats_;
+  FaultStats fault_stats_;
+  FaultInjector* fault_ = nullptr;
+  RetryPolicy policies_[kNumVerbs];
   VerbTelemetry read_sync_;
   VerbTelemetry read_async_;
   VerbTelemetry read_gather_;
@@ -133,6 +266,7 @@ class Transport {
   VerbTelemetry two_sided_read_;
   VerbTelemetry two_sided_write_;
   VerbTelemetry rpc_;
+  FaultTelemetry fault_telemetry_;
 };
 
 }  // namespace mira::net

@@ -8,6 +8,11 @@ namespace mira::pipeline {
 AdaptiveRuntime::Invocation AdaptiveRuntime::Execute(const CompiledProgram& program,
                                                      uint64_t seed) const {
   World world = MakeWorld(SystemKind::kMira, options_.local_bytes, program.plan);
+  if (fault_plan_ != nullptr) {
+    // Fresh injector per execution: every run (user invocation or candidate
+    // comparison) sees the same deterministic fault schedule.
+    AttachFaults(world, *fault_plan_);
+  }
   interp::InterpOptions iopts;
   iopts.seed = seed;
   iopts.profiling = true;  // sampled profiling invocation
@@ -19,6 +24,10 @@ AdaptiveRuntime::Invocation AdaptiveRuntime::Execute(const CompiledProgram& prog
   out.result = result.value();
   out.sim_ns = interp.clock().now_ns();
   out.overhead_ratio = interp.profile().OverheadRatio();
+  const uint64_t fault_ns =
+      world.net->fault_stats().wasted_ns() + world.backend->DegradedNs();
+  out.fault_ratio =
+      out.sim_ns > 0 ? static_cast<double>(fault_ns) / static_cast<double>(out.sim_ns) : 0.0;
   return out;
 }
 
@@ -69,8 +78,24 @@ AdaptiveRuntime::Invocation AdaptiveRuntime::Invoke(uint64_t seed) {
     out.reoptimized = true;
   } else {
     out = Execute(current_, seed);
-    if (reference_overhead_ > 0.0 &&
-        out.overhead_ratio > degrade_factor_ * reference_overhead_) {
+    const bool overhead_degraded =
+        reference_overhead_ > 0.0 &&
+        out.overhead_ratio > degrade_factor_ * reference_overhead_;
+    // Sustained fault-inflated overhead is a degradation signal too: a
+    // single faulty invocation may be a blip, but a streak means the
+    // deployment environment changed and the compilation should re-compete
+    // under it (same rollback discipline as the overhead trigger).
+    if (out.fault_ratio > fault_ratio_threshold_) {
+      ++faulty_streak_;
+    } else {
+      faulty_streak_ = 0;
+    }
+    const bool fault_degraded = faulty_streak_ >= fault_streak_limit_;
+    if (overhead_degraded || fault_degraded) {
+      if (fault_degraded) {
+        ++fault_rounds_;
+        faulty_streak_ = 0;
+      }
       Reoptimize(seed);
       out = Execute(current_, seed);
       out.reoptimized = true;
@@ -83,6 +108,7 @@ AdaptiveRuntime::Invocation AdaptiveRuntime::Invoke(uint64_t seed) {
     std::string args = "{\"seed\":" + std::to_string(seed);
     args += ",\"sim_ns\":" + std::to_string(out.sim_ns);
     args += ",\"overhead_ratio\":" + std::to_string(out.overhead_ratio);
+    args += ",\"fault_ratio\":" + std::to_string(out.fault_ratio);
     args += ",\"reference_overhead\":" + std::to_string(reference_overhead_);
     args += out.reoptimized ? ",\"reoptimized\":true}" : ",\"reoptimized\":false}";
     trace.Instant(trace_clock_, "adaptive.invoke", "pipeline", args);
@@ -90,7 +116,9 @@ AdaptiveRuntime::Invocation AdaptiveRuntime::Invoke(uint64_t seed) {
   auto& metrics = telemetry::Metrics();
   metrics.SetCounter("adaptive.invocations", invocations_);
   metrics.SetCounter("adaptive.reoptimizations", static_cast<uint64_t>(rounds_));
+  metrics.SetCounter("adaptive.fault_reoptimizations", static_cast<uint64_t>(fault_rounds_));
   metrics.SetGauge("adaptive.reference_overhead", reference_overhead_);
+  metrics.SetGauge("adaptive.fault_ratio", out.fault_ratio);
   return out;
 }
 

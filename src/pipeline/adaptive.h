@@ -20,6 +20,9 @@ class AdaptiveRuntime {
     uint64_t result = 0;
     uint64_t sim_ns = 0;
     double overhead_ratio = 0.0;
+    // Fraction of sim_ns lost to transport faults: retry waits + backoff
+    // plus cache degraded-mode (outage-wait) spans.
+    double fault_ratio = 0.0;
     bool reoptimized = false;  // this invocation triggered a new round
   };
 
@@ -36,7 +39,21 @@ class AdaptiveRuntime {
   // swap configuration plays that role).
   Invocation Invoke(uint64_t seed);
 
+  // Deployment-environment fault plan (non-owning; caller keeps it alive).
+  // Every Execute — user invocations AND candidate-vs-current comparison
+  // runs — attaches a fresh injector for it, so compilations compete under
+  // the same deterministic fault schedule. Null disables injection.
+  void SetFaultPlan(const net::FaultPlan* plan) { fault_plan_ = plan; }
+  // Sustained-fault trigger: re-optimize after `streak` consecutive
+  // invocations whose fault_ratio exceeds `ratio`.
+  void SetFaultDegradeTrigger(double ratio, int streak = 2) {
+    fault_ratio_threshold_ = ratio;
+    fault_streak_limit_ = streak;
+  }
+
   int optimization_rounds() const { return rounds_; }
+  // Rounds specifically triggered by sustained fault-inflated overhead.
+  int fault_reoptimizations() const { return fault_rounds_; }
   const CompiledProgram& current() const { return current_; }
 
  private:
@@ -52,6 +69,11 @@ class AdaptiveRuntime {
   double reference_overhead_ = 0.0;
   int rounds_ = 0;
   uint64_t invocations_ = 0;
+  const net::FaultPlan* fault_plan_ = nullptr;
+  double fault_ratio_threshold_ = 0.10;
+  int fault_streak_limit_ = 2;
+  int faulty_streak_ = 0;
+  int fault_rounds_ = 0;
   // Deployment timeline for telemetry: advances by each invocation's
   // simulated duration, so adaptive instants form one monotonic track.
   sim::SimClock trace_clock_;

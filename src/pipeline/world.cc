@@ -52,4 +52,9 @@ World MakeWorld(SystemKind kind, uint64_t local_bytes, runtime::CachePlan plan,
   return w;
 }
 
+void AttachFaults(World& world, const net::FaultPlan& plan) {
+  world.faults = std::make_unique<net::FaultInjector>(plan);
+  world.net->SetFaultInjector(world.faults.get());
+}
+
 }  // namespace mira::pipeline

@@ -23,12 +23,19 @@ struct World {
   std::unique_ptr<farmem::FarMemoryNode> node;
   std::unique_ptr<net::Transport> net;
   std::unique_ptr<backends::Backend> backend;
+  // Deterministic fault injector attached to `net` (null = fault-free).
+  std::unique_ptr<net::FaultInjector> faults;
 };
 
 // `local_bytes` is the local cache budget (ignored by kNative). The plan is
 // only used by kMira.
 World MakeWorld(SystemKind kind, uint64_t local_bytes, runtime::CachePlan plan = {},
                 const sim::CostModel& cost = sim::CostModel::Default());
+
+// Attaches a fresh injector for `plan` to the world's transport (owned by
+// the world). Each attach restarts the fault schedule from the plan's seed,
+// so repeated runs of the same (world-config, plan) pair are bit-identical.
+void AttachFaults(World& world, const net::FaultPlan& plan);
 
 }  // namespace mira::pipeline
 

@@ -20,6 +20,12 @@ const char* ErrorCodeName(ErrorCode code) {
       return "unimplemented";
     case ErrorCode::kInternal:
       return "internal";
+    case ErrorCode::kUnavailable:
+      return "unavailable";
+    case ErrorCode::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case ErrorCode::kAborted:
+      return "aborted";
   }
   return "unknown";
 }

@@ -23,6 +23,12 @@ enum class ErrorCode {
   kFailedPrecondition,
   kUnimplemented,
   kInternal,
+  // The far node / link is down for the duration of the attempt window.
+  kUnavailable,
+  // The per-verb retry deadline elapsed before an attempt succeeded.
+  kDeadlineExceeded,
+  // The operation was abandoned by its caller (e.g. a dropped prefetch).
+  kAborted,
 };
 
 // Human-readable name for an error code ("ok", "invalid_argument", ...).
@@ -48,6 +54,13 @@ class Status {
     return Status(ErrorCode::kUnimplemented, std::move(m));
   }
   static Status Internal(std::string m) { return Status(ErrorCode::kInternal, std::move(m)); }
+  static Status Unavailable(std::string m) {
+    return Status(ErrorCode::kUnavailable, std::move(m));
+  }
+  static Status DeadlineExceeded(std::string m) {
+    return Status(ErrorCode::kDeadlineExceeded, std::move(m));
+  }
+  static Status Aborted(std::string m) { return Status(ErrorCode::kAborted, std::move(m)); }
 
   bool ok() const { return code_ == ErrorCode::kOk; }
   ErrorCode code() const { return code_; }

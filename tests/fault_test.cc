@@ -1,0 +1,459 @@
+// Fault injection, retry/backoff, and graceful degradation (DESIGN.md
+// "Failure model"): the injector's determinism, the transport's Try* retry
+// protocol, the cache sections' degradation ladder, the interpreter's
+// offload fallback, and the adaptive loop's failure-aware trigger.
+
+#include <gtest/gtest.h>
+
+#include "src/cache/section.h"
+#include "src/cache/swap_section.h"
+#include "src/farmem/far_memory_node.h"
+#include "src/interp/interpreter.h"
+#include "src/ir/builder.h"
+#include "src/net/fault_injector.h"
+#include "src/net/transport.h"
+#include "src/pipeline/adaptive.h"
+#include "src/pipeline/world.h"
+#include "src/workloads/workloads.h"
+
+namespace mira {
+namespace {
+
+using interp::Interpreter;
+using ir::FunctionBuilder;
+using ir::Local;
+using ir::Type;
+using ir::Value;
+using pipeline::MakeWorld;
+using pipeline::SystemKind;
+
+struct Env {
+  farmem::FarMemoryNode node;
+  net::Transport net{&node, sim::CostModel::Default()};
+  sim::SimClock clk;
+};
+
+// ---- Injector ----
+
+TEST(FaultInjector, SameSeedReproducesTheExactSchedule) {
+  const net::FaultPlan plan = net::FaultPlan::Lossy(/*seed=*/9);
+  net::FaultInjector a(plan);
+  net::FaultInjector b(plan);
+  for (int i = 0; i < 2000; ++i) {
+    const net::Verb v = static_cast<net::Verb>(i % net::kNumVerbs);
+    const auto da = a.Evaluate(v, static_cast<uint64_t>(i) * 100, 5'000);
+    const auto db = b.Evaluate(v, static_cast<uint64_t>(i) * 100, 5'000);
+    ASSERT_EQ(da.unavailable, db.unavailable) << i;
+    ASSERT_EQ(da.drop, db.drop) << i;
+    ASSERT_EQ(da.timeout, db.timeout) << i;
+    ASSERT_EQ(da.extra_ns, db.extra_ns) << i;
+    ASSERT_DOUBLE_EQ(a.NextJitter(), b.NextJitter()) << i;
+  }
+}
+
+TEST(FaultInjector, ScenarioConstructors) {
+  EXPECT_FALSE(net::FaultPlan::Clean().AnyFaults());
+  EXPECT_TRUE(net::FaultPlan::Lossy(1).AnyFaults());
+  EXPECT_TRUE(net::FaultPlan::BurstyOutage(1, 0, 10, 20, 2).AnyFaults());
+  EXPECT_TRUE(net::FaultPlan::DegradedBandwidth(1).AnyFaults());
+  const net::FaultPlan p = net::FaultPlan::BurstyOutage(1, 100, 50, 200, 3);
+  ASSERT_EQ(p.outages.size(), 3u);
+  EXPECT_EQ(p.outages[1].start_ns, 300u);
+  EXPECT_EQ(p.outages[1].end_ns, 350u);
+  EXPECT_EQ(p.outages[2].start_ns, 500u);
+}
+
+TEST(FaultInjector, OutageDecisionsAreScheduleDrivenNotRandom) {
+  net::FaultPlan p;
+  p.outages.push_back(net::OutageWindow{1'000, 2'000});
+  net::FaultInjector inj(p);
+  EXPECT_TRUE(inj.InOutage(1'000));
+  EXPECT_TRUE(inj.InOutage(1'999));
+  EXPECT_FALSE(inj.InOutage(2'000));  // half-open
+  EXPECT_FALSE(inj.InOutage(999));
+  EXPECT_TRUE(inj.Evaluate(net::Verb::kReadSync, 1'500, 100).unavailable);
+  EXPECT_FALSE(inj.Evaluate(net::Verb::kReadSync, 500, 100).unavailable);
+  EXPECT_EQ(inj.NextAvailableNs(1'500), 2'000u);
+  EXPECT_EQ(inj.NextAvailableNs(500), 500u);
+}
+
+// ---- Transport retry protocol ----
+
+TEST(TransportFaults, CleanPlanTryVerbsMatchPlainBitForBit) {
+  Env plain;
+  Env fallible;
+  net::FaultInjector inj(net::FaultPlan::Clean());
+  fallible.net.SetFaultInjector(&inj);
+  EXPECT_FALSE(fallible.net.FaultsActive());
+  const auto a1 = plain.node.AllocRange(1 << 16).take();
+  const auto a2 = fallible.node.AllocRange(1 << 16).take();
+
+  plain.net.ReadSync(plain.clk, a1, nullptr, 4096);
+  EXPECT_TRUE(fallible.net.TryReadSync(fallible.clk, a2, nullptr, 4096).ok());
+  plain.net.WriteSync(plain.clk, a1, nullptr, 256);
+  EXPECT_TRUE(fallible.net.TryWriteSync(fallible.clk, a2, nullptr, 256).ok());
+  const uint64_t d1 = plain.net.ReadAsync(plain.clk, a1, nullptr, 1024);
+  const auto d2 = fallible.net.TryReadAsync(fallible.clk, a2, nullptr, 1024);
+  ASSERT_TRUE(d2.ok());
+  EXPECT_EQ(d1, d2.value());
+  plain.net.TwoSidedReadSync(plain.clk, a1, nullptr, 64, 2);
+  EXPECT_TRUE(fallible.net.TryTwoSidedReadSync(fallible.clk, a2, nullptr, 64, 2).ok());
+  const uint64_t r1 = plain.net.Rpc(plain.clk, 64, 16, 1'000);
+  const auto r2 = fallible.net.TryRpc(fallible.clk, 64, 16, 1'000);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r1, r2.value());
+
+  EXPECT_EQ(plain.clk.now_ns(), fallible.clk.now_ns());
+  EXPECT_EQ(plain.net.stats().messages, fallible.net.stats().messages);
+  EXPECT_EQ(plain.net.stats().total_bytes(), fallible.net.stats().total_bytes());
+  EXPECT_EQ(fallible.net.fault_stats().faulted_attempts(), 0u);
+  EXPECT_EQ(fallible.net.fault_stats().wasted_ns(), 0u);
+}
+
+TEST(TransportFaults, DropExhaustionIsDeadlineExceededAndDeterministic) {
+  auto run = [](sim::SimClock& clk, net::FaultStats* stats) {
+    farmem::FarMemoryNode node;
+    net::Transport net(&node, sim::CostModel::Default());
+    net::FaultPlan p;
+    p.seed = 3;
+    p.verb(net::Verb::kReadSync).drop_probability = 1.0;
+    net::FaultInjector inj(p);
+    net.SetFaultInjector(&inj);
+    const auto addr = node.AllocRange(4096).take();
+    const auto s = net.TryReadSync(clk, addr, nullptr, 4096);
+    EXPECT_EQ(s.code(), support::ErrorCode::kDeadlineExceeded);
+    // A failed verb never completed: no message, no bytes moved.
+    EXPECT_EQ(net.stats().messages, 0u);
+    EXPECT_EQ(net.stats().total_bytes(), 0u);
+    *stats = net.fault_stats();
+    return net.retry_policy(net::Verb::kReadSync);
+  };
+  sim::SimClock c1;
+  sim::SimClock c2;
+  net::FaultStats f1;
+  net::FaultStats f2;
+  const net::RetryPolicy policy = run(c1, &f1);
+  run(c2, &f2);
+  // Two identical setups: identical clocks and identical fault accounting.
+  EXPECT_EQ(c1.now_ns(), c2.now_ns());
+  EXPECT_EQ(f1.backoff_ns, f2.backoff_ns);
+  EXPECT_EQ(f1.drops, policy.max_attempts);
+  EXPECT_EQ(f1.retries, policy.max_attempts - 1u);
+  EXPECT_EQ(f1.exhausted, 1u);
+  EXPECT_EQ(f1.recovered, 0u);
+  // Every attempt waited out its timeout; all waiting landed on the clock.
+  EXPECT_EQ(f1.lost_wait_ns, policy.max_attempts * policy.attempt_timeout_ns);
+  EXPECT_GT(f1.backoff_ns, 0u);
+  EXPECT_EQ(c1.now_ns(), f1.wasted_ns());
+}
+
+TEST(TransportFaults, OutageExhaustsWithUnavailableAndReportsWindowEnd) {
+  Env e;
+  net::FaultPlan p;
+  p.outages.push_back(net::OutageWindow{0, 10'000'000});
+  net::FaultInjector inj(p);
+  e.net.SetFaultInjector(&inj);
+  const auto addr = e.node.AllocRange(4096).take();
+  const auto s = e.net.TryReadSync(e.clk, addr, nullptr, 4096);
+  EXPECT_EQ(s.code(), support::ErrorCode::kUnavailable);
+  const net::RetryPolicy& policy = e.net.retry_policy(net::Verb::kReadSync);
+  EXPECT_EQ(e.net.fault_stats().unavailable, policy.max_attempts);
+  EXPECT_EQ(e.net.fault_stats().exhausted, 1u);
+  // Callers wait out the window from here instead of spinning.
+  EXPECT_EQ(e.net.NextAvailableNs(e.clk.now_ns()), 10'000'000u);
+}
+
+TEST(TransportFaults, VerbRecoversWhenOutageEndsMidRetry) {
+  Env e;
+  net::FaultPlan p;
+  p.outages.push_back(net::OutageWindow{0, 20'000});
+  net::FaultInjector inj(p);
+  e.net.SetFaultInjector(&inj);
+  const auto addr = e.node.AllocRange(4096).take();
+  EXPECT_TRUE(e.net.TryReadSync(e.clk, addr, nullptr, 4096).ok());
+  EXPECT_GE(e.net.fault_stats().unavailable, 1u);
+  EXPECT_EQ(e.net.fault_stats().recovered, 1u);
+  EXPECT_EQ(e.net.fault_stats().exhausted, 0u);
+  EXPECT_EQ(e.net.stats().one_sided_reads, 1u);
+}
+
+TEST(TransportFaults, FailedAttemptsNeverTouchTheDataPlane) {
+  Env e;
+  const auto addr = e.node.AllocRange(64).take();
+  const uint64_t before = 0x1111222233334444ULL;
+  e.net.WriteSync(e.clk, addr, &before, sizeof(before));
+  net::FaultPlan p;
+  p.seed = 5;
+  p.verb(net::Verb::kWriteSync).drop_probability = 1.0;
+  net::FaultInjector inj(p);
+  e.net.SetFaultInjector(&inj);
+  const uint64_t attempted = 0xAAAABBBBCCCCDDDDULL;
+  EXPECT_FALSE(e.net.TryWriteSync(e.clk, addr, &attempted, sizeof(attempted)).ok());
+  e.net.SetFaultInjector(nullptr);
+  uint64_t back = 0;
+  e.net.ReadSync(e.clk, addr, &back, sizeof(back));
+  EXPECT_EQ(back, before);
+  EXPECT_EQ(e.net.stats().one_sided_writes, 1u);  // only the initial write landed
+}
+
+TEST(TransportFaults, DegradedWindowInflatesWireTimeWithoutFaults) {
+  Env nominal;
+  Env slow;
+  net::FaultPlan p;
+  p.degraded.push_back(net::DegradedWindow{0, UINT64_MAX, 0.25});
+  net::FaultInjector inj(p);
+  slow.net.SetFaultInjector(&inj);
+  const auto a1 = nominal.node.AllocRange(1 << 16).take();
+  const auto a2 = slow.node.AllocRange(1 << 16).take();
+  nominal.net.ReadSync(nominal.clk, a1, nullptr, 1 << 16);
+  EXPECT_TRUE(slow.net.TryReadSync(slow.clk, a2, nullptr, 1 << 16).ok());
+  EXPECT_GT(slow.clk.now_ns(), nominal.clk.now_ns());
+  // A degraded link is slow, not broken: no fault counters, no retries.
+  EXPECT_EQ(slow.net.fault_stats().faulted_attempts(), 0u);
+  EXPECT_EQ(slow.net.fault_stats().retries, 0u);
+}
+
+// ---- Section degradation ladder ----
+
+std::unique_ptr<cache::Section> SmallSection(net::Transport* net, uint32_t lines = 8) {
+  cache::SectionConfig config;
+  config.name = "t";
+  config.structure = cache::SectionStructure::kDirectMapped;
+  config.line_bytes = 64;
+  config.size_bytes = static_cast<uint64_t>(64) * lines;
+  return cache::MakeSection(config, net);
+}
+
+TEST(SectionFaults, DemandFetchRidesOutAnOutageInDegradedMode) {
+  Env e;
+  net::FaultPlan p;
+  p.outages.push_back(net::OutageWindow{0, 400'000});
+  net::FaultInjector inj(p);
+  e.net.SetFaultInjector(&inj);
+  auto section = SmallSection(&e.net);
+  section->Access(e.clk, 0, 8, /*write=*/false);
+  const auto& stats = section->stats();
+  EXPECT_EQ(stats.lines.misses, 1u);
+  // The fetch exhausted its retries inside the window, waited the window
+  // out (degraded mode), then completed.
+  EXPECT_GT(stats.degraded_ns, 0u);
+  EXPECT_GE(e.clk.now_ns(), 400'000u);
+  // Once the outage passed, the line is resident and hits are clean.
+  section->Access(e.clk, 8, 8, /*write=*/false);
+  EXPECT_EQ(stats.lines.hits, 1u);
+}
+
+TEST(SectionFaults, PrefetchAbortsAndDemandPathEscalatesToReliableVerb) {
+  Env e;
+  net::FaultPlan p;
+  p.seed = 5;
+  p.verb(net::Verb::kReadAsync).drop_probability = 1.0;
+  net::FaultInjector inj(p);
+  e.net.SetFaultInjector(&inj);
+  auto section = SmallSection(&e.net);
+  // The prefetch is optional work: a persistent fault drops it on the
+  // floor (the line will be demand-fetched later), never stalls the app.
+  section->Prefetch(e.clk, 0, 8);
+  EXPECT_EQ(section->stats().prefetch_aborted, 1u);
+  EXPECT_EQ(section->stats().prefetches_issued, 0u);
+  EXPECT_EQ(section->resident_lines(), 0u);
+  // The demand fetch cannot be dropped; after kMaxFaultRounds it escalates
+  // to the infallible verb and the program gets its data.
+  section->Access(e.clk, 0, 8, /*write=*/false);
+  EXPECT_EQ(section->stats().lines.misses, 1u);
+  EXPECT_GE(section->stats().reliable_escalations, 1u);
+  EXPECT_EQ(section->resident_lines(), 1u);
+}
+
+TEST(SectionFaults, FailedWritebacksQueueUntilAForcedSyncFlush) {
+  Env e;
+  net::FaultPlan p;
+  p.seed = 5;
+  p.verb(net::Verb::kWriteAsync).drop_probability = 1.0;  // async writebacks fail
+  net::FaultInjector inj(p);
+  e.net.SetFaultInjector(&inj);
+  auto section = SmallSection(&e.net, /*lines=*/4);
+  // 16 dirty lines that all map to slot 0: each conflict evicts a dirty
+  // victim whose async writeback fails and is requeued; at
+  // kPendingWritebackLimit the queue forces a synchronous drain.
+  const uint64_t stride = 64 * 4;
+  for (uint64_t i = 0; i < 16; ++i) {
+    section->Access(e.clk, i * stride, 8, /*write=*/true);
+  }
+  section->FlushAll(e.clk);
+  const auto& stats = section->stats();
+  EXPECT_GE(stats.writebacks_requeued, cache::kPendingWritebackLimit);
+  EXPECT_GE(stats.forced_sync_flushes, 1u);
+  // Nothing dirty was lost: every dirty line eventually wrote back.
+  EXPECT_EQ(stats.writebacks, 16u);
+  EXPECT_EQ(stats.bytes_written_back, 16u * 64);
+}
+
+TEST(SwapFaults, DemandFaultInSurvivesPersistentLossAndOutages) {
+  {
+    Env e;
+    net::FaultPlan p;
+    p.seed = 5;
+    p.verb(net::Verb::kReadSync).drop_probability = 1.0;
+    net::FaultInjector inj(p);
+    e.net.SetFaultInjector(&inj);
+    cache::SwapSection swap(8 * 4096, &e.net,
+                            std::make_unique<cache::ReadaheadPrefetcher>());
+    swap.Access(e.clk, 0, 8, /*write=*/false);
+    EXPECT_GE(swap.resident_pages(), 1u);  // faulted page (+ readahead neighbor)
+    EXPECT_GE(swap.stats().reliable_escalations, 1u);
+  }
+  {
+    Env e;
+    net::FaultPlan p;
+    p.outages.push_back(net::OutageWindow{0, 400'000});
+    net::FaultInjector inj(p);
+    e.net.SetFaultInjector(&inj);
+    cache::SwapSection swap(8 * 4096, &e.net,
+                            std::make_unique<cache::ReadaheadPrefetcher>());
+    swap.Access(e.clk, 0, 8, /*write=*/false);
+    EXPECT_GE(swap.resident_pages(), 1u);  // faulted page (+ readahead neighbor)
+    EXPECT_GT(swap.stats().degraded_ns, 0u);
+  }
+}
+
+// ---- Offload fallback ----
+
+std::unique_ptr<ir::Module> BuildOffloadModule(bool offload) {
+  auto m = std::make_unique<ir::Module>();
+  {
+    FunctionBuilder f(m.get(), "kernel", {Type::kPtr, Type::kI64}, Type::kI64);
+    const Value arr = f.Arg(0);
+    const Value n = f.Arg(1);
+    const Local acc = f.DeclLocal(Type::kI64);
+    f.StoreLocal(acc, f.ConstI(0));
+    f.For(f.ConstI(0), n, f.ConstI(1), [&](Value i) {
+      f.StoreLocal(acc,
+                   f.Add(f.LoadLocal(acc), f.Load(f.Index(arr, i, 8, 0), 8, Type::kI64)));
+    });
+    f.Return(f.LoadLocal(acc));
+  }
+  {
+    FunctionBuilder f(m.get(), "main", {}, Type::kI64);
+    const Value arr = f.Alloc(f.ConstI(256 * 8), "a", 8);
+    f.For(f.ConstI(0), f.ConstI(256), f.ConstI(1), [&](Value i) {
+      f.Store(f.Index(arr, i, 8, 0), i, 8);
+    });
+    f.Return(f.Call("kernel", {arr, f.ConstI(256)}));
+  }
+  if (offload) {
+    ir::WalkInstrs(m->FindFunction("main")->body, [&](ir::Instr& instr) {
+      if (instr.kind == ir::OpKind::kCall && instr.callee == 0) {
+        instr.kind = ir::OpKind::kOffloadCall;
+      }
+    });
+  }
+  return m;
+}
+
+TEST(OffloadFaults, AdmissionFailureFallsBackToLocalExecution) {
+  auto plain = BuildOffloadModule(false);
+  auto off = BuildOffloadModule(true);
+  auto w1 = MakeWorld(SystemKind::kMira, 1 << 20, {});
+  auto w2 = MakeWorld(SystemKind::kMira, 1 << 20, {});
+  net::FaultPlan p;
+  p.seed = 5;
+  p.verb(net::Verb::kRpc).drop_probability = 1.0;  // every offload admission fails
+  pipeline::AttachFaults(w2, p);
+  Interpreter i1(plain.get(), w1.backend.get());
+  Interpreter i2(off.get(), w2.backend.get());
+  EXPECT_EQ(i1.Run("main").value(), i2.Run("main").value());
+  EXPECT_EQ(i2.offload_fallbacks(), 1u);
+  // Admission is the request leg only: a denied offload charges no RPC and
+  // leaves no remote side effects — both worlds paid just the allocator
+  // refill.
+  EXPECT_EQ(w2.net->stats().rpcs, w1.net->stats().rpcs);
+  EXPECT_GE(w2.net->fault_stats().exhausted, 1u);
+}
+
+TEST(OffloadFaults, CleanAdmissionStillOffloads) {
+  auto off = BuildOffloadModule(true);
+  auto w = MakeWorld(SystemKind::kMira, 1 << 20, {});
+  pipeline::AttachFaults(w, net::FaultPlan::Clean());
+  Interpreter interp(off.get(), w.backend.get());
+  EXPECT_EQ(interp.Run("main").value(), 256u * 255 / 2);
+  EXPECT_EQ(interp.offload_fallbacks(), 0u);
+  EXPECT_EQ(w.net->stats().rpcs, 2u);  // allocator refill + offloaded call
+}
+
+// ---- End-to-end determinism and the adaptive trigger ----
+
+struct E2E {
+  uint64_t result = 0;
+  uint64_t sim_ns = 0;
+  net::FaultStats faults;
+};
+
+E2E RunFaulted(const ir::Module& module, const net::FaultPlan* plan) {
+  auto world = MakeWorld(SystemKind::kMira, 1 << 20, {});
+  if (plan != nullptr) {
+    pipeline::AttachFaults(world, *plan);
+  }
+  Interpreter interp(&module, world.backend.get());
+  E2E out;
+  out.result = interp.Run("main").value();
+  world.backend->Drain(interp.clock());
+  out.sim_ns = interp.clock().now_ns();
+  out.faults = world.net->fault_stats();
+  return out;
+}
+
+TEST(EndToEndFaults, FixedSeedFaultedRunsAreBitIdentical) {
+  const auto w = workloads::BuildArraySum({.elems = 50'000, .epochs = 1});
+  const net::FaultPlan plan = net::FaultPlan::Lossy(/*seed=*/11, /*p=*/0.05, /*tail_p=*/0.1);
+  const E2E clean = RunFaulted(*w.module, nullptr);
+  const E2E r1 = RunFaulted(*w.module, &plan);
+  const E2E r2 = RunFaulted(*w.module, &plan);
+  // Same (plan, seed): the same faults strike the same verbs at the same
+  // times — schedules, stats, and the clock are identical.
+  EXPECT_EQ(r1.sim_ns, r2.sim_ns);
+  EXPECT_EQ(r1.faults.drops, r2.faults.drops);
+  EXPECT_EQ(r1.faults.timeouts, r2.faults.timeouts);
+  EXPECT_EQ(r1.faults.tail_events, r2.faults.tail_events);
+  EXPECT_EQ(r1.faults.retries, r2.faults.retries);
+  EXPECT_EQ(r1.faults.backoff_ns, r2.faults.backoff_ns);
+  EXPECT_EQ(r1.faults.lost_wait_ns, r2.faults.lost_wait_ns);
+  // Faults cost time but never change results.
+  EXPECT_EQ(r1.result, clean.result);
+  EXPECT_GT(r1.faults.faulted_attempts(), 0u);
+  EXPECT_GE(r1.sim_ns, clean.sim_ns);
+}
+
+TEST(AdaptiveFaults, SustainedFaultRatioTriggersReoptimization) {
+  workloads::GraphParams gp;
+  gp.num_edges = 20'000;
+  gp.num_nodes = 5'000;
+  gp.epochs = 2;
+  const auto w = workloads::BuildGraphTraversal(gp);
+  pipeline::OptimizeOptions opts;
+  opts.local_bytes = w.footprint_bytes / 2;
+  opts.max_iterations = 1;
+  opts.planner.enable_offload = false;  // keep verbs flowing through the run
+  pipeline::AdaptiveRuntime runtime(w.module.get(), opts);
+  const auto first = runtime.Invoke(1);
+  EXPECT_EQ(runtime.fault_reoptimizations(), 0);
+  net::FaultPlan plan;
+  plan.seed = 5;
+  plan.verb(net::Verb::kReadSync).drop_probability = 0.3;
+  plan.verb(net::Verb::kReadAsync).drop_probability = 0.3;
+  plan.verb(net::Verb::kReadGather).drop_probability = 0.3;
+  runtime.SetFaultPlan(&plan);
+  runtime.SetFaultDegradeTrigger(/*ratio=*/1e-9, /*streak=*/2);
+  const auto second = runtime.Invoke(2);
+  EXPECT_GT(second.fault_ratio, 0.0);
+  EXPECT_EQ(runtime.fault_reoptimizations(), 0);  // streak of 1
+  const auto third = runtime.Invoke(3);
+  EXPECT_EQ(runtime.fault_reoptimizations(), 1);
+  EXPECT_TRUE(third.reoptimized);
+  // The environment is faulty, not broken: every invocation completed.
+  EXPECT_GT(first.sim_ns, 0u);
+  EXPECT_GT(third.sim_ns, 0u);
+}
+
+}  // namespace
+}  // namespace mira

@@ -113,6 +113,48 @@ TEST(Transport, RpcRoundTrip) {
   EXPECT_EQ(e.net.stats().rpcs, 1u);
 }
 
+TEST(Transport, EmptyGatherAsyncIsANoOp) {
+  Env e;
+  const uint64_t before = e.clk.now_ns();
+  const uint64_t done = e.net.ReadGatherAsync(e.clk, {});
+  // No segments: no message, no stats, no time — just "done now".
+  EXPECT_EQ(done, before);
+  EXPECT_EQ(e.clk.now_ns(), before);
+  EXPECT_EQ(e.net.stats().messages, 0u);
+  EXPECT_EQ(e.net.stats().sg_segments, 0u);
+  const auto st = e.net.TryReadGatherAsync(e.clk, {});
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st.value(), before);
+}
+
+TEST(Transport, ResetStatsOnlyResetsNetworkStats) {
+  // Regression for the ResetStats contract: it clears the NetworkStats
+  // snapshot and must NOT touch the telemetry registry's cumulative "net.*"
+  // counters or the FaultStats.
+  Env e;
+  const auto addr = e.node.AllocRange(4096).take();
+  net::FaultPlan plan;
+  plan.seed = 2;
+  plan.verb(net::Verb::kWriteSync).drop_probability = 1.0;
+  net::FaultInjector inj(plan);
+  e.net.SetFaultInjector(&inj);
+  e.net.ReadSync(e.clk, addr, nullptr, 4096);
+  EXPECT_FALSE(e.net.TryWriteSync(e.clk, addr, nullptr, 64).ok());
+  const uint64_t* reads = telemetry::Metrics().FindCounter("net.read.sync.count");
+  ASSERT_NE(reads, nullptr);
+  const uint64_t reads_before = *reads;
+  const uint64_t drops_before = e.net.fault_stats().drops;
+  EXPECT_GT(drops_before, 0u);
+  EXPECT_EQ(e.net.stats().one_sided_reads, 1u);
+  e.net.ResetStats();
+  EXPECT_EQ(e.net.stats().one_sided_reads, 0u);
+  EXPECT_EQ(e.net.stats().messages, 0u);
+  EXPECT_EQ(*reads, reads_before);                      // registry untouched
+  EXPECT_EQ(e.net.fault_stats().drops, drops_before);   // fault stats untouched
+  e.net.ResetFaultStats();
+  EXPECT_EQ(e.net.fault_stats().drops, 0u);
+}
+
 TEST(Transport, LinkOccupancySerializesBigTransfers) {
   Env e;
   const auto addr = e.node.AllocRange(1 << 20).take();

@@ -7,8 +7,11 @@
 #include "src/cache/section_manager.h"
 #include "src/cache/swap_section.h"
 #include "src/farmem/far_memory_node.h"
+#include "src/interp/interpreter.h"
+#include "src/pipeline/world.h"
 #include "src/sim/mt_scheduler.h"
 #include "src/support/rng.h"
+#include "src/workloads/workloads.h"
 
 namespace mira {
 namespace {
@@ -152,6 +155,50 @@ TEST(RemotePtrProperties, EncodeDecodeRoundTripsRandomValues) {
     EXPECT_EQ(p.section(), section);
     EXPECT_EQ(p.offset(), offset);
     EXPECT_EQ(p.is_local(), section == 0);
+  }
+}
+
+TEST(FaultInjectionProperties, ArbitraryFaultSchedulesPreserveResults) {
+  // The failure-model contract (DESIGN.md): whatever faults the injector
+  // throws at the transport, every run completes and computes the same
+  // result as the fault-free run — faults cost time, never correctness.
+  const auto w = workloads::BuildArraySum({.elems = 30'000, .epochs = 1});
+  auto run = [&](const net::FaultPlan* plan) {
+    auto world = pipeline::MakeWorld(pipeline::SystemKind::kMira, 1 << 20, {});
+    if (plan != nullptr) {
+      pipeline::AttachFaults(world, *plan);
+    }
+    interp::Interpreter interp(w.module.get(), world.backend.get());
+    const uint64_t result = interp.Run("main").value();
+    world.backend->Drain(interp.clock());
+    return std::make_pair(result, interp.clock().now_ns());
+  };
+  const auto [clean_result, clean_ns] = run(nullptr);
+  support::Rng rng(123);
+  for (int trial = 0; trial < 8; ++trial) {
+    net::FaultPlan plan;
+    plan.seed = 1 + rng.NextBelow(1'000'000);
+    for (size_t v = 0; v < net::kNumVerbs; ++v) {
+      auto& cfg = plan.verbs[v];
+      cfg.drop_probability = 0.3 * rng.NextDouble();
+      cfg.timeout_probability = 0.3 * rng.NextDouble();
+      cfg.tail_probability = 0.3 * rng.NextDouble();
+      cfg.tail_multiplier = 1.0 + 4.0 * rng.NextDouble();
+    }
+    const uint64_t n_outages = rng.NextBelow(3);
+    uint64_t at = rng.NextBelow(200'000);
+    for (uint64_t o = 0; o < n_outages; ++o) {
+      const uint64_t width = 50'000 + rng.NextBelow(400'000);
+      plan.outages.push_back(net::OutageWindow{at, at + width});
+      at += width + 100'000 + rng.NextBelow(500'000);
+    }
+    if (rng.NextBelow(2) == 0) {
+      plan.degraded.push_back(
+          net::DegradedWindow{0, UINT64_MAX, 0.2 + 0.8 * rng.NextDouble()});
+    }
+    const auto [result, sim_ns] = run(&plan);
+    EXPECT_EQ(result, clean_result) << "trial " << trial;
+    EXPECT_GE(sim_ns, clean_ns) << "trial " << trial;
   }
 }
 

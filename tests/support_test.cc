@@ -178,6 +178,22 @@ TEST(Status, RoundTrip) {
   EXPECT_EQ(s.ToString(), "not_found: thing");
 }
 
+TEST(Status, FailureModelCodes) {
+  // The codes the transport's retry protocol returns to callers.
+  const Status u = Status::Unavailable("far node down");
+  EXPECT_EQ(u.code(), ErrorCode::kUnavailable);
+  EXPECT_EQ(u.ToString(), "unavailable: far node down");
+  const Status d = Status::DeadlineExceeded("retries spent");
+  EXPECT_EQ(d.code(), ErrorCode::kDeadlineExceeded);
+  EXPECT_EQ(d.ToString(), "deadline_exceeded: retries spent");
+  const Status a = Status::Aborted("gave up");
+  EXPECT_EQ(a.code(), ErrorCode::kAborted);
+  EXPECT_EQ(a.ToString(), "aborted: gave up");
+  EXPECT_STREQ(ErrorCodeName(ErrorCode::kUnavailable), "unavailable");
+  EXPECT_STREQ(ErrorCodeName(ErrorCode::kDeadlineExceeded), "deadline_exceeded");
+  EXPECT_STREQ(ErrorCodeName(ErrorCode::kAborted), "aborted");
+}
+
 TEST(Result, ValueAndError) {
   Result<int> ok(42);
   EXPECT_TRUE(ok.ok());
