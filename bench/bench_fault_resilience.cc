@@ -9,12 +9,23 @@
 //   bursty_outage— periodic far-node outages; sections ride them out in
 //                  degraded mode (degraded_ms > 0), nothing aborts
 //   degraded_bw  — link at 25% bandwidth for the whole run
+//   silent_corruption — bit flips / stale reads / duplicated writebacks that
+//                  no status code reports; runs with the integrity layer
+//                  attached, which must detect AND heal every episode
+//   torn_writeback — multi-line drains tear partway; the version vector
+//                  detects the torn suffix and the drain re-publishes it
 //
 // Every scenario asserts the program result equals the fault-free result:
 // injected faults are either retried to success or absorbed by a documented
-// degradation path — never silently wrong. `fault_adaptive` additionally
-// exercises the failure-aware adaptation trigger (sustained fault-inflated
-// overhead → re-optimization under the same fault schedule).
+// degradation path — never silently wrong. The two integrity scenarios
+// additionally assert integrity.detected > 0 and healed == detected
+// (self-healing, DESIGN.md §8). `fault_adaptive` exercises the
+// failure-aware adaptation trigger (sustained fault-inflated overhead →
+// re-optimization under the same fault schedule).
+//
+// Per-scenario counters are also published into the metrics registry under
+// "bench.fault.<scenario>.*" so `--metrics-out=<file>.{json,csv}` captures
+// machine-readable fault/integrity evidence for every scenario.
 
 #include <string>
 
@@ -47,8 +58,21 @@ net::FaultPlan PlanFor(const std::string& scenario) {
     // sections wait the remainder out in degraded mode.
     return net::FaultPlan::BurstyOutage(kFaultSeed, 0, 600'000, 800'000, 3);
   }
+  if (scenario == "silent_corruption") {
+    return net::FaultPlan::SilentCorruption(kFaultSeed);
+  }
+  if (scenario == "torn_writeback") {
+    return net::FaultPlan::TornWriteback(kFaultSeed);
+  }
   MIRA_CHECK(scenario == "degraded_bw");
   return net::FaultPlan::DegradedBandwidth(kFaultSeed, 0.25);
+}
+
+// The integrity layer rides along only for the scenarios that need it, so
+// the legacy scenarios' output stays bit-identical to the pre-integrity
+// tree (same RNG stream, same verb sequence).
+bool NeedsIntegrity(const std::string& scenario) {
+  return scenario == "silent_corruption" || scenario == "torn_writeback";
 }
 
 void BM_Scenario(benchmark::State& state, const std::string& scenario) {
@@ -60,8 +84,10 @@ void BM_Scenario(benchmark::State& state, const std::string& scenario) {
       Run(compiled.module, pipeline::SystemKind::kMira, local, compiled.plan);
   for (auto _ : state) {
     const net::FaultPlan plan = PlanFor(scenario);
+    const integrity::IntegrityConfig iconfig = integrity::IntegrityConfig::FromEnv();
+    const integrity::IntegrityConfig* iptr = NeedsIntegrity(scenario) ? &iconfig : nullptr;
     const RunOutput out = Run(compiled.module, pipeline::SystemKind::kMira, local,
-                              compiled.plan, 42, false, "main", &plan);
+                              compiled.plan, 42, false, "main", &plan, iptr);
     MIRA_CHECK_MSG(!out.failed, "faulted run must not abort");
     MIRA_CHECK_MSG(out.result == clean.result,
                    "fault injection must not change program results");
@@ -79,6 +105,46 @@ void BM_Scenario(benchmark::State& state, const std::string& scenario) {
     state.counters["degraded_ms"] =
         static_cast<double>(out.world.backend->DegradedNs()) / 1e6;
     state.counters["offload_fallbacks"] = static_cast<double>(out.offload_fallbacks);
+    if (iptr != nullptr) {
+      MIRA_CHECK_MSG(out.world.integrity != nullptr, "integrity must be attached");
+      const integrity::IntegrityStats& is = out.world.integrity->stats();
+      MIRA_CHECK_MSG(is.detected > 0, "scenario must actually inject corruption");
+      MIRA_CHECK_MSG(is.healed == is.detected,
+                     "every detected corruption episode must self-heal");
+      MIRA_CHECK_MSG(is.quarantined == 0, "no line may reach quarantine");
+      state.counters["integrity_detected"] = static_cast<double>(is.detected);
+      state.counters["integrity_healed"] = static_cast<double>(is.healed);
+      state.counters["integrity_refetch_rounds"] = static_cast<double>(is.refetch_rounds);
+      state.counters["integrity_torn"] = static_cast<double>(is.torn_writebacks);
+      state.counters["integrity_replays_suppressed"] =
+          static_cast<double>(is.replays_suppressed);
+    }
+    // Machine-readable evidence for --metrics-out (file output only; the
+    // registry does not touch stdout, so legacy scenarios stay
+    // bit-identical on the console).
+    auto& metrics = telemetry::Metrics();
+    const std::string prefix = "bench.fault." + scenario;
+    metrics.SetCounter(prefix + ".sim_ns", out.sim_ns);
+    metrics.SetCounter(prefix + ".faulted_attempts", fs.faulted_attempts());
+    metrics.SetCounter(prefix + ".retries", fs.retries);
+    metrics.SetCounter(prefix + ".recovered", fs.recovered);
+    metrics.SetCounter(prefix + ".exhausted", fs.exhausted);
+    metrics.SetCounter(prefix + ".wasted_ns", fs.wasted_ns());
+    metrics.SetCounter(prefix + ".degraded_ns", out.world.backend->DegradedNs());
+    metrics.SetCounter(prefix + ".corrupt_deliveries", fs.corrupt_deliveries);
+    metrics.SetCounter(prefix + ".stale_deliveries", fs.stale_deliveries);
+    metrics.SetCounter(prefix + ".duplicated_verbs", fs.duplicated_verbs);
+    metrics.SetCounter(prefix + ".torn_writebacks", fs.torn_writebacks);
+    if (out.world.integrity != nullptr) {
+      const integrity::IntegrityStats& is = out.world.integrity->stats();
+      metrics.SetCounter(prefix + ".integrity.detected", is.detected);
+      metrics.SetCounter(prefix + ".integrity.healed", is.healed);
+      metrics.SetCounter(prefix + ".integrity.refetch_rounds", is.refetch_rounds);
+      metrics.SetCounter(prefix + ".integrity.escalated_heals", is.escalated_heals);
+      metrics.SetCounter(prefix + ".integrity.replays_suppressed", is.replays_suppressed);
+      metrics.SetCounter(prefix + ".integrity.torn_writebacks", is.torn_writebacks);
+      metrics.SetCounter(prefix + ".integrity.quarantined", is.quarantined);
+    }
   }
 }
 
@@ -109,7 +175,8 @@ void BM_Adaptive(benchmark::State& state) {
 }
 
 void RegisterAll() {
-  for (const char* scenario : {"clean", "lossy", "bursty_outage", "degraded_bw"}) {
+  for (const char* scenario : {"clean", "lossy", "bursty_outage", "degraded_bw",
+                               "silent_corruption", "torn_writeback"}) {
     benchmark::RegisterBenchmark(("fault/" + std::string(scenario)).c_str(), BM_Scenario,
                                  std::string(scenario))
         ->Iterations(1);

@@ -16,11 +16,15 @@ void FlushTelemetry() { telemetry::FlushOutputs(g_outputs); }
 
 RunOutput Run(const ir::Module& module, pipeline::SystemKind kind, uint64_t local_bytes,
               runtime::CachePlan plan, uint64_t seed, bool profiling,
-              const std::string& entry, const net::FaultPlan* faults) {
+              const std::string& entry, const net::FaultPlan* faults,
+              const integrity::IntegrityConfig* integrity) {
   RunOutput out;
   out.world = pipeline::MakeWorld(kind, local_bytes, std::move(plan));
   if (faults != nullptr) {
     pipeline::AttachFaults(out.world, *faults);
+  }
+  if (integrity != nullptr) {
+    pipeline::AttachIntegrity(out.world, *integrity);
   }
   interp::InterpOptions opts;
   opts.seed = seed;

@@ -48,10 +48,13 @@ struct RunOutput {
 // One full measured execution on a fresh world. When `faults` is non-null a
 // fresh injector for that plan is attached, so identical (plan, seed) runs
 // are bit-identical; the world's transport/backend expose the fault and
-// degradation counters afterwards.
+// degradation counters afterwards. When `integrity` is non-null an
+// IntegrityManager with that config is attached (verified fetches, version
+// vectors, recovery ladder; `out.world.integrity->stats()` afterwards).
 RunOutput Run(const ir::Module& module, pipeline::SystemKind kind, uint64_t local_bytes,
               runtime::CachePlan plan = {}, uint64_t seed = 42, bool profiling = false,
-              const std::string& entry = "main", const net::FaultPlan* faults = nullptr);
+              const std::string& entry = "main", const net::FaultPlan* faults = nullptr,
+              const integrity::IntegrityConfig* integrity = nullptr);
 
 // Native full-local-memory execution time for a module (memoized per module
 // pointer + seed).

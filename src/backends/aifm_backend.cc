@@ -80,6 +80,7 @@ void AifmBackend::Drain(sim::SimClock& clk) {
   if (section_ != nullptr) {
     section_->Release(clk);
   }
+  Backend::Drain(clk);
 }
 
 }  // namespace mira::backends

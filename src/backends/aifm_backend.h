@@ -57,6 +57,7 @@ class AifmBackend : public Backend {
       registry.SetCounter("cache.prefetch.wasted", section_->stats().prefetch_wasted);
     }
     registry.SetCounter("aifm.metadata_bytes", metadata_bytes_);
+    Backend::PublishMetrics(registry);
   }
 
   uint64_t metadata_bytes() const { return metadata_bytes_; }

@@ -1,6 +1,20 @@
 #include "src/backends/backend.h"
 
+#include "src/integrity/integrity.h"
+
 namespace mira::backends {
+
+void Backend::Drain(sim::SimClock& clk) {
+  if (auto* integ = integrity::ActiveOrNull(net_->integrity()); integ != nullptr) {
+    integ->FinalAudit(clk);
+  }
+}
+
+void Backend::PublishMetrics(telemetry::MetricsRegistry& registry) const {
+  if (auto* integ = integrity::ActiveOrNull(net_->integrity()); integ != nullptr) {
+    integ->Publish(registry);
+  }
+}
 
 support::Result<farmem::RemoteAddr> Backend::Alloc(sim::SimClock& clk, uint64_t bytes,
                                                    std::string_view label, uint32_t elem_bytes) {

@@ -105,14 +105,19 @@ class Backend {
   // failure-degradation signal.
   virtual uint64_t DegradedNs() const { return 0; }
 
-  // Finish outstanding work / write back dirty state (end of program).
-  virtual void Drain(sim::SimClock& clk) {}
+  // Finish outstanding work / write back dirty state (end of program). The
+  // base implementation runs the integrity manager's end-of-run audit when
+  // one is attached to the transport; overrides must chain to it after
+  // releasing their caches.
+  virtual void Drain(sim::SimClock& clk);
 
   // Snapshots this backend's cache state into the unified metrics registry
   // under "cache.*" (per-section entries plus prefetch-accuracy
   // aggregates). Transport verbs publish themselves continuously; this
-  // covers the stats only the backend can name.
-  virtual void PublishMetrics(telemetry::MetricsRegistry& registry) const {}
+  // covers the stats only the backend can name. The base implementation
+  // publishes the "integrity.*" counters when an integrity manager is
+  // attached; overrides must chain to it.
+  virtual void PublishMetrics(telemetry::MetricsRegistry& registry) const;
 
   // Charge `ops` units of local compute.
   void Compute(sim::SimClock& clk, uint64_t ops) {

@@ -31,13 +31,17 @@ class LeapBackend : public Backend {
              const AccessHints& hints) override {
     swap_.Access(clk, addr, len, /*write=*/true);
   }
-  void Drain(sim::SimClock& clk) override { swap_.Release(clk); }
+  void Drain(sim::SimClock& clk) override {
+    swap_.Release(clk);
+    Backend::Drain(clk);
+  }
   uint64_t DegradedNs() const override { return swap_.stats().degraded_ns; }
 
   void PublishMetrics(telemetry::MetricsRegistry& registry) const override {
     cache::PublishSectionStats(registry, "cache.swap", swap_.stats());
     registry.SetCounter("cache.prefetch.useful", swap_.stats().prefetched_hits);
     registry.SetCounter("cache.prefetch.wasted", swap_.stats().prefetch_wasted);
+    Backend::PublishMetrics(registry);
   }
 
   const cache::SectionStats& swap_stats() const { return swap_.stats(); }

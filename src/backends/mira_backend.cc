@@ -165,7 +165,10 @@ uint64_t MiraBackend::DegradedNs() const {
   return total;
 }
 
-void MiraBackend::Drain(sim::SimClock& clk) { sections_->ReleaseAll(clk); }
+void MiraBackend::Drain(sim::SimClock& clk) {
+  sections_->ReleaseAll(clk);
+  Backend::Drain(clk);
+}
 
 void MiraBackend::PublishMetrics(telemetry::MetricsRegistry& registry) const {
   auto* self = const_cast<MiraBackend*>(this);
@@ -183,6 +186,7 @@ void MiraBackend::PublishMetrics(telemetry::MetricsRegistry& registry) const {
   wasted += sw.prefetch_wasted;
   registry.SetCounter("cache.prefetch.useful", useful);
   registry.SetCounter("cache.prefetch.wasted", wasted);
+  Backend::PublishMetrics(registry);
 }
 
 const cache::SectionStats& MiraBackend::SectionStatsAt(uint32_t index) {

@@ -2,10 +2,19 @@
 
 #include <algorithm>
 
+#include "src/integrity/integrity.h"
 #include "src/support/check.h"
 #include "src/support/str.h"
 
 namespace mira::cache {
+
+namespace {
+
+integrity::IntegrityManager* ActiveIntegrity(const net::Transport* net) {
+  return integrity::ActiveOrNull(net->integrity());
+}
+
+}  // namespace
 
 void PublishSectionStats(telemetry::MetricsRegistry& registry, const std::string& prefix,
                          const SectionStats& stats) {
@@ -188,25 +197,53 @@ support::Result<uint64_t> Section::TryFetchLine(sim::SimClock& clk, uint64_t lin
 }
 
 uint64_t Section::FetchLineReliable(sim::SimClock& clk, uint64_t line) {
+  const uint64_t raddr = line * config_.line_bytes;
+  auto* integ = ActiveIntegrity(net_);
+  int heal_rounds = 0;
   for (int round = 0;; ++round) {
     support::Result<uint64_t> r = TryFetchLine(clk, line, /*demand=*/true);
     if (r.ok()) {
-      return r.value();
+      if (integ == nullptr) {
+        return r.value();
+      }
+      const auto verdict =
+          integ->VerifyFetch(clk, raddr, raddr, config_.line_bytes, net_->last_delivery());
+      if (verdict == integrity::FetchVerdict::kClean ||
+          verdict == integrity::FetchVerdict::kFatal) {
+        // Fatal (quarantined) deliveries return too: the interpreter
+        // surfaces kDataLoss before the data is consumed.
+        return r.value();
+      }
+      if (verdict == integrity::FetchVerdict::kStale) {
+        // The far copy lags a committed store: re-publish the queued
+        // writebacks, then re-fetch.
+        DrainPendingWritebacks(clk);
+      }
+      if (heal_rounds + 1 >= integ->config().max_refetch_rounds) {
+        break;  // escalate below
+      }
+      ++heal_rounds;
+      integ->CountRefetchRound();
+      continue;
     }
     if (r.status().code() == support::ErrorCode::kUnavailable) {
       // Far node down: degraded mode — wait the outage out rather than abort.
       WaitOutOutage(clk);
     }
-    if (round + 1 >= kMaxFaultRounds) {
-      // Last rung of the ladder. A demand fetch cannot be dropped (the
-      // program needs the data), so model operator-grade recovery with the
-      // infallible verb.
-      ++stats_.reliable_escalations;
-      const uint64_t raddr = line * config_.line_bytes;
-      stats_.bytes_fetched += config_.line_bytes;
-      return net_->ReadAsync(clk, raddr, nullptr, config_.line_bytes);
+    if (round + 1 >= config_.max_fault_rounds) {
+      break;
     }
   }
+  // Last rung of the ladder. A demand fetch cannot be dropped (the program
+  // needs the data), so model operator-grade recovery with the infallible
+  // verb, whose delivery is clean by construction.
+  ++stats_.reliable_escalations;
+  stats_.bytes_fetched += config_.line_bytes;
+  const uint64_t done = net_->ReadAsync(clk, raddr, nullptr, config_.line_bytes);
+  if (integ != nullptr) {
+    integ->MarkHealed(raddr, /*escalated=*/true);
+  }
+  return done;
 }
 
 void Section::WaitOutOutage(sim::SimClock& clk) {
@@ -229,41 +266,79 @@ void Section::WritebackLine(sim::SimClock& clk, uint64_t raddr) {
   support::Result<uint64_t> r =
       net_->TryWriteAsync(clk, raddr, nullptr, config_.line_bytes);
   if (r.ok()) {
-    last_writeback_done_ns_ = std::max(last_writeback_done_ns_, r.value());
-    ++stats_.writebacks;
-    stats_.bytes_written_back += config_.line_bytes;
-    return;
+    auto* integ = ActiveIntegrity(net_);
+    if (integ == nullptr ||
+        integ->CommitWriteback(clk, raddr, config_.line_bytes, net_->last_delivery())) {
+      last_writeback_done_ns_ = std::max(last_writeback_done_ns_, r.value());
+      ++stats_.writebacks;
+      stats_.bytes_written_back += config_.line_bytes;
+      return;
+    }
+    // The far node rejected the frame (wire corruption): fall through to the
+    // requeue path; the reliable drain retransmits.
   }
   // Write-back throttled degraded mode: hold the failed writeback; once the
   // queue saturates, force a synchronous drain so dirty data is bounded.
   pending_writebacks_.push_back(raddr);
   ++stats_.writebacks_requeued;
-  if (pending_writebacks_.size() >= kPendingWritebackLimit) {
+  if (pending_writebacks_.size() >= config_.pending_writeback_limit) {
     ++stats_.forced_sync_flushes;
     DrainPendingWritebacks(clk);
   }
 }
 
 void Section::DrainPendingWritebacks(sim::SimClock& clk) {
+  if (pending_writebacks_.empty()) {
+    return;
+  }
+  auto* integ = ActiveIntegrity(net_);
+  // A torn drain applies only the first `tear_at` lines at the far node; the
+  // rest complete on the wire but are never applied. The burst receipt audit
+  // below catches them through the version vector and re-publishes.
+  const size_t tear_at =
+      integ != nullptr ? net_->TearPoint(pending_writebacks_.size()) : pending_writebacks_.size();
+  size_t applied = 0;
+  std::vector<uint64_t> torn;
   while (!pending_writebacks_.empty()) {
     const uint64_t raddr = pending_writebacks_.back();
+    const bool tear = applied >= tear_at;
     for (int round = 0;; ++round) {
       support::Status s = net_->TryWriteSync(clk, raddr, nullptr, config_.line_bytes);
       if (s.ok()) {
-        break;
-      }
-      if (s.code() == support::ErrorCode::kUnavailable) {
+        if (tear || integ == nullptr ||
+            integ->CommitWriteback(clk, raddr, config_.line_bytes, net_->last_delivery())) {
+          break;
+        }
+        // Frame rejected at the far node: retransmit (counts as a round).
+      } else if (s.code() == support::ErrorCode::kUnavailable) {
         WaitOutOutage(clk);
       }
-      if (round + 1 >= kMaxFaultRounds) {
+      if (round + 1 >= config_.max_fault_rounds) {
         ++stats_.reliable_escalations;
         net_->WriteSync(clk, raddr, nullptr, config_.line_bytes);
+        if (!tear && integ != nullptr) {
+          integ->ForceCommit(raddr, config_.line_bytes);
+        }
         break;
       }
     }
+    if (tear) {
+      integ->RecordTorn(raddr, config_.line_bytes);
+      torn.push_back(raddr);
+    }
+    ++applied;
     pending_writebacks_.pop_back();
     ++stats_.writebacks;
     stats_.bytes_written_back += config_.line_bytes;
+  }
+  // Burst receipt audit: the far node acks the burst against its version
+  // vector, exposing the torn suffix; re-publish those lines through the
+  // reliable verb immediately.
+  for (const uint64_t raddr : torn) {
+    net_->WriteSync(clk, raddr, nullptr, config_.line_bytes);
+    ++stats_.writebacks;
+    stats_.bytes_written_back += config_.line_bytes;
+    integ->ForceCommit(raddr, config_.line_bytes);  // closes the torn episode healed
   }
 }
 
@@ -344,20 +419,64 @@ void Section::AccessBatch(sim::SimClock& clk,
   }
   // Phase 2: one gather message for everything that missed.
   if (!segs.empty()) {
+    auto* integ = ActiveIntegrity(net_);
+    const uint64_t gather_key = segs.front().raddr;  // episode key for the message
     const uint64_t t0 = clk.now_ns();
     uint64_t done = 0;
+    int heal_rounds = 0;
     for (int round = 0;; ++round) {
       support::Result<uint64_t> r = net_->TryReadGatherAsync(clk, segs);
       if (r.ok()) {
-        done = r.value();
-        break;
+        if (integ == nullptr) {
+          done = r.value();
+          break;
+        }
+        // Verify every delivered segment; the whole message shares one
+        // delivery (and one corruption episode).
+        const net::Delivery delivery = net_->last_delivery();
+        auto worst = integrity::FetchVerdict::kClean;
+        bool first_seg = true;
+        for (const auto& s : segs) {
+          const auto v = integ->VerifyFetch(clk, gather_key, s.raddr, s.len,
+                                            first_seg ? delivery : net::Delivery{});
+          first_seg = false;
+          if (v == integrity::FetchVerdict::kFatal) {
+            worst = v;
+            break;
+          }
+          if (v == integrity::FetchVerdict::kStale ||
+              (v == integrity::FetchVerdict::kRetry &&
+               worst == integrity::FetchVerdict::kClean)) {
+            worst = v;
+          }
+        }
+        if (worst == integrity::FetchVerdict::kClean ||
+            worst == integrity::FetchVerdict::kFatal) {
+          done = r.value();
+          break;
+        }
+        if (worst == integrity::FetchVerdict::kStale) {
+          DrainPendingWritebacks(clk);
+        }
+        if (heal_rounds + 1 >= integ->config().max_refetch_rounds) {
+          ++stats_.reliable_escalations;
+          done = net_->ReadGatherAsync(clk, segs);
+          integ->MarkHealed(gather_key, /*escalated=*/true);
+          break;
+        }
+        ++heal_rounds;
+        integ->CountRefetchRound();
+        continue;
       }
       if (r.status().code() == support::ErrorCode::kUnavailable) {
         WaitOutOutage(clk);
       }
-      if (round + 1 >= kMaxFaultRounds) {
+      if (round + 1 >= config_.max_fault_rounds) {
         ++stats_.reliable_escalations;
         done = net_->ReadGatherAsync(clk, segs);
+        if (integ != nullptr) {
+          integ->MarkHealed(gather_key, /*escalated=*/true);
+        }
         break;
       }
     }
@@ -404,6 +523,25 @@ void Section::Prefetch(sim::SimClock& clk, uint64_t raddr, uint32_t len) {
                                          static_cast<unsigned long long>(line)));
       }
       continue;
+    }
+    if (auto* integ = ActiveIntegrity(net_); integ != nullptr) {
+      const uint64_t line_raddr = line * config_.line_bytes;
+      const auto verdict = integ->VerifyFetch(clk, line_raddr, line_raddr, config_.line_bytes,
+                                              net_->last_delivery());
+      if (verdict == integrity::FetchVerdict::kRetry ||
+          verdict == integrity::FetchVerdict::kStale) {
+        // Tainted prefetch: discard the copy rather than retry — the open
+        // episode heals at the line's (verified) demand fetch, or at the
+        // final audit if the line is never touched again.
+        ++stats_.prefetch_aborted;
+        auto& trace = telemetry::Trace();
+        if (trace.enabled()) {
+          trace.Instant(clk, "cache." + config_.name + ".prefetch_aborted", "cache",
+                        support::StrFormat("{\"line\":%llu}",
+                                           static_cast<unsigned long long>(line)));
+        }
+        continue;
+      }
     }
     LineMeta& m = slots_[victim];
     m.tag = line;

@@ -61,9 +61,11 @@ struct SectionStats {
   void Reset() { *this = SectionStats{}; }
 };
 
-// Degradation-ladder bounds (shared by lookup sections and the swap
-// section): fault rounds per transfer before escalating to the infallible
-// verb, and failed writebacks held before a forced synchronous drain.
+// Historical degradation-ladder defaults (shared by lookup sections and the
+// swap section): fault rounds per transfer before escalating to the
+// infallible verb, and failed writebacks held before a forced synchronous
+// drain. Per-section values live in SectionConfig::{max_fault_rounds,
+// pending_writeback_limit}; these constants pin the defaults.
 inline constexpr int kMaxFaultRounds = 8;
 inline constexpr size_t kPendingWritebackLimit = 8;
 
@@ -175,8 +177,10 @@ class Section {
   // Returns the completion timestamp, or the transport's failure.
   support::Result<uint64_t> TryFetchLine(sim::SimClock& clk, uint64_t line, bool demand);
 
-  // Demand-fetch degradation ladder: retry, wait out outage windows, and
-  // after kMaxFaultRounds escalate to the infallible verb. Never fails.
+  // Demand-fetch degradation ladder: retry, wait out outage windows, verify
+  // the delivery when integrity checking is attached (tainted or stale
+  // deliveries re-fetch for bounded rounds), and after
+  // config_.max_fault_rounds escalate to the infallible verb. Never fails.
   uint64_t FetchLineReliable(sim::SimClock& clk, uint64_t line);
 
   // Async writeback of the line at `raddr`; on fault the line is requeued

@@ -64,6 +64,12 @@ struct SectionConfig {
   // Shared writable section for multi-threading (§4.6): forces full
   // associativity, disables eviction hints, uses dont-evict pinning.
   bool shared = false;
+  // Degradation-ladder bounds (DESIGN.md "Failure model"): fault rounds per
+  // transfer before escalating to the infallible verb, and failed async
+  // writebacks held before a forced synchronous drain. Defaults match the
+  // historical kMaxFaultRounds / kPendingWritebackLimit constants.
+  int max_fault_rounds = 8;
+  uint32_t pending_writeback_limit = 8;
 
   uint32_t num_lines() const {
     return line_bytes == 0 ? 0 : static_cast<uint32_t>(size_bytes / line_bytes);

@@ -2,16 +2,20 @@
 
 #include <algorithm>
 
+#include "src/integrity/integrity.h"
 #include "src/support/check.h"
 #include "src/support/str.h"
 
 namespace mira::cache {
 
 SwapSection::SwapSection(uint64_t size_bytes, net::Transport* net,
-                         std::unique_ptr<SwapPrefetcher> prefetcher, double datapath_factor)
+                         std::unique_ptr<SwapPrefetcher> prefetcher, double datapath_factor,
+                         int max_fault_rounds, size_t pending_writeback_limit)
     : net_(net),
       prefetcher_(std::move(prefetcher)),
       datapath_factor_(datapath_factor),
+      max_fault_rounds_(max_fault_rounds),
+      pending_writeback_limit_(pending_writeback_limit),
       num_pages_(static_cast<uint32_t>(std::max<uint64_t>(1, size_bytes / kPageBytes))),
       frames_(num_pages_),
       no_pins_(num_pages_, 0),
@@ -101,20 +105,46 @@ uint32_t SwapSection::FaultIn(sim::SimClock& clk, uint64_t page, bool demand) {
       stats_.runtime_ns += fault;
     }
     const uint64_t t0 = clk.now_ns();
-    // Demand-fetch ladder: retry, wait out outages, escalate to the
-    // infallible verb after kMaxFaultRounds — a major fault cannot be
-    // dropped, the faulting thread needs the page.
+    // Demand-fetch ladder: retry, wait out outages, verify the delivered
+    // page when integrity checking is attached, escalate to the infallible
+    // verb after max_fault_rounds_ — a major fault cannot be dropped, the
+    // faulting thread needs the page.
+    auto* integ = integrity::ActiveOrNull(net_->integrity());
+    int heal_rounds = 0;
     for (int round = 0;; ++round) {
       const support::Status s = net_->TryReadSync(clk, raddr, nullptr, kPageBytes);
       if (s.ok()) {
-        break;
+        if (integ == nullptr) {
+          break;
+        }
+        const auto verdict =
+            integ->VerifyFetch(clk, raddr, raddr, kPageBytes, net_->last_delivery());
+        if (verdict == integrity::FetchVerdict::kClean ||
+            verdict == integrity::FetchVerdict::kFatal) {
+          break;
+        }
+        if (verdict == integrity::FetchVerdict::kStale) {
+          DrainPendingWritebacks(clk);
+        }
+        if (heal_rounds + 1 >= integ->config().max_refetch_rounds) {
+          ++stats_.reliable_escalations;
+          net_->ReadSync(clk, raddr, nullptr, kPageBytes);
+          integ->MarkHealed(raddr, /*escalated=*/true);
+          break;
+        }
+        ++heal_rounds;
+        integ->CountRefetchRound();
+        continue;
       }
       if (s.code() == support::ErrorCode::kUnavailable) {
         WaitOutOutage(clk);
       }
-      if (round + 1 >= kMaxFaultRounds) {
+      if (round + 1 >= max_fault_rounds_) {
         ++stats_.reliable_escalations;
         net_->ReadSync(clk, raddr, nullptr, kPageBytes);
+        if (integ != nullptr) {
+          integ->MarkHealed(raddr, /*escalated=*/true);
+        }
         break;
       }
     }
@@ -138,6 +168,19 @@ uint32_t SwapSection::FaultIn(sim::SimClock& clk, uint64_t page, bool demand) {
       m = PageMeta{};
       free_frames_.push_back(frame);
       return UINT32_MAX;
+    }
+    if (auto* integ = integrity::ActiveOrNull(net_->integrity()); integ != nullptr) {
+      const auto verdict =
+          integ->VerifyFetch(clk, raddr, raddr, kPageBytes, net_->last_delivery());
+      if (verdict == integrity::FetchVerdict::kRetry ||
+          verdict == integrity::FetchVerdict::kStale) {
+        // Tainted prefetched page: discard it; the open episode heals at the
+        // page's verified demand fault or at the final audit.
+        ++stats_.prefetch_aborted;
+        m = PageMeta{};
+        free_frames_.push_back(frame);
+        return UINT32_MAX;
+      }
     }
     m.ready_at_ns = r.value();
     ++stats_.prefetches_issued;
@@ -187,39 +230,72 @@ void SwapSection::WaitOutOutage(sim::SimClock& clk) {
 void SwapSection::WritebackPage(sim::SimClock& clk, uint64_t raddr) {
   const support::Result<uint64_t> r = net_->TryWriteAsync(clk, raddr, nullptr, kPageBytes);
   if (r.ok()) {
-    last_writeback_done_ns_ = std::max(last_writeback_done_ns_, r.value());
-    ++stats_.writebacks;
-    stats_.bytes_written_back += kPageBytes;
-    return;
+    auto* integ = integrity::ActiveOrNull(net_->integrity());
+    if (integ == nullptr ||
+        integ->CommitWriteback(clk, raddr, kPageBytes, net_->last_delivery())) {
+      last_writeback_done_ns_ = std::max(last_writeback_done_ns_, r.value());
+      ++stats_.writebacks;
+      stats_.bytes_written_back += kPageBytes;
+      return;
+    }
+    // Frame rejected at the far node (wire corruption): requeue for the
+    // reliable drain, which retransmits.
   }
   pending_writebacks_.push_back(raddr);
   ++stats_.writebacks_requeued;
-  if (pending_writebacks_.size() >= kPendingWritebackLimit) {
+  if (pending_writebacks_.size() >= pending_writeback_limit_) {
     ++stats_.forced_sync_flushes;
     DrainPendingWritebacks(clk);
   }
 }
 
 void SwapSection::DrainPendingWritebacks(sim::SimClock& clk) {
+  if (pending_writebacks_.empty()) {
+    return;
+  }
+  auto* integ = integrity::ActiveOrNull(net_->integrity());
+  // See cache::Section::DrainPendingWritebacks: torn bursts apply only a
+  // prefix at the far node; the receipt audit re-publishes the rest.
+  const size_t tear_at =
+      integ != nullptr ? net_->TearPoint(pending_writebacks_.size()) : pending_writebacks_.size();
+  size_t applied = 0;
+  std::vector<uint64_t> torn;
   while (!pending_writebacks_.empty()) {
     const uint64_t raddr = pending_writebacks_.back();
+    const bool tear = applied >= tear_at;
     for (int round = 0;; ++round) {
       const support::Status s = net_->TryWriteSync(clk, raddr, nullptr, kPageBytes);
       if (s.ok()) {
-        break;
-      }
-      if (s.code() == support::ErrorCode::kUnavailable) {
+        if (tear || integ == nullptr ||
+            integ->CommitWriteback(clk, raddr, kPageBytes, net_->last_delivery())) {
+          break;
+        }
+      } else if (s.code() == support::ErrorCode::kUnavailable) {
         WaitOutOutage(clk);
       }
-      if (round + 1 >= kMaxFaultRounds) {
+      if (round + 1 >= max_fault_rounds_) {
         ++stats_.reliable_escalations;
         net_->WriteSync(clk, raddr, nullptr, kPageBytes);
+        if (!tear && integ != nullptr) {
+          integ->ForceCommit(raddr, kPageBytes);
+        }
         break;
       }
     }
+    if (tear) {
+      integ->RecordTorn(raddr, kPageBytes);
+      torn.push_back(raddr);
+    }
+    ++applied;
     pending_writebacks_.pop_back();
     ++stats_.writebacks;
     stats_.bytes_written_back += kPageBytes;
+  }
+  for (const uint64_t raddr : torn) {
+    net_->WriteSync(clk, raddr, nullptr, kPageBytes);
+    ++stats_.writebacks;
+    stats_.bytes_written_back += kPageBytes;
+    integ->ForceCommit(raddr, kPageBytes);
   }
 }
 

@@ -36,8 +36,12 @@ class SwapSection {
 
   // `size_bytes` is the local page-pool size; `datapath_factor` scales the
   // kernel fault/eviction path (Leap > FastSwap, paper §6.1).
+  // `max_fault_rounds` / `pending_writeback_limit` bound the degradation
+  // ladder (defaults match the historical constants).
   SwapSection(uint64_t size_bytes, net::Transport* net,
-              std::unique_ptr<SwapPrefetcher> prefetcher, double datapath_factor = 1.0);
+              std::unique_ptr<SwapPrefetcher> prefetcher, double datapath_factor = 1.0,
+              int max_fault_rounds = kMaxFaultRounds,
+              size_t pending_writeback_limit = kPendingWritebackLimit);
 
   // One memory access of `len` bytes at remote address `raddr`.
   void Access(sim::SimClock& clk, uint64_t raddr, uint32_t len, bool write);
@@ -78,6 +82,8 @@ class SwapSection {
   net::Transport* net_;
   std::unique_ptr<SwapPrefetcher> prefetcher_;
   double datapath_factor_;
+  int max_fault_rounds_;
+  size_t pending_writeback_limit_;
   uint32_t num_pages_;
   std::vector<PageMeta> frames_;
   std::vector<uint32_t> free_frames_;

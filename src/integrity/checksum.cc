@@ -1,0 +1,23 @@
+#include "src/integrity/checksum.h"
+
+namespace mira::integrity {
+
+uint64_t Fnv1a64(const void* data, size_t len, uint64_t seed) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint64_t h = seed;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= kFnv1aPrime;
+  }
+  return h;
+}
+
+uint64_t LineChecksum(const void* payload, size_t len, uint64_t version) {
+  uint8_t v[8];
+  for (int i = 0; i < 8; ++i) {
+    v[i] = static_cast<uint8_t>(version >> (8 * i));
+  }
+  return Fnv1a64(payload, len, Fnv1a64(v, sizeof(v)));
+}
+
+}  // namespace mira::integrity

@@ -1,0 +1,27 @@
+// Payload checksums for the data-integrity subsystem. FNV-1a/64 is used for
+// every line/granule checksum: it is cheap, has no dependencies, and — unlike
+// CRC32 hardware intrinsics — produces the same value on every host, which
+// the bit-identical replay contract requires.
+
+#ifndef MIRA_SRC_INTEGRITY_CHECKSUM_H_
+#define MIRA_SRC_INTEGRITY_CHECKSUM_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mira::integrity {
+
+inline constexpr uint64_t kFnv1aOffset = 0xcbf29ce484222325ULL;
+inline constexpr uint64_t kFnv1aPrime = 0x100000001b3ULL;
+
+// FNV-1a over `len` bytes, optionally chained from a previous digest.
+uint64_t Fnv1a64(const void* data, size_t len, uint64_t seed = kFnv1aOffset);
+
+// Checksum of one line/granule payload bound to its monotonic version: the
+// version is folded into the digest so a stale payload with a valid
+// old-version checksum can never masquerade as the current one.
+uint64_t LineChecksum(const void* payload, size_t len, uint64_t version);
+
+}  // namespace mira::integrity
+
+#endif  // MIRA_SRC_INTEGRITY_CHECKSUM_H_

@@ -1,0 +1,301 @@
+#include "src/integrity/integrity.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "src/support/check.h"
+
+namespace mira::integrity {
+
+namespace {
+
+std::string QuarantineMessage(uint64_t base) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf),
+                "integrity: unhealable checksum mismatch at remote 0x%llx (granule quarantined)",
+                static_cast<unsigned long long>(base));
+  return std::string(buf);
+}
+
+}  // namespace
+
+IntegrityConfig IntegrityConfig::FromEnv() {
+  IntegrityConfig config;
+  const char* paranoid = std::getenv("MIRA_PARANOID");
+  config.paranoid = paranoid != nullptr && paranoid[0] != '\0' && std::strcmp(paranoid, "0") != 0;
+  return config;
+}
+
+IntegrityManager::IntegrityManager(farmem::FarMemoryNode* node, IntegrityConfig config)
+    : node_(node), config_(config) {
+  MIRA_CHECK(node_ != nullptr);
+  MIRA_CHECK(config_.granule_bytes > 0 &&
+             (config_.granule_bytes & (config_.granule_bytes - 1)) == 0);
+  // A granule must never straddle a far-node chunk so Mem() can hand out a
+  // contiguous zero-copy view.
+  MIRA_CHECK(config_.granule_bytes <= 4096);
+  MIRA_CHECK(config_.max_refetch_rounds >= 1);
+}
+
+uint64_t IntegrityManager::ChecksumGranule(uint64_t base, uint64_t version) {
+  const uint8_t* mem = node_->Mem(base, config_.granule_bytes);
+  return LineChecksum(mem, config_.granule_bytes, version);
+}
+
+void IntegrityManager::ChargeVerify(sim::SimClock& clk, uint64_t granules) {
+  clk.Advance(granules * config_.verify_ns_per_granule);
+}
+
+void IntegrityManager::OpenEpisode(uint64_t key) {
+  if (episodes_.emplace(key, uint8_t{1}).second) {
+    ++stats_.detected;
+  }
+}
+
+void IntegrityManager::MarkHealed(uint64_t key, bool escalated) {
+  if (episodes_.erase(key) > 0) {
+    ++stats_.healed;
+    if (escalated) {
+      ++stats_.escalated_heals;
+    }
+  }
+}
+
+void IntegrityManager::Quarantine(uint64_t base, GranuleRecord& rec) {
+  rec.quarantined = true;
+  ++stats_.detected;
+  ++stats_.quarantined;
+  if (fatal_.ok()) {
+    fatal_ = support::Status::DataLoss(QuarantineMessage(base));
+  }
+}
+
+bool IntegrityManager::RestoreFromGolden(uint64_t base, GranuleRecord& rec) {
+  const auto it = golden_.find(base);
+  if (it == golden_.end()) {
+    return false;
+  }
+  std::memcpy(node_->Mem(base, config_.granule_bytes), it->second.data(),
+              config_.granule_bytes);
+  rec.checksum = ChecksumGranule(base, rec.version);
+  ++stats_.oracle_restores;
+  return true;
+}
+
+void IntegrityManager::CommitStore(uint64_t addr, uint32_t len, bool through_cache) {
+  if (!config_.enabled || len == 0) {
+    return;
+  }
+  ++stats_.commits;
+  const uint64_t first = GranuleBase(addr);
+  const uint64_t last = GranuleBase(addr + len - 1);
+  for (uint64_t base = first; base <= last; base += config_.granule_bytes) {
+    GranuleRecord& rec = ledger_[base];
+    ++rec.version;
+    rec.checksum = ChecksumGranule(base, rec.version);
+    if (!through_cache) {
+      rec.far_version = rec.version;
+    }
+    if (config_.paranoid) {
+      const uint8_t* mem = node_->Mem(base, config_.granule_bytes);
+      golden_[base].assign(mem, mem + config_.granule_bytes);
+    }
+  }
+}
+
+FetchVerdict IntegrityManager::VerifyFetch(sim::SimClock& clk, uint64_t key, uint64_t raddr,
+                                           uint32_t len, const net::Delivery& delivery) {
+  if (!config_.enabled || len == 0) {
+    return FetchVerdict::kClean;
+  }
+  ++stats_.fetches_verified;
+  const uint64_t first = GranuleBase(raddr);
+  const uint64_t last = GranuleBase(raddr + len - 1);
+  ChargeVerify(clk, (last - first) / config_.granule_bytes + 1);
+  bool version_stale = false;
+  for (uint64_t base = first; base <= last; base += config_.granule_bytes) {
+    const auto it = ledger_.find(base);
+    if (it == ledger_.end()) {
+      continue;  // never stored: zero-filled arena, nothing to verify against
+    }
+    GranuleRecord& rec = it->second;
+    if (rec.quarantined) {
+      return FetchVerdict::kFatal;
+    }
+    if (ChecksumGranule(base, rec.version) != rec.checksum) {
+      // Real arena damage, not a wire fault: the authoritative copy itself
+      // is wrong, so no amount of re-fetching helps.
+      if (config_.paranoid && RestoreFromGolden(base, rec)) {
+        ++stats_.detected;
+        ++stats_.healed;
+        if (stats_.first_divergent_addr == 0 || base < stats_.first_divergent_addr) {
+          stats_.first_divergent_addr = base;
+        }
+        continue;
+      }
+      Quarantine(base, rec);
+      return FetchVerdict::kFatal;
+    }
+    if (rec.far_version < rec.version) {
+      version_stale = true;
+    }
+  }
+  if (delivery.corrupt) {
+    ++stats_.corrupt_deliveries;
+    OpenEpisode(key);
+    return FetchVerdict::kRetry;
+  }
+  if (version_stale) {
+    // The far node has not acknowledged the latest committed store for some
+    // granule in this range: a lost-update window (requeued or torn
+    // writeback). The caller drains pending writebacks and re-fetches.
+    ++stats_.version_stale_reads;
+    OpenEpisode(key);
+    return FetchVerdict::kStale;
+  }
+  if (delivery.stale) {
+    ++stats_.stale_reads;
+    OpenEpisode(key);
+    return FetchVerdict::kRetry;
+  }
+  MarkHealed(key);
+  return FetchVerdict::kClean;
+}
+
+bool IntegrityManager::CommitWriteback(sim::SimClock& clk, uint64_t raddr, uint32_t len,
+                                       const net::Delivery& delivery) {
+  if (!config_.enabled || len == 0) {
+    return true;
+  }
+  ++stats_.writebacks_committed;
+  const uint64_t first = GranuleBase(raddr);
+  const uint64_t last = GranuleBase(raddr + len - 1);
+  ChargeVerify(clk, (last - first) / config_.granule_bytes + 1);
+  if (delivery.corrupt) {
+    // The far node recomputes the frame checksum on receipt and rejects the
+    // damaged frame; the caller retransmits.
+    ++stats_.corrupt_writebacks;
+    OpenEpisode(raddr);
+    return false;
+  }
+  if (delivery.duplicate) {
+    // Replayed frame: the version vector makes the second application a
+    // no-op, so acknowledging it twice is harmless.
+    ++stats_.replays_suppressed;
+  }
+  for (uint64_t base = first; base <= last; base += config_.granule_bytes) {
+    const auto it = ledger_.find(base);
+    if (it != ledger_.end() && it->second.far_version < it->second.version) {
+      it->second.far_version = it->second.version;
+    }
+  }
+  MarkHealed(raddr);
+  return true;
+}
+
+void IntegrityManager::ForceCommit(uint64_t raddr, uint32_t len) {
+  if (!config_.enabled || len == 0) {
+    return;
+  }
+  const uint64_t first = GranuleBase(raddr);
+  const uint64_t last = GranuleBase(raddr + len - 1);
+  for (uint64_t base = first; base <= last; base += config_.granule_bytes) {
+    const auto it = ledger_.find(base);
+    if (it != ledger_.end()) {
+      it->second.far_version = it->second.version;
+    }
+  }
+  MarkHealed(raddr, /*escalated=*/true);
+}
+
+void IntegrityManager::RecordTorn(uint64_t raddr, uint32_t len) {
+  if (!config_.enabled || len == 0) {
+    return;
+  }
+  ++stats_.torn_writebacks;
+  OpenEpisode(raddr);
+}
+
+void IntegrityManager::FinalAudit(sim::SimClock& clk) {
+  if (!config_.enabled) {
+    return;
+  }
+  for (auto& [base, rec] : ledger_) {
+    ++stats_.audit_granules;
+    ChargeVerify(clk, 1);
+    if (rec.quarantined) {
+      continue;
+    }
+    if (ChecksumGranule(base, rec.version) != rec.checksum) {
+      if (config_.paranoid && RestoreFromGolden(base, rec)) {
+        ++stats_.detected;
+        ++stats_.healed;
+        ++stats_.oracle_divergences;
+        if (stats_.first_divergent_addr == 0 || base < stats_.first_divergent_addr) {
+          stats_.first_divergent_addr = base;
+        }
+      } else {
+        Quarantine(base, rec);
+        continue;
+      }
+    } else if (config_.paranoid) {
+      const auto it = golden_.find(base);
+      if (it != golden_.end() &&
+          std::memcmp(node_->Mem(base, config_.granule_bytes), it->second.data(),
+                      config_.granule_bytes) != 0) {
+        // Cross-check stronger than the checksum: a divergence here means
+        // the ledger itself was poisoned along with the arena.
+        ++stats_.oracle_divergences;
+        if (stats_.first_divergent_addr == 0 || base < stats_.first_divergent_addr) {
+          stats_.first_divergent_addr = base;
+        }
+        RestoreFromGolden(base, rec);
+      }
+    }
+    if (rec.far_version < rec.version) {
+      // Never re-fetched after its last writeback window closed; the drain
+      // path has already re-published the bytes, so reconcile quietly.
+      rec.far_version = rec.version;
+      ++stats_.audit_lag_reconciled;
+    }
+  }
+  // Episodes still open belong to tainted deliveries whose line was never
+  // demand-fetched again: the tainted copy was discarded and the arena is
+  // verified clean above, so the episode closes healed.
+  stats_.healed += episodes_.size();
+  episodes_.clear();
+}
+
+void IntegrityManager::Publish(telemetry::MetricsRegistry& registry) const {
+  registry.SetCounter("integrity.commits", stats_.commits);
+  registry.SetCounter("integrity.fetches_verified", stats_.fetches_verified);
+  registry.SetCounter("integrity.writebacks_committed", stats_.writebacks_committed);
+  registry.SetCounter("integrity.detected", stats_.detected);
+  registry.SetCounter("integrity.healed", stats_.healed);
+  registry.SetCounter("integrity.corrupt_deliveries", stats_.corrupt_deliveries);
+  registry.SetCounter("integrity.corrupt_writebacks", stats_.corrupt_writebacks);
+  registry.SetCounter("integrity.stale_reads", stats_.stale_reads);
+  registry.SetCounter("integrity.version_stale_reads", stats_.version_stale_reads);
+  registry.SetCounter("integrity.torn_writebacks", stats_.torn_writebacks);
+  registry.SetCounter("integrity.replays_suppressed", stats_.replays_suppressed);
+  registry.SetCounter("integrity.refetch_rounds", stats_.refetch_rounds);
+  registry.SetCounter("integrity.escalated_heals", stats_.escalated_heals);
+  registry.SetCounter("integrity.quarantined", stats_.quarantined);
+  registry.SetCounter("integrity.oracle_restores", stats_.oracle_restores);
+  registry.SetCounter("integrity.oracle_divergences", stats_.oracle_divergences);
+  registry.SetCounter("integrity.audit_granules", stats_.audit_granules);
+  registry.SetCounter("integrity.audit_lag_reconciled", stats_.audit_lag_reconciled);
+  if (stats_.first_divergent_addr != 0) {
+    registry.SetCounter("integrity.first_divergent_addr", stats_.first_divergent_addr);
+  }
+}
+
+void IntegrityManager::DamageArenaForTest(uint64_t addr, uint32_t len) {
+  uint8_t* mem = node_->Mem(GranuleBase(addr), config_.granule_bytes);
+  for (uint32_t i = 0; i < len && i < config_.granule_bytes; ++i) {
+    mem[i] ^= 0xA5;
+  }
+}
+
+}  // namespace mira::integrity

@@ -1,0 +1,197 @@
+// End-to-end data integrity for the far-memory data plane (DESIGN.md
+// "Integrity model").
+//
+// The simulator keeps one authoritative copy of remote data in the
+// FarMemoryNode arena; cache and transport move *timing*, not bytes. The
+// IntegrityManager layers a checksum + version-vector ledger over that
+// arena at fixed-size granules:
+//
+//   - Every committed store bumps the granule's monotonic version and
+//     recomputes its FNV-1a checksum from the arena bytes, so any later
+//     out-of-band damage to the arena (tests, cosmic rays in a real system)
+//     is detectable on the next verified fetch.
+//   - Every verified fetch recomputes the checksum and compares. A mismatch
+//     against the arena is real data damage: with the shadow oracle enabled
+//     the granule is restored from the golden mirror; otherwise it is
+//     quarantined and the run surfaces kDataLoss.
+//   - The version vector tracks `far_version` (what the far node has
+//     acknowledged) against `version` (what the program committed). Silent
+//     wire faults reported by the injector — corrupt/stale deliveries,
+//     replayed writebacks, torn drain bursts — show up as tainted
+//     deliveries or as far_version lag, and the cache heals them with
+//     bounded re-fetch/re-publish rounds charged to the SimClock.
+//
+// Episode accounting guarantees `healed == detected` at end of run for any
+// injector-only fault schedule: each corruption episode (keyed by the
+// fetch/writeback base address) increments `detected` exactly once when it
+// opens and `healed` exactly once when it closes, and FinalAudit closes
+// every episode that is still open (tainted copies were discarded; the
+// arena stayed clean). Only a quarantined granule — real arena damage with
+// no golden copy — breaks the invariant, and that is fatal by design.
+
+#ifndef MIRA_SRC_INTEGRITY_INTEGRITY_H_
+#define MIRA_SRC_INTEGRITY_INTEGRITY_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/farmem/far_memory_node.h"
+#include "src/integrity/checksum.h"
+#include "src/net/fault_injector.h"
+#include "src/sim/clock.h"
+#include "src/support/status.h"
+#include "src/telemetry/metrics.h"
+
+namespace mira::integrity {
+
+struct IntegrityConfig {
+  bool enabled = true;
+  // Shadow-oracle audit mode: mirror every committed store into a flat
+  // golden memory, restore from it on mismatch, and cross-check the whole
+  // ledger at end of run, pinpointing the first divergent granule.
+  bool paranoid = false;
+  // Bounded transparent re-fetch rounds for a tainted clean-line fetch
+  // before escalating to the infallible verb.
+  int max_refetch_rounds = 3;
+  // Simulated cost of verifying one granule (checksum over granule_bytes).
+  uint64_t verify_ns_per_granule = 16;
+  // Checksum granule. Must be a power of two <= 4096 so a granule never
+  // straddles a far-node chunk and Mem() can hand out a zero-copy view.
+  uint32_t granule_bytes = 256;
+
+  // `paranoid` from the MIRA_PARANOID environment variable (any non-empty
+  // value other than "0" enables the oracle).
+  static IntegrityConfig FromEnv();
+};
+
+struct IntegrityStats {
+  uint64_t commits = 0;             // stores committed into the ledger
+  uint64_t fetches_verified = 0;    // local-side verifications
+  uint64_t writebacks_committed = 0;  // far-node receipt checks
+  // Episode counters: the self-healing contract is healed == detected for
+  // every injector-only schedule (see file header).
+  uint64_t detected = 0;
+  uint64_t healed = 0;
+  // Event counters, by silent-fault kind.
+  uint64_t corrupt_deliveries = 0;   // tainted read payloads discarded
+  uint64_t corrupt_writebacks = 0;   // writeback frames rejected at the far node
+  uint64_t stale_reads = 0;          // injector stale-window deliveries
+  uint64_t version_stale_reads = 0;  // far_version lag observed at fetch
+  uint64_t torn_writebacks = 0;      // lines lost from torn drain bursts
+  uint64_t replays_suppressed = 0;   // duplicated writeback frames (no-ops)
+  // Recovery-ladder counters.
+  uint64_t refetch_rounds = 0;   // transparent re-fetch rounds taken
+  uint64_t escalated_heals = 0;  // episodes closed by infallible-verb escalation
+  uint64_t quarantined = 0;      // granules with unhealable damage (fatal)
+  uint64_t oracle_restores = 0;  // granules restored from the golden mirror
+  // Final-audit counters.
+  uint64_t audit_granules = 0;         // granules re-verified at end of run
+  uint64_t audit_lag_reconciled = 0;   // far_version lag reconciled at audit
+  uint64_t oracle_divergences = 0;     // arena-vs-golden mismatches found
+  uint64_t first_divergent_addr = 0;   // lowest divergent granule (0 = none)
+};
+
+// Verdict for one verified fetch.
+enum class FetchVerdict : uint8_t {
+  kClean = 0,  // delivery usable
+  kRetry,      // tainted delivery: discard and re-fetch
+  kStale,      // far copy lags a committed store: drain writebacks, re-fetch
+  kFatal,      // quarantined granule: surface kDataLoss
+};
+
+class IntegrityManager {
+ public:
+  explicit IntegrityManager(farmem::FarMemoryNode* node, IntegrityConfig config = {});
+
+  bool enabled() const { return config_.enabled; }
+  const IntegrityConfig& config() const { return config_; }
+  const IntegrityStats& stats() const { return stats_; }
+  // Ok until a granule is quarantined; then the kDataLoss status that every
+  // subsequent instruction surfaces.
+  const support::Status& fatal() const { return fatal_; }
+
+  // Commits one store (the interpreter's write-through). Bumps the version
+  // of every overlapped granule and recomputes its checksum from the arena.
+  // `through_cache` = false for stores applied at the far node itself
+  // (offloaded/native execution): those advance far_version immediately —
+  // there is no writeback in flight to wait for.
+  void CommitStore(uint64_t addr, uint32_t len, bool through_cache = true);
+
+  // Local-side verification of one delivered range. Episode accounting is
+  // keyed on `key` (the fetch's base address); `delivery` carries the wire
+  // taint flags recorded by the transport. Charges verification time to
+  // `clk`. A checksum mismatch against the arena is real damage: restored
+  // from the golden mirror in paranoid mode, quarantined (-> kFatal)
+  // otherwise.
+  FetchVerdict VerifyFetch(sim::SimClock& clk, uint64_t key, uint64_t raddr, uint32_t len,
+                           const net::Delivery& delivery);
+
+  // Far-node receipt of one writeback frame. Returns false when the frame
+  // is rejected (wire corruption) and must be retransmitted. Duplicated
+  // frames are idempotent: the version vector suppresses the replay.
+  bool CommitWriteback(sim::SimClock& clk, uint64_t raddr, uint32_t len,
+                       const net::Delivery& delivery);
+
+  // Operator-grade apply after ladder escalation (infallible verb): always
+  // accepted, closes any open episode at `raddr` as healed.
+  void ForceCommit(uint64_t raddr, uint32_t len);
+
+  // Records a line lost from a torn drain burst: its verb completed on the
+  // wire but the far node never applied it. far_version keeps lagging until
+  // the burst receipt audit re-publishes the line.
+  void RecordTorn(uint64_t raddr, uint32_t len);
+
+  // Closes the episode keyed at `key` as healed, if one is open.
+  // `escalated` marks heals delivered by the infallible-verb rung.
+  void MarkHealed(uint64_t key, bool escalated = false);
+  bool EpisodeOpen(uint64_t key) const { return episodes_.count(key) > 0; }
+  void CountRefetchRound() { ++stats_.refetch_rounds; }
+
+  // End-of-run audit (backend drain): re-verifies every ledger granule
+  // against the arena — and against the golden mirror in paranoid mode,
+  // recording the first divergent granule — reconciles any still-lagging
+  // far versions, and closes surviving episodes as healed (their tainted
+  // copies were discarded; the arena stayed clean). Metadata-only: charges
+  // verification time but issues no verbs.
+  void FinalAudit(sim::SimClock& clk);
+
+  void Publish(telemetry::MetricsRegistry& registry) const;
+
+  // Test hook: deliberately damage the arena bytes of `addr` without
+  // updating the ledger, modeling out-of-band corruption.
+  void DamageArenaForTest(uint64_t addr, uint32_t len);
+
+ private:
+  struct GranuleRecord {
+    uint64_t checksum = 0;
+    uint64_t version = 0;      // committed by the program
+    uint64_t far_version = 0;  // acknowledged by the far node
+    bool quarantined = false;
+  };
+
+  uint64_t GranuleBase(uint64_t addr) const { return addr & ~uint64_t{config_.granule_bytes - 1}; }
+  uint64_t ChecksumGranule(uint64_t base, uint64_t version);
+  void ChargeVerify(sim::SimClock& clk, uint64_t granules);
+  // Opens an episode at `key` (increments `detected` once per episode).
+  void OpenEpisode(uint64_t key);
+  void Quarantine(uint64_t base, GranuleRecord& rec);
+  bool RestoreFromGolden(uint64_t base, GranuleRecord& rec);
+
+  farmem::FarMemoryNode* node_;
+  IntegrityConfig config_;
+  IntegrityStats stats_;
+  support::Status fatal_;
+  std::unordered_map<uint64_t, GranuleRecord> ledger_;
+  std::unordered_map<uint64_t, uint8_t> episodes_;  // key -> open marker
+  std::unordered_map<uint64_t, std::vector<uint8_t>> golden_;  // paranoid mirror
+};
+
+// Convenience: `m` when it is attached and enabled, nullptr otherwise.
+inline IntegrityManager* ActiveOrNull(IntegrityManager* m) {
+  return (m != nullptr && m->enabled()) ? m : nullptr;
+}
+
+}  // namespace mira::integrity
+
+#endif  // MIRA_SRC_INTEGRITY_INTEGRITY_H_

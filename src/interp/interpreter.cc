@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstring>
 
+#include "src/integrity/integrity.h"
 #include "src/support/str.h"
 
 namespace mira::interp {
@@ -11,7 +12,11 @@ using support::Status;
 
 Interpreter::Interpreter(const ir::Module* module, backends::Backend* backend,
                          InterpOptions options)
-    : module_(module), backend_(backend), options_(options), rng_(options.seed) {
+    : module_(module),
+      backend_(backend),
+      integrity_(integrity::ActiveOrNull(backend->net()->integrity())),
+      options_(options),
+      rng_(options.seed) {
   // Each interpreter run is one logical thread of the telemetry timeline.
   clock_.set_tid(sim::AllocateTid());
 }
@@ -66,6 +71,12 @@ uint64_t Interpreter::LoadData(farmem::RemoteAddr addr, uint32_t bytes) const {
 
 void Interpreter::StoreData(farmem::RemoteAddr addr, uint64_t bits, uint32_t bytes) {
   backend_->node()->CopyIn(addr, &bits, bytes);
+  if (integrity_ != nullptr) {
+    // Offloaded (remote-mode) stores commit directly at the far node, so
+    // their far-side version is already current; cached-mode stores leave a
+    // writeback pending until the cache drains them.
+    integrity_->CommitStore(addr, bytes, /*through_cache=*/!remote_mode_);
+  }
 }
 
 void Interpreter::MemAccess(Frame& frame, const ir::Instr& instr, bool is_store) {
@@ -199,6 +210,11 @@ support::Status Interpreter::ExecInstr(Frame& frame, const ir::Region& region, s
   ++instrs_executed_;
   if (options_.max_instrs != 0 && instrs_executed_ > options_.max_instrs) {
     return Status::Internal("instruction budget exceeded");
+  }
+  if (integrity_ != nullptr && !integrity_->fatal().ok()) {
+    // A line failed its integrity check and could not be healed: abort the
+    // run with kDataLoss rather than computing on quarantined bytes.
+    return integrity_->fatal();
   }
   auto& vals = frame.values;
   auto I = [&](size_t i) { return static_cast<int64_t>(vals[instr.operands[i]]); };

@@ -28,6 +28,10 @@
 #include "src/support/status.h"
 #include "src/telemetry/telemetry.h"
 
+namespace mira::integrity {
+class IntegrityManager;
+}  // namespace mira::integrity
+
 namespace mira::interp {
 
 struct FuncProfile {
@@ -116,6 +120,10 @@ class Interpreter {
 
   const ir::Module* module_;
   backends::Backend* backend_;
+  // Integrity manager attached to the backend's transport, or null. Cached
+  // at construction: every committed store notifies it, and a fatal
+  // (unhealable) integrity verdict aborts the run with kDataLoss.
+  integrity::IntegrityManager* integrity_ = nullptr;
   InterpOptions options_;
   sim::SimClock clock_;
   RunProfile profile_;

@@ -30,7 +30,7 @@ bool FaultPlan::AnyFaults() const {
       return true;
     }
   }
-  return !outages.empty() || !degraded.empty();
+  return !outages.empty() || !degraded.empty() || torn_writeback_probability > 0.0;
 }
 
 FaultPlan FaultPlan::Clean() { return FaultPlan{}; }
@@ -66,6 +66,32 @@ FaultPlan FaultPlan::DegradedBandwidth(uint64_t seed, double bandwidth_factor) {
     v.tail_probability = 0.02;
     v.tail_multiplier = 2.0;
   }
+  return plan;
+}
+
+FaultPlan FaultPlan::SilentCorruption(uint64_t seed, double corrupt_p, double stale_p,
+                                      double duplicate_p) {
+  FaultPlan plan;
+  plan.seed = seed;
+  for (const Verb v : {Verb::kReadSync, Verb::kReadAsync, Verb::kReadGather,
+                       Verb::kTwoSidedRead}) {
+    plan.verb(v).corrupt_probability = corrupt_p;
+    plan.verb(v).stale_probability = stale_p;
+  }
+  for (const Verb v : {Verb::kWriteSync, Verb::kWriteAsync, Verb::kTwoSidedWrite}) {
+    plan.verb(v).corrupt_probability = corrupt_p;
+    plan.verb(v).duplicate_probability = duplicate_p;
+  }
+  return plan;
+}
+
+FaultPlan FaultPlan::TornWriteback(uint64_t seed, double async_drop_p, double tear_p,
+                                   double sync_corrupt_p) {
+  FaultPlan plan;
+  plan.seed = seed;
+  plan.verb(Verb::kWriteAsync).drop_probability = async_drop_p;
+  plan.verb(Verb::kWriteSync).corrupt_probability = sync_corrupt_p;
+  plan.torn_writeback_probability = tear_p;
   return plan;
 }
 
@@ -125,9 +151,42 @@ FaultInjector::Decision FaultInjector::Evaluate(Verb verb, uint64_t now_ns, uint
                                           (1.0 / w.bandwidth_factor - 1.0));
     }
   }
+  // Silent faults: the attempt succeeds, but the delivery is tainted. Same
+  // conditional-draw rule as above so plans without silent modes keep their
+  // historical RNG schedule.
+  if (cfg.corrupt_probability > 0.0 && rng_.NextDouble() < cfg.corrupt_probability) {
+    d.corrupt = true;
+  }
+  if (cfg.stale_probability > 0.0 && rng_.NextDouble() < cfg.stale_probability) {
+    d.stale = true;
+  }
+  if (cfg.duplicate_probability > 0.0 && rng_.NextDouble() < cfg.duplicate_probability) {
+    d.duplicate = true;
+  }
   return d;
 }
 
+size_t FaultInjector::EvaluateTear(size_t n) {
+  if (plan_.torn_writeback_probability <= 0.0 || n < 2) {
+    return n;
+  }
+  if (rng_.NextDouble() >= plan_.torn_writeback_probability) {
+    return n;
+  }
+  // Tear somewhere strictly inside the burst: at least one line lands, at
+  // least one is lost.
+  return 1 + static_cast<size_t>(rng_.NextDouble() * static_cast<double>(n - 1));
+}
+
 double FaultInjector::NextJitter() { return rng_.NextDouble() * 2.0 - 1.0; }
+
+double FaultInjector::NextJitterIn(double lo, double hi) {
+  if (lo == -1.0 && hi == 1.0) {
+    // The historical formula: `u * 2 - 1` and `lo + u * (hi - lo)` are not
+    // IEEE-identical for all u, and retry schedules are pinned bit-exactly.
+    return NextJitter();
+  }
+  return lo + rng_.NextDouble() * (hi - lo);
+}
 
 }  // namespace mira::net

@@ -40,17 +40,34 @@ inline constexpr size_t kNumVerbs = 8;
 
 const char* VerbName(Verb v);
 
+// How a *successful* verb delivery was silently perturbed in flight. The
+// transport records the winning attempt's flags; the integrity layer at the
+// call site consumes them (an unchecked tainted delivery is exactly the
+// silent-corruption threat the checksums exist to catch).
+struct Delivery {
+  bool corrupt = false;    // payload bits flipped on the wire
+  bool stale = false;      // payload served from a stale-read window
+  bool duplicate = false;  // verb delivered twice (replayed frame)
+
+  bool any() const { return corrupt || stale || duplicate; }
+};
+
 // Per-verb fault knobs. Probabilities are evaluated independently per
 // attempt; `tail_multiplier` scales the attempt's wire latency (RTT +
-// transfer) when a tail event fires.
+// transfer) when a tail event fires. The last three are *silent* faults:
+// the verb reports success but the delivery is tainted (see Delivery).
 struct VerbFaultConfig {
   double drop_probability = 0.0;     // request lost; caller observes a timeout
   double timeout_probability = 0.0;  // completion lost; same cost, own counter
   double tail_probability = 0.0;     // attempt completes, but slower
   double tail_multiplier = 1.0;      // latency factor for tail events (>= 1)
+  double corrupt_probability = 0.0;    // bits flipped in flight
+  double stale_probability = 0.0;      // stale-version payload delivered
+  double duplicate_probability = 0.0;  // frame replayed (delivered twice)
 
   bool CanFault() const {
-    return drop_probability > 0.0 || timeout_probability > 0.0 || tail_probability > 0.0;
+    return drop_probability > 0.0 || timeout_probability > 0.0 || tail_probability > 0.0 ||
+           corrupt_probability > 0.0 || stale_probability > 0.0 || duplicate_probability > 0.0;
   }
 };
 
@@ -78,6 +95,11 @@ struct RetryPolicy {
   double backoff_multiplier = 2.0;
   double jitter_fraction = 0.25;   // backoff * (1 ± jitter), drawn from the injector
   uint64_t deadline_ns = 600'000;  // per-verb overall deadline across attempts
+  // Jitter draw bounds. The draw is uniform in [jitter_min, jitter_max) and
+  // then scaled by jitter_fraction; the defaults reproduce the historical
+  // symmetric ±1 schedule bit-exactly (see FaultInjector::NextJitterIn).
+  double jitter_min = -1.0;
+  double jitter_max = 1.0;
 
   // Backoff before retry number `retry` (1-based), before jitter.
   uint64_t BackoffNs(uint32_t retry) const {
@@ -94,6 +116,10 @@ struct FaultPlan {
   VerbFaultConfig verbs[kNumVerbs];
   std::vector<OutageWindow> outages;
   std::vector<DegradedWindow> degraded;
+  // Probability that a synchronous drain of >= 2 queued writebacks tears:
+  // a prefix of the burst is applied at the far node, the rest completes on
+  // the wire but is never applied (caught by the version-vector audit).
+  double torn_writeback_probability = 0.0;
 
   VerbFaultConfig& verb(Verb v) { return verbs[static_cast<size_t>(v)]; }
   const VerbFaultConfig& verb(Verb v) const { return verbs[static_cast<size_t>(v)]; }
@@ -114,6 +140,17 @@ struct FaultPlan {
   // Link at `bandwidth_factor` of nominal bandwidth for the whole run, with
   // mild tail inflation.
   static FaultPlan DegradedBandwidth(uint64_t seed, double bandwidth_factor = 0.25);
+  // Silent faults only: reads see in-flight bit flips and stale-version
+  // deliveries, writes are occasionally replayed. Every verb still reports
+  // success — only the integrity layer can tell.
+  static FaultPlan SilentCorruption(uint64_t seed, double corrupt_p = 0.02,
+                                    double stale_p = 0.01, double duplicate_p = 0.05);
+  // Writeback-hostile: async writebacks drop until they exhaust their retry
+  // budget (forcing requeue + synchronous drains), and drain bursts tear
+  // with probability `tear_p`. A light corrupt rate on the sync write verb
+  // exercises far-node frame rejection during the drains.
+  static FaultPlan TornWriteback(uint64_t seed, double async_drop_p = 0.85,
+                                 double tear_p = 0.5, double sync_corrupt_p = 0.05);
 };
 
 class FaultInjector {
@@ -126,13 +163,25 @@ class FaultInjector {
     bool drop = false;         // request lost
     bool timeout = false;      // completion lost
     uint64_t extra_ns = 0;     // added wire latency (tail and/or degraded link)
+    bool corrupt = false;      // delivered, but bits flipped in flight
+    bool stale = false;        // delivered, but from a stale-read window
+    bool duplicate = false;    // delivered twice (replayed frame)
   };
   // `wire_ns` is the attempt's nominal wire latency (RTT + transfer): the
   // base that tail multipliers and degraded-bandwidth factors scale.
   Decision Evaluate(Verb verb, uint64_t now_ns, uint64_t wire_ns);
 
+  // Tear decision for a synchronous drain of `n` queued writebacks: index of
+  // the first line NOT applied at the far node, or `n` when the whole burst
+  // lands. Draws RNG state only when tearing is enabled and n >= 2.
+  size_t EvaluateTear(size_t n);
+
   // Deterministic jitter draw in [-1, 1) for retry backoff.
   double NextJitter();
+  // Jitter draw in [lo, hi). For the default (-1, 1) bounds this delegates
+  // to NextJitter() so legacy schedules stay bit-exact; either branch
+  // consumes exactly one RNG draw.
+  double NextJitterIn(double lo, double hi);
 
   bool InOutage(uint64_t now_ns) const;
   // End of the outage window covering `now_ns`, or `now_ns` if none.

@@ -32,6 +32,10 @@ Transport::Transport(farmem::FarMemoryNode* node, const sim::CostModel& cost)
   fault_telemetry_.exhausted = m.Counter("net.retry.exhausted");
   fault_telemetry_.backoff_ns = m.Counter("net.retry.backoff_ns");
   fault_telemetry_.lost_wait_ns = m.Counter("net.retry.lost_wait_ns");
+  fault_telemetry_.corrupt = m.Counter("net.fault.corrupt_deliveries");
+  fault_telemetry_.stale = m.Counter("net.fault.stale_deliveries");
+  fault_telemetry_.duplicate = m.Counter("net.fault.duplicated_verbs");
+  fault_telemetry_.torn = m.Counter("net.fault.torn_writebacks");
 }
 
 void Transport::SetRetryPolicy(const RetryPolicy& policy) {
@@ -74,6 +78,7 @@ support::Result<uint64_t> Transport::AdmitVerb(Verb verb, sim::SimClock& clk,
   auto& trace = telemetry::Trace();
   const uint64_t start_ns = clk.now_ns();
   bool retried = false;
+  last_delivery_ = Delivery{};
   for (uint32_t attempt = 1;; ++attempt) {
     const FaultInjector::Decision d = fault_->Evaluate(verb, clk.now_ns(), wire_ns);
     if (!d.unavailable && !d.drop && !d.timeout) {
@@ -84,6 +89,23 @@ support::Result<uint64_t> Transport::AdmitVerb(Verb verb, sim::SimClock& clk,
       if (retried) {
         ++fault_stats_.recovered;
         ++*fault_telemetry_.recovered;
+      }
+      // Record the winning attempt's silent taint for the caller's
+      // integrity check.
+      last_delivery_.corrupt = d.corrupt;
+      last_delivery_.stale = d.stale;
+      last_delivery_.duplicate = d.duplicate;
+      if (d.corrupt) {
+        ++fault_stats_.corrupt_deliveries;
+        ++*fault_telemetry_.corrupt;
+      }
+      if (d.stale) {
+        ++fault_stats_.stale_deliveries;
+        ++*fault_telemetry_.stale;
+      }
+      if (d.duplicate) {
+        ++fault_stats_.duplicated_verbs;
+        ++*fault_telemetry_.duplicate;
       }
       return d.extra_ns;
     }
@@ -126,7 +148,8 @@ support::Result<uint64_t> Transport::AdmitVerb(Verb verb, sim::SimClock& clk,
     // Exponential backoff with deterministic jitter, charged to the caller.
     uint64_t backoff = policy.BackoffNs(attempt);
     if (policy.jitter_fraction > 0.0) {
-      const double jitter = policy.jitter_fraction * fault_->NextJitter();
+      const double jitter =
+          policy.jitter_fraction * fault_->NextJitterIn(policy.jitter_min, policy.jitter_max);
       backoff = static_cast<uint64_t>(static_cast<double>(backoff) * (1.0 + jitter));
     }
     clk.Advance(backoff);
@@ -153,6 +176,7 @@ void Transport::ReadSyncImpl(sim::SimClock& clk, farmem::RemoteAddr raddr, void*
 }
 
 void Transport::ReadSync(sim::SimClock& clk, farmem::RemoteAddr raddr, void* dst, uint32_t len) {
+  last_delivery_ = Delivery{};
   ReadSyncImpl(clk, raddr, dst, len, 0);
 }
 
@@ -184,6 +208,7 @@ void Transport::WriteSyncImpl(sim::SimClock& clk, farmem::RemoteAddr raddr, cons
 
 void Transport::WriteSync(sim::SimClock& clk, farmem::RemoteAddr raddr, const void* src,
                           uint32_t len) {
+  last_delivery_ = Delivery{};
   WriteSyncImpl(clk, raddr, src, len, 0);
 }
 
@@ -216,6 +241,7 @@ uint64_t Transport::ReadAsyncImpl(sim::SimClock& clk, farmem::RemoteAddr raddr, 
 
 uint64_t Transport::ReadAsync(sim::SimClock& clk, farmem::RemoteAddr raddr, void* dst,
                               uint32_t len) {
+  last_delivery_ = Delivery{};
   return ReadAsyncImpl(clk, raddr, dst, len, 0);
 }
 
@@ -246,6 +272,7 @@ uint64_t Transport::WriteAsyncImpl(sim::SimClock& clk, farmem::RemoteAddr raddr,
 
 uint64_t Transport::WriteAsync(sim::SimClock& clk, farmem::RemoteAddr raddr, const void* src,
                                uint32_t len) {
+  last_delivery_ = Delivery{};
   return WriteAsyncImpl(clk, raddr, src, len, 0);
 }
 
@@ -300,6 +327,7 @@ uint64_t Transport::ReadGatherAsync(sim::SimClock& clk, const std::vector<Segmen
     // Nothing to fetch: no message, no one-sided-read count, no CPU charge.
     return clk.now_ns();
   }
+  last_delivery_ = Delivery{};
   return ReadGatherAsyncImpl(clk, segs, 0);
 }
 
@@ -340,6 +368,7 @@ void Transport::TwoSidedReadSyncImpl(sim::SimClock& clk, farmem::RemoteAddr radd
 
 void Transport::TwoSidedReadSync(sim::SimClock& clk, farmem::RemoteAddr raddr, void* dst,
                                  uint32_t len, uint32_t gather_segments) {
+  last_delivery_ = Delivery{};
   TwoSidedReadSyncImpl(clk, raddr, dst, len, gather_segments, 0);
 }
 
@@ -377,6 +406,7 @@ void Transport::TwoSidedWriteSyncImpl(sim::SimClock& clk, farmem::RemoteAddr rad
 
 void Transport::TwoSidedWriteSync(sim::SimClock& clk, farmem::RemoteAddr raddr,
                                   const void* src, uint32_t len, uint32_t gather_segments) {
+  last_delivery_ = Delivery{};
   TwoSidedWriteSyncImpl(clk, raddr, src, len, gather_segments, 0);
 }
 
@@ -413,6 +443,7 @@ uint64_t Transport::RpcImpl(sim::SimClock& clk, uint32_t req_bytes, uint32_t res
 
 uint64_t Transport::Rpc(sim::SimClock& clk, uint32_t req_bytes, uint32_t resp_bytes,
                         uint64_t remote_service_ns) {
+  last_delivery_ = Delivery{};
   return RpcImpl(clk, req_bytes, resp_bytes, remote_service_ns, 0);
 }
 
@@ -428,6 +459,18 @@ support::Result<uint64_t> Transport::TryRpc(sim::SimClock& clk, uint32_t req_byt
     return admit.status();
   }
   return RpcImpl(clk, req_bytes, resp_bytes, remote_service_ns, admit.value());
+}
+
+size_t Transport::TearPoint(size_t n) {
+  if (fault_ == nullptr) {
+    return n;
+  }
+  const size_t tear_at = fault_->EvaluateTear(n);
+  if (tear_at < n) {
+    ++fault_stats_.torn_writebacks;
+    ++*fault_telemetry_.torn;
+  }
+  return tear_at;
 }
 
 support::Status Transport::AdmitRpc(sim::SimClock& clk) {

@@ -41,6 +41,10 @@
 #include "src/support/status.h"
 #include "src/telemetry/telemetry.h"
 
+namespace mira::integrity {
+class IntegrityManager;
+}  // namespace mira::integrity
+
 namespace mira::net {
 
 struct NetworkStats {
@@ -70,6 +74,12 @@ struct FaultStats {
   uint64_t exhausted = 0;    // verbs that gave up (status returned to caller)
   uint64_t backoff_ns = 0;   // total backoff charged to callers
   uint64_t lost_wait_ns = 0;  // total attempt-timeout waiting charged
+  // Silent faults: the verb *succeeded* but the delivery was tainted (see
+  // Delivery). Not part of faulted_attempts() — nothing failed on the wire.
+  uint64_t corrupt_deliveries = 0;
+  uint64_t stale_deliveries = 0;
+  uint64_t duplicated_verbs = 0;
+  uint64_t torn_writebacks = 0;  // torn drain bursts (one per burst)
 
   uint64_t faulted_attempts() const { return drops + timeouts + unavailable; }
   // Clock time charged to callers that bought no progress — the fault-
@@ -180,6 +190,24 @@ class Transport {
     return policies_[static_cast<size_t>(verb)];
   }
 
+  // ---- Integrity hooks ----
+
+  // Attaches the integrity manager (not owned; nullptr detaches). The
+  // transport never calls it — call sites that verify deliveries reach it
+  // through this accessor, so attaching costs nothing on the clean path.
+  void SetIntegrity(integrity::IntegrityManager* integrity) { integrity_ = integrity; }
+  integrity::IntegrityManager* integrity() const { return integrity_; }
+
+  // Silent-fault taint of the most recent *successful* verb. Plain verbs
+  // always report a clean delivery; Try* verbs report the winning attempt's
+  // injector flags.
+  const Delivery& last_delivery() const { return last_delivery_; }
+
+  // Tear decision for a synchronous drain of `n` queued writebacks: index
+  // of the first line the far node will NOT apply, or `n` for a whole
+  // burst. Consumes injector RNG only when tearing is configured.
+  size_t TearPoint(size_t n);
+
   farmem::FarMemoryNode* node() { return node_; }
   const sim::CostModel& cost() const { return cost_; }
   const NetworkStats& stats() const { return stats_; }
@@ -212,6 +240,10 @@ class Transport {
     uint64_t* exhausted = nullptr;
     uint64_t* backoff_ns = nullptr;
     uint64_t* lost_wait_ns = nullptr;
+    uint64_t* corrupt = nullptr;
+    uint64_t* stale = nullptr;
+    uint64_t* duplicate = nullptr;
+    uint64_t* torn = nullptr;
   };
 
   // Completion time of a message of `bytes` issued at clk.now(), after the
@@ -257,6 +289,8 @@ class Transport {
   NetworkStats stats_;
   FaultStats fault_stats_;
   FaultInjector* fault_ = nullptr;
+  integrity::IntegrityManager* integrity_ = nullptr;
+  Delivery last_delivery_;
   RetryPolicy policies_[kNumVerbs];
   VerbTelemetry read_sync_;
   VerbTelemetry read_async_;

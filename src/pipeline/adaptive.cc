@@ -13,6 +13,9 @@ AdaptiveRuntime::Invocation AdaptiveRuntime::Execute(const CompiledProgram& prog
     // comparison) sees the same deterministic fault schedule.
     AttachFaults(world, *fault_plan_);
   }
+  if (integrity_config_ != nullptr) {
+    AttachIntegrity(world, *integrity_config_);
+  }
   interp::InterpOptions iopts;
   iopts.seed = seed;
   iopts.profiling = true;  // sampled profiling invocation
@@ -28,6 +31,10 @@ AdaptiveRuntime::Invocation AdaptiveRuntime::Execute(const CompiledProgram& prog
       world.net->fault_stats().wasted_ns() + world.backend->DegradedNs();
   out.fault_ratio =
       out.sim_ns > 0 ? static_cast<double>(fault_ns) / static_cast<double>(out.sim_ns) : 0.0;
+  if (world.integrity != nullptr) {
+    out.corruption_detected = world.integrity->stats().detected;
+    out.corruption_healed = world.integrity->stats().healed;
+  }
   return out;
 }
 
@@ -91,10 +98,23 @@ AdaptiveRuntime::Invocation AdaptiveRuntime::Invoke(uint64_t seed) {
       faulty_streak_ = 0;
     }
     const bool fault_degraded = faulty_streak_ >= fault_streak_limit_;
-    if (overhead_degraded || fault_degraded) {
+    // A corruption streak is the same class of signal: sustained silent
+    // damage means retried fetches (healing) are inflating runtime and the
+    // compilation should re-compete under the corrupted environment.
+    if (corruption_min_detected_ > 0 && out.corruption_detected >= corruption_min_detected_) {
+      ++corruption_streak_;
+    } else {
+      corruption_streak_ = 0;
+    }
+    const bool corruption_degraded = corruption_streak_ >= corruption_streak_limit_;
+    if (overhead_degraded || fault_degraded || corruption_degraded) {
       if (fault_degraded) {
         ++fault_rounds_;
         faulty_streak_ = 0;
+      }
+      if (corruption_degraded) {
+        ++corruption_rounds_;
+        corruption_streak_ = 0;
       }
       Reoptimize(seed);
       out = Execute(current_, seed);
@@ -117,6 +137,10 @@ AdaptiveRuntime::Invocation AdaptiveRuntime::Invoke(uint64_t seed) {
   metrics.SetCounter("adaptive.invocations", invocations_);
   metrics.SetCounter("adaptive.reoptimizations", static_cast<uint64_t>(rounds_));
   metrics.SetCounter("adaptive.fault_reoptimizations", static_cast<uint64_t>(fault_rounds_));
+  metrics.SetCounter("adaptive.corruption_reoptimizations",
+                     static_cast<uint64_t>(corruption_rounds_));
+  metrics.SetCounter("adaptive.corruption_detected", out.corruption_detected);
+  metrics.SetCounter("adaptive.corruption_healed", out.corruption_healed);
   metrics.SetGauge("adaptive.reference_overhead", reference_overhead_);
   metrics.SetGauge("adaptive.fault_ratio", out.fault_ratio);
   return out;

@@ -23,6 +23,10 @@ class AdaptiveRuntime {
     // Fraction of sim_ns lost to transport faults: retry waits + backoff
     // plus cache degraded-mode (outage-wait) spans.
     double fault_ratio = 0.0;
+    // Integrity-episode counts for this invocation (0 unless an integrity
+    // config is attached via SetIntegrityConfig).
+    uint64_t corruption_detected = 0;
+    uint64_t corruption_healed = 0;
     bool reoptimized = false;  // this invocation triggered a new round
   };
 
@@ -50,10 +54,24 @@ class AdaptiveRuntime {
     fault_ratio_threshold_ = ratio;
     fault_streak_limit_ = streak;
   }
+  // End-to-end integrity config applied to every Execute (non-owning; null
+  // disables checking). With checking on, a streak of invocations that each
+  // detect >= `min_detected` corruption episodes is treated like the fault
+  // trigger: the environment is damaging data in flight, so the compilation
+  // re-competes under it (a plan with fewer writebacks may win).
+  void SetIntegrityConfig(const integrity::IntegrityConfig* config) {
+    integrity_config_ = config;
+  }
+  void SetCorruptionTrigger(uint64_t min_detected = 1, int streak = 2) {
+    corruption_min_detected_ = min_detected;
+    corruption_streak_limit_ = streak;
+  }
 
   int optimization_rounds() const { return rounds_; }
   // Rounds specifically triggered by sustained fault-inflated overhead.
   int fault_reoptimizations() const { return fault_rounds_; }
+  // Rounds specifically triggered by sustained corruption detection.
+  int corruption_reoptimizations() const { return corruption_rounds_; }
   const CompiledProgram& current() const { return current_; }
 
  private:
@@ -74,6 +92,11 @@ class AdaptiveRuntime {
   int fault_streak_limit_ = 2;
   int faulty_streak_ = 0;
   int fault_rounds_ = 0;
+  const integrity::IntegrityConfig* integrity_config_ = nullptr;
+  uint64_t corruption_min_detected_ = 0;  // 0 = trigger disabled
+  int corruption_streak_limit_ = 2;
+  int corruption_streak_ = 0;
+  int corruption_rounds_ = 0;
   // Deployment timeline for telemetry: advances by each invocation's
   // simulated duration, so adaptive instants form one monotonic track.
   sim::SimClock trace_clock_;

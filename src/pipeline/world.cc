@@ -57,4 +57,9 @@ void AttachFaults(World& world, const net::FaultPlan& plan) {
   world.net->SetFaultInjector(world.faults.get());
 }
 
+void AttachIntegrity(World& world, const integrity::IntegrityConfig& config) {
+  world.integrity = std::make_unique<integrity::IntegrityManager>(world.node.get(), config);
+  world.net->SetIntegrity(world.integrity.get());
+}
+
 }  // namespace mira::pipeline

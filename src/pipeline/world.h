@@ -9,6 +9,7 @@
 #include <string>
 
 #include "src/backends/backend.h"
+#include "src/integrity/integrity.h"
 #include "src/net/transport.h"
 #include "src/runtime/plan.h"
 #include "src/sim/cost_model.h"
@@ -25,6 +26,8 @@ struct World {
   std::unique_ptr<backends::Backend> backend;
   // Deterministic fault injector attached to `net` (null = fault-free).
   std::unique_ptr<net::FaultInjector> faults;
+  // End-to-end integrity manager attached to `net` (null = unchecked).
+  std::unique_ptr<integrity::IntegrityManager> integrity;
 };
 
 // `local_bytes` is the local cache budget (ignored by kNative). The plan is
@@ -36,6 +39,11 @@ World MakeWorld(SystemKind kind, uint64_t local_bytes, runtime::CachePlan plan =
 // the world). Each attach restarts the fault schedule from the plan's seed,
 // so repeated runs of the same (world-config, plan) pair are bit-identical.
 void AttachFaults(World& world, const net::FaultPlan& plan);
+
+// Attaches an integrity manager (owned by the world) to the world's
+// transport: per-line checksums/versions verified on every fetch and
+// writeback receipt, with the recovery ladder described in DESIGN.md §8.
+void AttachIntegrity(World& world, const integrity::IntegrityConfig& config = {});
 
 }  // namespace mira::pipeline
 

@@ -26,6 +26,8 @@ const char* ErrorCodeName(ErrorCode code) {
       return "deadline_exceeded";
     case ErrorCode::kAborted:
       return "aborted";
+    case ErrorCode::kDataLoss:
+      return "data_loss";
   }
   return "unknown";
 }

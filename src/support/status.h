@@ -29,6 +29,9 @@ enum class ErrorCode {
   kDeadlineExceeded,
   // The operation was abandoned by its caller (e.g. a dropped prefetch).
   kAborted,
+  // Data failed its integrity check and could not be healed (quarantined
+  // line with no clean copy anywhere). Unrecoverable by retry.
+  kDataLoss,
 };
 
 // Human-readable name for an error code ("ok", "invalid_argument", ...).
@@ -61,6 +64,7 @@ class Status {
     return Status(ErrorCode::kDeadlineExceeded, std::move(m));
   }
   static Status Aborted(std::string m) { return Status(ErrorCode::kAborted, std::move(m)); }
+  static Status DataLoss(std::string m) { return Status(ErrorCode::kDataLoss, std::move(m)); }
 
   bool ok() const { return code_ == ErrorCode::kOk; }
   ErrorCode code() const { return code_; }

@@ -108,6 +108,27 @@ std::string MetricsRegistry::ToJson() const {
   return out;
 }
 
+std::string MetricsRegistry::ToCsv() const {
+  std::string out = "metric,kind,value\n";
+  for (const auto& [name, v] : counters_) {
+    out += support::StrFormat("%s,counter,%llu\n", name.c_str(),
+                              static_cast<unsigned long long>(v));
+  }
+  for (const auto& [name, v] : gauges_) {
+    out += support::StrFormat("%s,gauge,%.9g\n", name.c_str(), v);
+  }
+  for (const auto& [name, h] : histograms_) {
+    out += support::StrFormat("%s.count,histogram,%llu\n", name.c_str(),
+                              static_cast<unsigned long long>(h.count()));
+    out += support::StrFormat("%s.mean_ns,histogram,%.3f\n", name.c_str(), h.mean());
+    out += support::StrFormat("%s.p50_ns,histogram,%llu\n", name.c_str(),
+                              static_cast<unsigned long long>(h.PercentileNs(50)));
+    out += support::StrFormat("%s.p99_ns,histogram,%llu\n", name.c_str(),
+                              static_cast<unsigned long long>(h.PercentileNs(99)));
+  }
+  return out;
+}
+
 std::string MetricsRegistry::ToTable() const {
   size_t width = 8;
   for (const auto& [name, v] : counters_) {

@@ -53,6 +53,9 @@ class MetricsRegistry {
   std::string ToJson() const;
   // Human-readable aligned table, one metric per line.
   std::string ToTable() const;
+  // "metric,kind,value" CSV, keys sorted. Histograms flatten to
+  // <name>.count / <name>.mean_ns / <name>.p50_ns / <name>.p99_ns rows.
+  std::string ToCsv() const;
 
  private:
   std::map<std::string, uint64_t> counters_;

@@ -27,6 +27,10 @@ support::Status WriteMetricsJson(const std::string& path) {
   return WriteStringToFile(path, Metrics().ToJson());
 }
 
+support::Status WriteMetricsCsv(const std::string& path) {
+  return WriteStringToFile(path, Metrics().ToCsv());
+}
+
 support::Status WriteTraceJson(const std::string& path) {
   return WriteStringToFile(path, Trace().ToJson());
 }
@@ -64,7 +68,9 @@ void FlushOutputs(const OutputOptions& options) {
     }
   }
   if (!options.metrics_path.empty()) {
-    const auto status = WriteMetricsJson(options.metrics_path);
+    const std::string& p = options.metrics_path;
+    const bool csv = p.size() > 4 && p.compare(p.size() - 4, 4, ".csv") == 0;
+    const auto status = csv ? WriteMetricsCsv(p) : WriteMetricsJson(p);
     if (status.ok()) {
       std::fprintf(stderr, "[telemetry] metrics: %s (%zu metrics)\n",
                    options.metrics_path.c_str(), Metrics().size());

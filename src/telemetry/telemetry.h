@@ -44,16 +44,18 @@ inline TraceRecorder& Trace() { return Telemetry::Global().trace(); }
 
 support::Status WriteStringToFile(const std::string& path, const std::string& contents);
 
-// Dumps the global registry as JSON / as a table, the global trace as
+// Dumps the global registry as JSON / CSV / a table, the global trace as
 // Chrome trace-event JSON.
 support::Status WriteMetricsJson(const std::string& path);
+support::Status WriteMetricsCsv(const std::string& path);
 support::Status WriteTraceJson(const std::string& path);
 
 // ---- CLI wiring for benches and examples ----
 
 struct OutputOptions {
   std::string trace_path;    // --trace-out=<file>
-  std::string metrics_path;  // --metrics-out=<file>
+  std::string metrics_path;  // --metrics-out=<file>; a ".csv" suffix selects
+                             // CSV, anything else gets JSON
 };
 
 // Strips `--trace-out=`/`--metrics-out=` from argv (so downstream flag

@@ -63,6 +63,50 @@ TEST(FaultInjector, ScenarioConstructors) {
   EXPECT_EQ(p.outages[2].start_ns, 500u);
 }
 
+TEST(FaultInjector, RetryPolicyAndLadderDefaultsArePinned) {
+  // Regression pin: these defaults define the historical fault schedules
+  // (bench_fault_resilience's bit-identical scenarios). Changing any of
+  // them is a behavior change and must be deliberate.
+  const net::RetryPolicy policy;
+  EXPECT_EQ(policy.max_attempts, 5u);
+  EXPECT_EQ(policy.attempt_timeout_ns, 15'000u);
+  EXPECT_EQ(policy.base_backoff_ns, 4'000u);
+  EXPECT_DOUBLE_EQ(policy.backoff_multiplier, 2.0);
+  EXPECT_DOUBLE_EQ(policy.jitter_fraction, 0.25);
+  EXPECT_EQ(policy.deadline_ns, 600'000u);
+  EXPECT_DOUBLE_EQ(policy.jitter_min, -1.0);
+  EXPECT_DOUBLE_EQ(policy.jitter_max, 1.0);
+  EXPECT_EQ(cache::kMaxFaultRounds, 8);
+  EXPECT_EQ(cache::kPendingWritebackLimit, 8u);
+  const cache::SectionConfig config;
+  EXPECT_EQ(config.max_fault_rounds, cache::kMaxFaultRounds);
+  EXPECT_EQ(config.pending_writeback_limit, cache::kPendingWritebackLimit);
+}
+
+TEST(FaultInjector, DefaultJitterBoundsReproduceTheLegacyDrawBitExactly) {
+  const net::FaultPlan plan = net::FaultPlan::Lossy(/*seed=*/17);
+  net::FaultInjector legacy(plan);
+  net::FaultInjector bounded(plan);
+  for (int i = 0; i < 500; ++i) {
+    // One draw either way: the sequences stay in lockstep.
+    ASSERT_DOUBLE_EQ(legacy.NextJitter(), bounded.NextJitterIn(-1.0, 1.0)) << i;
+  }
+}
+
+TEST(FaultInjector, CustomJitterBoundsAreRespected) {
+  net::FaultInjector inj(net::FaultPlan::Lossy(/*seed=*/23));
+  for (int i = 0; i < 500; ++i) {
+    const double d = inj.NextJitterIn(0.0, 0.5);
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 0.5);
+  }
+  for (int i = 0; i < 500; ++i) {
+    const double d = inj.NextJitterIn(-0.25, 0.0);
+    EXPECT_GE(d, -0.25);
+    EXPECT_LT(d, 0.0);
+  }
+}
+
 TEST(FaultInjector, OutageDecisionsAreScheduleDrivenNotRandom) {
   net::FaultPlan p;
   p.outages.push_back(net::OutageWindow{1'000, 2'000});
@@ -287,6 +331,58 @@ TEST(SectionFaults, FailedWritebacksQueueUntilAForcedSyncFlush) {
   // Nothing dirty was lost: every dirty line eventually wrote back.
   EXPECT_EQ(stats.writebacks, 16u);
   EXPECT_EQ(stats.bytes_written_back, 16u * 64);
+}
+
+TEST(SectionFaults, FaultRoundBoundIsConstructorConfigurable) {
+  // Same persistent-drop schedule, two round budgets: the smaller budget
+  // escalates to the infallible verb sooner and wastes less simulated time.
+  auto run = [](int rounds) {
+    Env e;
+    net::FaultPlan p;
+    p.seed = 5;
+    p.verb(net::Verb::kReadAsync).drop_probability = 1.0;
+    net::FaultInjector inj(p);
+    e.net.SetFaultInjector(&inj);
+    cache::SectionConfig config;
+    config.name = "t";
+    config.structure = cache::SectionStructure::kDirectMapped;
+    config.line_bytes = 64;
+    config.size_bytes = 64 * 8;
+    config.max_fault_rounds = rounds;
+    auto section = cache::MakeSection(config, &e.net);
+    section->Access(e.clk, 0, 8, /*write=*/false);
+    EXPECT_EQ(section->stats().reliable_escalations, 1u);
+    return e.clk.now_ns();
+  };
+  const uint64_t quick = run(1);
+  const uint64_t patient = run(cache::kMaxFaultRounds);
+  EXPECT_LT(quick, patient);
+}
+
+TEST(SectionFaults, WritebackQueueLimitIsConstructorConfigurable) {
+  auto run = [](uint32_t limit) {
+    Env e;
+    net::FaultPlan p;
+    p.seed = 5;
+    p.verb(net::Verb::kWriteAsync).drop_probability = 1.0;
+    net::FaultInjector inj(p);
+    e.net.SetFaultInjector(&inj);
+    cache::SectionConfig config;
+    config.name = "t";
+    config.structure = cache::SectionStructure::kDirectMapped;
+    config.line_bytes = 64;
+    config.size_bytes = 64 * 4;
+    config.pending_writeback_limit = limit;
+    auto section = cache::MakeSection(config, &e.net);
+    const uint64_t stride = 64 * 4;
+    for (uint64_t i = 0; i < 16; ++i) {
+      section->Access(e.clk, i * stride, 8, /*write=*/true);
+    }
+    section->FlushAll(e.clk);
+    return section->stats().forced_sync_flushes;
+  };
+  // A tighter queue saturates more often across the same dirty traffic.
+  EXPECT_GT(run(2), run(cache::kPendingWritebackLimit));
 }
 
 TEST(SwapFaults, DemandFaultInSurvivesPersistentLossAndOutages) {

@@ -7,6 +7,7 @@
 #include "src/cache/section_manager.h"
 #include "src/cache/swap_section.h"
 #include "src/farmem/far_memory_node.h"
+#include "src/integrity/integrity.h"
 #include "src/interp/interpreter.h"
 #include "src/pipeline/world.h"
 #include "src/sim/mt_scheduler.h"
@@ -200,6 +201,80 @@ TEST(FaultInjectionProperties, ArbitraryFaultSchedulesPreserveResults) {
     EXPECT_EQ(result, clean_result) << "trial " << trial;
     EXPECT_GE(sim_ns, clean_ns) << "trial " << trial;
   }
+}
+
+TEST(FaultInjectionProperties, ChecksumLedgerSurvivesArbitrarySilentFaultSchedules) {
+  // The integrity contract (DESIGN.md "Integrity model"): for any seeded
+  // schedule of silent faults — bit flips, stale reads, replayed
+  // writebacks, torn drains — the run completes, computes the fault-free
+  // result, and every detected corruption episode is healed.
+  const auto w = workloads::BuildArraySum({.elems = 30'000, .epochs = 1});
+  auto run = [&](const net::FaultPlan* plan) {
+    auto world = pipeline::MakeWorld(pipeline::SystemKind::kMira, 1 << 20, {});
+    if (plan != nullptr) {
+      pipeline::AttachFaults(world, *plan);
+    }
+    pipeline::AttachIntegrity(world);
+    interp::Interpreter interp(w.module.get(), world.backend.get());
+    const uint64_t result = interp.Run("main").value();
+    world.backend->Drain(interp.clock());
+    return std::make_pair(result, world.integrity->stats());
+  };
+  const auto [clean_result, clean_stats] = run(nullptr);
+  EXPECT_EQ(clean_stats.detected, 0u);
+  support::Rng rng(321);
+  for (int trial = 0; trial < 8; ++trial) {
+    net::FaultPlan plan;
+    plan.seed = 1 + rng.NextBelow(1'000'000);
+    for (size_t v = 0; v < net::kNumVerbs; ++v) {
+      auto& cfg = plan.verbs[v];
+      cfg.corrupt_probability = 0.1 * rng.NextDouble();
+      cfg.stale_probability = 0.1 * rng.NextDouble();
+      cfg.duplicate_probability = 0.1 * rng.NextDouble();
+      if (rng.NextBelow(2) == 0) {
+        cfg.drop_probability = 0.2 * rng.NextDouble();  // mix in hard faults
+      }
+    }
+    plan.torn_writeback_probability = rng.NextDouble();
+    const auto [result, stats] = run(&plan);
+    EXPECT_EQ(result, clean_result) << "trial " << trial;
+    EXPECT_EQ(stats.healed, stats.detected) << "trial " << trial;
+    EXPECT_EQ(stats.quarantined, 0u) << "trial " << trial;
+  }
+}
+
+TEST(IntegrityProperties, DuplicatedWritebackReplayIsAlwaysANoOp) {
+  // For arbitrary commit/writeback interleavings, replaying any writeback
+  // frame (duplicate delivery) never changes the ledger verdict: the next
+  // verified fetch of that granule is clean and nothing is detected.
+  farmem::FarMemoryNode node;
+  sim::SimClock clk;
+  integrity::IntegrityManager integ(&node);
+  const uint64_t base = node.AllocRange(64 * 1024).take();
+  support::Rng rng(99);
+  for (int i = 0; i < 2000; ++i) {
+    const uint64_t addr = base + (rng.NextBelow(64 * 1024 - 8) & ~7ULL);
+    uint64_t bits = rng.NextBelow(UINT64_MAX);
+    node.CopyIn(addr, &bits, sizeof(bits));
+    integ.CommitStore(addr, 8);
+    net::Delivery clean_frame;
+    ASSERT_TRUE(integ.CommitWriteback(clk, addr, 8, clean_frame));
+    const int replays = static_cast<int>(rng.NextBelow(3));
+    for (int r = 0; r < replays; ++r) {
+      net::Delivery dup;
+      dup.duplicate = true;
+      ASSERT_TRUE(integ.CommitWriteback(clk, addr, 8, dup));
+    }
+    ASSERT_EQ(integ.VerifyFetch(clk, addr, addr, 8, net::Delivery{}),
+              integrity::FetchVerdict::kClean)
+        << "step " << i;
+    uint64_t back = 0;
+    node.CopyOut(addr, &back, sizeof(back));
+    ASSERT_EQ(back, bits) << "step " << i;
+  }
+  EXPECT_EQ(integ.stats().detected, 0u);
+  EXPECT_GT(integ.stats().replays_suppressed, 0u);
+  EXPECT_TRUE(integ.fatal().ok());
 }
 
 TEST(MtSchedulerProperties, MakespanBoundsHold) {
