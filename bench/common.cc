@@ -1,23 +1,130 @@
 #include "bench/common.h"
 
 #include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <mutex>
+#include <sstream>
 
 namespace mira::bench {
 
 namespace {
-telemetry::OutputOptions g_outputs;
-}  // namespace
 
-void InitTelemetry(int* argc, char** argv) {
-  g_outputs = telemetry::ParseOutputFlags(argc, argv);
+telemetry::OutputOptions g_outputs;
+BenchConfig g_config;
+std::chrono::steady_clock::time_point g_wall_start;
+uint64_t g_sims_start = 0;
+
+std::string Basename(const char* path) {
+  const std::string s = path == nullptr ? "bench" : path;
+  const auto pos = s.find_last_of('/');
+  return pos == std::string::npos ? s : s.substr(pos + 1);
 }
 
-void FlushTelemetry() { telemetry::FlushOutputs(g_outputs); }
+// --bench-baseline= accepts either a raw wall-ns number or the path to a
+// prior --bench-out report, from which "wall_ns" is extracted. Returns 0
+// when no baseline is available.
+double BaselineWallNs(const std::string& spec) {
+  if (spec.empty()) {
+    return 0;
+  }
+  char* end = nullptr;
+  const double direct = std::strtod(spec.c_str(), &end);
+  if (end != nullptr && *end == '\0' && direct > 0) {
+    return direct;
+  }
+  std::ifstream in(spec);
+  if (!in) {
+    std::fprintf(stderr, "[bench] --bench-baseline: cannot read %s\n", spec.c_str());
+    return 0;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+  const auto key = text.find("\"wall_ns\"");
+  if (key == std::string::npos) {
+    std::fprintf(stderr, "[bench] --bench-baseline: no \"wall_ns\" in %s\n", spec.c_str());
+    return 0;
+  }
+  const auto colon = text.find(':', key);
+  return colon == std::string::npos ? 0 : std::strtod(text.c_str() + colon + 1, nullptr);
+}
+
+void WriteBenchReport() {
+  const auto wall =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(std::chrono::steady_clock::now() -
+                                                           g_wall_start)
+          .count();
+  const uint64_t sims = interp::SimulationsRun() - g_sims_start;
+  const double wall_ns = static_cast<double>(wall);
+  const double sims_per_sec = wall_ns > 0 ? static_cast<double>(sims) / (wall_ns / 1e9) : 0;
+  const double baseline_ns = BaselineWallNs(g_config.bench_baseline);
+  std::ostringstream json;
+  json.precision(15);
+  json << "{\n";
+  json << "  \"bench\": \"" << g_config.bench_name << "\",\n";
+  json << "  \"jobs\": " << (g_config.serial ? 1 : support::DefaultParallelism()) << ",\n";
+  json << "  \"serial\": " << (g_config.serial ? "true" : "false") << ",\n";
+  json << "  \"wall_ns\": " << wall << ",\n";
+  json << "  \"sims_run\": " << sims << ",\n";
+  json << "  \"sims_per_sec\": " << sims_per_sec;
+  if (baseline_ns > 0 && wall_ns > 0) {
+    json << ",\n  \"baseline_wall_ns\": " << baseline_ns;
+    json << ",\n  \"speedup_vs_serial\": " << baseline_ns / wall_ns;
+  }
+  json << "\n}\n";
+  const auto status = telemetry::WriteStringToFile(g_config.bench_out, json.str());
+  if (status.ok()) {
+    std::fprintf(stderr, "[bench] report: %s (%llu sims, %.1f sims/sec)\n",
+                 g_config.bench_out.c_str(), static_cast<unsigned long long>(sims),
+                 sims_per_sec);
+  } else {
+    std::fprintf(stderr, "[bench] report write failed: %s\n", status.ToString().c_str());
+  }
+}
+
+}  // namespace
+
+const BenchConfig& Config() { return g_config; }
+
+void InitTelemetry(int* argc, char** argv) {
+  g_config = BenchConfig{};
+  g_config.bench_name = Basename(*argc > 0 ? argv[0] : nullptr);
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--jobs=", 7) == 0) {
+      g_config.jobs = std::atoi(arg + 7);
+    } else if (std::strcmp(arg, "--serial") == 0) {
+      g_config.serial = true;
+    } else if (std::strncmp(arg, "--bench-out=", 12) == 0) {
+      g_config.bench_out = arg + 12;
+    } else if (std::strncmp(arg, "--bench-baseline=", 17) == 0) {
+      g_config.bench_baseline = arg + 17;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+  support::SetDefaultParallelism(g_config.serial ? 1 : g_config.jobs);
+  g_outputs = telemetry::ParseOutputFlags(argc, argv);
+  g_sims_start = interp::SimulationsRun();
+  g_wall_start = std::chrono::steady_clock::now();
+}
+
+void FlushTelemetry() {
+  if (!g_config.bench_out.empty()) {
+    WriteBenchReport();
+  }
+  telemetry::FlushOutputs(g_outputs);
+}
 
 RunOutput Run(const ir::Module& module, pipeline::SystemKind kind, uint64_t local_bytes,
               runtime::CachePlan plan, uint64_t seed, bool profiling,
               const std::string& entry, const net::FaultPlan* faults,
-              const integrity::IntegrityConfig* integrity) {
+              const integrity::IntegrityConfig* integrity, bool publish_metrics) {
   RunOutput out;
   out.world = pipeline::MakeWorld(kind, local_bytes, std::move(plan));
   if (faults != nullptr) {
@@ -43,20 +150,29 @@ RunOutput Run(const ir::Module& module, pipeline::SystemKind kind, uint64_t loca
   out.profile = interp.profile();
   out.object_addrs = interp.object_addrs();
   // Snapshot this run's cache-section stats and function ledger into the
-  // registry; the last measured run before FlushTelemetry() wins.
-  out.world.backend->PublishMetrics(telemetry::Metrics());
-  interp::PublishRunProfile(telemetry::Metrics(), out.profile);
+  // registry; the last measured run before FlushTelemetry() wins. Parallel
+  // sweeps pass publish_metrics=false and publish one run serially instead.
+  if (publish_metrics) {
+    out.world.backend->PublishMetrics(telemetry::Metrics());
+    interp::PublishRunProfile(telemetry::Metrics(), out.profile);
+  }
   return out;
 }
 
 uint64_t NativeNs(const ir::Module& module, uint64_t seed, const std::string& entry) {
+  // The mutex spans the native run so concurrent first callers don't
+  // duplicate it; the run is deterministic, so serializing costs nothing
+  // but wall time on a cold cache.
+  static std::mutex mu;
   static std::map<std::pair<const ir::Module*, uint64_t>, uint64_t> cache;
+  std::lock_guard<std::mutex> lock(mu);
   const auto key = std::make_pair(&module, seed);
   const auto it = cache.find(key);
   if (it != cache.end()) {
     return it->second;
   }
-  const RunOutput out = Run(module, pipeline::SystemKind::kNative, 0, {}, seed, false, entry);
+  const RunOutput out = Run(module, pipeline::SystemKind::kNative, 0, {}, seed, false, entry,
+                            nullptr, nullptr, /*publish_metrics=*/false);
   MIRA_CHECK_MSG(!out.failed, out.fail_reason.c_str());
   cache[key] = out.sim_ns;
   return out.sim_ns;
@@ -64,10 +180,11 @@ uint64_t NativeNs(const ir::Module& module, uint64_t seed, const std::string& en
 
 MiraCompiled FullPlanCompile(const workloads::Workload& w, uint64_t local_bytes,
                              const pipeline::PlannerOptions& toggles,
-                             const std::map<std::string, uint32_t>& line_override) {
+                             const std::map<std::string, uint32_t>& line_override,
+                             bool publish_metrics) {
   // One profiling run on the generic swap configuration.
   const RunOutput prof = Run(*w.module, pipeline::SystemKind::kMira, local_bytes, {}, 42,
-                             /*profiling=*/true, w.entry);
+                             /*profiling=*/true, w.entry, nullptr, nullptr, publish_metrics);
   MIRA_CHECK_MSG(!prof.failed, prof.fail_reason.c_str());
   analysis::AccessAnalysis access(w.module.get());
   access.Run();
@@ -109,9 +226,15 @@ const MiraCompiled& CompileMira(const workloads::Workload& w, uint64_t local_byt
                         (toggles.enable_selective ? 32u : 0u) |
                         (toggles.enable_offload ? 64u : 0u) |
                         (static_cast<uint64_t>(max_iterations) << 8);
+  // Serialize on the cache: concurrent compiles of the same key must not
+  // race, and the optimizer inside still fans its sampling grid out through
+  // ParallelFor (whose caller participates, so holding the lock here cannot
+  // deadlock the shared pool).
+  static std::mutex mu;
   static std::map<std::tuple<const ir::Module*, uint64_t, uint64_t>,
                   std::unique_ptr<MiraCompiled>>
       cache;
+  std::lock_guard<std::mutex> lock(mu);
   const auto key = std::make_tuple(w.module.get(), local_bytes, mask);
   const auto it = cache.find(key);
   if (it != cache.end()) {

@@ -22,15 +22,37 @@
 #include "src/interp/interpreter.h"
 #include "src/pipeline/optimizer.h"
 #include "src/pipeline/world.h"
+#include "src/support/thread_pool.h"
 #include "src/telemetry/telemetry.h"
 #include "src/workloads/workloads.h"
 
 namespace mira::bench {
 
+// Harness configuration parsed from the command line (see InitTelemetry):
+//   --jobs=N           host threads for the parallel evaluation engine
+//                      (0 = auto: hardware concurrency)
+//   --serial           force single-threaded evaluation (same as --jobs=1)
+//   --bench-out=FILE   write a BENCH_*.json report after the runs: wall ns,
+//                      simulations executed, simulations/second, and — when
+//                      --bench-baseline= names a prior serial report (or a
+//                      raw ns value) — the speedup over that baseline
+//   --bench-baseline=X a previous --bench-out file, or a wall-ns number
+struct BenchConfig {
+  int jobs = 0;  // 0 = auto
+  bool serial = false;
+  std::string bench_out;
+  std::string bench_baseline;
+  std::string bench_name;  // basename of argv[0]
+};
+const BenchConfig& Config();
+
 // Telemetry wiring for bench mains: call InitTelemetry(&argc, argv) BEFORE
-// benchmark::Initialize (it strips --trace-out=/--metrics-out= so
-// google-benchmark never sees them), and FlushTelemetry() after the runs to
-// write the requested files.
+// benchmark::Initialize (it strips --trace-out=/--metrics-out= plus the
+// BenchConfig flags above so google-benchmark never sees them, and applies
+// --jobs/--serial via support::SetDefaultParallelism), and FlushTelemetry()
+// after the runs to write the requested files — including the --bench-out=
+// report, whose wall clock and simulation count cover everything between
+// the two calls.
 void InitTelemetry(int* argc, char** argv);
 void FlushTelemetry();
 
@@ -51,13 +73,17 @@ struct RunOutput {
 // degradation counters afterwards. When `integrity` is non-null an
 // IntegrityManager with that config is attached (verified fetches, version
 // vectors, recovery ladder; `out.world.integrity->stats()` afterwards).
+// `publish_metrics=false` skips the end-of-run registry snapshot — pass it
+// from ParallelFor tasks so "the last measured run wins" stays a
+// deterministic, serially-published statement (see bench_fig05/fig11).
 RunOutput Run(const ir::Module& module, pipeline::SystemKind kind, uint64_t local_bytes,
               runtime::CachePlan plan = {}, uint64_t seed = 42, bool profiling = false,
               const std::string& entry = "main", const net::FaultPlan* faults = nullptr,
-              const integrity::IntegrityConfig* integrity = nullptr);
+              const integrity::IntegrityConfig* integrity = nullptr,
+              bool publish_metrics = true);
 
 // Native full-local-memory execution time for a module (memoized per module
-// pointer + seed).
+// pointer + seed; thread-safe, callable from ParallelFor tasks).
 uint64_t NativeNs(const ir::Module& module, uint64_t seed = 42,
                   const std::string& entry = "main");
 
@@ -72,6 +98,8 @@ struct MiraCompiled {
 
 // Runs the full iterative optimizer for `w` at `local_bytes` with the given
 // ablation toggles; memoized on (module pointer, local_bytes, toggle mask).
+// Thread-safe: concurrent callers serialize on the cache (the optimizer's
+// own sampling grid still fans out internally via ParallelFor).
 const MiraCompiled& CompileMira(const workloads::Workload& w, uint64_t local_bytes,
                                 const pipeline::PlannerOptions& toggles, int max_iterations = 3);
 
@@ -82,7 +110,8 @@ const MiraCompiled& CompileMira(const workloads::Workload& w, uint64_t local_byt
 // size before code generation so prefetch guards match the line geometry.
 MiraCompiled FullPlanCompile(const workloads::Workload& w, uint64_t local_bytes,
                              const pipeline::PlannerOptions& toggles,
-                             const std::map<std::string, uint32_t>& line_override = {});
+                             const std::map<std::string, uint32_t>& line_override = {},
+                             bool publish_metrics = true);
 
 inline pipeline::PlannerOptions Toggles(bool sections, bool prefetch, bool evict, bool batch,
                                         bool promote, bool selective, bool offload) {

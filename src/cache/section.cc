@@ -47,6 +47,7 @@ Section::Section(SectionConfig config, net::Transport* net)
   slots_.resize(config_.num_lines());
   pins_.resize(config_.num_lines(), 0);
   soft_pins_.resize(config_.num_lines(), 0);
+  pending_writebacks_.reserve(config_.pending_writeback_limit);
 }
 
 void Section::Access(sim::SimClock& clk, uint64_t raddr, uint32_t len, bool write,
@@ -64,7 +65,7 @@ void Section::AccessPromoted(sim::SimClock& clk, uint64_t raddr, uint32_t len, b
   const uint64_t first = LineOf(raddr);
   const uint64_t last = LineOf(raddr + (len > 0 ? len - 1 : 0));
   for (uint64_t line = first; line <= last; ++line) {
-    const uint32_t slot = FindSlot(line);
+    const uint32_t slot = LookupSlot(line);
     if (slot != kNoSlot && slots_[slot].valid() && slots_[slot].tag == line) {
       LineMeta& m = slots_[slot];
       if (m.ready_at_ns > clk.now_ns()) {
@@ -97,7 +98,7 @@ void Section::AccessLine(sim::SimClock& clk, uint64_t line, bool write, bool ful
   const bool probed =
       probe_hi_ != 0 && line * config_.line_bytes >= probe_lo_ &&
       line * config_.line_bytes < probe_hi_;
-  const uint32_t slot = FindSlot(line);
+  const uint32_t slot = LookupSlot(line);
   if (slot != kNoSlot && slots_[slot].valid() && slots_[slot].tag == line) {
     // Hit — possibly on an in-flight prefetch.
     if (probed) {
@@ -140,6 +141,7 @@ void Section::AccessLine(sim::SimClock& clk, uint64_t line, bool write, bool ful
   m.prefetched = false;
   ++resident_;
   OnInsert(victim, line);
+  MemoizeSlot(line, victim);
   clk.Advance(net_->cost().line_insert_ns);
   stats_.runtime_ns += net_->cost().line_insert_ns;
   if (write && full_line_write) {
@@ -387,7 +389,7 @@ void Section::AccessBatch(sim::SimClock& clk,
     for (uint64_t line = first; line <= last; ++line) {
       clk.Advance(LookupCostNs());
       stats_.runtime_ns += LookupCostNs();
-      const uint32_t slot = FindSlot(line);
+      const uint32_t slot = LookupSlot(line);
       if (slot != kNoSlot && slots_[slot].valid() && slots_[slot].tag == line) {
         LineMeta& m = slots_[slot];
         stats_.lines.Hit();
@@ -410,6 +412,7 @@ void Section::AccessBatch(sim::SimClock& clk,
       m.prefetched = false;
       ++resident_;
       OnInsert(victim, line);
+      MemoizeSlot(line, victim);
       clk.Advance(net_->cost().line_insert_ns);
       stats_.runtime_ns += net_->cost().line_insert_ns;
       segs.push_back(net::Segment{line * config_.line_bytes, nullptr, config_.line_bytes});
@@ -731,7 +734,8 @@ FullyAssociativeSection::FullyAssociativeSection(SectionConfig config, net::Tran
   for (uint32_t s = static_cast<uint32_t>(slots_.size()); s > 0; --s) {
     free_slots_.push_back(s - 1);
   }
-  map_.reserve(slots_.size() * 2);
+  evictable_queue_.reserve(slots_.size());
+  map_.Reserve(slots_.size());
 }
 
 uint64_t FullyAssociativeSection::LookupCostNs() const {
@@ -739,9 +743,13 @@ uint64_t FullyAssociativeSection::LookupCostNs() const {
 }
 
 uint32_t FullyAssociativeSection::FindSlot(uint64_t line) const {
-  const auto it = map_.find(line);
-  return it == map_.end() ? kNoSlot : it->second;
+  // kNotFound and kNoSlot are both UINT32_MAX, so a miss maps through
+  // directly; pinned by a static_assert below.
+  return map_.Find(line);
 }
+
+static_assert(support::FlatMap64::kNotFound == UINT32_MAX,
+              "FlatMap64 miss sentinel must equal Section::kNoSlot");
 
 uint32_t FullyAssociativeSection::ChooseSlot(uint64_t line) {
   // OnInvalidate pushes every evicted slot here, but eviction is normally
@@ -768,14 +776,14 @@ uint32_t FullyAssociativeSection::ChooseSlot(uint64_t line) {
 }
 
 void FullyAssociativeSection::OnInsert(uint32_t slot, uint64_t line) {
-  map_[line] = slot;
+  map_.Insert(line, slot);
   lru_.OnInsert(slot);
 }
 
 void FullyAssociativeSection::OnTouch(uint32_t slot) { lru_.OnTouch(slot); }
 
 void FullyAssociativeSection::OnInvalidate(uint32_t slot, uint64_t line) {
-  map_.erase(line);
+  map_.Erase(line);
   lru_.Remove(slot);
   free_slots_.push_back(slot);
 }

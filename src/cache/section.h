@@ -14,13 +14,13 @@
 
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "src/cache/lru.h"
 #include "src/cache/section_config.h"
 #include "src/net/transport.h"
 #include "src/sim/clock.h"
+#include "src/support/flat_map.h"
 #include "src/support/stats.h"
 #include "src/support/status.h"
 #include "src/telemetry/telemetry.h"
@@ -167,6 +167,28 @@ class Section {
 
   uint64_t LineOf(uint64_t raddr) const { return raddr / config_.line_bytes; }
 
+  // FindSlot with a one-entry memo for the repeated-line pattern (several
+  // field accesses landing on one line back to back). The memo is
+  // self-validating — it is trusted only if the remembered slot still holds
+  // the remembered line — so eviction/invalidation needs no hook: a stale
+  // entry simply fails the check and falls through to the real lookup.
+  // Simulated cost is unchanged (the caller still charges LookupCostNs());
+  // only host-side work is saved.
+  uint32_t LookupSlot(uint64_t line) const {
+    if (line == memo_line_ && memo_slot_ != kNoSlot && slots_[memo_slot_].valid() &&
+        slots_[memo_slot_].tag == line) {
+      return memo_slot_;
+    }
+    const uint32_t slot = FindSlot(line);
+    memo_line_ = line;
+    memo_slot_ = slot;
+    return slot;
+  }
+  void MemoizeSlot(uint64_t line, uint32_t slot) const {
+    memo_line_ = line;
+    memo_slot_ = slot;
+  }
+
   // Handles one line's demand access.
   void AccessLine(sim::SimClock& clk, uint64_t line, bool write, bool full_line_write);
 
@@ -211,6 +233,11 @@ class Section {
   uint64_t last_writeback_done_ns_ = 0;
   // Remote addresses of writebacks that failed and await a reliable drain.
   std::vector<uint64_t> pending_writebacks_;
+
+ private:
+  // LookupSlot's one-entry memo (see above).
+  mutable uint64_t memo_line_ = LineMeta::kInvalidTag;
+  mutable uint32_t memo_slot_ = kNoSlot;
 };
 
 // slot = line % num_lines; no conflict for sequential/strided patterns.
@@ -259,7 +286,7 @@ class FullyAssociativeSection : public Section {
   void OnEvictHint(uint32_t slot) override { evictable_queue_.push_back(slot); }
 
  private:
-  std::unordered_map<uint64_t, uint32_t> map_;  // line → slot
+  support::FlatMap64 map_;  // line → slot
   std::vector<uint32_t> free_slots_;
   ActiveInactiveLru lru_;
   // Evictable-marked slots checked before LRU (paper §4.5: "when inserting

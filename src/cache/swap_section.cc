@@ -24,16 +24,17 @@ SwapSection::SwapSection(uint64_t size_bytes, net::Transport* net,
   for (uint32_t f = num_pages_; f > 0; --f) {
     free_frames_.push_back(f - 1);
   }
-  table_.reserve(num_pages_ * 2);
+  table_.Reserve(num_pages_);
+  pending_writebacks_.reserve(pending_writeback_limit_);
 }
 
 void SwapSection::Access(sim::SimClock& clk, uint64_t raddr, uint32_t len, bool write) {
   const uint64_t first = raddr >> kPageShift;
   const uint64_t last = (raddr + (len > 0 ? len - 1 : 0)) >> kPageShift;
   for (uint64_t page = first; page <= last; ++page) {
-    const auto it = table_.find(page);
-    if (it != table_.end()) {
-      PageMeta& m = frames_[it->second];
+    const uint32_t frame_hit = LookupFrame(page);
+    if (frame_hit != UINT32_MAX) {
+      PageMeta& m = frames_[frame_hit];
       if (m.ready_at_ns > clk.now_ns()) {
         // Minor fault on an in-flight (prefetched) page.
         const uint64_t minor = static_cast<uint64_t>(
@@ -54,7 +55,7 @@ void SwapSection::Access(sim::SimClock& clk, uint64_t raddr, uint32_t len, bool 
       }
       stats_.lines.Hit();
       m.dirty = m.dirty || write;
-      lru_.OnTouch(it->second);
+      lru_.OnTouch(frame_hit);
     } else {
       stats_.lines.Miss();
       const uint32_t frame = FaultIn(clk, page, /*demand=*/true);
@@ -64,7 +65,7 @@ void SwapSection::Access(sim::SimClock& clk, uint64_t raddr, uint32_t len, bool 
       std::vector<uint64_t> candidates;
       prefetcher_->OnFault(page, &candidates);
       for (const uint64_t p : candidates) {
-        if (table_.find(p) == table_.end()) {
+        if (table_.Find(p) == support::FlatMap64::kNotFound) {
           FaultIn(clk, p, /*demand=*/false);
         }
       }
@@ -186,7 +187,9 @@ uint32_t SwapSection::FaultIn(sim::SimClock& clk, uint64_t page, bool demand) {
     ++stats_.prefetches_issued;
   }
   stats_.bytes_fetched += kPageBytes;
-  table_[page] = frame;
+  table_.Insert(page, frame);
+  memo_page_ = page;
+  memo_frame_ = frame;
   lru_.OnInsert(frame);
   return frame;
 }
@@ -206,7 +209,7 @@ void SwapSection::EvictFrame(sim::SimClock& clk, uint32_t slot) {
   if (m.dirty) {
     WritebackPage(clk, m.page << kPageShift);
   }
-  table_.erase(m.page);
+  table_.Erase(m.page);
   lru_.Remove(slot);
   m = PageMeta{};
 }
@@ -311,7 +314,7 @@ void SwapSection::Release(sim::SimClock& clk) {
     if (m.dirty) {
       WritebackPage(clk, m.page << kPageShift);
     }
-    table_.erase(m.page);
+    table_.Erase(m.page);
     lru_.Remove(f);
     m = PageMeta{};
     free_frames_.push_back(f);

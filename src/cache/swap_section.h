@@ -17,7 +17,6 @@
 
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "src/cache/lru.h"
@@ -26,6 +25,7 @@
 #include "src/net/transport.h"
 #include "src/sim/clock.h"
 #include "src/sim/resource.h"
+#include "src/support/flat_map.h"
 
 namespace mira::cache {
 
@@ -67,6 +67,21 @@ class SwapSection {
     bool prefetched = false;
   };
 
+  // Page-table lookup with a one-entry memo for the repeated-page pattern
+  // (consecutive accesses inside one 4 KB page). Self-validating: the memo
+  // is trusted only if the remembered frame still maps the page, so
+  // eviction needs no invalidation hook. Returns UINT32_MAX when unmapped.
+  uint32_t LookupFrame(uint64_t page) const {
+    if (page == memo_page_ && memo_frame_ != UINT32_MAX &&
+        frames_[memo_frame_].page == page) {
+      return memo_frame_;
+    }
+    const uint32_t frame = table_.Find(page);
+    memo_page_ = page;
+    memo_frame_ = frame;
+    return frame;
+  }
+
   // Faults `page` in (demand or prefetch); returns the chosen slot, or
   // UINT32_MAX if no frame could be freed (or a prefetch fetch faulted).
   uint32_t FaultIn(sim::SimClock& clk, uint64_t page, bool demand);
@@ -88,7 +103,9 @@ class SwapSection {
   std::vector<PageMeta> frames_;
   std::vector<uint32_t> free_frames_;
   std::vector<uint16_t> no_pins_;  // swap never pins; shared empty pin table
-  std::unordered_map<uint64_t, uint32_t> table_;  // page → frame
+  support::FlatMap64 table_;       // page → frame
+  mutable uint64_t memo_page_ = UINT64_MAX;   // LookupFrame's one-entry memo
+  mutable uint32_t memo_frame_ = UINT32_MAX;
   ActiveInactiveLru lru_;
   SectionStats stats_;
   uint64_t last_writeback_done_ns_ = 0;

@@ -1,5 +1,6 @@
 #include "src/interp/interpreter.h"
 
+#include <atomic>
 #include <cmath>
 #include <cstring>
 
@@ -9,6 +10,12 @@
 namespace mira::interp {
 
 using support::Status;
+
+namespace {
+std::atomic<uint64_t> g_runs{0};
+}  // namespace
+
+uint64_t SimulationsRun() { return g_runs.load(std::memory_order_relaxed); }
 
 Interpreter::Interpreter(const ir::Module* module, backends::Backend* backend,
                          InterpOptions options)
@@ -41,6 +48,7 @@ farmem::RemoteAddr Interpreter::ObjectAddr(const std::string& label) const {
 
 support::Result<uint64_t> Interpreter::Run(std::string_view func_name,
                                            std::vector<uint64_t> args) {
+  g_runs.fetch_add(1, std::memory_order_relaxed);
   const ir::Function* func = module_->FindFunction(func_name);
   if (func == nullptr) {
     return Status::NotFound(std::string(func_name));

@@ -62,6 +62,11 @@ struct RunProfile {
 // "interp.func.<name>.*" plus run totals and the overhead ratio.
 void PublishRunProfile(telemetry::MetricsRegistry& registry, const RunProfile& profile);
 
+// Process-wide count of top-level Interpreter::Run invocations (atomic).
+// The bench harness reads the delta across a timed region to report
+// simulations/second for the parallel evaluation engine.
+uint64_t SimulationsRun();
+
 struct InterpOptions {
   // Seed for the kRand op's generator (workload data synthesis).
   uint64_t seed = 42;

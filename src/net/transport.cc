@@ -10,9 +10,9 @@ Transport::Transport(farmem::FarMemoryNode* node, const sim::CostModel& cost)
   const auto verb = [&m](const char* name) {
     VerbTelemetry v;
     const std::string prefix = std::string("net.") + name;
-    v.count = m.Counter(prefix + ".count");
-    v.bytes = m.Counter(prefix + ".bytes");
-    v.latency = m.Histogram(prefix + ".latency_ns");
+    v.count_sink = m.Counter(prefix + ".count");
+    v.bytes_sink = m.Counter(prefix + ".bytes");
+    v.latency_sink = m.Histogram(prefix + ".latency_ns");
     return v;
   };
   read_sync_ = verb("read.sync");
@@ -23,19 +23,58 @@ Transport::Transport(farmem::FarMemoryNode* node, const sim::CostModel& cost)
   two_sided_read_ = verb("two_sided.read");
   two_sided_write_ = verb("two_sided.write");
   rpc_ = verb("rpc");
-  fault_telemetry_.drops = m.Counter("net.fault.drops");
-  fault_telemetry_.timeouts = m.Counter("net.fault.timeouts");
-  fault_telemetry_.unavailable = m.Counter("net.fault.unavailable");
-  fault_telemetry_.tail_events = m.Counter("net.fault.tail_events");
-  fault_telemetry_.retries = m.Counter("net.retry.attempts");
-  fault_telemetry_.recovered = m.Counter("net.retry.recovered");
-  fault_telemetry_.exhausted = m.Counter("net.retry.exhausted");
-  fault_telemetry_.backoff_ns = m.Counter("net.retry.backoff_ns");
-  fault_telemetry_.lost_wait_ns = m.Counter("net.retry.lost_wait_ns");
-  fault_telemetry_.corrupt = m.Counter("net.fault.corrupt_deliveries");
-  fault_telemetry_.stale = m.Counter("net.fault.stale_deliveries");
-  fault_telemetry_.duplicate = m.Counter("net.fault.duplicated_verbs");
-  fault_telemetry_.torn = m.Counter("net.fault.torn_writebacks");
+  fault_telemetry_.drops.sink = m.Counter("net.fault.drops");
+  fault_telemetry_.timeouts.sink = m.Counter("net.fault.timeouts");
+  fault_telemetry_.unavailable.sink = m.Counter("net.fault.unavailable");
+  fault_telemetry_.tail_events.sink = m.Counter("net.fault.tail_events");
+  fault_telemetry_.retries.sink = m.Counter("net.retry.attempts");
+  fault_telemetry_.recovered.sink = m.Counter("net.retry.recovered");
+  fault_telemetry_.exhausted.sink = m.Counter("net.retry.exhausted");
+  fault_telemetry_.backoff_ns.sink = m.Counter("net.retry.backoff_ns");
+  fault_telemetry_.lost_wait_ns.sink = m.Counter("net.retry.lost_wait_ns");
+  fault_telemetry_.corrupt.sink = m.Counter("net.fault.corrupt_deliveries");
+  fault_telemetry_.stale.sink = m.Counter("net.fault.stale_deliveries");
+  fault_telemetry_.duplicate.sink = m.Counter("net.fault.duplicated_verbs");
+  fault_telemetry_.torn.sink = m.Counter("net.fault.torn_writebacks");
+}
+
+Transport::~Transport() { FlushTelemetry(); }
+
+void Transport::FlushTelemetry() {
+  auto lock = telemetry::Metrics().Acquire();
+  const auto flush_verb = [](VerbTelemetry& v) {
+    *v.count_sink += v.count;
+    *v.bytes_sink += v.bytes;
+    v.latency_sink->MergeFrom(v.latency);
+    v.count = 0;
+    v.bytes = 0;
+    v.latency.Reset();
+  };
+  flush_verb(read_sync_);
+  flush_verb(read_async_);
+  flush_verb(read_gather_);
+  flush_verb(write_sync_);
+  flush_verb(write_async_);
+  flush_verb(two_sided_read_);
+  flush_verb(two_sided_write_);
+  flush_verb(rpc_);
+  const auto flush_counter = [](PendingCounter& c) {
+    *c.sink += c.pending;
+    c.pending = 0;
+  };
+  flush_counter(fault_telemetry_.drops);
+  flush_counter(fault_telemetry_.timeouts);
+  flush_counter(fault_telemetry_.unavailable);
+  flush_counter(fault_telemetry_.tail_events);
+  flush_counter(fault_telemetry_.retries);
+  flush_counter(fault_telemetry_.recovered);
+  flush_counter(fault_telemetry_.exhausted);
+  flush_counter(fault_telemetry_.backoff_ns);
+  flush_counter(fault_telemetry_.lost_wait_ns);
+  flush_counter(fault_telemetry_.corrupt);
+  flush_counter(fault_telemetry_.stale);
+  flush_counter(fault_telemetry_.duplicate);
+  flush_counter(fault_telemetry_.torn);
 }
 
 void Transport::SetRetryPolicy(const RetryPolicy& policy) {
@@ -48,12 +87,12 @@ void Transport::SetRetryPolicy(Verb verb, const RetryPolicy& policy) {
   policies_[static_cast<size_t>(verb)] = policy;
 }
 
-void Transport::RecordVerb(const VerbTelemetry& verb, const char* name,
+void Transport::RecordVerb(VerbTelemetry& verb, const char* name,
                            const sim::SimClock& clk, uint64_t start_ns, uint64_t done_ns,
                            uint64_t bytes) {
-  ++*verb.count;
-  *verb.bytes += bytes;
-  verb.latency->Add(done_ns > start_ns ? done_ns - start_ns : 0);
+  ++verb.count;
+  verb.bytes += bytes;
+  verb.latency.Add(done_ns > start_ns ? done_ns - start_ns : 0);
   auto& trace = telemetry::Trace();
   if (trace.enabled()) {
     trace.Complete(clk, start_ns, done_ns > start_ns ? done_ns - start_ns : 0, name, "net",
@@ -84,11 +123,11 @@ support::Result<uint64_t> Transport::AdmitVerb(Verb verb, sim::SimClock& clk,
     if (!d.unavailable && !d.drop && !d.timeout) {
       if (d.extra_ns > 0) {
         ++fault_stats_.tail_events;
-        ++*fault_telemetry_.tail_events;
+        fault_telemetry_.tail_events.Add(1);
       }
       if (retried) {
         ++fault_stats_.recovered;
-        ++*fault_telemetry_.recovered;
+        fault_telemetry_.recovered.Add(1);
       }
       // Record the winning attempt's silent taint for the caller's
       // integrity check.
@@ -97,15 +136,15 @@ support::Result<uint64_t> Transport::AdmitVerb(Verb verb, sim::SimClock& clk,
       last_delivery_.duplicate = d.duplicate;
       if (d.corrupt) {
         ++fault_stats_.corrupt_deliveries;
-        ++*fault_telemetry_.corrupt;
+        fault_telemetry_.corrupt.Add(1);
       }
       if (d.stale) {
         ++fault_stats_.stale_deliveries;
-        ++*fault_telemetry_.stale;
+        fault_telemetry_.stale.Add(1);
       }
       if (d.duplicate) {
         ++fault_stats_.duplicated_verbs;
-        ++*fault_telemetry_.duplicate;
+        fault_telemetry_.duplicate.Add(1);
       }
       return d.extra_ns;
     }
@@ -114,20 +153,20 @@ support::Result<uint64_t> Transport::AdmitVerb(Verb verb, sim::SimClock& clk,
     const char* kind;
     if (d.unavailable) {
       ++fault_stats_.unavailable;
-      ++*fault_telemetry_.unavailable;
+      fault_telemetry_.unavailable.Add(1);
       kind = "net.fault.unavailable";
     } else if (d.drop) {
       ++fault_stats_.drops;
-      ++*fault_telemetry_.drops;
+      fault_telemetry_.drops.Add(1);
       kind = "net.fault.drop";
     } else {
       ++fault_stats_.timeouts;
-      ++*fault_telemetry_.timeouts;
+      fault_telemetry_.timeouts.Add(1);
       kind = "net.fault.timeout";
     }
     clk.Advance(policy.attempt_timeout_ns);
     fault_stats_.lost_wait_ns += policy.attempt_timeout_ns;
-    *fault_telemetry_.lost_wait_ns += policy.attempt_timeout_ns;
+    fault_telemetry_.lost_wait_ns.Add(policy.attempt_timeout_ns);
     if (trace.enabled()) {
       trace.Instant(clk, kind, "net",
                     support::StrFormat("{\"verb\":\"%s\",\"attempt\":%u}", VerbName(verb),
@@ -136,7 +175,7 @@ support::Result<uint64_t> Transport::AdmitVerb(Verb verb, sim::SimClock& clk,
     const uint64_t elapsed = clk.now_ns() - start_ns;
     if (attempt >= policy.max_attempts || elapsed >= policy.deadline_ns) {
       ++fault_stats_.exhausted;
-      ++*fault_telemetry_.exhausted;
+      fault_telemetry_.exhausted.Add(1);
       if (d.unavailable) {
         return support::Status::Unavailable(support::StrFormat(
             "%s: far node unreachable after %u attempts", VerbName(verb), attempt));
@@ -154,9 +193,9 @@ support::Result<uint64_t> Transport::AdmitVerb(Verb verb, sim::SimClock& clk,
     }
     clk.Advance(backoff);
     fault_stats_.backoff_ns += backoff;
-    *fault_telemetry_.backoff_ns += backoff;
+    fault_telemetry_.backoff_ns.Add(backoff);
     ++fault_stats_.retries;
-    ++*fault_telemetry_.retries;
+    fault_telemetry_.retries.Add(1);
     retried = true;
   }
 }
@@ -468,7 +507,7 @@ size_t Transport::TearPoint(size_t n) {
   const size_t tear_at = fault_->EvaluateTear(n);
   if (tear_at < n) {
     ++fault_stats_.torn_writebacks;
-    ++*fault_telemetry_.torn;
+    fault_telemetry_.torn.Add(1);
   }
   return tear_at;
 }

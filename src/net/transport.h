@@ -99,6 +99,9 @@ class Transport {
  public:
   Transport(farmem::FarMemoryNode* node, const sim::CostModel& cost);
 
+  // Flushes the batched "net.*" telemetry (see FlushTelemetry below).
+  ~Transport();
+
   // ---- One-sided verbs ----
 
   // Blocking one-sided read of [raddr, raddr+len) into dst.
@@ -220,39 +223,58 @@ class Transport {
   void ResetStats() { stats_.Reset(); }
   void ResetFaultStats() { fault_stats_.Reset(); }
 
+  // Merges everything accumulated locally since the last flush into the
+  // global registry's "net.*" counters/histograms in ONE critical section
+  // (MetricsRegistry::Acquire). Verbs batch per-access telemetry locally so
+  // the hot path never touches shared state — which also makes a Transport
+  // usable from a parallel-evaluation worker without racing other worlds.
+  // The destructor flushes; call explicitly before reading registry "net.*"
+  // values while the transport is still alive.
+  void FlushTelemetry();
+
  private:
-  // Cached registry pointers for one verb's "net.<verb>.{count,bytes}"
-  // counters and "net.<verb>.latency_ns" histogram, so hot-path recording
-  // is three pointer updates with no name lookup.
+  // One verb's "net.<verb>.{count,bytes,latency_ns}" telemetry: cached
+  // registry sinks plus the values accumulated locally since the last
+  // flush. Hot-path recording touches only the local fields (no lookup, no
+  // lock); FlushTelemetry() merges them into the registry in one batch.
   struct VerbTelemetry {
-    uint64_t* count = nullptr;
-    uint64_t* bytes = nullptr;
-    support::LatencyHistogram* latency = nullptr;
+    uint64_t* count_sink = nullptr;
+    uint64_t* bytes_sink = nullptr;
+    support::LatencyHistogram* latency_sink = nullptr;
+    uint64_t count = 0;
+    uint64_t bytes = 0;
+    support::LatencyHistogram latency;
   };
-  // Same idea for the "net.fault.*" / "net.retry.*" counters.
+  // A batched counter: registry sink + locally pending delta.
+  struct PendingCounter {
+    uint64_t* sink = nullptr;
+    uint64_t pending = 0;
+    void Add(uint64_t delta) { pending += delta; }
+  };
+  // Same batching for the "net.fault.*" / "net.retry.*" counters.
   struct FaultTelemetry {
-    uint64_t* drops = nullptr;
-    uint64_t* timeouts = nullptr;
-    uint64_t* unavailable = nullptr;
-    uint64_t* tail_events = nullptr;
-    uint64_t* retries = nullptr;
-    uint64_t* recovered = nullptr;
-    uint64_t* exhausted = nullptr;
-    uint64_t* backoff_ns = nullptr;
-    uint64_t* lost_wait_ns = nullptr;
-    uint64_t* corrupt = nullptr;
-    uint64_t* stale = nullptr;
-    uint64_t* duplicate = nullptr;
-    uint64_t* torn = nullptr;
+    PendingCounter drops;
+    PendingCounter timeouts;
+    PendingCounter unavailable;
+    PendingCounter tail_events;
+    PendingCounter retries;
+    PendingCounter recovered;
+    PendingCounter exhausted;
+    PendingCounter backoff_ns;
+    PendingCounter lost_wait_ns;
+    PendingCounter corrupt;
+    PendingCounter stale;
+    PendingCounter duplicate;
+    PendingCounter torn;
   };
 
   // Completion time of a message of `bytes` issued at clk.now(), after the
   // caller-side CPU cost. Shares the link across logical threads.
   uint64_t MessageDoneAt(sim::SimClock& clk, uint64_t bytes, uint64_t extra_ns);
 
-  // Records one completed verb: registry counters/latency plus (when trace
+  // Records one completed verb into the local batch plus (when trace
   // recording is on) a Complete event spanning [start_ns, done_ns).
-  void RecordVerb(const VerbTelemetry& verb, const char* name, const sim::SimClock& clk,
+  void RecordVerb(VerbTelemetry& verb, const char* name, const sim::SimClock& clk,
                   uint64_t start_ns, uint64_t done_ns, uint64_t bytes);
 
   // Fault/retry protocol for one Try* verb. On success returns the extra

@@ -53,6 +53,17 @@ ir::Module CompileWithPlan(const ir::Module& source, const PlanDraft& draft,
   return module;
 }
 
+support::ThreadPool& IterativeOptimizer::Pool() {
+  if (options_.jobs <= 0) {
+    return support::SharedPool();
+  }
+  if (owned_pool_ == nullptr) {
+    owned_pool_ =
+        std::make_unique<support::ThreadPool>(static_cast<size_t>(options_.jobs - 1));
+  }
+  return *owned_pool_;
+}
+
 uint64_t IterativeOptimizer::Evaluate(const ir::Module& module, const runtime::CachePlan& plan,
                                       interp::RunProfile* profile,
                                       bool profiling_instrumented) {
@@ -100,62 +111,92 @@ double IterativeOptimizer::SizeSections(const ir::Module& compiled, PlanDraft* d
   }
   const uint64_t avail = static_cast<uint64_t>(
       static_cast<double>(options_.local_bytes) * (1.0 - options_.planner.swap_reserve));
+  // Inverse index: section index → slot in sample_sections (SIZE_MAX when
+  // the section is not sampled). Replaces the per-section std::find scans.
+  std::vector<size_t> section_to_si(draft->plan.sections.size(), SIZE_MAX);
+  for (size_t si = 0; si < draft->sample_sections.size(); ++si) {
+    if (draft->sample_sections[si] < section_to_si.size()) {
+      section_to_si[draft->sample_sections[si]] = si;
+    }
+  }
   uint64_t fixed = 0;
   for (uint32_t i = 0; i < draft->plan.sections.size(); ++i) {
-    if (std::find(draft->sample_sections.begin(), draft->sample_sections.end(), i) ==
-        draft->sample_sections.end()) {
+    if (section_to_si[i] == SIZE_MAX) {
       fixed += draft->plan.sections[i].size_bytes;
     }
   }
   const uint64_t budget = avail > fixed ? avail - fixed : avail / 2;
 
-  // Sample each section's overhead at the candidate sizes.
+  // Sample each section's overhead at the candidate sizes. Every probe of
+  // the (section × ratio) grid is an independent deterministic simulation
+  // in its own world, so the whole grid fans out on the evaluation pool;
+  // each task writes its index-addressed slot, keeping the result arrays
+  // bit-identical to the serial order.
+  const size_t num_ratios = options_.size_samples.size();
   std::vector<solver::SectionChoices> choices(draft->sample_sections.size());
-  for (size_t si = 0; si < draft->sample_sections.size(); ++si) {
-    const uint32_t section_index = draft->sample_sections[si];
-    for (const double ratio : options_.size_samples) {
-      runtime::CachePlan probe = draft->plan;
-      auto& target = probe.sections[section_index];
-      const uint64_t size = std::max<uint64_t>(
-          static_cast<uint64_t>(static_cast<double>(budget) * ratio),
-          static_cast<uint64_t>(target.line_bytes) * 4);
-      target.size_bytes = size - size % target.line_bytes;
-      // Other sampled sections keep their defaults (equal shares).
-      World world = MakeWorld(SystemKind::kMira, options_.local_bytes, probe, cost_);
-      interp::InterpOptions iopts;
-      iopts.seed = options_.train_seed;
-      interp::Interpreter interp(&compiled, world.backend.get(), iopts);
-      auto result = interp.Run(options_.entry);
-      MIRA_CHECK_MSG(result.ok(), result.status().ToString().c_str());
-      auto* mira = static_cast<backends::MiraBackend*>(world.backend.get());
-      const auto& stats = mira->SectionStatsAt(section_index);
-      choices[si].sizes.push_back(target.size_bytes);
-      choices[si].costs.push_back(static_cast<double>(stats.overhead_ns()));
-    }
+  for (auto& c : choices) {
+    c.sizes.resize(num_ratios);
+    c.costs.resize(num_ratios);
   }
+  Pool().ParallelFor(draft->sample_sections.size() * num_ratios, [&](size_t task) {
+    const size_t si = task / num_ratios;
+    const size_t ri = task % num_ratios;
+    const uint32_t section_index = draft->sample_sections[si];
+    const double ratio = options_.size_samples[ri];
+    runtime::CachePlan probe = draft->plan;
+    auto& target = probe.sections[section_index];
+    const uint64_t size = std::max<uint64_t>(
+        static_cast<uint64_t>(static_cast<double>(budget) * ratio),
+        static_cast<uint64_t>(target.line_bytes) * 4);
+    target.size_bytes = size - size % target.line_bytes;
+    // Other sampled sections keep their defaults (equal shares).
+    World world = MakeWorld(SystemKind::kMira, options_.local_bytes, probe, cost_);
+    interp::InterpOptions iopts;
+    iopts.seed = options_.train_seed;
+    interp::Interpreter interp(&compiled, world.backend.get(), iopts);
+    auto result = interp.Run(options_.entry);
+    MIRA_CHECK_MSG(result.ok(), result.status().ToString().c_str());
+    auto* mira = static_cast<backends::MiraBackend*>(world.backend.get());
+    const auto& stats = mira->SectionStatsAt(section_index);
+    choices[si].sizes[ri] = target.size_bytes;
+    choices[si].costs[ri] = static_cast<double>(stats.overhead_ns());
+  });
 
   // Constraints: per lifetime phase, live sampled sections fit in `budget`.
-  // Map objects → sampled-section slots.
-  std::vector<solver::CapacityConstraint> constraints;
+  // Liveness is stamped per sampled section in one pass over the object →
+  // section map (each object marks its lifetime interval), instead of an
+  // O(objects) rescan per (statement, section) pair.
   const int stmts = lifetime.statement_count();
+  const int phases = std::max(stmts, 1);
+  std::vector<std::vector<uint8_t>> live(
+      draft->sample_sections.size(),
+      std::vector<uint8_t>(phases, stmts == 0 ? 1 : 0));
+  if (stmts > 0) {
+    for (const auto& [obj, idx] : draft->plan.object_to_section) {
+      if (idx >= section_to_si.size() || section_to_si[idx] == SIZE_MAX) {
+        continue;
+      }
+      auto& row = live[section_to_si[idx]];
+      // An object with no recorded lifetime is conservatively live at every
+      // statement (matches the lifetimes().find miss in the old scan).
+      int first = 0;
+      int last = stmts - 1;
+      const auto lt = lifetime.lifetimes().find(obj);
+      if (lt != lifetime.lifetimes().end()) {
+        first = std::max(0, lt->second.first_stmt);
+        last = std::min(stmts - 1, lt->second.last_stmt);
+      }
+      for (int stmt = first; stmt <= last; ++stmt) {
+        row[stmt] = 1;
+      }
+    }
+  }
+  std::vector<solver::CapacityConstraint> constraints;
   std::set<std::vector<int>> seen;
-  for (int stmt = 0; stmt < std::max(stmts, 1); ++stmt) {
+  for (int stmt = 0; stmt < phases; ++stmt) {
     std::vector<int> members;
     for (size_t si = 0; si < draft->sample_sections.size(); ++si) {
-      const uint32_t section_index = draft->sample_sections[si];
-      bool live = stmts == 0;
-      for (const auto& [obj, idx] : draft->plan.object_to_section) {
-        if (idx != section_index) {
-          continue;
-        }
-        const auto lt = lifetime.lifetimes().find(obj);
-        if (lt == lifetime.lifetimes().end() ||
-            (lt->second.first_stmt <= stmt && stmt <= lt->second.last_stmt)) {
-          live = true;
-          break;
-        }
-      }
-      if (live) {
+      if (live[si][stmt] != 0) {
         members.push_back(static_cast<int>(si));
       }
     }
@@ -234,18 +275,26 @@ CompiledProgram IterativeOptimizer::Optimize() {
     const double predicted_overhead_ns = SizeSections(compiled, &draft, lifetime);
 
     interp::RunProfile iter_profile;
-    uint64_t ns = Evaluate(compiled, draft.plan, &iter_profile, /*profiling=*/true);
+    uint64_t ns = 0;
 
     // The offload decision rests on a traffic estimate that optimization
     // itself changes, so measure the other variant too and keep the winner
-    // (the profiling-guided analogue of the paper's rollback).
+    // (the profiling-guided analogue of the paper's rollback). The two
+    // candidate evaluations are independent worlds, so they run as one
+    // two-task fan-out on the evaluation pool.
     if (!draft.offload_functions.empty()) {
       PlanDraft alt = draft;
       alt.offload_functions.clear();
       ir::Module no_offload = CompileWithPlan(*source_, alt, popts, options_.entry);
       interp::RunProfile alt_profile;
-      const uint64_t alt_ns =
-          Evaluate(no_offload, alt.plan, &alt_profile, /*profiling=*/true);
+      uint64_t alt_ns = 0;
+      Pool().ParallelFor(2, [&](size_t task) {
+        if (task == 0) {
+          ns = Evaluate(compiled, draft.plan, &iter_profile, /*profiling=*/true);
+        } else {
+          alt_ns = Evaluate(no_offload, alt.plan, &alt_profile, /*profiling=*/true);
+        }
+      });
       if (options_.verbose) {
         std::fprintf(stderr, "[mira-opt]   offload variant %.3f ms vs plain %.3f ms\n",
                      static_cast<double>(ns) / 1e6, static_cast<double>(alt_ns) / 1e6);
@@ -256,6 +305,8 @@ CompiledProgram IterativeOptimizer::Optimize() {
         draft = std::move(alt);
         iter_profile = alt_profile;
       }
+    } else {
+      ns = Evaluate(compiled, draft.plan, &iter_profile, /*profiling=*/true);
     }
 
     IterationLog entry;

@@ -8,6 +8,7 @@
 #ifndef MIRA_SRC_PIPELINE_OPTIMIZER_H_
 #define MIRA_SRC_PIPELINE_OPTIMIZER_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -17,6 +18,7 @@
 #include "src/pipeline/planner.h"
 #include "src/pipeline/world.h"
 #include "src/solver/ilp.h"
+#include "src/support/thread_pool.h"
 
 namespace mira::pipeline {
 
@@ -30,6 +32,13 @@ struct OptimizeOptions {
   PlannerOptions planner;  // local_bytes is overwritten from here
   // Sampled size ratios for non-contiguous sections (§4.3).
   std::vector<double> size_samples = {0.2, 0.4, 0.6, 0.8};
+  // Host-side parallelism for the independent candidate/probe simulations
+  // (the miss-curve sampling grid and the offload-alternative evaluation):
+  // 0 = the process-wide default pool (support::DefaultParallelism), 1 =
+  // strictly serial, N > 1 = a dedicated pool of N threads (the calling
+  // thread participates). Every task simulates in its own isolated world,
+  // so results are bit-identical across all settings.
+  int jobs = 0;
   bool verbose = false;
 };
 
@@ -81,11 +90,15 @@ class IterativeOptimizer {
   double SizeSections(const ir::Module& compiled, PlanDraft* draft,
                       const analysis::LifetimeAnalysis& lifetime);
 
+  // Evaluation pool per options_.jobs (see OptimizeOptions::jobs).
+  support::ThreadPool& Pool();
+
   const ir::Module* source_;
   OptimizeOptions options_;
   const sim::CostModel& cost_;
   std::vector<IterationLog> log_;
   uint64_t baseline_swap_ns_ = 0;
+  std::unique_ptr<support::ThreadPool> owned_pool_;
 };
 
 }  // namespace mira::pipeline

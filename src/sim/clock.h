@@ -5,6 +5,7 @@
 #ifndef MIRA_SRC_SIM_CLOCK_H_
 #define MIRA_SRC_SIM_CLOCK_H_
 
+#include <atomic>
 #include <cstdint>
 
 #include "src/support/check.h"
@@ -48,9 +49,11 @@ class SimClock {
 // owns a SimClock (interpreter run, scheduler thread, pipeline timeline)
 // takes a fresh id, so timestamps on any one id are monotonic — the
 // invariant the trace exporter relies on. Ids never influence timing.
+// Atomic so parallel evaluation workers can construct worlds concurrently;
+// the numbering order across threads is unspecified (and must not matter).
 inline uint32_t AllocateTid() {
-  static uint32_t next_tid = 0;
-  return ++next_tid;
+  static std::atomic<uint32_t> next_tid{0};
+  return next_tid.fetch_add(1, std::memory_order_relaxed) + 1;
 }
 
 }  // namespace mira::sim

@@ -1,0 +1,176 @@
+// FlatMap64: an open-addressing robin-hood hash table from uint64_t keys to
+// uint32_t values, built for the cache runtime's hottest lookup (line → slot,
+// page → frame). Compared to std::unordered_map it stores entries inline in
+// one contiguous array — no per-node allocation, no pointer chase per probe —
+// and robin-hood displacement keeps probe sequences short and bounded, so
+// both hits and misses terminate after a handful of adjacent cache lines.
+//
+// Deletion uses backward shifting (successors are pulled one step toward
+// their home bucket) instead of tombstones, so lookup cost never degrades as
+// the table churns — the steady state of an LRU cache that inserts and
+// erases a line per miss.
+//
+// Not thread-safe; each simulation world owns its tables.
+
+#ifndef MIRA_SRC_SUPPORT_FLAT_MAP_H_
+#define MIRA_SRC_SUPPORT_FLAT_MAP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/support/check.h"
+
+namespace mira::support {
+
+class FlatMap64 {
+ public:
+  static constexpr uint32_t kNotFound = UINT32_MAX;
+
+  FlatMap64() = default;
+
+  // Pre-sizes the table for `n` entries without exceeding the max load
+  // factor (3/4), avoiding rehash churn during warm-up.
+  void Reserve(size_t n) {
+    size_t cap = kMinCapacity;
+    while (cap * 3 < n * 4) {
+      cap <<= 1;
+    }
+    if (cap > slots_.size()) {
+      Rehash(cap);
+    }
+  }
+
+  // Returns the value mapped to `key`, or kNotFound.
+  uint32_t Find(uint64_t key) const {
+    if (slots_.empty()) {
+      return kNotFound;
+    }
+    const size_t mask = slots_.size() - 1;
+    size_t i = HashKey(key) & mask;
+    uint16_t dist = 1;
+    for (;;) {
+      const Entry& e = slots_[i];
+      // Robin-hood invariant: had `key` been present, it would have
+      // displaced any entry probing shorter than us — stop early.
+      if (e.dist < dist) {
+        return kNotFound;
+      }
+      if (e.key == key && e.dist != 0) {
+        return e.value;
+      }
+      i = (i + 1) & mask;
+      ++dist;
+    }
+  }
+
+  // Insert-or-assign.
+  void Insert(uint64_t key, uint32_t value) {
+    if (slots_.empty() || (size_ + 1) * 4 > slots_.size() * 3) {
+      Rehash(slots_.empty() ? kMinCapacity : slots_.size() * 2);
+    }
+    const size_t mask = slots_.size() - 1;
+    Entry incoming{key, value, 1};
+    size_t i = HashKey(key) & mask;
+    for (;;) {
+      Entry& e = slots_[i];
+      if (e.dist == 0) {
+        e = incoming;
+        ++size_;
+        return;
+      }
+      if (e.key == incoming.key) {
+        e.value = incoming.value;
+        return;
+      }
+      if (e.dist < incoming.dist) {
+        std::swap(e, incoming);
+      }
+      i = (i + 1) & mask;
+      ++incoming.dist;
+      MIRA_CHECK_MSG(incoming.dist < UINT16_MAX, "FlatMap64 probe distance overflow");
+    }
+  }
+
+  // Removes `key`; returns whether it was present.
+  bool Erase(uint64_t key) {
+    if (slots_.empty()) {
+      return false;
+    }
+    const size_t mask = slots_.size() - 1;
+    size_t i = HashKey(key) & mask;
+    uint16_t dist = 1;
+    for (;;) {
+      const Entry& e = slots_[i];
+      if (e.dist < dist) {
+        return false;
+      }
+      if (e.key == key && e.dist != 0) {
+        break;
+      }
+      i = (i + 1) & mask;
+      ++dist;
+    }
+    // Backward shift: pull each successor one step toward its home bucket
+    // until a hole or an entry already at home — no tombstones.
+    size_t j = (i + 1) & mask;
+    while (slots_[j].dist > 1) {
+      slots_[i] = slots_[j];
+      --slots_[i].dist;
+      i = j;
+      j = (j + 1) & mask;
+    }
+    slots_[i].dist = 0;
+    --size_;
+    return true;
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  void Clear() {
+    for (Entry& e : slots_) {
+      e = Entry{};
+    }
+    size_ = 0;
+  }
+
+ private:
+  struct Entry {
+    uint64_t key = 0;
+    uint32_t value = 0;
+    uint16_t dist = 0;  // 0 = empty; else probe distance from home + 1
+  };
+
+  static constexpr size_t kMinCapacity = 16;  // power of two
+
+  // Murmur3 finalizer: full avalanche, so sequential line numbers spread
+  // across the table instead of clustering.
+  static size_t HashKey(uint64_t x) {
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    x *= 0xc4ceb9fe1a85ec53ULL;
+    x ^= x >> 33;
+    return static_cast<size_t>(x);
+  }
+
+  void Rehash(size_t new_capacity) {
+    std::vector<Entry> old = std::move(slots_);
+    slots_.assign(new_capacity, Entry{});
+    size_ = 0;
+    for (const Entry& e : old) {
+      if (e.dist != 0) {
+        Insert(e.key, e.value);
+      }
+    }
+  }
+
+  std::vector<Entry> slots_;
+  size_t size_ = 0;
+};
+
+}  // namespace mira::support
+
+#endif  // MIRA_SRC_SUPPORT_FLAT_MAP_H_

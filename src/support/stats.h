@@ -63,6 +63,17 @@ class LatencyHistogram {
   uint64_t count() const { return count_; }
   double mean() const { return count_ > 0 ? static_cast<double>(sum_) / count_ : 0.0; }
 
+  // Folds another histogram in. Bucket-wise addition is order-independent,
+  // so per-run local histograms merged into the registry at flush time give
+  // the same result as recording every sample directly.
+  void MergeFrom(const LatencyHistogram& other) {
+    for (int b = 0; b < kBuckets; ++b) {
+      buckets_[b] += other.buckets_[b];
+    }
+    count_ += other.count_;
+    sum_ += other.sum_;
+  }
+
   // Returns the lower bound of the bucket containing percentile p (0..100).
   uint64_t PercentileNs(double p) const;
 

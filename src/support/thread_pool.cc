@@ -1,0 +1,131 @@
+#include "src/support/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace mira::support {
+
+ThreadPool::ThreadPool(size_t workers) {
+  workers_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : workers_) {
+    t.join();
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // stop_ set and nothing left: the pool has drained
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+// Shared between the caller and the helper tasks of one ParallelFor. Held
+// by shared_ptr because a helper can still sit in the queue after the call
+// returned (the caller finished every index itself); such stale helpers
+// must find the state alive, see next >= n, and exit.
+struct ThreadPool::ForState {
+  std::function<void(size_t)> fn;
+  size_t n = 0;
+  std::atomic<size_t> next{0};
+  std::mutex mu;
+  std::condition_variable done_cv;
+  size_t completed = 0;
+  size_t first_error_index = SIZE_MAX;
+  std::exception_ptr error;
+
+  void RunIndices() {
+    for (;;) {
+      const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) {
+        return;
+      }
+      std::exception_ptr err;
+      try {
+        fn(i);
+      } catch (...) {
+        err = std::current_exception();
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      if (err && i < first_error_index) {
+        first_error_index = i;
+        error = err;
+      }
+      if (++completed == n) {
+        done_cv.notify_all();
+      }
+    }
+  }
+};
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) {
+    return;
+  }
+  if (workers_.empty() || n == 1) {
+    for (size_t i = 0; i < n; ++i) {
+      fn(i);
+    }
+    return;
+  }
+  auto state = std::make_shared<ForState>();
+  state->fn = fn;
+  state->n = n;
+  const size_t helpers = std::min(workers_.size(), n - 1);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t h = 0; h < helpers; ++h) {
+      queue_.emplace_back([state] { state->RunIndices(); });
+    }
+  }
+  cv_.notify_all();
+  state->RunIndices();  // the caller is always one of the executors
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->done_cv.wait(lock, [&] { return state->completed == state->n; });
+  if (state->error) {
+    std::rethrow_exception(state->error);
+  }
+}
+
+namespace {
+std::atomic<int> g_default_jobs{0};
+}  // namespace
+
+void SetDefaultParallelism(int jobs) {
+  g_default_jobs.store(std::max(0, jobs), std::memory_order_relaxed);
+}
+
+int DefaultParallelism() {
+  const int configured = g_default_jobs.load(std::memory_order_relaxed);
+  if (configured > 0) {
+    return configured;
+  }
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : static_cast<int>(hc);
+}
+
+ThreadPool& SharedPool() {
+  static ThreadPool pool(static_cast<size_t>(std::max(0, DefaultParallelism() - 1)));
+  return pool;
+}
+
+}  // namespace mira::support

@@ -1,0 +1,104 @@
+// Host-side parallel evaluation engine (DESIGN.md §9).
+//
+// A fixed-size worker pool for fanning out *independent deterministic
+// simulations*: candidate-plan evaluations, the optimizer's per-section ×
+// per-size-ratio sampling grid, and the benches' multi-config sweeps. Each
+// task builds its own world (far node, transport, backend, interpreter,
+// RNG), so running them concurrently cannot perturb simulated time — the
+// pool changes host wall-clock only, and results are asserted bit-identical
+// to a serial run by the determinism suite.
+//
+// Concurrency contract:
+//  - Submit() enqueues a task and returns a future. Do NOT block on a
+//    future from inside a pool task (workers are a fixed resource); for
+//    nested fan-out use ParallelFor, whose caller helps execute, so nesting
+//    can never deadlock.
+//  - ParallelFor(n, fn) runs fn(0..n-1) on the workers *and* the calling
+//    thread, returns when all n are done, and rethrows the lowest-index
+//    exception. Results must be written to index-addressed slots — never
+//    appended — so completion order cannot leak into output order.
+//  - The destructor drains: every task already queued runs to completion
+//    before the workers exit.
+
+#ifndef MIRA_SRC_SUPPORT_THREAD_POOL_H_
+#define MIRA_SRC_SUPPORT_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mira::support {
+
+class ThreadPool {
+ public:
+  // Spawns `workers` host threads. 0 is valid: every Submit/ParallelFor
+  // then executes inline on the caller (the --serial configuration).
+  explicit ThreadPool(size_t workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t workers() const { return workers_.size(); }
+
+  // Enqueues `f` and returns its future (which rethrows any exception on
+  // get()). With zero workers the task runs inline before returning.
+  template <typename F>
+  auto Submit(F&& f) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> future = task->get_future();
+    if (workers_.empty()) {
+      (*task)();
+      return future;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return future;
+  }
+
+  // Runs fn(0), ..., fn(n-1) to completion, using up to workers()+1 host
+  // threads (the caller participates). Exceptions are collected and the one
+  // thrown by the lowest index is rethrown — deterministically, regardless
+  // of which host thread hit it first.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  struct ForState;
+
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+// ---- Process-wide parallelism configuration ----
+//
+// Benches and tools call SetDefaultParallelism() from their flag parsing
+// (--jobs=N / --serial) BEFORE the first SharedPool() use; the shared pool
+// is then built once with jobs-1 workers (so `jobs` bounds total concurrent
+// evaluation threads, caller included). jobs == 1 yields a zero-worker pool:
+// everything runs inline, bit-and-schedule-identical to the pre-pool code.
+
+// 0 restores "auto" (hardware concurrency). Values are clamped to >= 0.
+void SetDefaultParallelism(int jobs);
+// The resolved job count: the configured value, else hardware concurrency
+// (at least 1).
+int DefaultParallelism();
+// The lazily-built process-wide pool (DefaultParallelism() - 1 workers).
+ThreadPool& SharedPool();
+
+}  // namespace mira::support
+
+#endif  // MIRA_SRC_SUPPORT_THREAD_POOL_H_

@@ -35,30 +35,66 @@ std::string JsonEscape(std::string_view s) {
   return out;
 }
 
-uint64_t* MetricsRegistry::Counter(const std::string& name) { return &counters_[name]; }
+uint64_t* MetricsRegistry::Counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return &counters_[name];
+}
 
-double* MetricsRegistry::Gauge(const std::string& name) { return &gauges_[name]; }
+double* MetricsRegistry::Gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return &gauges_[name];
+}
 
 support::LatencyHistogram* MetricsRegistry::Histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
   return &histograms_[name];
 }
 
+void MetricsRegistry::AddCounter(const std::string& name, uint64_t delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_[name] += delta;
+}
+
+void MetricsRegistry::SetCounter(const std::string& name, uint64_t value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_[name] = value;
+}
+
+void MetricsRegistry::SetGauge(const std::string& name, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  gauges_[name] = value;
+}
+
+void MetricsRegistry::RecordLatency(const std::string& name, uint64_t ns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  histograms_[name].Add(ns);
+}
+
 const uint64_t* MetricsRegistry::FindCounter(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   const auto it = counters_.find(name);
   return it == counters_.end() ? nullptr : &it->second;
 }
 
 const double* MetricsRegistry::FindGauge(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   const auto it = gauges_.find(name);
   return it == gauges_.end() ? nullptr : &it->second;
 }
 
 const support::LatencyHistogram* MetricsRegistry::FindHistogram(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   const auto it = histograms_.find(name);
   return it == histograms_.end() ? nullptr : &it->second;
 }
 
+size_t MetricsRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_.size() + gauges_.size() + histograms_.size();
+}
+
 void MetricsRegistry::ResetValues() {
+  std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, v] : counters_) {
     v = 0;
   }
@@ -71,12 +107,14 @@ void MetricsRegistry::ResetValues() {
 }
 
 void MetricsRegistry::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
   counters_.clear();
   gauges_.clear();
   histograms_.clear();
 }
 
 std::string MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::string out = "{\n  \"counters\": {";
   bool first = true;
   for (const auto& [name, v] : counters_) {
@@ -109,6 +147,7 @@ std::string MetricsRegistry::ToJson() const {
 }
 
 std::string MetricsRegistry::ToCsv() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::string out = "metric,kind,value\n";
   for (const auto& [name, v] : counters_) {
     out += support::StrFormat("%s,counter,%llu\n", name.c_str(),
@@ -130,6 +169,7 @@ std::string MetricsRegistry::ToCsv() const {
 }
 
 std::string MetricsRegistry::ToTable() const {
+  std::lock_guard<std::mutex> lock(mu_);
   size_t width = 8;
   for (const auto& [name, v] : counters_) {
     width = std::max(width, name.size());

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <string_view>
 
@@ -23,6 +24,13 @@ namespace mira::telemetry {
 // Escapes `s` for embedding inside a JSON string literal.
 std::string JsonEscape(std::string_view s);
 
+// Thread-safety: registration, the convenience mutators, lookups, and the
+// serializers all take an internal mutex, so worker threads of the parallel
+// evaluation engine (support/thread_pool.h) may register and publish
+// concurrently. Hot-path code instead caches the returned pointers and
+// accumulates *locally*, merging into the registry once per run while
+// holding Acquire() — see net::Transport::FlushTelemetry for the pattern.
+// Raw writes through cached pointers are NOT otherwise synchronized.
 class MetricsRegistry {
  public:
   // Get-or-create. Returned pointers stay valid until Clear() — the maps
@@ -31,17 +39,21 @@ class MetricsRegistry {
   double* Gauge(const std::string& name);
   support::LatencyHistogram* Histogram(const std::string& name);
 
-  void AddCounter(const std::string& name, uint64_t delta) { *Counter(name) += delta; }
-  void SetCounter(const std::string& name, uint64_t value) { *Counter(name) = value; }
-  void SetGauge(const std::string& name, double value) { *Gauge(name) = value; }
-  void RecordLatency(const std::string& name, uint64_t ns) { Histogram(name)->Add(ns); }
+  void AddCounter(const std::string& name, uint64_t delta);
+  void SetCounter(const std::string& name, uint64_t value);
+  void SetGauge(const std::string& name, double value);
+  void RecordLatency(const std::string& name, uint64_t ns);
 
   // Lookup without creating; nullptr when absent.
   const uint64_t* FindCounter(const std::string& name) const;
   const double* FindGauge(const std::string& name) const;
   const support::LatencyHistogram* FindHistogram(const std::string& name) const;
 
-  size_t size() const { return counters_.size() + gauges_.size() + histograms_.size(); }
+  size_t size() const;
+
+  // Exclusive access for batched merges through cached pointers (per-run
+  // telemetry flushes). Hold the returned lock for the whole merge.
+  std::unique_lock<std::mutex> Acquire() const { return std::unique_lock<std::mutex>(mu_); }
 
   // Zeroes every value but keeps registrations (and outstanding pointers).
   void ResetValues();
@@ -58,6 +70,7 @@ class MetricsRegistry {
   std::string ToCsv() const;
 
  private:
+  mutable std::mutex mu_;
   std::map<std::string, uint64_t> counters_;
   std::map<std::string, double> gauges_;
   std::map<std::string, support::LatencyHistogram> histograms_;

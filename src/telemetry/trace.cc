@@ -8,7 +8,7 @@
 namespace mira::telemetry {
 
 bool TraceRecorder::Admit(const std::string& cat) {
-  if (!enabled_) {
+  if (!enabled()) {
     return false;
   }
   if (events_.size() >= max_events_ &&
@@ -20,6 +20,7 @@ bool TraceRecorder::Admit(const std::string& cat) {
 }
 
 void TraceRecorder::Begin(const sim::SimClock& clk, std::string name, std::string cat) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (!Admit(cat)) {
     return;
   }
@@ -29,9 +30,10 @@ void TraceRecorder::Begin(const sim::SimClock& clk, std::string name, std::strin
 }
 
 void TraceRecorder::End(const sim::SimClock& clk) {
-  if (!enabled_) {
+  if (!enabled()) {
     return;
   }
+  std::lock_guard<std::mutex> lock(mu_);
   auto& stack = open_[clk.tid()];
   if (stack.empty()) {
     return;  // unmatched End (its Begin was dropped at the cap): skip
@@ -47,6 +49,7 @@ void TraceRecorder::End(const sim::SimClock& clk) {
 
 void TraceRecorder::Complete(const sim::SimClock& clk, uint64_t ts_ns, uint64_t dur_ns,
                              std::string name, std::string cat, std::string args_json) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (!Admit(cat)) {
     return;
   }
@@ -56,6 +59,7 @@ void TraceRecorder::Complete(const sim::SimClock& clk, uint64_t ts_ns, uint64_t 
 
 void TraceRecorder::Instant(const sim::SimClock& clk, std::string name, std::string cat,
                             std::string args_json) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (!Admit(cat)) {
     return;
   }
@@ -64,6 +68,7 @@ void TraceRecorder::Instant(const sim::SimClock& clk, std::string name, std::str
 }
 
 void TraceRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
   events_.clear();
   open_.clear();
   dropped_ = 0;

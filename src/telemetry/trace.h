@@ -12,8 +12,10 @@
 #ifndef MIRA_SRC_TELEMETRY_TRACE_H_
 #define MIRA_SRC_TELEMETRY_TRACE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -31,18 +33,38 @@ struct TraceEvent {
   std::string args_json;   // "" or a complete JSON object ("{...}")
 };
 
+// Thread-safety: event-appending entry points take an internal mutex, so
+// parallel evaluation workers may record concurrently. Each worker's clock
+// carries its own tid and simulated timestamps, so the *content* of the
+// trace is deterministic; only the interleaving (and tid numbering) in the
+// exported JSON can vary across parallel runs. enabled() is a relaxed
+// atomic read — the zero-cost gate every instrumentation site checks.
 class TraceRecorder {
  public:
-  void Enable(bool on) { enabled_ = on; }
-  bool enabled() const { return enabled_; }
+  void Enable(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+    if (on) {
+      std::lock_guard<std::mutex> lock(mu_);
+      // Pre-size the event buffer so the first traced run doesn't pay
+      // vector-growth churn inside the simulation hot path.
+      events_.reserve(std::min<size_t>(max_events_, 1u << 16));
+    }
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
 
   // Memory backstop: further events beyond the cap are dropped and counted.
   // Pinned categories are exempt: low-frequency control events (the
   // optimizer/adaptive loop's decision points, category "pipeline") must
   // survive even when millions of hot cache/net events filled the buffer
   // first — they are what makes a long trace reconstructable.
-  void set_max_events(size_t n) { max_events_ = n; }
-  void PinCategory(std::string cat) { pinned_cats_.push_back(std::move(cat)); }
+  void set_max_events(size_t n) {
+    std::lock_guard<std::mutex> lock(mu_);
+    max_events_ = n;
+  }
+  void PinCategory(std::string cat) {
+    std::lock_guard<std::mutex> lock(mu_);
+    pinned_cats_.push_back(std::move(cat));
+  }
 
   // Scoped duration events. End closes the innermost open Begin on the
   // clock's thread and re-states its name (Perfetto accepts both forms;
@@ -59,8 +81,13 @@ class TraceRecorder {
   void Instant(const sim::SimClock& clk, std::string name, std::string cat,
                std::string args_json = "");
 
+  // Post-run readers (report sinks, tests): call only after every recording
+  // thread has joined.
   const std::vector<TraceEvent>& events() const { return events_; }
-  size_t dropped() const { return dropped_; }
+  size_t dropped() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return dropped_;
+  }
 
   void Clear();
 
@@ -69,9 +96,11 @@ class TraceRecorder {
   std::string ToJson() const;
 
  private:
+  // Requires mu_ held.
   bool Admit(const std::string& cat);
 
-  bool enabled_ = false;
+  mutable std::mutex mu_;
+  std::atomic<bool> enabled_{false};
   size_t max_events_ = 4u << 20;
   size_t dropped_ = 0;
   std::vector<std::string> pinned_cats_{"pipeline"};

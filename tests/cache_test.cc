@@ -280,6 +280,90 @@ TEST(Pinning, PinnedLineNeverEvicted) {
   s->Unpin(0, 8);
 }
 
+// ---------------- AccessLine accounting & memo regressions ----------------
+
+TEST(Accounting, LineInsertChargedExactlyOncePerMiss) {
+  Env env;
+  auto s = env.Make(SectionStructure::kDirectMapped, 256, 4 * 256);
+  const auto& cost = sim::CostModel::Default();
+  // Full-line write: the miss path with no fetch. The runtime charge must
+  // be exactly one lookup + one insert (regression: the insert cost was
+  // suspected of being double-accounted between clock and stats).
+  s->Access(env.clk, 0, 256, /*write=*/true, /*full_line_write=*/true);
+  EXPECT_EQ(s->stats().runtime_ns, cost.cache_lookup_direct_ns + cost.line_insert_ns);
+  EXPECT_EQ(s->stats().stall_ns, 0u);
+  // Hit on the same line: one more lookup charge, no second insert.
+  s->Access(env.clk, 8, 8, false);
+  EXPECT_EQ(s->stats().runtime_ns, 2 * cost.cache_lookup_direct_ns + cost.line_insert_ns);
+}
+
+TEST(Accounting, RuntimeChargesMatchClockAdvance) {
+  // Every runtime_ns charge comes with an equal simulated-clock advance: on
+  // a stall-free path, elapsed time == runtime_ns plus the data accesses.
+  Env env;
+  auto s = env.Make(SectionStructure::kDirectMapped, 256, 4 * 256);
+  const auto& cost = sim::CostModel::Default();
+  const uint64_t t0 = env.clk.now_ns();
+  s->Access(env.clk, 0, 256, /*write=*/true, /*full_line_write=*/true);
+  s->Access(env.clk, 16, 8, false);  // hit
+  EXPECT_EQ(env.clk.now_ns() - t0, s->stats().runtime_ns + 2 * cost.native_access_ns);
+}
+
+TEST(Memo, ConflictEvictionInvalidatesMemo) {
+  Env env;
+  auto s = env.Make(SectionStructure::kDirectMapped, 256, 4 * 256);
+  s->Access(env.clk, 0, 8, false);        // miss; memoizes line 0 → slot 0
+  s->Access(env.clk, 0, 8, false);        // memoized hit
+  s->Access(env.clk, 4 * 256, 8, false);  // conflict: evicts line 0 from slot 0
+  s->Access(env.clk, 0, 8, false);        // stale memo must not report a hit
+  EXPECT_EQ(s->stats().lines.misses, 3u);
+  EXPECT_EQ(s->stats().lines.hits, 1u);
+}
+
+TEST(Memo, ReleaseDropsResidencyDespiteMemo) {
+  Env env;
+  auto s = env.Make(SectionStructure::kFullyAssociative, 256, 4 * 256);
+  s->Access(env.clk, 0, 8, false);
+  s->Access(env.clk, 0, 8, false);  // memoized hit
+  s->Release(env.clk);
+  s->Access(env.clk, 0, 8, false);  // must miss: the slot was invalidated
+  EXPECT_EQ(s->stats().lines.misses, 2u);
+  EXPECT_EQ(s->stats().lines.hits, 1u);
+}
+
+TEST(Pinning, UnpinMakesLineEvictableAgain) {
+  Env env;
+  auto s = env.Make(SectionStructure::kFullyAssociative, 256, 4 * 256);
+  s->Access(env.clk, 0, 8, false);
+  s->Pin(0, 8);
+  for (uint64_t i = 1; i < 20; ++i) {
+    s->Access(env.clk, i * 256, 8, false);  // pressure: pinned line survives
+  }
+  s->Unpin(0, 8);
+  for (uint64_t i = 20; i < 40; ++i) {
+    s->Access(env.clk, i * 256, 8, false);  // pressure again: now evictable
+  }
+  const uint64_t misses_before = s->stats().lines.misses;
+  s->Access(env.clk, 0, 8, false);
+  EXPECT_EQ(s->stats().lines.misses, misses_before + 1);
+}
+
+TEST(Pinning, PinCountsNest) {
+  Env env;
+  auto s = env.Make(SectionStructure::kFullyAssociative, 256, 4 * 256);
+  s->Access(env.clk, 0, 8, false);
+  s->Pin(0, 8);
+  s->Pin(0, 8);
+  s->Unpin(0, 8);  // one pin still outstanding
+  for (uint64_t i = 1; i < 20; ++i) {
+    s->Access(env.clk, i * 256, 8, false);
+  }
+  const uint64_t hits_before = s->stats().lines.hits;
+  s->Access(env.clk, 0, 8, false);  // still resident
+  EXPECT_EQ(s->stats().lines.hits, hits_before + 1);
+  s->Unpin(0, 8);
+}
+
 TEST(Promotion, PromotedHitIsNativeSpeed) {
   Env env;
   auto s = env.Make(SectionStructure::kDirectMapped, 256, 8 * 256);

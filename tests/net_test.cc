@@ -140,9 +140,13 @@ TEST(Transport, ResetStatsOnlyResetsNetworkStats) {
   e.net.SetFaultInjector(&inj);
   e.net.ReadSync(e.clk, addr, nullptr, 4096);
   EXPECT_FALSE(e.net.TryWriteSync(e.clk, addr, nullptr, 64).ok());
+  // Verb/fault telemetry is batched per run; flush explicitly so the
+  // registry reflects the accesses above while the transport is alive.
+  e.net.FlushTelemetry();
   const uint64_t* reads = telemetry::Metrics().FindCounter("net.read.sync.count");
   ASSERT_NE(reads, nullptr);
   const uint64_t reads_before = *reads;
+  EXPECT_GT(reads_before, 0u);
   const uint64_t drops_before = e.net.fault_stats().drops;
   EXPECT_GT(drops_before, 0u);
   EXPECT_EQ(e.net.stats().one_sided_reads, 1u);

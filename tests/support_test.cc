@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <unordered_map>
 
+#include "src/support/flat_map.h"
 #include "src/support/rng.h"
 #include "src/support/stats.h"
 #include "src/support/status.h"
@@ -217,6 +219,71 @@ TEST(Str, HumanNs) {
   EXPECT_EQ(HumanNs(500), "500ns");
   EXPECT_EQ(HumanNs(1500), "1.5us");
   EXPECT_EQ(HumanNs(2'500'000), "2.50ms");
+}
+
+TEST(FlatMap64, BasicInsertFindErase) {
+  FlatMap64 m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.Find(7), FlatMap64::kNotFound);
+  m.Insert(7, 100);
+  m.Insert(9, 200);
+  EXPECT_EQ(m.size(), 2u);
+  EXPECT_EQ(m.Find(7), 100u);
+  EXPECT_EQ(m.Find(9), 200u);
+  m.Insert(7, 101);  // insert-or-assign
+  EXPECT_EQ(m.Find(7), 101u);
+  EXPECT_EQ(m.size(), 2u);
+  m.Erase(7);
+  EXPECT_EQ(m.Find(7), FlatMap64::kNotFound);
+  EXPECT_EQ(m.Find(9), 200u);
+  m.Erase(12345);  // absent: no-op
+  EXPECT_EQ(m.size(), 1u);
+  m.Clear();
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.Find(9), FlatMap64::kNotFound);
+}
+
+TEST(FlatMap64, GrowsThroughReserveAndLoad) {
+  FlatMap64 m;
+  m.Reserve(4);
+  for (uint64_t k = 0; k < 10'000; ++k) {
+    m.Insert(k * 0x9E3779B97F4A7C15ULL, static_cast<uint32_t>(k));
+  }
+  EXPECT_EQ(m.size(), 10'000u);
+  for (uint64_t k = 0; k < 10'000; ++k) {
+    EXPECT_EQ(m.Find(k * 0x9E3779B97F4A7C15ULL), static_cast<uint32_t>(k));
+  }
+}
+
+TEST(FlatMap64, FuzzAgainstStdUnorderedMap) {
+  // Random insert/assign/erase/find mix over a small key universe (lots of
+  // collisions and reuse) must match the reference map exactly. This is the
+  // correctness net under the cache hot path's robin-hood table.
+  Rng rng(0xF1A7);
+  FlatMap64 m;
+  std::unordered_map<uint64_t, uint32_t> ref;
+  for (int step = 0; step < 200'000; ++step) {
+    const uint64_t key = rng.NextBelow(512) * 0x100000001ULL;  // clustered hashes
+    const uint32_t op = static_cast<uint32_t>(rng.NextBelow(10));
+    if (op < 5) {
+      const uint32_t value = static_cast<uint32_t>(rng.NextBelow(1u << 30));
+      m.Insert(key, value);
+      ref[key] = value;
+    } else if (op < 7) {
+      m.Erase(key);
+      ref.erase(key);
+    } else {
+      const auto it = ref.find(key);
+      EXPECT_EQ(m.Find(key), it == ref.end() ? FlatMap64::kNotFound : it->second);
+    }
+    if (step % 10'000 == 0) {
+      ASSERT_EQ(m.size(), ref.size()) << "step " << step;
+    }
+  }
+  ASSERT_EQ(m.size(), ref.size());
+  for (const auto& [key, value] : ref) {
+    EXPECT_EQ(m.Find(key), value);
+  }
 }
 
 }  // namespace

@@ -1,0 +1,132 @@
+// Unit tests for the host-side parallel evaluation pool (DESIGN.md §9):
+// futures and exception propagation, deterministic lowest-index rethrow
+// from ParallelFor, destructor draining, and nested fan-out.
+
+#include "src/support/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace mira::support {
+namespace {
+
+TEST(ThreadPool, SubmitReturnsValueThroughFuture) {
+  ThreadPool pool(2);
+  auto f = pool.Submit([] { return 41 + 1; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, ZeroWorkersRunsEverythingInline) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.workers(), 0u);
+  const auto caller = std::this_thread::get_id();
+  std::thread::id ran_on;
+  auto f = pool.Submit([&] { ran_on = std::this_thread::get_id(); });
+  f.get();
+  EXPECT_EQ(ran_on, caller);
+
+  std::vector<int> hits(64, 0);
+  pool.ParallelFor(hits.size(), [&](size_t i) { hits[i] = 1; });
+  for (const int h : hits) {
+    EXPECT_EQ(h, 1);
+  }
+}
+
+TEST(ThreadPool, SubmitFuturePropagatesException) {
+  ThreadPool pool(2);
+  auto f = pool.Submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  constexpr size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.ParallelFor(kN, [&](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, ParallelForRethrowsLowestIndexException) {
+  ThreadPool pool(3);
+  // Several indices throw; regardless of which host thread hits one first,
+  // the call must rethrow the lowest index's exception — and every
+  // non-throwing index still runs (no cancellation).
+  std::atomic<int> ran{0};
+  std::string caught;
+  try {
+    pool.ParallelFor(16, [&](size_t i) {
+      if (i == 2 || i == 5 || i == 11) {
+        throw std::runtime_error(std::to_string(i));
+      }
+      ran.fetch_add(1);
+    });
+    FAIL() << "expected ParallelFor to throw";
+  } catch (const std::runtime_error& e) {
+    caught = e.what();
+  }
+  EXPECT_EQ(caught, "2");
+  EXPECT_EQ(ran.load(), 13);
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedTasks) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 64; ++i) {
+      pool.Submit([&done] {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        done.fetch_add(1);
+      });
+    }
+    // Destructor runs here: every queued task must complete first.
+  }
+  EXPECT_EQ(done.load(), 64);
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
+  // The caller participates in ParallelFor, so an outer task fanning out on
+  // the same (small) pool always makes progress even with every worker busy.
+  ThreadPool pool(2);
+  std::atomic<int> leaf{0};
+  pool.ParallelFor(4, [&](size_t) {
+    pool.ParallelFor(8, [&](size_t) { leaf.fetch_add(1); });
+  });
+  EXPECT_EQ(leaf.load(), 32);
+}
+
+TEST(ThreadPool, FireAndForgetSubmitFromInsideTask) {
+  std::atomic<int> inner{0};
+  {
+    ThreadPool pool(2);
+    auto outer = pool.Submit([&] {
+      for (int i = 0; i < 8; ++i) {
+        pool.Submit([&inner] { inner.fetch_add(1); });
+      }
+    });
+    outer.get();
+    // The nested submissions drain in the destructor.
+  }
+  EXPECT_EQ(inner.load(), 8);
+}
+
+TEST(ThreadPool, DefaultParallelismClampsAndResolves) {
+  SetDefaultParallelism(3);
+  EXPECT_EQ(DefaultParallelism(), 3);
+  SetDefaultParallelism(1);
+  EXPECT_EQ(DefaultParallelism(), 1);
+  SetDefaultParallelism(-5);  // clamped to auto
+  EXPECT_GE(DefaultParallelism(), 1);
+  SetDefaultParallelism(0);  // auto: hardware concurrency, at least 1
+  EXPECT_GE(DefaultParallelism(), 1);
+}
+
+}  // namespace
+}  // namespace mira::support
