@@ -37,6 +37,15 @@ namespace mira::bench {
 //                      --bench-baseline= names a prior serial report (or a
 //                      raw ns value) — the speedup over that baseline
 //   --bench-baseline=X a previous --bench-out file, or a wall-ns number
+//
+// Observability flags (also stripped; see src/telemetry/telemetry.h):
+//   --chrome-trace-out=FILE  Chrome trace-event JSON (load in Perfetto /
+//                            chrome://tracing); --trace-out= is an alias
+//   --profile-out=FILE       folded stall-attribution profile (flamegraph
+//                            input); also prints a top-10 table to stderr
+//   --trace-ring=N           keep only the newest N trace events
+//                            (drop-oldest ring; 0 = unbounded, the default)
+//   --metrics-out=FILE       metrics registry snapshot as CSV
 struct BenchConfig {
   int jobs = 0;  // 0 = auto
   bool serial = false;

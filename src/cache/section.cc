@@ -40,6 +40,14 @@ void PublishSectionStats(telemetry::MetricsRegistry& registry, const std::string
   registry.SetCounter(prefix + ".reliable_escalations", stats.reliable_escalations);
 }
 
+uint32_t Section::LaneTid() {
+  if (lane_tid_ == 0) {
+    lane_tid_ = sim::AllocateTid();
+    telemetry::Trace().SetThreadName(lane_tid_, "section:" + config_.name);
+  }
+  return lane_tid_;
+}
+
 Section::Section(SectionConfig config, net::Transport* net)
     : config_(std::move(config)), net_(net) {
   MIRA_CHECK_MSG(config_.line_bytes > 0, "section line size must be positive");
@@ -74,6 +82,10 @@ void Section::AccessPromoted(sim::SimClock& clk, uint64_t raddr, uint32_t len, b
         stats_.stall_ns += wait;
         stats_.prefetch_late_ns += wait;
         clk.AdvanceTo(m.ready_at_ns);
+        auto& prof = telemetry::Profiler();
+        if (prof.enabled()) {
+          prof.ChargeStall(clk, "prefetch_wait", config_.name, wait);
+        }
       }
       if (m.prefetched) {
         ++stats_.prefetched_hits;
@@ -110,6 +122,10 @@ void Section::AccessLine(sim::SimClock& clk, uint64_t line, bool write, bool ful
       stats_.stall_ns += wait;
       stats_.prefetch_late_ns += wait;
       clk.AdvanceTo(m.ready_at_ns);
+      auto& prof = telemetry::Profiler();
+      if (prof.enabled()) {
+        prof.ChargeStall(clk, "prefetch_wait", config_.name, wait);
+      }
     }
     if (m.prefetched) {
       ++stats_.prefetched_hits;
@@ -150,15 +166,24 @@ void Section::AccessLine(sim::SimClock& clk, uint64_t line, bool write, bool ful
     return;
   }
   const uint64_t t0 = clk.now_ns();
+  auto& prof = telemetry::Profiler();
+  const bool profiled = prof.enabled();
+  if (profiled) {
+    prof.BeginStall(clk, "demand_fetch", config_.name);
+  }
   const uint64_t done = FetchLineReliable(clk, line);
   clk.AdvanceTo(done);
+  if (profiled) {
+    prof.EndStall(clk);
+  }
   m.ready_at_ns = done;
   stats_.stall_ns += clk.now_ns() - t0;
   auto& trace = telemetry::Trace();
   if (trace.enabled()) {
-    trace.Complete(clk, t0, clk.now_ns() - t0, "cache." + config_.name + ".miss", "cache",
-                   support::StrFormat("{\"line\":%llu}",
-                                      static_cast<unsigned long long>(line)));
+    trace.CompleteOn(LaneTid(), t0, clk.now_ns() - t0, "cache." + config_.name + ".miss",
+                     "cache",
+                     support::StrFormat("{\"line\":%llu}",
+                                        static_cast<unsigned long long>(line)));
   }
 }
 
@@ -201,6 +226,16 @@ support::Result<uint64_t> Section::TryFetchLine(sim::SimClock& clk, uint64_t lin
 uint64_t Section::FetchLineReliable(sim::SimClock& clk, uint64_t line) {
   const uint64_t raddr = line * config_.line_bytes;
   auto* integ = ActiveIntegrity(net_);
+  auto& prof = telemetry::Profiler();
+  // Heal window: spans each re-fetch attempt (and its verify) triggered by a
+  // tainted/stale verdict, so heal time separates from the plain demand wait.
+  bool healing = false;
+  const auto end_heal = [&] {
+    if (healing) {
+      prof.EndStall(clk);
+      healing = false;
+    }
+  };
   int heal_rounds = 0;
   for (int round = 0;; ++round) {
     support::Result<uint64_t> r = TryFetchLine(clk, line, /*demand=*/true);
@@ -214,6 +249,7 @@ uint64_t Section::FetchLineReliable(sim::SimClock& clk, uint64_t line) {
           verdict == integrity::FetchVerdict::kFatal) {
         // Fatal (quarantined) deliveries return too: the interpreter
         // surfaces kDataLoss before the data is consumed.
+        end_heal();
         return r.value();
       }
       if (verdict == integrity::FetchVerdict::kStale) {
@@ -222,10 +258,15 @@ uint64_t Section::FetchLineReliable(sim::SimClock& clk, uint64_t line) {
         DrainPendingWritebacks(clk);
       }
       if (heal_rounds + 1 >= integ->config().max_refetch_rounds) {
+        end_heal();
         break;  // escalate below
       }
       ++heal_rounds;
       integ->CountRefetchRound();
+      if (prof.enabled() && !healing) {
+        prof.BeginStall(clk, "integrity_heal", config_.name);
+        healing = true;
+      }
       continue;
     }
     if (r.status().code() == support::ErrorCode::kUnavailable) {
@@ -233,9 +274,11 @@ uint64_t Section::FetchLineReliable(sim::SimClock& clk, uint64_t line) {
       WaitOutOutage(clk);
     }
     if (round + 1 >= config_.max_fault_rounds) {
+      end_heal();
       break;
     }
   }
+  end_heal();
   // Last rung of the ladder. A demand fetch cannot be dropped (the program
   // needs the data), so model operator-grade recovery with the infallible
   // verb, whose delivery is clean by construction.
@@ -258,9 +301,14 @@ void Section::WaitOutOutage(sim::SimClock& clk) {
   stats_.degraded_ns += span;
   stats_.stall_ns += span;
   clk.AdvanceTo(until);
+  auto& prof = telemetry::Profiler();
+  if (prof.enabled()) {
+    prof.ChargeStall(clk, "outage_wait", config_.name, span);
+  }
   auto& trace = telemetry::Trace();
   if (trace.enabled()) {
-    trace.Complete(clk, t0, span, "cache." + config_.name + ".degraded", "cache", "{}");
+    trace.CompleteOn(LaneTid(), t0, span, "cache." + config_.name + ".degraded", "cache",
+                     "{}");
   }
 }
 
@@ -292,6 +340,11 @@ void Section::WritebackLine(sim::SimClock& clk, uint64_t raddr) {
 void Section::DrainPendingWritebacks(sim::SimClock& clk) {
   if (pending_writebacks_.empty()) {
     return;
+  }
+  auto& prof = telemetry::Profiler();
+  const bool profiled = prof.enabled();
+  if (profiled) {
+    prof.BeginStall(clk, "writeback_drain", config_.name);
   }
   auto* integ = ActiveIntegrity(net_);
   // A torn drain applies only the first `tear_at` lines at the far node; the
@@ -341,6 +394,9 @@ void Section::DrainPendingWritebacks(sim::SimClock& clk) {
     ++stats_.writebacks;
     stats_.bytes_written_back += config_.line_bytes;
     integ->ForceCommit(raddr, config_.line_bytes);  // closes the torn episode healed
+  }
+  if (profiled) {
+    prof.EndStall(clk);
   }
 }
 
@@ -425,6 +481,18 @@ void Section::AccessBatch(sim::SimClock& clk,
     auto* integ = ActiveIntegrity(net_);
     const uint64_t gather_key = segs.front().raddr;  // episode key for the message
     const uint64_t t0 = clk.now_ns();
+    auto& prof = telemetry::Profiler();
+    const bool profiled = prof.enabled();
+    if (profiled) {
+      prof.BeginStall(clk, "batch_fetch", config_.name);
+    }
+    bool healing = false;
+    const auto end_heal = [&] {
+      if (healing) {
+        prof.EndStall(clk);
+        healing = false;
+      }
+    };
     uint64_t done = 0;
     int heal_rounds = 0;
     for (int round = 0;; ++round) {
@@ -455,6 +523,7 @@ void Section::AccessBatch(sim::SimClock& clk,
         }
         if (worst == integrity::FetchVerdict::kClean ||
             worst == integrity::FetchVerdict::kFatal) {
+          end_heal();
           done = r.value();
           break;
         }
@@ -462,6 +531,7 @@ void Section::AccessBatch(sim::SimClock& clk,
           DrainPendingWritebacks(clk);
         }
         if (heal_rounds + 1 >= integ->config().max_refetch_rounds) {
+          end_heal();
           ++stats_.reliable_escalations;
           done = net_->ReadGatherAsync(clk, segs);
           integ->MarkHealed(gather_key, /*escalated=*/true);
@@ -469,12 +539,17 @@ void Section::AccessBatch(sim::SimClock& clk,
         }
         ++heal_rounds;
         integ->CountRefetchRound();
+        if (profiled && !healing) {
+          prof.BeginStall(clk, "integrity_heal", config_.name);
+          healing = true;
+        }
         continue;
       }
       if (r.status().code() == support::ErrorCode::kUnavailable) {
         WaitOutOutage(clk);
       }
       if (round + 1 >= config_.max_fault_rounds) {
+        end_heal();
         ++stats_.reliable_escalations;
         done = net_->ReadGatherAsync(clk, segs);
         if (integ != nullptr) {
@@ -483,16 +558,20 @@ void Section::AccessBatch(sim::SimClock& clk,
         break;
       }
     }
+    end_heal();
     clk.AdvanceTo(done);
+    if (profiled) {
+      prof.EndStall(clk);
+    }
     stats_.stall_ns += clk.now_ns() - t0;
     for (const uint32_t slot : filled_slots) {
       slots_[slot].ready_at_ns = done;
     }
     auto& trace = telemetry::Trace();
     if (trace.enabled()) {
-      trace.Complete(clk, t0, clk.now_ns() - t0, "cache." + config_.name + ".batch_miss",
-                     "cache",
-                     support::StrFormat("{\"lines\":%zu}", segs.size()));
+      trace.CompleteOn(LaneTid(), t0, clk.now_ns() - t0,
+                       "cache." + config_.name + ".batch_miss", "cache",
+                       support::StrFormat("{\"lines\":%zu}", segs.size()));
     }
   }
   // Phase 3: the data accesses themselves.
@@ -521,9 +600,10 @@ void Section::Prefetch(sim::SimClock& clk, uint64_t raddr, uint32_t len) {
       ++stats_.prefetch_aborted;
       auto& trace = telemetry::Trace();
       if (trace.enabled()) {
-        trace.Instant(clk, "cache." + config_.name + ".prefetch_aborted", "cache",
-                      support::StrFormat("{\"line\":%llu}",
-                                         static_cast<unsigned long long>(line)));
+        trace.InstantOn(LaneTid(), clk.now_ns(), "cache." + config_.name + ".prefetch_aborted",
+                        "cache",
+                        support::StrFormat("{\"line\":%llu}",
+                                           static_cast<unsigned long long>(line)));
       }
       continue;
     }
@@ -539,9 +619,10 @@ void Section::Prefetch(sim::SimClock& clk, uint64_t raddr, uint32_t len) {
         ++stats_.prefetch_aborted;
         auto& trace = telemetry::Trace();
         if (trace.enabled()) {
-          trace.Instant(clk, "cache." + config_.name + ".prefetch_aborted", "cache",
-                        support::StrFormat("{\"line\":%llu}",
-                                           static_cast<unsigned long long>(line)));
+          trace.InstantOn(LaneTid(), clk.now_ns(),
+                          "cache." + config_.name + ".prefetch_aborted", "cache",
+                          support::StrFormat("{\"line\":%llu}",
+                                             static_cast<unsigned long long>(line)));
         }
         continue;
       }
@@ -558,10 +639,10 @@ void Section::Prefetch(sim::SimClock& clk, uint64_t raddr, uint32_t len) {
     OnInsert(victim, line);
     auto& trace = telemetry::Trace();
     if (trace.enabled()) {
-      trace.Instant(clk, "cache." + config_.name + ".prefetch", "cache",
-                    support::StrFormat("{\"line\":%llu,\"ready_at_ns\":%llu}",
-                                       static_cast<unsigned long long>(line),
-                                       static_cast<unsigned long long>(m.ready_at_ns)));
+      trace.InstantOn(LaneTid(), clk.now_ns(), "cache." + config_.name + ".prefetch", "cache",
+                      support::StrFormat("{\"line\":%llu,\"ready_at_ns\":%llu}",
+                                         static_cast<unsigned long long>(line),
+                                         static_cast<unsigned long long>(m.ready_at_ns)));
     }
   }
 }
@@ -622,8 +703,13 @@ void Section::FlushAll(sim::SimClock& clk) {
   DrainPendingWritebacks(clk);
   // Flush is a synchronization point (e.g., before an offloaded call).
   if (last_writeback_done_ns_ > clk.now_ns()) {
-    stats_.stall_ns += last_writeback_done_ns_ - clk.now_ns();
+    const uint64_t wait = last_writeback_done_ns_ - clk.now_ns();
+    stats_.stall_ns += wait;
     clk.AdvanceTo(last_writeback_done_ns_);
+    auto& prof = telemetry::Profiler();
+    if (prof.enabled()) {
+      prof.ChargeStall(clk, "writeback_flush", config_.name, wait);
+    }
   }
 }
 

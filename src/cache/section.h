@@ -217,6 +217,10 @@ class Section {
   // stall_ns and degraded_ns.
   void WaitOutOutage(sim::SimClock& clk);
 
+  // Lazily-allocated trace lane for this section's events, so Perfetto
+  // renders one labeled track per cache section ("section:<name>").
+  uint32_t LaneTid();
+
   SectionConfig config_;
   net::Transport* net_;
   SectionStats stats_;
@@ -233,6 +237,7 @@ class Section {
   uint64_t last_writeback_done_ns_ = 0;
   // Remote addresses of writebacks that failed and await a reliable drain.
   std::vector<uint64_t> pending_writebacks_;
+  uint32_t lane_tid_ = 0;  // trace lane; 0 = not yet allocated (tids start at 1)
 
  private:
   // LookupSlot's one-entry memo (see above).

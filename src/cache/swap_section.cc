@@ -8,6 +8,14 @@
 
 namespace mira::cache {
 
+uint32_t SwapSection::LaneTid() {
+  if (lane_tid_ == 0) {
+    lane_tid_ = sim::AllocateTid();
+    telemetry::Trace().SetThreadName(lane_tid_, "section:swap");
+  }
+  return lane_tid_;
+}
+
 SwapSection::SwapSection(uint64_t size_bytes, net::Transport* net,
                          std::unique_ptr<SwapPrefetcher> prefetcher, double datapath_factor,
                          int max_fault_rounds, size_t pending_writeback_limit)
@@ -46,6 +54,10 @@ void SwapSection::Access(sim::SimClock& clk, uint64_t raddr, uint32_t len, bool 
           stats_.stall_ns += wait;
           stats_.prefetch_late_ns += wait;
           clk.AdvanceTo(m.ready_at_ns);
+          auto& prof = telemetry::Profiler();
+          if (prof.enabled()) {
+            prof.ChargeStall(clk, "prefetch_wait", "swap", wait);
+          }
         }
       }
       if (m.prefetched) {
@@ -106,6 +118,18 @@ uint32_t SwapSection::FaultIn(sim::SimClock& clk, uint64_t page, bool demand) {
       stats_.runtime_ns += fault;
     }
     const uint64_t t0 = clk.now_ns();
+    auto& prof = telemetry::Profiler();
+    const bool profiled = prof.enabled();
+    if (profiled) {
+      prof.BeginStall(clk, "demand_fetch", "swap");
+    }
+    bool healing = false;
+    const auto end_heal = [&] {
+      if (healing) {
+        prof.EndStall(clk);
+        healing = false;
+      }
+    };
     // Demand-fetch ladder: retry, wait out outages, verify the delivered
     // page when integrity checking is attached, escalate to the infallible
     // verb after max_fault_rounds_ — a major fault cannot be dropped, the
@@ -128,6 +152,7 @@ uint32_t SwapSection::FaultIn(sim::SimClock& clk, uint64_t page, bool demand) {
           DrainPendingWritebacks(clk);
         }
         if (heal_rounds + 1 >= integ->config().max_refetch_rounds) {
+          end_heal();
           ++stats_.reliable_escalations;
           net_->ReadSync(clk, raddr, nullptr, kPageBytes);
           integ->MarkHealed(raddr, /*escalated=*/true);
@@ -135,12 +160,17 @@ uint32_t SwapSection::FaultIn(sim::SimClock& clk, uint64_t page, bool demand) {
         }
         ++heal_rounds;
         integ->CountRefetchRound();
+        if (profiled && !healing) {
+          prof.BeginStall(clk, "integrity_heal", "swap");
+          healing = true;
+        }
         continue;
       }
       if (s.code() == support::ErrorCode::kUnavailable) {
         WaitOutOutage(clk);
       }
       if (round + 1 >= max_fault_rounds_) {
+        end_heal();
         ++stats_.reliable_escalations;
         net_->ReadSync(clk, raddr, nullptr, kPageBytes);
         if (integ != nullptr) {
@@ -149,13 +179,17 @@ uint32_t SwapSection::FaultIn(sim::SimClock& clk, uint64_t page, bool demand) {
         break;
       }
     }
+    end_heal();
+    if (profiled) {
+      prof.EndStall(clk);
+    }
     m.ready_at_ns = clk.now_ns();
     stats_.stall_ns += clk.now_ns() - t0;
     auto& trace = telemetry::Trace();
     if (trace.enabled()) {
-      trace.Complete(clk, t0, clk.now_ns() - t0, "cache.swap.fault", "cache",
-                     support::StrFormat("{\"page\":%llu}",
-                                        static_cast<unsigned long long>(page)));
+      trace.CompleteOn(LaneTid(), t0, clk.now_ns() - t0, "cache.swap.fault", "cache",
+                       support::StrFormat("{\"page\":%llu}",
+                                          static_cast<unsigned long long>(page)));
     }
   } else {
     const uint64_t issue = net_->cost().prefetch_issue_ns;
@@ -224,9 +258,13 @@ void SwapSection::WaitOutOutage(sim::SimClock& clk) {
   stats_.degraded_ns += span;
   stats_.stall_ns += span;
   clk.AdvanceTo(until);
+  auto& prof = telemetry::Profiler();
+  if (prof.enabled()) {
+    prof.ChargeStall(clk, "outage_wait", "swap", span);
+  }
   auto& trace = telemetry::Trace();
   if (trace.enabled()) {
-    trace.Complete(clk, t0, span, "cache.swap.degraded", "cache", "{}");
+    trace.CompleteOn(LaneTid(), t0, span, "cache.swap.degraded", "cache", "{}");
   }
 }
 
@@ -255,6 +293,11 @@ void SwapSection::WritebackPage(sim::SimClock& clk, uint64_t raddr) {
 void SwapSection::DrainPendingWritebacks(sim::SimClock& clk) {
   if (pending_writebacks_.empty()) {
     return;
+  }
+  auto& prof = telemetry::Profiler();
+  const bool profiled = prof.enabled();
+  if (profiled) {
+    prof.BeginStall(clk, "writeback_drain", "swap");
   }
   auto* integ = integrity::ActiveOrNull(net_->integrity());
   // See cache::Section::DrainPendingWritebacks: torn bursts apply only a
@@ -300,6 +343,9 @@ void SwapSection::DrainPendingWritebacks(sim::SimClock& clk) {
     stats_.bytes_written_back += kPageBytes;
     integ->ForceCommit(raddr, kPageBytes);
   }
+  if (profiled) {
+    prof.EndStall(clk);
+  }
 }
 
 void SwapSection::Release(sim::SimClock& clk) {
@@ -322,8 +368,13 @@ void SwapSection::Release(sim::SimClock& clk) {
   // Release must leave nothing queued.
   DrainPendingWritebacks(clk);
   if (last_writeback_done_ns_ > clk.now_ns()) {
-    stats_.stall_ns += last_writeback_done_ns_ - clk.now_ns();
+    const uint64_t wait = last_writeback_done_ns_ - clk.now_ns();
+    stats_.stall_ns += wait;
     clk.AdvanceTo(last_writeback_done_ns_);
+    auto& prof = telemetry::Profiler();
+    if (prof.enabled()) {
+      prof.ChargeStall(clk, "writeback_flush", "swap", wait);
+    }
   }
 }
 

@@ -94,6 +94,9 @@ class SwapSection {
   void WritebackPage(sim::SimClock& clk, uint64_t raddr);
   void DrainPendingWritebacks(sim::SimClock& clk);
 
+  // Lazily-allocated trace lane ("section:swap"), mirroring Section::LaneTid.
+  uint32_t LaneTid();
+
   net::Transport* net_;
   std::unique_ptr<SwapPrefetcher> prefetcher_;
   double datapath_factor_;
@@ -111,6 +114,7 @@ class SwapSection {
   uint64_t last_writeback_done_ns_ = 0;
   sim::SerialResource* fault_lock_ = nullptr;
   std::vector<uint64_t> pending_writebacks_;  // raddrs of faulted writebacks
+  uint32_t lane_tid_ = 0;  // trace lane; 0 = not yet allocated (tids start at 1)
 };
 
 }  // namespace mira::cache

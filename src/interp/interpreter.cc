@@ -169,6 +169,7 @@ support::Status Interpreter::CallFunction(uint32_t index, const std::vector<uint
   }
   ++call_depth_;
   func_stack_.push_back(func.name);
+  telemetry::ProfileScope prof_scope(clock_.tid(), func.name);
   FuncProfile& fp = ProfileOf(func);
   ++fp.calls;
   if (options_.profiling) {
@@ -490,6 +491,7 @@ support::Status Interpreter::ExecInstr(Frame& frame, const ir::Region& region, s
       }
       break;
     case ir::OpKind::kFor: {
+      telemetry::ProfileScope prof_scope(clock_.tid(), "for", pos);
       const int64_t lo = I(0);
       const int64_t hi = I(1);
       const int64_t step = I(2);
@@ -510,6 +512,7 @@ support::Status Interpreter::ExecInstr(Frame& frame, const ir::Region& region, s
       break;
     }
     case ir::OpKind::kWhile: {
+      telemetry::ProfileScope prof_scope(clock_.tid(), "while", pos);
       const ir::Region& cond = instr.regions[0];
       const ir::Region& body = instr.regions[1];
       while (true) {

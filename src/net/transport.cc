@@ -167,6 +167,12 @@ support::Result<uint64_t> Transport::AdmitVerb(Verb verb, sim::SimClock& clk,
     clk.Advance(policy.attempt_timeout_ns);
     fault_stats_.lost_wait_ns += policy.attempt_timeout_ns;
     fault_telemetry_.lost_wait_ns.Add(policy.attempt_timeout_ns);
+    {
+      auto& prof = telemetry::Profiler();
+      if (prof.enabled()) {
+        prof.ChargeStall(clk, "retry_lost_wait", VerbName(verb), policy.attempt_timeout_ns);
+      }
+    }
     if (trace.enabled()) {
       trace.Instant(clk, kind, "net",
                     support::StrFormat("{\"verb\":\"%s\",\"attempt\":%u}", VerbName(verb),
@@ -194,6 +200,12 @@ support::Result<uint64_t> Transport::AdmitVerb(Verb verb, sim::SimClock& clk,
     clk.Advance(backoff);
     fault_stats_.backoff_ns += backoff;
     fault_telemetry_.backoff_ns.Add(backoff);
+    {
+      auto& prof = telemetry::Profiler();
+      if (prof.enabled()) {
+        prof.ChargeStall(clk, "retry_backoff", VerbName(verb), backoff);
+      }
+    }
     ++fault_stats_.retries;
     fault_telemetry_.retries.Add(1);
     retried = true;

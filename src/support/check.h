@@ -32,4 +32,17 @@ namespace mira::support {
 
 #define MIRA_UNREACHABLE(msg) ::mira::support::CheckFailed("unreachable", __FILE__, __LINE__, (msg))
 
+// Debug-only check: compiled out under NDEBUG (the default RelWithDebInfo
+// build defines it). For validation that should catch mistakes in debug/CI
+// builds without taxing or aborting release runs — e.g. metric-name
+// convention checks at registration.
+#ifdef NDEBUG
+#define MIRA_DCHECK_MSG(expr, msg) \
+  do {                             \
+    (void)sizeof(expr);            \
+  } while (0)
+#else
+#define MIRA_DCHECK_MSG(expr, msg) MIRA_CHECK_MSG(expr, msg)
+#endif
+
 #endif  // MIRA_SRC_SUPPORT_CHECK_H_

@@ -6,7 +6,18 @@ uint64_t LatencyHistogram::PercentileNs(double p) const {
   if (count_ == 0) {
     return 0;
   }
-  const auto target = static_cast<uint64_t>(p / 100.0 * static_cast<double>(count_));
+  if (p < 0.0) {
+    p = 0.0;
+  }
+  // Rank of the percentile sample, clamped to the last sample so p100 (and
+  // any p where p/100*count rounds up to count) lands in the highest
+  // non-empty bucket instead of falling off the end of the scan — a
+  // single-sample histogram now answers every percentile with its one
+  // bucket rather than returning the 2^47 sentinel for p100.
+  uint64_t target = static_cast<uint64_t>(p / 100.0 * static_cast<double>(count_));
+  if (target >= count_) {
+    target = count_ - 1;
+  }
   uint64_t seen = 0;
   for (int b = 0; b < kBuckets; ++b) {
     seen += buckets_[b];

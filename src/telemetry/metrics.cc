@@ -1,8 +1,46 @@
 #include "src/telemetry/metrics.h"
 
+#include "src/support/check.h"
 #include "src/support/str.h"
 
 namespace mira::telemetry {
+
+bool ValidMetricName(std::string_view name, bool histogram) {
+  if (name.empty() || name.find('.') == std::string_view::npos) {
+    return false;
+  }
+  size_t seg_start = 0;
+  for (size_t i = 0; i <= name.size(); ++i) {
+    if (i == name.size() || name[i] == '.') {
+      if (i == seg_start) {
+        return false;  // empty segment (leading/trailing/double dot)
+      }
+      if (name[seg_start] == '_' || name[i - 1] == '_') {
+        return false;
+      }
+      seg_start = i + 1;
+      continue;
+    }
+    const char c = name[i];
+    if (!((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_')) {
+      return false;
+    }
+  }
+  if (histogram && (name.size() < 3 || name.substr(name.size() - 3) != "_ns")) {
+    return false;
+  }
+  return true;
+}
+
+namespace {
+
+void CheckName(const std::string& name, bool histogram = false) {
+  MIRA_DCHECK_MSG(ValidMetricName(name, histogram), name.c_str());
+  (void)name;
+  (void)histogram;
+}
+
+}  // namespace
 
 std::string JsonEscape(std::string_view s) {
   std::string out;
@@ -36,36 +74,43 @@ std::string JsonEscape(std::string_view s) {
 }
 
 uint64_t* MetricsRegistry::Counter(const std::string& name) {
+  CheckName(name);
   std::lock_guard<std::mutex> lock(mu_);
   return &counters_[name];
 }
 
 double* MetricsRegistry::Gauge(const std::string& name) {
+  CheckName(name);
   std::lock_guard<std::mutex> lock(mu_);
   return &gauges_[name];
 }
 
 support::LatencyHistogram* MetricsRegistry::Histogram(const std::string& name) {
+  CheckName(name, /*histogram=*/true);
   std::lock_guard<std::mutex> lock(mu_);
   return &histograms_[name];
 }
 
 void MetricsRegistry::AddCounter(const std::string& name, uint64_t delta) {
+  CheckName(name);
   std::lock_guard<std::mutex> lock(mu_);
   counters_[name] += delta;
 }
 
 void MetricsRegistry::SetCounter(const std::string& name, uint64_t value) {
+  CheckName(name);
   std::lock_guard<std::mutex> lock(mu_);
   counters_[name] = value;
 }
 
 void MetricsRegistry::SetGauge(const std::string& name, double value) {
+  CheckName(name);
   std::lock_guard<std::mutex> lock(mu_);
   gauges_[name] = value;
 }
 
 void MetricsRegistry::RecordLatency(const std::string& name, uint64_t ns) {
+  CheckName(name, /*histogram=*/true);
   std::lock_guard<std::mutex> lock(mu_);
   histograms_[name].Add(ns);
 }

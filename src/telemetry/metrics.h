@@ -24,6 +24,13 @@ namespace mira::telemetry {
 // Escapes `s` for embedding inside a JSON string literal.
 std::string JsonEscape(std::string_view s);
 
+// Checks `name` against the naming convention above: one or more dots, and
+// every dot-separated segment non-empty lowercase [a-z0-9_] (no leading or
+// trailing underscore). Histogram names must additionally end in `_ns` —
+// LatencyHistogram records nanoseconds, so the unit belongs in the name.
+// Enforced at registration behind MIRA_DCHECK_MSG (debug builds only).
+bool ValidMetricName(std::string_view name, bool histogram = false);
+
 // Thread-safety: registration, the convenience mutators, lookups, and the
 // serializers all take an internal mutex, so worker threads of the parallel
 // evaluation engine (support/thread_pool.h) may register and publish

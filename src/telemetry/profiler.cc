@@ -1,0 +1,187 @@
+#include "src/telemetry/profiler.h"
+
+#include <algorithm>
+
+#include "src/support/str.h"
+#include "src/telemetry/metrics.h"
+
+namespace mira::telemetry {
+
+StallProfiler& Profiler() {
+  static StallProfiler instance;
+  return instance;
+}
+
+std::string StallProfiler::Key(const std::string& prefix, std::string_view where,
+                               std::string_view verb) {
+  std::string key;
+  key.reserve(prefix.size() + where.size() + verb.size() + 9);
+  key += prefix.empty() ? std::string_view("(root)") : std::string_view(prefix);
+  key += ';';
+  key += where;
+  key += ';';
+  key += verb;
+  return key;
+}
+
+void StallProfiler::ChargeKey(Shard& shard, std::string key, uint64_t ns) {
+  StallEntry& e = shard.local[std::move(key)];
+  ++e.count;
+  e.ns += ns;
+}
+
+void StallProfiler::PushScope(uint32_t tid, std::string_view name) {
+  if (!enabled()) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  Shard& shard = ShardFor(tid);
+  shard.path_lens.push_back(shard.path.size());
+  if (!shard.path.empty()) {
+    shard.path += ';';
+  }
+  shard.path += name;
+}
+
+void StallProfiler::PopScope(uint32_t tid) {
+  if (!enabled()) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  Shard& shard = ShardFor(tid);
+  if (shard.path_lens.empty()) {
+    return;  // enabled mid-run: tolerate an unmatched pop
+  }
+  shard.path.resize(shard.path_lens.back());
+  shard.path_lens.pop_back();
+}
+
+void StallProfiler::BeginStall(const sim::SimClock& clk, std::string_view verb,
+                               std::string_view where) {
+  if (!enabled()) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  Shard& shard = ShardFor(clk.tid());
+  Window w;
+  w.prefix = shard.path;  // captured now: scope pushes inside the window
+                          // (none today) could not retroactively move it
+  w.where = where;
+  w.verb = verb;
+  w.start_ns = clk.now_ns();
+  shard.open.push_back(std::move(w));
+}
+
+void StallProfiler::EndStall(const sim::SimClock& clk) {
+  if (!enabled()) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  Shard& shard = ShardFor(clk.tid());
+  if (shard.open.empty()) {
+    return;  // enabled mid-window: tolerate an unmatched end
+  }
+  Window w = std::move(shard.open.back());
+  shard.open.pop_back();
+  const uint64_t window = clk.now_ns() > w.start_ns ? clk.now_ns() - w.start_ns : 0;
+  const uint64_t exclusive = window > w.inner_ns ? window - w.inner_ns : 0;
+  ChargeKey(shard, Key(w.prefix, w.where, w.verb), exclusive);
+  if (!shard.open.empty()) {
+    // The whole window (nested charges included) is inner time of the parent.
+    shard.open.back().inner_ns += window;
+  }
+}
+
+void StallProfiler::ChargeStall(const sim::SimClock& clk, std::string_view verb,
+                                std::string_view where, uint64_t ns) {
+  if (!enabled()) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  Shard& shard = ShardFor(clk.tid());
+  ChargeKey(shard, Key(shard.path, where, verb), ns);
+  if (!shard.open.empty()) {
+    shard.open.back().inner_ns += ns;
+  }
+}
+
+StallProfile StallProfiler::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  StallProfile out;
+  for (const auto& [tid, shard] : shards_) {
+    for (const auto& [key, e] : shard.local) {
+      StallEntry& dst = out.entries[key];
+      dst.count += e.count;
+      dst.ns += e.ns;
+    }
+  }
+  return out;
+}
+
+void StallProfiler::PublishTotals(MetricsRegistry& registry) const {
+  const StallProfile profile = Snapshot();
+  for (const auto& [verb, ns] : profile.TotalsByVerb()) {
+    registry.SetCounter("profiler." + verb + ".stall_ns", ns);
+  }
+  for (const auto& [key, e] : profile.entries) {
+    const auto sep = key.rfind(';');
+    const std::string verb = sep == std::string::npos ? key : key.substr(sep + 1);
+    registry.AddCounter("profiler." + verb + ".events", e.count);
+  }
+}
+
+void StallProfiler::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  shards_.clear();
+}
+
+std::string StallProfile::ToFolded() const {
+  std::string out;
+  for (const auto& [key, e] : entries) {
+    out += support::StrFormat("%s %llu\n", key.c_str(),
+                              static_cast<unsigned long long>(e.ns));
+  }
+  return out;
+}
+
+std::string StallProfile::ToTable(size_t top_n) const {
+  std::vector<std::pair<std::string, StallEntry>> rows(entries.begin(), entries.end());
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    if (a.second.ns != b.second.ns) {
+      return a.second.ns > b.second.ns;
+    }
+    return a.first < b.first;
+  });
+  if (rows.size() > top_n) {
+    rows.resize(top_n);
+  }
+  const uint64_t total = TotalNs();
+  std::string out = support::StrFormat("total stall: %s across %zu keys\n",
+                                       support::HumanNs(total).c_str(), entries.size());
+  for (const auto& [key, e] : rows) {
+    const double pct =
+        total > 0 ? 100.0 * static_cast<double>(e.ns) / static_cast<double>(total) : 0.0;
+    out += support::StrFormat("%10s %5.1f%% %8llu  %s\n", support::HumanNs(e.ns).c_str(),
+                              pct, static_cast<unsigned long long>(e.count), key.c_str());
+  }
+  return out;
+}
+
+std::map<std::string, uint64_t> StallProfile::TotalsByVerb() const {
+  std::map<std::string, uint64_t> out;
+  for (const auto& [key, e] : entries) {
+    const auto sep = key.rfind(';');
+    out[sep == std::string::npos ? key : key.substr(sep + 1)] += e.ns;
+  }
+  return out;
+}
+
+uint64_t StallProfile::TotalNs() const {
+  uint64_t total = 0;
+  for (const auto& [key, e] : entries) {
+    total += e.ns;
+  }
+  return total;
+}
+
+}  // namespace mira::telemetry

@@ -1,0 +1,176 @@
+// StallProfiler: scope-stack stall attribution (the observability layer
+// behind Mira's "which loop is waiting on what" question). The interpreter
+// maintains a program-scope stack per logical thread (IR function →
+// loop/region), and every simulated-clock stall — demand-fetch waits,
+// batched-fetch waits, writeback flushes and drains, retry backoff, outage
+// wait-out, integrity heal rounds — is charged to the full
+// (scope-stack × where × verb) key, e.g.
+//
+//   main;for@2;act_x;demand_fetch 183220
+//
+// where `act_x` is the cache section and `demand_fetch` the stall verb.
+//
+// Charging is strictly observational: the profiler never advances a
+// SimClock, so profiled runs are timing-identical to unprofiled ones, and
+// the profiler-off path costs one relaxed atomic load per site.
+//
+// Nested windows account *exclusive* time: an open stall window (BeginStall/
+// EndStall) is charged its wall span minus every nested window and leaf
+// charge inside it, so a demand fetch that spends most of its span in retry
+// backoff attributes the backoff to `retry_backoff`, not `demand_fetch`,
+// and totals never double-count.
+//
+// Determinism: samples accumulate per logical thread (SimClock tid) and are
+// merged by commutative addition over key-sorted maps, so serial and
+// `--jobs=N` runs of the same work produce bit-identical folded profiles —
+// host scheduling and tid numbering cannot leak into the output.
+
+#ifndef MIRA_SRC_TELEMETRY_PROFILER_H_
+#define MIRA_SRC_TELEMETRY_PROFILER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/sim/clock.h"
+
+namespace mira::telemetry {
+
+class MetricsRegistry;
+
+struct StallEntry {
+  uint64_t count = 0;  // stall windows / leaf charges folded into this key
+  uint64_t ns = 0;     // exclusive simulated nanoseconds
+};
+
+// A merged, key-sorted profile. Addition is commutative and the map is
+// ordered, so MergeFrom is deterministic regardless of merge order.
+struct StallProfile {
+  std::map<std::string, StallEntry> entries;
+
+  void MergeFrom(const StallProfile& other) {
+    for (const auto& [key, e] : other.entries) {
+      StallEntry& dst = entries[key];
+      dst.count += e.count;
+      dst.ns += e.ns;
+    }
+  }
+
+  // One `key ns` line per entry, key-sorted — the folded-stack format flame
+  // graph tooling consumes directly (flamegraph.pl, speedscope, inferno).
+  std::string ToFolded() const;
+
+  // Human-readable top-N table, heaviest key first (ties broken by key).
+  std::string ToTable(size_t top_n = 10) const;
+
+  // Total exclusive ns per stall verb (the key's last ';' component).
+  std::map<std::string, uint64_t> TotalsByVerb() const;
+
+  uint64_t TotalNs() const;
+};
+
+// Thread-safety: every entry point takes an internal mutex (profiling is an
+// opt-in observability mode; parallel evaluation workers each carry their
+// own clock tid, so their samples land in disjoint shards). enabled() is a
+// relaxed atomic read — the zero-cost gate every charge site checks first.
+class StallProfiler {
+ public:
+  void Enable(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  // ---- Program-scope stack (interpreter) ----
+  void PushScope(uint32_t tid, std::string_view name);
+  void PopScope(uint32_t tid);
+
+  // ---- Stall windows (cache sections, swap, transport, integrity) ----
+  // BeginStall opens a window on the clock's thread; EndStall (same thread,
+  // after the clock advanced past the stall) charges the window's exclusive
+  // time to "<scopes>;<where>;<verb>" and folds the full window into the
+  // enclosing open window's nested time. `where` names the charging
+  // component (a cache section name, "swap", or a transport verb).
+  void BeginStall(const sim::SimClock& clk, std::string_view verb, std::string_view where);
+  void EndStall(const sim::SimClock& clk);
+
+  // Leaf charge of a known span (the clock already advanced past it).
+  void ChargeStall(const sim::SimClock& clk, std::string_view verb, std::string_view where,
+                   uint64_t ns);
+
+  // Merged snapshot across all thread shards (deterministic; see above).
+  StallProfile Snapshot() const;
+
+  // Publishes per-verb totals as `profiler.<verb>.stall_ns` /
+  // `profiler.<verb>.events` counters.
+  void PublishTotals(MetricsRegistry& registry) const;
+
+  void Clear();
+
+ private:
+  struct Window {
+    std::string prefix;  // scope path captured at BeginStall
+    std::string where;
+    std::string verb;
+    uint64_t start_ns = 0;
+    uint64_t inner_ns = 0;  // nested windows + leaf charges, to subtract
+  };
+  struct Shard {
+    std::string path;               // ';'-joined open scope names
+    std::vector<size_t> path_lens;  // path length before each push, for pop
+    std::vector<Window> open;
+    std::map<std::string, StallEntry> local;
+  };
+
+  // Requires mu_ held.
+  Shard& ShardFor(uint32_t tid) { return shards_[tid]; }
+  static std::string Key(const std::string& prefix, std::string_view where,
+                         std::string_view verb);
+  static void ChargeKey(Shard& shard, std::string key, uint64_t ns);
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;
+  std::map<uint32_t, Shard> shards_;
+};
+
+// The process-wide profiler (mirrors telemetry::Metrics()/Trace()).
+StallProfiler& Profiler();
+
+// RAII program scope used by the interpreter: pushes on construction when
+// profiling is enabled, pops on destruction — loop bodies with early
+// returns (errors, kReturned flow) stay balanced.
+class ProfileScope {
+ public:
+  ProfileScope(uint32_t tid, std::string_view name) : tid_(tid) {
+    StallProfiler& prof = Profiler();
+    if (prof.enabled()) {
+      prof.PushScope(tid_, name);
+      engaged_ = true;
+    }
+  }
+  // Loop scopes: "<kind>@<pos>", where `pos` is the loop instruction's
+  // position in its region — stable across runs, so keys are deterministic.
+  ProfileScope(uint32_t tid, const char* kind, size_t pos) : tid_(tid) {
+    StallProfiler& prof = Profiler();
+    if (prof.enabled()) {
+      prof.PushScope(tid_, std::string(kind) + "@" + std::to_string(pos));
+      engaged_ = true;
+    }
+  }
+  ~ProfileScope() {
+    if (engaged_) {
+      Profiler().PopScope(tid_);
+    }
+  }
+  ProfileScope(const ProfileScope&) = delete;
+  ProfileScope& operator=(const ProfileScope&) = delete;
+
+ private:
+  uint32_t tid_;
+  bool engaged_ = false;
+};
+
+}  // namespace mira::telemetry
+
+#endif  // MIRA_SRC_TELEMETRY_PROFILER_H_

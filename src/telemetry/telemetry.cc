@@ -35,6 +35,10 @@ support::Status WriteTraceJson(const std::string& path) {
   return WriteStringToFile(path, Trace().ToJson());
 }
 
+support::Status WriteProfileFolded(const std::string& path) {
+  return WriteStringToFile(path, Profiler().Snapshot().ToFolded());
+}
+
 OutputOptions ParseOutputFlags(int* argc, char** argv) {
   OutputOptions options;
   int out = 1;
@@ -42,8 +46,14 @@ OutputOptions ParseOutputFlags(int* argc, char** argv) {
     const char* arg = argv[i];
     if (std::strncmp(arg, "--trace-out=", 12) == 0) {
       options.trace_path = arg + 12;
+    } else if (std::strncmp(arg, "--chrome-trace-out=", 19) == 0) {
+      options.trace_path = arg + 19;
     } else if (std::strncmp(arg, "--metrics-out=", 14) == 0) {
       options.metrics_path = arg + 14;
+    } else if (std::strncmp(arg, "--profile-out=", 14) == 0) {
+      options.profile_path = arg + 14;
+    } else if (std::strncmp(arg, "--trace-ring=", 13) == 0) {
+      Trace().set_ring_capacity(std::strtoull(arg + 13, nullptr, 10));
     } else {
       argv[out++] = argv[i];
     }
@@ -52,10 +62,20 @@ OutputOptions ParseOutputFlags(int* argc, char** argv) {
   if (!options.trace_path.empty()) {
     Trace().Enable(true);
   }
+  if (!options.profile_path.empty()) {
+    Profiler().Enable(true);
+  }
   return options;
 }
 
 void FlushOutputs(const OutputOptions& options) {
+  // Publish derived counters before any metrics dump so they land in it.
+  if (Trace().enabled()) {
+    Metrics().SetCounter("telemetry.trace.dropped", Trace().dropped());
+  }
+  if (Profiler().enabled()) {
+    Profiler().PublishTotals(Metrics());
+  }
   if (!options.trace_path.empty()) {
     const auto status = WriteTraceJson(options.trace_path);
     if (status.ok()) {
@@ -76,6 +96,18 @@ void FlushOutputs(const OutputOptions& options) {
                    options.metrics_path.c_str(), Metrics().size());
     } else {
       std::fprintf(stderr, "[telemetry] metrics write failed: %s\n",
+                   status.ToString().c_str());
+    }
+  }
+  if (!options.profile_path.empty()) {
+    const auto status = WriteProfileFolded(options.profile_path);
+    if (status.ok()) {
+      const StallProfile profile = Profiler().Snapshot();
+      std::fprintf(stderr, "[telemetry] profile: %s (%zu keys)\n%s",
+                   options.profile_path.c_str(), profile.entries.size(),
+                   profile.ToTable().c_str());
+    } else {
+      std::fprintf(stderr, "[telemetry] profile write failed: %s\n",
                    status.ToString().c_str());
     }
   }

@@ -6,7 +6,9 @@
 // Hot-path components cache metric pointers at construction; end-of-run
 // code publishes snapshots (section stats, run profiles) via the Publish*
 // helpers next to each subsystem. Benches and examples route `--trace-out=`
-// / `--metrics-out=` here through ParseOutputFlags / FlushOutputs.
+// (alias `--chrome-trace-out=`), `--metrics-out=`, `--profile-out=`, and
+// `--trace-ring=` here through ParseOutputFlags / FlushOutputs. The stall
+// profiler (profiler.h) has its own global, telemetry::Profiler().
 
 #ifndef MIRA_SRC_TELEMETRY_TELEMETRY_H_
 #define MIRA_SRC_TELEMETRY_TELEMETRY_H_
@@ -15,6 +17,7 @@
 
 #include "src/support/status.h"
 #include "src/telemetry/metrics.h"
+#include "src/telemetry/profiler.h"
 #include "src/telemetry/trace.h"
 
 namespace mira::telemetry {
@@ -45,24 +48,31 @@ inline TraceRecorder& Trace() { return Telemetry::Global().trace(); }
 support::Status WriteStringToFile(const std::string& path, const std::string& contents);
 
 // Dumps the global registry as JSON / CSV / a table, the global trace as
-// Chrome trace-event JSON.
+// Chrome trace-event JSON, the global stall profiler as folded stacks.
 support::Status WriteMetricsJson(const std::string& path);
 support::Status WriteMetricsCsv(const std::string& path);
 support::Status WriteTraceJson(const std::string& path);
+support::Status WriteProfileFolded(const std::string& path);
 
 // ---- CLI wiring for benches and examples ----
 
 struct OutputOptions {
-  std::string trace_path;    // --trace-out=<file>
+  std::string trace_path;    // --trace-out=<file> / --chrome-trace-out=<file>
   std::string metrics_path;  // --metrics-out=<file>; a ".csv" suffix selects
                              // CSV, anything else gets JSON
+  std::string profile_path;  // --profile-out=<file> (folded stacks; enables
+                             // the stall profiler)
 };
 
-// Strips `--trace-out=`/`--metrics-out=` from argv (so downstream flag
-// parsers never see them) and enables trace recording when requested.
+// Strips `--trace-out=` (alias `--chrome-trace-out=`), `--metrics-out=`,
+// `--profile-out=`, and `--trace-ring=N` from argv (so downstream flag
+// parsers never see them); enables trace recording / stall profiling /
+// ring-buffer mode when requested.
 OutputOptions ParseOutputFlags(int* argc, char** argv);
 
 // Writes whatever ParseOutputFlags requested; logs destinations to stderr.
+// When profiling is on, a top-10 stall table also goes to stderr and
+// per-verb totals are published into the registry before the metrics dump.
 void FlushOutputs(const OutputOptions& options);
 
 }  // namespace mira::telemetry

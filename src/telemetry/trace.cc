@@ -11,6 +11,9 @@ bool TraceRecorder::Admit(const std::string& cat) {
   if (!enabled()) {
     return false;
   }
+  if (ring_capacity_ > 0) {
+    return true;  // the ring admits everything; Append drops the oldest
+  }
   if (events_.size() >= max_events_ &&
       std::find(pinned_cats_.begin(), pinned_cats_.end(), cat) == pinned_cats_.end()) {
     ++dropped_;
@@ -19,14 +22,31 @@ bool TraceRecorder::Admit(const std::string& cat) {
   return true;
 }
 
-void TraceRecorder::Begin(const sim::SimClock& clk, std::string name, std::string cat) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (!Admit(cat)) {
+void TraceRecorder::Append(TraceEvent e) {
+  if (ring_capacity_ > 0 && events_.size() >= ring_capacity_) {
+    events_[ring_head_] = std::move(e);
+    ring_head_ = (ring_head_ + 1) % ring_capacity_;
+    ++dropped_;  // an oldest event was overwritten
     return;
   }
-  open_[clk.tid()].push_back(events_.size());
-  events_.push_back(TraceEvent{'B', clk.tid(), clk.now_ns(), 0, std::move(name),
-                               std::move(cat), ""});
+  events_.push_back(std::move(e));
+}
+
+void TraceRecorder::SetThreadName(uint32_t tid, std::string name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  thread_names_[tid] = std::move(name);
+}
+
+void TraceRecorder::Begin(const sim::SimClock& clk, std::string name, std::string cat) {
+  if (!enabled()) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  const bool admit = Admit(cat);
+  open_[clk.tid()].push_back(OpenBegin{name, cat, admit});
+  if (admit) {
+    Append(TraceEvent{'B', clk.tid(), clk.now_ns(), 0, std::move(name), std::move(cat), ""});
+  }
 }
 
 void TraceRecorder::End(const sim::SimClock& clk) {
@@ -34,50 +54,78 @@ void TraceRecorder::End(const sim::SimClock& clk) {
     return;
   }
   std::lock_guard<std::mutex> lock(mu_);
-  auto& stack = open_[clk.tid()];
-  if (stack.empty()) {
-    return;  // unmatched End (its Begin was dropped at the cap): skip
+  auto it = open_.find(clk.tid());
+  if (it == open_.end() || it->second.empty()) {
+    return;  // unmatched End: skip
   }
-  const size_t begin_index = stack.back();
-  stack.pop_back();
-  if (!Admit(events_[begin_index].cat)) {
+  OpenBegin span = std::move(it->second.back());
+  it->second.pop_back();
+  if (!span.recorded) {
+    return;  // its Begin was dropped at the cap: drop the End too
+  }
+  if (!Admit(span.cat)) {
     return;
   }
-  events_.push_back(TraceEvent{'E', clk.tid(), clk.now_ns(), 0, events_[begin_index].name,
-                               events_[begin_index].cat, ""});
+  Append(TraceEvent{'E', clk.tid(), clk.now_ns(), 0, std::move(span.name),
+                    std::move(span.cat), ""});
 }
 
 void TraceRecorder::Complete(const sim::SimClock& clk, uint64_t ts_ns, uint64_t dur_ns,
                              std::string name, std::string cat, std::string args_json) {
+  CompleteOn(clk.tid(), ts_ns, dur_ns, std::move(name), std::move(cat), std::move(args_json));
+}
+
+void TraceRecorder::CompleteOn(uint32_t tid, uint64_t ts_ns, uint64_t dur_ns,
+                               std::string name, std::string cat, std::string args_json) {
   std::lock_guard<std::mutex> lock(mu_);
   if (!Admit(cat)) {
     return;
   }
-  events_.push_back(TraceEvent{'X', clk.tid(), ts_ns, dur_ns, std::move(name),
-                               std::move(cat), std::move(args_json)});
+  Append(TraceEvent{'X', tid, ts_ns, dur_ns, std::move(name), std::move(cat),
+                    std::move(args_json)});
 }
 
 void TraceRecorder::Instant(const sim::SimClock& clk, std::string name, std::string cat,
                             std::string args_json) {
+  InstantOn(clk.tid(), clk.now_ns(), std::move(name), std::move(cat), std::move(args_json));
+}
+
+void TraceRecorder::InstantOn(uint32_t tid, uint64_t ts_ns, std::string name, std::string cat,
+                              std::string args_json) {
   std::lock_guard<std::mutex> lock(mu_);
   if (!Admit(cat)) {
     return;
   }
-  events_.push_back(TraceEvent{'i', clk.tid(), clk.now_ns(), 0, std::move(name),
-                               std::move(cat), std::move(args_json)});
+  Append(TraceEvent{'i', tid, ts_ns, 0, std::move(name), std::move(cat),
+                    std::move(args_json)});
 }
 
 void TraceRecorder::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   events_.clear();
   open_.clear();
+  thread_names_.clear();
   dropped_ = 0;
+  ring_head_ = 0;
 }
 
 std::string TraceRecorder::ToJson() const {
   std::string out = "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
   bool first = true;
-  for (const auto& e : events_) {
+  for (const auto& [tid, name] : thread_names_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += support::StrFormat(
+        "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":%u,"
+        "\"args\":{\"name\":\"%s\"}}",
+        tid, JsonEscape(name).c_str());
+  }
+  // In ring mode the oldest surviving event sits at ring_head_ once the
+  // buffer has wrapped; export chronologically from there.
+  const size_t n = events_.size();
+  const size_t start = (ring_capacity_ > 0 && n >= ring_capacity_) ? ring_head_ : 0;
+  for (size_t i = 0; i < n; ++i) {
+    const TraceEvent& e = events_[(start + i) % n];
     out += first ? "\n" : ",\n";
     first = false;
     out += support::StrFormat(

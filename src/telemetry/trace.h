@@ -2,12 +2,21 @@
 // Chrome trace-event JSON format (open chrome://tracing or https://ui.
 // perfetto.dev and load the file). Because every timestamp comes from a
 // SimClock, traces are bit-identical across hosts, and one logical thread
-// of execution (one SimClock) maps to one trace-viewer track.
+// of execution (one SimClock) maps to one trace-viewer track. Components
+// may also claim dedicated lanes (e.g. one per cache section) by allocating
+// a tid and naming it via SetThreadName; the exporter emits the
+// `thread_name` metadata events Perfetto uses to label tracks.
 //
 // Recording is off by default: every instrumentation site is gated on
 // enabled(), so the simulator pays nothing unless a run asked for a trace
-// (`--trace-out=`). A hard event cap bounds memory on huge runs; dropped
-// events are counted, never silently lost.
+// (`--trace-out=` / `--chrome-trace-out=`). Two memory backstops exist:
+//  - the default hard cap (set_max_events): once full, further events are
+//    dropped-newest and counted; pinned categories ("pipeline") are exempt
+//    so a long trace stays reconstructable from its decision points;
+//  - an opt-in ring buffer (set_ring_capacity, `--trace-ring=`): the last N
+//    events are kept, oldest overwritten first (pinned categories
+//    included), for week-long adaptive runs where the *tail* matters.
+// Dropped events are counted either way, never silently lost.
 
 #ifndef MIRA_SRC_TELEMETRY_TRACE_H_
 #define MIRA_SRC_TELEMETRY_TRACE_H_
@@ -47,7 +56,8 @@ class TraceRecorder {
       std::lock_guard<std::mutex> lock(mu_);
       // Pre-size the event buffer so the first traced run doesn't pay
       // vector-growth churn inside the simulation hot path.
-      events_.reserve(std::min<size_t>(max_events_, 1u << 16));
+      events_.reserve(std::min<size_t>(
+          ring_capacity_ > 0 ? ring_capacity_ : max_events_, 1u << 16));
     }
   }
   bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
@@ -61,28 +71,53 @@ class TraceRecorder {
     std::lock_guard<std::mutex> lock(mu_);
     max_events_ = n;
   }
+  // Ring-buffer mode (0 = off, the default): keep only the newest `n`
+  // events, overwriting the oldest (pinned categories included — the ring
+  // trades reconstructability for a bounded, recent window). Overwrites
+  // count as drops. Set before recording starts; default preserves the
+  // drop-newest cap behavior exactly.
+  void set_ring_capacity(size_t n) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ring_capacity_ = n;
+    ring_head_ = 0;
+  }
+  size_t ring_capacity() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return ring_capacity_;
+  }
   void PinCategory(std::string cat) {
     std::lock_guard<std::mutex> lock(mu_);
     pinned_cats_.push_back(std::move(cat));
   }
 
+  // Names a logical thread's lane in the exported timeline (Perfetto
+  // `thread_name` metadata). Used by cache sections to claim per-section
+  // lanes: `section:<name>`.
+  void SetThreadName(uint32_t tid, std::string name);
+
   // Scoped duration events. End closes the innermost open Begin on the
   // clock's thread and re-states its name (Perfetto accepts both forms;
-  // restating keeps the JSON self-describing).
+  // restating keeps the JSON self-describing). Nestable per thread.
   void Begin(const sim::SimClock& clk, std::string name, std::string cat);
   void End(const sim::SimClock& clk);
 
   // A span known only at completion (e.g. an async fetch): starts at
-  // `ts_ns`, lasts `dur_ns`, attributed to the clock's thread.
+  // `ts_ns`, lasts `dur_ns`, attributed to the clock's thread — or, via the
+  // *On overloads, to an explicit lane tid (per-section lanes).
   void Complete(const sim::SimClock& clk, uint64_t ts_ns, uint64_t dur_ns, std::string name,
                 std::string cat, std::string args_json = "");
+  void CompleteOn(uint32_t tid, uint64_t ts_ns, uint64_t dur_ns, std::string name,
+                  std::string cat, std::string args_json = "");
 
-  // A point event at the clock's current time.
+  // A point event at the clock's current time (or on an explicit lane).
   void Instant(const sim::SimClock& clk, std::string name, std::string cat,
                std::string args_json = "");
+  void InstantOn(uint32_t tid, uint64_t ts_ns, std::string name, std::string cat,
+                 std::string args_json = "");
 
   // Post-run readers (report sinks, tests): call only after every recording
-  // thread has joined.
+  // thread has joined. In ring mode the vector's storage order rotates;
+  // ToJson exports chronologically.
   const std::vector<TraceEvent>& events() const { return events_; }
   size_t dropped() const {
     std::lock_guard<std::mutex> lock(mu_);
@@ -93,20 +128,33 @@ class TraceRecorder {
 
   // {"displayTimeUnit":"ns","traceEvents":[...]} — ts/dur in microseconds
   // (the Chrome format's unit) with nanosecond fractions preserved.
+  // Thread-name metadata events ('M' phase) come first.
   std::string ToJson() const;
 
  private:
   // Requires mu_ held.
   bool Admit(const std::string& cat);
+  void Append(TraceEvent e);
 
   mutable std::mutex mu_;
   std::atomic<bool> enabled_{false};
   size_t max_events_ = 4u << 20;
+  size_t ring_capacity_ = 0;  // 0 = cap mode
+  size_t ring_head_ = 0;      // next overwrite slot once the ring is full
   size_t dropped_ = 0;
   std::vector<std::string> pinned_cats_{"pipeline"};
   std::vector<TraceEvent> events_;
-  // Per-thread stack of open Begin event indices, for End name matching.
-  std::map<uint32_t, std::vector<size_t>> open_;
+  std::map<uint32_t, std::string> thread_names_;
+  // Per-thread stack of open Begins, for End matching. Entries carry the
+  // name/category (not an index — ring overwrites invalidate indices);
+  // `recorded` is false when the Begin itself was dropped at the cap, so
+  // the matching End is skipped and nesting stays aligned.
+  struct OpenBegin {
+    std::string name;
+    std::string cat;
+    bool recorded = false;
+  };
+  std::map<uint32_t, std::vector<OpenBegin>> open_;
 };
 
 }  // namespace mira::telemetry

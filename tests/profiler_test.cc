@@ -1,0 +1,297 @@
+// StallProfiler suite: key formation under the program-scope stack,
+// exclusive-time accounting of nested windows, deterministic merge, the
+// stall ↔ section-stats reconciliation identities, and the headline
+// guarantee — serial and `--jobs=N` optimizer runs produce bit-identical
+// folded profiles, and profiling never perturbs simulated time.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/cache/section.h"
+#include "src/farmem/far_memory_node.h"
+#include "src/net/fault_injector.h"
+#include "src/net/transport.h"
+#include "src/pipeline/optimizer.h"
+#include "src/sim/clock.h"
+#include "src/telemetry/profiler.h"
+#include "src/telemetry/telemetry.h"
+#include "src/workloads/workloads.h"
+
+namespace mira {
+namespace {
+
+// Enables the global profiler for one test body and restores the
+// disabled/empty state on exit, so suites stay order-independent.
+struct ScopedProfiler {
+  ScopedProfiler() {
+    telemetry::Profiler().Clear();
+    telemetry::Profiler().Enable(true);
+  }
+  ~ScopedProfiler() {
+    telemetry::Profiler().Enable(false);
+    telemetry::Profiler().Clear();
+  }
+};
+
+TEST(StallProfiler, LeafChargeCarriesScopeStackWhereAndVerb) {
+  ScopedProfiler sp;
+  auto& prof = telemetry::Profiler();
+  sim::SimClock clk;
+  clk.set_tid(sim::AllocateTid());
+  prof.PushScope(clk.tid(), "main");
+  prof.PushScope(clk.tid(), "for@2");
+  clk.Advance(100);
+  prof.ChargeStall(clk, "prefetch_wait", "hot", 40);
+  prof.PopScope(clk.tid());
+  prof.PopScope(clk.tid());
+  const auto profile = prof.Snapshot();
+  ASSERT_EQ(profile.entries.size(), 1u);
+  const auto& [key, e] = *profile.entries.begin();
+  EXPECT_EQ(key, "main;for@2;hot;prefetch_wait");
+  EXPECT_EQ(e.ns, 40u);
+  EXPECT_EQ(e.count, 1u);
+}
+
+TEST(StallProfiler, EmptyScopeStackChargesToRoot) {
+  ScopedProfiler sp;
+  auto& prof = telemetry::Profiler();
+  sim::SimClock clk;
+  clk.set_tid(sim::AllocateTid());
+  prof.ChargeStall(clk, "outage_wait", "swap", 7);
+  const auto profile = prof.Snapshot();
+  ASSERT_EQ(profile.entries.size(), 1u);
+  EXPECT_EQ(profile.entries.begin()->first, "(root);swap;outage_wait");
+}
+
+TEST(StallProfiler, NestedWindowsAccountExclusiveTime) {
+  ScopedProfiler sp;
+  auto& prof = telemetry::Profiler();
+  sim::SimClock clk;
+  clk.set_tid(sim::AllocateTid());
+  prof.PushScope(clk.tid(), "f");
+  prof.BeginStall(clk, "demand_fetch", "s");
+  clk.Advance(100);
+  prof.ChargeStall(clk, "retry_backoff", "read.sync", 30);  // leaf inside the window
+  prof.BeginStall(clk, "integrity_heal", "s");
+  clk.Advance(50);
+  prof.EndStall(clk);  // heal window: 50 ns exclusive
+  clk.Advance(20);
+  prof.EndStall(clk);  // demand window: 170 wall − 30 − 50 = 90 exclusive
+  prof.PopScope(clk.tid());
+  const auto profile = prof.Snapshot();
+  EXPECT_EQ(profile.entries.at("f;read.sync;retry_backoff").ns, 30u);
+  EXPECT_EQ(profile.entries.at("f;s;integrity_heal").ns, 50u);
+  EXPECT_EQ(profile.entries.at("f;s;demand_fetch").ns, 90u);
+  // Exclusive accounting means totals equal wall time — nothing is counted
+  // twice across nesting levels.
+  EXPECT_EQ(profile.TotalNs(), 170u);
+}
+
+TEST(StallProfiler, WindowCapturesScopePathAtBegin) {
+  ScopedProfiler sp;
+  auto& prof = telemetry::Profiler();
+  sim::SimClock clk;
+  clk.set_tid(sim::AllocateTid());
+  prof.PushScope(clk.tid(), "outer");
+  prof.BeginStall(clk, "demand_fetch", "s");
+  // Scope changes while the window is open must not relabel it.
+  prof.PushScope(clk.tid(), "inner");
+  clk.Advance(10);
+  prof.PopScope(clk.tid());
+  prof.EndStall(clk);
+  prof.PopScope(clk.tid());
+  const auto profile = prof.Snapshot();
+  ASSERT_EQ(profile.entries.size(), 1u);
+  EXPECT_EQ(profile.entries.begin()->first, "outer;s;demand_fetch");
+}
+
+TEST(StallProfiler, MergeIsCommutative) {
+  telemetry::StallProfile a;
+  a.entries["k1"] = {2, 100};
+  a.entries["k2"] = {1, 50};
+  telemetry::StallProfile b;
+  b.entries["k2"] = {3, 25};
+  b.entries["k3"] = {1, 10};
+  telemetry::StallProfile ab = a;
+  ab.MergeFrom(b);
+  telemetry::StallProfile ba = b;
+  ba.MergeFrom(a);
+  EXPECT_EQ(ab.ToFolded(), ba.ToFolded());
+  EXPECT_EQ(ab.entries.at("k2").ns, 75u);
+  EXPECT_EQ(ab.entries.at("k2").count, 4u);
+}
+
+TEST(StallProfiler, FoldedOutputIsKeySortedLines) {
+  telemetry::StallProfile p;
+  p.entries["b;s;demand_fetch"] = {1, 20};
+  p.entries["a;s;demand_fetch"] = {1, 10};
+  EXPECT_EQ(p.ToFolded(), "a;s;demand_fetch 10\nb;s;demand_fetch 20\n");
+}
+
+TEST(StallProfiler, TotalsByVerbAndPublish) {
+  ScopedProfiler sp;
+  auto& prof = telemetry::Profiler();
+  sim::SimClock clk;
+  clk.set_tid(sim::AllocateTid());
+  prof.ChargeStall(clk, "outage_wait", "a", 5);
+  prof.ChargeStall(clk, "outage_wait", "b", 7);
+  prof.ChargeStall(clk, "demand_fetch", "a", 11);
+  const auto totals = prof.Snapshot().TotalsByVerb();
+  EXPECT_EQ(totals.at("outage_wait"), 12u);
+  EXPECT_EQ(totals.at("demand_fetch"), 11u);
+  telemetry::MetricsRegistry registry;
+  prof.PublishTotals(registry);
+  const uint64_t* ns = registry.FindCounter("profiler.outage_wait.stall_ns");
+  ASSERT_NE(ns, nullptr);
+  EXPECT_EQ(*ns, 12u);
+  const uint64_t* events = registry.FindCounter("profiler.demand_fetch.events");
+  ASSERT_NE(events, nullptr);
+  EXPECT_EQ(*events, 1u);
+}
+
+TEST(StallProfiler, DisabledSitesAreNoOps) {
+  auto& prof = telemetry::Profiler();
+  prof.Clear();
+  ASSERT_FALSE(prof.enabled());
+  sim::SimClock clk;
+  clk.set_tid(sim::AllocateTid());
+  // Charge sites are gated on enabled() by callers, but direct calls while
+  // disabled must not corrupt state either.
+  prof.ChargeStall(clk, "demand_fetch", "s", 10);
+  EXPECT_TRUE(telemetry::Profiler().Snapshot().entries.empty() ||
+              telemetry::Profiler().Snapshot().TotalNs() >= 0u);
+  prof.Clear();
+}
+
+// ---- Reconciliation against the cache layer ----
+
+std::unique_ptr<cache::Section> SmallSection(net::Transport* net, const char* name = "t") {
+  cache::SectionConfig config;
+  config.name = name;
+  config.structure = cache::SectionStructure::kDirectMapped;
+  config.line_bytes = 64;
+  config.size_bytes = 64 * 8;
+  return cache::MakeSection(config, net);
+}
+
+TEST(StallProfilerReconcile, FaultFreeDemandStallsMatchSectionStats) {
+  ScopedProfiler sp;
+  farmem::FarMemoryNode node;
+  net::Transport net(&node, sim::CostModel::Default());
+  sim::SimClock clk;
+  clk.set_tid(sim::AllocateTid());
+  auto section = SmallSection(&net);
+  // 16 distinct lines through an 8-line direct-mapped section: all misses.
+  for (uint64_t i = 0; i < 16; ++i) {
+    section->Access(clk, i * 64, 8, /*write=*/false);
+  }
+  section->Release(clk);
+  const auto totals = telemetry::Profiler().Snapshot().TotalsByVerb();
+  uint64_t profiled = 0;
+  for (const auto& [verb, ns] : totals) {
+    profiled += ns;
+  }
+  // Fault-free: every stalled nanosecond the section recorded is attributed
+  // by the profiler, and nothing else is.
+  EXPECT_EQ(profiled, section->stats().stall_ns);
+  EXPECT_GT(totals.at("demand_fetch"), 0u);
+}
+
+TEST(StallProfilerReconcile, OutageWaitMatchesDegradedNs) {
+  ScopedProfiler sp;
+  farmem::FarMemoryNode node;
+  net::Transport net(&node, sim::CostModel::Default());
+  net::FaultPlan p;
+  p.outages.push_back(net::OutageWindow{0, 400'000});
+  net::FaultInjector inj(p);
+  net.SetFaultInjector(&inj);
+  sim::SimClock clk;
+  clk.set_tid(sim::AllocateTid());
+  auto section = SmallSection(&net);
+  section->Access(clk, 0, 8, /*write=*/false);
+  const auto totals = telemetry::Profiler().Snapshot().TotalsByVerb();
+  EXPECT_EQ(totals.at("outage_wait"), section->stats().degraded_ns);
+  EXPECT_GT(section->stats().degraded_ns, 0u);
+}
+
+TEST(StallProfilerReconcile, RetryChargesMatchTransportWastedNs) {
+  ScopedProfiler sp;
+  farmem::FarMemoryNode node;
+  net::Transport net(&node, sim::CostModel::Default());
+  net::FaultPlan p;
+  p.seed = 3;
+  p.verb(net::Verb::kReadSync).drop_probability = 1.0;
+  net::FaultInjector inj(p);
+  net.SetFaultInjector(&inj);
+  sim::SimClock clk;
+  clk.set_tid(sim::AllocateTid());
+  const auto addr = node.AllocRange(4096).take();
+  EXPECT_FALSE(net.TryReadSync(clk, addr, nullptr, 4096).ok());
+  const auto totals = telemetry::Profiler().Snapshot().TotalsByVerb();
+  EXPECT_EQ(totals.at("retry_lost_wait") + totals.at("retry_backoff"),
+            net.fault_stats().wasted_ns());
+}
+
+// ---- Determinism and non-perturbation across the full pipeline ----
+
+workloads::Workload TestGraph() {
+  workloads::GraphParams p;
+  p.num_edges = 20'000;
+  p.num_nodes = 5'000;
+  p.epochs = 2;
+  return workloads::BuildGraphTraversal(p);
+}
+
+struct ProfiledRun {
+  std::string folded;
+  std::vector<uint64_t> times_ns;
+};
+
+ProfiledRun RunOptimizerProfiled(const workloads::Workload& w, uint64_t train_seed, int jobs,
+                                 bool profiled) {
+  auto& prof = telemetry::Profiler();
+  prof.Clear();
+  prof.Enable(profiled);
+  pipeline::OptimizeOptions opts;
+  opts.local_bytes = w.footprint_bytes / 2;
+  opts.max_iterations = 2;
+  opts.train_seed = train_seed;
+  opts.jobs = jobs;
+  pipeline::IterativeOptimizer optimizer(w.module.get(), opts);
+  optimizer.Optimize();
+  ProfiledRun out;
+  out.folded = prof.Snapshot().ToFolded();
+  for (const auto& entry : optimizer.log()) {
+    out.times_ns.push_back(entry.time_ns);
+  }
+  prof.Enable(false);
+  prof.Clear();
+  return out;
+}
+
+TEST(StallProfilerDeterminism, SerialAndParallelFoldedProfilesBitIdentical) {
+  const auto w = TestGraph();
+  for (const uint64_t seed : {1ULL, 7ULL, 42ULL}) {
+    const ProfiledRun serial = RunOptimizerProfiled(w, seed, /*jobs=*/1, /*profiled=*/true);
+    const ProfiledRun parallel = RunOptimizerProfiled(w, seed, /*jobs=*/4, /*profiled=*/true);
+    EXPECT_FALSE(serial.folded.empty()) << "seed " << seed;
+    EXPECT_EQ(serial.folded, parallel.folded) << "seed " << seed;
+  }
+}
+
+TEST(StallProfilerDeterminism, ProfilingNeverPerturbsSimulatedTime) {
+  const auto w = TestGraph();
+  const ProfiledRun off = RunOptimizerProfiled(w, 42, /*jobs=*/1, /*profiled=*/false);
+  const ProfiledRun on = RunOptimizerProfiled(w, 42, /*jobs=*/1, /*profiled=*/true);
+  EXPECT_TRUE(off.folded.empty());
+  ASSERT_EQ(off.times_ns.size(), on.times_ns.size());
+  for (size_t i = 0; i < off.times_ns.size(); ++i) {
+    EXPECT_EQ(off.times_ns[i], on.times_ns[i]) << "iteration " << i;
+  }
+}
+
+}  // namespace
+}  // namespace mira

@@ -1,0 +1,128 @@
+// mira_report comparison engine: flat-JSON and metrics-CSV parsing, the
+// gating rules (wall_ns and *_ns gate, throughput and counts are
+// informational), and the acceptance scenario — an injected ≥10% synthetic
+// slowdown is flagged while an identical pair passes.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "tools/report.h"
+
+namespace mira::tools {
+namespace {
+
+const char kBaseReport[] = R"({
+  "bench": "bench_fig17_gpt2",
+  "jobs": 1,
+  "serial": true,
+  "wall_ns": 1000000000,
+  "sims_run": 10,
+  "sims_per_sec": 10.0
+})";
+
+std::string ReportWithWallNs(uint64_t wall_ns, double sims_per_sec) {
+  return "{\n  \"bench\": \"bench_fig17_gpt2\",\n  \"wall_ns\": " + std::to_string(wall_ns) +
+         ",\n  \"sims_per_sec\": " + std::to_string(sims_per_sec) + "\n}\n";
+}
+
+TEST(Report, FindJsonNumberAndString) {
+  double v = 0;
+  EXPECT_TRUE(FindJsonNumber(kBaseReport, "wall_ns", &v));
+  EXPECT_EQ(v, 1e9);
+  EXPECT_TRUE(FindJsonNumber(kBaseReport, "sims_per_sec", &v));
+  EXPECT_EQ(v, 10.0);
+  EXPECT_FALSE(FindJsonNumber(kBaseReport, "absent", &v));
+  std::string s;
+  EXPECT_TRUE(FindJsonString(kBaseReport, "bench", &s));
+  EXPECT_EQ(s, "bench_fig17_gpt2");
+  EXPECT_FALSE(FindJsonString(kBaseReport, "absent", &s));
+}
+
+TEST(Report, ParseMetricsCsvSkipsHeaderAndMalformedRows) {
+  const auto m = ParseMetricsCsv(
+      "metric,kind,value\n"
+      "cache.hot.stall_ns,counter,12345\n"
+      "cache.hot.miss_rate,gauge,0.25\n"
+      "not-a-row\n"
+      "bad,counter,not-a-number\n");
+  ASSERT_EQ(m.size(), 2u);
+  EXPECT_EQ(m.at("cache.hot.stall_ns"), 12345.0);
+  EXPECT_EQ(m.at("cache.hot.miss_rate"), 0.25);
+}
+
+TEST(Report, IdenticalRunsPass) {
+  const auto comps = CompareBenchReports(kBaseReport, kBaseReport, 0.10);
+  ASSERT_FALSE(comps.empty());
+  EXPECT_FALSE(AnyRegression(comps));
+}
+
+TEST(Report, InjectedTenPercentSlowdownIsFlagged) {
+  // The acceptance scenario: inflate wall time by 20% (well beyond the 10%
+  // threshold) and expect the gate to trip.
+  const std::string slow = ReportWithWallNs(1'200'000'000, 8.3);
+  const auto comps = CompareBenchReports(kBaseReport, slow, 0.10);
+  EXPECT_TRUE(AnyRegression(comps));
+  const std::string table = FormatReport("base -> cur", comps);
+  EXPECT_NE(table.find("REGRESSION"), std::string::npos);
+  EXPECT_NE(table.find("wall_ns"), std::string::npos);
+}
+
+TEST(Report, SlowdownWithinThresholdPasses) {
+  const std::string slight = ReportWithWallNs(1'050'000'000, 9.5);
+  EXPECT_FALSE(AnyRegression(CompareBenchReports(kBaseReport, slight, 0.10)));
+  // The same pair trips a tighter gate.
+  EXPECT_TRUE(AnyRegression(CompareBenchReports(kBaseReport, slight, 0.02)));
+}
+
+TEST(Report, SpeedupNeverRegresses) {
+  const std::string fast = ReportWithWallNs(500'000'000, 20.0);
+  EXPECT_FALSE(AnyRegression(CompareBenchReports(kBaseReport, fast, 0.10)));
+}
+
+TEST(Report, ThroughputIsInformationalOnly) {
+  // sims_per_sec collapsing alone must not gate — it is derived from
+  // wall_ns and double-flagging one slowdown helps nobody.
+  for (const auto& c : CompareBenchReports(kBaseReport, kBaseReport, 0.10)) {
+    if (c.name == "sims_per_sec") {
+      EXPECT_FALSE(c.gating);
+    }
+    if (c.name == "wall_ns") {
+      EXPECT_TRUE(c.gating);
+    }
+  }
+}
+
+TEST(Report, MetricsCsvOnlyNsRowsGate) {
+  const char base[] =
+      "metric,kind,value\n"
+      "cache.hot.stall_ns,counter,1000\n"
+      "cache.hot.misses,counter,50\n";
+  const char cur[] =
+      "metric,kind,value\n"
+      "cache.hot.stall_ns,counter,1500\n"
+      "cache.hot.misses,counter,500\n";
+  const auto comps = CompareMetricsCsv(base, cur, 0.10);
+  ASSERT_EQ(comps.size(), 2u);
+  bool saw_ns = false;
+  for (const auto& c : comps) {
+    if (c.name == "cache.hot.stall_ns") {
+      saw_ns = true;
+      EXPECT_TRUE(c.gating);
+      EXPECT_TRUE(c.regression);  // +50% stall time
+    } else {
+      EXPECT_FALSE(c.gating);
+      EXPECT_FALSE(c.regression);  // 10x misses is informational
+    }
+  }
+  EXPECT_TRUE(saw_ns);
+}
+
+TEST(Report, MetricsOnlyInBothRunsCompared) {
+  const auto comps = CompareMetricsCsv("metric,kind,value\na.x_ns,counter,1\n",
+                                       "metric,kind,value\nb.y_ns,counter,1\n", 0.10);
+  EXPECT_TRUE(comps.empty());
+}
+
+}  // namespace
+}  // namespace mira::tools

@@ -135,9 +135,25 @@ TEST(LatencyHistogram, PercentileEndpoints) {
   EXPECT_EQ(h.PercentileNs(0), 0u);
   // p50 is the second sample's bucket lower bound.
   EXPECT_EQ(h.PercentileNs(50), 512u);
-  // p100's target equals count, which no prefix strictly exceeds: the query
-  // saturates at the last bucket's lower bound (the documented upper rail).
-  EXPECT_EQ(h.PercentileNs(100), 1ULL << (LatencyHistogram::kBuckets - 1));
+  // p100's rank clamps to the last sample, so it answers with the highest
+  // occupied bucket rather than the 2^47 upper-rail sentinel.
+  EXPECT_EQ(h.PercentileNs(100), 512u);
+}
+
+TEST(LatencyHistogram, SingleSampleAnswersEveryPercentile) {
+  LatencyHistogram h;
+  h.Add(700);  // bucket 9: [512, 1023]
+  for (const double p : {0.0, 1.0, 50.0, 99.0, 99.9, 100.0}) {
+    EXPECT_EQ(h.PercentileNs(p), 512u) << "p" << p;
+  }
+}
+
+TEST(LatencyHistogram, OutOfRangePercentilesClamp) {
+  LatencyHistogram h;
+  h.Add(1);
+  h.Add(1000);
+  EXPECT_EQ(h.PercentileNs(-5), h.PercentileNs(0));
+  EXPECT_EQ(h.PercentileNs(250), h.PercentileNs(100));
 }
 
 TEST(LatencyHistogram, ResetDropsSamples) {

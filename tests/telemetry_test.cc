@@ -79,25 +79,48 @@ TEST(MetricsRegistry, FindWithoutCreate) {
   EXPECT_EQ(m.FindGauge("absent"), nullptr);
   EXPECT_EQ(m.FindHistogram("absent"), nullptr);
   EXPECT_EQ(m.size(), 0u);  // Find never registers
-  m.SetGauge("g", 0.5);
-  EXPECT_NE(m.FindGauge("g"), nullptr);
-  EXPECT_DOUBLE_EQ(*m.FindGauge("g"), 0.5);
+  m.SetGauge("test.g", 0.5);
+  EXPECT_NE(m.FindGauge("test.g"), nullptr);
+  EXPECT_DOUBLE_EQ(*m.FindGauge("test.g"), 0.5);
 }
 
 TEST(MetricsRegistry, ResetValuesKeepsRegistrations) {
   MetricsRegistry m;
-  uint64_t* c = m.Counter("c");
-  double* g = m.Gauge("g");
-  m.RecordLatency("h", 1000);
+  uint64_t* c = m.Counter("test.c");
+  double* g = m.Gauge("test.g");
+  m.RecordLatency("test.latency_ns", 1000);
   *c = 7;
   *g = 1.5;
   m.ResetValues();
   EXPECT_EQ(m.size(), 3u);
   EXPECT_EQ(*c, 0u);  // outstanding pointers still valid, zeroed
   EXPECT_DOUBLE_EQ(*g, 0.0);
-  EXPECT_EQ(m.FindHistogram("h")->count(), 0u);
+  EXPECT_EQ(m.FindHistogram("test.latency_ns")->count(), 0u);
   m.Clear();
   EXPECT_EQ(m.size(), 0u);
+}
+
+TEST(MetricsRegistry, ValidMetricNameEnforcesConvention) {
+  // Dotted lowercase segments.
+  EXPECT_TRUE(ValidMetricName("cache.section.hot.misses"));
+  EXPECT_TRUE(ValidMetricName("net.retry.backoff_ns"));
+  EXPECT_TRUE(ValidMetricName("a.b"));
+  EXPECT_TRUE(ValidMetricName("interp.func.f_0.calls"));
+  // Rejected: no dot, empty segments, uppercase, stray characters,
+  // leading/trailing underscores in a segment.
+  EXPECT_FALSE(ValidMetricName("counter"));
+  EXPECT_FALSE(ValidMetricName(""));
+  EXPECT_FALSE(ValidMetricName(".leading"));
+  EXPECT_FALSE(ValidMetricName("trailing."));
+  EXPECT_FALSE(ValidMetricName("a..b"));
+  EXPECT_FALSE(ValidMetricName("a.B.c"));
+  EXPECT_FALSE(ValidMetricName("a.b-c"));
+  EXPECT_FALSE(ValidMetricName("a._x"));
+  EXPECT_FALSE(ValidMetricName("a.x_"));
+  // Histograms additionally spell their unit.
+  EXPECT_TRUE(ValidMetricName("net.read.latency_ns", /*histogram=*/true));
+  EXPECT_FALSE(ValidMetricName("net.read.latency", /*histogram=*/true));
+  EXPECT_FALSE(ValidMetricName("net.read.latency_ms", /*histogram=*/true));
 }
 
 TEST(MetricsRegistry, JsonOutputBalancedAndComplete) {
@@ -223,6 +246,67 @@ TEST(TraceRecorder, CapDropsAndCountsButPinnedSurvive) {
   EXPECT_EQ(t.dropped(), 0u);
 }
 
+TEST(TraceRecorder, RingModeKeepsNewestAndCountsDrops) {
+  TraceRecorder t;
+  t.set_ring_capacity(4);
+  t.Enable(true);
+  sim::SimClock clk(0, 1);
+  for (int i = 0; i < 10; ++i) {
+    t.Instant(clk, "e" + std::to_string(i), "cache");
+    clk.Advance(1);
+  }
+  // Drop-oldest: the buffer holds the last four events, overwrites counted.
+  EXPECT_EQ(t.events().size(), 4u);
+  EXPECT_EQ(t.dropped(), 6u);
+  // Pinned categories are NOT exempt in ring mode (bounded window contract).
+  t.Instant(clk, "pipeline.iteration", "pipeline");
+  EXPECT_EQ(t.events().size(), 4u);
+  EXPECT_EQ(t.dropped(), 7u);
+  // ToJson exports chronologically despite the rotated storage: the oldest
+  // surviving event ("e7") must precede the newest ("pipeline.iteration").
+  const std::string json = t.ToJson();
+  EXPECT_TRUE(JsonBalanced(json)) << json;
+  EXPECT_EQ(json.find("e0"), std::string::npos);
+  const size_t oldest = json.find("e7");
+  const size_t newest = json.find("pipeline.iteration");
+  ASSERT_NE(oldest, std::string::npos);
+  ASSERT_NE(newest, std::string::npos);
+  EXPECT_LT(oldest, newest);
+  t.Clear();
+  EXPECT_EQ(t.dropped(), 0u);
+}
+
+TEST(TraceRecorder, RingDefaultOffPreservesCapBehavior) {
+  TraceRecorder t;
+  EXPECT_EQ(t.ring_capacity(), 0u);
+  t.Enable(true);
+  t.set_max_events(2);
+  sim::SimClock clk(0, 1);
+  for (int i = 0; i < 5; ++i) {
+    t.Instant(clk, "e" + std::to_string(i), "cache");
+  }
+  // Cap mode drops newest: the first two events survive.
+  ASSERT_EQ(t.events().size(), 2u);
+  EXPECT_EQ(t.events()[0].name, "e0");
+  EXPECT_EQ(t.events()[1].name, "e1");
+}
+
+TEST(TraceRecorder, ThreadNamesExportAsMetadataEvents) {
+  TraceRecorder t;
+  t.Enable(true);
+  t.SetThreadName(9, "section:hot");
+  t.CompleteOn(9, 100, 50, "cache.hot.miss", "cache");
+  t.InstantOn(9, 200, "cache.hot.prefetch", "cache");
+  const std::string json = t.ToJson();
+  EXPECT_TRUE(JsonBalanced(json)) << json;
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);
+  EXPECT_NE(json.find("thread_name"), std::string::npos);
+  EXPECT_NE(json.find("section:hot"), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":9"), std::string::npos);
+  // Metadata precedes the data events.
+  EXPECT_LT(json.find("thread_name"), json.find("cache.hot.miss"));
+}
+
 TEST(TelemetryGlobal, SingletonAndFileOutputs) {
   auto& tel = Telemetry::Global();
   EXPECT_EQ(&tel, &Telemetry::Global());
@@ -271,6 +355,29 @@ TEST(TelemetryGlobal, ParseOutputFlagsStripsArgs) {
   EXPECT_STREQ(argv[1], "--benchmark_filter=abc");
   EXPECT_TRUE(Trace().enabled());  // a trace path enables recording
   Trace().Enable(false);
+  Telemetry::Global().ResetAll();
+}
+
+TEST(TelemetryGlobal, ParseOutputFlagsHandlesProfilerAndRingFlags) {
+  std::string a0 = "prog";
+  std::string a1 = "--chrome-trace-out=/tmp/ct.json";
+  std::string a2 = "--profile-out=/tmp/p.folded";
+  std::string a3 = "--trace-ring=128";
+  std::string a4 = "positional";
+  char* argv[] = {a0.data(), a1.data(), a2.data(), a3.data(), a4.data(), nullptr};
+  int argc = 5;
+  const OutputOptions opts = ParseOutputFlags(&argc, argv);
+  EXPECT_EQ(opts.trace_path, "/tmp/ct.json");  // --chrome-trace-out aliases --trace-out
+  EXPECT_EQ(opts.profile_path, "/tmp/p.folded");
+  EXPECT_EQ(argc, 2);
+  EXPECT_STREQ(argv[1], "positional");
+  EXPECT_TRUE(Trace().enabled());
+  EXPECT_EQ(Trace().ring_capacity(), 128u);
+  EXPECT_TRUE(Profiler().enabled());  // a profile path enables the profiler
+  Trace().Enable(false);
+  Trace().set_ring_capacity(0);
+  Profiler().Enable(false);
+  Profiler().Clear();
   Telemetry::Global().ResetAll();
 }
 

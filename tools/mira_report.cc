@@ -1,0 +1,96 @@
+// mira_report: the bench regression gate.
+//
+//   mira_report [--threshold=0.10] <base> <cur> [<base2> <cur2> ...]
+//
+// Each pair is either two BENCH_*.json reports (bench/common.cc
+// `--bench-out=`) or two metrics CSVs (`--metrics-out=*.csv`), matched by
+// file extension. Prints a per-pair comparison table and exits:
+//   0  no gating field regressed beyond the threshold
+//   1  at least one regression
+//   2  usage error or unreadable input
+//
+// CI runs this against the checked-in baselines in bench/reports/ (see
+// .github/workflows/ci.yml, "observability" job).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tools/report.h"
+
+namespace {
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path);
+  if (!in) {
+    return false;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  *out = buf.str();
+  return true;
+}
+
+bool IsCsv(const std::string& path) {
+  return path.size() > 4 && path.compare(path.size() - 4, 4, ".csv") == 0;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: mira_report [--threshold=0.10] <base> <cur> [<base2> <cur2> ...]\n"
+               "  pairs of BENCH_*.json reports or metrics *.csv dumps\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double threshold = 0.10;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--threshold=", 12) == 0) {
+      threshold = std::strtod(argv[i] + 12, nullptr);
+      if (threshold < 0) {
+        return Usage();
+      }
+    } else if (std::strncmp(argv[i], "--", 2) == 0) {
+      return Usage();
+    } else {
+      paths.emplace_back(argv[i]);
+    }
+  }
+  if (paths.empty() || paths.size() % 2 != 0) {
+    return Usage();
+  }
+  bool any_regression = false;
+  for (size_t i = 0; i + 1 < paths.size(); i += 2) {
+    const std::string& base_path = paths[i];
+    const std::string& cur_path = paths[i + 1];
+    std::string base_text;
+    std::string cur_text;
+    if (!ReadFile(base_path, &base_text)) {
+      std::fprintf(stderr, "mira_report: cannot read %s\n", base_path.c_str());
+      return 2;
+    }
+    if (!ReadFile(cur_path, &cur_text)) {
+      std::fprintf(stderr, "mira_report: cannot read %s\n", cur_path.c_str());
+      return 2;
+    }
+    const auto comps =
+        IsCsv(cur_path) ? mira::tools::CompareMetricsCsv(base_text, cur_text, threshold)
+                        : mira::tools::CompareBenchReports(base_text, cur_text, threshold);
+    const std::string label = base_path + " -> " + cur_path;
+    std::fputs(mira::tools::FormatReport(label, comps).c_str(), stdout);
+    any_regression = any_regression || mira::tools::AnyRegression(comps);
+  }
+  if (any_regression) {
+    std::fprintf(stderr, "mira_report: regression beyond %.0f%% threshold\n",
+                 threshold * 100.0);
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,193 @@
+// Comparison engine behind the `mira_report` CLI: diffs two bench runs —
+// either BENCH_*.json reports (bench/common.cc WriteBenchReport) or
+// `--metrics-out=*.csv` dumps (telemetry::MetricsRegistry::ToCsv) — and
+// flags regressions beyond a configurable threshold.
+//
+// Header-only pure functions over in-memory strings, so the regression gate
+// is unit-testable without touching the filesystem. The JSON helpers are
+// deliberately flat-object scanners: bench reports and metric dumps nest at
+// most one level and never contain escaped quotes in keys we look up.
+//
+// Gating rules:
+//  - bench reports: `wall_ns` is lower-better and gates; `sims_per_sec` is
+//    reported for context but never gates (it is derived from wall_ns).
+//  - metrics CSVs: only `*_ns` rows gate (lower-better — simulated stall
+//    and runtime time); other rows (counts, rates) are informational, since
+//    e.g. a higher hit count is not a regression.
+
+#ifndef MIRA_TOOLS_REPORT_H_
+#define MIRA_TOOLS_REPORT_H_
+
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/support/str.h"
+
+namespace mira::tools {
+
+// Scans a (flat) JSON object for `"key": <number>`. Returns false when the
+// key is absent or not followed by a number.
+inline bool FindJsonNumber(std::string_view text, std::string_view key, double* out) {
+  const std::string needle = "\"" + std::string(key) + "\"";
+  const size_t at = text.find(needle);
+  if (at == std::string_view::npos) {
+    return false;
+  }
+  const size_t colon = text.find(':', at + needle.size());
+  if (colon == std::string_view::npos) {
+    return false;
+  }
+  const std::string num(text.substr(colon + 1, 64));
+  char* end = nullptr;
+  const double v = std::strtod(num.c_str(), &end);
+  if (end == num.c_str()) {
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+// Scans a (flat) JSON object for `"key": "<string>"`.
+inline bool FindJsonString(std::string_view text, std::string_view key, std::string* out) {
+  const std::string needle = "\"" + std::string(key) + "\"";
+  const size_t at = text.find(needle);
+  if (at == std::string_view::npos) {
+    return false;
+  }
+  const size_t open = text.find('"', text.find(':', at + needle.size()) + 1);
+  if (open == std::string_view::npos) {
+    return false;
+  }
+  const size_t close = text.find('"', open + 1);
+  if (close == std::string_view::npos) {
+    return false;
+  }
+  *out = std::string(text.substr(open + 1, close - open - 1));
+  return true;
+}
+
+// Parses MetricsRegistry::ToCsv output ("metric,kind,value" rows) into
+// metric → value. Malformed rows are skipped.
+inline std::map<std::string, double> ParseMetricsCsv(std::string_view text) {
+  std::map<std::string, double> out;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) {
+      eol = text.size();
+    }
+    const std::string_view line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    const size_t c1 = line.find(',');
+    const size_t c2 = c1 == std::string_view::npos ? std::string_view::npos
+                                                   : line.find(',', c1 + 1);
+    if (c2 == std::string_view::npos || line.substr(0, c1) == "metric") {
+      continue;
+    }
+    const std::string value(line.substr(c2 + 1));
+    char* end = nullptr;
+    const double v = std::strtod(value.c_str(), &end);
+    if (end == value.c_str()) {
+      continue;
+    }
+    out[std::string(line.substr(0, c1))] = v;
+  }
+  return out;
+}
+
+struct Comparison {
+  std::string name;        // metric or report field
+  double base = 0;
+  double cur = 0;
+  double ratio = 1.0;      // cur / base (1.0 when base is 0)
+  bool lower_better = true;
+  bool gating = false;     // participates in the regression verdict
+  bool regression = false; // gating and beyond threshold in the bad direction
+};
+
+inline Comparison Compare(std::string name, double base, double cur, bool lower_better,
+                          bool gating, double threshold) {
+  Comparison c;
+  c.name = std::move(name);
+  c.base = base;
+  c.cur = cur;
+  c.ratio = base != 0 ? cur / base : 1.0;
+  c.lower_better = lower_better;
+  c.gating = gating;
+  if (gating && base != 0) {
+    c.regression = lower_better ? c.ratio > 1.0 + threshold : c.ratio < 1.0 - threshold;
+  }
+  return c;
+}
+
+// Diffs two bench-report JSONs. `threshold` is the tolerated fractional
+// slowdown (0.10 = +10% wall time).
+inline std::vector<Comparison> CompareBenchReports(std::string_view base_text,
+                                                   std::string_view cur_text,
+                                                   double threshold) {
+  std::vector<Comparison> out;
+  double base_v = 0;
+  double cur_v = 0;
+  if (FindJsonNumber(base_text, "wall_ns", &base_v) &&
+      FindJsonNumber(cur_text, "wall_ns", &cur_v)) {
+    out.push_back(Compare("wall_ns", base_v, cur_v, /*lower_better=*/true,
+                          /*gating=*/true, threshold));
+  }
+  if (FindJsonNumber(base_text, "sims_per_sec", &base_v) &&
+      FindJsonNumber(cur_text, "sims_per_sec", &cur_v)) {
+    out.push_back(Compare("sims_per_sec", base_v, cur_v, /*lower_better=*/false,
+                          /*gating=*/false, threshold));
+  }
+  return out;
+}
+
+// Diffs two metrics CSVs; only metrics present in both runs are compared.
+inline std::vector<Comparison> CompareMetricsCsv(std::string_view base_text,
+                                                 std::string_view cur_text,
+                                                 double threshold) {
+  const auto base = ParseMetricsCsv(base_text);
+  const auto cur = ParseMetricsCsv(cur_text);
+  std::vector<Comparison> out;
+  for (const auto& [name, base_v] : base) {
+    const auto it = cur.find(name);
+    if (it == cur.end()) {
+      continue;
+    }
+    const bool is_ns = name.size() > 3 && name.compare(name.size() - 3, 3, "_ns") == 0;
+    out.push_back(Compare(name, base_v, it->second, /*lower_better=*/true,
+                          /*gating=*/is_ns, threshold));
+  }
+  return out;
+}
+
+inline bool AnyRegression(const std::vector<Comparison>& comps) {
+  for (const auto& c : comps) {
+    if (c.regression) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// One line per comparison: verdict, name, base → cur, and the delta.
+inline std::string FormatReport(const std::string& label,
+                                const std::vector<Comparison>& comps) {
+  std::string out = label + "\n";
+  for (const auto& c : comps) {
+    const double delta_pct = (c.ratio - 1.0) * 100.0;
+    const char* verdict = c.regression ? "REGRESSION" : (c.gating ? "ok" : "info");
+    out += support::StrFormat("  %-10s %-40s %14.3g -> %14.3g  (%+.1f%%)\n", verdict,
+                              c.name.c_str(), c.base, c.cur, delta_pct);
+  }
+  if (comps.empty()) {
+    out += "  (no comparable fields)\n";
+  }
+  return out;
+}
+
+}  // namespace mira::tools
+
+#endif  // MIRA_TOOLS_REPORT_H_
