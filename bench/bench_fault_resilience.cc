@@ -14,6 +14,16 @@
 //                  attached, which must detect AND heal every episode
 //   torn_writeback — multi-line drains tear partway; the version vector
 //                  detects the torn suffix and the drain re-publishes it
+//   node_crash   — one far node of a 3-node/1-replica cluster crashes
+//                  mid-run and never returns; the lease detector fires,
+//                  surviving replicas are promoted, and the cluster
+//                  re-replicates back to full redundancy
+//   crash_during_drain — the writeback-hostile torn plan plus a node crash
+//                  landing while sync drains are hot; the drain ladder's
+//                  kNodeFailed rung recovers, integrity stays clean
+//   rolling_crashes — crash+rejoin cycles roll over every node (the RPC
+//                  home last); rejoined nodes come back empty and are
+//                  refilled by background re-replication
 //
 // Every scenario asserts the program result equals the fault-free result:
 // injected faults are either retried to success or absorbed by a documented
@@ -64,6 +74,28 @@ net::FaultPlan PlanFor(const std::string& scenario) {
   if (scenario == "torn_writeback") {
     return net::FaultPlan::TornWriteback(kFaultSeed);
   }
+  if (scenario == "node_crash") {
+    // Node 1 (primary for a third of the chunks) dies at 0.4 ms — inside
+    // the network-active phase — and never returns.
+    return net::FaultPlan::NodeCrash(kFaultSeed, /*node=*/1, /*crash_ns=*/400'000);
+  }
+  if (scenario == "crash_during_drain") {
+    // Writeback-hostile plan with a crash landing while the forced sync
+    // drains are in full swing: the drain ladder must take the kNodeFailed
+    // rung, not the retry/backoff one.
+    net::FaultPlan plan = net::FaultPlan::TornWriteback(kFaultSeed);
+    plan.node_crashes.push_back({/*node=*/1, /*crash_ns=*/500'000, /*rejoin_ns=*/0});
+    return plan;
+  }
+  if (scenario == "rolling_crashes") {
+    // Three crash+rejoin cycles rolling over all three nodes within the
+    // active window, node 0 (RPC home / allocator seed) last. Downtime
+    // (0.25 ms) < period (0.5 ms), so one node is down at a time and the
+    // re-replication pass between cycles keeps every chunk redundant.
+    return net::FaultPlan::RollingCrashes(kFaultSeed, /*num_nodes=*/3, /*count=*/3,
+                                          /*first_crash_ns=*/200'000, /*period_ns=*/500'000,
+                                          /*downtime_ns=*/250'000);
+  }
   MIRA_CHECK(scenario == "degraded_bw");
   return net::FaultPlan::DegradedBandwidth(kFaultSeed, 0.25);
 }
@@ -72,7 +104,22 @@ net::FaultPlan PlanFor(const std::string& scenario) {
 // the legacy scenarios' output stays bit-identical to the pre-integrity
 // tree (same RNG stream, same verb sequence).
 bool NeedsIntegrity(const std::string& scenario) {
-  return scenario == "silent_corruption" || scenario == "torn_writeback";
+  return scenario == "silent_corruption" || scenario == "torn_writeback" ||
+         scenario == "crash_during_drain";
+}
+
+// The replicated cluster likewise rides along only for the crash scenarios;
+// single-node scenarios keep the exact pre-cluster world shape.
+bool NeedsCluster(const std::string& scenario) {
+  return scenario == "node_crash" || scenario == "crash_during_drain" ||
+         scenario == "rolling_crashes";
+}
+
+farmem::ClusterConfig CrashClusterConfig() {
+  farmem::ClusterConfig config;
+  config.num_nodes = 3;
+  config.replicas = 1;  // every chunk on two nodes: one crash always survivable
+  return config;
 }
 
 void BM_Scenario(benchmark::State& state, const std::string& scenario) {
@@ -86,8 +133,10 @@ void BM_Scenario(benchmark::State& state, const std::string& scenario) {
     const net::FaultPlan plan = PlanFor(scenario);
     const integrity::IntegrityConfig iconfig = integrity::IntegrityConfig::FromEnv();
     const integrity::IntegrityConfig* iptr = NeedsIntegrity(scenario) ? &iconfig : nullptr;
+    const farmem::ClusterConfig cconfig = CrashClusterConfig();
+    const farmem::ClusterConfig* cptr = NeedsCluster(scenario) ? &cconfig : nullptr;
     const RunOutput out = Run(compiled.module, pipeline::SystemKind::kMira, local,
-                              compiled.plan, 42, false, "main", &plan, iptr);
+                              compiled.plan, 42, false, "main", &plan, iptr, cptr);
     MIRA_CHECK_MSG(!out.failed, "faulted run must not abort");
     MIRA_CHECK_MSG(out.result == clean.result,
                    "fault injection must not change program results");
@@ -119,6 +168,23 @@ void BM_Scenario(benchmark::State& state, const std::string& scenario) {
       state.counters["integrity_replays_suppressed"] =
           static_cast<double>(is.replays_suppressed);
     }
+    if (cptr != nullptr) {
+      MIRA_CHECK_MSG(out.world.cluster != nullptr, "cluster must be attached");
+      const farmem::ClusterStats& cs = out.world.cluster->stats();
+      MIRA_CHECK_MSG(cs.crashes > 0, "scenario must actually crash a node");
+      MIRA_CHECK_MSG(cs.failovers > 0, "crashed primaries must be failed over");
+      // With one replica and at most one node down at a time, every chunk
+      // keeps a live copy: nothing may quarantine and no read or write may
+      // land on a dead-only placement.
+      MIRA_CHECK_MSG(cs.quarantined_chunks == 0, "a surviving replica must always exist");
+      MIRA_CHECK_MSG(cs.lost_reads == 0 && cs.lost_writes == 0,
+                     "no access may be served by a dead-only placement");
+      MIRA_CHECK_MSG(fs.node_failures > 0, "dead-node verbs must surface kNodeFailed");
+      state.counters["cluster_crashes"] = static_cast<double>(cs.crashes);
+      state.counters["cluster_failovers"] = static_cast<double>(cs.failovers);
+      state.counters["cluster_rereplicated"] = static_cast<double>(cs.rereplicated_chunks);
+      state.counters["failover_wait_ms"] = static_cast<double>(fs.failover_wait_ns) / 1e6;
+    }
     // Machine-readable evidence for --metrics-out (file output only; the
     // registry does not touch stdout, so legacy scenarios stay
     // bit-identical on the console).
@@ -144,6 +210,20 @@ void BM_Scenario(benchmark::State& state, const std::string& scenario) {
       metrics.SetCounter(prefix + ".integrity.replays_suppressed", is.replays_suppressed);
       metrics.SetCounter(prefix + ".integrity.torn_writebacks", is.torn_writebacks);
       metrics.SetCounter(prefix + ".integrity.quarantined", is.quarantined);
+    }
+    if (out.world.cluster != nullptr) {
+      const farmem::ClusterStats& cs = out.world.cluster->stats();
+      metrics.SetCounter(prefix + ".cluster.crashes", cs.crashes);
+      metrics.SetCounter(prefix + ".cluster.rejoins", cs.rejoins);
+      metrics.SetCounter(prefix + ".cluster.detections", cs.detections);
+      metrics.SetCounter(prefix + ".cluster.failovers", cs.failovers);
+      metrics.SetCounter(prefix + ".cluster.quarantined_chunks", cs.quarantined_chunks);
+      metrics.SetCounter(prefix + ".cluster.rereplicated_chunks", cs.rereplicated_chunks);
+      metrics.SetCounter(prefix + ".cluster.rereplicated_bytes", cs.rereplicated_bytes);
+      metrics.SetCounter(prefix + ".cluster.lost_reads", cs.lost_reads);
+      metrics.SetCounter(prefix + ".cluster.lost_writes", cs.lost_writes);
+      metrics.SetCounter(prefix + ".cluster.node_failures", fs.node_failures);
+      metrics.SetCounter(prefix + ".cluster.failover_wait_ns", fs.failover_wait_ns);
     }
   }
 }
@@ -174,14 +254,46 @@ void BM_Adaptive(benchmark::State& state) {
   }
 }
 
+// Crash-aware adaptation: deploy a replicated cluster under rolling
+// crashes and let the sustained-failover streak trigger re-optimization.
+void BM_CrashAdaptive(benchmark::State& state) {
+  const auto& w = Graph();
+  for (auto _ : state) {
+    pipeline::OptimizeOptions opts;
+    opts.local_bytes = LocalBytes(w, 25);
+    opts.max_iterations = 2;
+    pipeline::AdaptiveRuntime runtime(w.module.get(), opts);
+    const pipeline::AdaptiveRuntime::Invocation first = runtime.Invoke(42);
+    net::FaultPlan plan = PlanFor("rolling_crashes");
+    const farmem::ClusterConfig cconfig = CrashClusterConfig();
+    runtime.SetFaultPlan(&plan);
+    runtime.SetClusterConfig(&cconfig);
+    runtime.SetCrashTrigger(/*min_failovers=*/1, /*streak=*/2);
+    pipeline::AdaptiveRuntime::Invocation last;
+    for (uint64_t seed = 43; seed < 47; ++seed) {
+      last = runtime.Invoke(seed);
+      MIRA_CHECK_MSG(last.sim_ns > 0, "crashed invocation must complete");
+    }
+    MIRA_CHECK_MSG(runtime.crash_reoptimizations() > 0,
+                   "sustained failovers must trigger re-optimization");
+    state.counters["sim_ms"] = static_cast<double>(last.sim_ns) / 1e6;
+    state.counters["clean_sim_ms"] = static_cast<double>(first.sim_ns) / 1e6;
+    state.counters["failovers"] = static_cast<double>(last.failovers);
+    state.counters["rounds"] = static_cast<double>(runtime.optimization_rounds());
+    state.counters["crash_reopts"] = static_cast<double>(runtime.crash_reoptimizations());
+  }
+}
+
 void RegisterAll() {
   for (const char* scenario : {"clean", "lossy", "bursty_outage", "degraded_bw",
-                               "silent_corruption", "torn_writeback"}) {
+                               "silent_corruption", "torn_writeback", "node_crash",
+                               "crash_during_drain", "rolling_crashes"}) {
     benchmark::RegisterBenchmark(("fault/" + std::string(scenario)).c_str(), BM_Scenario,
                                  std::string(scenario))
         ->Iterations(1);
   }
   benchmark::RegisterBenchmark("fault/adaptive", BM_Adaptive)->Iterations(1);
+  benchmark::RegisterBenchmark("fault/crash_adaptive", BM_CrashAdaptive)->Iterations(1);
 }
 
 }  // namespace

@@ -67,7 +67,7 @@ const std::map<std::pair<std::string, int>, Cell>& Cells() {
       Cell& cell = results[i];
       if (!t.mira) {
         RunOutput out = Run(*w.module, t.kind, local, {}, 42, false, "main", nullptr,
-                            nullptr, /*publish_metrics=*/false);
+                            nullptr, nullptr, /*publish_metrics=*/false);
         cell.sim_ms = out.failed ? 0 : static_cast<double>(out.sim_ns) / 1e6;
         cell.norm = out.failed ? 0 : Norm(NativeNs(*w.module), out.sim_ns);
         cell.failed = out.failed ? 1 : 0;
@@ -78,11 +78,12 @@ const std::map<std::pair<std::string, int>, Cell>& Cells() {
       }
       const auto& compiled = CompileMira(w, local, t.offload ? AllOn() : CacheOnly());
       RunOutput out = Run(compiled.module, pipeline::SystemKind::kMira, local, compiled.plan,
-                          42, false, "main", nullptr, nullptr, /*publish_metrics=*/false);
+                          42, false, "main", nullptr, nullptr, nullptr,
+                          /*publish_metrics=*/false);
       cell.sim_ms = static_cast<double>(out.sim_ns) / 1e6;
       cell.norm = Norm(NativeNs(*w.module), out.sim_ns);
       const uint64_t fastswap_ns = Run(*w.module, pipeline::SystemKind::kFastSwap, local, {},
-                                       42, false, "main", nullptr, nullptr,
+                                       42, false, "main", nullptr, nullptr, nullptr,
                                        /*publish_metrics=*/false)
                                        .sim_ns;
       cell.speedup_vs_fastswap =

@@ -121,14 +121,34 @@ void FlushTelemetry() {
   telemetry::FlushOutputs(g_outputs);
 }
 
+void PublishClusterMetrics(telemetry::MetricsRegistry& registry,
+                           const farmem::ClusterStats& stats) {
+  registry.SetCounter("farmem.cluster.crashes", stats.crashes);
+  registry.SetCounter("farmem.cluster.rejoins", stats.rejoins);
+  registry.SetCounter("farmem.cluster.detections", stats.detections);
+  registry.SetCounter("farmem.cluster.failovers", stats.failovers);
+  registry.SetCounter("farmem.cluster.rejoin_promotions", stats.rejoin_promotions);
+  registry.SetCounter("farmem.cluster.quarantined_chunks", stats.quarantined_chunks);
+  registry.SetCounter("farmem.cluster.rereplicated_chunks", stats.rereplicated_chunks);
+  registry.SetCounter("farmem.cluster.rereplicated_bytes", stats.rereplicated_bytes);
+  registry.SetCounter("farmem.cluster.replicated_write_bytes", stats.replicated_write_bytes);
+  registry.SetCounter("farmem.cluster.lost_reads", stats.lost_reads);
+  registry.SetCounter("farmem.cluster.lost_writes", stats.lost_writes);
+  registry.SetCounter("farmem.cluster.placed_chunks", stats.placed_chunks);
+}
+
 RunOutput Run(const ir::Module& module, pipeline::SystemKind kind, uint64_t local_bytes,
               runtime::CachePlan plan, uint64_t seed, bool profiling,
               const std::string& entry, const net::FaultPlan* faults,
-              const integrity::IntegrityConfig* integrity, bool publish_metrics) {
+              const integrity::IntegrityConfig* integrity,
+              const farmem::ClusterConfig* cluster, bool publish_metrics) {
   RunOutput out;
   out.world = pipeline::MakeWorld(kind, local_bytes, std::move(plan));
   if (faults != nullptr) {
     pipeline::AttachFaults(out.world, *faults);
+  }
+  if (cluster != nullptr) {
+    pipeline::AttachCluster(out.world, *cluster);
   }
   if (integrity != nullptr) {
     pipeline::AttachIntegrity(out.world, *integrity);
@@ -155,6 +175,9 @@ RunOutput Run(const ir::Module& module, pipeline::SystemKind kind, uint64_t loca
   if (publish_metrics) {
     out.world.backend->PublishMetrics(telemetry::Metrics());
     interp::PublishRunProfile(telemetry::Metrics(), out.profile);
+    if (out.world.cluster != nullptr) {
+      PublishClusterMetrics(telemetry::Metrics(), out.world.cluster->stats());
+    }
   }
   return out;
 }
@@ -172,7 +195,7 @@ uint64_t NativeNs(const ir::Module& module, uint64_t seed, const std::string& en
     return it->second;
   }
   const RunOutput out = Run(module, pipeline::SystemKind::kNative, 0, {}, seed, false, entry,
-                            nullptr, nullptr, /*publish_metrics=*/false);
+                            nullptr, nullptr, nullptr, /*publish_metrics=*/false);
   MIRA_CHECK_MSG(!out.failed, out.fail_reason.c_str());
   cache[key] = out.sim_ns;
   return out.sim_ns;
@@ -184,7 +207,8 @@ MiraCompiled FullPlanCompile(const workloads::Workload& w, uint64_t local_bytes,
                              bool publish_metrics) {
   // One profiling run on the generic swap configuration.
   const RunOutput prof = Run(*w.module, pipeline::SystemKind::kMira, local_bytes, {}, 42,
-                             /*profiling=*/true, w.entry, nullptr, nullptr, publish_metrics);
+                             /*profiling=*/true, w.entry, nullptr, nullptr, nullptr,
+                             publish_metrics);
   MIRA_CHECK_MSG(!prof.failed, prof.fail_reason.c_str());
   analysis::AccessAnalysis access(w.module.get());
   access.Run();

@@ -82,6 +82,9 @@ struct RunOutput {
 // degradation counters afterwards. When `integrity` is non-null an
 // IntegrityManager with that config is attached (verified fetches, version
 // vectors, recovery ladder; `out.world.integrity->stats()` afterwards).
+// When `cluster` is non-null a replicated FarMemoryCluster is attached
+// (node-crash schedules in the fault plan then crash real replicas;
+// `out.world.cluster->stats()` afterwards, published as farmem.cluster.*).
 // `publish_metrics=false` skips the end-of-run registry snapshot — pass it
 // from ParallelFor tasks so "the last measured run wins" stays a
 // deterministic, serially-published statement (see bench_fig05/fig11).
@@ -89,7 +92,12 @@ RunOutput Run(const ir::Module& module, pipeline::SystemKind kind, uint64_t loca
               runtime::CachePlan plan = {}, uint64_t seed = 42, bool profiling = false,
               const std::string& entry = "main", const net::FaultPlan* faults = nullptr,
               const integrity::IntegrityConfig* integrity = nullptr,
+              const farmem::ClusterConfig* cluster = nullptr,
               bool publish_metrics = true);
+
+// Snapshots a cluster's counters into `registry` as farmem.cluster.*.
+void PublishClusterMetrics(telemetry::MetricsRegistry& registry,
+                           const farmem::ClusterStats& stats);
 
 // Native full-local-memory execution time for a module (memoized per module
 // pointer + seed; thread-safe, callable from ParallelFor tasks).

@@ -1,5 +1,6 @@
 #include "src/backends/backend.h"
 
+#include "src/farmem/cluster.h"
 #include "src/integrity/integrity.h"
 
 namespace mira::backends {
@@ -18,7 +19,11 @@ void Backend::PublishMetrics(telemetry::MetricsRegistry& registry) const {
 
 support::Result<farmem::RemoteAddr> Backend::Alloc(sim::SimClock& clk, uint64_t bytes,
                                                    std::string_view label, uint32_t elem_bytes) {
-  auto addr = node_->AllocRange(bytes);
+  // Through the cluster when one is attached: allocation metadata lives
+  // client-side (node 0's allocator), but the cluster also places the new
+  // chunks on their replica set eagerly.
+  auto addr = net_->cluster() != nullptr ? net_->cluster()->AllocRange(bytes)
+                                         : node_->AllocRange(bytes);
   if (!addr.ok()) {
     return addr.status();
   }
@@ -34,7 +39,11 @@ support::Result<farmem::RemoteAddr> Backend::Alloc(sim::SimClock& clk, uint64_t 
 void Backend::Free(sim::SimClock& clk, farmem::RemoteAddr addr) {
   auto it = objects_.find(addr);
   if (it != objects_.end()) {
-    node_->FreeRange(addr, it->second.bytes);
+    if (net_->cluster() != nullptr) {
+      net_->cluster()->FreeRange(addr, it->second.bytes);
+    } else {
+      node_->FreeRange(addr, it->second.bytes);
+    }
     objects_.erase(it);
   }
 }

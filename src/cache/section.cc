@@ -38,6 +38,7 @@ void PublishSectionStats(telemetry::MetricsRegistry& registry, const std::string
   registry.SetCounter(prefix + ".writebacks_requeued", stats.writebacks_requeued);
   registry.SetCounter(prefix + ".forced_sync_flushes", stats.forced_sync_flushes);
   registry.SetCounter(prefix + ".reliable_escalations", stats.reliable_escalations);
+  registry.SetCounter(prefix + ".node_failovers", stats.node_failovers);
 }
 
 uint32_t Section::LaneTid() {
@@ -272,6 +273,15 @@ uint64_t Section::FetchLineReliable(sim::SimClock& clk, uint64_t line) {
     if (r.status().code() == support::ErrorCode::kUnavailable) {
       // Far node down: degraded mode — wait the outage out rather than abort.
       WaitOutOutage(clk);
+    } else if (r.status().code() == support::ErrorCode::kNodeFailed) {
+      // Failover ladder: promote a surviving replica and re-issue against
+      // it next round. With no survivor the range quarantines — kDataLoss
+      // surfaces through the escalated fetch's integrity verdict.
+      if (net_->RecoverNodeFailure(clk, raddr, config_.line_bytes).ok()) {
+        ++stats_.node_failovers;
+      } else if (integ != nullptr) {
+        integ->QuarantineRange(raddr, config_.line_bytes);
+      }
     }
     if (round + 1 >= config_.max_fault_rounds) {
       end_heal();
@@ -300,6 +310,7 @@ void Section::WaitOutOutage(sim::SimClock& clk) {
   const uint64_t span = until - t0;
   stats_.degraded_ns += span;
   stats_.stall_ns += span;
+  net_->RecordOutageWait(span);
   clk.AdvanceTo(until);
   auto& prof = telemetry::Profiler();
   if (prof.enabled()) {
@@ -367,6 +378,12 @@ void Section::DrainPendingWritebacks(sim::SimClock& clk) {
         // Frame rejected at the far node: retransmit (counts as a round).
       } else if (s.code() == support::ErrorCode::kUnavailable) {
         WaitOutOutage(clk);
+      } else if (s.code() == support::ErrorCode::kNodeFailed) {
+        if (net_->RecoverNodeFailure(clk, raddr, config_.line_bytes).ok()) {
+          ++stats_.node_failovers;
+        } else if (integ != nullptr) {
+          integ->QuarantineRange(raddr, config_.line_bytes);
+        }
       }
       if (round + 1 >= config_.max_fault_rounds) {
         ++stats_.reliable_escalations;
@@ -547,6 +564,21 @@ void Section::AccessBatch(sim::SimClock& clk,
       }
       if (r.status().code() == support::ErrorCode::kUnavailable) {
         WaitOutOutage(clk);
+      } else if (r.status().code() == support::ErrorCode::kNodeFailed) {
+        // One dead segment fails the whole message; recover every segment
+        // (promotion is a no-op for chunks whose primary is healthy).
+        bool recovered = true;
+        for (const auto& seg : segs) {
+          if (!net_->RecoverNodeFailure(clk, seg.raddr, seg.len).ok()) {
+            recovered = false;
+            if (integ != nullptr) {
+              integ->QuarantineRange(seg.raddr, seg.len);
+            }
+          }
+        }
+        if (recovered) {
+          ++stats_.node_failovers;
+        }
       }
       if (round + 1 >= config_.max_fault_rounds) {
         end_heal();

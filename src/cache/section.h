@@ -49,6 +49,7 @@ struct SectionStats {
   uint64_t writebacks_requeued = 0;    // async writebacks that failed and were queued
   uint64_t forced_sync_flushes = 0;    // queue saturations that forced a sync drain
   uint64_t reliable_escalations = 0;   // transfers pushed through the infallible path
+  uint64_t node_failovers = 0;         // kNodeFailed verbs recovered via replica promotion
 
   uint64_t overhead_ns() const { return runtime_ns + stall_ns; }
   // 3PO-style prefetch accuracy: useful / issued-and-resolved. 0 when no

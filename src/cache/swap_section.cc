@@ -168,6 +168,14 @@ uint32_t SwapSection::FaultIn(sim::SimClock& clk, uint64_t page, bool demand) {
       }
       if (s.code() == support::ErrorCode::kUnavailable) {
         WaitOutOutage(clk);
+      } else if (s.code() == support::ErrorCode::kNodeFailed) {
+        // Failover ladder: promote a surviving replica and re-issue; with
+        // no survivor the page quarantines to kDataLoss via integrity.
+        if (net_->RecoverNodeFailure(clk, raddr, kPageBytes).ok()) {
+          ++stats_.node_failovers;
+        } else if (integ != nullptr) {
+          integ->QuarantineRange(raddr, kPageBytes);
+        }
       }
       if (round + 1 >= max_fault_rounds_) {
         end_heal();
@@ -257,6 +265,7 @@ void SwapSection::WaitOutOutage(sim::SimClock& clk) {
   const uint64_t span = until - t0;
   stats_.degraded_ns += span;
   stats_.stall_ns += span;
+  net_->RecordOutageWait(span);
   clk.AdvanceTo(until);
   auto& prof = telemetry::Profiler();
   if (prof.enabled()) {
@@ -318,6 +327,12 @@ void SwapSection::DrainPendingWritebacks(sim::SimClock& clk) {
         }
       } else if (s.code() == support::ErrorCode::kUnavailable) {
         WaitOutOutage(clk);
+      } else if (s.code() == support::ErrorCode::kNodeFailed) {
+        if (net_->RecoverNodeFailure(clk, raddr, kPageBytes).ok()) {
+          ++stats_.node_failovers;
+        } else if (integ != nullptr) {
+          integ->QuarantineRange(raddr, kPageBytes);
+        }
       }
       if (round + 1 >= max_fault_rounds_) {
         ++stats_.reliable_escalations;

@@ -1,0 +1,321 @@
+#include "src/farmem/cluster.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/support/check.h"
+#include "src/support/str.h"
+
+namespace mira::farmem {
+
+namespace {
+bool Contains(const std::vector<int>& holders, int node) {
+  return std::find(holders.begin(), holders.end(), node) != holders.end();
+}
+}  // namespace
+
+FarMemoryCluster::FarMemoryCluster(FarMemoryNode* seed_node, const ClusterConfig& config)
+    : config_(config) {
+  MIRA_CHECK_MSG(seed_node != nullptr, "cluster needs a seed node");
+  MIRA_CHECK_MSG(config_.num_nodes >= 1, "cluster needs at least one node");
+  MIRA_CHECK_MSG(config_.lease_ns >= config_.heartbeat_ns,
+                 "lease must outlive the heartbeat interval");
+  config_.replicas = std::min(config_.replicas, config_.num_nodes - 1);
+  nodes_.push_back(seed_node);
+  for (int i = 1; i < config_.num_nodes; ++i) {
+    owned_.push_back(std::make_unique<FarMemoryNode>(seed_node->capacity_bytes()));
+    nodes_.push_back(owned_.back().get());
+  }
+  state_.resize(static_cast<size_t>(config_.num_nodes));
+}
+
+int FarMemoryCluster::DesiredCopies() const { return config_.replicas + 1; }
+
+FarMemoryCluster::Placement& FarMemoryCluster::PlacementFor(uint64_t chunk) {
+  Placement& p = placement_[chunk];
+  if (!p.placed) {
+    p.placed = true;
+    ++stats_.placed_chunks;
+    // Ring placement: primary is the first live node scanning from
+    // chunk % N, replicas the next K live nodes. Depends only on the chunk
+    // index and the live set, so placement is deterministic.
+    for (int i = 0; i < config_.num_nodes && static_cast<int>(p.holders.size()) < DesiredCopies();
+         ++i) {
+      const int cand = static_cast<int>((chunk + static_cast<uint64_t>(i)) %
+                                        static_cast<uint64_t>(config_.num_nodes));
+      if (state_[static_cast<size_t>(cand)].alive) {
+        p.holders.push_back(cand);
+      }
+    }
+    if (p.holders.empty()) {
+      // Every node is down; record the ring primary so the address space
+      // stays backed. Anything placed here is already lost.
+      p.holders.push_back(static_cast<int>(chunk % static_cast<uint64_t>(config_.num_nodes)));
+      QuarantineChunk(p);
+    }
+  }
+  return p;
+}
+
+void FarMemoryCluster::QuarantineChunk(Placement& p) {
+  if (!p.quarantined) {
+    p.quarantined = true;
+    ++stats_.quarantined_chunks;
+  }
+}
+
+void FarMemoryCluster::QueueIfUnderReplicated(uint64_t chunk, const Placement& p) {
+  if (p.quarantined || p.holders.empty()) {
+    return;
+  }
+  if (static_cast<int>(p.holders.size()) < DesiredCopies()) {
+    rereplicate_queue_.push_back(chunk);
+  }
+}
+
+support::Result<RemoteAddr> FarMemoryCluster::AllocRange(uint64_t bytes) {
+  auto addr = nodes_[0]->AllocRange(bytes);
+  if (!addr.ok()) {
+    return addr.status();
+  }
+  // Same 64 B rounding as the node allocator, so placement covers the full
+  // handed-out range.
+  const uint64_t rounded = (bytes + 63) & ~63ULL;
+  const uint64_t first = addr.value() >> kChunkShift;
+  const uint64_t last = (addr.value() + rounded - 1) >> kChunkShift;
+  for (uint64_t chunk = first; chunk <= last; ++chunk) {
+    PlacementFor(chunk);
+  }
+  return addr.take();
+}
+
+void FarMemoryCluster::FreeRange(RemoteAddr addr, uint64_t bytes) {
+  // Placement is chunk-granular and chunks host many ranges; entries stay.
+  nodes_[0]->FreeRange(addr, bytes);
+}
+
+void FarMemoryCluster::CopyIn(RemoteAddr addr, const void* src, uint64_t len) {
+  const auto* in = static_cast<const uint8_t*>(src);
+  while (len > 0) {
+    const uint64_t off = addr & (kChunkSize - 1);
+    const uint64_t n = std::min<uint64_t>(len, kChunkSize - off);
+    Placement& p = PlacementFor(addr >> kChunkShift);
+    p.extent = std::max(p.extent, off + n);
+    bool wrote = false;
+    for (const int node : p.holders) {
+      if (!state_[static_cast<size_t>(node)].alive) {
+        continue;
+      }
+      nodes_[static_cast<size_t>(node)]->CopyIn(addr, in, n);
+      if (wrote) {
+        stats_.replicated_write_bytes += n;
+      }
+      wrote = true;
+    }
+    if (!wrote) {
+      // No live holder: land the bytes on the (dead, scrubbed) primary so
+      // the address stays backed. The chunk is already on the quarantine
+      // path — this write is lost the moment anyone asks a live node for it.
+      nodes_[static_cast<size_t>(p.holders[0])]->CopyIn(addr, in, n);
+      ++stats_.lost_writes;
+    }
+    addr += n;
+    in += n;
+    len -= n;
+  }
+}
+
+void FarMemoryCluster::CopyOut(RemoteAddr addr, void* dst, uint64_t len) {
+  auto* out = static_cast<uint8_t*>(dst);
+  while (len > 0) {
+    const uint64_t off = addr & (kChunkSize - 1);
+    const uint64_t n = std::min<uint64_t>(len, kChunkSize - off);
+    Placement& p = PlacementFor(addr >> kChunkShift);
+    int serve = -1;
+    for (const int node : p.holders) {
+      if (state_[static_cast<size_t>(node)].alive) {
+        serve = node;
+        break;
+      }
+    }
+    if (serve < 0) {
+      // Every holder is dead: serve the scrubbed primary (visibly-poisoned
+      // bytes) and count the loss. Only reachable in no-survivor scenarios,
+      // which the integrity ladder surfaces as kDataLoss.
+      serve = p.holders[0];
+      ++stats_.lost_reads;
+    }
+    nodes_[static_cast<size_t>(serve)]->CopyOut(addr, out, n);
+    addr += n;
+    out += n;
+    len -= n;
+  }
+}
+
+uint8_t* FarMemoryCluster::Mem(RemoteAddr addr, uint64_t len) {
+  Placement& p = PlacementFor(addr >> kChunkShift);
+  for (const int node : p.holders) {
+    if (state_[static_cast<size_t>(node)].alive) {
+      return nodes_[static_cast<size_t>(node)]->Mem(addr, len);
+    }
+  }
+  ++stats_.lost_reads;
+  return nodes_[static_cast<size_t>(p.holders[0])]->Mem(addr, len);
+}
+
+void FarMemoryCluster::CrashNode(int node, uint64_t now_ns) {
+  NodeState& st = state_[static_cast<size_t>(node)];
+  MIRA_CHECK_MSG(st.alive, "crashing a node that is already down");
+  st.alive = false;
+  st.detected = false;
+  st.crashed_at_ns = now_ns;
+  ++stats_.crashes;
+  // Poison the arena: the node's contents are gone, and any read that still
+  // routes here is visibly wrong instead of silently stale.
+  nodes_[static_cast<size_t>(node)]->ScrubArena(kCrashPoison);
+  // Placement entries are NOT remapped here — failover is lazy, driven by
+  // the first verb that trips over the dead primary (Transport::CheckTarget
+  // → call-site ladder → Failover). Reads meanwhile route around the dead
+  // node in CopyOut's first-live-holder scan.
+}
+
+void FarMemoryCluster::RejoinNode(int node) {
+  NodeState& st = state_[static_cast<size_t>(node)];
+  MIRA_CHECK_MSG(!st.alive, "rejoining a node that never crashed");
+  st.alive = true;
+  st.detected = false;
+  st.crashed_at_ns = 0;
+  ++stats_.rejoins;
+  // A rejoined node is empty (zero-filled, like a fresh node): drop it from
+  // every placement entry still naming it, then refill the re-replication
+  // queue — the rejoined node is a valid target again, including for chunks
+  // whose re-replication was previously deferred for lack of live targets.
+  nodes_[static_cast<size_t>(node)]->ScrubArena(0);
+  for (auto& [chunk, p] : placement_) {
+    auto it = std::find(p.holders.begin(), p.holders.end(), node);
+    if (it != p.holders.end()) {
+      const bool was_primary = it == p.holders.begin();
+      p.holders.erase(it);
+      if (p.holders.empty()) {
+        p.holders.push_back(node);  // keep the address space backed
+        QuarantineChunk(p);
+        continue;
+      }
+      if (was_primary && !p.quarantined) {
+        ++stats_.rejoin_promotions;
+      }
+    }
+    QueueIfUnderReplicated(chunk, p);
+  }
+}
+
+void FarMemoryCluster::MarkDetected(int node) {
+  NodeState& st = state_[static_cast<size_t>(node)];
+  if (!st.detected) {
+    st.detected = true;
+    ++stats_.detections;
+  }
+}
+
+uint64_t FarMemoryCluster::DetectionDeadlineNs(int node) const {
+  const NodeState& st = state_[static_cast<size_t>(node)];
+  MIRA_CHECK_MSG(!st.alive, "detection deadline of a live node");
+  const uint64_t hb = std::max<uint64_t>(1, config_.heartbeat_ns);
+  const uint64_t last_beat = (st.crashed_at_ns / hb) * hb;
+  return std::max(st.crashed_at_ns, last_beat + config_.lease_ns);
+}
+
+int FarMemoryCluster::PrimaryOf(RemoteAddr addr) {
+  return PlacementFor(addr >> kChunkShift).holders[0];
+}
+
+support::Status FarMemoryCluster::Failover(uint64_t chunk) {
+  Placement& p = PlacementFor(chunk);
+  if (state_[static_cast<size_t>(p.holders[0])].alive) {
+    return support::Status::Ok();  // already healthy (e.g. a sibling verb won)
+  }
+  std::vector<int> live;
+  for (const int node : p.holders) {
+    if (state_[static_cast<size_t>(node)].alive) {
+      live.push_back(node);
+    }
+  }
+  if (live.empty()) {
+    QuarantineChunk(p);
+    return support::Status::DataLoss(
+        support::StrFormat("chunk %llu lost every replica",
+                           static_cast<unsigned long long>(chunk)));
+  }
+  // Promote the first surviving replica; dead holders no longer hold the
+  // data, so they leave the entry entirely.
+  p.holders = std::move(live);
+  ++stats_.failovers;
+  QueueIfUnderReplicated(chunk, p);
+  return support::Status::Ok();
+}
+
+bool FarMemoryCluster::RereplicateNext(RereplicationJob* job) {
+  while (!rereplicate_queue_.empty()) {
+    const uint64_t chunk = rereplicate_queue_.front();
+    rereplicate_queue_.pop_front();
+    auto it = placement_.find(chunk);
+    if (it == placement_.end()) {
+      continue;
+    }
+    Placement& p = it->second;
+    if (p.quarantined || p.holders.empty() ||
+        static_cast<int>(p.holders.size()) >= DesiredCopies()) {
+      continue;
+    }
+    int target = -1;
+    for (int i = 0; i < config_.num_nodes; ++i) {
+      const int cand = static_cast<int>((chunk + static_cast<uint64_t>(i)) %
+                                        static_cast<uint64_t>(config_.num_nodes));
+      if (state_[static_cast<size_t>(cand)].alive && !Contains(p.holders, cand)) {
+        target = cand;
+        break;
+      }
+    }
+    if (target < 0) {
+      // No live node without a copy right now; retry after the next
+      // membership change (RejoinNode refills the queue).
+      continue;
+    }
+    const RemoteAddr base = static_cast<RemoteAddr>(chunk) << kChunkShift;
+    const uint64_t bytes = p.extent;
+    if (bytes > 0) {
+      nodes_[static_cast<size_t>(target)]
+          ->CopyIn(base, nodes_[static_cast<size_t>(p.holders[0])]->Mem(base, bytes), bytes);
+    }
+    p.holders.push_back(target);
+    ++stats_.rereplicated_chunks;
+    stats_.rereplicated_bytes += bytes;
+    if (static_cast<int>(p.holders.size()) < DesiredCopies()) {
+      rereplicate_queue_.push_back(chunk);  // still short a copy: another pass
+    }
+    job->chunk = chunk;
+    job->bytes = bytes;
+    return true;
+  }
+  return false;
+}
+
+bool FarMemoryCluster::ChunkQuarantined(uint64_t chunk) const {
+  auto it = placement_.find(chunk);
+  return it != placement_.end() && it->second.quarantined;
+}
+
+int FarMemoryCluster::HolderCount(uint64_t chunk) const {
+  auto it = placement_.find(chunk);
+  return it == placement_.end() ? 0 : static_cast<int>(it->second.holders.size());
+}
+
+int FarMemoryCluster::alive_nodes() const {
+  int n = 0;
+  for (const NodeState& st : state_) {
+    n += st.alive ? 1 : 0;
+  }
+  return n;
+}
+
+}  // namespace mira::farmem

@@ -1,0 +1,166 @@
+// A replicated far-memory cluster: N FarMemoryNodes behind one remote
+// address space.
+//
+// Every allocated range is placed on a primary plus K replica nodes at chunk
+// (1 MiB) granularity. The data plane fans writes out to every live holder
+// and serves reads from the first live holder in placement order, so results
+// stay correct the instant a node dies as long as one replica survives; the
+// *timing* plane (lease-based failure detection, kNodeFailed verbs, the
+// failover ladder, background re-replication bandwidth) is driven separately
+// by the Transport against the sim clock — the same data/timing decoupling
+// as the single node (DESIGN.md §3).
+//
+// Addressing delegates to node 0's allocator, so a cluster hands out the
+// exact same address sequence as a lone FarMemoryNode — the single-node,
+// no-crash configuration is bit-identical to not having a cluster at all.
+// Allocator metadata is client-side (paper §5.2.1): it survives any node
+// crash, including node 0's own.
+//
+// Crash model: a crashed node's arena is scrubbed with a poison byte (any
+// read that wrongly routes to it is visibly wrong, failing the benches'
+// result-equality asserts), and a rejoining node comes back *empty* — it is
+// dropped from every placement entry it appears in and becomes a fresh
+// re-replication target. A chunk whose every holder died is quarantined; the
+// integrity ladder surfaces it as kDataLoss.
+
+#ifndef MIRA_SRC_FARMEM_CLUSTER_H_
+#define MIRA_SRC_FARMEM_CLUSTER_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/farmem/far_memory_node.h"
+#include "src/support/status.h"
+
+namespace mira::farmem {
+
+struct ClusterConfig {
+  int num_nodes = 1;
+  int replicas = 0;  // K extra copies beyond the primary (clamped to N-1)
+  // Lease/heartbeat failure detector: nodes renew a lease every
+  // heartbeat_ns; a crash is detected when the lease granted at the last
+  // renewal *before* the crash expires. The first verb that targets the dead
+  // node after the crash waits out the remaining lease (charged to its sim
+  // clock as `failover_wait`); later verbs fail fast with kNodeFailed.
+  uint64_t lease_ns = 50'000;
+  uint64_t heartbeat_ns = 10'000;
+};
+
+struct ClusterStats {
+  uint64_t crashes = 0;
+  uint64_t rejoins = 0;
+  uint64_t detections = 0;          // lease expiries observed (≤ crashes)
+  uint64_t failovers = 0;           // verb-path promotions of a surviving replica
+  uint64_t rejoin_promotions = 0;   // promotions resolved while wiping a rejoining node
+  uint64_t quarantined_chunks = 0;  // chunks that lost every holder
+  uint64_t rereplicated_chunks = 0;
+  uint64_t rereplicated_bytes = 0;
+  uint64_t replicated_write_bytes = 0;  // extra bytes fanned out to replicas
+  uint64_t lost_reads = 0;   // reads served from a dead node (no live holder)
+  uint64_t lost_writes = 0;  // writes with no live holder to land on
+  uint64_t placed_chunks = 0;
+};
+
+class FarMemoryCluster {
+ public:
+  static constexpr uint64_t kChunkShift = FarMemoryNode::kChunkShift;
+  static constexpr uint64_t kChunkSize = FarMemoryNode::kChunkSize;
+  static constexpr uint8_t kCrashPoison = 0xDD;
+
+  // `seed_node` becomes node 0 and is NOT owned (it is World::node, and
+  // existing single-node callers keep using it directly); nodes 1..N-1 are
+  // created and owned here, with node 0's capacity bound.
+  FarMemoryCluster(FarMemoryNode* seed_node, const ClusterConfig& config);
+
+  int num_nodes() const { return config_.num_nodes; }
+  bool multi_node() const { return config_.num_nodes > 1; }
+  const ClusterConfig& config() const { return config_; }
+  FarMemoryNode* node(int i) { return nodes_[static_cast<size_t>(i)]; }
+
+  // ---- Allocation (addresses from node 0's allocator; placement here) ----
+  support::Result<RemoteAddr> AllocRange(uint64_t bytes);
+  void FreeRange(RemoteAddr addr, uint64_t bytes);
+
+  // ---- Data plane (immediate host copies; no timing) ----
+  // Writes fan out to every live holder of each covered chunk; reads come
+  // from the first live holder in placement order. Chunks never touched
+  // through the cluster are placed lazily with the same ring rule as
+  // AllocRange, so raw-address users (tests) still get replication.
+  void CopyIn(RemoteAddr addr, const void* src, uint64_t len);
+  void CopyOut(RemoteAddr addr, void* dst, uint64_t len);
+  // Host pointer into the first live holder's arena (same single-chunk-span
+  // contract as FarMemoryNode::Mem). Read-siding only: writing through this
+  // pointer would bypass replication — use CopyIn.
+  uint8_t* Mem(RemoteAddr addr, uint64_t len);
+
+  // ---- Membership / failure detection (driven by the Transport) ----
+  void CrashNode(int node, uint64_t now_ns);
+  void RejoinNode(int node);
+  bool NodeAlive(int node) const { return state_[static_cast<size_t>(node)].alive; }
+  bool Detected(int node) const { return state_[static_cast<size_t>(node)].detected; }
+  void MarkDetected(int node);
+  // Sim time at which the failure detector notices `node` (dead) is gone:
+  // the lease granted at the last heartbeat before the crash expires.
+  uint64_t DetectionDeadlineNs(int node) const;
+
+  // Primary node of the chunk covering `addr` (placing the chunk if new).
+  int PrimaryOf(RemoteAddr addr);
+
+  // Failover ladder step: drop dead holders of `addr`'s chunk and promote
+  // the first surviving replica to primary. Ok when a replica survives (the
+  // chunk is queued for re-replication); DataLoss when none does (the chunk
+  // is quarantined). A chunk whose primary is already alive is a no-op.
+  support::Status Failover(uint64_t chunk);
+
+  // ---- Background re-replication ----
+  // Pops the next under-replicated chunk and copies its written extent from
+  // the live primary to a fresh target node (host copy, immediate). Returns
+  // false when the queue is drained. The caller (Transport) charges the
+  // returned byte count to the sim clock as background bandwidth.
+  struct RereplicationJob {
+    uint64_t chunk = 0;
+    uint64_t bytes = 0;
+  };
+  bool RereplicateNext(RereplicationJob* job);
+  bool has_pending_rereplication() const { return !rereplicate_queue_.empty(); }
+
+  bool ChunkQuarantined(uint64_t chunk) const;
+  int HolderCount(uint64_t chunk) const;
+  int alive_nodes() const;
+  const ClusterStats& stats() const { return stats_; }
+
+ private:
+  struct Placement {
+    std::vector<int> holders;  // [0] = primary; only nodes that HOLD the data
+    uint64_t extent = 0;       // written high-water offset within the chunk
+    bool placed = false;
+    bool quarantined = false;
+  };
+  struct NodeState {
+    bool alive = true;
+    bool detected = false;
+    uint64_t crashed_at_ns = 0;
+  };
+
+  int DesiredCopies() const;
+  Placement& PlacementFor(uint64_t chunk);
+  void QueueIfUnderReplicated(uint64_t chunk, const Placement& p);
+  void QuarantineChunk(Placement& p);
+
+  ClusterConfig config_;
+  std::vector<std::unique_ptr<FarMemoryNode>> owned_;  // nodes 1..N-1
+  std::vector<FarMemoryNode*> nodes_;                  // [0] = seed (unowned)
+  std::vector<NodeState> state_;
+  // Ordered so membership-change scans and the re-replication queue fill in
+  // deterministic chunk order (timing depends on it).
+  std::map<uint64_t, Placement> placement_;
+  std::deque<uint64_t> rereplicate_queue_;
+  ClusterStats stats_;
+};
+
+}  // namespace mira::farmem
+
+#endif  // MIRA_SRC_FARMEM_CLUSTER_H_

@@ -80,6 +80,12 @@ void FarMemoryNode::FreeRange(RemoteAddr addr, uint64_t bytes) {
   }
 }
 
+void FarMemoryNode::ScrubArena(uint8_t fill) {
+  for (auto& chunk : chunks_) {
+    std::memset(chunk.get(), fill, kChunkSize);
+  }
+}
+
 uint8_t* FarMemoryNode::Mem(RemoteAddr addr, uint64_t len) {
   MIRA_CHECK_MSG(addr >= kBaseAddr, "remote address below arena base");
   EnsureMapped(addr, len);

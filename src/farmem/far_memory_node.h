@@ -48,9 +48,19 @@ class FarMemoryNode {
   void CopyOut(RemoteAddr addr, void* dst, uint64_t len) const;
   void CopyIn(RemoteAddr addr, const void* src, uint64_t len);
 
+  // Overwrites every mapped arena byte with `fill`. Models losing the node's
+  // contents wholesale: the cluster scrubs a node on crash (poison fill, so a
+  // read that wrongly routes to a dead node is visibly wrong) and on rejoin
+  // (zero fill — a rejoined node starts empty, like a fresh one). Allocator
+  // metadata is untouched: it lives client-side (paper §5.2.1) and survives.
+  void ScrubArena(uint8_t fill);
+
   uint64_t allocated_bytes() const { return allocated_bytes_; }
   uint64_t capacity_bytes() const { return capacity_bytes_; }
   uint64_t arena_bytes() const { return chunks_.size() * kChunkSize; }
+  // Free-list view (address → coalesced size), for diagnostics and the
+  // allocator property tests.
+  const std::map<RemoteAddr, uint64_t>& free_ranges() const { return free_ranges_; }
 
  private:
   // Ensures backing chunks exist for [addr, addr+len).

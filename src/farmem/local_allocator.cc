@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/farmem/cluster.h"
+#include "src/net/transport.h"
 #include "src/support/check.h"
 
 namespace mira::farmem {
@@ -21,12 +23,14 @@ support::Result<RemoteAddr> LocalAllocator::Alloc(sim::SimClock& clk, uint64_t b
       return addr;
     }
   }
-  // Refill from the remote allocator: one RPC, charged to the caller.
+  // Refill from the remote allocator: one RPC, charged to the caller. The
+  // cluster route places the fresh chunks on their replica set as well.
+  FarMemoryCluster* cluster = net_->cluster();
   const uint64_t ask = std::max(bytes, kRefillBytes);
-  auto range = node_->AllocRange(ask);
+  auto range = cluster != nullptr ? cluster->AllocRange(ask) : node_->AllocRange(ask);
   if (!range.ok()) {
     // Retry with the exact size (the big refill may overshoot capacity).
-    range = node_->AllocRange(bytes);
+    range = cluster != nullptr ? cluster->AllocRange(bytes) : node_->AllocRange(bytes);
     if (!range.ok()) {
       return range.status();
     }

@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "src/farmem/cluster.h"
 #include "src/support/check.h"
 
 namespace mira::integrity {
@@ -38,8 +39,15 @@ IntegrityManager::IntegrityManager(farmem::FarMemoryNode* node, IntegrityConfig 
   MIRA_CHECK(config_.max_refetch_rounds >= 1);
 }
 
+uint8_t* IntegrityManager::ArenaMem(uint64_t addr, uint32_t len) {
+  if (cluster_ != nullptr) {
+    return cluster_->Mem(addr, len);
+  }
+  return node_->Mem(addr, len);
+}
+
 uint64_t IntegrityManager::ChecksumGranule(uint64_t base, uint64_t version) {
-  const uint8_t* mem = node_->Mem(base, config_.granule_bytes);
+  const uint8_t* mem = ArenaMem(base, config_.granule_bytes);
   return LineChecksum(mem, config_.granule_bytes, version);
 }
 
@@ -76,8 +84,14 @@ bool IntegrityManager::RestoreFromGolden(uint64_t base, GranuleRecord& rec) {
   if (it == golden_.end()) {
     return false;
   }
-  std::memcpy(node_->Mem(base, config_.granule_bytes), it->second.data(),
-              config_.granule_bytes);
+  if (cluster_ != nullptr) {
+    // Propagate the restore to every live replica, not just the one the
+    // next read happens to hit.
+    cluster_->CopyIn(base, it->second.data(), config_.granule_bytes);
+  } else {
+    std::memcpy(node_->Mem(base, config_.granule_bytes), it->second.data(),
+                config_.granule_bytes);
+  }
   rec.checksum = ChecksumGranule(base, rec.version);
   ++stats_.oracle_restores;
   return true;
@@ -98,7 +112,7 @@ void IntegrityManager::CommitStore(uint64_t addr, uint32_t len, bool through_cac
       rec.far_version = rec.version;
     }
     if (config_.paranoid) {
-      const uint8_t* mem = node_->Mem(base, config_.granule_bytes);
+      const uint8_t* mem = ArenaMem(base, config_.granule_bytes);
       golden_[base].assign(mem, mem + config_.granule_bytes);
     }
   }
@@ -242,7 +256,7 @@ void IntegrityManager::FinalAudit(sim::SimClock& clk) {
     } else if (config_.paranoid) {
       const auto it = golden_.find(base);
       if (it != golden_.end() &&
-          std::memcmp(node_->Mem(base, config_.granule_bytes), it->second.data(),
+          std::memcmp(ArenaMem(base, config_.granule_bytes), it->second.data(),
                       config_.granule_bytes) != 0) {
         // Cross-check stronger than the checksum: a divergence here means
         // the ledger itself was poisoned along with the arena.
@@ -288,6 +302,20 @@ void IntegrityManager::Publish(telemetry::MetricsRegistry& registry) const {
   registry.SetCounter("integrity.audit_lag_reconciled", stats_.audit_lag_reconciled);
   if (stats_.first_divergent_addr != 0) {
     registry.SetCounter("integrity.first_divergent_addr", stats_.first_divergent_addr);
+  }
+}
+
+void IntegrityManager::QuarantineRange(uint64_t addr, uint32_t len) {
+  if (!config_.enabled || len == 0) {
+    return;
+  }
+  const uint64_t first = GranuleBase(addr);
+  const uint64_t last = GranuleBase(addr + len - 1);
+  for (uint64_t base = first; base <= last; base += config_.granule_bytes) {
+    GranuleRecord& rec = ledger_[base];
+    if (!rec.quarantined) {
+      Quarantine(base, rec);
+    }
   }
 }
 

@@ -43,6 +43,10 @@
 #include "src/support/status.h"
 #include "src/telemetry/metrics.h"
 
+namespace mira::farmem {
+class FarMemoryCluster;
+}  // namespace mira::farmem
+
 namespace mira::integrity {
 
 struct IntegrityConfig {
@@ -158,6 +162,17 @@ class IntegrityManager {
 
   void Publish(telemetry::MetricsRegistry& registry) const;
 
+  // Routes arena reads/writes through the replicated cluster when one is
+  // attached: verification reads come from the first live replica and
+  // golden-mirror restores propagate to every live replica, so the ledger
+  // stays consistent with whichever copy the transport serves next.
+  void SetCluster(farmem::FarMemoryCluster* cluster) { cluster_ = cluster; }
+
+  // Quarantines every granule overlapping [addr, addr+len): the failover
+  // ladder found no surviving replica for the range, so its bytes are gone
+  // for good. Latches `fatal()` to kDataLoss like any unhealable damage.
+  void QuarantineRange(uint64_t addr, uint32_t len);
+
   // Test hook: deliberately damage the arena bytes of `addr` without
   // updating the ledger, modeling out-of-band corruption.
   void DamageArenaForTest(uint64_t addr, uint32_t len);
@@ -177,8 +192,12 @@ class IntegrityManager {
   void OpenEpisode(uint64_t key);
   void Quarantine(uint64_t base, GranuleRecord& rec);
   bool RestoreFromGolden(uint64_t base, GranuleRecord& rec);
+  // Authoritative arena bytes for [addr, addr+len): the cluster's first live
+  // replica when one is attached, the single node otherwise.
+  uint8_t* ArenaMem(uint64_t addr, uint32_t len);
 
   farmem::FarMemoryNode* node_;
+  farmem::FarMemoryCluster* cluster_ = nullptr;
   IntegrityConfig config_;
   IntegrityStats stats_;
   support::Status fatal_;

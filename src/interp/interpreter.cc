@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstring>
 
+#include "src/farmem/cluster.h"
 #include "src/integrity/integrity.h"
 #include "src/support/str.h"
 
@@ -22,6 +23,7 @@ Interpreter::Interpreter(const ir::Module* module, backends::Backend* backend,
     : module_(module),
       backend_(backend),
       integrity_(integrity::ActiveOrNull(backend->net()->integrity())),
+      cluster_(backend->net()->cluster()),
       options_(options),
       rng_(options.seed) {
   // Each interpreter run is one logical thread of the telemetry timeline.
@@ -73,12 +75,20 @@ void Interpreter::ChargeCompute(uint64_t ops) {
 
 uint64_t Interpreter::LoadData(farmem::RemoteAddr addr, uint32_t bytes) const {
   uint64_t bits = 0;
-  backend_->node()->CopyOut(addr, &bits, bytes);
+  if (cluster_ != nullptr) {
+    cluster_->CopyOut(addr, &bits, bytes);
+  } else {
+    backend_->node()->CopyOut(addr, &bits, bytes);
+  }
   return bits;
 }
 
 void Interpreter::StoreData(farmem::RemoteAddr addr, uint64_t bits, uint32_t bytes) {
-  backend_->node()->CopyIn(addr, &bits, bytes);
+  if (cluster_ != nullptr) {
+    cluster_->CopyIn(addr, &bits, bytes);
+  } else {
+    backend_->node()->CopyIn(addr, &bits, bytes);
+  }
   if (integrity_ != nullptr) {
     // Offloaded (remote-mode) stores commit directly at the far node, so
     // their far-side version is already current; cached-mode stores leave a

@@ -28,6 +28,10 @@
 #include "src/support/status.h"
 #include "src/telemetry/telemetry.h"
 
+namespace mira::farmem {
+class FarMemoryCluster;
+}  // namespace mira::farmem
+
 namespace mira::integrity {
 class IntegrityManager;
 }  // namespace mira::integrity
@@ -129,6 +133,10 @@ class Interpreter {
   // at construction: every committed store notifies it, and a fatal
   // (unhealable) integrity verdict aborts the run with kDataLoss.
   integrity::IntegrityManager* integrity_ = nullptr;
+  // Replicated far-memory cluster attached to the transport, or null. When
+  // present, data-plane loads/stores route through it so reads come from a
+  // live replica and writes reach every replica.
+  farmem::FarMemoryCluster* cluster_ = nullptr;
   InterpOptions options_;
   sim::SimClock clock_;
   RunProfile profile_;

@@ -30,7 +30,8 @@ bool FaultPlan::AnyFaults() const {
       return true;
     }
   }
-  return !outages.empty() || !degraded.empty() || torn_writeback_probability > 0.0;
+  return !outages.empty() || !degraded.empty() || torn_writeback_probability > 0.0 ||
+         !node_crashes.empty();
 }
 
 FaultPlan FaultPlan::Clean() { return FaultPlan{}; }
@@ -92,6 +93,25 @@ FaultPlan FaultPlan::TornWriteback(uint64_t seed, double async_drop_p, double te
   plan.verb(Verb::kWriteAsync).drop_probability = async_drop_p;
   plan.verb(Verb::kWriteSync).corrupt_probability = sync_corrupt_p;
   plan.torn_writeback_probability = tear_p;
+  return plan;
+}
+
+FaultPlan FaultPlan::NodeCrash(uint64_t seed, int node, uint64_t crash_ns, uint64_t rejoin_ns) {
+  FaultPlan plan;
+  plan.seed = seed;
+  plan.node_crashes.push_back(NodeCrashEvent{node, crash_ns, rejoin_ns});
+  return plan;
+}
+
+FaultPlan FaultPlan::RollingCrashes(uint64_t seed, int num_nodes, int count,
+                                    uint64_t first_crash_ns, uint64_t period_ns,
+                                    uint64_t downtime_ns) {
+  FaultPlan plan;
+  plan.seed = seed;
+  for (int i = 0; i < count; ++i) {
+    const uint64_t crash = first_crash_ns + static_cast<uint64_t>(i) * period_ns;
+    plan.node_crashes.push_back(NodeCrashEvent{(1 + i) % num_nodes, crash, crash + downtime_ns});
+  }
   return plan;
 }
 

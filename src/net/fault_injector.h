@@ -85,6 +85,18 @@ struct DegradedWindow {
   double bandwidth_factor = 1.0;
 };
 
+// Deterministic node-crash schedule entry: far node `node` crashes at
+// `crash_ns` (its arena contents are lost; verbs targeting it observe
+// kNodeFailed once the lease-based failure detector fires) and, when
+// `rejoin_ns` is nonzero (> crash_ns), rejoins *empty* at `rejoin_ns` as a
+// valid re-replication target. Crash decisions are schedule-driven and draw
+// no RNG, so adding a crash plan perturbs no other fault stream.
+struct NodeCrashEvent {
+  int node = 0;
+  uint64_t crash_ns = 0;
+  uint64_t rejoin_ns = 0;  // 0 = never rejoins
+};
+
 // Bounded-attempt retry with exponential backoff and deterministic jitter.
 // All waiting (attempt timeouts, backoff) is charged to the caller's
 // SimClock, so retries show up as real tail latency in every bench.
@@ -120,6 +132,9 @@ struct FaultPlan {
   // a prefix of the burst is applied at the far node, the rest completes on
   // the wire but is never applied (caught by the version-vector audit).
   double torn_writeback_probability = 0.0;
+  // Node-crash schedule, applied by the transport against the attached
+  // FarMemoryCluster as simulated time passes the event timestamps.
+  std::vector<NodeCrashEvent> node_crashes;
 
   VerbFaultConfig& verb(Verb v) { return verbs[static_cast<size_t>(v)]; }
   const VerbFaultConfig& verb(Verb v) const { return verbs[static_cast<size_t>(v)]; }
@@ -151,6 +166,16 @@ struct FaultPlan {
   // exercises far-node frame rejection during the drains.
   static FaultPlan TornWriteback(uint64_t seed, double async_drop_p = 0.85,
                                  double tear_p = 0.5, double sync_corrupt_p = 0.05);
+  // One far node crashing mid-run (optionally rejoining empty later); no
+  // link-level faults, so the verb RNG streams stay untouched.
+  static FaultPlan NodeCrash(uint64_t seed, int node, uint64_t crash_ns, uint64_t rejoin_ns = 0);
+  // `count` sequential crash+rejoin cycles rolling over the nodes of an
+  // `num_nodes`-node cluster starting at node 1 (node 0 — the RPC home and
+  // allocator seed — crashes last): node (1 + i) % num_nodes crashes at
+  // first_crash_ns + i * period_ns and rejoins downtime_ns later. With
+  // downtime_ns < period_ns at most one node is ever down.
+  static FaultPlan RollingCrashes(uint64_t seed, int num_nodes, int count, uint64_t first_crash_ns,
+                                  uint64_t period_ns, uint64_t downtime_ns);
 };
 
 class FaultInjector {

@@ -1,5 +1,7 @@
 #include "src/net/transport.h"
 
+#include "src/farmem/cluster.h"
+#include "src/support/check.h"
 #include "src/support/str.h"
 
 namespace mira::net {
@@ -36,6 +38,10 @@ Transport::Transport(farmem::FarMemoryNode* node, const sim::CostModel& cost)
   fault_telemetry_.stale.sink = m.Counter("net.fault.stale_deliveries");
   fault_telemetry_.duplicate.sink = m.Counter("net.fault.duplicated_verbs");
   fault_telemetry_.torn.sink = m.Counter("net.fault.torn_writebacks");
+  fault_telemetry_.outage_wait_ns.sink = m.Counter("net.fault.outage_wait_ns");
+  fault_telemetry_.node_failures.sink = m.Counter("net.fault.node_failures");
+  fault_telemetry_.failover_wait_ns.sink = m.Counter("net.fault.failover_wait_ns");
+  fault_telemetry_.rereplicate_ns.sink = m.Counter("net.cluster.rereplicate_ns");
 }
 
 Transport::~Transport() { FlushTelemetry(); }
@@ -75,6 +81,10 @@ void Transport::FlushTelemetry() {
   flush_counter(fault_telemetry_.stale);
   flush_counter(fault_telemetry_.duplicate);
   flush_counter(fault_telemetry_.torn);
+  flush_counter(fault_telemetry_.outage_wait_ns);
+  flush_counter(fault_telemetry_.node_failures);
+  flush_counter(fault_telemetry_.failover_wait_ns);
+  flush_counter(fault_telemetry_.rereplicate_ns);
 }
 
 void Transport::SetRetryPolicy(const RetryPolicy& policy) {
@@ -85,6 +95,159 @@ void Transport::SetRetryPolicy(const RetryPolicy& policy) {
 
 void Transport::SetRetryPolicy(Verb verb, const RetryPolicy& policy) {
   policies_[static_cast<size_t>(verb)] = policy;
+}
+
+// ---- Cluster / node-crash machinery ----
+
+void Transport::SetCluster(farmem::FarMemoryCluster* cluster) {
+  cluster_ = cluster;
+  crash_applied_.clear();
+  rejoin_applied_.clear();
+}
+
+void Transport::DataIn(farmem::RemoteAddr raddr, const void* src, uint64_t len) {
+  if (cluster_ != nullptr) {
+    cluster_->CopyIn(raddr, src, len);
+  } else {
+    node_->CopyIn(raddr, src, len);
+  }
+}
+
+void Transport::DataOut(farmem::RemoteAddr raddr, void* dst, uint64_t len) {
+  if (cluster_ != nullptr) {
+    cluster_->CopyOut(raddr, dst, len);
+  } else {
+    node_->CopyOut(raddr, dst, len);
+  }
+}
+
+void Transport::RecordOutageWait(uint64_t span_ns) {
+  fault_stats_.outage_wait_ns += span_ns;
+  fault_telemetry_.outage_wait_ns.Add(span_ns);
+}
+
+void Transport::SyncCluster(sim::SimClock& clk) {
+  const auto& events = fault_->plan().node_crashes;
+  if (crash_applied_.size() != events.size()) {
+    crash_applied_.assign(events.size(), false);
+    rejoin_applied_.assign(events.size(), false);
+  }
+  bool changed = false;
+  auto& trace = telemetry::Trace();
+  for (size_t i = 0; i < events.size(); ++i) {
+    const NodeCrashEvent& e = events[i];
+    if (!crash_applied_[i] && clk.now_ns() >= e.crash_ns) {
+      crash_applied_[i] = true;
+      cluster_->CrashNode(e.node, e.crash_ns);
+      changed = true;
+      if (trace.enabled()) {
+        trace.Instant(clk, "net.cluster.crash", "net",
+                      support::StrFormat("{\"node\":%d}", e.node));
+      }
+    }
+    if (crash_applied_[i] && !rejoin_applied_[i] && e.rejoin_ns != 0 &&
+        clk.now_ns() >= e.rejoin_ns) {
+      rejoin_applied_[i] = true;
+      cluster_->RejoinNode(e.node);
+      changed = true;
+      if (trace.enabled()) {
+        trace.Instant(clk, "net.cluster.rejoin", "net",
+                      support::StrFormat("{\"node\":%d}", e.node));
+      }
+    }
+  }
+  if (changed && cluster_->has_pending_rereplication()) {
+    RereplicatePending(clk);
+  }
+}
+
+support::Status Transport::CheckNode(sim::SimClock& clk, Verb verb, int node) {
+  if (cluster_ == nullptr || fault_ == nullptr || fault_->plan().node_crashes.empty()) {
+    return support::Status::Ok();
+  }
+  SyncCluster(clk);
+  if (cluster_->NodeAlive(node)) {
+    return support::Status::Ok();
+  }
+  if (!cluster_->Detected(node)) {
+    // Lease-based failure detection: the first verb that targets the dead
+    // node blocks until the node's lease expires, then learns the truth.
+    const uint64_t detect_at = cluster_->DetectionDeadlineNs(node);
+    if (detect_at > clk.now_ns()) {
+      const uint64_t wait = detect_at - clk.now_ns();
+      clk.AdvanceTo(detect_at);
+      fault_stats_.failover_wait_ns += wait;
+      fault_telemetry_.failover_wait_ns.Add(wait);
+      auto& prof = telemetry::Profiler();
+      if (prof.enabled()) {
+        prof.ChargeStall(clk, "failover_wait", VerbName(verb), wait);
+      }
+    }
+    cluster_->MarkDetected(node);
+    auto& trace = telemetry::Trace();
+    if (trace.enabled()) {
+      trace.Instant(clk, "net.cluster.node_failed", "net",
+                    support::StrFormat("{\"verb\":\"%s\",\"node\":%d}", VerbName(verb), node));
+    }
+  }
+  ++fault_stats_.node_failures;
+  fault_telemetry_.node_failures.Add(1);
+  return support::Status::NodeFailed(
+      support::StrFormat("%s: far node %d crashed", VerbName(verb), node));
+}
+
+support::Status Transport::CheckTarget(sim::SimClock& clk, Verb verb,
+                                       farmem::RemoteAddr raddr) {
+  if (cluster_ == nullptr || fault_ == nullptr || fault_->plan().node_crashes.empty()) {
+    return support::Status::Ok();
+  }
+  return CheckNode(clk, verb, cluster_->PrimaryOf(raddr));
+}
+
+void Transport::RereplicatePending(sim::SimClock& clk) {
+  farmem::FarMemoryCluster::RereplicationJob job;
+  auto& prof = telemetry::Profiler();
+  auto& trace = telemetry::Trace();
+  while (cluster_->RereplicateNext(&job)) {
+    // Posting the background copy costs caller CPU (profiled under the
+    // `rereplicate` site); the bytes then occupy the shared link without
+    // blocking the caller — completion overlaps compute, but every byte is
+    // charged to the link the foreground verbs share.
+    clk.Advance(cost_.per_message_cpu_ns);
+    fault_telemetry_.rereplicate_ns.Add(cost_.per_message_cpu_ns);
+    if (prof.enabled()) {
+      prof.ChargeStall(clk, "rereplicate", "cluster", cost_.per_message_cpu_ns);
+    }
+    if (job.bytes > 0) {
+      ++stats_.messages;
+      stats_.bytes_out += job.bytes;
+      link_.Transfer(clk.now_ns(), job.bytes, cost_.rdma_rtt_ns);
+    }
+    if (trace.enabled()) {
+      trace.Instant(clk, "net.cluster.rereplicate", "net",
+                    support::StrFormat("{\"chunk\":%llu,\"bytes\":%llu}",
+                                       static_cast<unsigned long long>(job.chunk),
+                                       static_cast<unsigned long long>(job.bytes)));
+    }
+  }
+}
+
+support::Status Transport::RecoverNodeFailure(sim::SimClock& clk, farmem::RemoteAddr raddr,
+                                              uint64_t len) {
+  MIRA_CHECK_MSG(cluster_ != nullptr, "node-failure recovery without a cluster");
+  support::Status out = support::Status::Ok();
+  const uint64_t first = raddr >> farmem::FarMemoryCluster::kChunkShift;
+  const uint64_t last =
+      (raddr + (len == 0 ? 0 : len - 1)) >> farmem::FarMemoryCluster::kChunkShift;
+  for (uint64_t chunk = first; chunk <= last; ++chunk) {
+    auto s = cluster_->Failover(chunk);
+    if (!s.ok()) {
+      out = s;
+    }
+  }
+  // Promotion done; top up the replication factor in the background.
+  RereplicatePending(clk);
+  return out;
 }
 
 void Transport::RecordVerb(VerbTelemetry& verb, const char* name,
@@ -217,7 +380,7 @@ support::Result<uint64_t> Transport::AdmitVerb(Verb verb, sim::SimClock& clk,
 void Transport::ReadSyncImpl(sim::SimClock& clk, farmem::RemoteAddr raddr, void* dst,
                              uint32_t len, uint64_t extra_ns) {
   if (dst != nullptr) {
-    node_->CopyOut(raddr, dst, len);
+    DataOut(raddr, dst, len);
   }
   ++stats_.one_sided_reads;
   stats_.bytes_in += len;
@@ -237,6 +400,9 @@ support::Status Transport::TryReadSync(sim::SimClock& clk, farmem::RemoteAddr ra
     ReadSync(clk, raddr, dst, len);
     return support::Status::Ok();
   }
+  if (auto target = CheckTarget(clk, Verb::kReadSync, raddr); !target.ok()) {
+    return target;
+  }
   auto admit = AdmitVerb(Verb::kReadSync, clk, WireNs(len, 0));
   if (!admit.ok()) {
     return admit.status();
@@ -248,7 +414,7 @@ support::Status Transport::TryReadSync(sim::SimClock& clk, farmem::RemoteAddr ra
 void Transport::WriteSyncImpl(sim::SimClock& clk, farmem::RemoteAddr raddr, const void* src,
                               uint32_t len, uint64_t extra_ns) {
   if (src != nullptr) {
-    node_->CopyIn(raddr, src, len);
+    DataIn(raddr, src, len);
   }
   ++stats_.one_sided_writes;
   stats_.bytes_out += len;
@@ -269,6 +435,9 @@ support::Status Transport::TryWriteSync(sim::SimClock& clk, farmem::RemoteAddr r
     WriteSync(clk, raddr, src, len);
     return support::Status::Ok();
   }
+  if (auto target = CheckTarget(clk, Verb::kWriteSync, raddr); !target.ok()) {
+    return target;
+  }
   auto admit = AdmitVerb(Verb::kWriteSync, clk, WireNs(len, 0));
   if (!admit.ok()) {
     return admit.status();
@@ -280,7 +449,7 @@ support::Status Transport::TryWriteSync(sim::SimClock& clk, farmem::RemoteAddr r
 uint64_t Transport::ReadAsyncImpl(sim::SimClock& clk, farmem::RemoteAddr raddr, void* dst,
                                   uint32_t len, uint64_t extra_ns) {
   if (dst != nullptr) {
-    node_->CopyOut(raddr, dst, len);
+    DataOut(raddr, dst, len);
   }
   ++stats_.one_sided_reads;
   stats_.bytes_in += len;
@@ -301,6 +470,9 @@ support::Result<uint64_t> Transport::TryReadAsync(sim::SimClock& clk, farmem::Re
   if (!FaultsActive()) {
     return ReadAsync(clk, raddr, dst, len);
   }
+  if (auto target = CheckTarget(clk, Verb::kReadAsync, raddr); !target.ok()) {
+    return target;
+  }
   auto admit = AdmitVerb(Verb::kReadAsync, clk, WireNs(len, 0));
   if (!admit.ok()) {
     return admit.status();
@@ -311,7 +483,7 @@ support::Result<uint64_t> Transport::TryReadAsync(sim::SimClock& clk, farmem::Re
 uint64_t Transport::WriteAsyncImpl(sim::SimClock& clk, farmem::RemoteAddr raddr,
                                    const void* src, uint32_t len, uint64_t extra_ns) {
   if (src != nullptr) {
-    node_->CopyIn(raddr, src, len);
+    DataIn(raddr, src, len);
   }
   ++stats_.one_sided_writes;
   stats_.bytes_out += len;
@@ -332,6 +504,9 @@ support::Result<uint64_t> Transport::TryWriteAsync(sim::SimClock& clk,
                                                    uint32_t len) {
   if (!FaultsActive()) {
     return WriteAsync(clk, raddr, src, len);
+  }
+  if (auto target = CheckTarget(clk, Verb::kWriteAsync, raddr); !target.ok()) {
+    return target;
   }
   auto admit = AdmitVerb(Verb::kWriteAsync, clk, WireNs(len, 0));
   if (!admit.ok()) {
@@ -359,7 +534,7 @@ uint64_t Transport::ReadGatherAsyncImpl(sim::SimClock& clk, const std::vector<Se
   uint64_t bytes = 0;
   for (const auto& s : segs) {
     if (s.dst != nullptr) {
-      node_->CopyOut(s.raddr, s.dst, s.len);
+      DataOut(s.raddr, s.dst, s.len);
     }
     bytes += s.len;
   }
@@ -392,6 +567,9 @@ support::Result<uint64_t> Transport::TryReadGatherAsync(sim::SimClock& clk,
   }
   uint64_t bytes = 0;
   for (const auto& s : segs) {
+    if (auto target = CheckTarget(clk, Verb::kReadGather, s.raddr); !target.ok()) {
+      return target;
+    }
     bytes += s.len;
   }
   auto admit = AdmitVerb(Verb::kReadGather, clk,
@@ -406,7 +584,7 @@ void Transport::TwoSidedReadSyncImpl(sim::SimClock& clk, farmem::RemoteAddr radd
                                      uint32_t len, uint32_t gather_segments,
                                      uint64_t extra_ns) {
   if (dst != nullptr) {
-    node_->CopyOut(raddr, dst, len);
+    DataOut(raddr, dst, len);
   }
   ++stats_.two_sided_msgs;
   stats_.bytes_in += len;
@@ -432,6 +610,9 @@ support::Status Transport::TryTwoSidedReadSync(sim::SimClock& clk, farmem::Remot
   }
   const uint64_t handler =
       cost_.two_sided_handler_ns + gather_segments * cost_.sg_segment_ns;
+  if (auto target = CheckTarget(clk, Verb::kTwoSidedRead, raddr); !target.ok()) {
+    return target;
+  }
   auto admit = AdmitVerb(Verb::kTwoSidedRead, clk, WireNs(len, handler));
   if (!admit.ok()) {
     return admit.status();
@@ -444,7 +625,7 @@ void Transport::TwoSidedWriteSyncImpl(sim::SimClock& clk, farmem::RemoteAddr rad
                                       const void* src, uint32_t len, uint32_t gather_segments,
                                       uint64_t extra_ns) {
   if (src != nullptr) {
-    node_->CopyIn(raddr, src, len);
+    DataIn(raddr, src, len);
   }
   ++stats_.two_sided_msgs;
   stats_.bytes_out += len;
@@ -470,6 +651,9 @@ support::Status Transport::TryTwoSidedWriteSync(sim::SimClock& clk, farmem::Remo
   }
   const uint64_t handler =
       cost_.two_sided_handler_ns + gather_segments * cost_.sg_segment_ns;
+  if (auto target = CheckTarget(clk, Verb::kTwoSidedWrite, raddr); !target.ok()) {
+    return target;
+  }
   auto admit = AdmitVerb(Verb::kTwoSidedWrite, clk, WireNs(len, handler));
   if (!admit.ok()) {
     return admit.status();
@@ -503,6 +687,9 @@ support::Result<uint64_t> Transport::TryRpc(sim::SimClock& clk, uint32_t req_byt
   if (!FaultsActive()) {
     return Rpc(clk, req_bytes, resp_bytes, remote_service_ns);
   }
+  if (auto target = CheckNode(clk, Verb::kRpc, 0); !target.ok()) {
+    return target;
+  }
   auto admit = AdmitVerb(Verb::kRpc, clk,
                          WireNs(static_cast<uint64_t>(req_bytes) + resp_bytes,
                                 cost_.rpc_dispatch_ns + remote_service_ns));
@@ -527,6 +714,11 @@ size_t Transport::TearPoint(size_t n) {
 support::Status Transport::AdmitRpc(sim::SimClock& clk) {
   if (!FaultsActive()) {
     return support::Status::Ok();
+  }
+  // The RPC home is node 0; a crashed home node denies admission, and the
+  // caller's existing ladder falls back to local execution.
+  if (auto target = CheckNode(clk, Verb::kRpc, 0); !target.ok()) {
+    return target;
   }
   // Admission models the request leg only: a minimal payload, no service
   // time. The successful attempt's tail latency (if any) is absorbed into

@@ -45,6 +45,10 @@ namespace mira::integrity {
 class IntegrityManager;
 }  // namespace mira::integrity
 
+namespace mira::farmem {
+class FarMemoryCluster;
+}  // namespace mira::farmem
+
 namespace mira::net {
 
 struct NetworkStats {
@@ -80,10 +84,22 @@ struct FaultStats {
   uint64_t stale_deliveries = 0;
   uint64_t duplicated_verbs = 0;
   uint64_t torn_writebacks = 0;  // torn drain bursts (one per burst)
+  // Outage wait-outs the call sites charged to their clocks (the cache
+  // sections report each WaitOutOutage span via RecordOutageWait). Tracked
+  // separately from wasted_ns(): those spans already count in the sections'
+  // degraded_ns, which the adaptive loop adds to wasted_ns() — folding them
+  // in here too would double-charge the fault ratio.
+  uint64_t outage_wait_ns = 0;
+  // Node-crash machinery (cluster attached): verbs refused because the
+  // target node is down, and the lease remnants waited out detecting that.
+  uint64_t node_failures = 0;
+  uint64_t failover_wait_ns = 0;
 
   uint64_t faulted_attempts() const { return drops + timeouts + unavailable; }
   // Clock time charged to callers that bought no progress — the fault-
-  // inflated overhead the adaptive loop watches.
+  // inflated overhead the adaptive loop watches. Deliberately excludes
+  // outage_wait_ns (counted via the sections' degraded_ns, see above) and
+  // failover_wait_ns (the crash trigger watches failovers instead).
   uint64_t wasted_ns() const { return backoff_ns + lost_wait_ns; }
   void Reset() { *this = FaultStats{}; }
 };
@@ -175,8 +191,12 @@ class Transport {
   // ---- Fault configuration ----
 
   // Attaches a fault injector (not owned; nullptr detaches). Plain verbs
-  // ignore it entirely.
-  void SetFaultInjector(FaultInjector* injector) { fault_ = injector; }
+  // ignore it entirely. Re-attaching rewinds the crash-schedule progress.
+  void SetFaultInjector(FaultInjector* injector) {
+    fault_ = injector;
+    crash_applied_.clear();
+    rejoin_applied_.clear();
+  }
   FaultInjector* fault_injector() const { return fault_; }
   // True when Try* verbs can actually fail (injector attached with a
   // non-empty plan).
@@ -192,6 +212,31 @@ class Transport {
   const RetryPolicy& retry_policy(Verb verb) const {
     return policies_[static_cast<size_t>(verb)];
   }
+
+  // ---- Cluster hooks (node-crash failure model) ----
+
+  // Attaches a replicated cluster (not owned; nullptr detaches). Once
+  // attached, the data plane routes through it and Try* verbs check the
+  // target chunk's primary against the fault plan's crash schedule: a verb
+  // against a dead node waits out the failure detector's lease remnant
+  // (charged as `failover_wait`), then returns kNodeFailed. With a single
+  // node and no crash schedule every path is bit-identical to no cluster.
+  void SetCluster(farmem::FarMemoryCluster* cluster);
+  farmem::FarMemoryCluster* cluster() const { return cluster_; }
+
+  // The failover ladder's recovery rung, called by a site that saw
+  // kNodeFailed: for every chunk of [raddr, raddr+len), promote a surviving
+  // replica and remap the placement entry, then re-replicate
+  // under-replicated chunks in the background (bandwidth charged to `clk`,
+  // overlapping compute). Ok → re-issue the verb against the new primary;
+  // DataLoss → no replica survived and the range was quarantined through the
+  // integrity ladder (when one is attached).
+  support::Status RecoverNodeFailure(sim::SimClock& clk, farmem::RemoteAddr raddr, uint64_t len);
+
+  // Call-site report of one WaitOutOutage span (already charged to the
+  // caller's clock and the section's degraded_ns). Feeds
+  // FaultStats::outage_wait_ns and the "net.fault.outage_wait_ns" counter.
+  void RecordOutageWait(uint64_t span_ns);
 
   // ---- Integrity hooks ----
 
@@ -266,6 +311,10 @@ class Transport {
     PendingCounter stale;
     PendingCounter duplicate;
     PendingCounter torn;
+    PendingCounter outage_wait_ns;
+    PendingCounter node_failures;
+    PendingCounter failover_wait_ns;
+    PendingCounter rereplicate_ns;
   };
 
   // Completion time of a message of `bytes` issued at clk.now(), after the
@@ -282,6 +331,21 @@ class Transport {
   // exhaustion returns kUnavailable or kDeadlineExceeded. All waiting is
   // charged to `clk`. `wire_ns` is the attempt's nominal wire latency.
   support::Result<uint64_t> AdmitVerb(Verb verb, sim::SimClock& clk, uint64_t wire_ns);
+
+  // Node-crash gate for one Try* verb, run BEFORE AdmitVerb so a dead node
+  // charges only the detection wait — never the retry ladder's backoff on
+  // top. Applies the crash schedule up to now, then fails the verb with
+  // kNodeFailed when the target chunk's primary (or the RPC home node) is
+  // down. No-op (and no charge) without a cluster + crash schedule.
+  support::Status CheckTarget(sim::SimClock& clk, Verb verb, farmem::RemoteAddr raddr);
+  support::Status CheckNode(sim::SimClock& clk, Verb verb, int node);
+  // Applies every crash/rejoin event with a timestamp <= clk.now() to the
+  // cluster, then kicks background re-replication if membership changed.
+  void SyncCluster(sim::SimClock& clk);
+  // Drains the cluster's re-replication queue: each chunk costs one
+  // per-message CPU charge to `clk` (profiled as `rereplicate`) and its
+  // bytes occupy the shared link in the background (no blocking wait).
+  void RereplicatePending(sim::SimClock& clk);
 
   // Verb bodies shared by the plain (extra_ns = 0) and Try* paths.
   void ReadSyncImpl(sim::SimClock& clk, farmem::RemoteAddr raddr, void* dst, uint32_t len,
@@ -305,6 +369,11 @@ class Transport {
     return cost_.rdma_rtt_ns + cost_.TransferNs(bytes) + handler_ns;
   }
 
+  // Data-plane copies: through the cluster when attached (replicated
+  // writes, first-live-holder reads), else straight to the single node.
+  void DataIn(farmem::RemoteAddr raddr, const void* src, uint64_t len);
+  void DataOut(farmem::RemoteAddr raddr, void* dst, uint64_t len);
+
   farmem::FarMemoryNode* node_;
   const sim::CostModel& cost_;
   sim::BandwidthLink link_;
@@ -312,6 +381,12 @@ class Transport {
   FaultStats fault_stats_;
   FaultInjector* fault_ = nullptr;
   integrity::IntegrityManager* integrity_ = nullptr;
+  farmem::FarMemoryCluster* cluster_ = nullptr;
+  // Crash-schedule progress: which plan events have been applied. Indexed
+  // like FaultPlan::node_crashes; reset when the injector or cluster is
+  // re-attached.
+  std::vector<bool> crash_applied_;
+  std::vector<bool> rejoin_applied_;
   Delivery last_delivery_;
   RetryPolicy policies_[kNumVerbs];
   VerbTelemetry read_sync_;

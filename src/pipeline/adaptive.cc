@@ -13,6 +13,10 @@ AdaptiveRuntime::Invocation AdaptiveRuntime::Execute(const CompiledProgram& prog
     // comparison) sees the same deterministic fault schedule.
     AttachFaults(world, *fault_plan_);
   }
+  if (cluster_config_ != nullptr) {
+    // Before the interpreter is built: it caches the cluster pointer.
+    AttachCluster(world, *cluster_config_);
+  }
   if (integrity_config_ != nullptr) {
     AttachIntegrity(world, *integrity_config_);
   }
@@ -34,6 +38,9 @@ AdaptiveRuntime::Invocation AdaptiveRuntime::Execute(const CompiledProgram& prog
   if (world.integrity != nullptr) {
     out.corruption_detected = world.integrity->stats().detected;
     out.corruption_healed = world.integrity->stats().healed;
+  }
+  if (world.cluster != nullptr) {
+    out.failovers = world.cluster->stats().failovers;
   }
   return out;
 }
@@ -107,7 +114,16 @@ AdaptiveRuntime::Invocation AdaptiveRuntime::Invoke(uint64_t seed) {
       corruption_streak_ = 0;
     }
     const bool corruption_degraded = corruption_streak_ >= corruption_streak_limit_;
-    if (overhead_degraded || fault_degraded || corruption_degraded) {
+    // A crash streak means node churn is steady-state, not a one-off: every
+    // invocation is paying lease-detection waits and re-replication traffic,
+    // so let a fresh compilation compete under the churn.
+    if (crash_min_failovers_ > 0 && out.failovers >= crash_min_failovers_) {
+      ++crash_streak_;
+    } else {
+      crash_streak_ = 0;
+    }
+    const bool crash_degraded = crash_streak_ >= crash_streak_limit_;
+    if (overhead_degraded || fault_degraded || corruption_degraded || crash_degraded) {
       if (fault_degraded) {
         ++fault_rounds_;
         faulty_streak_ = 0;
@@ -115,6 +131,10 @@ AdaptiveRuntime::Invocation AdaptiveRuntime::Invoke(uint64_t seed) {
       if (corruption_degraded) {
         ++corruption_rounds_;
         corruption_streak_ = 0;
+      }
+      if (crash_degraded) {
+        ++crash_rounds_;
+        crash_streak_ = 0;
       }
       Reoptimize(seed);
       out = Execute(current_, seed);
@@ -139,8 +159,10 @@ AdaptiveRuntime::Invocation AdaptiveRuntime::Invoke(uint64_t seed) {
   metrics.SetCounter("adaptive.fault_reoptimizations", static_cast<uint64_t>(fault_rounds_));
   metrics.SetCounter("adaptive.corruption_reoptimizations",
                      static_cast<uint64_t>(corruption_rounds_));
+  metrics.SetCounter("adaptive.crash_reoptimizations", static_cast<uint64_t>(crash_rounds_));
   metrics.SetCounter("adaptive.corruption_detected", out.corruption_detected);
   metrics.SetCounter("adaptive.corruption_healed", out.corruption_healed);
+  metrics.SetCounter("adaptive.failovers", out.failovers);
   metrics.SetGauge("adaptive.reference_overhead", reference_overhead_);
   metrics.SetGauge("adaptive.fault_ratio", out.fault_ratio);
   return out;

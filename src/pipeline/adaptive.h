@@ -27,6 +27,9 @@ class AdaptiveRuntime {
     // config is attached via SetIntegrityConfig).
     uint64_t corruption_detected = 0;
     uint64_t corruption_healed = 0;
+    // Replica promotions taken this invocation (0 unless a cluster config
+    // is attached via SetClusterConfig).
+    uint64_t failovers = 0;
     bool reoptimized = false;  // this invocation triggered a new round
   };
 
@@ -66,12 +69,24 @@ class AdaptiveRuntime {
     corruption_min_detected_ = min_detected;
     corruption_streak_limit_ = streak;
   }
+  // Replicated-cluster config applied to every Execute (non-owning; null =
+  // single node). With a crash schedule in the fault plan, a streak of
+  // invocations that each take >= `min_failovers` replica promotions means
+  // node churn is steady-state, so re-compete the compilation under it (a
+  // plan with fewer remote round trips rides out detection waits better).
+  void SetClusterConfig(const farmem::ClusterConfig* config) { cluster_config_ = config; }
+  void SetCrashTrigger(uint64_t min_failovers = 1, int streak = 2) {
+    crash_min_failovers_ = min_failovers;
+    crash_streak_limit_ = streak;
+  }
 
   int optimization_rounds() const { return rounds_; }
   // Rounds specifically triggered by sustained fault-inflated overhead.
   int fault_reoptimizations() const { return fault_rounds_; }
   // Rounds specifically triggered by sustained corruption detection.
   int corruption_reoptimizations() const { return corruption_rounds_; }
+  // Rounds specifically triggered by sustained node-crash failovers.
+  int crash_reoptimizations() const { return crash_rounds_; }
   const CompiledProgram& current() const { return current_; }
 
  private:
@@ -97,6 +112,11 @@ class AdaptiveRuntime {
   int corruption_streak_limit_ = 2;
   int corruption_streak_ = 0;
   int corruption_rounds_ = 0;
+  const farmem::ClusterConfig* cluster_config_ = nullptr;
+  uint64_t crash_min_failovers_ = 0;  // 0 = trigger disabled
+  int crash_streak_limit_ = 2;
+  int crash_streak_ = 0;
+  int crash_rounds_ = 0;
   // Deployment timeline for telemetry: advances by each invocation's
   // simulated duration, so adaptive instants form one monotonic track.
   sim::SimClock trace_clock_;

@@ -60,6 +60,17 @@ void AttachFaults(World& world, const net::FaultPlan& plan) {
 void AttachIntegrity(World& world, const integrity::IntegrityConfig& config) {
   world.integrity = std::make_unique<integrity::IntegrityManager>(world.node.get(), config);
   world.net->SetIntegrity(world.integrity.get());
+  if (world.cluster != nullptr) {
+    world.integrity->SetCluster(world.cluster.get());
+  }
+}
+
+void AttachCluster(World& world, const farmem::ClusterConfig& config) {
+  world.cluster = std::make_unique<farmem::FarMemoryCluster>(world.node.get(), config);
+  world.net->SetCluster(world.cluster.get());
+  if (world.integrity != nullptr) {
+    world.integrity->SetCluster(world.cluster.get());
+  }
 }
 
 }  // namespace mira::pipeline

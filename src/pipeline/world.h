@@ -9,6 +9,7 @@
 #include <string>
 
 #include "src/backends/backend.h"
+#include "src/farmem/cluster.h"
 #include "src/integrity/integrity.h"
 #include "src/net/transport.h"
 #include "src/runtime/plan.h"
@@ -28,6 +29,9 @@ struct World {
   std::unique_ptr<net::FaultInjector> faults;
   // End-to-end integrity manager attached to `net` (null = unchecked).
   std::unique_ptr<integrity::IntegrityManager> integrity;
+  // Replicated far-memory cluster over `node` plus extra owned nodes
+  // (null = single-node world).
+  std::unique_ptr<farmem::FarMemoryCluster> cluster;
 };
 
 // `local_bytes` is the local cache budget (ignored by kNative). The plan is
@@ -44,6 +48,14 @@ void AttachFaults(World& world, const net::FaultPlan& plan);
 // transport: per-line checksums/versions verified on every fetch and
 // writeback receipt, with the recovery ladder described in DESIGN.md §8.
 void AttachIntegrity(World& world, const integrity::IntegrityConfig& config = {});
+
+// Attaches a replicated cluster (owned by the world) built over the world's
+// existing node (which becomes cluster node 0). All data-plane traffic —
+// transport verbs, interpreter direct loads/stores, integrity verification —
+// routes through the cluster afterwards. Order-independent with
+// AttachIntegrity: whichever attaches second still ends up wired to the
+// other.
+void AttachCluster(World& world, const farmem::ClusterConfig& config);
 
 }  // namespace mira::pipeline
 

@@ -28,6 +28,8 @@ const char* ErrorCodeName(ErrorCode code) {
       return "aborted";
     case ErrorCode::kDataLoss:
       return "data_loss";
+    case ErrorCode::kNodeFailed:
+      return "node_failed";
   }
   return "unknown";
 }

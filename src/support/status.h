@@ -32,6 +32,10 @@ enum class ErrorCode {
   // Data failed its integrity check and could not be healed (quarantined
   // line with no clean copy anywhere). Unrecoverable by retry.
   kDataLoss,
+  // The far-memory node holding the target range crashed (lease expired).
+  // Recoverable when a replica survives: the failover ladder promotes it,
+  // remaps the placement entry, and re-issues the verb.
+  kNodeFailed,
 };
 
 // Human-readable name for an error code ("ok", "invalid_argument", ...).
@@ -65,6 +69,7 @@ class Status {
   }
   static Status Aborted(std::string m) { return Status(ErrorCode::kAborted, std::move(m)); }
   static Status DataLoss(std::string m) { return Status(ErrorCode::kDataLoss, std::move(m)); }
+  static Status NodeFailed(std::string m) { return Status(ErrorCode::kNodeFailed, std::move(m)); }
 
   bool ok() const { return code_ == ErrorCode::kOk; }
   ErrorCode code() const { return code_; }

@@ -1,0 +1,353 @@
+// FarMemoryCluster suite: chunk-granular placement and replication, the
+// crash/rejoin membership model, the lease-based failure detector, the
+// failover ladder (promotion, re-replication, quarantine), and the headline
+// compatibility guarantee — a single-node, no-crash cluster is bit-identical
+// to not having a cluster at all. Suite names contain Cluster/Failover so
+// the CI TSAN job's filter picks them up.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "src/cache/section.h"
+#include "src/farmem/cluster.h"
+#include "src/farmem/far_memory_node.h"
+#include "src/net/fault_injector.h"
+#include "src/net/transport.h"
+#include "src/sim/clock.h"
+#include "src/support/status.h"
+
+namespace mira {
+namespace {
+
+using farmem::FarMemoryCluster;
+using farmem::FarMemoryNode;
+using farmem::RemoteAddr;
+
+constexpr uint64_t kChunk = FarMemoryNode::kChunkSize;
+
+farmem::ClusterConfig Config(int nodes, int replicas) {
+  farmem::ClusterConfig config;
+  config.num_nodes = nodes;
+  config.replicas = replicas;
+  return config;
+}
+
+// Address of the first chunk whose primary is `node` under the ring rule.
+RemoteAddr AddrOnPrimary(FarMemoryCluster& cluster, int node) {
+  for (uint64_t chunk = 1; chunk < 64; ++chunk) {
+    if (cluster.PrimaryOf(chunk * kChunk) == node) {
+      return chunk * kChunk;
+    }
+  }
+  ADD_FAILURE() << "no chunk primaried on node " << node;
+  return 0;
+}
+
+TEST(ClusterPlacement, SingleNodeClusterHandsOutTheLoneNodeAddressSequence) {
+  FarMemoryNode lone;
+  FarMemoryNode seed;
+  FarMemoryCluster cluster(&seed, Config(1, 0));
+  for (uint64_t bytes : {100u, 64u, 4096u, 17u, 1u << 20}) {
+    auto a = lone.AllocRange(bytes);
+    auto b = cluster.AllocRange(bytes);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(a.value(), b.value());
+  }
+}
+
+TEST(ClusterPlacement, WritesFanOutToEveryHolderAndReadsComeBack) {
+  FarMemoryNode seed;
+  FarMemoryCluster cluster(&seed, Config(3, 1));
+  auto addr = cluster.AllocRange(4096);
+  ASSERT_TRUE(addr.ok());
+  const uint64_t chunk = addr.value() >> FarMemoryCluster::kChunkShift;
+  EXPECT_EQ(cluster.HolderCount(chunk), 2);  // primary + 1 replica
+
+  std::vector<uint8_t> pattern(4096);
+  for (size_t i = 0; i < pattern.size(); ++i) {
+    pattern[i] = static_cast<uint8_t>(i * 7 + 1);
+  }
+  cluster.CopyIn(addr.value(), pattern.data(), pattern.size());
+  EXPECT_EQ(cluster.stats().replicated_write_bytes, pattern.size());
+
+  std::vector<uint8_t> got(4096);
+  cluster.CopyOut(addr.value(), got.data(), got.size());
+  EXPECT_EQ(got, pattern);
+
+  // Every live holder carries the same bytes: crash the primary and the
+  // read must come back identical from the replica.
+  const int primary = cluster.PrimaryOf(addr.value());
+  cluster.CrashNode(primary, 1'000);
+  std::fill(got.begin(), got.end(), 0);
+  cluster.CopyOut(addr.value(), got.data(), got.size());
+  EXPECT_EQ(got, pattern);
+  EXPECT_EQ(cluster.stats().crashes, 1u);
+  EXPECT_EQ(cluster.stats().lost_reads, 0u);
+}
+
+TEST(ClusterPlacement, CrashedNodeArenaIsPoisonedSoWrongRoutingIsVisible) {
+  FarMemoryNode seed;
+  FarMemoryCluster cluster(&seed, Config(2, 0));  // no replicas
+  const RemoteAddr addr = AddrOnPrimary(cluster, 1);
+  const uint8_t data[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+  cluster.CopyIn(addr, data, sizeof(data));
+  cluster.CrashNode(1, 1'000);
+  // No live holder: the read lands on the scrubbed dead primary and is
+  // counted as lost — and the poison fill makes the wrong bytes obvious.
+  uint8_t got[8] = {0};
+  cluster.CopyOut(addr, got, sizeof(got));
+  EXPECT_EQ(got[0], FarMemoryCluster::kCrashPoison);
+  EXPECT_EQ(cluster.stats().lost_reads, 1u);
+}
+
+TEST(FailoverLadder, PromotesSurvivorAndRereplicates) {
+  FarMemoryNode seed;
+  FarMemoryCluster cluster(&seed, Config(3, 1));
+  auto addr = cluster.AllocRange(4096);
+  ASSERT_TRUE(addr.ok());
+  std::vector<uint8_t> pattern(4096, 0x5A);
+  cluster.CopyIn(addr.value(), pattern.data(), pattern.size());
+
+  const uint64_t chunk = addr.value() >> FarMemoryCluster::kChunkShift;
+  const int primary = cluster.PrimaryOf(addr.value());
+  cluster.CrashNode(primary, 1'000);
+  EXPECT_TRUE(cluster.Failover(chunk).ok());
+  EXPECT_EQ(cluster.stats().failovers, 1u);
+  EXPECT_NE(cluster.PrimaryOf(addr.value()), primary);
+  EXPECT_EQ(cluster.HolderCount(chunk), 1);
+  ASSERT_TRUE(cluster.has_pending_rereplication());
+
+  FarMemoryCluster::RereplicationJob job;
+  while (cluster.RereplicateNext(&job)) {
+  }
+  EXPECT_EQ(cluster.HolderCount(chunk), 2);
+  EXPECT_GE(cluster.stats().rereplicated_bytes, pattern.size());
+  std::vector<uint8_t> got(4096);
+  cluster.CopyOut(addr.value(), got.data(), got.size());
+  EXPECT_EQ(got, pattern);
+  // A second failover on the (now healthy) chunk is a no-op.
+  EXPECT_TRUE(cluster.Failover(chunk).ok());
+  EXPECT_EQ(cluster.stats().failovers, 1u);
+}
+
+TEST(FailoverLadder, QuarantinesWhenEveryHolderDied) {
+  FarMemoryNode seed;
+  FarMemoryCluster cluster(&seed, Config(2, 1));
+  auto addr = cluster.AllocRange(256);
+  ASSERT_TRUE(addr.ok());
+  const uint64_t chunk = addr.value() >> FarMemoryCluster::kChunkShift;
+  ASSERT_EQ(cluster.HolderCount(chunk), 2);
+  cluster.CrashNode(0, 1'000);
+  cluster.CrashNode(1, 2'000);
+  const auto s = cluster.Failover(chunk);
+  EXPECT_EQ(s.code(), support::ErrorCode::kDataLoss);
+  EXPECT_TRUE(cluster.ChunkQuarantined(chunk));
+  EXPECT_EQ(cluster.stats().quarantined_chunks, 1u);
+  EXPECT_EQ(cluster.stats().failovers, 0u);
+}
+
+// The accounting identity the bench scenarios also assert: each crash that
+// touches a chunk resolves to exactly one of {failover, quarantine}.
+TEST(FailoverLadder, FailoversPlusQuarantinedReconcileWithInjectedCrashes) {
+  {  // survivable: one crash -> one failover, nothing quarantined
+    FarMemoryNode seed;
+    FarMemoryCluster cluster(&seed, Config(3, 1));
+    auto addr = cluster.AllocRange(256);
+    ASSERT_TRUE(addr.ok());
+    const uint64_t chunk = addr.value() >> FarMemoryCluster::kChunkShift;
+    cluster.CrashNode(cluster.PrimaryOf(addr.value()), 1'000);
+    EXPECT_TRUE(cluster.Failover(chunk).ok());
+    EXPECT_EQ(cluster.stats().failovers + cluster.stats().quarantined_chunks, 1u);
+  }
+  {  // unsurvivable: both holders crash -> no failover, one quarantine
+    FarMemoryNode seed;
+    FarMemoryCluster cluster(&seed, Config(2, 1));
+    auto addr = cluster.AllocRange(256);
+    ASSERT_TRUE(addr.ok());
+    const uint64_t chunk = addr.value() >> FarMemoryCluster::kChunkShift;
+    cluster.CrashNode(0, 1'000);
+    cluster.CrashNode(1, 2'000);
+    EXPECT_FALSE(cluster.Failover(chunk).ok());
+    EXPECT_EQ(cluster.stats().failovers + cluster.stats().quarantined_chunks, 1u);
+  }
+}
+
+TEST(FailoverLadder, RejoinedNodeComesBackEmptyAndIsRefilled) {
+  FarMemoryNode seed;
+  FarMemoryCluster cluster(&seed, Config(3, 1));
+  auto addr = cluster.AllocRange(4 * kChunk);  // several chunks
+  ASSERT_TRUE(addr.ok());
+  std::vector<uint8_t> pattern(4 * kChunk, 0x33);
+  cluster.CopyIn(addr.value(), pattern.data(), pattern.size());
+
+  cluster.CrashNode(1, 1'000);
+  cluster.RejoinNode(1);
+  EXPECT_EQ(cluster.stats().rejoins, 1u);
+  EXPECT_TRUE(cluster.NodeAlive(1));
+  // The rejoined node was dropped from every placement entry (its data is
+  // gone) — re-replication restores full redundancy.
+  FarMemoryCluster::RereplicationJob job;
+  while (cluster.RereplicateNext(&job)) {
+  }
+  const uint64_t first = addr.value() >> FarMemoryCluster::kChunkShift;
+  for (uint64_t chunk = first; chunk < first + 4; ++chunk) {
+    EXPECT_EQ(cluster.HolderCount(chunk), 2) << "chunk " << chunk;
+    EXPECT_FALSE(cluster.ChunkQuarantined(chunk));
+  }
+  std::vector<uint8_t> got(pattern.size());
+  cluster.CopyOut(addr.value(), got.data(), got.size());
+  EXPECT_EQ(got, pattern);
+  EXPECT_EQ(cluster.stats().quarantined_chunks, 0u);
+}
+
+// ---- Transport-driven timing plane ----
+
+struct ClusterWorld {
+  FarMemoryNode node;
+  net::Transport net{&node, sim::CostModel::Default()};
+  std::unique_ptr<FarMemoryCluster> cluster;
+  std::unique_ptr<net::FaultInjector> inj;
+  sim::SimClock clk;
+
+  ClusterWorld(int nodes, int replicas, net::FaultPlan plan) {
+    cluster = std::make_unique<FarMemoryCluster>(&node, Config(nodes, replicas));
+    net.SetCluster(cluster.get());
+    inj = std::make_unique<net::FaultInjector>(std::move(plan));
+    net.SetFaultInjector(inj.get());
+    clk.set_tid(sim::AllocateTid());
+  }
+};
+
+TEST(ClusterTransport, LeaseDetectionChargesTheFirstVerbOnly) {
+  const uint64_t crash_ns = 23'000;
+  ClusterWorld w(2, 1, net::FaultPlan::NodeCrash(1, /*node=*/1, crash_ns));
+  const RemoteAddr addr = AddrOnPrimary(*w.cluster, 1);
+  w.clk.AdvanceTo(30'000);  // past the crash, before the lease expires
+
+  uint8_t buf[64] = {0};
+  auto s = w.net.TryReadSync(w.clk, addr, buf, sizeof(buf));
+  EXPECT_EQ(s.code(), support::ErrorCode::kNodeFailed);
+  // Lease granted at the last heartbeat before the crash (t=20k) runs to
+  // 20k + 50k = 70k: the first verb waits out the remnant.
+  EXPECT_EQ(w.cluster->DetectionDeadlineNs(1), 70'000u);
+  EXPECT_EQ(w.clk.now_ns(), 70'000u);
+  EXPECT_EQ(w.net.fault_stats().failover_wait_ns, 40'000u);
+  EXPECT_EQ(w.net.fault_stats().node_failures, 1u);
+
+  // Later verbs fail fast: detection already happened, nothing more waits.
+  s = w.net.TryReadSync(w.clk, addr, buf, sizeof(buf));
+  EXPECT_EQ(s.code(), support::ErrorCode::kNodeFailed);
+  EXPECT_EQ(w.clk.now_ns(), 70'000u);
+  EXPECT_EQ(w.net.fault_stats().failover_wait_ns, 40'000u);
+  EXPECT_EQ(w.net.fault_stats().node_failures, 2u);
+  EXPECT_EQ(w.cluster->stats().detections, 1u);
+}
+
+TEST(ClusterTransport, RecoverNodeFailurePromotesAndReissues) {
+  ClusterWorld w(3, 1, net::FaultPlan::NodeCrash(1, /*node=*/1, 10'000));
+  const RemoteAddr addr = AddrOnPrimary(*w.cluster, 1);
+  const uint8_t data[64] = {9, 9, 9};
+  w.cluster->CopyIn(addr, data, sizeof(data));
+  w.clk.AdvanceTo(100'000);  // lease long expired
+
+  uint8_t buf[64] = {0};
+  auto s = w.net.TryReadSync(w.clk, addr, buf, sizeof(buf));
+  ASSERT_EQ(s.code(), support::ErrorCode::kNodeFailed);
+  ASSERT_TRUE(w.net.RecoverNodeFailure(w.clk, addr, sizeof(buf)).ok());
+  EXPECT_EQ(w.cluster->stats().failovers, 1u);
+  // The re-issued verb now targets the promoted survivor and succeeds.
+  s = w.net.TryReadSync(w.clk, addr, buf, sizeof(buf));
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(std::memcmp(buf, data, sizeof(data)), 0);
+  // Recovery also topped the replication factor back up in the background.
+  EXPECT_GT(w.cluster->stats().rereplicated_chunks, 0u);
+}
+
+// Satellite: a far-node outage overlapping a node crash on the same verb
+// must charge the lease-detection wait ONLY — never retry backoff on top.
+// CheckTarget runs before verb admission, so the dead-node verdict wins.
+TEST(ClusterTransport, StackedOutageAndCrashDoesNotDoubleChargeBackoff) {
+  uint64_t last_now = 0;
+  uint64_t last_wait = 0;
+  for (const uint64_t seed : {1u, 7u, 42u}) {
+    net::FaultPlan plan = net::FaultPlan::NodeCrash(seed, /*node=*/1, 23'000);
+    plan.outages.push_back(net::OutageWindow{20'000, 200'000});
+    ClusterWorld w(2, 1, plan);
+    const RemoteAddr addr = AddrOnPrimary(*w.cluster, 1);
+    w.clk.AdvanceTo(30'000);  // inside the outage AND past the crash
+
+    uint8_t buf[64] = {0};
+    const auto s = w.net.TryReadSync(w.clk, addr, buf, sizeof(buf));
+    EXPECT_EQ(s.code(), support::ErrorCode::kNodeFailed);
+    const net::FaultStats& fs = w.net.fault_stats();
+    // The only clock charge is the lease remnant; the outage/backoff
+    // machinery never saw the verb.
+    EXPECT_EQ(fs.failover_wait_ns, 40'000u);
+    EXPECT_EQ(fs.backoff_ns, 0u);
+    EXPECT_EQ(fs.lost_wait_ns, 0u);
+    EXPECT_EQ(fs.unavailable, 0u);
+    EXPECT_EQ(fs.outage_wait_ns, 0u);
+    EXPECT_EQ(w.clk.now_ns(), 70'000u);
+    // Deadline accounting is schedule-driven, not RNG-driven: every seed
+    // lands on the identical timeline.
+    if (last_now != 0) {
+      EXPECT_EQ(w.clk.now_ns(), last_now);
+      EXPECT_EQ(fs.failover_wait_ns, last_wait);
+    }
+    last_now = w.clk.now_ns();
+    last_wait = fs.failover_wait_ns;
+  }
+}
+
+TEST(ClusterTransport, CacheSectionLadderRecoversCrashedPrimary) {
+  ClusterWorld w(3, 1, net::FaultPlan::NodeCrash(1, /*node=*/1, 5'000));
+  cache::SectionConfig config;
+  config.name = "t";
+  config.structure = cache::SectionStructure::kDirectMapped;
+  config.line_bytes = 64;
+  config.size_bytes = 64 * 8;
+  auto section = cache::MakeSection(config, &w.net);
+  w.clk.AdvanceTo(100'000);
+  // Touch a chunk primaried on the dead node: the reliable-fetch ladder's
+  // kNodeFailed rung must fail over and re-issue, not abort.
+  const RemoteAddr addr = AddrOnPrimary(*w.cluster, 1);
+  section->Access(w.clk, addr, 8, /*write=*/false);
+  section->Release(w.clk);
+  EXPECT_GT(section->stats().node_failovers, 0u);
+  EXPECT_GT(w.cluster->stats().failovers, 0u);
+  EXPECT_EQ(w.cluster->stats().quarantined_chunks, 0u);
+}
+
+// The tentpole compatibility guarantee at verb granularity: a single-node
+// cluster with no crash schedule adds zero timing and zero behavior — the
+// transport with a cluster attached is bit-identical to one without.
+TEST(ClusterTransport, SingleNodeNoCrashIsBitIdenticalToNoCluster) {
+  FarMemoryNode plain_node;
+  net::Transport plain(&plain_node, sim::CostModel::Default());
+  sim::SimClock plain_clk;
+  plain_clk.set_tid(sim::AllocateTid());
+
+  ClusterWorld w(1, 0, net::FaultPlan::Clean());
+
+  uint8_t buf[256] = {0};
+  for (int i = 0; i < 8; ++i) {
+    const RemoteAddr addr = kChunk + static_cast<uint64_t>(i) * 256;
+    ASSERT_TRUE(plain.TryWriteSync(plain_clk, addr, buf, sizeof(buf)).ok());
+    ASSERT_TRUE(w.net.TryWriteSync(w.clk, addr, buf, sizeof(buf)).ok());
+    ASSERT_TRUE(plain.TryReadSync(plain_clk, addr, buf, sizeof(buf)).ok());
+    ASSERT_TRUE(w.net.TryReadSync(w.clk, addr, buf, sizeof(buf)).ok());
+  }
+  EXPECT_EQ(plain_clk.now_ns(), w.clk.now_ns());
+  EXPECT_EQ(plain.stats().messages, w.net.stats().messages);
+  EXPECT_EQ(plain.stats().bytes_out, w.net.stats().bytes_out);
+  EXPECT_EQ(plain.stats().bytes_in, w.net.stats().bytes_in);
+  EXPECT_EQ(w.net.fault_stats().node_failures, 0u);
+  EXPECT_EQ(w.net.fault_stats().failover_wait_ns, 0u);
+}
+
+}  // namespace
+}  // namespace mira

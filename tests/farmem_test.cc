@@ -1,8 +1,11 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <map>
+#include <string>
 
 #include "src/farmem/far_memory_node.h"
+#include "src/support/rng.h"
 #include "src/farmem/local_allocator.h"
 #include "src/net/transport.h"
 
@@ -38,6 +41,115 @@ TEST(FarMemoryNode, FreeListReuseAndCoalescing) {
   node.FreeRange(b, 1024);  // coalesces with a
   const RemoteAddr d = node.AllocRange(2048).take();
   EXPECT_EQ(d, a);  // reused the coalesced hole
+}
+
+// Property test: drive the node allocator with a deterministic random
+// alloc/free workload and check it against an independent reference model
+// after every step. The reference re-derives best-fit-lowest-address
+// placement from its own book-keeping, so any divergence in hole selection,
+// hole splitting, or free-list coalescing shows up as a wrong address or a
+// broken invariant — not as silent fragmentation.
+TEST(FarMemoryNode, AllocatorMatchesReferenceModelUnderRandomWorkload) {
+  support::Rng rng(2026);
+  FarMemoryNode node;
+  std::map<RemoteAddr, uint64_t> live;  // addr -> rounded size
+  std::map<RemoteAddr, uint64_t> holes;  // reference free list (coalesced)
+  uint64_t live_bytes = 0;
+  RemoteAddr bump = FarMemoryNode::kBaseAddr;
+
+  auto check_invariants = [&](int step) {
+    SCOPED_TRACE("step " + std::to_string(step));
+    ASSERT_EQ(node.allocated_bytes(), live_bytes);
+    const auto& free = node.free_ranges();
+    ASSERT_EQ(free, holes);
+    // Fully coalesced: no two adjacent entries touch (they would have been
+    // merged) and none overlap.
+    RemoteAddr prev_end = 0;
+    for (const auto& [addr, size] : free) {
+      ASSERT_GT(size, 0u);
+      ASSERT_LT(prev_end, addr) << "free list not coalesced (or overlapping)";
+      prev_end = addr + size;
+      // Disjoint from every live allocation.
+      auto it = live.lower_bound(addr);
+      if (it != live.end()) {
+        ASSERT_LE(addr + size, it->first);
+      }
+      if (it != live.begin()) {
+        auto prev = std::prev(it);
+        ASSERT_LE(prev->first + prev->second, addr);
+      }
+    }
+  };
+
+  for (int step = 0; step < 2000; ++step) {
+    const bool do_free = !live.empty() && rng.NextBelow(100) < 45;
+    if (do_free) {
+      auto it = live.begin();
+      std::advance(it, static_cast<long>(rng.NextBelow(live.size())));
+      const auto [addr, size] = *it;
+      node.FreeRange(addr, size);
+      live.erase(it);
+      live_bytes -= size;
+      // Reference coalescing: merge with touching neighbors.
+      auto [h, inserted] = holes.emplace(addr, size);
+      ASSERT_TRUE(inserted);
+      auto next = std::next(h);
+      if (next != holes.end() && h->first + h->second == next->first) {
+        h->second += next->second;
+        holes.erase(next);
+      }
+      if (h != holes.begin()) {
+        auto prev = std::prev(h);
+        if (prev->first + prev->second == h->first) {
+          prev->second += h->second;
+          holes.erase(h);
+        }
+      }
+    } else {
+      // Sizes span sub-line, multi-line, and near-chunk requests so the
+      // workload both splits holes and skips ones that are too small.
+      const uint64_t raw = 1 + rng.NextBelow(rng.NextBelow(10) < 2 ? 300'000 : 4'000);
+      const uint64_t size = (raw + 63) & ~63ULL;
+      // Reference placement: best-fit over the holes, lowest address on
+      // ties; bump allocation when no hole is large enough (hole-skipping —
+      // a too-small hole is never split across into fresh arena).
+      auto best = holes.end();
+      for (auto it = holes.begin(); it != holes.end(); ++it) {
+        if (it->second >= size && (best == holes.end() || it->second < best->second)) {
+          best = it;
+        }
+      }
+      RemoteAddr expect;
+      if (best != holes.end()) {
+        expect = best->first;
+        const uint64_t remain = best->second - size;
+        holes.erase(best);
+        if (remain > 0) {
+          holes[expect + size] = remain;
+        }
+      } else {
+        expect = bump;
+        bump += size;
+      }
+      const auto got = node.AllocRange(raw);
+      ASSERT_TRUE(got.ok());
+      ASSERT_EQ(got.value(), expect) << "allocator diverged from reference at step " << step;
+      ASSERT_TRUE(live.emplace(got.value(), size).second);
+      live_bytes += size;
+    }
+    check_invariants(step);
+  }
+
+  // Free everything: the free list must collapse to one hole spanning the
+  // whole touched arena, and the next allocation reuses its base.
+  for (const auto& [addr, size] : live) {
+    node.FreeRange(addr, size);
+  }
+  ASSERT_EQ(node.allocated_bytes(), 0u);
+  ASSERT_EQ(node.free_ranges().size(), 1u);
+  EXPECT_EQ(node.free_ranges().begin()->first, FarMemoryNode::kBaseAddr);
+  EXPECT_EQ(node.free_ranges().begin()->second, bump - FarMemoryNode::kBaseAddr);
+  EXPECT_EQ(node.AllocRange(64).take(), FarMemoryNode::kBaseAddr);
 }
 
 TEST(FarMemoryNode, DataRoundTripWithinChunk) {

@@ -215,6 +215,13 @@ TEST(StallProfilerReconcile, OutageWaitMatchesDegradedNs) {
   const auto totals = telemetry::Profiler().Snapshot().TotalsByVerb();
   EXPECT_EQ(totals.at("outage_wait"), section->stats().degraded_ns);
   EXPECT_GT(section->stats().degraded_ns, 0u);
+  // The transport's own outage-wait ledger reconciles with both: every
+  // degraded-mode nanosecond the section waited out is recorded there, and
+  // it stays out of wasted_ns() (which adaptive adds DegradedNs to — the
+  // separate counter exists so the same span is never charged twice).
+  EXPECT_EQ(net.fault_stats().outage_wait_ns, section->stats().degraded_ns);
+  EXPECT_EQ(net.fault_stats().wasted_ns(),
+            net.fault_stats().backoff_ns + net.fault_stats().lost_wait_ns);
 }
 
 TEST(StallProfilerReconcile, RetryChargesMatchTransportWastedNs) {

@@ -118,10 +118,54 @@ TEST(Report, MetricsCsvOnlyNsRowsGate) {
   EXPECT_TRUE(saw_ns);
 }
 
-TEST(Report, MetricsOnlyInBothRunsCompared) {
+TEST(Report, OneSidedMetricsReportedAsAddedAndRemoved) {
   const auto comps = CompareMetricsCsv("metric,kind,value\na.x_ns,counter,1\n",
                                        "metric,kind,value\nb.y_ns,counter,1\n", 0.10);
-  EXPECT_TRUE(comps.empty());
+  ASSERT_EQ(comps.size(), 2u);
+  const Comparison* removed = nullptr;
+  const Comparison* added = nullptr;
+  for (const auto& c : comps) {
+    if (c.presence == Presence::kRemoved) {
+      removed = &c;
+    } else if (c.presence == Presence::kAdded) {
+      added = &c;
+    }
+  }
+  ASSERT_NE(removed, nullptr);
+  ASSERT_NE(added, nullptr);
+  EXPECT_EQ(removed->name, "a.x_ns");
+  EXPECT_EQ(added->name, "b.y_ns");
+  // A gating *_ns row that disappeared is itself a regression: the gate
+  // would otherwise go blind on that code path.
+  EXPECT_TRUE(removed->regression);
+  EXPECT_TRUE(AnyRegression(comps));
+  // A new row never gates: instrumentation growth is not a regression.
+  EXPECT_FALSE(added->gating);
+  EXPECT_FALSE(added->regression);
+}
+
+TEST(Report, RemovedInformationalRowDoesNotGate) {
+  const auto comps = CompareMetricsCsv(
+      "metric,kind,value\ncache.hot.misses,counter,5\ncache.hot.stall_ns,counter,10\n",
+      "metric,kind,value\ncache.hot.stall_ns,counter,10\n", 0.10);
+  ASSERT_EQ(comps.size(), 2u);
+  for (const auto& c : comps) {
+    if (c.name == "cache.hot.misses") {
+      EXPECT_EQ(c.presence, Presence::kRemoved);
+      EXPECT_FALSE(c.regression);  // a vanished count row is only informational
+    }
+  }
+  EXPECT_FALSE(AnyRegression(comps));
+}
+
+TEST(Report, FormatReportMarksOneSidedRows) {
+  const auto comps = CompareMetricsCsv("metric,kind,value\na.x_ns,counter,1\n",
+                                       "metric,kind,value\nb.y,counter,2\n", 0.10);
+  const std::string report = FormatReport("base -> cur", comps);
+  EXPECT_NE(report.find("REGRESSION"), std::string::npos);  // removed gating row
+  EXPECT_NE(report.find("added"), std::string::npos);
+  EXPECT_NE(report.find("a.x_ns"), std::string::npos);
+  EXPECT_NE(report.find("b.y"), std::string::npos);
 }
 
 }  // namespace

@@ -14,10 +14,17 @@
 //  - metrics CSVs: only `*_ns` rows gate (lower-better — simulated stall
 //    and runtime time); other rows (counts, rates) are informational, since
 //    e.g. a higher hit count is not a regression.
+//  - one-sided metrics rows are reported, not skipped: a row only in the
+//    current run is "added" (informational — new instrumentation), a row
+//    only in the baseline is "removed", and a removed *gating* `*_ns` row
+//    is itself a regression — a silently vanished stall-time metric would
+//    otherwise blind the gate exactly when the code path it measured
+//    changed.
 
 #ifndef MIRA_TOOLS_REPORT_H_
 #define MIRA_TOOLS_REPORT_H_
 
+#include <cstdint>
 #include <cstdlib>
 #include <map>
 #include <string>
@@ -98,6 +105,13 @@ inline std::map<std::string, double> ParseMetricsCsv(std::string_view text) {
   return out;
 }
 
+// Row presence across the two runs being diffed.
+enum class Presence : uint8_t {
+  kBoth = 0,   // present in baseline and current: a value comparison
+  kAdded,      // only in current (new instrumentation; never gates)
+  kRemoved,    // only in baseline (gating rows removed = regression)
+};
+
 struct Comparison {
   std::string name;        // metric or report field
   double base = 0;
@@ -106,6 +120,7 @@ struct Comparison {
   bool lower_better = true;
   bool gating = false;     // participates in the regression verdict
   bool regression = false; // gating and beyond threshold in the bad direction
+  Presence presence = Presence::kBoth;
 };
 
 inline Comparison Compare(std::string name, double base, double cur, bool lower_better,
@@ -144,7 +159,13 @@ inline std::vector<Comparison> CompareBenchReports(std::string_view base_text,
   return out;
 }
 
-// Diffs two metrics CSVs; only metrics present in both runs are compared.
+inline bool IsNsMetric(const std::string& name) {
+  return name.size() > 3 && name.compare(name.size() - 3, 3, "_ns") == 0;
+}
+
+// Diffs two metrics CSVs. Metrics present in both runs are value-compared;
+// one-sided metrics are reported as added/removed, and a removed gating
+// `*_ns` row counts as a regression (see the header comment).
 inline std::vector<Comparison> CompareMetricsCsv(std::string_view base_text,
                                                  std::string_view cur_text,
                                                  double threshold) {
@@ -152,13 +173,30 @@ inline std::vector<Comparison> CompareMetricsCsv(std::string_view base_text,
   const auto cur = ParseMetricsCsv(cur_text);
   std::vector<Comparison> out;
   for (const auto& [name, base_v] : base) {
+    const bool is_ns = IsNsMetric(name);
     const auto it = cur.find(name);
     if (it == cur.end()) {
+      Comparison c;
+      c.name = name;
+      c.base = base_v;
+      c.presence = Presence::kRemoved;
+      c.gating = is_ns;
+      c.regression = is_ns;  // a vanished stall-time row blinds the gate
+      out.push_back(std::move(c));
       continue;
     }
-    const bool is_ns = name.size() > 3 && name.compare(name.size() - 3, 3, "_ns") == 0;
     out.push_back(Compare(name, base_v, it->second, /*lower_better=*/true,
                           /*gating=*/is_ns, threshold));
+  }
+  for (const auto& [name, cur_v] : cur) {
+    if (base.count(name) != 0) {
+      continue;
+    }
+    Comparison c;
+    c.name = name;
+    c.cur = cur_v;
+    c.presence = Presence::kAdded;
+    out.push_back(std::move(c));
   }
   return out;
 }
@@ -177,6 +215,17 @@ inline std::string FormatReport(const std::string& label,
                                 const std::vector<Comparison>& comps) {
   std::string out = label + "\n";
   for (const auto& c : comps) {
+    if (c.presence == Presence::kAdded) {
+      out += support::StrFormat("  %-10s %-40s %14s -> %14.3g\n", "added", c.name.c_str(),
+                                "-", c.cur);
+      continue;
+    }
+    if (c.presence == Presence::kRemoved) {
+      out += support::StrFormat("  %-10s %-40s %14.3g -> %14s\n",
+                                c.regression ? "REGRESSION" : "removed", c.name.c_str(),
+                                c.base, "-");
+      continue;
+    }
     const double delta_pct = (c.ratio - 1.0) * 100.0;
     const char* verdict = c.regression ? "REGRESSION" : (c.gating ? "ok" : "info");
     out += support::StrFormat("  %-10s %-40s %14.3g -> %14.3g  (%+.1f%%)\n", verdict,
