@@ -24,6 +24,10 @@
 //   rolling_crashes — crash+rejoin cycles roll over every node (the RPC
 //                  home last); rejoined nodes come back empty and are
 //                  refilled by background re-replication
+//   chaos_random — seeded random fault schedules from the chaos harness
+//                  (src/chaos, DESIGN.md §7.2): a small seed sweep of
+//                  generated multi-fault schedules, each checked against
+//                  the full oracle suite; any violation aborts the bench
 //
 // Every scenario asserts the program result equals the fault-free result:
 // injected faults are either retried to success or absorbed by a documented
@@ -40,6 +44,9 @@
 #include <string>
 
 #include "bench/common.h"
+#include "src/chaos/oracles.h"
+#include "src/chaos/runner.h"
+#include "src/chaos/schedule.h"
 #include "src/pipeline/adaptive.h"
 
 namespace mira::bench {
@@ -284,6 +291,49 @@ void BM_CrashAdaptive(benchmark::State& state) {
   }
 }
 
+// Randomized chaos sweep as a bench scenario: the same engine the
+// mira_chaos CLI drives, bounded to a CI-sized seed range. Violations are
+// fatal — this is the randomized counterpart of the hand-written scenarios'
+// per-scenario MIRA_CHECKs.
+void BM_ChaosRandom(benchmark::State& state) {
+  constexpr uint64_t kFirstSeed = 1;
+  constexpr uint64_t kLastSeed = 20;
+  chaos::RunnerOptions ropts;
+  ropts.workload = "graph";
+  const chaos::ChaosRunner runner(ropts);
+  for (auto _ : state) {
+    const chaos::GenOptions gen = runner.MakeGenOptions(/*max_events=*/6);
+    uint64_t events_total = 0;
+    uint64_t faults_total = 0;
+    uint64_t wasted_ns = 0;
+    uint64_t worst_sim_ns = 0;
+    for (uint64_t seed = kFirstSeed; seed <= kLastSeed; ++seed) {
+      const std::vector<chaos::ChaosEvent> events = chaos::GenerateSchedule(seed, gen);
+      const chaos::RunResult out = runner.Execute(chaos::ComposePlan(seed, events));
+      const std::vector<chaos::Violation> violations =
+          chaos::CheckOracles(runner.clean(), out, events, chaos::OracleOptions{});
+      MIRA_CHECK_MSG(violations.empty(), chaos::FormatViolations(violations).c_str());
+      events_total += events.size();
+      faults_total += out.fault.faulted_attempts();
+      wasted_ns += out.fault.wasted_ns();
+      worst_sim_ns = std::max(worst_sim_ns, out.sim_ns);
+    }
+    const double seeds = static_cast<double>(kLastSeed - kFirstSeed + 1);
+    state.counters["seeds"] = seeds;
+    state.counters["events_per_seed"] = static_cast<double>(events_total) / seeds;
+    state.counters["faults"] = static_cast<double>(faults_total);
+    state.counters["wasted_ms"] = static_cast<double>(wasted_ns) / 1e6;
+    state.counters["clean_sim_ms"] = static_cast<double>(runner.clean().sim_ns) / 1e6;
+    state.counters["worst_sim_ms"] = static_cast<double>(worst_sim_ns) / 1e6;
+    auto& metrics = telemetry::Metrics();
+    metrics.SetCounter("bench.fault.chaos_random.seeds", kLastSeed - kFirstSeed + 1);
+    metrics.SetCounter("bench.fault.chaos_random.events", events_total);
+    metrics.SetCounter("bench.fault.chaos_random.faulted_attempts", faults_total);
+    metrics.SetCounter("bench.fault.chaos_random.wasted_ns", wasted_ns);
+    metrics.SetCounter("bench.fault.chaos_random.violations", 0);
+  }
+}
+
 void RegisterAll() {
   for (const char* scenario : {"clean", "lossy", "bursty_outage", "degraded_bw",
                                "silent_corruption", "torn_writeback", "node_crash",
@@ -292,6 +342,7 @@ void RegisterAll() {
                                  std::string(scenario))
         ->Iterations(1);
   }
+  benchmark::RegisterBenchmark("fault/chaos_random", BM_ChaosRandom)->Iterations(1);
   benchmark::RegisterBenchmark("fault/adaptive", BM_Adaptive)->Iterations(1);
   benchmark::RegisterBenchmark("fault/crash_adaptive", BM_CrashAdaptive)->Iterations(1);
 }

@@ -1,0 +1,121 @@
+#include "src/chaos/oracles.h"
+
+#include <set>
+
+#include "src/support/str.h"
+
+namespace mira::chaos {
+
+namespace {
+
+uint64_t Total(const RunResult& r, const char* verb) {
+  const auto it = r.stall_totals.find(verb);
+  return it == r.stall_totals.end() ? 0 : it->second;
+}
+
+void Check(std::vector<Violation>* out, bool ok, const char* oracle, std::string message) {
+  if (!ok) {
+    out->push_back(Violation{oracle, std::move(message)});
+  }
+}
+
+}  // namespace
+
+std::vector<Violation> CheckOracles(const RunResult& clean, const RunResult& faulted,
+                                    const std::vector<ChaosEvent>& events,
+                                    const OracleOptions& opts) {
+  std::vector<Violation> v;
+
+  // result_equality: resilience means the program still finishes with the
+  // bit-identical answer the clean run produced.
+  Check(&v, !faulted.failed, "result_equality",
+        support::StrFormat("faulted run failed: %s", faulted.fail_reason.c_str()));
+  if (!faulted.failed) {
+    Check(&v, faulted.result == clean.result, "result_equality",
+          support::StrFormat("result %llu != clean %llu",
+                             static_cast<unsigned long long>(faulted.result),
+                             static_cast<unsigned long long>(clean.result)));
+  }
+
+  // address_identity: allocator metadata is client-side and allocation order
+  // is program order, so no fault schedule may perturb a single address.
+  Check(&v, faulted.object_addrs == clean.object_addrs, "address_identity",
+        support::StrFormat("%zu object addresses vs clean %zu (or values differ)",
+                           faulted.object_addrs.size(), clean.object_addrs.size()));
+
+  // self_healing: every detected integrity episode must close healed, and
+  // nothing may be quarantined while a clean copy exists somewhere.
+  Check(&v, faulted.integrity.healed == faulted.integrity.detected, "self_healing",
+        support::StrFormat("healed %llu != detected %llu",
+                           static_cast<unsigned long long>(faulted.integrity.healed),
+                           static_cast<unsigned long long>(faulted.integrity.detected)));
+  if (opts.survivor_exists) {
+    Check(&v, faulted.integrity.quarantined == 0, "self_healing",
+          support::StrFormat("%llu granules quarantined with a survivor present",
+                             static_cast<unsigned long long>(faulted.integrity.quarantined)));
+
+    // no_data_loss: the crash discipline guarantees a live holder at every
+    // instant, so the cluster must never lose or quarantine anything.
+    Check(&v, faulted.cluster.quarantined_chunks == 0, "no_data_loss",
+          support::StrFormat("%llu chunks quarantined",
+                             static_cast<unsigned long long>(
+                                 faulted.cluster.quarantined_chunks)));
+    Check(&v, faulted.cluster.lost_reads == 0 && faulted.cluster.lost_writes == 0,
+          "no_data_loss",
+          support::StrFormat("lost_reads=%llu lost_writes=%llu",
+                             static_cast<unsigned long long>(faulted.cluster.lost_reads),
+                             static_cast<unsigned long long>(faulted.cluster.lost_writes)));
+  }
+
+  // counter_reconciliation: the profiler watched the same machinery the
+  // transport counted — their ledgers must agree exactly.
+  const uint64_t retry_ns = Total(faulted, "retry_backoff") + Total(faulted, "retry_lost_wait");
+  Check(&v, retry_ns == faulted.fault.wasted_ns(), "counter_reconciliation",
+        support::StrFormat("profiler retry %llu != FaultStats wasted %llu",
+                           static_cast<unsigned long long>(retry_ns),
+                           static_cast<unsigned long long>(faulted.fault.wasted_ns())));
+  Check(&v, Total(faulted, "outage_wait") == faulted.fault.outage_wait_ns,
+        "counter_reconciliation",
+        support::StrFormat("profiler outage_wait %llu != FaultStats %llu",
+                           static_cast<unsigned long long>(Total(faulted, "outage_wait")),
+                           static_cast<unsigned long long>(faulted.fault.outage_wait_ns)));
+  Check(&v, Total(faulted, "failover_wait") == faulted.fault.failover_wait_ns,
+        "counter_reconciliation",
+        support::StrFormat("profiler failover_wait %llu != FaultStats %llu",
+                           static_cast<unsigned long long>(Total(faulted, "failover_wait")),
+                           static_cast<unsigned long long>(faulted.fault.failover_wait_ns)));
+
+  // test_hook: the deliberately-broken oracle. Fires only when EVERY named
+  // kind appears in the schedule, so a correct minimizer must land on
+  // exactly one event per named kind.
+  if (!opts.fail_oracles.empty()) {
+    std::set<std::string> present;
+    for (const ChaosEvent& e : events) {
+      present.insert(EventKindName(e.kind));
+    }
+    bool all = true;
+    for (const std::string& kind : opts.fail_oracles) {
+      all = all && present.count(kind) > 0;
+    }
+    if (all) {
+      std::string kinds;
+      for (const std::string& kind : opts.fail_oracles) {
+        kinds += (kinds.empty() ? "" : ",") + kind;
+      }
+      v.push_back(Violation{
+          "test_hook", support::StrFormat("deliberate violation: schedule contains {%s}",
+                                          kinds.c_str())});
+    }
+  }
+  return v;
+}
+
+std::string FormatViolations(const std::vector<Violation>& violations) {
+  std::string out;
+  for (const Violation& x : violations) {
+    out += x.oracle + ": " + x.message + "\n";
+  }
+  return out;
+}
+
+}  // namespace mira::chaos

@@ -1,0 +1,61 @@
+// Invariant oracles run after every chaos execution (DESIGN.md §7.2).
+//
+// Each oracle compares one faulted run against the clean baseline of the
+// same (workload, interpreter seed) and states an invariant the resilience
+// machinery promises under ANY schedule the generator can produce:
+//
+//   result_equality         faulted run completes with the clean run's result
+//   address_identity        allocator address sequence is schedule-independent
+//   self_healing            integrity healed == detected, quarantined == 0
+//   no_data_loss            cluster quarantined == 0, lost reads/writes == 0
+//                           (sound because generated schedules always leave
+//                           a survivor — see GenerateSchedule)
+//   counter_reconciliation  profiler per-verb stall totals reconcile with
+//                           FaultStats: retry_backoff + retry_lost_wait ==
+//                           wasted_ns, outage_wait == outage_wait_ns,
+//                           failover_wait == failover_wait_ns
+//   test_hook               deliberately-broken oracle for harness canaries:
+//                           fires when the schedule contains at least one
+//                           event of EVERY kind named in `fail_oracles` —
+//                           so ddmin must shrink exactly to one event per
+//                           named kind, proving minimization works
+//
+// Oracles only READ RunResults; they never execute anything, so the caller
+// decides how often to re-run (the minimizer calls them once per candidate).
+
+#ifndef MIRA_SRC_CHAOS_ORACLES_H_
+#define MIRA_SRC_CHAOS_ORACLES_H_
+
+#include <string>
+#include <vector>
+
+#include "src/chaos/runner.h"
+#include "src/chaos/schedule.h"
+
+namespace mira::chaos {
+
+struct Violation {
+  std::string oracle;   // which invariant broke
+  std::string message;  // what was observed vs expected
+
+  bool operator==(const Violation&) const = default;
+};
+
+struct OracleOptions {
+  // Generated schedules always leave a survivor (crash discipline), so the
+  // data-loss oracles apply. Hand-written no-survivor schedules set false.
+  bool survivor_exists = true;
+  // Test-hook kinds (EventKindName strings). Empty = hook disabled.
+  std::vector<std::string> fail_oracles;
+};
+
+std::vector<Violation> CheckOracles(const RunResult& clean, const RunResult& faulted,
+                                    const std::vector<ChaosEvent>& events,
+                                    const OracleOptions& opts);
+
+// "oracle: message" lines, one per violation.
+std::string FormatViolations(const std::vector<Violation>& violations);
+
+}  // namespace mira::chaos
+
+#endif  // MIRA_SRC_CHAOS_ORACLES_H_

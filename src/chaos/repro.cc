@@ -1,0 +1,107 @@
+#include "src/chaos/repro.h"
+
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "src/telemetry/telemetry.h"
+
+namespace mira::chaos {
+
+using support::JsonValue;
+
+JsonValue ReproArtifact::ToJson() const {
+  JsonValue doc = JsonValue::Object();
+  doc.Set("workload", JsonValue::Str(workload));
+  doc.Set("local_percent", JsonValue::I64(local_percent));
+  doc.Set("interp_seed", JsonValue::U64(interp_seed));
+  doc.Set("schedule_seed", JsonValue::U64(schedule_seed));
+  if (!fail_oracles.empty()) {
+    JsonValue arr = JsonValue::Array();
+    for (const std::string& kind : fail_oracles) {
+      arr.Append(JsonValue::Str(kind));
+    }
+    doc.Set("fail_oracles", std::move(arr));
+  }
+  doc.Set("events", ScheduleToJson(events));
+  doc.Set("plan", plan.ToJson());
+  JsonValue viol = JsonValue::Array();
+  for (const Violation& x : violations) {
+    JsonValue v = JsonValue::Object();
+    v.Set("oracle", JsonValue::Str(x.oracle));
+    v.Set("message", JsonValue::Str(x.message));
+    viol.Append(std::move(v));
+  }
+  doc.Set("violations", std::move(viol));
+  doc.Set("sim_ns", JsonValue::U64(sim_ns));
+  doc.Set("result", JsonValue::U64(result));
+  return doc;
+}
+
+support::Result<ReproArtifact> ReproArtifact::FromJsonText(std::string_view text) {
+  auto doc = JsonValue::Parse(text);
+  if (!doc.ok()) {
+    return doc.status();
+  }
+  const JsonValue& json = doc.value();
+  if (!json.is_object()) {
+    return support::Status::InvalidArgument("repro artifact: expected a JSON object");
+  }
+  ReproArtifact out;
+  out.workload = json.GetString("workload", "graph");
+  out.local_percent = static_cast<int>(json.GetI64("local_percent", 25));
+  out.interp_seed = json.GetU64("interp_seed", 42);
+  out.schedule_seed = json.GetU64("schedule_seed", 0);
+  if (const JsonValue* arr = json.Find("fail_oracles"); arr != nullptr) {
+    if (!arr->is_array()) {
+      return support::Status::InvalidArgument("repro artifact: fail_oracles must be an array");
+    }
+    for (size_t i = 0; i < arr->size(); ++i) {
+      out.fail_oracles.push_back(arr->at(i).AsString());
+    }
+  }
+  const JsonValue* events = json.Find("events");
+  if (events == nullptr) {
+    return support::Status::InvalidArgument("repro artifact: missing events");
+  }
+  auto sched = ScheduleFromJson(*events);
+  if (!sched.ok()) {
+    return sched.status();
+  }
+  out.events = sched.take();
+  const JsonValue* plan = json.Find("plan");
+  if (plan == nullptr) {
+    return support::Status::InvalidArgument("repro artifact: missing plan");
+  }
+  auto parsed_plan = net::FaultPlan::FromJson(*plan);
+  if (!parsed_plan.ok()) {
+    return parsed_plan.status();
+  }
+  out.plan = parsed_plan.take();
+  if (const JsonValue* viol = json.Find("violations"); viol != nullptr && viol->is_array()) {
+    for (size_t i = 0; i < viol->size(); ++i) {
+      const JsonValue& v = viol->at(i);
+      out.violations.push_back(
+          Violation{v.GetString("oracle", ""), v.GetString("message", "")});
+    }
+  }
+  out.sim_ns = json.GetU64("sim_ns", 0);
+  out.result = json.GetU64("result", 0);
+  return out;
+}
+
+bool SaveArtifact(const ReproArtifact& artifact, const std::string& path) {
+  return telemetry::WriteStringToFile(path, artifact.ToJson().Dump(2) + "\n").ok();
+}
+
+support::Result<ReproArtifact> LoadArtifact(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return support::Status::InvalidArgument("cannot open repro artifact: " + path);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ReproArtifact::FromJsonText(buf.str());
+}
+
+}  // namespace mira::chaos

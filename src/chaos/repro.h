@@ -1,0 +1,51 @@
+// Repro artifacts: a self-contained JSON file that captures everything a
+// failing chaos execution needs to be re-run bit-exactly — the workload and
+// runner knobs, the (minimized) event schedule, the composed FaultPlan, the
+// violations observed, and the run fingerprint (sim_ns + result) that replay
+// must match.
+
+#ifndef MIRA_SRC_CHAOS_REPRO_H_
+#define MIRA_SRC_CHAOS_REPRO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/chaos/oracles.h"
+#include "src/chaos/schedule.h"
+#include "src/net/fault_injector.h"
+#include "src/support/json.h"
+#include "src/support/status.h"
+
+namespace mira::chaos {
+
+struct ReproArtifact {
+  // Runner configuration needed to rebuild the identical world.
+  std::string workload;
+  int local_percent = 25;
+  uint64_t interp_seed = 42;
+  // Schedule provenance: the sweep seed the events came from.
+  uint64_t schedule_seed = 0;
+  // Test-hook kinds active when the violation fired (empty for real ones).
+  std::vector<std::string> fail_oracles;
+  // The minimized schedule and the plan composed from it.
+  std::vector<ChaosEvent> events;
+  net::FaultPlan plan;
+  // What the minimized schedule violated, and the execution fingerprint.
+  std::vector<Violation> violations;
+  uint64_t sim_ns = 0;
+  uint64_t result = 0;
+
+  support::JsonValue ToJson() const;
+  static support::Result<ReproArtifact> FromJsonText(std::string_view text);
+};
+
+// Writes the artifact (pretty-printed) to `path`. Returns false on IO error.
+bool SaveArtifact(const ReproArtifact& artifact, const std::string& path);
+
+// Reads and parses an artifact file.
+support::Result<ReproArtifact> LoadArtifact(const std::string& path);
+
+}  // namespace mira::chaos
+
+#endif  // MIRA_SRC_CHAOS_REPRO_H_

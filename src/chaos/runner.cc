@@ -1,0 +1,148 @@
+#include "src/chaos/runner.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/analysis/access_analysis.h"
+#include "src/interp/interpreter.h"
+#include "src/pipeline/optimizer.h"
+#include "src/pipeline/planner.h"
+#include "src/pipeline/world.h"
+#include "src/support/check.h"
+#include "src/telemetry/profiler.h"
+#include "src/workloads/workloads.h"
+
+namespace mira::chaos {
+
+namespace {
+
+// Chaos-scaled workloads: the same programs the figure benches run, sized
+// so a 200-seed sweep finishes in CI time. Scaling only shrinks the data;
+// every far-memory technique (sections, prefetch, batching, selective
+// transmission, offload) still engages.
+workloads::Workload BuildChaosWorkload(const std::string& name) {
+  if (name == "graph") {
+    workloads::GraphParams p;
+    p.num_edges = 12'000;
+    p.num_nodes = 3'000;
+    p.epochs = 2;
+    return workloads::BuildGraphTraversal(p);
+  }
+  if (name == "dataframe") {
+    workloads::DataFrameParams p;
+    p.rows = 16'000;
+    p.groups = 128;
+    return workloads::BuildDataFrame(p);
+  }
+  MIRA_CHECK_MSG(false, "unknown chaos workload (see ChaosRunner::KnownWorkloads)");
+  return {};
+}
+
+}  // namespace
+
+const std::vector<std::string>& ChaosRunner::KnownWorkloads() {
+  static const std::vector<std::string> kNames = {"graph", "dataframe"};
+  return kNames;
+}
+
+ChaosRunner::ChaosRunner(const RunnerOptions& opts) : opts_(opts) {
+  workloads::Workload w = BuildChaosWorkload(opts_.workload);
+  entry_ = w.entry;
+  local_bytes_ = w.footprint_bytes * static_cast<uint64_t>(opts_.local_percent) / 100;
+
+  // Deep-dive compile (the bench FullPlanCompile path, sans bench deps):
+  // one profiling run on the generic swap configuration, then a full-scope
+  // plan and the complete pass stack.
+  pipeline::World prof_world = pipeline::MakeWorld(pipeline::SystemKind::kMira, local_bytes_);
+  interp::InterpOptions prof_opts;
+  prof_opts.seed = opts_.interp_seed;
+  prof_opts.profiling = true;
+  interp::Interpreter prof_interp(w.module.get(), prof_world.backend.get(), prof_opts);
+  auto prof_result = prof_interp.Run(entry_);
+  MIRA_CHECK_MSG(prof_result.ok(), "chaos workload profiling run failed");
+  prof_world.backend->Drain(prof_interp.clock());
+
+  analysis::AccessAnalysis access(w.module.get());
+  access.Run();
+  pipeline::PlannerOptions popts;
+  popts.local_bytes = local_bytes_;
+  popts.func_frac = 1.0;
+  popts.obj_frac = 1.0;
+  pipeline::PlanDraft draft = pipeline::DerivePlan(*w.module, access, prof_interp.profile(),
+                                                   sim::CostModel::Default(), popts);
+  compiled_ = std::make_unique<ir::Module>(
+      pipeline::CompileWithPlan(*w.module, draft, popts, entry_));
+  cache_plan_ = std::move(draft.plan);
+
+  clean_ = RunWorld(nullptr, /*with_profiler=*/false);
+  MIRA_CHECK_MSG(!clean_.failed, clean_.fail_reason.c_str());
+}
+
+ChaosRunner::~ChaosRunner() = default;
+
+RunResult ChaosRunner::RunWorld(const net::FaultPlan* plan, bool with_profiler) const {
+  RunResult out;
+  pipeline::World world =
+      pipeline::MakeWorld(pipeline::SystemKind::kMira, local_bytes_, cache_plan_);
+  if (plan != nullptr) {
+    pipeline::AttachFaults(world, *plan);
+  }
+  pipeline::AttachCluster(world, opts_.cluster);
+  pipeline::AttachIntegrity(world, opts_.integrity);
+
+  // Scoped profiler enable: Clear() isolates this run's stall totals. The
+  // profiler is strictly observational, so enabling it cannot perturb the
+  // timing the oracles compare.
+  telemetry::StallProfiler& prof = telemetry::Profiler();
+  const bool was_enabled = prof.enabled();
+  if (with_profiler) {
+    prof.Clear();
+    prof.Enable(true);
+  }
+
+  interp::InterpOptions iopts;
+  iopts.seed = opts_.interp_seed;
+  interp::Interpreter interp(compiled_.get(), world.backend.get(), iopts);
+  auto result = interp.Run(entry_);
+  if (result.ok()) {
+    world.backend->Drain(interp.clock());
+    out.sim_ns = interp.clock().now_ns();
+    out.result = result.value();
+    for (const auto& [label, addr] : interp.object_addrs()) {
+      out.object_addrs[label] = addr;
+    }
+  } else {
+    out.failed = true;
+    out.fail_reason = result.status().ToString();
+  }
+
+  if (with_profiler) {
+    out.stall_totals = prof.Snapshot().TotalsByVerb();
+    prof.Enable(was_enabled);
+    if (!was_enabled) {
+      prof.Clear();
+    }
+  }
+  out.fault = world.net->fault_stats();
+  if (world.cluster != nullptr) {
+    out.cluster = world.cluster->stats();
+  }
+  if (world.integrity != nullptr) {
+    out.integrity = world.integrity->stats();
+  }
+  return out;
+}
+
+RunResult ChaosRunner::Execute(const net::FaultPlan& plan) const {
+  return RunWorld(&plan, /*with_profiler=*/true);
+}
+
+GenOptions ChaosRunner::MakeGenOptions(int max_events) const {
+  GenOptions opts;
+  opts.max_events = max_events;
+  opts.num_nodes = opts_.cluster.num_nodes;
+  opts.horizon_ns = clean_.sim_ns;
+  return opts;
+}
+
+}  // namespace mira::chaos

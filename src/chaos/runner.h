@@ -1,0 +1,92 @@
+// Chaos execution engine: compiles a workload once, then executes arbitrary
+// FaultPlans against it in fresh worlds and snapshots every counter the
+// oracles reconcile.
+//
+// The runner replicates the bench harness's deep-dive compile path
+// (profiling run on the generic swap configuration → access analysis →
+// full-scope plan → compile) without depending on bench/, so the chaos CLI
+// and tests stay a pure src/ + tools/ build. Every Execute() uses a fresh
+// pipeline::World with the SAME attachment order as the benches (faults,
+// cluster, integrity), so a (plan, seed) pair is bit-reproducible and a
+// Clean() plan is bit-identical to the cached clean baseline.
+
+#ifndef MIRA_SRC_CHAOS_RUNNER_H_
+#define MIRA_SRC_CHAOS_RUNNER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/chaos/schedule.h"
+#include "src/farmem/cluster.h"
+#include "src/integrity/integrity.h"
+#include "src/ir/ir.h"
+#include "src/net/transport.h"
+#include "src/runtime/plan.h"
+
+namespace mira::chaos {
+
+// Everything one execution observed — results, addresses, and the counter
+// ledgers the oracles reconcile against each other.
+struct RunResult {
+  bool failed = false;
+  std::string fail_reason;
+  uint64_t sim_ns = 0;
+  uint64_t result = 0;
+  std::map<std::string, uint64_t> object_addrs;  // allocation site → address
+  net::FaultStats fault;
+  farmem::ClusterStats cluster;
+  integrity::IntegrityStats integrity;
+  // Profiler per-verb stall totals (retry_backoff, outage_wait, ...) from a
+  // scoped enable around the run.
+  std::map<std::string, uint64_t> stall_totals;
+};
+
+struct RunnerOptions {
+  std::string workload = "graph";  // see KnownWorkloads()
+  int local_percent = 25;          // local cache budget, % of footprint
+  uint64_t interp_seed = 42;       // workload-data seed (kRand)
+  farmem::ClusterConfig cluster{.num_nodes = 3, .replicas = 1};
+  integrity::IntegrityConfig integrity;
+};
+
+class ChaosRunner {
+ public:
+  // Builds + compiles the workload and measures the clean baseline. CHECKs
+  // on an unknown workload name (validate against KnownWorkloads() first).
+  explicit ChaosRunner(const RunnerOptions& opts);
+  ~ChaosRunner();
+
+  // Chaos-scaled workload names ("graph", "dataframe").
+  static const std::vector<std::string>& KnownWorkloads();
+
+  // The fault-free baseline: same world shape (cluster + integrity
+  // attached), no injector.
+  const RunResult& clean() const { return clean_; }
+
+  // One full execution under `plan` in a fresh world, with the profiler
+  // scoped on so stall totals land in the result.
+  RunResult Execute(const net::FaultPlan& plan) const;
+
+  // Generator options matched to this runner: the cluster's node count and
+  // a horizon from the measured clean duration.
+  GenOptions MakeGenOptions(int max_events) const;
+
+  const RunnerOptions& options() const { return opts_; }
+
+ private:
+  RunResult RunWorld(const net::FaultPlan* plan, bool with_profiler) const;
+
+  RunnerOptions opts_;
+  std::unique_ptr<ir::Module> compiled_;
+  runtime::CachePlan cache_plan_;
+  std::string entry_;
+  uint64_t local_bytes_ = 0;
+  RunResult clean_;
+};
+
+}  // namespace mira::chaos
+
+#endif  // MIRA_SRC_CHAOS_RUNNER_H_

@@ -1,0 +1,304 @@
+#include "src/chaos/schedule.h"
+
+#include <algorithm>
+
+#include "src/support/rng.h"
+#include "src/support/str.h"
+
+namespace mira::chaos {
+
+using support::JsonValue;
+
+const char* EventKindName(EventKind k) {
+  switch (k) {
+    case EventKind::kVerbFault:
+      return "verb_fault";
+    case EventKind::kOutage:
+      return "outage";
+    case EventKind::kDegraded:
+      return "degraded";
+    case EventKind::kTornWriteback:
+      return "torn_writeback";
+    case EventKind::kNodeCrash:
+      return "node_crash";
+  }
+  return "?";
+}
+
+bool EventKindFromName(std::string_view name, EventKind* out) {
+  for (size_t i = 0; i < kNumEventKinds; ++i) {
+    const EventKind k = static_cast<EventKind>(i);
+    if (name == EventKindName(k)) {
+      *out = k;
+      return true;
+    }
+  }
+  return false;
+}
+
+JsonValue ChaosEvent::ToJson() const {
+  JsonValue o = JsonValue::Object();
+  o.Set("kind", JsonValue::Str(EventKindName(kind)));
+  switch (kind) {
+    case EventKind::kVerbFault:
+      o.Set("verb", JsonValue::Str(net::VerbName(verb)));
+      o.Set("fault", JsonValue::Str(fault));
+      o.Set("probability", JsonValue::Double(probability));
+      if (fault == "tail") {
+        o.Set("tail_multiplier", JsonValue::Double(tail_multiplier));
+      }
+      break;
+    case EventKind::kOutage:
+      o.Set("start_ns", JsonValue::U64(start_ns));
+      o.Set("end_ns", JsonValue::U64(end_ns));
+      break;
+    case EventKind::kDegraded:
+      o.Set("start_ns", JsonValue::U64(start_ns));
+      o.Set("end_ns", JsonValue::U64(end_ns));
+      o.Set("bandwidth_factor", JsonValue::Double(bandwidth_factor));
+      break;
+    case EventKind::kTornWriteback:
+      o.Set("probability", JsonValue::Double(probability));
+      break;
+    case EventKind::kNodeCrash:
+      o.Set("node", JsonValue::I64(node));
+      o.Set("crash_ns", JsonValue::U64(crash_ns));
+      o.Set("rejoin_ns", JsonValue::U64(rejoin_ns));
+      break;
+  }
+  return o;
+}
+
+support::Result<ChaosEvent> ChaosEvent::FromJson(const JsonValue& json) {
+  if (!json.is_object()) {
+    return support::Status::InvalidArgument("chaos event must be a JSON object");
+  }
+  ChaosEvent e;
+  const std::string kind_name = json.GetString("kind", "");
+  if (!EventKindFromName(kind_name, &e.kind)) {
+    return support::Status::InvalidArgument(
+        support::StrFormat("unknown chaos event kind '%s'", kind_name.c_str()));
+  }
+  switch (e.kind) {
+    case EventKind::kVerbFault: {
+      const std::string verb_name = json.GetString("verb", "");
+      if (!net::VerbFromName(verb_name, &e.verb)) {
+        return support::Status::InvalidArgument(
+            support::StrFormat("unknown verb '%s' in chaos event", verb_name.c_str()));
+      }
+      e.fault = json.GetString("fault", "");
+      e.probability = json.GetDouble("probability", 0.0);
+      if (e.fault == "tail") {
+        e.tail_multiplier = json.GetDouble("tail_multiplier", 1.0);
+      }
+      break;
+    }
+    case EventKind::kOutage:
+      e.start_ns = json.GetU64("start_ns", 0);
+      e.end_ns = json.GetU64("end_ns", 0);
+      break;
+    case EventKind::kDegraded:
+      e.start_ns = json.GetU64("start_ns", 0);
+      e.end_ns = json.GetU64("end_ns", 0);
+      e.bandwidth_factor = json.GetDouble("bandwidth_factor", 1.0);
+      break;
+    case EventKind::kTornWriteback:
+      e.probability = json.GetDouble("probability", 0.0);
+      break;
+    case EventKind::kNodeCrash:
+      e.node = static_cast<int>(json.GetI64("node", 0));
+      e.crash_ns = json.GetU64("crash_ns", 0);
+      e.rejoin_ns = json.GetU64("rejoin_ns", 0);
+      break;
+  }
+  return e;
+}
+
+std::string ChaosEvent::Describe() const {
+  switch (kind) {
+    case EventKind::kVerbFault:
+      return support::StrFormat("verb_fault %s.%s p=%.4g%s", net::VerbName(verb), fault.c_str(),
+                                probability,
+                                fault == "tail"
+                                    ? support::StrFormat(" x%.3g", tail_multiplier).c_str()
+                                    : "");
+    case EventKind::kOutage:
+      return support::StrFormat("outage [%llu, %llu)",
+                                static_cast<unsigned long long>(start_ns),
+                                static_cast<unsigned long long>(end_ns));
+    case EventKind::kDegraded:
+      return support::StrFormat("degraded [%llu, %llu) bw=%.3g",
+                                static_cast<unsigned long long>(start_ns),
+                                static_cast<unsigned long long>(end_ns), bandwidth_factor);
+    case EventKind::kTornWriteback:
+      return support::StrFormat("torn_writeback p=%.4g", probability);
+    case EventKind::kNodeCrash:
+      return rejoin_ns == 0
+                 ? support::StrFormat("node_crash node=%d at=%llu (no rejoin)", node,
+                                      static_cast<unsigned long long>(crash_ns))
+                 : support::StrFormat("node_crash node=%d at=%llu rejoin=%llu", node,
+                                      static_cast<unsigned long long>(crash_ns),
+                                      static_cast<unsigned long long>(rejoin_ns));
+  }
+  return "?";
+}
+
+JsonValue ScheduleToJson(const std::vector<ChaosEvent>& events) {
+  JsonValue arr = JsonValue::Array();
+  for (const ChaosEvent& e : events) {
+    arr.Append(e.ToJson());
+  }
+  return arr;
+}
+
+support::Result<std::vector<ChaosEvent>> ScheduleFromJson(const JsonValue& json) {
+  if (!json.is_array()) {
+    return support::Status::InvalidArgument("chaos schedule must be a JSON array");
+  }
+  std::vector<ChaosEvent> events;
+  for (size_t i = 0; i < json.size(); ++i) {
+    auto e = ChaosEvent::FromJson(json.at(i));
+    if (!e.ok()) {
+      return e.status();
+    }
+    events.push_back(e.take());
+  }
+  return events;
+}
+
+namespace {
+
+// Verb-fault knob menu with per-knob probability ranges. Link-level loss
+// stays light (the retry ladder must still converge under stacking);
+// silent-fault rates mirror the SilentCorruption scenario's magnitudes.
+struct FaultMenu {
+  const char* name;
+  double min_p;
+  double max_p;
+};
+constexpr FaultMenu kFaultMenu[] = {
+    {"drop", 0.005, 0.04},    {"timeout", 0.005, 0.04}, {"tail", 0.02, 0.20},
+    {"corrupt", 0.005, 0.04}, {"stale", 0.005, 0.03},   {"duplicate", 0.01, 0.06},
+};
+
+double DrawIn(support::Rng& rng, double lo, double hi) {
+  return lo + rng.NextDouble() * (hi - lo);
+}
+
+}  // namespace
+
+std::vector<ChaosEvent> GenerateSchedule(uint64_t seed, const GenOptions& opts) {
+  support::Rng rng(seed);
+  const int count = 1 + static_cast<int>(rng.NextBelow(
+                            static_cast<uint64_t>(std::max(1, opts.max_events))));
+  const uint64_t horizon = std::max<uint64_t>(opts.horizon_ns, 200'000);
+  // Crash discipline (see header): cycles are laid out left to right with a
+  // wide gap after each rejoin so the previous cycle's heal has finished
+  // (the first verb after any membership change drains the whole
+  // re-replication queue), and a no-rejoin crash ends the stream.
+  uint64_t crash_cursor = horizon / 8;
+  const uint64_t crash_gap = std::max<uint64_t>(horizon / 4, 400'000);
+  bool crashes_open = opts.num_nodes > 1;
+  std::vector<ChaosEvent> events;
+  for (int i = 0; i < count; ++i) {
+    ChaosEvent e;
+    uint64_t pick = rng.NextBelow(100);
+    if (pick >= 85 && (!crashes_open || crash_cursor + crash_gap > horizon)) {
+      pick = rng.NextBelow(85);  // no room for another crash cycle
+    }
+    if (pick < 40) {
+      e.kind = EventKind::kVerbFault;
+      e.verb = static_cast<net::Verb>(rng.NextBelow(net::kNumVerbs));
+      const FaultMenu& m = kFaultMenu[rng.NextBelow(sizeof(kFaultMenu) / sizeof(kFaultMenu[0]))];
+      e.fault = m.name;
+      e.probability = DrawIn(rng, m.min_p, m.max_p);
+      if (e.fault == "tail") {
+        e.tail_multiplier = DrawIn(rng, 2.0, 8.0);
+      }
+    } else if (pick < 60) {
+      e.kind = EventKind::kOutage;
+      e.start_ns = horizon / 10 + rng.NextBelow(horizon - horizon / 10);
+      e.end_ns = e.start_ns + 5'000 + rng.NextBelow(75'000);
+    } else if (pick < 75) {
+      e.kind = EventKind::kDegraded;
+      e.start_ns = rng.NextBelow(horizon);
+      e.end_ns = e.start_ns + 20'000 + rng.NextBelow(horizon / 2);
+      e.bandwidth_factor = DrawIn(rng, 0.2, 0.8);
+    } else if (pick < 85) {
+      e.kind = EventKind::kTornWriteback;
+      e.probability = DrawIn(rng, 0.1, 0.6);
+    } else {
+      e.kind = EventKind::kNodeCrash;
+      e.node = static_cast<int>(rng.NextBelow(static_cast<uint64_t>(opts.num_nodes)));
+      e.crash_ns = crash_cursor + rng.NextBelow(crash_gap / 4 + 1);
+      const uint64_t downtime = 60'000 + rng.NextBelow(140'000);
+      if (rng.NextBelow(4) == 0) {
+        e.rejoin_ns = 0;  // permanent: closes the crash stream
+        crashes_open = false;
+      } else {
+        e.rejoin_ns = e.crash_ns + downtime;
+        crash_cursor = e.rejoin_ns + crash_gap;
+      }
+    }
+    events.push_back(std::move(e));
+  }
+  return events;
+}
+
+net::FaultPlan ComposePlan(uint64_t seed, const std::vector<ChaosEvent>& events) {
+  net::FaultPlan plan;
+  plan.seed = seed;
+  auto clamp_p = [](double p) { return std::min(p, 0.9); };
+  for (const ChaosEvent& e : events) {
+    switch (e.kind) {
+      case EventKind::kVerbFault: {
+        net::VerbFaultConfig& v = plan.verb(e.verb);
+        if (e.fault == "drop") {
+          v.drop_probability = clamp_p(v.drop_probability + e.probability);
+        } else if (e.fault == "timeout") {
+          v.timeout_probability = clamp_p(v.timeout_probability + e.probability);
+        } else if (e.fault == "tail") {
+          v.tail_probability = clamp_p(v.tail_probability + e.probability);
+          v.tail_multiplier = std::max(v.tail_multiplier, e.tail_multiplier);
+        } else if (e.fault == "corrupt") {
+          v.corrupt_probability = clamp_p(v.corrupt_probability + e.probability);
+        } else if (e.fault == "stale") {
+          v.stale_probability = clamp_p(v.stale_probability + e.probability);
+        } else if (e.fault == "duplicate") {
+          v.duplicate_probability = clamp_p(v.duplicate_probability + e.probability);
+        }
+        break;
+      }
+      case EventKind::kOutage:
+        plan.outages.push_back(net::OutageWindow{e.start_ns, e.end_ns});
+        break;
+      case EventKind::kDegraded:
+        plan.degraded.push_back(net::DegradedWindow{e.start_ns, e.end_ns, e.bandwidth_factor});
+        break;
+      case EventKind::kTornWriteback:
+        plan.torn_writeback_probability =
+            clamp_p(plan.torn_writeback_probability + e.probability);
+        break;
+      case EventKind::kNodeCrash:
+        plan.node_crashes.push_back(net::NodeCrashEvent{e.node, e.crash_ns, e.rejoin_ns});
+        break;
+    }
+  }
+  // Canonical order: stable sorts keyed on start time, so composition does
+  // not depend on event order beyond the verb-knob sums (which commute).
+  std::stable_sort(plan.outages.begin(), plan.outages.end(),
+                   [](const net::OutageWindow& a, const net::OutageWindow& b) {
+                     return a.start_ns < b.start_ns;
+                   });
+  std::stable_sort(plan.degraded.begin(), plan.degraded.end(),
+                   [](const net::DegradedWindow& a, const net::DegradedWindow& b) {
+                     return a.start_ns < b.start_ns;
+                   });
+  std::stable_sort(plan.node_crashes.begin(), plan.node_crashes.end(),
+                   [](const net::NodeCrashEvent& a, const net::NodeCrashEvent& b) {
+                     return a.crash_ns < b.crash_ns;
+                   });
+  return plan;
+}
+
+}  // namespace mira::chaos

@@ -1,0 +1,97 @@
+// Chaos schedules: the event vocabulary the fault-search harness explores.
+//
+// A schedule is a flat list of ChaosEvents — each one an independent,
+// human-readable fault ("drop 2% of read.sync", "outage [120k, 180k)",
+// "node 2 crashes at 400k and rejoins at 520k") — drawn by a seeded
+// generator and COMPOSED into one net::FaultPlan. Keeping the event list
+// (not the composed plan) as the unit of search is what makes delta-
+// debugging work: the minimizer removes whole events and recomposes, so a
+// minimized repro reads as the handful of faults that actually matter.
+//
+// Generation is deterministic: GenerateSchedule(seed, opts) depends on
+// nothing but its arguments, and ComposePlan is a pure function of
+// (seed, events) — so (seed, opts) names a schedule and a repro artifact's
+// event list replays bit-exactly (DESIGN.md §7.2).
+
+#ifndef MIRA_SRC_CHAOS_SCHEDULE_H_
+#define MIRA_SRC_CHAOS_SCHEDULE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/net/fault_injector.h"
+#include "src/support/json.h"
+#include "src/support/status.h"
+
+namespace mira::chaos {
+
+enum class EventKind : uint8_t {
+  kVerbFault,      // one probability knob on one verb (drop/timeout/tail/...)
+  kOutage,         // far node unreachable for a window
+  kDegraded,       // link bandwidth degraded for a window
+  kTornWriteback,  // sync drain bursts may tear
+  kNodeCrash,      // node crash (+ optional rejoin)
+};
+inline constexpr size_t kNumEventKinds = 5;
+
+const char* EventKindName(EventKind k);
+bool EventKindFromName(std::string_view name, EventKind* out);
+
+// One schedule event. Only the fields its kind names are meaningful; the
+// rest stay at their defaults (and are omitted from JSON), so defaulted
+// equality is exact across a JSON round trip.
+struct ChaosEvent {
+  EventKind kind = EventKind::kVerbFault;
+  // kVerbFault: which verb, which knob, how hard.
+  net::Verb verb = net::Verb::kReadSync;
+  std::string fault;              // drop|timeout|tail|corrupt|stale|duplicate
+  double probability = 0.0;       // also kTornWriteback's tear probability
+  double tail_multiplier = 1.0;   // fault == "tail" only
+  // kOutage / kDegraded: the window.
+  uint64_t start_ns = 0;
+  uint64_t end_ns = 0;
+  double bandwidth_factor = 1.0;  // kDegraded only
+  // kNodeCrash.
+  int node = 0;
+  uint64_t crash_ns = 0;
+  uint64_t rejoin_ns = 0;  // 0 = never rejoins
+
+  bool operator==(const ChaosEvent&) const = default;
+
+  support::JsonValue ToJson() const;
+  static support::Result<ChaosEvent> FromJson(const support::JsonValue& json);
+  // One-line human description for logs and minimized repro listings.
+  std::string Describe() const;
+};
+
+support::JsonValue ScheduleToJson(const std::vector<ChaosEvent>& events);
+support::Result<std::vector<ChaosEvent>> ScheduleFromJson(const support::JsonValue& json);
+
+struct GenOptions {
+  // Upper bound on generated events (the draw is 1..max_events).
+  int max_events = 6;
+  // Cluster size crash events pick nodes from.
+  int num_nodes = 3;
+  // Rough clean-run duration: windows and crash times land inside it.
+  uint64_t horizon_ns = 2'000'000;
+};
+
+// Draws a schedule from Rng(seed). Stacking is allowed and intended —
+// several events may hit the same verb, windows may overlap — EXCEPT crash
+// discipline: crash cycles are sequential with generous spacing (one node
+// down at a time, next crash well after the previous rejoin) and a
+// no-rejoin crash closes the crash stream, so with one replica a survivor
+// always exists and the no-data-loss oracles are sound by construction.
+std::vector<ChaosEvent> GenerateSchedule(uint64_t seed, const GenOptions& opts);
+
+// Composes events into one FaultPlan with the given RNG seed. Probability
+// knobs hit by several events add (clamped); windows and crash schedules
+// concatenate (windows sorted by start, crashes by crash time). Pure:
+// identical (seed, events) → identical plan, bit for bit.
+net::FaultPlan ComposePlan(uint64_t seed, const std::vector<ChaosEvent>& events);
+
+}  // namespace mira::chaos
+
+#endif  // MIRA_SRC_CHAOS_SCHEDULE_H_

@@ -1,0 +1,65 @@
+#include "src/chaos/shrink.h"
+
+#include <algorithm>
+
+#include "src/support/check.h"
+
+namespace mira::chaos {
+
+namespace {
+
+// Complement of chunk `i` when `events` is cut into `n` chunks.
+std::vector<ChaosEvent> WithoutChunk(const std::vector<ChaosEvent>& events, size_t n,
+                                     size_t i) {
+  const size_t size = events.size();
+  const size_t begin = size * i / n;
+  const size_t end = size * (i + 1) / n;
+  std::vector<ChaosEvent> out;
+  out.reserve(size - (end - begin));
+  for (size_t k = 0; k < size; ++k) {
+    if (k < begin || k >= end) {
+      out.push_back(events[k]);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<ChaosEvent> Minimize(std::vector<ChaosEvent> events, const FailsPredicate& fails,
+                                 int* executions) {
+  auto check = [&](const std::vector<ChaosEvent>& candidate) {
+    if (executions != nullptr) {
+      ++*executions;
+    }
+    return fails(candidate);
+  };
+  MIRA_CHECK_MSG(check(events), "Minimize called on a schedule that does not fail");
+  size_t n = 2;
+  while (events.size() >= 2) {
+    n = std::min(n, events.size());
+    bool reduced = false;
+    // Try each complement (drop one chunk) at the current granularity.
+    for (size_t i = 0; i < n; ++i) {
+      std::vector<ChaosEvent> candidate = WithoutChunk(events, n, i);
+      if (candidate.size() == events.size()) {
+        continue;  // empty chunk (more chunks than events)
+      }
+      if (check(candidate)) {
+        events = std::move(candidate);
+        n = std::max<size_t>(2, n - 1);
+        reduced = true;
+        break;
+      }
+    }
+    if (!reduced) {
+      if (n >= events.size()) {
+        break;  // singleton chunks and none removable: 1-minimal
+      }
+      n = std::min(events.size(), n * 2);
+    }
+  }
+  return events;
+}
+
+}  // namespace mira::chaos

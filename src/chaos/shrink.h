@@ -1,0 +1,31 @@
+// Delta-debugging schedule minimizer (Zeller's ddmin over ChaosEvents).
+//
+// Given a failing schedule and a predicate "does this event list still
+// violate an oracle", Minimize removes whole events — never parts of one,
+// so crash+rejoin pairs stay intact — until the list is locally minimal:
+// the predicate still fails on the result, and removing ANY single
+// remaining event makes it pass. Each predicate call re-executes the
+// workload, so the caller bounds cost via the executions counter.
+
+#ifndef MIRA_SRC_CHAOS_SHRINK_H_
+#define MIRA_SRC_CHAOS_SHRINK_H_
+
+#include <functional>
+#include <vector>
+
+#include "src/chaos/schedule.h"
+
+namespace mira::chaos {
+
+// True when the candidate event list still reproduces a violation.
+using FailsPredicate = std::function<bool(const std::vector<ChaosEvent>&)>;
+
+// ddmin. `events` must satisfy the predicate (checked); the result does
+// too and is 1-minimal. `executions`, when non-null, accumulates the number
+// of predicate evaluations (one workload execution each).
+std::vector<ChaosEvent> Minimize(std::vector<ChaosEvent> events, const FailsPredicate& fails,
+                                 int* executions = nullptr);
+
+}  // namespace mira::chaos
+
+#endif  // MIRA_SRC_CHAOS_SHRINK_H_

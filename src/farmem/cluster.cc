@@ -69,7 +69,14 @@ void FarMemoryCluster::QueueIfUnderReplicated(uint64_t chunk, const Placement& p
     return;
   }
   if (static_cast<int>(p.holders.size()) < DesiredCopies()) {
-    rereplicate_queue_.push_back(chunk);
+    // Dedupe: a rejoin mid-drain re-queues every under-replicated chunk,
+    // including ones Failover already queued. A duplicate entry would make
+    // one heal pass copy the same chunk twice (two targets for one loss),
+    // burning background bandwidth on a copy nobody lost.
+    if (std::find(rereplicate_queue_.begin(), rereplicate_queue_.end(), chunk) ==
+        rereplicate_queue_.end()) {
+      rereplicate_queue_.push_back(chunk);
+    }
   }
 }
 
@@ -201,7 +208,10 @@ void FarMemoryCluster::RejoinNode(int node) {
         QuarantineChunk(p);
         continue;
       }
-      if (was_primary && !p.quarantined) {
+      if (was_primary && !p.quarantined &&
+          state_[static_cast<size_t>(p.holders[0])].alive) {
+        // Only a promotion if the chunk actually gained a live primary; a
+        // dead successor is a pending failover, not a resolved one.
         ++stats_.rejoin_promotions;
       }
     }
@@ -281,11 +291,27 @@ bool FarMemoryCluster::RereplicateNext(RereplicationJob* job) {
       // membership change (RejoinNode refills the queue).
       continue;
     }
+    // Source must be a LIVE holder. The queue can carry a chunk whose every
+    // holder died after it was queued (crash → second crash → rejoin of the
+    // first node mid-drain leaves holders = [dead survivor]); copying from
+    // the dead, poisoned arena would silently "revive" a lost chunk into a
+    // live node. That chunk is lost — quarantine it instead.
+    int source = -1;
+    for (const int node : p.holders) {
+      if (state_[static_cast<size_t>(node)].alive) {
+        source = node;
+        break;
+      }
+    }
+    if (source < 0) {
+      QuarantineChunk(p);
+      continue;
+    }
     const RemoteAddr base = static_cast<RemoteAddr>(chunk) << kChunkShift;
     const uint64_t bytes = p.extent;
     if (bytes > 0) {
       nodes_[static_cast<size_t>(target)]
-          ->CopyIn(base, nodes_[static_cast<size_t>(p.holders[0])]->Mem(base, bytes), bytes);
+          ->CopyIn(base, nodes_[static_cast<size_t>(source)]->Mem(base, bytes), bytes);
     }
     p.holders.push_back(target);
     ++stats_.rereplicated_chunks;

@@ -1,6 +1,10 @@
 #include "src/net/fault_injector.h"
 
+#include "src/support/str.h"
+
 namespace mira::net {
+
+using support::JsonValue;
 
 const char* VerbName(Verb v) {
   switch (v) {
@@ -22,6 +26,196 @@ const char* VerbName(Verb v) {
       return "rpc";
   }
   return "?";
+}
+
+bool VerbFromName(std::string_view name, Verb* out) {
+  for (size_t i = 0; i < kNumVerbs; ++i) {
+    const Verb v = static_cast<Verb>(i);
+    if (name == VerbName(v)) {
+      *out = v;
+      return true;
+    }
+  }
+  return false;
+}
+
+namespace {
+
+JsonValue VerbConfigToJson(const VerbFaultConfig& cfg) {
+  // Emit only knobs that differ from the default, so plans read as what
+  // they inject and defaulted fields round-trip by omission.
+  const VerbFaultConfig def;
+  JsonValue o = JsonValue::Object();
+  if (cfg.drop_probability != def.drop_probability) {
+    o.Set("drop_probability", JsonValue::Double(cfg.drop_probability));
+  }
+  if (cfg.timeout_probability != def.timeout_probability) {
+    o.Set("timeout_probability", JsonValue::Double(cfg.timeout_probability));
+  }
+  if (cfg.tail_probability != def.tail_probability) {
+    o.Set("tail_probability", JsonValue::Double(cfg.tail_probability));
+  }
+  if (cfg.tail_multiplier != def.tail_multiplier) {
+    o.Set("tail_multiplier", JsonValue::Double(cfg.tail_multiplier));
+  }
+  if (cfg.corrupt_probability != def.corrupt_probability) {
+    o.Set("corrupt_probability", JsonValue::Double(cfg.corrupt_probability));
+  }
+  if (cfg.stale_probability != def.stale_probability) {
+    o.Set("stale_probability", JsonValue::Double(cfg.stale_probability));
+  }
+  if (cfg.duplicate_probability != def.duplicate_probability) {
+    o.Set("duplicate_probability", JsonValue::Double(cfg.duplicate_probability));
+  }
+  return o;
+}
+
+VerbFaultConfig VerbConfigFromJson(const JsonValue& o) {
+  VerbFaultConfig cfg;
+  cfg.drop_probability = o.GetDouble("drop_probability", cfg.drop_probability);
+  cfg.timeout_probability = o.GetDouble("timeout_probability", cfg.timeout_probability);
+  cfg.tail_probability = o.GetDouble("tail_probability", cfg.tail_probability);
+  cfg.tail_multiplier = o.GetDouble("tail_multiplier", cfg.tail_multiplier);
+  cfg.corrupt_probability = o.GetDouble("corrupt_probability", cfg.corrupt_probability);
+  cfg.stale_probability = o.GetDouble("stale_probability", cfg.stale_probability);
+  cfg.duplicate_probability = o.GetDouble("duplicate_probability", cfg.duplicate_probability);
+  return cfg;
+}
+
+}  // namespace
+
+JsonValue FaultPlan::ToJson() const {
+  JsonValue o = JsonValue::Object();
+  o.Set("seed", JsonValue::U64(seed));
+  const VerbFaultConfig def;
+  JsonValue verbs_obj = JsonValue::Object();
+  for (size_t i = 0; i < kNumVerbs; ++i) {
+    if (!(verbs[i] == def)) {
+      verbs_obj.Set(VerbName(static_cast<Verb>(i)), VerbConfigToJson(verbs[i]));
+    }
+  }
+  if (verbs_obj.size() > 0) {
+    o.Set("verbs", std::move(verbs_obj));
+  }
+  if (!outages.empty()) {
+    JsonValue arr = JsonValue::Array();
+    for (const auto& w : outages) {
+      JsonValue e = JsonValue::Object();
+      e.Set("start_ns", JsonValue::U64(w.start_ns));
+      e.Set("end_ns", JsonValue::U64(w.end_ns));
+      arr.Append(std::move(e));
+    }
+    o.Set("outages", std::move(arr));
+  }
+  if (!degraded.empty()) {
+    JsonValue arr = JsonValue::Array();
+    for (const auto& w : degraded) {
+      JsonValue e = JsonValue::Object();
+      e.Set("start_ns", JsonValue::U64(w.start_ns));
+      e.Set("end_ns", JsonValue::U64(w.end_ns));
+      e.Set("bandwidth_factor", JsonValue::Double(w.bandwidth_factor));
+      arr.Append(std::move(e));
+    }
+    o.Set("degraded", std::move(arr));
+  }
+  if (torn_writeback_probability != 0.0) {
+    o.Set("torn_writeback_probability", JsonValue::Double(torn_writeback_probability));
+  }
+  if (!node_crashes.empty()) {
+    JsonValue arr = JsonValue::Array();
+    for (const auto& c : node_crashes) {
+      JsonValue e = JsonValue::Object();
+      e.Set("node", JsonValue::I64(c.node));
+      e.Set("crash_ns", JsonValue::U64(c.crash_ns));
+      e.Set("rejoin_ns", JsonValue::U64(c.rejoin_ns));
+      arr.Append(std::move(e));
+    }
+    o.Set("node_crashes", std::move(arr));
+  }
+  return o;
+}
+
+support::Result<FaultPlan> FaultPlan::FromJson(const JsonValue& json) {
+  if (!json.is_object()) {
+    return support::Status::InvalidArgument("FaultPlan JSON must be an object");
+  }
+  FaultPlan plan;
+  plan.seed = json.GetU64("seed", plan.seed);
+  if (const JsonValue* verbs_obj = json.Find("verbs")) {
+    if (!verbs_obj->is_object()) {
+      return support::Status::InvalidArgument("FaultPlan 'verbs' must be an object");
+    }
+    for (const auto& [name, cfg] : verbs_obj->items()) {
+      Verb v;
+      if (!VerbFromName(name, &v)) {
+        return support::Status::InvalidArgument(
+            support::StrFormat("unknown verb '%s' in FaultPlan JSON", name.c_str()));
+      }
+      if (!cfg.is_object()) {
+        return support::Status::InvalidArgument(
+            support::StrFormat("verb '%s' config must be an object", name.c_str()));
+      }
+      plan.verb(v) = VerbConfigFromJson(cfg);
+    }
+  }
+  if (const JsonValue* arr = json.Find("outages")) {
+    if (!arr->is_array()) {
+      return support::Status::InvalidArgument("FaultPlan 'outages' must be an array");
+    }
+    for (size_t i = 0; i < arr->size(); ++i) {
+      const JsonValue& e = arr->at(i);
+      if (!e.is_object()) {
+        return support::Status::InvalidArgument("outage entry must be an object");
+      }
+      OutageWindow w;
+      w.start_ns = e.GetU64("start_ns", 0);
+      w.end_ns = e.GetU64("end_ns", 0);
+      plan.outages.push_back(w);
+    }
+  }
+  if (const JsonValue* arr = json.Find("degraded")) {
+    if (!arr->is_array()) {
+      return support::Status::InvalidArgument("FaultPlan 'degraded' must be an array");
+    }
+    for (size_t i = 0; i < arr->size(); ++i) {
+      const JsonValue& e = arr->at(i);
+      if (!e.is_object()) {
+        return support::Status::InvalidArgument("degraded entry must be an object");
+      }
+      DegradedWindow w;
+      w.start_ns = e.GetU64("start_ns", 0);
+      w.end_ns = e.GetU64("end_ns", 0);
+      w.bandwidth_factor = e.GetDouble("bandwidth_factor", 1.0);
+      plan.degraded.push_back(w);
+    }
+  }
+  plan.torn_writeback_probability =
+      json.GetDouble("torn_writeback_probability", plan.torn_writeback_probability);
+  if (const JsonValue* arr = json.Find("node_crashes")) {
+    if (!arr->is_array()) {
+      return support::Status::InvalidArgument("FaultPlan 'node_crashes' must be an array");
+    }
+    for (size_t i = 0; i < arr->size(); ++i) {
+      const JsonValue& e = arr->at(i);
+      if (!e.is_object()) {
+        return support::Status::InvalidArgument("node_crash entry must be an object");
+      }
+      NodeCrashEvent c;
+      c.node = static_cast<int>(e.GetI64("node", 0));
+      c.crash_ns = e.GetU64("crash_ns", 0);
+      c.rejoin_ns = e.GetU64("rejoin_ns", 0);
+      plan.node_crashes.push_back(c);
+    }
+  }
+  return plan;
+}
+
+support::Result<FaultPlan> FaultPlan::FromJsonText(std::string_view text) {
+  auto doc = JsonValue::Parse(text);
+  if (!doc.ok()) {
+    return doc.status();
+  }
+  return FromJson(doc.value());
 }
 
 bool FaultPlan::AnyFaults() const {

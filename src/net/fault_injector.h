@@ -19,9 +19,13 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
+#include <string_view>
 #include <vector>
 
+#include "src/support/json.h"
 #include "src/support/rng.h"
+#include "src/support/status.h"
 
 namespace mira::net {
 
@@ -39,6 +43,8 @@ enum class Verb : uint8_t {
 inline constexpr size_t kNumVerbs = 8;
 
 const char* VerbName(Verb v);
+// Inverse of VerbName. False when `name` names no verb.
+bool VerbFromName(std::string_view name, Verb* out);
 
 // How a *successful* verb delivery was silently perturbed in flight. The
 // transport records the winning attempt's flags; the integrity layer at the
@@ -69,12 +75,16 @@ struct VerbFaultConfig {
     return drop_probability > 0.0 || timeout_probability > 0.0 || tail_probability > 0.0 ||
            corrupt_probability > 0.0 || stale_probability > 0.0 || duplicate_probability > 0.0;
   }
+
+  bool operator==(const VerbFaultConfig&) const = default;
 };
 
 // Far node unreachable during [start_ns, end_ns): every attempt fails.
 struct OutageWindow {
   uint64_t start_ns = 0;
   uint64_t end_ns = 0;
+
+  bool operator==(const OutageWindow&) const = default;
 };
 
 // Link degraded during [start_ns, end_ns): transfers take 1/bandwidth_factor
@@ -83,6 +93,8 @@ struct DegradedWindow {
   uint64_t start_ns = 0;
   uint64_t end_ns = 0;
   double bandwidth_factor = 1.0;
+
+  bool operator==(const DegradedWindow&) const = default;
 };
 
 // Deterministic node-crash schedule entry: far node `node` crashes at
@@ -95,6 +107,8 @@ struct NodeCrashEvent {
   int node = 0;
   uint64_t crash_ns = 0;
   uint64_t rejoin_ns = 0;  // 0 = never rejoins
+
+  bool operator==(const NodeCrashEvent&) const = default;
 };
 
 // Bounded-attempt retry with exponential backoff and deterministic jitter.
@@ -140,6 +154,20 @@ struct FaultPlan {
   const VerbFaultConfig& verb(Verb v) const { return verbs[static_cast<size_t>(v)]; }
 
   bool AnyFaults() const;
+  bool operator==(const FaultPlan&) const = default;
+
+  // ---- Canonical JSON round-trip (chaos repro artifacts + hand-written
+  // scenarios share this one format; see DESIGN.md §7.2) ----
+  //
+  // ToJson emits every schedule list plus only the verbs that differ from
+  // the default config, so FromJson(ToJson(p)) == p bit-exactly: integers
+  // are full-precision decimal and probabilities %.17g. FromJson is
+  // tolerant — missing keys keep their defaults — so hand-written plans can
+  // state only what they inject.
+  support::JsonValue ToJson() const;
+  static support::Result<FaultPlan> FromJson(const support::JsonValue& json);
+  // Convenience over a serialized document.
+  static support::Result<FaultPlan> FromJsonText(std::string_view text);
 
   // ---- Canonical scenarios (bench_fault_resilience, tests) ----
 

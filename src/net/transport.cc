@@ -1,5 +1,7 @@
 #include "src/net/transport.h"
 
+#include <algorithm>
+
 #include "src/farmem/cluster.h"
 #include "src/support/check.h"
 #include "src/support/str.h"
@@ -132,32 +134,54 @@ void Transport::SyncCluster(sim::SimClock& clk) {
     crash_applied_.assign(events.size(), false);
     rejoin_applied_.assign(events.size(), false);
   }
-  bool changed = false;
   auto& trace = telemetry::Trace();
-  for (size_t i = 0; i < events.size(); ++i) {
-    const NodeCrashEvent& e = events[i];
-    if (!crash_applied_[i] && clk.now_ns() >= e.crash_ns) {
-      crash_applied_[i] = true;
-      cluster_->CrashNode(e.node, e.crash_ns);
-      changed = true;
-      if (trace.enabled()) {
-        trace.Instant(clk, "net.cluster.crash", "net",
-                      support::StrFormat("{\"node\":%d}", e.node));
+  // Apply due membership changes in TIMESTAMP order, draining the
+  // re-replication queue between changes at distinct times. Several events
+  // can come due in one verb gap (long compute phases issue no verbs);
+  // collapsing them into one batch would let a later crash kill the only
+  // live source for a chunk an earlier rejoin had just queued — data loss
+  // the background healer would have prevented, since it had the whole gap
+  // between the two event times to finish the copy.
+  for (;;) {
+    uint64_t next = UINT64_MAX;
+    for (size_t i = 0; i < events.size(); ++i) {
+      const NodeCrashEvent& e = events[i];
+      if (!crash_applied_[i] && clk.now_ns() >= e.crash_ns) {
+        next = std::min(next, e.crash_ns);
+      }
+      if (crash_applied_[i] && !rejoin_applied_[i] && e.rejoin_ns != 0 &&
+          clk.now_ns() >= e.rejoin_ns) {
+        next = std::min(next, e.rejoin_ns);
       }
     }
-    if (crash_applied_[i] && !rejoin_applied_[i] && e.rejoin_ns != 0 &&
-        clk.now_ns() >= e.rejoin_ns) {
-      rejoin_applied_[i] = true;
-      cluster_->RejoinNode(e.node);
-      changed = true;
-      if (trace.enabled()) {
-        trace.Instant(clk, "net.cluster.rejoin", "net",
-                      support::StrFormat("{\"node\":%d}", e.node));
+    if (next == UINT64_MAX) {
+      break;
+    }
+    bool changed = false;
+    for (size_t i = 0; i < events.size(); ++i) {
+      const NodeCrashEvent& e = events[i];
+      if (!crash_applied_[i] && e.crash_ns == next) {
+        crash_applied_[i] = true;
+        cluster_->CrashNode(e.node, e.crash_ns);
+        changed = true;
+        if (trace.enabled()) {
+          trace.Instant(clk, "net.cluster.crash", "net",
+                        support::StrFormat("{\"node\":%d}", e.node));
+        }
+      }
+      if (crash_applied_[i] && !rejoin_applied_[i] && e.rejoin_ns != 0 && e.rejoin_ns == next) {
+        rejoin_applied_[i] = true;
+        cluster_->RejoinNode(e.node);
+        changed = true;
+        if (trace.enabled()) {
+          trace.Instant(clk, "net.cluster.rejoin", "net",
+                        support::StrFormat("{\"node\":%d}", e.node));
+        }
       }
     }
-  }
-  if (changed && cluster_->has_pending_rereplication()) {
-    RereplicatePending(clk);
+    if (changed && cluster_->has_pending_rereplication()) {
+      RereplicatePending(clk);
+    }
   }
 }
 

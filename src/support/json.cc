@@ -1,0 +1,535 @@
+#include "src/support/json.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "src/support/check.h"
+#include "src/support/str.h"
+
+namespace mira::support {
+
+namespace {
+
+constexpr int kMaxDepth = 64;
+
+bool IsNumberChar(char c) {
+  return (c >= '0' && c <= '9') || c == '-' || c == '+' || c == '.' || c == 'e' || c == 'E';
+}
+
+void AppendEscaped(std::string* out, std::string_view s) {
+  out->push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\b':
+        *out += "\\b";
+        break;
+      case '\f':
+        *out += "\\f";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          *out += StrFormat("\\u%04x", c);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+// Recursive-descent parser over a cursor. Errors carry the byte offset.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<JsonValue> Run() {
+    JsonValue v;
+    auto s = ParseValue(&v, 0);
+    if (!s.ok()) {
+      return s;
+    }
+    SkipWs();
+    if (pos_ != text_.size()) {
+      return Error("trailing content");
+    }
+    return v;
+  }
+
+ private:
+  Status Error(const char* what) const {
+    return Status::InvalidArgument(
+        StrFormat("json: %s at offset %zu", what, pos_));
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') {
+        break;
+      }
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeWord(const char* w) {
+    const size_t n = std::strlen(w);
+    if (text_.substr(pos_, n) == w) {
+      pos_ += n;
+      return true;
+    }
+    return false;
+  }
+
+  Status ParseValue(JsonValue* out, int depth) {
+    if (depth > kMaxDepth) {
+      return Error("nesting too deep");
+    }
+    SkipWs();
+    if (pos_ >= text_.size()) {
+      return Error("unexpected end of input");
+    }
+    const char c = text_[pos_];
+    if (c == '{') {
+      return ParseObject(out, depth);
+    }
+    if (c == '[') {
+      return ParseArray(out, depth);
+    }
+    if (c == '"') {
+      std::string s;
+      auto st = ParseString(&s);
+      if (!st.ok()) {
+        return st;
+      }
+      *out = JsonValue::Str(std::move(s));
+      return Status::Ok();
+    }
+    if (ConsumeWord("true")) {
+      *out = JsonValue::Bool(true);
+      return Status::Ok();
+    }
+    if (ConsumeWord("false")) {
+      *out = JsonValue::Bool(false);
+      return Status::Ok();
+    }
+    if (ConsumeWord("null")) {
+      *out = JsonValue();
+      return Status::Ok();
+    }
+    return ParseNumber(out);
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    const size_t start = pos_;
+    while (pos_ < text_.size() && IsNumberChar(text_[pos_])) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return Error("invalid value");
+    }
+    const std::string literal(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    std::strtod(literal.c_str(), &end);
+    if (end != literal.c_str() + literal.size()) {
+      return Error("malformed number");
+    }
+    *out = JsonValue::NumberLiteral(literal);
+    return Status::Ok();
+  }
+
+  Status ParseString(std::string* out) {
+    if (!Consume('"')) {
+      return Error("expected string");
+    }
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') {
+        return Status::Ok();
+      }
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        break;
+      }
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"':
+          out->push_back('"');
+          break;
+        case '\\':
+          out->push_back('\\');
+          break;
+        case '/':
+          out->push_back('/');
+          break;
+        case 'b':
+          out->push_back('\b');
+          break;
+        case 'f':
+          out->push_back('\f');
+          break;
+        case 'n':
+          out->push_back('\n');
+          break;
+        case 'r':
+          out->push_back('\r');
+          break;
+        case 't':
+          out->push_back('\t');
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            return Error("truncated \\u escape");
+          }
+          unsigned cp = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            cp <<= 4;
+            if (h >= '0' && h <= '9') {
+              cp |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              cp |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              cp |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return Error("bad \\u escape digit");
+            }
+          }
+          // BMP-only UTF-8 encoding (no surrogate pairing — the artifacts
+          // this parser exists for are ASCII).
+          if (cp < 0x80) {
+            out->push_back(static_cast<char>(cp));
+          } else if (cp < 0x800) {
+            out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+            out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+          } else {
+            out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+            out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+            out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return Error("bad escape");
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Status ParseArray(JsonValue* out, int depth) {
+    Consume('[');
+    JsonValue v = JsonValue::Array();
+    SkipWs();
+    if (Consume(']')) {
+      *out = std::move(v);
+      return Status::Ok();
+    }
+    while (true) {
+      JsonValue elem;
+      auto s = ParseValue(&elem, depth + 1);
+      if (!s.ok()) {
+        return s;
+      }
+      v.Append(std::move(elem));
+      SkipWs();
+      if (Consume(']')) {
+        *out = std::move(v);
+        return Status::Ok();
+      }
+      if (!Consume(',')) {
+        return Error("expected ',' or ']'");
+      }
+    }
+  }
+
+  Status ParseObject(JsonValue* out, int depth) {
+    Consume('{');
+    JsonValue v = JsonValue::Object();
+    SkipWs();
+    if (Consume('}')) {
+      *out = std::move(v);
+      return Status::Ok();
+    }
+    while (true) {
+      SkipWs();
+      std::string key;
+      auto s = ParseString(&key);
+      if (!s.ok()) {
+        return s;
+      }
+      SkipWs();
+      if (!Consume(':')) {
+        return Error("expected ':'");
+      }
+      JsonValue elem;
+      s = ParseValue(&elem, depth + 1);
+      if (!s.ok()) {
+        return s;
+      }
+      v.Set(std::move(key), std::move(elem));
+      SkipWs();
+      if (Consume('}')) {
+        *out = std::move(v);
+        return Status::Ok();
+      }
+      if (!Consume(',')) {
+        return Error("expected ',' or '}'");
+      }
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+JsonValue JsonValue::Bool(bool b) {
+  JsonValue v;
+  v.kind_ = Kind::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::U64(uint64_t value) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  v.scalar_ = std::to_string(value);
+  return v;
+}
+
+JsonValue JsonValue::I64(int64_t value) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  v.scalar_ = std::to_string(value);
+  return v;
+}
+
+JsonValue JsonValue::Double(double value) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  // %.17g round-trips every finite double bit-exactly through strtod.
+  v.scalar_ = StrFormat("%.17g", value);
+  return v;
+}
+
+JsonValue JsonValue::NumberLiteral(std::string literal) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  v.scalar_ = std::move(literal);
+  return v;
+}
+
+JsonValue JsonValue::Str(std::string s) {
+  JsonValue v;
+  v.kind_ = Kind::kString;
+  v.scalar_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::Array() {
+  JsonValue v;
+  v.kind_ = Kind::kArray;
+  return v;
+}
+
+JsonValue JsonValue::Object() {
+  JsonValue v;
+  v.kind_ = Kind::kObject;
+  return v;
+}
+
+Result<JsonValue> JsonValue::Parse(std::string_view text) { return Parser(text).Run(); }
+
+bool JsonValue::AsBool() const {
+  MIRA_CHECK_MSG(kind_ == Kind::kBool, "JsonValue::AsBool on non-bool");
+  return bool_;
+}
+
+uint64_t JsonValue::AsU64() const {
+  MIRA_CHECK_MSG(kind_ == Kind::kNumber, "JsonValue::AsU64 on non-number");
+  return std::strtoull(scalar_.c_str(), nullptr, 10);
+}
+
+int64_t JsonValue::AsI64() const {
+  MIRA_CHECK_MSG(kind_ == Kind::kNumber, "JsonValue::AsI64 on non-number");
+  return std::strtoll(scalar_.c_str(), nullptr, 10);
+}
+
+double JsonValue::AsDouble() const {
+  MIRA_CHECK_MSG(kind_ == Kind::kNumber, "JsonValue::AsDouble on non-number");
+  return std::strtod(scalar_.c_str(), nullptr);
+}
+
+const std::string& JsonValue::AsString() const {
+  MIRA_CHECK_MSG(kind_ == Kind::kString, "JsonValue::AsString on non-string");
+  return scalar_;
+}
+
+size_t JsonValue::size() const {
+  if (kind_ == Kind::kArray) {
+    return arr_.size();
+  }
+  if (kind_ == Kind::kObject) {
+    return obj_.size();
+  }
+  return 0;
+}
+
+const JsonValue& JsonValue::at(size_t i) const {
+  MIRA_CHECK_MSG(kind_ == Kind::kArray, "JsonValue::at on non-array");
+  MIRA_CHECK_MSG(i < arr_.size(), "JsonValue::at out of range");
+  return arr_[i];
+}
+
+void JsonValue::Append(JsonValue v) {
+  MIRA_CHECK_MSG(kind_ == Kind::kArray, "JsonValue::Append on non-array");
+  arr_.push_back(std::move(v));
+}
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (kind_ != Kind::kObject) {
+    return nullptr;
+  }
+  for (const auto& [k, v] : obj_) {
+    if (k == key) {
+      return &v;
+    }
+  }
+  return nullptr;
+}
+
+void JsonValue::Set(std::string key, JsonValue v) {
+  MIRA_CHECK_MSG(kind_ == Kind::kObject, "JsonValue::Set on non-object");
+  for (auto& [k, existing] : obj_) {
+    if (k == key) {
+      existing = std::move(v);
+      return;
+    }
+  }
+  obj_.emplace_back(std::move(key), std::move(v));
+}
+
+bool JsonValue::GetBool(std::string_view key, bool def) const {
+  const JsonValue* v = Find(key);
+  return v != nullptr && v->is_bool() ? v->AsBool() : def;
+}
+
+uint64_t JsonValue::GetU64(std::string_view key, uint64_t def) const {
+  const JsonValue* v = Find(key);
+  return v != nullptr && v->is_number() ? v->AsU64() : def;
+}
+
+int64_t JsonValue::GetI64(std::string_view key, int64_t def) const {
+  const JsonValue* v = Find(key);
+  return v != nullptr && v->is_number() ? v->AsI64() : def;
+}
+
+double JsonValue::GetDouble(std::string_view key, double def) const {
+  const JsonValue* v = Find(key);
+  return v != nullptr && v->is_number() ? v->AsDouble() : def;
+}
+
+std::string JsonValue::GetString(std::string_view key, std::string def) const {
+  const JsonValue* v = Find(key);
+  return v != nullptr && v->is_string() ? v->AsString() : def;
+}
+
+void JsonValue::DumpTo(std::string* out, int indent, int depth) const {
+  const bool pretty = indent >= 0;
+  const std::string pad = pretty ? std::string(static_cast<size_t>(indent * (depth + 1)), ' ')
+                                 : std::string();
+  const std::string close_pad =
+      pretty ? std::string(static_cast<size_t>(indent * depth), ' ') : std::string();
+  const char* nl = pretty ? "\n" : "";
+  const char* kv_sep = pretty ? ": " : ":";
+  switch (kind_) {
+    case Kind::kNull:
+      *out += "null";
+      return;
+    case Kind::kBool:
+      *out += bool_ ? "true" : "false";
+      return;
+    case Kind::kNumber:
+      *out += scalar_;
+      return;
+    case Kind::kString:
+      AppendEscaped(out, scalar_);
+      return;
+    case Kind::kArray: {
+      if (arr_.empty()) {
+        *out += "[]";
+        return;
+      }
+      *out += "[";
+      *out += nl;
+      for (size_t i = 0; i < arr_.size(); ++i) {
+        *out += pad;
+        arr_[i].DumpTo(out, indent, depth + 1);
+        if (i + 1 < arr_.size()) {
+          *out += ",";
+        }
+        *out += nl;
+      }
+      *out += close_pad;
+      *out += "]";
+      return;
+    }
+    case Kind::kObject: {
+      if (obj_.empty()) {
+        *out += "{}";
+        return;
+      }
+      *out += "{";
+      *out += nl;
+      for (size_t i = 0; i < obj_.size(); ++i) {
+        *out += pad;
+        AppendEscaped(out, obj_[i].first);
+        *out += kv_sep;
+        obj_[i].second.DumpTo(out, indent, depth + 1);
+        if (i + 1 < obj_.size()) {
+          *out += ",";
+        }
+        *out += nl;
+      }
+      *out += close_pad;
+      *out += "}";
+      return;
+    }
+  }
+}
+
+std::string JsonValue::Dump(int indent) const {
+  std::string out;
+  DumpTo(&out, indent, 0);
+  return out;
+}
+
+}  // namespace mira::support

@@ -1,0 +1,99 @@
+// Minimal JSON document model: parse, build, serialize.
+//
+// Built for configuration and repro artifacts (FaultPlan schedules, chaos
+// repros), not for speed. Two properties matter here and are guaranteed:
+//
+//  1. Numbers round-trip bit-exactly. A parsed number keeps its source
+//     literal; Dump() re-emits it verbatim. Builders emit uint64 values as
+//     full-precision decimal (no double conversion — a 64-bit seed survives)
+//     and doubles as %.17g, which strtod reads back to the identical bits.
+//  2. Serialization is deterministic: object entries keep insertion
+//     (or source) order, so Dump(Parse(Dump(x))) == Dump(x).
+//
+// The accessors MIRA_CHECK on kind mismatches — artifact schema errors are
+// programming/input errors, and the Find/Get* helpers exist for the
+// tolerant-with-defaults style FromJson loaders use.
+
+#ifndef MIRA_SRC_SUPPORT_JSON_H_
+#define MIRA_SRC_SUPPORT_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/support/status.h"
+
+namespace mira::support {
+
+class JsonValue {
+ public:
+  enum class Kind : uint8_t { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;  // null
+
+  // ---- Builders ----
+  static JsonValue Bool(bool b);
+  static JsonValue U64(uint64_t v);
+  static JsonValue I64(int64_t v);
+  static JsonValue Double(double v);  // emitted as %.17g (round-trip exact)
+  // A number from its source literal, emitted verbatim (the parser's path).
+  static JsonValue NumberLiteral(std::string literal);
+  static JsonValue Str(std::string s);
+  static JsonValue Array();
+  static JsonValue Object();
+
+  // ---- Parse / serialize ----
+  static Result<JsonValue> Parse(std::string_view text);
+  // indent < 0: compact one-line. indent >= 0: pretty-printed, `indent`
+  // spaces per level.
+  std::string Dump(int indent = -1) const;
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  // ---- Scalar accessors (MIRA_CHECK on kind mismatch) ----
+  bool AsBool() const;
+  uint64_t AsU64() const;
+  int64_t AsI64() const;
+  double AsDouble() const;
+  const std::string& AsString() const;
+
+  // ---- Array access ----
+  size_t size() const;  // array elements or object entries
+  const JsonValue& at(size_t i) const;
+  void Append(JsonValue v);
+
+  // ---- Object access (insertion-ordered; lookups are linear) ----
+  const JsonValue* Find(std::string_view key) const;
+  void Set(std::string key, JsonValue v);  // appends or overwrites
+  const std::vector<std::pair<std::string, JsonValue>>& items() const { return obj_; }
+
+  // Tolerant typed getters: the default when the key is absent or of the
+  // wrong kind. Only valid on objects.
+  bool GetBool(std::string_view key, bool def) const;
+  uint64_t GetU64(std::string_view key, uint64_t def) const;
+  int64_t GetI64(std::string_view key, int64_t def) const;
+  double GetDouble(std::string_view key, double def) const;
+  std::string GetString(std::string_view key, std::string def) const;
+
+ private:
+  void DumpTo(std::string* out, int indent, int depth) const;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  // kNumber: the literal (source or builder-emitted); kString: the payload.
+  std::string scalar_;
+  std::vector<JsonValue> arr_;
+  std::vector<std::pair<std::string, JsonValue>> obj_;
+};
+
+}  // namespace mira::support
+
+#endif  // MIRA_SRC_SUPPORT_JSON_H_

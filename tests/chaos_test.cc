@@ -1,0 +1,318 @@
+// Chaos harness tests: generator determinism, composition purity, event
+// round-trips, oracle detection, ddmin minimality, and bit-exact repro
+// replay. These are the tier-1 guarantees the CI chaos job leans on; the CLI
+// sweep itself runs in a separate bounded CI step.
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/chaos/oracles.h"
+#include "src/chaos/repro.h"
+#include "src/chaos/runner.h"
+#include "src/chaos/schedule.h"
+#include "src/chaos/shrink.h"
+#include "src/net/fault_injector.h"
+#include "src/support/rng.h"
+
+namespace mira::chaos {
+namespace {
+
+GenOptions TestGenOptions() {
+  GenOptions opts;
+  opts.max_events = 8;
+  opts.num_nodes = 3;
+  opts.horizon_ns = 2'000'000;
+  return opts;
+}
+
+TEST(ChaosSchedule, GenerationIsDeterministicAndSeedSensitive) {
+  const GenOptions opts = TestGenOptions();
+  for (uint64_t seed = 1; seed <= 50; ++seed) {
+    EXPECT_EQ(GenerateSchedule(seed, opts), GenerateSchedule(seed, opts)) << "seed " << seed;
+  }
+  // Different seeds must explore different schedules (not necessarily all
+  // distinct, but overwhelmingly so).
+  std::set<std::string> distinct;
+  for (uint64_t seed = 1; seed <= 50; ++seed) {
+    distinct.insert(ScheduleToJson(GenerateSchedule(seed, opts)).Dump());
+  }
+  EXPECT_GT(distinct.size(), 45u);
+}
+
+TEST(ChaosSchedule, GeneratedCrashCyclesAreSequentialWithASurvivor) {
+  const GenOptions opts = TestGenOptions();
+  for (uint64_t seed = 1; seed <= 300; ++seed) {
+    const std::vector<ChaosEvent> events = GenerateSchedule(seed, opts);
+    // Collect crash events in generation order; the discipline promises
+    // sequential cycles: each crash strictly after the previous rejoin, and
+    // nothing after a permanent (no-rejoin) crash.
+    uint64_t prev_rejoin = 0;
+    bool closed = false;
+    for (const ChaosEvent& e : events) {
+      if (e.kind != EventKind::kNodeCrash) {
+        continue;
+      }
+      EXPECT_FALSE(closed) << "seed " << seed << ": crash after a permanent crash";
+      EXPECT_GT(e.crash_ns, prev_rejoin) << "seed " << seed << ": overlapping crash cycles";
+      if (e.rejoin_ns == 0) {
+        closed = true;
+      } else {
+        EXPECT_GT(e.rejoin_ns, e.crash_ns) << "seed " << seed;
+        prev_rejoin = e.rejoin_ns;
+      }
+    }
+  }
+}
+
+TEST(ChaosSchedule, ComposeIsPureAndOrderCanonical) {
+  const GenOptions opts = TestGenOptions();
+  for (uint64_t seed = 1; seed <= 50; ++seed) {
+    const std::vector<ChaosEvent> events = GenerateSchedule(seed, opts);
+    const net::FaultPlan a = ComposePlan(seed, events);
+    const net::FaultPlan b = ComposePlan(seed, events);
+    EXPECT_EQ(a, b) << "seed " << seed;
+    // Windows and crash schedules come out sorted regardless of event order.
+    std::vector<ChaosEvent> reversed(events.rbegin(), events.rend());
+    const net::FaultPlan c = ComposePlan(seed, reversed);
+    EXPECT_EQ(a.outages, c.outages) << "seed " << seed;
+    EXPECT_EQ(a.degraded, c.degraded) << "seed " << seed;
+    EXPECT_EQ(a.node_crashes, c.node_crashes) << "seed " << seed;
+  }
+}
+
+TEST(ChaosSchedule, EventsRoundTripThroughJson) {
+  const GenOptions opts = TestGenOptions();
+  for (uint64_t seed = 1; seed <= 100; ++seed) {
+    const std::vector<ChaosEvent> events = GenerateSchedule(seed, opts);
+    auto back = ScheduleFromJson(ScheduleToJson(events));
+    ASSERT_TRUE(back.ok()) << back.status().ToString();
+    EXPECT_EQ(events, back.value()) << "seed " << seed;
+  }
+}
+
+// ---- ddmin on synthetic predicates (no workload executions) ----
+
+ChaosEvent TornEvent(double p) {
+  ChaosEvent e;
+  e.kind = EventKind::kTornWriteback;
+  e.probability = p;
+  return e;
+}
+
+TEST(ChaosShrink, FindsTheSingleCulprit) {
+  std::vector<ChaosEvent> events;
+  for (int i = 0; i < 16; ++i) {
+    events.push_back(TornEvent(0.01 * (i + 1)));
+  }
+  const ChaosEvent culprit = TornEvent(0.07);  // index 6
+  int executions = 0;
+  const std::vector<ChaosEvent> minimal = Minimize(
+      events,
+      [&](const std::vector<ChaosEvent>& evs) {
+        for (const ChaosEvent& e : evs) {
+          if (e == culprit) {
+            return true;
+          }
+        }
+        return false;
+      },
+      &executions);
+  ASSERT_EQ(minimal.size(), 1u);
+  EXPECT_EQ(minimal[0], culprit);
+  EXPECT_GT(executions, 0);
+  EXPECT_LT(executions, 64);  // ddmin, not brute force over all subsets
+}
+
+TEST(ChaosShrink, MinimizesConjunctionsToExactlyTheRequiredEvents) {
+  // Failure requires BOTH culprits: the classic case 1-minimality handles
+  // and naive one-at-a-time removal does too — but ddmin must keep both.
+  std::vector<ChaosEvent> events;
+  for (int i = 0; i < 12; ++i) {
+    events.push_back(TornEvent(0.01 * (i + 1)));
+  }
+  const ChaosEvent a = TornEvent(0.03);
+  const ChaosEvent b = TornEvent(0.10);
+  const std::vector<ChaosEvent> minimal =
+      Minimize(events, [&](const std::vector<ChaosEvent>& evs) {
+        bool has_a = false;
+        bool has_b = false;
+        for (const ChaosEvent& e : evs) {
+          has_a = has_a || e == a;
+          has_b = has_b || e == b;
+        }
+        return has_a && has_b;
+      });
+  ASSERT_EQ(minimal.size(), 2u);
+  EXPECT_EQ(minimal[0], a);
+  EXPECT_EQ(minimal[1], b);
+}
+
+TEST(ChaosShrink, ResultIsOneMinimal) {
+  // Predicate: fails iff the list holds >= 3 torn events with p > 0.05.
+  auto fails = [](const std::vector<ChaosEvent>& evs) {
+    int n = 0;
+    for (const ChaosEvent& e : evs) {
+      n += e.probability > 0.05 ? 1 : 0;
+    }
+    return n >= 3;
+  };
+  std::vector<ChaosEvent> events;
+  for (int i = 0; i < 10; ++i) {
+    events.push_back(TornEvent(0.02 * (i + 1)));
+  }
+  const std::vector<ChaosEvent> minimal = Minimize(events, fails);
+  ASSERT_TRUE(fails(minimal));
+  EXPECT_EQ(minimal.size(), 3u);
+  for (size_t i = 0; i < minimal.size(); ++i) {
+    std::vector<ChaosEvent> without = minimal;
+    without.erase(without.begin() + static_cast<long>(i));
+    EXPECT_FALSE(fails(without)) << "removable event " << i;
+  }
+}
+
+// ---- End-to-end: runner + oracles + minimizer + repro artifacts ----
+//
+// One fixture-compiled runner (the compile is the expensive part) shared
+// across the execution tests.
+
+class ChaosEndToEnd : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    RunnerOptions opts;
+    opts.workload = "graph";
+    runner_ = new ChaosRunner(opts);
+  }
+  static void TearDownTestSuite() {
+    delete runner_;
+    runner_ = nullptr;
+  }
+  static ChaosRunner* runner_;
+};
+
+ChaosRunner* ChaosEndToEnd::runner_ = nullptr;
+
+TEST_F(ChaosEndToEnd, CleanPlanReproducesTheBaselineBitExactly) {
+  const RunResult r = runner_->Execute(net::FaultPlan::Clean());
+  EXPECT_FALSE(r.failed);
+  EXPECT_EQ(r.result, runner_->clean().result);
+  EXPECT_EQ(r.sim_ns, runner_->clean().sim_ns);
+  EXPECT_EQ(r.object_addrs, runner_->clean().object_addrs);
+  const std::vector<Violation> v =
+      CheckOracles(runner_->clean(), r, {}, OracleOptions{});
+  EXPECT_TRUE(v.empty()) << FormatViolations(v);
+}
+
+TEST_F(ChaosEndToEnd, GeneratedSchedulesExecuteDeterministically) {
+  const GenOptions gen = runner_->MakeGenOptions(6);
+  const uint64_t seed = 3;
+  const std::vector<ChaosEvent> events = GenerateSchedule(seed, gen);
+  const net::FaultPlan plan = ComposePlan(seed, events);
+  const RunResult a = runner_->Execute(plan);
+  const RunResult b = runner_->Execute(plan);
+  EXPECT_EQ(a.failed, b.failed);
+  EXPECT_EQ(a.result, b.result);
+  EXPECT_EQ(a.sim_ns, b.sim_ns);
+  EXPECT_EQ(a.stall_totals, b.stall_totals);
+  EXPECT_EQ(a.fault.wasted_ns(), b.fault.wasted_ns());
+}
+
+TEST_F(ChaosEndToEnd, OraclesHoldOverASeedSweep) {
+  const GenOptions gen = runner_->MakeGenOptions(6);
+  for (uint64_t seed = 1; seed <= 12; ++seed) {
+    const std::vector<ChaosEvent> events = GenerateSchedule(seed, gen);
+    const RunResult r = runner_->Execute(ComposePlan(seed, events));
+    const std::vector<Violation> v =
+        CheckOracles(runner_->clean(), r, events, OracleOptions{});
+    EXPECT_TRUE(v.empty()) << "seed " << seed << ":\n" << FormatViolations(v);
+  }
+}
+
+TEST_F(ChaosEndToEnd, CanaryOracleIsDetectedMinimizedAndReplayedBitExactly) {
+  // Arm the deliberately-broken test_hook oracle on two kinds and find a
+  // seed whose schedule contains both.
+  OracleOptions oracle_opts;
+  oracle_opts.fail_oracles = {"verb_fault", "outage"};
+  const GenOptions gen = runner_->MakeGenOptions(8);
+  uint64_t seed = 0;
+  std::vector<ChaosEvent> events;
+  for (uint64_t s = 1; s <= 64 && seed == 0; ++s) {
+    std::set<std::string> kinds;
+    for (const ChaosEvent& e : GenerateSchedule(s, gen)) {
+      kinds.insert(EventKindName(e.kind));
+    }
+    if (kinds.count("verb_fault") > 0 && kinds.count("outage") > 0) {
+      seed = s;
+      events = GenerateSchedule(s, gen);
+    }
+  }
+  ASSERT_NE(seed, 0u) << "no generated schedule stacked verb_fault + outage";
+
+  auto violations_for = [&](const std::vector<ChaosEvent>& evs) {
+    const RunResult r = runner_->Execute(ComposePlan(seed, evs));
+    return CheckOracles(runner_->clean(), r, evs, oracle_opts);
+  };
+  ASSERT_FALSE(violations_for(events).empty());
+
+  // Minimize: must land on exactly one event per armed kind (<= 3 is the
+  // CI canary bound; the hook's structure forces exactly 2 here).
+  const std::vector<ChaosEvent> minimal = Minimize(
+      events, [&](const std::vector<ChaosEvent>& evs) { return !violations_for(evs).empty(); });
+  ASSERT_EQ(minimal.size(), 2u);
+  std::set<std::string> kinds;
+  for (const ChaosEvent& e : minimal) {
+    kinds.insert(EventKindName(e.kind));
+  }
+  EXPECT_EQ(kinds, (std::set<std::string>{"verb_fault", "outage"}));
+
+  // Build the artifact the CLI would emit, round-trip it through JSON text,
+  // and replay: violations and the execution fingerprint must match bit
+  // for bit.
+  ReproArtifact artifact;
+  artifact.workload = runner_->options().workload;
+  artifact.local_percent = runner_->options().local_percent;
+  artifact.interp_seed = runner_->options().interp_seed;
+  artifact.schedule_seed = seed;
+  artifact.fail_oracles = oracle_opts.fail_oracles;
+  artifact.events = minimal;
+  artifact.plan = ComposePlan(seed, minimal);
+  const RunResult min_run = runner_->Execute(artifact.plan);
+  artifact.violations = CheckOracles(runner_->clean(), min_run, minimal, oracle_opts);
+  artifact.sim_ns = min_run.sim_ns;
+  artifact.result = min_run.result;
+
+  auto loaded = ReproArtifact::FromJsonText(artifact.ToJson().Dump(2));
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const ReproArtifact replay = loaded.take();
+  EXPECT_EQ(replay.events, artifact.events);
+  EXPECT_EQ(replay.plan, artifact.plan);
+  EXPECT_EQ(replay.violations, artifact.violations);
+
+  const RunResult replayed = runner_->Execute(replay.plan);
+  EXPECT_EQ(replayed.sim_ns, replay.sim_ns);
+  EXPECT_EQ(replayed.result, replay.result);
+  EXPECT_EQ(CheckOracles(runner_->clean(), replayed, replay.events, oracle_opts),
+            replay.violations);
+}
+
+TEST_F(ChaosEndToEnd, BrokenInvariantIsCaughtByARealOracle) {
+  // Sanity that the REAL oracles (not the test hook) can fire: corrupt a
+  // RunResult the way a healing bug would look and check self_healing trips.
+  const RunResult clean = runner_->clean();
+  RunResult faulted = runner_->Execute(net::FaultPlan::Clean());
+  faulted.integrity.detected += 3;  // 3 detections that never healed
+  const std::vector<Violation> v = CheckOracles(clean, faulted, {}, OracleOptions{});
+  ASSERT_FALSE(v.empty());
+  bool self_healing = false;
+  for (const Violation& x : v) {
+    self_healing = self_healing || x.oracle == "self_healing";
+  }
+  EXPECT_TRUE(self_healing) << FormatViolations(v);
+}
+
+}  // namespace
+}  // namespace mira::chaos

@@ -204,6 +204,109 @@ TEST(FailoverLadder, RejoinedNodeComesBackEmptyAndIsRefilled) {
   EXPECT_EQ(cluster.stats().quarantined_chunks, 0u);
 }
 
+// Satellite regression: a rejoin while the re-replication queue is
+// NON-empty must neither double-replicate (the rejoin re-queues chunks
+// Failover already queued — entries are deduped) nor strand an
+// under-replicated chunk (every chunk that lost a copy is healed exactly
+// once by the drain that follows).
+TEST(FailoverLadder, RejoinMidDrainNeitherDoubleReplicatesNorStrands) {
+  FarMemoryNode seed;
+  FarMemoryCluster cluster(&seed, Config(3, 1));
+  auto addr = cluster.AllocRange(6 * kChunk);
+  ASSERT_TRUE(addr.ok());
+  std::vector<uint8_t> pattern(6 * kChunk);
+  for (size_t i = 0; i < pattern.size(); ++i) {
+    pattern[i] = static_cast<uint8_t>(i * 13 + 5);
+  }
+  cluster.CopyIn(addr.value(), pattern.data(), pattern.size());
+
+  const uint64_t first = addr.value() >> FarMemoryCluster::kChunkShift;
+  const uint64_t last = (addr.value() + pattern.size() - 1) >> FarMemoryCluster::kChunkShift;
+  // Under the ring rule holders are [c % 3, (c+1) % 3]; count the chunks
+  // node 1 holds a copy of — each must be healed exactly once.
+  int expect_heals = 0;
+  for (uint64_t chunk = first; chunk <= last; ++chunk) {
+    const int primary = cluster.PrimaryOf(chunk << FarMemoryCluster::kChunkShift);
+    if (primary == 1 || (primary + 1) % 3 == 1) {
+      ++expect_heals;
+    }
+  }
+  ASSERT_GT(expect_heals, 1);
+
+  cluster.CrashNode(1, 1'000);
+  for (uint64_t chunk = first; chunk <= last; ++chunk) {
+    ASSERT_TRUE(cluster.Failover(chunk).ok());  // no-op where 1 wasn't primary
+  }
+  ASSERT_TRUE(cluster.has_pending_rereplication());
+
+  // Partial drain, then the rejoin lands MID-drain and re-queues every
+  // still-under-replicated chunk on top of the queue's existing entries.
+  FarMemoryCluster::RereplicationJob job;
+  int heals = 0;
+  ASSERT_TRUE(cluster.RereplicateNext(&job));
+  ++heals;
+  cluster.RejoinNode(1);
+  while (cluster.RereplicateNext(&job)) {
+    ++heals;
+  }
+
+  EXPECT_EQ(heals, expect_heals);
+  EXPECT_EQ(cluster.stats().rereplicated_chunks, static_cast<uint64_t>(expect_heals));
+  for (uint64_t chunk = first; chunk <= last; ++chunk) {
+    EXPECT_EQ(cluster.HolderCount(chunk), 2) << "chunk " << chunk;
+    EXPECT_FALSE(cluster.ChunkQuarantined(chunk)) << "chunk " << chunk;
+  }
+  EXPECT_EQ(cluster.stats().quarantined_chunks, 0u);
+  std::vector<uint8_t> got(pattern.size());
+  cluster.CopyOut(addr.value(), got.data(), got.size());
+  EXPECT_EQ(got, pattern);
+  EXPECT_FALSE(cluster.has_pending_rereplication());
+}
+
+// Satellite regression: rejoining a node whose chunk's only OTHER holder is
+// also dead must quarantine the chunk, not "heal" it by copying the dead
+// holder's poisoned arena into a live target (which would silently revive
+// lost data and serve poison with lost_reads == 0).
+TEST(FailoverLadder, RejoinWithEveryOtherHolderDeadQuarantinesInsteadOfRevivingPoison) {
+  FarMemoryNode seed;
+  FarMemoryCluster cluster(&seed, Config(3, 1));
+  // Chunk 1's ring holders are [1, 2].
+  const uint64_t chunk = 1;
+  const RemoteAddr addr = chunk * kChunk;
+  ASSERT_EQ(cluster.PrimaryOf(addr), 1);
+  std::vector<uint8_t> pattern(512, 0x6B);
+  cluster.CopyIn(addr, pattern.data(), pattern.size());
+  ASSERT_EQ(cluster.HolderCount(chunk), 2);
+
+  // Both holders die before any verb runs a failover; then the original
+  // primary rejoins (empty) while holders still names the dead replica.
+  cluster.CrashNode(1, 1'000);
+  cluster.CrashNode(2, 2'000);
+  cluster.RejoinNode(1);
+  // Dropping the rejoined node left a dead successor as "primary": that is
+  // a pending failover, not a resolved promotion.
+  EXPECT_EQ(cluster.stats().rejoin_promotions, 0u);
+  ASSERT_TRUE(cluster.has_pending_rereplication());
+
+  FarMemoryCluster::RereplicationJob job;
+  int heals = 0;
+  while (cluster.RereplicateNext(&job)) {
+    ++heals;
+  }
+  // Nothing to copy FROM: the chunk is lost and must say so.
+  EXPECT_EQ(heals, 0);
+  EXPECT_EQ(cluster.stats().rereplicated_chunks, 0u);
+  EXPECT_TRUE(cluster.ChunkQuarantined(chunk));
+  EXPECT_EQ(cluster.stats().quarantined_chunks, 1u);
+  EXPECT_EQ(cluster.HolderCount(chunk), 1);
+
+  // The loss stays visible: reads serve the scrubbed arena and count.
+  std::vector<uint8_t> got(pattern.size());
+  cluster.CopyOut(addr, got.data(), got.size());
+  EXPECT_EQ(got[0], FarMemoryCluster::kCrashPoison);
+  EXPECT_EQ(cluster.stats().lost_reads, 1u);
+}
+
 // ---- Transport-driven timing plane ----
 
 struct ClusterWorld {
@@ -301,6 +404,80 @@ TEST(ClusterTransport, StackedOutageAndCrashDoesNotDoubleChargeBackoff) {
     last_now = w.clk.now_ns();
     last_wait = fs.failover_wait_ns;
   }
+}
+
+// Satellite: TRIPLE-stacked events on one verb — an outage window, a silent
+// corruption probability, and a node crash all covering the same read at the
+// same instant. Precedence is pinned: CheckTarget runs before verb
+// admission, so the dead-node verdict wins — the verb pays the lease
+// remnant (failover_wait) exactly once and never reaches the outage/backoff
+// machinery OR the corruption draw (dead nodes deliver nothing to taint).
+TEST(ClusterTransport, TripleStackedOutageCorruptionAndCrashPaysFailoverWaitOnce) {
+  for (const uint64_t seed : {1u, 7u, 42u}) {
+    net::FaultPlan plan = net::FaultPlan::NodeCrash(seed, /*node=*/1, 23'000);
+    plan.outages.push_back(net::OutageWindow{20'000, 200'000});
+    plan.verb(net::Verb::kReadSync).corrupt_probability = 1.0;  // every delivery
+    ClusterWorld w(2, 1, plan);
+    const RemoteAddr addr = AddrOnPrimary(*w.cluster, 1);
+    w.clk.AdvanceTo(30'000);  // inside the outage, past the crash
+
+    uint8_t buf[64] = {0};
+    auto s = w.net.TryReadSync(w.clk, addr, buf, sizeof(buf));
+    EXPECT_EQ(s.code(), support::ErrorCode::kNodeFailed);
+    const net::FaultStats& fs = w.net.fault_stats();
+    EXPECT_EQ(fs.failover_wait_ns, 40'000u);  // lease remnant, paid once
+    EXPECT_EQ(fs.backoff_ns, 0u);
+    EXPECT_EQ(fs.lost_wait_ns, 0u);
+    EXPECT_EQ(fs.unavailable, 0u);
+    EXPECT_EQ(fs.corrupt_deliveries, 0u);  // nothing was delivered
+    EXPECT_FALSE(w.net.last_delivery().any());
+    EXPECT_EQ(w.clk.now_ns(), 70'000u);
+
+    // A second verb on the same dead target fails fast: the detection wait
+    // was charged exactly once, never per-verb.
+    s = w.net.TryReadSync(w.clk, addr, buf, sizeof(buf));
+    EXPECT_EQ(s.code(), support::ErrorCode::kNodeFailed);
+    EXPECT_EQ(fs.failover_wait_ns, 40'000u);
+    EXPECT_EQ(fs.node_failures, 2u);
+    EXPECT_EQ(w.clk.now_ns(), 70'000u);
+  }
+}
+
+// Regression for a schedule the chaos harness found (graph seed 36): a
+// crash+rejoin cycle AND a later permanent crash all coming due in ONE verb
+// gap (a long compute phase issues no verbs). SyncCluster must apply the
+// membership changes in timestamp order and run the background healer
+// between distinct event times — collapsing them into one batch lets the
+// second crash kill the only live source for the chunk the rejoin just
+// queued, losing data the real gap had ample time to re-replicate.
+TEST(ClusterTransport, CrashRejoinCrashInOneVerbGapHealsBetweenEventTimes) {
+  net::FaultPlan plan = net::FaultPlan::NodeCrash(1, /*node=*/1, 50'000, /*rejoin_ns=*/120'000);
+  plan.node_crashes.push_back(net::NodeCrashEvent{/*node=*/0, 500'000, /*rejoin_ns=*/0});
+  ClusterWorld w(3, 1, plan);
+
+  // Chunk 3's ring holders are {0, 1}: exactly the pair the two crashes
+  // hit. Its data must ride out the whole schedule on re-replicated copies.
+  const RemoteAddr victim = 3 * kChunk;
+  const uint8_t pattern[64] = {0x5A, 0xA5, 0x5A};
+  w.cluster->CopyIn(victim, pattern, sizeof(pattern));
+  ASSERT_EQ(w.cluster->PrimaryOf(victim), 0);
+
+  // No verbs until well past BOTH event times, then one verb on a chunk
+  // primaried on the surviving node 2 applies the backlog.
+  w.clk.AdvanceTo(600'000);
+  uint8_t buf[64] = {0};
+  const RemoteAddr live_addr = AddrOnPrimary(*w.cluster, 2);
+  ASSERT_TRUE(w.net.TryReadSync(w.clk, live_addr, buf, sizeof(buf)).ok());
+
+  // The rejoin-time heal ran BEFORE node 0's crash: nothing quarantined,
+  // nothing lost, and chunk 0 still serves its bytes from a live holder.
+  EXPECT_EQ(w.cluster->stats().quarantined_chunks, 0u);
+  EXPECT_FALSE(w.cluster->ChunkQuarantined(3));
+  EXPECT_GT(w.cluster->stats().rereplicated_chunks, 0u);
+  uint8_t out[64] = {0};
+  w.cluster->CopyOut(victim, out, sizeof(out));
+  EXPECT_EQ(0, std::memcmp(out, pattern, sizeof(pattern)));
+  EXPECT_EQ(w.cluster->stats().lost_reads, 0u);
 }
 
 TEST(ClusterTransport, CacheSectionLadderRecoversCrashedPrimary) {

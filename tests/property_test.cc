@@ -9,8 +9,10 @@
 #include "src/farmem/far_memory_node.h"
 #include "src/integrity/integrity.h"
 #include "src/interp/interpreter.h"
+#include "src/net/fault_injector.h"
 #include "src/pipeline/world.h"
 #include "src/sim/mt_scheduler.h"
+#include "src/support/json.h"
 #include "src/support/rng.h"
 #include "src/workloads/workloads.h"
 
@@ -275,6 +277,104 @@ TEST(IntegrityProperties, DuplicatedWritebackReplayIsAlwaysANoOp) {
   EXPECT_EQ(integ.stats().detected, 0u);
   EXPECT_GT(integ.stats().replays_suppressed, 0u);
   EXPECT_TRUE(integ.fatal().ok());
+}
+
+// ---- FaultPlan JSON round-trip (chaos repro artifact format) ----
+
+// A pseudo-random FaultPlan exercising every field: arbitrary verb subsets,
+// probabilities across the double range (including awkward non-representable
+// decimals), extreme u64 timestamps, and crash schedules with and without
+// rejoins.
+net::FaultPlan RandomPlan(support::Rng& rng) {
+  net::FaultPlan plan;
+  plan.seed = rng.NextU64();  // full 64-bit range — must survive JSON
+  const double probs[] = {0.0, 1.0, 0.5, 0.1, 1.0 / 3.0, 0.02, 1e-12, 0.9999999999999999};
+  auto pick_p = [&] { return probs[rng.NextBelow(sizeof(probs) / sizeof(probs[0]))]; };
+  for (size_t i = 0; i < net::kNumVerbs; ++i) {
+    if (rng.NextBelow(2) == 0) {
+      continue;  // leave this verb at defaults (omitted from JSON)
+    }
+    net::VerbFaultConfig& v = plan.verbs[i];
+    v.drop_probability = pick_p();
+    v.timeout_probability = pick_p();
+    v.tail_probability = pick_p();
+    v.tail_multiplier = 1.0 + 0.1 * static_cast<double>(rng.NextBelow(100));
+    v.corrupt_probability = pick_p();
+    v.stale_probability = pick_p();
+    v.duplicate_probability = pick_p();
+  }
+  for (uint64_t i = 0, n = rng.NextBelow(4); i < n; ++i) {
+    const uint64_t start = rng.NextBelow(1'000'000'000);
+    plan.outages.push_back(net::OutageWindow{start, start + 1 + rng.NextBelow(1'000'000)});
+  }
+  if (rng.NextBelow(4) == 0) {
+    plan.degraded.push_back(net::DegradedWindow{0, UINT64_MAX, 0.25});  // whole-run window
+  }
+  for (uint64_t i = 0, n = rng.NextBelow(3); i < n; ++i) {
+    const uint64_t start = rng.NextBelow(1'000'000'000);
+    plan.degraded.push_back(
+        net::DegradedWindow{start, start + 1 + rng.NextBelow(1'000'000), pick_p()});
+  }
+  if (rng.NextBelow(2) == 0) {
+    plan.torn_writeback_probability = pick_p();
+  }
+  for (uint64_t i = 0, n = rng.NextBelow(4); i < n; ++i) {
+    net::NodeCrashEvent c;
+    c.node = static_cast<int>(rng.NextBelow(8));
+    c.crash_ns = rng.NextBelow(1'000'000'000);
+    c.rejoin_ns = rng.NextBelow(2) == 0 ? 0 : c.crash_ns + 1 + rng.NextBelow(1'000'000);
+    plan.node_crashes.push_back(c);
+  }
+  return plan;
+}
+
+TEST(FaultPlanJsonProperties, RandomPlansRoundTripBitExactly) {
+  support::Rng rng(99);
+  for (int trial = 0; trial < 500; ++trial) {
+    const net::FaultPlan plan = RandomPlan(rng);
+    const std::string text = plan.ToJson().Dump();
+    auto back = net::FaultPlan::FromJsonText(text);
+    ASSERT_TRUE(back.ok()) << back.status().ToString() << "\n" << text;
+    EXPECT_TRUE(back.value() == plan) << "trial " << trial << "\n" << text;
+    // Serialization is deterministic through a parse cycle too (pretty or
+    // compact — whitespace never reaches the values).
+    auto doc = support::JsonValue::Parse(plan.ToJson().Dump(2));
+    ASSERT_TRUE(doc.ok());
+    EXPECT_EQ(doc.value().Dump(), text);
+  }
+}
+
+TEST(FaultPlanJsonProperties, EveryFactoryScenarioRoundTrips) {
+  const net::FaultPlan scenarios[] = {
+      net::FaultPlan::Clean(),
+      net::FaultPlan::Lossy(7),
+      net::FaultPlan::BurstyOutage(7, 10'000, 5'000, 50'000, 4),
+      net::FaultPlan::DegradedBandwidth(7),
+      net::FaultPlan::SilentCorruption(7),
+      net::FaultPlan::TornWriteback(7),
+      net::FaultPlan::NodeCrash(7, 1, 25'000, 90'000),
+      net::FaultPlan::RollingCrashes(7, 3, 4, 20'000, 100'000, 40'000),
+  };
+  for (const net::FaultPlan& plan : scenarios) {
+    auto back = net::FaultPlan::FromJsonText(plan.ToJson().Dump());
+    ASSERT_TRUE(back.ok());
+    EXPECT_TRUE(back.value() == plan);
+  }
+}
+
+TEST(FaultPlanJsonProperties, TolerantLoaderKeepsDefaultsAndRejectsGarbage) {
+  // Hand-written minimal plan: unstated fields keep their defaults.
+  auto plan = net::FaultPlan::FromJsonText(
+      R"({"seed": 42, "verbs": {"read.sync": {"drop_probability": 0.5}}})");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan.value().seed, 42u);
+  EXPECT_EQ(plan.value().verb(net::Verb::kReadSync).drop_probability, 0.5);
+  EXPECT_EQ(plan.value().verb(net::Verb::kReadSync).tail_multiplier, 1.0);
+  EXPECT_TRUE(plan.value().outages.empty());
+
+  EXPECT_FALSE(net::FaultPlan::FromJsonText("[1,2]").ok());         // not an object
+  EXPECT_FALSE(net::FaultPlan::FromJsonText("{").ok());             // malformed
+  EXPECT_FALSE(net::FaultPlan::FromJsonText(R"({"verbs": {"bogus.verb": {}}})").ok());
 }
 
 TEST(MtSchedulerProperties, MakespanBoundsHold) {

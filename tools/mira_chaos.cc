@@ -1,0 +1,276 @@
+// mira_chaos: seeded fault-schedule search over real workloads.
+//
+// Sweep mode (default):
+//   mira_chaos --seeds=1..200 [--workloads=graph,dataframe]
+//              [--local-percent=25] [--max-events=6] [--out-dir=.]
+//              [--fail-oracle=kind[,kind...]] [--verbose]
+//
+//   For each (workload, seed): generate a schedule, compose it into one
+//   FaultPlan, execute it, and run the oracle suite against the clean
+//   baseline. On a violation, delta-debug the schedule down to a locally
+//   minimal event list (re-executing each candidate), write a JSON repro
+//   artifact chaos_repro_<workload>_<seed>.json to --out-dir, and exit 1
+//   after the sweep. --fail-oracle arms the deliberately-broken test_hook
+//   oracle (fires when the schedule holds >= 1 event of EVERY named kind) —
+//   the harness canary proving detection, minimization, and nonzero exit.
+//
+// Replay mode:
+//   mira_chaos --replay=chaos_repro_graph_17.json
+//
+//   Rebuilds the runner from the artifact's own workload knobs, re-executes
+//   the artifact's plan, and verifies the violations AND the execution
+//   fingerprint (sim_ns, result) match the artifact bit-exactly. Exit 0 on
+//   exact reproduction, 1 otherwise.
+//
+// Exit codes: 0 all oracles hold (or exact replay), 1 violations (or replay
+// mismatch), 2 usage error.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/chaos/oracles.h"
+#include "src/chaos/repro.h"
+#include "src/chaos/runner.h"
+#include "src/chaos/schedule.h"
+#include "src/chaos/shrink.h"
+#include "src/net/fault_injector.h"
+#include "src/support/str.h"
+
+namespace {
+
+using mira::chaos::ChaosEvent;
+using mira::chaos::ChaosRunner;
+using mira::chaos::OracleOptions;
+using mira::chaos::ReproArtifact;
+using mira::chaos::RunnerOptions;
+using mira::chaos::RunResult;
+using mira::chaos::Violation;
+
+struct Args {
+  uint64_t seed_begin = 1;
+  uint64_t seed_end = 50;  // inclusive
+  std::vector<std::string> workloads = {"graph"};
+  int local_percent = 25;
+  int max_events = 6;
+  std::string out_dir = ".";
+  std::vector<std::string> fail_oracles;
+  std::string replay_path;
+  bool verbose = false;
+};
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: mira_chaos [--seeds=A..B] [--workloads=graph,dataframe]\n"
+               "                  [--local-percent=N] [--max-events=N] [--out-dir=DIR]\n"
+               "                  [--fail-oracle=kind[,kind...]] [--verbose]\n"
+               "       mira_chaos --replay=chaos_repro_*.json\n");
+  return 2;
+}
+
+std::vector<std::string> SplitCommas(const char* s) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (; *s != '\0'; ++s) {
+    if (*s == ',') {
+      if (!cur.empty()) {
+        out.push_back(cur);
+      }
+      cur.clear();
+    } else {
+      cur += *s;
+    }
+  }
+  if (!cur.empty()) {
+    out.push_back(cur);
+  }
+  return out;
+}
+
+bool ParseArgs(int argc, char** argv, Args* args) {
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strncmp(a, "--seeds=", 8) == 0) {
+      char* end = nullptr;
+      args->seed_begin = std::strtoull(a + 8, &end, 10);
+      if (std::strncmp(end, "..", 2) != 0) {
+        return false;
+      }
+      args->seed_end = std::strtoull(end + 2, &end, 10);
+      if (*end != '\0' || args->seed_end < args->seed_begin) {
+        return false;
+      }
+    } else if (std::strncmp(a, "--workloads=", 12) == 0) {
+      args->workloads = SplitCommas(a + 12);
+      if (args->workloads.empty()) {
+        return false;
+      }
+    } else if (std::strncmp(a, "--local-percent=", 16) == 0) {
+      args->local_percent = std::atoi(a + 16);
+      if (args->local_percent < 1 || args->local_percent > 100) {
+        return false;
+      }
+    } else if (std::strncmp(a, "--max-events=", 13) == 0) {
+      args->max_events = std::atoi(a + 13);
+      if (args->max_events < 1) {
+        return false;
+      }
+    } else if (std::strncmp(a, "--out-dir=", 10) == 0) {
+      args->out_dir = a + 10;
+    } else if (std::strncmp(a, "--fail-oracle=", 14) == 0) {
+      args->fail_oracles = SplitCommas(a + 14);
+    } else if (std::strncmp(a, "--replay=", 9) == 0) {
+      args->replay_path = a + 9;
+    } else if (std::strcmp(a, "--verbose") == 0) {
+      args->verbose = true;
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+// One (workload, seed) case: execute, check, and on violation minimize +
+// save a repro. Returns true when all oracles held.
+bool RunCase(const ChaosRunner& runner, uint64_t seed, const Args& args) {
+  const mira::chaos::GenOptions gen = runner.MakeGenOptions(args.max_events);
+  const std::vector<ChaosEvent> events = mira::chaos::GenerateSchedule(seed, gen);
+  OracleOptions oracle_opts;
+  oracle_opts.fail_oracles = args.fail_oracles;
+
+  auto check = [&](const std::vector<ChaosEvent>& evs) {
+    const RunResult r = runner.Execute(mira::chaos::ComposePlan(seed, evs));
+    return mira::chaos::CheckOracles(runner.clean(), r, evs, oracle_opts);
+  };
+
+  const std::vector<Violation> violations = check(events);
+  if (args.verbose || !violations.empty()) {
+    std::printf("[%s seed=%llu] %zu events, %zu violations\n", runner.options().workload.c_str(),
+                static_cast<unsigned long long>(seed), events.size(), violations.size());
+  }
+  if (violations.empty()) {
+    return true;
+  }
+  std::printf("%s", mira::chaos::FormatViolations(violations).c_str());
+
+  // Shrink: a candidate "still fails" when it reproduces at least one
+  // violation (any oracle — the minimal schedule for the triggering fault).
+  int executions = 0;
+  const std::vector<ChaosEvent> minimal = mira::chaos::Minimize(
+      events, [&](const std::vector<ChaosEvent>& evs) { return !check(evs).empty(); },
+      &executions);
+  std::printf("minimized %zu -> %zu events in %d executions:\n", events.size(), minimal.size(),
+              executions);
+  for (const ChaosEvent& e : minimal) {
+    std::printf("  %s\n", e.Describe().c_str());
+  }
+
+  ReproArtifact artifact;
+  artifact.workload = runner.options().workload;
+  artifact.local_percent = runner.options().local_percent;
+  artifact.interp_seed = runner.options().interp_seed;
+  artifact.schedule_seed = seed;
+  artifact.fail_oracles = args.fail_oracles;
+  artifact.events = minimal;
+  artifact.plan = mira::chaos::ComposePlan(seed, minimal);
+  const RunResult min_run = runner.Execute(artifact.plan);
+  artifact.violations =
+      mira::chaos::CheckOracles(runner.clean(), min_run, minimal, oracle_opts);
+  artifact.sim_ns = min_run.sim_ns;
+  artifact.result = min_run.result;
+  const std::string path = mira::support::StrFormat(
+      "%s/chaos_repro_%s_%llu.json", args.out_dir.c_str(), artifact.workload.c_str(),
+      static_cast<unsigned long long>(seed));
+  if (mira::chaos::SaveArtifact(artifact, path)) {
+    std::printf("repro artifact: %s\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "mira_chaos: cannot write %s\n", path.c_str());
+  }
+  return false;
+}
+
+int Replay(const std::string& path) {
+  auto loaded = mira::chaos::LoadArtifact(path);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "mira_chaos: %s\n", loaded.status().ToString().c_str());
+    return 2;
+  }
+  const ReproArtifact artifact = loaded.take();
+  RunnerOptions ropts;
+  ropts.workload = artifact.workload;
+  ropts.local_percent = artifact.local_percent;
+  ropts.interp_seed = artifact.interp_seed;
+  const ChaosRunner runner(ropts);
+
+  // Composition purity check first: the saved plan must equal recomposing
+  // the saved events, or the artifact is stale/hand-edited.
+  const mira::net::FaultPlan recomposed =
+      mira::chaos::ComposePlan(artifact.schedule_seed, artifact.events);
+  if (!(recomposed == artifact.plan)) {
+    std::printf("REPLAY MISMATCH: recomposed plan differs from artifact plan\n");
+    return 1;
+  }
+
+  OracleOptions oracle_opts;
+  oracle_opts.fail_oracles = artifact.fail_oracles;
+  const RunResult r = runner.Execute(artifact.plan);
+  const std::vector<Violation> violations =
+      mira::chaos::CheckOracles(runner.clean(), r, artifact.events, oracle_opts);
+
+  const bool exact = violations == artifact.violations && r.sim_ns == artifact.sim_ns &&
+                     r.result == artifact.result;
+  std::printf("replay %s: %zu events, %zu violations, sim_ns=%llu result=%llu -> %s\n",
+              path.c_str(), artifact.events.size(), violations.size(),
+              static_cast<unsigned long long>(r.sim_ns),
+              static_cast<unsigned long long>(r.result),
+              exact ? "EXACT" : "MISMATCH");
+  if (!exact) {
+    std::printf("artifact: %zu violations, sim_ns=%llu result=%llu\n%s",
+                artifact.violations.size(),
+                static_cast<unsigned long long>(artifact.sim_ns),
+                static_cast<unsigned long long>(artifact.result),
+                mira::chaos::FormatViolations(violations).c_str());
+  }
+  return exact ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) {
+    return Usage();
+  }
+  if (!args.replay_path.empty()) {
+    return Replay(args.replay_path);
+  }
+  for (const std::string& w : args.workloads) {
+    bool known = false;
+    for (const std::string& k : ChaosRunner::KnownWorkloads()) {
+      known = known || k == w;
+    }
+    if (!known) {
+      std::fprintf(stderr, "mira_chaos: unknown workload '%s'\n", w.c_str());
+      return 2;
+    }
+  }
+
+  int failures = 0;
+  int cases = 0;
+  for (const std::string& w : args.workloads) {
+    RunnerOptions ropts;
+    ropts.workload = w;
+    ropts.local_percent = args.local_percent;
+    const ChaosRunner runner(ropts);
+    for (uint64_t seed = args.seed_begin; seed <= args.seed_end; ++seed) {
+      ++cases;
+      if (!RunCase(runner, seed, args)) {
+        ++failures;
+      }
+    }
+  }
+  std::printf("mira_chaos: %d/%d cases passed all oracles\n", cases - failures, cases);
+  return failures == 0 ? 0 : 1;
+}
