@@ -1,0 +1,101 @@
+// Interpreter-throughput microbench: how many plan simulations per second
+// one host thread sustains on the inner loops the optimizer actually
+// replays (arraysum's streaming scan, graph's indirect updates, gpt2's
+// layer loops). Every workload is deep-dive compiled once, then the same
+// compiled module is executed repeatedly on fresh worlds — exactly the
+// optimizer's evaluate-a-candidate shape, so sims/sec here is the quantity
+// that bounds fig11 sweeps and chaos campaigns.
+//
+// Select the engine with --interp=tree|bytecode (or MIRA_INTERP) and record
+// a report with --bench-out=; the checked-in baselines are
+// bench/reports/BENCH_interp_{tree,bytecode}.json. Results are
+// engine-invariant (asserted here against the first run), so the reports
+// differ only in wall time.
+
+#include "bench/common.h"
+
+#include "src/support/check.h"
+
+namespace mira::bench {
+namespace {
+
+struct Case {
+  const char* name;
+  const workloads::Workload& workload;
+  int mem_percent;
+  int iterations;
+};
+
+const workloads::Workload& ArraySum() {
+  static const workloads::Workload w = workloads::BuildArraySum();
+  return w;
+}
+
+const workloads::Workload& Graph() {
+  static const workloads::Workload w = [] {
+    workloads::GraphParams p;
+    p.num_edges = 30'000;
+    p.num_nodes = 7'500;
+    p.epochs = 2;
+    return workloads::BuildGraphTraversal(p);
+  }();
+  return w;
+}
+
+const workloads::Workload& Gpt2() {
+  static const workloads::Workload w = workloads::BuildGpt2();
+  return w;
+}
+
+void BM_Sim(benchmark::State& state, const Case& c) {
+  const uint64_t local = LocalBytes(c.workload, c.mem_percent);
+  // Compile outside the measured loop: the microbench isolates simulation
+  // throughput, and the code cache makes recompilation a non-event anyway.
+  const MiraCompiled compiled = FullPlanCompile(c.workload, local, CacheOnly());
+  uint64_t first_sim_ns = 0;
+  uint64_t first_result = 0;
+  for (auto _ : state) {
+    const RunOutput out = Run(compiled.module, pipeline::SystemKind::kMira, local,
+                              compiled.plan, /*seed=*/42, /*profiling=*/false, "main",
+                              nullptr, nullptr, nullptr, /*publish_metrics=*/false);
+    MIRA_CHECK(!out.failed);
+    if (first_sim_ns == 0) {
+      first_sim_ns = out.sim_ns;
+      first_result = out.result;
+    }
+    // Engine invariance: every repetition (whatever --interp= selected)
+    // must reproduce the same simulation bit-for-bit.
+    MIRA_CHECK(out.sim_ns == first_sim_ns);
+    MIRA_CHECK(out.result == first_result);
+    state.counters["sim_ms"] = static_cast<double>(out.sim_ns) / 1e6;
+  }
+  state.counters["sims_per_sec"] =
+      benchmark::Counter(static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+
+void RegisterAll() {
+  static const Case kCases[] = {
+      {"arraysum", ArraySum(), 25, 8},
+      {"graph", Graph(), 25, 6},
+      {"gpt2", Gpt2(), 25, 4},
+  };
+  for (const Case& c : kCases) {
+    benchmark::RegisterBenchmark((std::string("interp_throughput/") + c.name).c_str(),
+                                 BM_Sim, c)
+        ->Iterations(c.iterations)
+        ->Unit(benchmark::kMillisecond);
+  }
+}
+
+}  // namespace
+}  // namespace mira::bench
+
+int main(int argc, char** argv) {
+  mira::bench::InitTelemetry(&argc, argv);  // strips --interp= / --bench-out= / ...
+  benchmark::Initialize(&argc, argv);
+  mira::bench::RegisterAll();
+  benchmark::RunSpecifiedBenchmarks();
+  mira::bench::FlushTelemetry();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -65,6 +65,7 @@ void WriteBenchReport() {
   json.precision(15);
   json << "{\n";
   json << "  \"bench\": \"" << g_config.bench_name << "\",\n";
+  json << "  \"engine\": \"" << interp::EngineName(interp::DefaultEngine()) << "\",\n";
   json << "  \"jobs\": " << (g_config.serial ? 1 : support::DefaultParallelism()) << ",\n";
   json << "  \"serial\": " << (g_config.serial ? "true" : "false") << ",\n";
   json << "  \"wall_ns\": " << wall << ",\n";
@@ -103,6 +104,14 @@ void InitTelemetry(int* argc, char** argv) {
       g_config.bench_out = arg + 12;
     } else if (std::strncmp(arg, "--bench-baseline=", 17) == 0) {
       g_config.bench_baseline = arg + 17;
+    } else if (std::strncmp(arg, "--interp=", 9) == 0) {
+      const interp::EngineKind kind = interp::ParseEngineName(arg + 9);
+      if (kind == interp::EngineKind::kDefault) {
+        std::fprintf(stderr, "[bench] --interp=%s: unknown engine (tree|bytecode)\n",
+                     arg + 9);
+        std::exit(2);
+      }
+      interp::SetDefaultEngine(kind);
     } else {
       argv[out++] = argv[i];
     }

@@ -37,6 +37,11 @@ namespace mira::bench {
 //                      --bench-baseline= names a prior serial report (or a
 //                      raw ns value) — the speedup over that baseline
 //   --bench-baseline=X a previous --bench-out file, or a wall-ns number
+//   --interp=ENGINE    execution engine for every simulation: "tree" or
+//                      "bytecode" (default: the MIRA_INTERP environment
+//                      variable, else bytecode). Results are bit-identical
+//                      across engines; only wall time changes. The resolved
+//                      engine is recorded in the --bench-out report.
 //
 // Observability flags (also stripped; see src/telemetry/telemetry.h):
 //   --chrome-trace-out=FILE  Chrome trace-event JSON (load in Perfetto /

@@ -17,6 +17,7 @@
 #include <string_view>
 #include <vector>
 
+#include "src/cache/access_site.h"
 #include "src/farmem/far_memory_node.h"
 #include "src/net/transport.h"
 #include "src/sim/clock.h"
@@ -67,6 +68,19 @@ class Backend {
                     const AccessHints& hints) = 0;
   virtual void Store(sim::SimClock& clk, farmem::RemoteAddr addr, uint32_t len,
                      const AccessHints& hints) = 0;
+
+  // Site-aware variants used by the bytecode engine: `site` is a per-call-
+  // site placement memo owned by the caller. Backends that resolve accesses
+  // through a SectionManager (Mira) use it to skip the range lookup; the
+  // default ignores it, so timing is identical either way.
+  virtual void Load(sim::SimClock& clk, farmem::RemoteAddr addr, uint32_t len,
+                    const AccessHints& hints, cache::AccessSite* site) {
+    Load(clk, addr, len, hints);
+  }
+  virtual void Store(sim::SimClock& clk, farmem::RemoteAddr addr, uint32_t len,
+                     const AccessHints& hints, cache::AccessSite* site) {
+    Store(clk, addr, len, hints);
+  }
 
   // Batched access: default decomposes into individual loads (only Mira
   // exploits batching).

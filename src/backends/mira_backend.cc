@@ -55,8 +55,9 @@ void MiraBackend::Free(sim::SimClock& clk, farmem::RemoteAddr addr) {
 }
 
 void MiraBackend::AccessImpl(sim::SimClock& clk, farmem::RemoteAddr addr, uint32_t len,
-                             bool write, const AccessHints& hints) {
-  const cache::Placement p = sections_->Resolve(addr);
+                             bool write, const AccessHints& hints, cache::AccessSite* site) {
+  const cache::Placement p =
+      site != nullptr ? sections_->Resolve(addr, site) : sections_->Resolve(addr);
   if (p.section == nullptr) {
     sections_->swap()->Access(clk, addr, len, write);
     return;
@@ -76,6 +77,16 @@ void MiraBackend::Load(sim::SimClock& clk, farmem::RemoteAddr addr, uint32_t len
 void MiraBackend::Store(sim::SimClock& clk, farmem::RemoteAddr addr, uint32_t len,
                         const AccessHints& hints) {
   AccessImpl(clk, addr, len, /*write=*/true, hints);
+}
+
+void MiraBackend::Load(sim::SimClock& clk, farmem::RemoteAddr addr, uint32_t len,
+                       const AccessHints& hints, cache::AccessSite* site) {
+  AccessImpl(clk, addr, len, /*write=*/false, hints, site);
+}
+
+void MiraBackend::Store(sim::SimClock& clk, farmem::RemoteAddr addr, uint32_t len,
+                        const AccessHints& hints, cache::AccessSite* site) {
+  AccessImpl(clk, addr, len, /*write=*/true, hints, site);
 }
 
 void MiraBackend::LoadBatch(

@@ -36,6 +36,12 @@ class MiraBackend : public Backend {
             const AccessHints& hints) override;
   void Store(sim::SimClock& clk, farmem::RemoteAddr addr, uint32_t len,
              const AccessHints& hints) override;
+  // Site-aware fast path: validates the caller's placement memo against the
+  // SectionManager generation instead of walking the range map per access.
+  void Load(sim::SimClock& clk, farmem::RemoteAddr addr, uint32_t len,
+            const AccessHints& hints, cache::AccessSite* site) override;
+  void Store(sim::SimClock& clk, farmem::RemoteAddr addr, uint32_t len,
+             const AccessHints& hints, cache::AccessSite* site) override;
   void LoadBatch(sim::SimClock& clk,
                  const std::vector<std::pair<farmem::RemoteAddr, uint32_t>>& accesses) override;
 
@@ -77,7 +83,7 @@ class MiraBackend : public Backend {
 
  private:
   void AccessImpl(sim::SimClock& clk, farmem::RemoteAddr addr, uint32_t len, bool write,
-                  const AccessHints& hints);
+                  const AccessHints& hints, cache::AccessSite* site = nullptr);
 
   runtime::CachePlan plan_;
   farmem::LocalAllocator local_alloc_;

@@ -1,0 +1,34 @@
+// AccessSite: a per-call-site placement memo (inline cache) for the
+// compiled-access fast path. The bytecode engine owns one slot per lowered
+// rmem load/store; the SectionManager fills it with the mapped range that
+// served the last access from that site and validates it on the next one
+// with a single generation compare + range check — no ordered-map lookup.
+//
+// A slot is only a cache: MapRange/UnmapRange bump the manager's generation
+// counter, which invalidates every outstanding site at once, so a stale
+// binding can never route an access to the wrong section. Unmapped (swap)
+// addresses are never memoized — there is no bounding range to validate
+// against.
+
+#ifndef MIRA_SRC_CACHE_ACCESS_SITE_H_
+#define MIRA_SRC_CACHE_ACCESS_SITE_H_
+
+#include <cstdint>
+
+namespace mira::cache {
+
+class Section;
+
+struct AccessSite {
+  uint64_t base = 0;        // mapped range [base, base+size)
+  uint64_t size = 0;
+  Section* section = nullptr;
+  uint16_t section_id = 0;
+  // Generation of the owning SectionManager when bound. UINT32_MAX (the
+  // default) never matches a live manager, so fresh slots always miss.
+  uint32_t generation = UINT32_MAX;
+};
+
+}  // namespace mira::cache
+
+#endif  // MIRA_SRC_CACHE_ACCESS_SITE_H_

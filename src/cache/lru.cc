@@ -8,20 +8,6 @@ ActiveInactiveLru::ActiveInactiveLru(uint32_t slots)
       list_of_(slots, ListId::kNone),
       referenced_(slots, 0) {}
 
-void ActiveInactiveLru::PushHead(List& list, ListId id, uint32_t slot) {
-  prev_[slot] = kNil;
-  next_[slot] = list.head;
-  if (list.head != kNil) {
-    prev_[list.head] = slot;
-  }
-  list.head = slot;
-  if (list.tail == kNil) {
-    list.tail = slot;
-  }
-  list_of_[slot] = id;
-  (id == ListId::kActive ? active_size_ : inactive_size_)++;
-}
-
 void ActiveInactiveLru::PushTail(List& list, ListId id, uint32_t slot) {
   next_[slot] = kNil;
   prev_[slot] = list.tail;
@@ -34,53 +20,6 @@ void ActiveInactiveLru::PushTail(List& list, ListId id, uint32_t slot) {
   }
   list_of_[slot] = id;
   (id == ListId::kActive ? active_size_ : inactive_size_)++;
-}
-
-void ActiveInactiveLru::Unlink(List& list, uint32_t slot) {
-  const uint32_t p = prev_[slot];
-  const uint32_t n = next_[slot];
-  if (p != kNil) {
-    next_[p] = n;
-  } else {
-    list.head = n;
-  }
-  if (n != kNil) {
-    prev_[n] = p;
-  } else {
-    list.tail = p;
-  }
-  (list_of_[slot] == ListId::kActive ? active_size_ : inactive_size_)--;
-  list_of_[slot] = ListId::kNone;
-  prev_[slot] = next_[slot] = kNil;
-}
-
-void ActiveInactiveLru::OnInsert(uint32_t slot) {
-  MIRA_CHECK(list_of_[slot] == ListId::kNone);
-  referenced_[slot] = 0;
-  PushHead(inactive_, ListId::kInactive, slot);
-}
-
-void ActiveInactiveLru::OnTouch(uint32_t slot) {
-  const ListId id = list_of_[slot];
-  if (id == ListId::kNone) {
-    return;
-  }
-  if (id == ListId::kInactive && referenced_[slot] != 0) {
-    Unlink(inactive_, slot);
-    referenced_[slot] = 0;
-    PushHead(active_, ListId::kActive, slot);
-    return;
-  }
-  referenced_[slot] = 1;
-}
-
-void ActiveInactiveLru::Remove(uint32_t slot) {
-  const ListId id = list_of_[slot];
-  if (id == ListId::kNone) {
-    return;
-  }
-  Unlink(ListFor(id), slot);
-  referenced_[slot] = 0;
 }
 
 uint32_t ActiveInactiveLru::ChooseVictim(const std::vector<uint16_t>& pin_counts,

@@ -21,15 +21,39 @@ class ActiveInactiveLru {
   explicit ActiveInactiveLru(uint32_t slots);
 
   // A new line was inserted into `slot` → head of the inactive list (second
-  // touch promotes it; this is the Linux page-cache discipline).
-  void OnInsert(uint32_t slot);
+  // touch promotes it; this is the Linux page-cache discipline). Inline
+  // (with OnTouch/Remove): these run once per cache access / eviction.
+  void OnInsert(uint32_t slot) {
+    MIRA_CHECK(list_of_[slot] == ListId::kNone);
+    referenced_[slot] = 0;
+    PushHead(inactive_, ListId::kInactive, slot);
+  }
 
   // `slot` was accessed: set its reference bit; inactive slots with the bit
   // already set are promoted to the active head.
-  void OnTouch(uint32_t slot);
+  void OnTouch(uint32_t slot) {
+    const ListId id = list_of_[slot];
+    if (id == ListId::kNone) {
+      return;
+    }
+    if (id == ListId::kInactive && referenced_[slot] != 0) {
+      Unlink(inactive_, slot);
+      referenced_[slot] = 0;
+      PushHead(active_, ListId::kActive, slot);
+      return;
+    }
+    referenced_[slot] = 1;
+  }
 
   // Removes `slot` from whichever list holds it (explicit invalidation).
-  void Remove(uint32_t slot);
+  void Remove(uint32_t slot) {
+    const ListId id = list_of_[slot];
+    if (id == ListId::kNone) {
+      return;
+    }
+    Unlink(ListFor(id), slot);
+    referenced_[slot] = 0;
+  }
 
   // Picks a victim: the inactive tail, skipping (and promoting) referenced
   // slots; refills the inactive list from the active tail when it runs dry.
@@ -53,9 +77,37 @@ class ActiveInactiveLru {
     uint32_t tail = kNil;
   };
 
-  void PushHead(List& list, ListId id, uint32_t slot);
+  void PushHead(List& list, ListId id, uint32_t slot) {
+    prev_[slot] = kNil;
+    next_[slot] = list.head;
+    if (list.head != kNil) {
+      prev_[list.head] = slot;
+    }
+    list.head = slot;
+    if (list.tail == kNil) {
+      list.tail = slot;
+    }
+    list_of_[slot] = id;
+    (id == ListId::kActive ? active_size_ : inactive_size_)++;
+  }
   void PushTail(List& list, ListId id, uint32_t slot);
-  void Unlink(List& list, uint32_t slot);
+  void Unlink(List& list, uint32_t slot) {
+    const uint32_t p = prev_[slot];
+    const uint32_t n = next_[slot];
+    if (p != kNil) {
+      next_[p] = n;
+    } else {
+      list.head = n;
+    }
+    if (n != kNil) {
+      prev_[n] = p;
+    } else {
+      list.tail = p;
+    }
+    (list_of_[slot] == ListId::kActive ? active_size_ : inactive_size_)--;
+    list_of_[slot] = ListId::kNone;
+    prev_[slot] = next_[slot] = kNil;
+  }
   List& ListFor(ListId id) { return id == ListId::kActive ? active_ : inactive_; }
 
   std::vector<uint32_t> prev_;

@@ -11,9 +11,13 @@ uint16_t SectionManager::AddSection(std::unique_ptr<Section> section) {
 void SectionManager::MapRange(farmem::RemoteAddr addr, uint64_t size, uint16_t section_id) {
   MIRA_CHECK(section_id == 0 || section_id <= sections_.size());
   ranges_[addr] = Range{size, section_id};
+  ++generation_;
 }
 
-void SectionManager::UnmapRange(farmem::RemoteAddr addr) { ranges_.erase(addr); }
+void SectionManager::UnmapRange(farmem::RemoteAddr addr) {
+  ranges_.erase(addr);
+  ++generation_;
+}
 
 Placement SectionManager::Resolve(farmem::RemoteAddr addr) const {
   auto it = ranges_.upper_bound(addr);
@@ -28,6 +32,23 @@ Placement SectionManager::Resolve(farmem::RemoteAddr addr) const {
     }
   }
   return Placement{0, nullptr};  // unmapped → swap
+}
+
+Placement SectionManager::ResolveSlow(farmem::RemoteAddr addr, AccessSite* site) {
+  auto it = ranges_.upper_bound(addr);
+  if (it != ranges_.begin()) {
+    --it;
+    if (addr >= it->first && addr < it->first + it->second.size) {
+      const uint16_t id = it->second.section_id;
+      site->base = it->first;
+      site->size = it->second.size;
+      site->section_id = id;
+      site->section = id == 0 ? nullptr : sections_[id - 1].get();
+      site->generation = generation_;
+      return Placement{id, site->section};
+    }
+  }
+  return Placement{0, nullptr};  // unmapped → swap (not memoized)
 }
 
 uint64_t SectionManager::TotalLocalBytes() const {

@@ -13,6 +13,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/cache/access_site.h"
 #include "src/cache/section.h"
 #include "src/cache/swap_section.h"
 #include "src/farmem/far_memory_node.h"
@@ -63,6 +64,23 @@ class SectionManager {
   // Which section services `addr`.
   Placement Resolve(farmem::RemoteAddr addr) const;
 
+  // Memoizing variant: when `site` holds a binding from the current mapping
+  // generation whose range covers `addr`, the placement is returned without
+  // touching the range map; otherwise the ordered-map walk runs once and
+  // (for mapped addresses) re-binds the site. Bit-identical to Resolve —
+  // only the lookup cost differs. Inline fast path: `addr - base` wraps for
+  // addr < base, so one unsigned compare covers both range ends.
+  Placement Resolve(farmem::RemoteAddr addr, AccessSite* site) {
+    if (site->generation == generation_ && addr - site->base < site->size) {
+      return Placement{site->section_id, site->section};
+    }
+    return ResolveSlow(addr, site);
+  }
+
+  // Bumped by every MapRange/UnmapRange; AccessSite bindings from older
+  // generations are invalid.
+  uint32_t generation() const { return generation_; }
+
   Section* section(uint16_t id) {
     MIRA_CHECK(id >= 1 && id <= sections_.size());
     return sections_[id - 1].get();
@@ -82,9 +100,13 @@ class SectionManager {
     uint16_t section_id;
   };
 
+  // Range-map walk + site re-bind for a memo miss.
+  Placement ResolveSlow(farmem::RemoteAddr addr, AccessSite* site);
+
   std::unique_ptr<SwapSection> swap_;
   std::vector<std::unique_ptr<Section>> sections_;
   std::map<farmem::RemoteAddr, Range> ranges_;
+  uint32_t generation_ = 0;
 };
 
 }  // namespace mira::cache

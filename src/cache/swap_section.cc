@@ -22,6 +22,13 @@ SwapSection::SwapSection(uint64_t size_bytes, net::Transport* net,
     : net_(net),
       prefetcher_(std::move(prefetcher)),
       datapath_factor_(datapath_factor),
+      demand_fault_ns_(static_cast<uint64_t>(
+          static_cast<double>(net->cost().page_fault_ns) * datapath_factor)),
+      minor_fault_ns_(static_cast<uint64_t>(
+          static_cast<double>(net->cost().page_fault_ns) * 0.25 * datapath_factor)),
+      evict_ns_(static_cast<uint64_t>(
+          static_cast<double>(net->cost().page_evict_ns) * datapath_factor)),
+      native_access_ns_(net->cost().native_access_ns),
       max_fault_rounds_(max_fault_rounds),
       pending_writeback_limit_(pending_writeback_limit),
       num_pages_(static_cast<uint32_t>(std::max<uint64_t>(1, size_bytes / kPageBytes))),
@@ -45,8 +52,7 @@ void SwapSection::Access(sim::SimClock& clk, uint64_t raddr, uint32_t len, bool 
       PageMeta& m = frames_[frame_hit];
       if (m.ready_at_ns > clk.now_ns()) {
         // Minor fault on an in-flight (prefetched) page.
-        const uint64_t minor = static_cast<uint64_t>(
-            static_cast<double>(net_->cost().page_fault_ns) * 0.25 * datapath_factor_);
+        const uint64_t minor = minor_fault_ns_;
         clk.Advance(minor);
         stats_.runtime_ns += minor;
         const uint64_t wait = m.ready_at_ns - clk.now_ns();
@@ -73,8 +79,11 @@ void SwapSection::Access(sim::SimClock& clk, uint64_t raddr, uint32_t len, bool 
       const uint32_t frame = FaultIn(clk, page, /*demand=*/true);
       MIRA_CHECK(frame != UINT32_MAX);
       frames_[frame].dirty = write;
-      // Prefetcher reacts to the demand fault.
-      std::vector<uint64_t> candidates;
+      // Prefetcher reacts to the demand fault. Reuse one scratch buffer
+      // across faults — this path runs once per miss, and a fresh vector
+      // here was a measurable share of miss-heavy workloads.
+      std::vector<uint64_t>& candidates = prefetch_scratch_;
+      candidates.clear();
       prefetcher_->OnFault(page, &candidates);
       for (const uint64_t p : candidates) {
         if (table_.Find(p) == support::FlatMap64::kNotFound) {
@@ -84,7 +93,7 @@ void SwapSection::Access(sim::SimClock& clk, uint64_t raddr, uint32_t len, bool 
     }
   }
   // Mapped pages are accessed at native speed.
-  clk.Advance(net_->cost().native_access_ns);
+  clk.Advance(native_access_ns_);
 }
 
 uint32_t SwapSection::FaultIn(sim::SimClock& clk, uint64_t page, bool demand) {
@@ -107,8 +116,7 @@ uint32_t SwapSection::FaultIn(sim::SimClock& clk, uint64_t page, bool demand) {
   if (demand) {
     // Kernel fault path + synchronous page fetch, serialized across
     // threads when a fault lock is configured.
-    const uint64_t fault =
-        static_cast<uint64_t>(static_cast<double>(net_->cost().page_fault_ns) * datapath_factor_);
+    const uint64_t fault = demand_fault_ns_;
     if (fault_lock_ != nullptr) {
       const uint64_t done = fault_lock_->Acquire(clk.now_ns(), fault);
       stats_.runtime_ns += done - clk.now_ns();
@@ -244,8 +252,7 @@ void SwapSection::EvictFrame(sim::SimClock& clk, uint32_t slot) {
     ++stats_.prefetch_wasted;
     prefetcher_->Feedback(false);  // prefetched but never used
   }
-  const uint64_t evict = static_cast<uint64_t>(
-      static_cast<double>(net_->cost().page_evict_ns) * datapath_factor_);
+  const uint64_t evict = evict_ns_;
   clk.Advance(evict);
   stats_.runtime_ns += evict;
   if (m.dirty) {

@@ -100,6 +100,13 @@ class SwapSection {
   net::Transport* net_;
   std::unique_ptr<SwapPrefetcher> prefetcher_;
   double datapath_factor_;
+  // Datapath-scaled fault costs, precomputed once (the cost model and
+  // factor are fixed for the section's lifetime; the fault path runs per
+  // miss).
+  uint64_t demand_fault_ns_ = 0;
+  uint64_t minor_fault_ns_ = 0;
+  uint64_t evict_ns_ = 0;
+  uint64_t native_access_ns_ = 0;
   int max_fault_rounds_;
   size_t pending_writeback_limit_;
   uint32_t num_pages_;
@@ -114,6 +121,7 @@ class SwapSection {
   uint64_t last_writeback_done_ns_ = 0;
   sim::SerialResource* fault_lock_ = nullptr;
   std::vector<uint64_t> pending_writebacks_;  // raddrs of faulted writebacks
+  std::vector<uint64_t> prefetch_scratch_;    // per-fault candidate buffer, reused
   uint32_t lane_tid_ = 0;  // trace lane; 0 = not yet allocated (tids start at 1)
 };
 

@@ -57,6 +57,7 @@ ChaosRunner::ChaosRunner(const RunnerOptions& opts) : opts_(opts) {
   interp::InterpOptions prof_opts;
   prof_opts.seed = opts_.interp_seed;
   prof_opts.profiling = true;
+  prof_opts.engine = opts_.engine;
   interp::Interpreter prof_interp(w.module.get(), prof_world.backend.get(), prof_opts);
   auto prof_result = prof_interp.Run(entry_);
   MIRA_CHECK_MSG(prof_result.ok(), "chaos workload profiling run failed");
@@ -102,6 +103,7 @@ RunResult ChaosRunner::RunWorld(const net::FaultPlan* plan, bool with_profiler) 
 
   interp::InterpOptions iopts;
   iopts.seed = opts_.interp_seed;
+  iopts.engine = opts_.engine;
   interp::Interpreter interp(compiled_.get(), world.backend.get(), iopts);
   auto result = interp.Run(entry_);
   if (result.ok()) {

@@ -22,6 +22,7 @@
 #include "src/chaos/schedule.h"
 #include "src/farmem/cluster.h"
 #include "src/integrity/integrity.h"
+#include "src/interp/bytecode.h"
 #include "src/ir/ir.h"
 #include "src/net/transport.h"
 #include "src/runtime/plan.h"
@@ -48,6 +49,11 @@ struct RunnerOptions {
   std::string workload = "graph";  // see KnownWorkloads()
   int local_percent = 25;          // local cache budget, % of footprint
   uint64_t interp_seed = 42;       // workload-data seed (kRand)
+  // Execution engine for the profiling run and every chaos execution.
+  // Engines are bit-identical (same results, clocks, and counter ledgers),
+  // so schedules found under one engine replay exactly under the other;
+  // the chaos CLI's --interp= flag exercises that property.
+  interp::EngineKind engine = interp::EngineKind::kDefault;
   farmem::ClusterConfig cluster{.num_nodes = 3, .replicas = 1};
   integrity::IntegrityConfig integrity;
 };

@@ -104,7 +104,7 @@ const uint8_t* FarMemoryNode::Mem(RemoteAddr addr, uint64_t len) const {
   return const_cast<FarMemoryNode*>(this)->Mem(addr, len);
 }
 
-void FarMemoryNode::CopyOut(RemoteAddr addr, void* dst, uint64_t len) const {
+void FarMemoryNode::CopyOutSlow(RemoteAddr addr, void* dst, uint64_t len) const {
   auto* self = const_cast<FarMemoryNode*>(this);
   auto* out = static_cast<uint8_t*>(dst);
   while (len > 0) {
@@ -117,7 +117,7 @@ void FarMemoryNode::CopyOut(RemoteAddr addr, void* dst, uint64_t len) const {
   }
 }
 
-void FarMemoryNode::CopyIn(RemoteAddr addr, const void* src, uint64_t len) {
+void FarMemoryNode::CopyInSlow(RemoteAddr addr, const void* src, uint64_t len) {
   const auto* in = static_cast<const uint8_t*>(src);
   while (len > 0) {
     const uint64_t off = addr & (kChunkSize - 1);

@@ -9,6 +9,7 @@
 #define MIRA_SRC_FARMEM_FAR_MEMORY_NODE_H_
 
 #include <cstdint>
+#include <cstring>
 #include <map>
 #include <memory>
 #include <vector>
@@ -44,9 +45,28 @@ class FarMemoryNode {
   uint8_t* Mem(RemoteAddr addr, uint64_t len);
   const uint8_t* Mem(RemoteAddr addr, uint64_t len) const;
 
-  // Data-plane copies that handle chunk-boundary crossings.
-  void CopyOut(RemoteAddr addr, void* dst, uint64_t len) const;
-  void CopyIn(RemoteAddr addr, const void* src, uint64_t len);
+  // Data-plane copies that handle chunk-boundary crossings. The inline fast
+  // path covers the interpreter's scalar accesses (small, within one
+  // already-mapped chunk) without the Mem() ceremony; anything else — an
+  // unmapped chunk, a boundary crossing — falls back to the slow copy.
+  void CopyOut(RemoteAddr addr, void* dst, uint64_t len) const {
+    const uint64_t off = addr & (kChunkSize - 1);
+    const uint64_t chunk = addr >> kChunkShift;
+    if (addr >= kBaseAddr && off + len <= kChunkSize && chunk < chunks_.size()) {
+      std::memcpy(dst, chunks_[chunk].get() + off, len);
+      return;
+    }
+    CopyOutSlow(addr, dst, len);
+  }
+  void CopyIn(RemoteAddr addr, const void* src, uint64_t len) {
+    const uint64_t off = addr & (kChunkSize - 1);
+    const uint64_t chunk = addr >> kChunkShift;
+    if (addr >= kBaseAddr && off + len <= kChunkSize && chunk < chunks_.size()) {
+      std::memcpy(chunks_[chunk].get() + off, src, len);
+      return;
+    }
+    CopyInSlow(addr, src, len);
+  }
 
   // Overwrites every mapped arena byte with `fill`. Models losing the node's
   // contents wholesale: the cluster scrubs a node on crash (poison fill, so a
@@ -65,6 +85,9 @@ class FarMemoryNode {
  private:
   // Ensures backing chunks exist for [addr, addr+len).
   void EnsureMapped(RemoteAddr addr, uint64_t len);
+  // Out-of-line copy paths: chunk-boundary crossings and unmapped chunks.
+  void CopyOutSlow(RemoteAddr addr, void* dst, uint64_t len) const;
+  void CopyInSlow(RemoteAddr addr, const void* src, uint64_t len);
 
   uint64_t capacity_bytes_;
   uint64_t allocated_bytes_ = 0;

@@ -1,0 +1,198 @@
+#include "src/interp/bytecode.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <unordered_map>
+
+#include "src/interp/compiler.h"
+#include "src/ir/ir.h"
+
+namespace mira::interp {
+
+namespace {
+
+// 0 = unresolved; otherwise a valid (non-default) EngineKind. Resolved
+// lazily on first use so tests and tools can SetDefaultEngine (or set
+// MIRA_INTERP) before the first interpreter runs.
+std::atomic<int> g_default_engine{0};
+
+}  // namespace
+
+EngineKind DefaultEngine() {
+  int v = g_default_engine.load(std::memory_order_relaxed);
+  if (v == 0) {
+    const char* env = std::getenv("MIRA_INTERP");
+    EngineKind k = env != nullptr ? ParseEngineName(env) : EngineKind::kDefault;
+    if (k == EngineKind::kDefault) {
+      k = EngineKind::kBytecode;
+    }
+    int expected = 0;
+    g_default_engine.compare_exchange_strong(expected, static_cast<int>(k),
+                                             std::memory_order_relaxed);
+    v = g_default_engine.load(std::memory_order_relaxed);
+  }
+  return static_cast<EngineKind>(v);
+}
+
+void SetDefaultEngine(EngineKind kind) {
+  g_default_engine.store(kind == EngineKind::kDefault ? 0 : static_cast<int>(kind),
+                         std::memory_order_relaxed);
+}
+
+const char* EngineName(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kDefault:
+      return "default";
+    case EngineKind::kTree:
+      return "tree";
+    case EngineKind::kBytecode:
+      return "bytecode";
+  }
+  return "?";
+}
+
+EngineKind ParseEngineName(std::string_view name) {
+  if (name == "tree") {
+    return EngineKind::kTree;
+  }
+  if (name == "bytecode") {
+    return EngineKind::kBytecode;
+  }
+  return EngineKind::kDefault;
+}
+
+namespace bytecode {
+
+const char* BOpName(BOp op) {
+  switch (op) {
+    case BOp::kNop: return "nop";
+    case BOp::kConstI: return "const.i";
+    case BOp::kConstF: return "const.f";
+    case BOp::kAddI: return "add.i";
+    case BOp::kSubI: return "sub.i";
+    case BOp::kMulI: return "mul.i";
+    case BOp::kDivI: return "div.i";
+    case BOp::kRemI: return "rem.i";
+    case BOp::kMinI: return "min.i";
+    case BOp::kMaxI: return "max.i";
+    case BOp::kAddF: return "add.f";
+    case BOp::kSubF: return "sub.f";
+    case BOp::kMulF: return "mul.f";
+    case BOp::kDivF: return "div.f";
+    case BOp::kRemF: return "rem.f";
+    case BOp::kMinF: return "min.f";
+    case BOp::kMaxF: return "max.f";
+    case BOp::kCmpI: return "cmp.i";
+    case BOp::kCmpF: return "cmp.f";
+    case BOp::kAnd: return "and";
+    case BOp::kOr: return "or";
+    case BOp::kXor: return "xor";
+    case BOp::kShl: return "shl";
+    case BOp::kShr: return "shr";
+    case BOp::kSelect: return "select";
+    case BOp::kI2F: return "i2f";
+    case BOp::kF2I: return "f2i";
+    case BOp::kSqrt: return "sqrt";
+    case BOp::kExp: return "exp";
+    case BOp::kTanh: return "tanh";
+    case BOp::kRand: return "rand";
+    case BOp::kLocalLoad: return "local.load";
+    case BOp::kLocalStore: return "local.store";
+    case BOp::kAlloc: return "alloc";
+    case BOp::kFree: return "free";
+    case BOp::kLifetimeEnd: return "lifetime_end";
+    case BOp::kIndex: return "index";
+    case BOp::kLoad: return "load";
+    case BOp::kStore: return "store";
+    case BOp::kPrefetch: return "prefetch";
+    case BOp::kEvictHint: return "evict_hint";
+    case BOp::kCall: return "call";
+    case BOp::kOffloadCall: return "offload_call";
+    case BOp::kReturn: return "return";
+    case BOp::kJump: return "jump";
+    case BOp::kIfBranch: return "if.branch";
+    case BOp::kForInit: return "for.init";
+    case BOp::kForHead: return "for.head";
+    case BOp::kForNext: return "for.next";
+    case BOp::kWhileInit: return "while.init";
+    case BOp::kWhileHead: return "while.head";
+    case BOp::kWhileCond: return "while.cond";
+    case BOp::kLoopExit: return "loop.exit";
+    case BOp::kIndexLoad: return "index+load";
+    case BOp::kIndexStore: return "index+store";
+    case BOp::kCmpIfBranch: return "cmp+if.branch";
+    case BOp::kCmpWhileCond: return "cmp+while.cond";
+  }
+  return "?";
+}
+
+namespace {
+
+// Process-wide code cache, keyed by module-content fingerprint. Bounded by
+// LRU eviction; entries are shared_ptrs, so an evicted module stays alive
+// for any interpreter still holding it. Compilation happens under the lock:
+// it is orders of magnitude cheaper than one simulation, and serializing
+// guarantees concurrent SharedPool workers compile each plan exactly once.
+struct CacheEntry {
+  std::shared_ptr<const BytecodeModule> module;
+  uint64_t stamp = 0;
+};
+
+struct CodeCache {
+  std::mutex mu;
+  std::unordered_map<uint64_t, CacheEntry> entries;
+  uint64_t stamp = 0;
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+};
+
+CodeCache& Cache() {
+  static CodeCache* cache = new CodeCache();
+  return *cache;
+}
+
+constexpr size_t kMaxCachedModules = 256;
+
+}  // namespace
+
+std::shared_ptr<const BytecodeModule> SharedBytecode(const ir::Module& module) {
+  const uint64_t fp = ir::ModuleFingerprint(module);
+  CodeCache& cache = Cache();
+  std::lock_guard<std::mutex> lock(cache.mu);
+  auto it = cache.entries.find(fp);
+  if (it != cache.entries.end()) {
+    ++cache.hits;
+    it->second.stamp = ++cache.stamp;
+    return it->second.module;
+  }
+  ++cache.misses;
+  if (cache.entries.size() >= kMaxCachedModules) {
+    auto victim = cache.entries.begin();
+    for (auto e = cache.entries.begin(); e != cache.entries.end(); ++e) {
+      if (e->second.stamp < victim->second.stamp) {
+        victim = e;
+      }
+    }
+    cache.entries.erase(victim);
+    ++cache.evictions;
+  }
+  auto compiled = std::make_shared<BytecodeModule>(CompileModule(module));
+  cache.entries[fp] = CacheEntry{compiled, ++cache.stamp};
+  return compiled;
+}
+
+CodeCacheStats GetCodeCacheStats() {
+  CodeCache& cache = Cache();
+  std::lock_guard<std::mutex> lock(cache.mu);
+  CodeCacheStats stats;
+  stats.hits = cache.hits;
+  stats.misses = cache.misses;
+  stats.evictions = cache.evictions;
+  stats.entries = cache.entries.size();
+  return stats;
+}
+
+}  // namespace bytecode
+}  // namespace mira::interp

@@ -1,0 +1,209 @@
+// The bytecode execution engine's compiled form and code cache.
+//
+// The tree walker (interpreter.cc) re-discovers everything on every visit:
+// it recurses through regions, walks per-instruction operand vectors,
+// re-scans loop bodies for batch-group members, and resolves every memory
+// access through ordered maps. BytecodeCompiler (compiler.cc) pays those
+// costs once, lowering each verified ir::Function into a flat stream of
+// fixed-size, pre-decoded instructions:
+//
+//   - operands are dense register indices in named slots (a/b/c/d) — no
+//     vector walks;
+//   - control flow is pre-resolved branch targets into the same stream —
+//     no region recursion (only cross-function calls recurse);
+//   - arithmetic and comparisons are type-specialized at compile time
+//     (kAddI vs kAddF) — no per-instr type dispatch;
+//   - batch-group membership is a precomputed pool span on each grouped
+//     load — no per-iteration body scan;
+//   - every load/store carries an AccessSite slot, a placement memo the
+//     Mira backend validates with one generation compare — no per-access
+//     range-map lookup;
+//   - hot adjacent pairs fuse into superinstructions (see DESIGN.md §10):
+//     kIndex+load, kIndex+store, cmp+if, cmp+while-yield, and the for-loop
+//     iv-increment+back-edge (inherent in kForNext).
+//
+// Execution semantics are bit-identical to the tree walker by construction:
+// every lowered IR instruction performs the same budget/integrity "prestep",
+// the same ChargeCompute calls in the same order, the same profiler scope
+// pushes, and the same backend calls. The tree walker remains the
+// differential-testing reference (tests/bytecode_test.cc).
+
+#ifndef MIRA_SRC_INTERP_BYTECODE_H_
+#define MIRA_SRC_INTERP_BYTECODE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mira::ir {
+struct Module;
+}  // namespace mira::ir
+
+namespace mira::interp {
+
+// Which execution engine an Interpreter uses. kDefault resolves to the
+// process-wide default: SetDefaultEngine() if called, else the MIRA_INTERP
+// environment variable ("tree" or "bytecode"), else bytecode.
+enum class EngineKind : uint8_t { kDefault = 0, kTree = 1, kBytecode = 2 };
+
+// The resolved process-wide default (never kDefault).
+EngineKind DefaultEngine();
+// Overrides the default; pass kDefault to restore env/bytecode resolution.
+void SetDefaultEngine(EngineKind kind);
+// "tree" / "bytecode"; kDefault → "default".
+const char* EngineName(EngineKind kind);
+// Parses "tree"/"bytecode"; anything else → kDefault.
+EngineKind ParseEngineName(std::string_view name);
+// requested == kDefault ? DefaultEngine() : requested.
+inline EngineKind ResolveEngine(EngineKind requested) {
+  return requested == EngineKind::kDefault ? DefaultEngine() : requested;
+}
+
+namespace bytecode {
+
+enum class BOp : uint8_t {
+  // No-op carrying only the prestep (kLocalAlloc, stray kYield).
+  kNop,
+  // Constants (no compute charge, like the tree walker).
+  kConstI,  // a = imm
+  kConstF,  // a = fimm
+  // Type-specialized arithmetic: a = b <op> c.
+  kAddI, kSubI, kMulI, kDivI, kRemI, kMinI, kMaxI,
+  kAddF, kSubF, kMulF, kDivF, kRemF, kMinF, kMaxF,
+  // Comparisons: a = (b <pred> c) ? 1 : 0; pred = raw ir::OpKind.
+  kCmpI, kCmpF,
+  // Bitwise / logic on i64.
+  kAnd, kOr, kXor, kShl, kShr,
+  kSelect,  // a = b != 0 ? c : d
+  // Conversions and math.
+  kI2F, kF2I, kSqrt, kExp, kTanh,
+  kRand,  // a = rng.NextBelow(b)
+  // Local scalar slots: imm = slot index.
+  kLocalLoad,   // a = locals[imm]
+  kLocalStore,  // locals[imm] = b
+  // Heap / far-memory layer.
+  kAlloc,        // a = alloc(bytes = b); label strings[str_idx], elem imm
+  kFree,         // free(b)
+  kLifetimeEnd,  // lifetime_end(b)
+  kIndex,        // a = b + c*imm + imm2
+  kLoad,         // a = load(addr = b)     [mem_bytes, mflags, batch, site]
+  kStore,        // store(addr = b, value = c)
+  kPrefetch,     // prefetch(b, mem_bytes)
+  kEvictHint,    // evict_hint(b, mem_bytes)
+  // Calls: args are arg_pool[pool_off .. pool_off+pool_len); result → a.
+  kCall,
+  kOffloadCall,
+  kReturn,  // has_result → ret = b; c = open loop scopes to pop
+  // Intra-function control flow (synthetic: no prestep, no charge).
+  kJump,      // pc = target
+  kIfBranch,  // prestep+charge(1); pc = b != 0 ? next : target
+  // For loop (loop_slot indexes the frame's {i, hi, step} state):
+  kForInit,  // prestep; push scope strings[str_idx]; read lo=b hi=c step=d;
+             // zero-trip → target (the kLoopExit)
+  kForHead,  // charge(1); a (iv) = i; clear batched groups
+  kForNext,  // i += step; i < hi → target (the kForHead), else fall through
+  // While loop:
+  kWhileInit,  // prestep; push scope strings[str_idx]
+  kWhileHead,  // charge(1)  [top of every iteration, before the cond]
+  kWhileCond,  // prestep (the kYield); b == 0 → target (the kLoopExit),
+               // else clear batched groups and fall into the body
+  kLoopExit,   // pop one loop scope
+  // Superinstructions (multiple presteps, one dispatch).
+  kIndexLoad,     // d = b + c*imm + imm2; a = load(d)
+  kIndexStore,    // d = b + c*imm + imm2; store(d, a)
+  kCmpIfBranch,   // a = cmp(b, c); pc = a ? next : target   [mflags&1: f64]
+  kCmpWhileCond,  // a = cmp(b, c); fused cmp+yield while condition
+};
+
+const char* BOpName(BOp op);
+
+// mflags bits for kLoad/kStore/kIndexLoad/kIndexStore.
+inline constexpr uint8_t kMemPromoted = 1;
+inline constexpr uint8_t kMemFullLineWrite = 2;
+inline constexpr uint8_t kMemPinned = 4;
+// mflags bit for kCmpIfBranch/kCmpWhileCond: operands are f64.
+inline constexpr uint8_t kCmpFloat = 1;
+
+// One pre-decoded instruction, exactly one cache line per pair (64 bytes):
+// every field the handler needs is an aligned direct load, and nothing is
+// re-derived per execution. Fields used by disjoint op sets share storage
+// through anonymous unions (e.g. a load's AccessSite slot overlays a call's
+// callee index); the per-op comments in BOp say which fields apply.
+struct BInstr {
+  BOp op = BOp::kNop;
+  uint8_t pred = 0;        // raw ir::OpKind for kCmp* / fused cmps
+  uint8_t mflags = 0;
+  uint8_t has_result = 0;  // kCall/kOffloadCall/kReturn
+  uint32_t a = 0;          // dst register (iv for kForHead, value for kIndexStore)
+  uint32_t b = 0;
+  uint32_t c = 0;
+  uint32_t d = 0;          // index-result register for fused index ops
+  union {
+    int64_t imm = 0;  // const / local slot / index scale / alloc elem bytes
+    double fimm;      // kConstF payload
+  };
+  int64_t imm2 = 0;        // index byte offset
+  int32_t batch_group = -1;
+  uint32_t mem_bytes = 8;
+  uint32_t target = 0;     // pre-resolved branch target (pc index)
+  union {
+    uint32_t pool_off = 0;  // arg_pool / batch_pool span start
+    uint32_t str_idx;       // strings[] index (alloc label / loop scope label)
+  };
+  uint32_t pool_len = 0;
+  union {
+    uint32_t site = 0;   // function-local AccessSite slot (loads/stores)
+    uint32_t callee;     // kCall/kOffloadCall target function
+    uint32_t loop_slot;  // for-loop {i, hi, step} state index
+  };
+};
+static_assert(sizeof(BInstr) == 64, "BInstr should stay one cache line");
+
+// A batch-group member as seen from its trigger site: the register holding
+// the member's address at trigger time, and its access width.
+struct BatchMember {
+  uint32_t value = 0;
+  uint32_t bytes = 0;
+};
+
+struct BFunction {
+  std::vector<BInstr> code;
+  std::vector<uint32_t> arg_pool;       // call-argument register spans
+  std::vector<BatchMember> batch_pool;  // batch-group member spans
+  std::vector<std::string> strings;     // alloc labels, loop scope labels
+  uint32_t num_values = 0;
+  uint32_t num_locals = 0;
+  uint32_t num_loop_slots = 0;
+  uint32_t num_sites = 0;
+};
+
+struct BytecodeModule {
+  uint64_t fingerprint = 0;
+  std::vector<BFunction> funcs;  // parallel to ir::Module::functions
+  // Prefix sums of per-function AccessSite counts; back() is the total, the
+  // size of each Interpreter's private binding table.
+  std::vector<uint32_t> site_base;
+};
+
+// Returns the compiled form of `module` from the process-wide code cache,
+// compiling on first sight. Keyed by ir::ModuleFingerprint — a content
+// hash, so identical compiled modules (e.g. the same plan candidate across
+// SharedPool workers, or sweep points whose plans lower to the same code)
+// share one compilation. Thread-safe; compilation runs under the cache
+// lock (it is far cheaper than one simulation).
+std::shared_ptr<const BytecodeModule> SharedBytecode(const ir::Module& module);
+
+struct CodeCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t entries = 0;
+};
+CodeCacheStats GetCodeCacheStats();
+
+}  // namespace bytecode
+}  // namespace mira::interp
+
+#endif  // MIRA_SRC_INTERP_BYTECODE_H_

@@ -1,0 +1,424 @@
+#include "src/interp/compiler.h"
+
+#include <string>
+#include <utility>
+
+#include "src/support/check.h"
+
+namespace mira::interp::bytecode {
+
+namespace {
+
+bool IsCmpKind(ir::OpKind k) {
+  return k >= ir::OpKind::kCmpEq && k <= ir::OpKind::kCmpGe;
+}
+
+bool IsLoadKind(ir::OpKind k) {
+  return k == ir::OpKind::kLoad || k == ir::OpKind::kRmemLoad;
+}
+
+bool IsStoreKind(ir::OpKind k) {
+  return k == ir::OpKind::kStore || k == ir::OpKind::kRmemStore;
+}
+
+// Lowers one function. Branch targets are emitted as placeholders and
+// backpatched once the target pc is known; loop-scope depth is tracked so
+// kReturn can pop the right number of open profiler scopes.
+class FunctionCompiler {
+ public:
+  explicit FunctionCompiler(const ir::Function& func) : func_(func) {}
+
+  BFunction Compile() {
+    out_.num_values = static_cast<uint32_t>(func_.value_types.size());
+    out_.num_locals = func_.local_slots;
+    LowerRange(func_.body, 0, func_.body.body.size());
+    out_.num_loop_slots = num_loop_slots_;
+    out_.num_sites = num_sites_;
+    return std::move(out_);
+  }
+
+ private:
+  uint32_t Emit(const BInstr& in) {
+    out_.code.push_back(in);
+    return static_cast<uint32_t>(out_.code.size() - 1);
+  }
+  uint32_t NextPc() const { return static_cast<uint32_t>(out_.code.size()); }
+
+  uint32_t AddString(std::string s) {
+    for (uint32_t i = 0; i < out_.strings.size(); ++i) {
+      if (out_.strings[i] == s) {
+        return i;
+      }
+    }
+    out_.strings.push_back(std::move(s));
+    return static_cast<uint32_t>(out_.strings.size() - 1);
+  }
+
+  // Decodes the memory attributes of an IR load/store into `b` and, for
+  // batch-grouped loads, records the group's member span: the tree walker
+  // gathers members by scanning the region body from the trigger position
+  // to its end — the same scan runs here, once, at compile time.
+  void FillMem(BInstr& b, const ir::Instr& instr, const ir::Region& region, size_t pos) {
+    b.mem_bytes = instr.mem.bytes;
+    b.mflags = static_cast<uint8_t>((instr.mem.promoted ? kMemPromoted : 0) |
+                                    (instr.mem.full_line_write ? kMemFullLineWrite : 0) |
+                                    (instr.mem.pinned ? kMemPinned : 0));
+    b.batch_group = instr.mem.batch_group;
+    b.site = num_sites_++;
+    if (IsLoadKind(instr.kind) && instr.mem.batch_group >= 0) {
+      b.pool_off = static_cast<uint32_t>(out_.batch_pool.size());
+      for (size_t j = pos; j < region.body.size(); ++j) {
+        const ir::Instr& m = region.body[j];
+        if (m.kind == ir::OpKind::kRmemLoad && m.mem.batch_group == instr.mem.batch_group) {
+          out_.batch_pool.push_back(BatchMember{m.operands[0], m.mem.bytes});
+        }
+      }
+      b.pool_len = static_cast<uint32_t>(out_.batch_pool.size()) - b.pool_off;
+    }
+  }
+
+  void FillCmp(BInstr& b, const ir::Instr& cmp) {
+    b.pred = static_cast<uint8_t>(cmp.kind);
+    if (func_.ValueType(cmp.operands[0]) == ir::Type::kF64) {
+      b.mflags |= kCmpFloat;
+    }
+    b.a = cmp.result;
+    b.b = cmp.operands[0];
+    b.c = cmp.operands[1];
+  }
+
+  // Lowers region.body[begin, end) with superinstruction fusion. Fusion
+  // only pairs instructions adjacent inside the range, so while-cond
+  // tails (handled by LowerWhile) never fuse across the yield boundary.
+  void LowerRange(const ir::Region& region, size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      const ir::Instr& in = region.body[i];
+      if (in.kind == ir::OpKind::kIndex && i + 1 < end) {
+        const ir::Instr& next = region.body[i + 1];
+        const bool fuse_load = IsLoadKind(next.kind) && next.operands[0] == in.result;
+        const bool fuse_store = IsStoreKind(next.kind) && next.operands[0] == in.result;
+        if (fuse_load || fuse_store) {
+          BInstr b;
+          b.op = fuse_load ? BOp::kIndexLoad : BOp::kIndexStore;
+          b.d = in.result;
+          b.b = in.operands[0];
+          b.c = in.operands[1];
+          b.imm = in.i_attr;
+          b.imm2 = in.i_attr2;
+          b.a = fuse_load ? next.result : next.operands[1];
+          FillMem(b, next, region, i + 1);
+          Emit(b);
+          ++i;
+          continue;
+        }
+      }
+      if (IsCmpKind(in.kind) && i + 1 < end) {
+        const ir::Instr& next = region.body[i + 1];
+        if (next.kind == ir::OpKind::kIf && next.operands[0] == in.result) {
+          LowerIf(next, i + 1, &in, i);
+          ++i;
+          continue;
+        }
+      }
+      LowerInstr(region, i);
+    }
+  }
+
+  void LowerFor(const ir::Instr& in, size_t pos) {
+    const uint32_t slot = num_loop_slots_++;
+    BInstr init;
+    init.op = BOp::kForInit;
+    init.b = in.operands[0];
+    init.c = in.operands[1];
+    init.d = in.operands[2];
+    init.loop_slot = slot;
+    init.str_idx = AddString("for@" + std::to_string(pos));
+    const uint32_t init_pc = Emit(init);
+    ++loop_depth_;
+    const uint32_t head_pc = NextPc();
+    BInstr head;
+    head.op = BOp::kForHead;
+    head.a = in.regions[0].args[0];  // induction variable register
+    head.loop_slot = slot;
+    Emit(head);
+    LowerRange(in.regions[0], 0, in.regions[0].body.size());
+    BInstr next;
+    next.op = BOp::kForNext;
+    next.loop_slot = slot;
+    next.target = head_pc;
+    Emit(next);
+    --loop_depth_;
+    out_.code[init_pc].target = NextPc();
+    BInstr exit;
+    exit.op = BOp::kLoopExit;
+    Emit(exit);
+  }
+
+  void LowerWhile(const ir::Instr& in, size_t pos) {
+    const ir::Region& cond = in.regions[0];
+    const ir::Region& body = in.regions[1];
+    MIRA_CHECK(!cond.body.empty());
+    const ir::Instr& yield = cond.body.back();
+    MIRA_CHECK(yield.kind == ir::OpKind::kYield && yield.operands.size() == 1);
+    BInstr init;
+    init.op = BOp::kWhileInit;
+    init.str_idx = AddString("while@" + std::to_string(pos));
+    Emit(init);
+    ++loop_depth_;
+    const uint32_t head_pc = NextPc();
+    BInstr head;
+    head.op = BOp::kWhileHead;
+    Emit(head);
+    const size_t yield_pos = cond.body.size() - 1;
+    const bool fuse = yield_pos >= 1 && IsCmpKind(cond.body[yield_pos - 1].kind) &&
+                      cond.body[yield_pos - 1].result == yield.operands[0];
+    uint32_t cond_pc;
+    if (fuse) {
+      LowerRange(cond, 0, yield_pos - 1);
+      BInstr b;
+      b.op = BOp::kCmpWhileCond;
+      FillCmp(b, cond.body[yield_pos - 1]);
+      cond_pc = Emit(b);
+    } else {
+      LowerRange(cond, 0, yield_pos);
+      BInstr b;
+      b.op = BOp::kWhileCond;
+      b.b = yield.operands[0];
+      cond_pc = Emit(b);
+    }
+    LowerRange(body, 0, body.body.size());
+    BInstr jump;
+    jump.op = BOp::kJump;
+    jump.target = head_pc;
+    Emit(jump);
+    --loop_depth_;
+    out_.code[cond_pc].target = NextPc();
+    BInstr exit;
+    exit.op = BOp::kLoopExit;
+    Emit(exit);
+  }
+
+  void LowerIf(const ir::Instr& in, size_t pos, const ir::Instr* fused_cmp, size_t cmp_pos) {
+    uint32_t branch_pc;
+    if (fused_cmp != nullptr) {
+      BInstr b;
+      b.op = BOp::kCmpIfBranch;
+      FillCmp(b, *fused_cmp);
+      branch_pc = Emit(b);
+    } else {
+      BInstr b;
+      b.op = BOp::kIfBranch;
+      b.b = in.operands[0];
+      branch_pc = Emit(b);
+    }
+    LowerRange(in.regions[0], 0, in.regions[0].body.size());
+    if (in.regions[1].body.empty()) {
+      out_.code[branch_pc].target = NextPc();
+    } else {
+      BInstr jump;
+      jump.op = BOp::kJump;
+      const uint32_t jump_pc = Emit(jump);
+      out_.code[branch_pc].target = NextPc();
+      LowerRange(in.regions[1], 0, in.regions[1].body.size());
+      out_.code[jump_pc].target = NextPc();
+    }
+  }
+
+  void LowerInstr(const ir::Region& region, size_t pos) {
+    const ir::Instr& in = region.body[pos];
+    BInstr b;
+    switch (in.kind) {
+      case ir::OpKind::kConstI:
+        b.op = BOp::kConstI;
+        b.a = in.result;
+        b.imm = in.i_attr;
+        break;
+      case ir::OpKind::kConstF:
+        b.op = BOp::kConstF;
+        b.a = in.result;
+        b.fimm = in.f_attr;
+        break;
+      case ir::OpKind::kAdd:
+      case ir::OpKind::kSub:
+      case ir::OpKind::kMul:
+      case ir::OpKind::kDiv:
+      case ir::OpKind::kRem:
+      case ir::OpKind::kMin:
+      case ir::OpKind::kMax: {
+        const bool f = in.type == ir::Type::kF64;
+        const int base = static_cast<int>(in.kind) - static_cast<int>(ir::OpKind::kAdd);
+        b.op = static_cast<BOp>(static_cast<int>(f ? BOp::kAddF : BOp::kAddI) + base);
+        b.a = in.result;
+        b.b = in.operands[0];
+        b.c = in.operands[1];
+        break;
+      }
+      case ir::OpKind::kCmpEq:
+      case ir::OpKind::kCmpNe:
+      case ir::OpKind::kCmpLt:
+      case ir::OpKind::kCmpLe:
+      case ir::OpKind::kCmpGt:
+      case ir::OpKind::kCmpGe:
+        b.op = func_.ValueType(in.operands[0]) == ir::Type::kF64 ? BOp::kCmpF : BOp::kCmpI;
+        b.pred = static_cast<uint8_t>(in.kind);
+        b.a = in.result;
+        b.b = in.operands[0];
+        b.c = in.operands[1];
+        break;
+      case ir::OpKind::kAnd:
+      case ir::OpKind::kOr:
+      case ir::OpKind::kXor:
+      case ir::OpKind::kShl:
+      case ir::OpKind::kShr: {
+        const int base = static_cast<int>(in.kind) - static_cast<int>(ir::OpKind::kAnd);
+        b.op = static_cast<BOp>(static_cast<int>(BOp::kAnd) + base);
+        b.a = in.result;
+        b.b = in.operands[0];
+        b.c = in.operands[1];
+        break;
+      }
+      case ir::OpKind::kSelect:
+        b.op = BOp::kSelect;
+        b.a = in.result;
+        b.b = in.operands[0];
+        b.c = in.operands[1];
+        b.d = in.operands[2];
+        break;
+      case ir::OpKind::kI2F:
+      case ir::OpKind::kF2I:
+      case ir::OpKind::kSqrt:
+      case ir::OpKind::kExp:
+      case ir::OpKind::kTanh: {
+        const int base = static_cast<int>(in.kind) - static_cast<int>(ir::OpKind::kI2F);
+        b.op = static_cast<BOp>(static_cast<int>(BOp::kI2F) + base);
+        b.a = in.result;
+        b.b = in.operands[0];
+        break;
+      }
+      case ir::OpKind::kRand:
+        b.op = BOp::kRand;
+        b.a = in.result;
+        b.b = in.operands[0];
+        break;
+      case ir::OpKind::kLocalAlloc:
+        b.op = BOp::kNop;  // slots pre-allocated in the frame
+        break;
+      case ir::OpKind::kLocalLoad:
+        b.op = BOp::kLocalLoad;
+        b.a = in.result;
+        b.imm = in.i_attr;
+        break;
+      case ir::OpKind::kLocalStore:
+        b.op = BOp::kLocalStore;
+        b.b = in.operands[0];
+        b.imm = in.i_attr;
+        break;
+      case ir::OpKind::kAlloc:
+        b.op = BOp::kAlloc;
+        b.a = in.result;
+        b.b = in.operands[0];
+        b.imm = in.i_attr;
+        b.str_idx = AddString(in.s_attr);
+        break;
+      case ir::OpKind::kFree:
+        b.op = BOp::kFree;
+        b.b = in.operands[0];
+        break;
+      case ir::OpKind::kLifetimeEnd:
+        b.op = BOp::kLifetimeEnd;
+        b.b = in.operands[0];
+        break;
+      case ir::OpKind::kIndex:
+        b.op = BOp::kIndex;
+        b.a = in.result;
+        b.b = in.operands[0];
+        b.c = in.operands[1];
+        b.imm = in.i_attr;
+        b.imm2 = in.i_attr2;
+        break;
+      case ir::OpKind::kLoad:
+      case ir::OpKind::kRmemLoad:
+        b.op = BOp::kLoad;
+        b.a = in.result;
+        b.b = in.operands[0];
+        FillMem(b, in, region, pos);
+        break;
+      case ir::OpKind::kStore:
+      case ir::OpKind::kRmemStore:
+        b.op = BOp::kStore;
+        b.b = in.operands[0];
+        b.c = in.operands[1];
+        FillMem(b, in, region, pos);
+        break;
+      case ir::OpKind::kPrefetch:
+        b.op = BOp::kPrefetch;
+        b.b = in.operands[0];
+        b.mem_bytes = in.mem.bytes;
+        break;
+      case ir::OpKind::kEvictHint:
+        b.op = BOp::kEvictHint;
+        b.b = in.operands[0];
+        b.mem_bytes = in.mem.bytes;
+        break;
+      case ir::OpKind::kFor:
+        LowerFor(in, pos);
+        return;
+      case ir::OpKind::kWhile:
+        LowerWhile(in, pos);
+        return;
+      case ir::OpKind::kIf:
+        LowerIf(in, pos, nullptr, 0);
+        return;
+      case ir::OpKind::kYield:
+        b.op = BOp::kNop;  // while-cond yields are consumed by LowerWhile
+        break;
+      case ir::OpKind::kCall:
+      case ir::OpKind::kOffloadCall:
+        b.op = in.kind == ir::OpKind::kCall ? BOp::kCall : BOp::kOffloadCall;
+        b.callee = in.callee;
+        b.pool_off = static_cast<uint32_t>(out_.arg_pool.size());
+        b.pool_len = static_cast<uint32_t>(in.operands.size());
+        for (const uint32_t op : in.operands) {
+          out_.arg_pool.push_back(op);
+        }
+        if (in.has_result()) {
+          b.has_result = 1;
+          b.a = in.result;
+        }
+        break;
+      case ir::OpKind::kReturn:
+        b.op = BOp::kReturn;
+        if (!in.operands.empty()) {
+          b.has_result = 1;
+          b.b = in.operands[0];
+        }
+        b.c = loop_depth_;  // open loop scopes to pop on the way out
+        break;
+    }
+    Emit(b);
+  }
+
+  const ir::Function& func_;
+  BFunction out_;
+  uint32_t loop_depth_ = 0;
+  uint32_t num_loop_slots_ = 0;
+  uint32_t num_sites_ = 0;
+};
+
+}  // namespace
+
+BytecodeModule CompileModule(const ir::Module& module) {
+  BytecodeModule out;
+  out.fingerprint = ir::ModuleFingerprint(module);
+  out.site_base.reserve(module.functions.size() + 1);
+  uint32_t base = 0;
+  for (const auto& func : module.functions) {
+    out.site_base.push_back(base);
+    out.funcs.push_back(FunctionCompiler(*func).Compile());
+    base += out.funcs.back().num_sites;
+  }
+  out.site_base.push_back(base);
+  return out;
+}
+
+}  // namespace mira::interp::bytecode

@@ -1,0 +1,20 @@
+// BytecodeCompiler: lowers a verified ir::Module into the flat pre-decoded
+// form executed by the Interpreter's bytecode engine (bytecode.h). One
+// compile per (module-content) fingerprint — callers normally go through
+// bytecode::SharedBytecode rather than invoking this directly.
+
+#ifndef MIRA_SRC_INTERP_COMPILER_H_
+#define MIRA_SRC_INTERP_COMPILER_H_
+
+#include "src/interp/bytecode.h"
+#include "src/ir/ir.h"
+
+namespace mira::interp::bytecode {
+
+// Lowers every function. The module must be verified (ir::VerifyModule);
+// structural invariants are CHECKed, not reported.
+BytecodeModule CompileModule(const ir::Module& module);
+
+}  // namespace mira::interp::bytecode
+
+#endif  // MIRA_SRC_INTERP_COMPILER_H_

@@ -14,6 +14,46 @@ using support::Status;
 
 namespace {
 std::atomic<uint64_t> g_runs{0};
+
+// Comparison evaluators shared by the bytecode engine's kCmp* handlers and
+// the fused cmp+branch superinstructions. `pred` is the raw ir::OpKind.
+bool EvalCmpI(uint8_t pred, int64_t a, int64_t b) {
+  switch (static_cast<ir::OpKind>(pred)) {
+    case ir::OpKind::kCmpEq:
+      return a == b;
+    case ir::OpKind::kCmpNe:
+      return a != b;
+    case ir::OpKind::kCmpLt:
+      return a < b;
+    case ir::OpKind::kCmpLe:
+      return a <= b;
+    case ir::OpKind::kCmpGt:
+      return a > b;
+    case ir::OpKind::kCmpGe:
+      return a >= b;
+    default:
+      MIRA_UNREACHABLE("cmp pred");
+  }
+}
+
+bool EvalCmpF(uint8_t pred, double a, double b) {
+  switch (static_cast<ir::OpKind>(pred)) {
+    case ir::OpKind::kCmpEq:
+      return a == b;
+    case ir::OpKind::kCmpNe:
+      return a != b;
+    case ir::OpKind::kCmpLt:
+      return a < b;
+    case ir::OpKind::kCmpLe:
+      return a <= b;
+    case ir::OpKind::kCmpGt:
+      return a > b;
+    case ir::OpKind::kCmpGe:
+      return a >= b;
+    default:
+      MIRA_UNREACHABLE("cmp pred");
+  }
+}
 }  // namespace
 
 uint64_t SimulationsRun() { return g_runs.load(std::memory_order_relaxed); }
@@ -25,9 +65,11 @@ Interpreter::Interpreter(const ir::Module* module, backends::Backend* backend,
       integrity_(integrity::ActiveOrNull(backend->net()->integrity())),
       cluster_(backend->net()->cluster()),
       options_(options),
-      rng_(options.seed) {
+      rng_(options.seed),
+      engine_(ResolveEngine(options.engine)) {
   // Each interpreter run is one logical thread of the telemetry timeline.
   clock_.set_tid(sim::AllocateTid());
+  func_ledger_.resize(module_->functions.size());
 }
 
 void PublishRunProfile(telemetry::MetricsRegistry& registry, const RunProfile& profile) {
@@ -55,13 +97,31 @@ support::Result<uint64_t> Interpreter::Run(std::string_view func_name,
   if (func == nullptr) {
     return Status::NotFound(std::string(func_name));
   }
+  if (engine_ == EngineKind::kBytecode && bcode_ == nullptr) {
+    bcode_ = bytecode::SharedBytecode(*module_);
+    sites_.resize(bcode_->site_base.back());
+  }
+  const uint32_t index = module_->FunctionIndex(func_name);
   uint64_t result = 0;
   const uint64_t t0 = clock_.now_ns();
-  if (auto s = CallFunction(module_->FunctionIndex(func_name), args, &result); !s.ok()) {
+  const Status s = engine_ == EngineKind::kBytecode
+                       ? RunBytecodeFunction(index, args, &result)
+                       : CallFunction(index, args, &result);
+  FoldFuncLedger();
+  if (!s.ok()) {
     return s;
   }
   profile_.total_ns += clock_.now_ns() - t0;
   return result;
+}
+
+void Interpreter::FoldFuncLedger() {
+  for (size_t i = 0; i < func_ledger_.size(); ++i) {
+    const FuncProfile& fp = func_ledger_[i];
+    if (fp.calls != 0) {
+      profile_.funcs[module_->functions[i]->name] = fp;
+    }
+  }
 }
 
 void Interpreter::ChargeCompute(uint64_t ops) {
@@ -123,11 +183,9 @@ void Interpreter::MemAccess(Frame& frame, const ir::Instr& instr, bool is_store)
   const uint64_t delta = clock_.now_ns() - t0;
   const uint64_t native = cost.native_access_ns;
   const uint64_t overhead = delta > native ? delta - native : 0;
-  if (!func_stack_.empty()) {
-    FuncProfile& fp = profile_.funcs[func_stack_.back()];
-    fp.overhead_ns += overhead;
-    ++fp.mem_accesses;
-  }
+  FuncProfile& fp = func_ledger_[frame.func_index];
+  fp.overhead_ns += overhead;
+  ++fp.mem_accesses;
   profile_.total_overhead_ns += overhead;
   if (options_.profiling && overhead > 0) {
     // Non-native cache events carry the (tiny) instrumentation cost.
@@ -135,28 +193,65 @@ void Interpreter::MemAccess(Frame& frame, const ir::Instr& instr, bool is_store)
   }
 }
 
-void Interpreter::ServiceBatchGroup(Frame& frame, const ir::Region& region, size_t pos) {
-  const ir::Instr& first = region.body[pos];
-  const int32_t group = first.mem.batch_group;
-  std::vector<std::pair<farmem::RemoteAddr, uint32_t>> accesses;
-  for (size_t i = pos; i < region.body.size(); ++i) {
-    const ir::Instr& instr = region.body[i];
-    if (instr.kind == ir::OpKind::kRmemLoad && instr.mem.batch_group == group) {
-      accesses.push_back({frame.values[instr.operands[0]], instr.mem.bytes});
+void Interpreter::EnsureBatchTable() {
+  if (batch_table_built_) {
+    return;
+  }
+  batch_table_built_ = true;
+  // Depth-first over every region: for each batch-group trigger (a grouped
+  // load), record the members a trigger-time scan of the rest of its region
+  // would have found — the scan now happens once, not per loop iteration.
+  struct Walker {
+    Interpreter* self;
+    void Walk(const ir::Region& region) {
+      for (size_t pos = 0; pos < region.body.size(); ++pos) {
+        const ir::Instr& instr = region.body[pos];
+        if ((instr.kind == ir::OpKind::kLoad || instr.kind == ir::OpKind::kRmemLoad) &&
+            instr.mem.batch_group >= 0) {
+          BatchSpan span;
+          span.off = static_cast<uint32_t>(self->batch_members_.size());
+          for (size_t i = pos; i < region.body.size(); ++i) {
+            const ir::Instr& member = region.body[i];
+            if (member.kind == ir::OpKind::kRmemLoad &&
+                member.mem.batch_group == instr.mem.batch_group) {
+              self->batch_members_.push_back({member.operands[0], member.mem.bytes});
+            }
+          }
+          span.len = static_cast<uint32_t>(self->batch_members_.size()) - span.off;
+          self->batch_spans_.emplace(&instr, span);
+        }
+        for (const ir::Region& sub : instr.regions) {
+          Walk(sub);
+        }
+      }
     }
+  };
+  Walker walker{this};
+  for (const auto& func : module_->functions) {
+    walker.Walk(func->body);
+  }
+}
+
+void Interpreter::ServiceBatchGroup(Frame& frame, const ir::Region& region, size_t pos) {
+  EnsureBatchTable();
+  const ir::Instr& first = region.body[pos];
+  const BatchSpan span = batch_spans_.find(&first)->second;
+  std::vector<std::pair<farmem::RemoteAddr, uint32_t>> accesses;
+  accesses.reserve(span.len);
+  for (uint32_t i = 0; i < span.len; ++i) {
+    const bytecode::BatchMember& member = batch_members_[span.off + i];
+    accesses.push_back({frame.values[member.value], member.bytes});
   }
   const uint64_t t0 = clock_.now_ns();
   backend_->LoadBatch(clock_, accesses);
   const uint64_t native = accesses.size() * backend_->cost().native_access_ns;
   const uint64_t delta = clock_.now_ns() - t0;
   const uint64_t overhead = delta > native ? delta - native : 0;
-  if (!func_stack_.empty()) {
-    FuncProfile& fp = profile_.funcs[func_stack_.back()];
-    fp.overhead_ns += overhead;
-    fp.mem_accesses += accesses.size();
-  }
+  FuncProfile& fp = func_ledger_[frame.func_index];
+  fp.overhead_ns += overhead;
+  fp.mem_accesses += accesses.size();
   profile_.total_overhead_ns += overhead;
-  frame.batched_groups.push_back(group);
+  frame.batched_groups.push_back(first.mem.batch_group);
 }
 
 support::Status Interpreter::CallFunction(uint32_t index, const std::vector<uint64_t>& args,
@@ -172,15 +267,15 @@ support::Status Interpreter::CallFunction(uint32_t index, const std::vector<uint
   }
   Frame frame;
   frame.func = &func;
+  frame.func_index = index;
   frame.values.resize(func.value_types.size(), 0);
   frame.locals.resize(func.local_slots, 0);
   for (size_t i = 0; i < args.size(); ++i) {
     frame.values[func.params[i]] = args[i];
   }
   ++call_depth_;
-  func_stack_.push_back(func.name);
   telemetry::ProfileScope prof_scope(clock_.tid(), func.name);
-  FuncProfile& fp = ProfileOf(func);
+  FuncProfile& fp = func_ledger_[index];
   ++fp.calls;
   if (options_.profiling) {
     clock_.Advance(backend_->cost().profile_event_ns);  // entry event
@@ -200,7 +295,6 @@ support::Status Interpreter::CallFunction(uint32_t index, const std::vector<uint
   if (options_.profiling) {
     clock_.Advance(backend_->cost().profile_event_ns);  // exit event
   }
-  func_stack_.pop_back();
   --call_depth_;
   if (!status.ok()) {
     return status;
@@ -627,6 +721,691 @@ support::Status Interpreter::ExecInstr(Frame& frame, const ir::Region& region, s
       *flow = Flow::kReturned;
       break;
   }
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// Bytecode engine. Every handler below mirrors the tree walker's ExecInstr
+// case for the same IR instruction — same prestep, same ChargeCompute calls,
+// same backend calls in the same order — so the two engines are bit-identical
+// in results, simulated time, and profile ledgers (tests/bytecode_test.cc
+// enforces this differentially).
+// ---------------------------------------------------------------------------
+
+void Interpreter::UnwindLoopScopes(BFrame& frame) {
+  telemetry::StallProfiler& profiler = telemetry::Profiler();
+  while (!frame.loop_scopes.empty()) {
+    if (frame.loop_scopes.back() != 0) {
+      profiler.PopScope(clock_.tid());
+    }
+    frame.loop_scopes.pop_back();
+  }
+}
+
+void Interpreter::BytecodeMemAccess(uint64_t addr, const bytecode::BInstr& instr,
+                                    bool is_store, uint32_t func_index,
+                                    cache::AccessSite* site) {
+  const auto& cost = backend_->cost();
+  if (remote_mode_) {
+    // Offloaded execution: the data is local to the far node.
+    clock_.Advance(cost.native_access_ns);
+    return;
+  }
+  backends::AccessHints hints;
+  hints.promoted = (instr.mflags & bytecode::kMemPromoted) != 0;
+  hints.full_line_write = (instr.mflags & bytecode::kMemFullLineWrite) != 0;
+  const bool pinned = (instr.mflags & bytecode::kMemPinned) != 0;
+  const uint64_t t0 = clock_.now_ns();
+  if (pinned) {
+    backend_->Pin(clock_, addr, instr.mem_bytes);
+  }
+  if (is_store) {
+    backend_->Store(clock_, addr, instr.mem_bytes, hints, site);
+  } else {
+    backend_->Load(clock_, addr, instr.mem_bytes, hints, site);
+  }
+  if (pinned) {
+    backend_->Unpin(clock_, addr, instr.mem_bytes);
+  }
+  const uint64_t delta = clock_.now_ns() - t0;
+  const uint64_t native = cost.native_access_ns;
+  const uint64_t overhead = delta > native ? delta - native : 0;
+  FuncProfile& fp = func_ledger_[func_index];
+  fp.overhead_ns += overhead;
+  ++fp.mem_accesses;
+  profile_.total_overhead_ns += overhead;
+  if (options_.profiling && overhead > 0) {
+    clock_.Advance(cost.profile_event_ns);
+  }
+}
+
+void Interpreter::BytecodeServiceBatch(BFrame& frame, const bytecode::BFunction& bf,
+                                       const bytecode::BInstr& instr, uint32_t func_index) {
+  std::vector<std::pair<farmem::RemoteAddr, uint32_t>> accesses;
+  accesses.reserve(instr.pool_len);
+  for (uint32_t i = 0; i < instr.pool_len; ++i) {
+    const bytecode::BatchMember& member = bf.batch_pool[instr.pool_off + i];
+    accesses.push_back({frame.values[member.value], member.bytes});
+  }
+  const uint64_t t0 = clock_.now_ns();
+  backend_->LoadBatch(clock_, accesses);
+  const uint64_t native = accesses.size() * backend_->cost().native_access_ns;
+  const uint64_t delta = clock_.now_ns() - t0;
+  const uint64_t overhead = delta > native ? delta - native : 0;
+  FuncProfile& fp = func_ledger_[func_index];
+  fp.overhead_ns += overhead;
+  fp.mem_accesses += accesses.size();
+  profile_.total_overhead_ns += overhead;
+  frame.batched_groups.push_back(instr.batch_group);
+}
+
+void Interpreter::BytecodeLoadPath(BFrame& frame, const bytecode::BFunction& bf,
+                                   const bytecode::BInstr& instr, uint32_t func_index,
+                                   uint64_t addr, cache::AccessSite* site) {
+  if (instr.batch_group >= 0 && !remote_mode_) {
+    for (const int32_t g : frame.batched_groups) {
+      if (g == instr.batch_group) {
+        return;  // group already serviced this iteration
+      }
+    }
+    BytecodeServiceBatch(frame, bf, instr, func_index);
+  } else {
+    BytecodeMemAccess(addr, instr, /*is_store=*/false, func_index, site);
+  }
+}
+
+support::Status Interpreter::RunBytecodeFunction(uint32_t index,
+                                                const std::vector<uint64_t>& args,
+                                                uint64_t* result_bits) {
+  MIRA_CHECK(index < module_->functions.size());
+  const ir::Function& func = *module_->functions[index];
+  const bytecode::BFunction& bf = bcode_->funcs[index];
+  if (call_depth_ > 64) {
+    return Status::Internal("call depth exceeded (recursion not supported)");
+  }
+  if (args.size() != func.param_types.size()) {
+    return Status::InvalidArgument(
+        support::StrFormat("call @%s: bad arg count", func.name.c_str()));
+  }
+  BFrame frame;
+  frame.values.resize(bf.num_values, 0);
+  frame.locals.resize(bf.num_locals, 0);
+  frame.loop_state.resize(static_cast<size_t>(bf.num_loop_slots) * 3, 0);
+  for (size_t i = 0; i < args.size(); ++i) {
+    frame.values[func.params[i]] = args[i];
+  }
+  ++call_depth_;
+  telemetry::ProfileScope prof_scope(clock_.tid(), func.name);
+  FuncProfile& fp = func_ledger_[index];
+  ++fp.calls;
+  if (options_.profiling) {
+    clock_.Advance(backend_->cost().profile_event_ns);  // entry event
+  }
+  auto& trace = telemetry::Trace();
+  const bool traced = trace.enabled();
+  if (traced) {
+    trace.Begin(clock_, func.name, "interp");
+  }
+  const uint64_t t0 = clock_.now_ns();
+  Status status = ExecBytecode(frame, index);
+  fp.inclusive_ns += clock_.now_ns() - t0;
+  if (traced) {
+    trace.End(clock_);
+  }
+  if (options_.profiling) {
+    clock_.Advance(backend_->cost().profile_event_ns);  // exit event
+  }
+  --call_depth_;
+  if (!status.ok()) {
+    return status;
+  }
+  if (result_bits != nullptr) {
+    *result_bits = frame.ret_bits;
+  }
+  return Status::Ok();
+}
+
+support::Status Interpreter::ExecBytecode(BFrame& frame, uint32_t func_index) {
+  using bytecode::BOp;
+  const bytecode::BFunction& bf = bcode_->funcs[func_index];
+  const bytecode::BInstr* code = bf.code.data();
+  const size_t code_size = bf.code.size();
+  uint64_t* vals = frame.values.data();
+  uint64_t* locals = frame.locals.data();
+  int64_t* loops = frame.loop_state.data();
+  cache::AccessSite* sites = sites_.data() + bcode_->site_base[func_index];
+  // max_instrs == 0 means "off"; folding it to UINT64_MAX keeps the hot
+  // prestep to a single compare (instrs_executed_ can never exceed it).
+  const uint64_t limit = options_.max_instrs == 0 ? UINT64_MAX : options_.max_instrs;
+  telemetry::StallProfiler& profiler = telemetry::Profiler();
+  const uint32_t tid = clock_.tid();
+  size_t pc = 0;
+
+// One prestep per *IR* instruction, at the same point the tree walker's
+// ExecInstr performs it (superinstructions expand to one prestep per fused
+// IR instruction).
+#define MIRA_BC_PRESTEP()                                         \
+  do {                                                            \
+    if (++instrs_executed_ > limit) {                             \
+      UnwindLoopScopes(frame);                                    \
+      return Status::Internal("instruction budget exceeded");     \
+    }                                                             \
+    if (integrity_ != nullptr && !integrity_->fatal().ok()) {     \
+      UnwindLoopScopes(frame);                                    \
+      return integrity_->fatal();                                 \
+    }                                                             \
+  } while (0)
+
+  while (pc < code_size) {
+    const bytecode::BInstr& in = code[pc];
+    switch (in.op) {
+      case BOp::kNop:
+        MIRA_BC_PRESTEP();
+        ++pc;
+        break;
+      case BOp::kConstI:
+        MIRA_BC_PRESTEP();
+        vals[in.a] = static_cast<uint64_t>(in.imm);
+        ++pc;
+        break;
+      case BOp::kConstF:
+        MIRA_BC_PRESTEP();
+        vals[in.a] = PackF64(in.fimm);
+        ++pc;
+        break;
+      // Two's-complement wraparound (unsigned compute keeps UBSan quiet),
+      // matching the tree walker's int binops bit for bit.
+      case BOp::kAddI:
+        MIRA_BC_PRESTEP();
+        ChargeCompute(1);
+        vals[in.a] = vals[in.b] + vals[in.c];
+        ++pc;
+        break;
+      case BOp::kSubI:
+        MIRA_BC_PRESTEP();
+        ChargeCompute(1);
+        vals[in.a] = vals[in.b] - vals[in.c];
+        ++pc;
+        break;
+      case BOp::kMulI:
+        MIRA_BC_PRESTEP();
+        ChargeCompute(1);
+        vals[in.a] = vals[in.b] * vals[in.c];
+        ++pc;
+        break;
+      case BOp::kDivI: {
+        MIRA_BC_PRESTEP();
+        ChargeCompute(1);
+        const int64_t a = static_cast<int64_t>(vals[in.b]);
+        const int64_t b = static_cast<int64_t>(vals[in.c]);
+        vals[in.a] = static_cast<uint64_t>(b == 0 ? 0 : a / b);
+        ++pc;
+        break;
+      }
+      case BOp::kRemI: {
+        MIRA_BC_PRESTEP();
+        ChargeCompute(1);
+        const int64_t a = static_cast<int64_t>(vals[in.b]);
+        const int64_t b = static_cast<int64_t>(vals[in.c]);
+        vals[in.a] = static_cast<uint64_t>(b == 0 ? 0 : a % b);
+        ++pc;
+        break;
+      }
+      case BOp::kMinI: {
+        MIRA_BC_PRESTEP();
+        ChargeCompute(1);
+        const int64_t a = static_cast<int64_t>(vals[in.b]);
+        const int64_t b = static_cast<int64_t>(vals[in.c]);
+        vals[in.a] = static_cast<uint64_t>(a < b ? a : b);
+        ++pc;
+        break;
+      }
+      case BOp::kMaxI: {
+        MIRA_BC_PRESTEP();
+        ChargeCompute(1);
+        const int64_t a = static_cast<int64_t>(vals[in.b]);
+        const int64_t b = static_cast<int64_t>(vals[in.c]);
+        vals[in.a] = static_cast<uint64_t>(a > b ? a : b);
+        ++pc;
+        break;
+      }
+      case BOp::kAddF:
+        MIRA_BC_PRESTEP();
+        ChargeCompute(1);
+        vals[in.a] = PackF64(UnpackF64(vals[in.b]) + UnpackF64(vals[in.c]));
+        ++pc;
+        break;
+      case BOp::kSubF:
+        MIRA_BC_PRESTEP();
+        ChargeCompute(1);
+        vals[in.a] = PackF64(UnpackF64(vals[in.b]) - UnpackF64(vals[in.c]));
+        ++pc;
+        break;
+      case BOp::kMulF:
+        MIRA_BC_PRESTEP();
+        ChargeCompute(1);
+        vals[in.a] = PackF64(UnpackF64(vals[in.b]) * UnpackF64(vals[in.c]));
+        ++pc;
+        break;
+      case BOp::kDivF: {
+        MIRA_BC_PRESTEP();
+        ChargeCompute(1);
+        const double a = UnpackF64(vals[in.b]);
+        const double b = UnpackF64(vals[in.c]);
+        vals[in.a] = PackF64(b == 0.0 ? 0.0 : a / b);
+        ++pc;
+        break;
+      }
+      case BOp::kRemF: {
+        MIRA_BC_PRESTEP();
+        ChargeCompute(1);
+        const double a = UnpackF64(vals[in.b]);
+        const double b = UnpackF64(vals[in.c]);
+        vals[in.a] = PackF64(b == 0.0 ? 0.0 : std::fmod(a, b));
+        ++pc;
+        break;
+      }
+      case BOp::kMinF: {
+        MIRA_BC_PRESTEP();
+        ChargeCompute(1);
+        const double a = UnpackF64(vals[in.b]);
+        const double b = UnpackF64(vals[in.c]);
+        vals[in.a] = PackF64(a < b ? a : b);
+        ++pc;
+        break;
+      }
+      case BOp::kMaxF: {
+        MIRA_BC_PRESTEP();
+        ChargeCompute(1);
+        const double a = UnpackF64(vals[in.b]);
+        const double b = UnpackF64(vals[in.c]);
+        vals[in.a] = PackF64(a > b ? a : b);
+        ++pc;
+        break;
+      }
+      case BOp::kCmpI:
+        MIRA_BC_PRESTEP();
+        ChargeCompute(1);
+        vals[in.a] = EvalCmpI(in.pred, static_cast<int64_t>(vals[in.b]),
+                              static_cast<int64_t>(vals[in.c]))
+                         ? 1
+                         : 0;
+        ++pc;
+        break;
+      case BOp::kCmpF:
+        MIRA_BC_PRESTEP();
+        ChargeCompute(1);
+        vals[in.a] = EvalCmpF(in.pred, UnpackF64(vals[in.b]), UnpackF64(vals[in.c])) ? 1 : 0;
+        ++pc;
+        break;
+      case BOp::kAnd:
+        MIRA_BC_PRESTEP();
+        ChargeCompute(1);
+        vals[in.a] = vals[in.b] & vals[in.c];
+        ++pc;
+        break;
+      case BOp::kOr:
+        MIRA_BC_PRESTEP();
+        ChargeCompute(1);
+        vals[in.a] = vals[in.b] | vals[in.c];
+        ++pc;
+        break;
+      case BOp::kXor:
+        MIRA_BC_PRESTEP();
+        ChargeCompute(1);
+        vals[in.a] = vals[in.b] ^ vals[in.c];
+        ++pc;
+        break;
+      case BOp::kShl:
+        MIRA_BC_PRESTEP();
+        ChargeCompute(1);
+        vals[in.a] = static_cast<uint64_t>(static_cast<int64_t>(vals[in.b])
+                                           << (static_cast<int64_t>(vals[in.c]) & 63));
+        ++pc;
+        break;
+      case BOp::kShr:
+        MIRA_BC_PRESTEP();
+        ChargeCompute(1);
+        vals[in.a] = vals[in.b] >> (static_cast<int64_t>(vals[in.c]) & 63);
+        ++pc;
+        break;
+      case BOp::kSelect:
+        MIRA_BC_PRESTEP();
+        ChargeCompute(1);
+        vals[in.a] = vals[in.b] != 0 ? vals[in.c] : vals[in.d];
+        ++pc;
+        break;
+      case BOp::kI2F:
+        MIRA_BC_PRESTEP();
+        ChargeCompute(1);
+        vals[in.a] = PackF64(static_cast<double>(static_cast<int64_t>(vals[in.b])));
+        ++pc;
+        break;
+      case BOp::kF2I:
+        MIRA_BC_PRESTEP();
+        ChargeCompute(1);
+        vals[in.a] = static_cast<uint64_t>(static_cast<int64_t>(UnpackF64(vals[in.b])));
+        ++pc;
+        break;
+      case BOp::kSqrt:
+        MIRA_BC_PRESTEP();
+        ChargeCompute(4);
+        vals[in.a] = PackF64(std::sqrt(UnpackF64(vals[in.b])));
+        ++pc;
+        break;
+      case BOp::kExp:
+        MIRA_BC_PRESTEP();
+        ChargeCompute(8);
+        vals[in.a] = PackF64(std::exp(UnpackF64(vals[in.b])));
+        ++pc;
+        break;
+      case BOp::kTanh:
+        MIRA_BC_PRESTEP();
+        ChargeCompute(8);
+        vals[in.a] = PackF64(std::tanh(UnpackF64(vals[in.b])));
+        ++pc;
+        break;
+      case BOp::kRand: {
+        MIRA_BC_PRESTEP();
+        ChargeCompute(2);
+        const int64_t bound = static_cast<int64_t>(vals[in.b]);
+        vals[in.a] = static_cast<uint64_t>(
+            bound <= 0 ? 0
+                       : static_cast<int64_t>(rng_.NextBelow(static_cast<uint64_t>(bound))));
+        ++pc;
+        break;
+      }
+      case BOp::kLocalLoad:
+        MIRA_BC_PRESTEP();
+        ChargeCompute(1);
+        vals[in.a] = locals[in.imm];
+        ++pc;
+        break;
+      case BOp::kLocalStore:
+        MIRA_BC_PRESTEP();
+        ChargeCompute(1);
+        locals[in.imm] = vals[in.b];
+        ++pc;
+        break;
+      case BOp::kAlloc: {
+        MIRA_BC_PRESTEP();
+        const std::string& label = bf.strings[in.str_idx];
+        const uint64_t bytes = vals[in.b];
+        auto addr = backend_->Alloc(clock_, bytes, label, static_cast<uint32_t>(in.imm));
+        if (!addr.ok()) {
+          UnwindLoopScopes(frame);
+          return addr.status();
+        }
+        vals[in.a] = addr.value();
+        profile_.alloc_bytes[label] += bytes;
+        first_alloc_addr_.emplace(label, addr.value());
+        if (options_.profiling) {
+          clock_.Advance(backend_->cost().profile_event_ns);  // allocation-site event
+        }
+        ++pc;
+        break;
+      }
+      case BOp::kFree:
+        MIRA_BC_PRESTEP();
+        backend_->Free(clock_, vals[in.b]);
+        ++pc;
+        break;
+      case BOp::kLifetimeEnd:
+        MIRA_BC_PRESTEP();
+        if (!remote_mode_) {
+          backend_->LifetimeEnd(clock_, vals[in.b]);
+        }
+        ++pc;
+        break;
+      case BOp::kIndex:
+        MIRA_BC_PRESTEP();
+        ChargeCompute(1);
+        vals[in.a] =
+            vals[in.b] +
+            static_cast<uint64_t>(static_cast<int64_t>(vals[in.c]) * in.imm + in.imm2);
+        ++pc;
+        break;
+      case BOp::kLoad: {
+        MIRA_BC_PRESTEP();
+        const uint64_t addr = vals[in.b];
+        BytecodeLoadPath(frame, bf, in, func_index, addr, sites + in.site);
+        vals[in.a] = LoadData(addr, in.mem_bytes);
+        ++pc;
+        break;
+      }
+      case BOp::kStore: {
+        MIRA_BC_PRESTEP();
+        const uint64_t addr = vals[in.b];
+        BytecodeMemAccess(addr, in, /*is_store=*/true, func_index, sites + in.site);
+        StoreData(addr, vals[in.c], in.mem_bytes);
+        ++pc;
+        break;
+      }
+      case BOp::kPrefetch:
+        MIRA_BC_PRESTEP();
+        if (!remote_mode_) {
+          backend_->Prefetch(clock_, vals[in.b], in.mem_bytes);
+        }
+        ++pc;
+        break;
+      case BOp::kEvictHint:
+        MIRA_BC_PRESTEP();
+        if (!remote_mode_) {
+          backend_->EvictHint(clock_, vals[in.b], in.mem_bytes);
+        }
+        ++pc;
+        break;
+      case BOp::kCall: {
+        MIRA_BC_PRESTEP();
+        std::vector<uint64_t> args;
+        args.reserve(in.pool_len);
+        for (uint32_t i = 0; i < in.pool_len; ++i) {
+          args.push_back(vals[bf.arg_pool[in.pool_off + i]]);
+        }
+        uint64_t result = 0;
+        if (auto s = RunBytecodeFunction(in.callee, args, &result); !s.ok()) {
+          UnwindLoopScopes(frame);
+          return s;
+        }
+        if (in.has_result != 0) {
+          vals[in.a] = result;
+        }
+        ++pc;
+        break;
+      }
+      case BOp::kOffloadCall: {
+        MIRA_BC_PRESTEP();
+        std::vector<uint64_t> args;
+        args.reserve(in.pool_len);
+        for (uint32_t i = 0; i < in.pool_len; ++i) {
+          args.push_back(vals[bf.arg_pool[in.pool_off + i]]);
+        }
+        uint64_t result = 0;
+        bool remote = !remote_mode_ && backend_->SupportsOffload();
+        if (remote && !backend_->OffloadAdmission(clock_)) {
+          remote = false;
+          ++offload_fallbacks_;
+          telemetry::Metrics().AddCounter("interp.offload.local_fallbacks", 1);
+          auto& trace = telemetry::Trace();
+          if (trace.enabled()) {
+            trace.Instant(clock_, "interp.offload.fallback", "interp",
+                          support::StrFormat("{\"callee\":%u}", in.callee));
+          }
+        }
+        if (!remote) {
+          if (auto s = RunBytecodeFunction(in.callee, args, &result); !s.ok()) {
+            UnwindLoopScopes(frame);
+            return s;
+          }
+        } else {
+          // Shadow clock: measure remote service time, then rewind and
+          // charge flush + RPC (see the tree walker's kOffloadCall).
+          remote_mode_ = true;
+          const uint64_t t0 = clock_.now_ns();
+          auto s = RunBytecodeFunction(in.callee, args, &result);
+          remote_mode_ = false;
+          if (!s.ok()) {
+            UnwindLoopScopes(frame);
+            return s;
+          }
+          const uint64_t service = clock_.now_ns() - t0;
+          clock_.Reset(t0);
+          const uint32_t req = static_cast<uint32_t>(8 * args.size() + 16);
+          backend_->OffloadCall(clock_, req, 16, service);
+        }
+        if (in.has_result != 0) {
+          vals[in.a] = result;
+        }
+        ++pc;
+        break;
+      }
+      case BOp::kReturn:
+        MIRA_BC_PRESTEP();
+        if (in.has_result != 0) {
+          frame.ret_bits = vals[in.b];
+        }
+        // Pop the loop scopes the return jumps out of (innermost first),
+        // exactly as the tree walker's ProfileScope destructors would.
+        for (uint32_t i = 0; i < in.c; ++i) {
+          if (frame.loop_scopes.back() != 0) {
+            profiler.PopScope(tid);
+          }
+          frame.loop_scopes.pop_back();
+        }
+        return Status::Ok();
+      case BOp::kJump:
+        pc = in.target;
+        break;
+      case BOp::kIfBranch:
+        MIRA_BC_PRESTEP();
+        ChargeCompute(1);
+        pc = vals[in.b] != 0 ? pc + 1 : in.target;
+        break;
+      case BOp::kForInit: {
+        MIRA_BC_PRESTEP();
+        if (profiler.enabled()) {
+          profiler.PushScope(tid, bf.strings[in.str_idx]);
+          frame.loop_scopes.push_back(1);
+        } else {
+          frame.loop_scopes.push_back(0);
+        }
+        const int64_t lo = static_cast<int64_t>(vals[in.b]);
+        const int64_t hi = static_cast<int64_t>(vals[in.c]);
+        const int64_t step = static_cast<int64_t>(vals[in.d]);
+        MIRA_CHECK_MSG(step > 0, "for step must be positive");
+        int64_t* state = loops + static_cast<size_t>(in.loop_slot) * 3;
+        state[0] = lo;
+        state[1] = hi;
+        state[2] = step;
+        pc = lo < hi ? pc + 1 : in.target;
+        break;
+      }
+      case BOp::kForHead: {
+        ChargeCompute(1);  // induction update + bound check
+        const int64_t* state = loops + static_cast<size_t>(in.loop_slot) * 3;
+        vals[in.a] = static_cast<uint64_t>(state[0]);
+        frame.batched_groups.clear();
+        ++pc;
+        break;
+      }
+      case BOp::kForNext: {
+        int64_t* state = loops + static_cast<size_t>(in.loop_slot) * 3;
+        state[0] = static_cast<int64_t>(static_cast<uint64_t>(state[0]) +
+                                        static_cast<uint64_t>(state[2]));
+        pc = state[0] < state[1] ? in.target : pc + 1;
+        break;
+      }
+      case BOp::kWhileInit:
+        MIRA_BC_PRESTEP();
+        if (profiler.enabled()) {
+          profiler.PushScope(tid, bf.strings[in.str_idx]);
+          frame.loop_scopes.push_back(1);
+        } else {
+          frame.loop_scopes.push_back(0);
+        }
+        ++pc;
+        break;
+      case BOp::kWhileHead:
+        ChargeCompute(1);
+        ++pc;
+        break;
+      case BOp::kWhileCond:
+        MIRA_BC_PRESTEP();  // the cond region's kYield
+        if (vals[in.b] == 0) {
+          pc = in.target;
+        } else {
+          frame.batched_groups.clear();
+          ++pc;
+        }
+        break;
+      case BOp::kLoopExit:
+        if (frame.loop_scopes.back() != 0) {
+          profiler.PopScope(tid);
+        }
+        frame.loop_scopes.pop_back();
+        ++pc;
+        break;
+      case BOp::kIndexLoad: {
+        MIRA_BC_PRESTEP();  // the kIndex
+        ChargeCompute(1);
+        const uint64_t addr =
+            vals[in.b] +
+            static_cast<uint64_t>(static_cast<int64_t>(vals[in.c]) * in.imm + in.imm2);
+        vals[in.d] = addr;
+        MIRA_BC_PRESTEP();  // the load
+        BytecodeLoadPath(frame, bf, in, func_index, addr, sites + in.site);
+        vals[in.a] = LoadData(addr, in.mem_bytes);
+        ++pc;
+        break;
+      }
+      case BOp::kIndexStore: {
+        MIRA_BC_PRESTEP();  // the kIndex
+        ChargeCompute(1);
+        const uint64_t addr =
+            vals[in.b] +
+            static_cast<uint64_t>(static_cast<int64_t>(vals[in.c]) * in.imm + in.imm2);
+        vals[in.d] = addr;
+        MIRA_BC_PRESTEP();  // the store
+        BytecodeMemAccess(addr, in, /*is_store=*/true, func_index, sites + in.site);
+        StoreData(addr, vals[in.a], in.mem_bytes);
+        ++pc;
+        break;
+      }
+      case BOp::kCmpIfBranch: {
+        MIRA_BC_PRESTEP();  // the cmp
+        ChargeCompute(1);
+        const bool r =
+            (in.mflags & bytecode::kCmpFloat) != 0
+                ? EvalCmpF(in.pred, UnpackF64(vals[in.b]), UnpackF64(vals[in.c]))
+                : EvalCmpI(in.pred, static_cast<int64_t>(vals[in.b]),
+                           static_cast<int64_t>(vals[in.c]));
+        vals[in.a] = r ? 1 : 0;
+        MIRA_BC_PRESTEP();  // the kIf
+        ChargeCompute(1);
+        pc = r ? pc + 1 : in.target;
+        break;
+      }
+      case BOp::kCmpWhileCond: {
+        MIRA_BC_PRESTEP();  // the cmp
+        ChargeCompute(1);
+        const bool r =
+            (in.mflags & bytecode::kCmpFloat) != 0
+                ? EvalCmpF(in.pred, UnpackF64(vals[in.b]), UnpackF64(vals[in.c]))
+                : EvalCmpI(in.pred, static_cast<int64_t>(vals[in.b]),
+                           static_cast<int64_t>(vals[in.c]));
+        vals[in.a] = r ? 1 : 0;
+        MIRA_BC_PRESTEP();  // the cond region's kYield
+        if (!r) {
+          pc = in.target;
+        } else {
+          frame.batched_groups.clear();
+          ++pc;
+        }
+        break;
+      }
+    }
+  }
+#undef MIRA_BC_PRESTEP
   return Status::Ok();
 }
 

@@ -18,10 +18,13 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "src/backends/backend.h"
+#include "src/interp/bytecode.h"
 #include "src/ir/ir.h"
 #include "src/sim/clock.h"
 #include "src/support/rng.h"
@@ -79,6 +82,11 @@ struct InterpOptions {
   bool profiling = false;
   // Abort (via Status) after this many executed instructions (0 = off).
   uint64_t max_instrs = 0;
+  // Which execution engine runs the module: the reference tree walker or
+  // the compiled bytecode engine (bit-identical; see bytecode.h). kDefault
+  // resolves through DefaultEngine() — SetDefaultEngine / MIRA_INTERP /
+  // bytecode, in that order.
+  EngineKind engine = EngineKind::kDefault;
 };
 
 class Interpreter {
@@ -103,12 +111,27 @@ class Interpreter {
  private:
   struct Frame {
     const ir::Function* func = nullptr;
+    uint32_t func_index = 0;
     std::vector<uint64_t> values;
     std::vector<uint64_t> locals;
     uint64_t ret_bits = 0;
     bool returned = false;
     // Batch groups already serviced in the current innermost iteration.
     std::vector<int32_t> batched_groups;
+  };
+
+  // Bytecode engine frame: dense register file plus flattened loop state
+  // ({i, hi, step} triples indexed by BInstr::loop_slot).
+  struct BFrame {
+    std::vector<uint64_t> values;
+    std::vector<uint64_t> locals;
+    std::vector<int64_t> loop_state;
+    std::vector<int32_t> batched_groups;
+    // One entry per open loop scope; nonzero iff a profiler scope was
+    // pushed for it (profiler enabled at entry). Popped by kLoopExit /
+    // kReturn, or unwound wholesale on an error abort.
+    std::vector<uint8_t> loop_scopes;
+    uint64_t ret_bits = 0;
   };
 
   enum class Flow { kNormal, kReturned };
@@ -118,14 +141,34 @@ class Interpreter {
   support::Status ExecRegion(Frame& frame, const ir::Region& region, Flow* flow);
   support::Status ExecInstr(Frame& frame, const ir::Region& region, size_t pos, Flow* flow);
 
+  // Bytecode engine (bit-identical to the tree walker above; see
+  // bytecode.h for the contract and DESIGN.md §10 for the design).
+  support::Status RunBytecodeFunction(uint32_t index, const std::vector<uint64_t>& args,
+                                      uint64_t* result_bits);
+  support::Status ExecBytecode(BFrame& frame, uint32_t func_index);
+  void BytecodeMemAccess(uint64_t addr, const bytecode::BInstr& instr, bool is_store,
+                         uint32_t func_index, cache::AccessSite* site);
+  void BytecodeLoadPath(BFrame& frame, const bytecode::BFunction& bf,
+                        const bytecode::BInstr& instr, uint32_t func_index, uint64_t addr,
+                        cache::AccessSite* site);
+  void BytecodeServiceBatch(BFrame& frame, const bytecode::BFunction& bf,
+                            const bytecode::BInstr& instr, uint32_t func_index);
+  void UnwindLoopScopes(BFrame& frame);
+
   void ChargeCompute(uint64_t ops);
   void MemAccess(Frame& frame, const ir::Instr& instr, bool is_store);
   void ServiceBatchGroup(Frame& frame, const ir::Region& region, size_t pos);
+  // Builds the tree walker's batch-membership table (trigger instruction →
+  // span of batch_members_) on first use, replacing the per-iteration
+  // region re-scan the walker used to do.
+  void EnsureBatchTable();
 
   uint64_t LoadData(farmem::RemoteAddr addr, uint32_t bytes) const;
   void StoreData(farmem::RemoteAddr addr, uint64_t bits, uint32_t bytes);
 
-  FuncProfile& ProfileOf(const ir::Function& f) { return profile_.funcs[f.name]; }
+  // Folds the interned per-function ledger into profile_.funcs (stringified
+  // once per Run instead of a map lookup per call/access).
+  void FoldFuncLedger();
 
   const ir::Module* module_;
   backends::Backend* backend_;
@@ -144,10 +187,32 @@ class Interpreter {
   uint64_t offload_fallbacks_ = 0;  // offloads denied admission, run locally
   bool remote_mode_ = false;
   int call_depth_ = 0;
-  std::vector<std::string> func_stack_;
   std::map<std::string, farmem::RemoteAddr> first_alloc_addr_;
   support::Rng rng_{42};
   support::Status failure_ = support::Status::Ok();
+
+  // Resolved execution engine (never kDefault).
+  EngineKind engine_;
+  // Compiled form, fetched from the process-wide code cache on the first
+  // bytecode Run. sites_ is this interpreter's private AccessSite binding
+  // table (one slot per static load/store across the module, indexed via
+  // bcode_->site_base[func] + BInstr::site) — the code is shared, the
+  // placement memos are not.
+  std::shared_ptr<const bytecode::BytecodeModule> bcode_;
+  std::vector<cache::AccessSite> sites_;
+
+  // Per-function profile ledger indexed by function index; folded into
+  // profile_.funcs at the end of every Run.
+  std::vector<FuncProfile> func_ledger_;
+
+  // Tree-walker batch table: trigger load → span of batch_members_.
+  struct BatchSpan {
+    uint32_t off = 0;
+    uint32_t len = 0;
+  };
+  bool batch_table_built_ = false;
+  std::unordered_map<const ir::Instr*, BatchSpan> batch_spans_;
+  std::vector<bytecode::BatchMember> batch_members_;
 };
 
 // Helpers to pack/unpack f64 arguments.

@@ -163,6 +163,92 @@ uint64_t Module::InstrCount() const {
   return n;
 }
 
+namespace {
+
+// FNV-1a, folded field by field. Structure boundaries (instruction starts,
+// region starts/ends) mix in tags so concatenation ambiguities cannot
+// collide (e.g. an instr with 2 operands vs. 2 instrs with 1 each).
+struct Fnv {
+  uint64_t h = 1469598103934665603ULL;
+
+  void Bytes(const void* data, size_t n) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (size_t i = 0; i < n; ++i) {
+      h ^= p[i];
+      h *= 1099511628211ULL;
+    }
+  }
+  void U64(uint64_t v) { Bytes(&v, sizeof(v)); }
+  void Str(const std::string& s) {
+    U64(s.size());
+    Bytes(s.data(), s.size());
+  }
+};
+
+void HashRegion(Fnv& f, const Region& r) {
+  f.U64(0x5245u);  // region tag
+  f.U64(r.args.size());
+  for (const uint32_t a : r.args) {
+    f.U64(a);
+  }
+  f.U64(r.body.size());
+  for (const Instr& instr : r.body) {
+    f.U64(0x494Eu);  // instr tag
+    f.U64(static_cast<uint64_t>(instr.kind));
+    f.U64(static_cast<uint64_t>(instr.type));
+    f.U64(instr.result);
+    f.U64(instr.operands.size());
+    for (const uint32_t op : instr.operands) {
+      f.U64(op);
+    }
+    f.U64(static_cast<uint64_t>(instr.i_attr));
+    f.U64(static_cast<uint64_t>(instr.i_attr2));
+    uint64_t fbits = 0;
+    static_assert(sizeof(fbits) == sizeof(instr.f_attr));
+    __builtin_memcpy(&fbits, &instr.f_attr, sizeof(fbits));
+    f.U64(fbits);
+    f.Str(instr.s_attr);
+    f.U64(instr.callee);
+    f.U64(instr.mem.bytes);
+    f.U64(static_cast<uint64_t>(instr.mem.batch_group));
+    f.U64((instr.mem.promoted ? 1u : 0u) | (instr.mem.full_line_write ? 2u : 0u) |
+          (instr.mem.pinned ? 4u : 0u));
+    f.U64(instr.regions.size());
+    for (const Region& sub : instr.regions) {
+      HashRegion(f, sub);
+    }
+  }
+}
+
+}  // namespace
+
+uint64_t ModuleFingerprint(const Module& module) {
+  Fnv f;
+  f.Str(module.name);
+  f.U64(module.functions.size());
+  for (const auto& fn : module.functions) {
+    f.U64(0x464Eu);  // function tag
+    f.Str(fn->name);
+    f.U64(fn->param_types.size());
+    for (const Type t : fn->param_types) {
+      f.U64(static_cast<uint64_t>(t));
+    }
+    f.U64(static_cast<uint64_t>(fn->return_type));
+    f.U64(fn->value_types.size());
+    for (const Type t : fn->value_types) {
+      f.U64(static_cast<uint64_t>(t));
+    }
+    f.U64(fn->params.size());
+    for (const uint32_t p : fn->params) {
+      f.U64(p);
+    }
+    f.U64(fn->local_slots);
+    f.U64(fn->remotable ? 1 : 0);
+    HashRegion(f, fn->body);
+  }
+  return f.h;
+}
+
 void WalkInstrs(Region& region, const std::function<void(Instr&)>& fn) {
   for (auto& instr : region.body) {
     fn(instr);

@@ -201,6 +201,14 @@ struct Module {
 void WalkInstrs(Region& region, const std::function<void(Instr&)>& fn);
 void WalkInstrs(const Region& region, const std::function<void(const Instr&)>& fn);
 
+// Content-addressed structural hash of a module: every function signature,
+// instruction, operand, attribute and region shape folds into one 64-bit
+// FNV-1a digest. Two modules with identical compiled form (including every
+// plan-derived rmem attribute) hash equal, so the digest doubles as the
+// (module, plan) fingerprint keying the bytecode code cache — candidate
+// plans that lower to the same instructions share one compilation.
+uint64_t ModuleFingerprint(const Module& module);
+
 }  // namespace mira::ir
 
 #endif  // MIRA_SRC_IR_IR_H_

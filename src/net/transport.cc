@@ -9,7 +9,7 @@
 namespace mira::net {
 
 Transport::Transport(farmem::FarMemoryNode* node, const sim::CostModel& cost)
-    : node_(node), cost_(cost), link_(cost.network_bytes_per_ns) {
+    : node_(node), cost_(cost), trace_(&telemetry::Trace()), link_(cost.network_bytes_per_ns) {
   auto& m = telemetry::Metrics();
   const auto verb = [&m](const char* name) {
     VerbTelemetry v;
@@ -274,26 +274,14 @@ support::Status Transport::RecoverNodeFailure(sim::SimClock& clk, farmem::Remote
   return out;
 }
 
-void Transport::RecordVerb(VerbTelemetry& verb, const char* name,
-                           const sim::SimClock& clk, uint64_t start_ns, uint64_t done_ns,
-                           uint64_t bytes) {
-  ++verb.count;
-  verb.bytes += bytes;
-  verb.latency.Add(done_ns > start_ns ? done_ns - start_ns : 0);
-  auto& trace = telemetry::Trace();
+void Transport::RecordVerbTrace(const char* name, const sim::SimClock& clk,
+                                uint64_t start_ns, uint64_t done_ns, uint64_t bytes) {
+  auto& trace = *trace_;
   if (trace.enabled()) {
     trace.Complete(clk, start_ns, done_ns > start_ns ? done_ns - start_ns : 0, name, "net",
                    support::StrFormat("{\"bytes\":%llu}",
                                       static_cast<unsigned long long>(bytes)));
   }
-}
-
-uint64_t Transport::MessageDoneAt(sim::SimClock& clk, uint64_t bytes, uint64_t extra_ns) {
-  // Caller pays CPU to post the verb; the wire occupies the shared link for
-  // the transfer; propagation (RTT) overlaps across messages.
-  clk.Advance(cost_.per_message_cpu_ns);
-  ++stats_.messages;
-  return link_.Transfer(clk.now_ns(), bytes, cost_.rdma_rtt_ns + extra_ns);
 }
 
 // ---- Fault/retry protocol ----

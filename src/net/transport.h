@@ -318,13 +318,31 @@ class Transport {
   };
 
   // Completion time of a message of `bytes` issued at clk.now(), after the
-  // caller-side CPU cost. Shares the link across logical threads.
-  uint64_t MessageDoneAt(sim::SimClock& clk, uint64_t bytes, uint64_t extra_ns);
+  // caller-side CPU cost. Shares the link across logical threads. Inline:
+  // this runs once per verb, and swap-thrashing workloads issue tens of
+  // millions of verbs per simulation.
+  uint64_t MessageDoneAt(sim::SimClock& clk, uint64_t bytes, uint64_t extra_ns) {
+    // Caller pays CPU to post the verb; the wire occupies the shared link
+    // for the transfer; propagation (RTT) overlaps across messages.
+    clk.Advance(cost_.per_message_cpu_ns);
+    ++stats_.messages;
+    return link_.Transfer(clk.now_ns(), bytes, cost_.rdma_rtt_ns + extra_ns);
+  }
 
   // Records one completed verb into the local batch plus (when trace
   // recording is on) a Complete event spanning [start_ns, done_ns).
   void RecordVerb(VerbTelemetry& verb, const char* name, const sim::SimClock& clk,
-                  uint64_t start_ns, uint64_t done_ns, uint64_t bytes);
+                  uint64_t start_ns, uint64_t done_ns, uint64_t bytes) {
+    ++verb.count;
+    verb.bytes += bytes;
+    verb.latency.Add(done_ns > start_ns ? done_ns - start_ns : 0);
+    if (trace_->enabled()) {
+      RecordVerbTrace(name, clk, start_ns, done_ns, bytes);
+    }
+  }
+  // Out-of-line tail of RecordVerb (string formatting; trace recording on).
+  void RecordVerbTrace(const char* name, const sim::SimClock& clk, uint64_t start_ns,
+                       uint64_t done_ns, uint64_t bytes);
 
   // Fault/retry protocol for one Try* verb. On success returns the extra
   // wire latency (tail / degraded link) to charge the winning attempt; on
@@ -376,6 +394,10 @@ class Transport {
 
   farmem::FarMemoryNode* node_;
   const sim::CostModel& cost_;
+  // The process-wide trace recorder, cached so the per-verb enabled check
+  // skips the Telemetry::Global() call (the singleton is leaked, so the
+  // pointer can never dangle).
+  telemetry::TraceRecorder* trace_;
   sim::BandwidthLink link_;
   NetworkStats stats_;
   FaultStats fault_stats_;

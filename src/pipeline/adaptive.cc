@@ -23,6 +23,7 @@ AdaptiveRuntime::Invocation AdaptiveRuntime::Execute(const CompiledProgram& prog
   interp::InterpOptions iopts;
   iopts.seed = seed;
   iopts.profiling = true;  // sampled profiling invocation
+  iopts.engine = options_.engine;
   interp::Interpreter interp(&program.module, world.backend.get(), iopts);
   auto result = interp.Run(options_.entry);
   MIRA_CHECK_MSG(result.ok(), result.status().ToString().c_str());

@@ -71,6 +71,7 @@ uint64_t IterativeOptimizer::Evaluate(const ir::Module& module, const runtime::C
   interp::InterpOptions iopts;
   iopts.seed = options_.train_seed;
   iopts.profiling = profiling_instrumented;
+  iopts.engine = options_.engine;
   interp::Interpreter interp(&module, world.backend.get(), iopts);
   auto result = interp.Run(options_.entry);
   MIRA_CHECK_MSG(result.ok(), result.status().ToString().c_str());
@@ -153,6 +154,7 @@ double IterativeOptimizer::SizeSections(const ir::Module& compiled, PlanDraft* d
     World world = MakeWorld(SystemKind::kMira, options_.local_bytes, probe, cost_);
     interp::InterpOptions iopts;
     iopts.seed = options_.train_seed;
+    iopts.engine = options_.engine;
     interp::Interpreter interp(&compiled, world.backend.get(), iopts);
     auto result = interp.Run(options_.entry);
     MIRA_CHECK_MSG(result.ok(), result.status().ToString().c_str());

@@ -29,6 +29,11 @@ struct OptimizeOptions {
   // Input seed used for profiling/evaluation runs during optimization (the
   // "training" input; deployment may see different inputs).
   uint64_t train_seed = 42;
+  // Execution engine for every interpreter the optimizer (and the adaptive
+  // runtime built on it) spawns. kDefault follows the process-wide default
+  // (MIRA_INTERP / SetDefaultEngine); results are engine-invariant, so this
+  // only affects optimization wall time.
+  interp::EngineKind engine = interp::EngineKind::kDefault;
   PlannerOptions planner;  // local_bytes is overwritten from here
   // Sampled size ratios for non-contiguous sections (§4.3).
   std::vector<double> size_samples = {0.2, 0.4, 0.6, 0.8};

@@ -4,6 +4,7 @@
 #define MIRA_SRC_SUPPORT_STATS_H_
 
 #include <algorithm>
+#include <bit>
 #include <cstdint>
 #include <vector>
 
@@ -49,12 +50,9 @@ class LatencyHistogram {
   static constexpr int kBuckets = 48;
 
   void Add(uint64_t ns) {
-    int b = 0;
-    uint64_t v = ns;
-    while (v > 1 && b < kBuckets - 1) {
-      v >>= 1;
-      ++b;
-    }
+    // Bucket = floor(log2(ns)) clamped to the top bucket (0 for ns <= 1).
+    // One bit-scan; the histogram sits on the per-verb transport hot path.
+    const int b = std::min(static_cast<int>(std::bit_width(ns | 1)) - 1, kBuckets - 1);
     ++buckets_[b];
     ++count_;
     sum_ += ns;

@@ -1,0 +1,396 @@
+// Differential testing of the bytecode engine against the tree walker.
+//
+// The contract (bytecode.h, DESIGN.md §10) is bit-identity: for any
+// verified module, both engines must produce the same result bits, the
+// same simulated clock, the same instruction count, and the same profile
+// ledgers. These tests check that contract three ways:
+//   1. a seeded fuzzer over random verified IR modules (arith of both
+//      types, nested control flow, locals, memory, rand, calls);
+//   2. pipeline-compiled workloads (rmem dialect: sections, prefetch,
+//      batching, promotion, selective transmission, offload);
+//   3. edge paths — instruction-budget aborts and the shared code cache.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/analysis/access_analysis.h"
+#include "src/interp/bytecode.h"
+#include "src/interp/interpreter.h"
+#include "src/ir/builder.h"
+#include "src/ir/verifier.h"
+#include "src/pipeline/optimizer.h"
+#include "src/pipeline/planner.h"
+#include "src/pipeline/world.h"
+#include "src/support/rng.h"
+#include "src/workloads/workloads.h"
+
+namespace mira {
+namespace {
+
+using interp::EngineKind;
+using interp::Interpreter;
+using interp::InterpOptions;
+using ir::FunctionBuilder;
+using ir::Local;
+using ir::OpKind;
+using ir::Type;
+using ir::Value;
+using pipeline::MakeWorld;
+using pipeline::SystemKind;
+
+// ---------------------------------------------------------------------------
+// Random verified module generation (property-test RNG discipline: all
+// randomness from one seeded support::Rng, so failures replay exactly).
+
+class RandomProgram {
+ public:
+  explicit RandomProgram(uint64_t seed) : rng_(seed) {}
+
+  std::unique_ptr<ir::Module> Build() {
+    auto m = std::make_unique<ir::Module>();
+    {
+      // A leaf callee so the fuzz covers kCall frames and the per-function
+      // profile ledger.
+      FunctionBuilder f(m.get(), "leaf", {Type::kI64, Type::kI64}, Type::kI64);
+      const Value mixed = f.Xor(f.Mul(f.Arg(0), f.ConstI(0x9e37)), f.Arg(1));
+      f.Return(f.Add(f.Min(mixed, f.Arg(0)), f.Max(mixed, f.Arg(1))));
+    }
+    FunctionBuilder f(m.get(), "main", {}, Type::kI64);
+    arr_ = f.Alloc(f.ConstI(kElems * 8), "scratch", 8);
+    acc_ = f.DeclLocal(Type::kI64);
+    f.StoreLocal(acc_, f.ConstI(0));
+    ivals_ = {f.ConstI(static_cast<int64_t>(rng_.NextBelow(1000)) + 1),
+              f.ConstI(static_cast<int64_t>(rng_.NextBelow(97)) - 48)};
+    fvals_ = {f.ConstF(rng_.NextDouble() * 8.0 - 4.0), f.ConstF(1.5)};
+    EmitBlock(f, /*depth=*/0, /*budget=*/12 + static_cast<int>(rng_.NextBelow(10)));
+    // Fold a few array cells into the result so stored memory matters.
+    f.For(f.ConstI(0), f.ConstI(kElems), f.ConstI(1), [&](Value i) {
+      f.StoreLocal(acc_, f.Add(f.LoadLocal(acc_), f.Load(f.Index(arr_, i, 8, 0), 8, Type::kI64)));
+    });
+    f.Return(f.Add(f.LoadLocal(acc_), PickI(f)));
+    return m;
+  }
+
+ private:
+  static constexpr int64_t kElems = 64;  // power of two: indices are masked
+
+  Value PickI(FunctionBuilder& f) {
+    return ivals_[rng_.NextBelow(ivals_.size())];
+  }
+  Value PickF(FunctionBuilder& f) {
+    return fvals_[rng_.NextBelow(fvals_.size())];
+  }
+  Value MaskedIndex(FunctionBuilder& f) {
+    return f.And(PickI(f), f.ConstI(kElems - 1));
+  }
+
+  void EmitBlock(FunctionBuilder& f, int depth, int budget) {
+    const size_t isize = ivals_.size();
+    const size_t fsize = fvals_.size();
+    for (int n = 0; n < budget; ++n) {
+      EmitStmt(f, depth);
+    }
+    // Values defined in this block die with it (they live in a region the
+    // verifier scopes); keep only the outer ones visible.
+    ivals_.resize(isize);
+    fvals_.resize(fsize);
+  }
+
+  void EmitStmt(FunctionBuilder& f, int depth) {
+    switch (rng_.NextBelow(depth < 2 ? 14 : 11)) {
+      case 0: {  // integer arithmetic (wraparound, div/rem-by-zero → 0)
+        static const OpKind kOps[] = {OpKind::kAdd, OpKind::kSub, OpKind::kMul,
+                                      OpKind::kDiv, OpKind::kRem, OpKind::kMin,
+                                      OpKind::kMax};
+        ivals_.push_back(f.Binary(kOps[rng_.NextBelow(7)], PickI(f), PickI(f)));
+        break;
+      }
+      case 1: {  // bitwise / shifts (shift count masked by the engines)
+        static const OpKind kOps[] = {OpKind::kAnd, OpKind::kOr, OpKind::kXor,
+                                      OpKind::kShl, OpKind::kShr};
+        ivals_.push_back(f.Binary(kOps[rng_.NextBelow(5)], PickI(f), PickI(f)));
+        break;
+      }
+      case 2: {  // float arithmetic
+        static const OpKind kOps[] = {OpKind::kAdd, OpKind::kSub, OpKind::kMul,
+                                      OpKind::kDiv, OpKind::kMin, OpKind::kMax};
+        fvals_.push_back(f.Binary(kOps[rng_.NextBelow(6)], PickF(f), PickF(f)));
+        break;
+      }
+      case 3: {  // math unaries; tanh bounds values so f2i stays in range
+        const Value t = f.Unary(OpKind::kTanh, PickF(f));
+        fvals_.push_back(f.Unary(rng_.NextBelow(2) == 0 ? OpKind::kExp : OpKind::kSqrt,
+                                 f.Binary(OpKind::kMax, t, f.ConstF(0.0))));
+        ivals_.push_back(f.F2I(f.Mul(t, f.ConstF(1000.0))));
+        break;
+      }
+      case 4:  // comparisons (both types) + select
+        ivals_.push_back(f.Select(f.Cmp(RandCmp(), PickI(f), PickI(f)), PickI(f), PickI(f)));
+        ivals_.push_back(f.Cmp(RandCmp(), PickF(f), PickF(f)));
+        break;
+      case 5:  // conversions
+        fvals_.push_back(f.I2F(f.And(PickI(f), f.ConstI(0xFFFF))));
+        break;
+      case 6:  // seeded workload randomness
+        ivals_.push_back(f.Rand(f.ConstI(static_cast<int64_t>(rng_.NextBelow(5000)) + 1)));
+        break;
+      case 7:  // store to the scratch array (kIndex+kStore superinstruction)
+        f.Store(f.Index(arr_, MaskedIndex(f), 8, 0), PickI(f), 8);
+        break;
+      case 8:  // load from the scratch array (kIndex+kLoad superinstruction)
+        ivals_.push_back(f.Load(f.Index(arr_, MaskedIndex(f), 8, 0), 8, Type::kI64));
+        break;
+      case 9:  // accumulate through the local slot
+        f.StoreLocal(acc_, f.Add(f.LoadLocal(acc_), PickI(f)));
+        break;
+      case 10:  // cross-function call
+        ivals_.push_back(f.Call("leaf", {PickI(f), PickI(f)}));
+        break;
+      case 11: {  // for loop (iv visible in the body only)
+        const int64_t trips = static_cast<int64_t>(rng_.NextBelow(6)) + 1;
+        const int body = 2 + static_cast<int>(rng_.NextBelow(3));
+        f.For(f.ConstI(0), f.ConstI(trips), f.ConstI(1), [&](Value iv) {
+          ivals_.push_back(iv);
+          EmitBlock(f, depth + 1, body);
+          ivals_.pop_back();
+        });
+        break;
+      }
+      case 12: {  // if/else (cmp+branch superinstruction)
+        const Value cond = f.Cmp(RandCmp(), PickI(f), PickI(f));
+        f.If(
+            cond, [&] { EmitBlock(f, depth + 1, 2); },
+            [&] { EmitBlock(f, depth + 1, 2); });
+        break;
+      }
+      case 13: {  // while loop over a dedicated counter (guaranteed exit)
+        const Local w = f.DeclLocal(Type::kI64);
+        f.StoreLocal(w, f.ConstI(0));
+        const int64_t trips = static_cast<int64_t>(rng_.NextBelow(5)) + 1;
+        f.While([&] { return f.CmpLt(f.LoadLocal(w), f.ConstI(trips)); },
+                [&] {
+                  f.StoreLocal(w, f.Add(f.LoadLocal(w), f.ConstI(1)));
+                  EmitBlock(f, depth + 1, 2);
+                });
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  OpKind RandCmp() {
+    static const OpKind kCmps[] = {OpKind::kCmpEq, OpKind::kCmpNe, OpKind::kCmpLt,
+                                   OpKind::kCmpLe, OpKind::kCmpGt, OpKind::kCmpGe};
+    return kCmps[rng_.NextBelow(6)];
+  }
+
+  support::Rng rng_;
+  Value arr_;
+  Local acc_;
+  std::vector<Value> ivals_;
+  std::vector<Value> fvals_;
+};
+
+// ---------------------------------------------------------------------------
+// Run capture + bit-identity assertion.
+
+struct RunSnapshot {
+  bool ok = false;
+  std::string status;
+  uint64_t result = 0;
+  uint64_t sim_ns = 0;
+  uint64_t instrs = 0;
+  uint64_t offload_fallbacks = 0;
+  interp::RunProfile profile;
+  std::map<std::string, farmem::RemoteAddr> object_addrs;
+};
+
+RunSnapshot RunWith(const ir::Module& m, const std::string& entry, EngineKind engine,
+                    const runtime::CachePlan& plan, uint64_t local_bytes, bool profiling,
+                    uint64_t max_instrs = 0) {
+  pipeline::World world = MakeWorld(SystemKind::kMira, local_bytes, plan);
+  InterpOptions opts;
+  opts.seed = 42;
+  opts.profiling = profiling;
+  opts.engine = engine;
+  opts.max_instrs = max_instrs;
+  Interpreter interp(&m, world.backend.get(), opts);
+  auto r = interp.Run(entry);
+  RunSnapshot snap;
+  snap.ok = r.ok();
+  snap.status = r.status().ToString();
+  if (r.ok()) {
+    snap.result = r.value();
+    world.backend->Drain(interp.clock());
+  }
+  snap.sim_ns = interp.clock().now_ns();
+  snap.instrs = interp.instrs_executed();
+  snap.offload_fallbacks = interp.offload_fallbacks();
+  snap.profile = interp.profile();
+  snap.object_addrs = interp.object_addrs();
+  return snap;
+}
+
+void ExpectBitIdentical(const RunSnapshot& tree, const RunSnapshot& bc,
+                        const std::string& what) {
+  SCOPED_TRACE(what);
+  ASSERT_EQ(tree.ok, bc.ok) << "tree: " << tree.status << " bytecode: " << bc.status;
+  EXPECT_EQ(tree.status, bc.status);
+  if (tree.ok) {
+    EXPECT_EQ(tree.result, bc.result);
+  }
+  EXPECT_EQ(tree.sim_ns, bc.sim_ns);
+  EXPECT_EQ(tree.instrs, bc.instrs);
+  EXPECT_EQ(tree.offload_fallbacks, bc.offload_fallbacks);
+  EXPECT_EQ(tree.object_addrs, bc.object_addrs);
+  EXPECT_EQ(tree.profile.total_ns, bc.profile.total_ns);
+  EXPECT_EQ(tree.profile.total_overhead_ns, bc.profile.total_overhead_ns);
+  EXPECT_EQ(tree.profile.alloc_bytes, bc.profile.alloc_bytes);
+  ASSERT_EQ(tree.profile.funcs.size(), bc.profile.funcs.size());
+  for (const auto& [name, tp] : tree.profile.funcs) {
+    ASSERT_TRUE(bc.profile.funcs.count(name)) << name;
+    const interp::FuncProfile& bp = bc.profile.funcs.at(name);
+    EXPECT_EQ(tp.calls, bp.calls) << name;
+    EXPECT_EQ(tp.inclusive_ns, bp.inclusive_ns) << name;
+    EXPECT_EQ(tp.overhead_ns, bp.overhead_ns) << name;
+    EXPECT_EQ(tp.mem_accesses, bp.mem_accesses) << name;
+    EXPECT_EQ(tp.compute_instrs, bp.compute_instrs) << name;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// 1. Fuzz: random verified modules, seeds 1/7/42.
+
+TEST(BytecodeDifferential, FuzzRandomModules) {
+  for (const uint64_t seed : {1ULL, 7ULL, 42ULL}) {
+    support::SplitMix64 expand(seed);
+    for (int iter = 0; iter < 24; ++iter) {
+      const uint64_t case_seed = expand.Next();
+      RandomProgram gen(case_seed);
+      auto m = gen.Build();
+      ASSERT_TRUE(ir::VerifyModule(*m).ok()) << "seed " << seed << " iter " << iter;
+      // Alternate profiling so instrumentation-cost charging is compared too.
+      const bool profiling = (iter % 2) == 0;
+      const auto tree = RunWith(*m, "main", EngineKind::kTree, {}, 1 << 20, profiling);
+      const auto bc = RunWith(*m, "main", EngineKind::kBytecode, {}, 1 << 20, profiling);
+      ExpectBitIdentical(tree, bc,
+                         "seed " + std::to_string(seed) + " iter " + std::to_string(iter) +
+                             " case_seed " + std::to_string(case_seed));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// 2. Pipeline-compiled workloads: the full rmem dialect (sections,
+// prefetch, batching, promotion, selective transmission, offload).
+
+RunSnapshot CompiledWorkloadRun(workloads::Workload& w, EngineKind engine) {
+  const uint64_t local_bytes = w.footprint_bytes / 4;
+  // Deep-dive compile (the chaos runner / bench FullPlanCompile path). The
+  // profiling run uses the tree walker for both arms so each engine
+  // executes the identical compiled module.
+  pipeline::World prof_world = MakeWorld(SystemKind::kMira, local_bytes);
+  InterpOptions popts;
+  popts.seed = 42;
+  popts.profiling = true;
+  popts.engine = EngineKind::kTree;
+  Interpreter prof(w.module.get(), prof_world.backend.get(), popts);
+  auto prof_result = prof.Run(w.entry);
+  MIRA_CHECK(prof_result.ok());
+  prof_world.backend->Drain(prof.clock());
+
+  analysis::AccessAnalysis access(w.module.get());
+  access.Run();
+  pipeline::PlannerOptions planner;
+  planner.local_bytes = local_bytes;
+  planner.func_frac = 1.0;
+  planner.obj_frac = 1.0;
+  pipeline::PlanDraft draft = pipeline::DerivePlan(*w.module, access, prof.profile(),
+                                                   sim::CostModel::Default(), planner);
+  const ir::Module compiled = pipeline::CompileWithPlan(*w.module, draft, planner, w.entry);
+  return RunWith(compiled, w.entry, engine, draft.plan, local_bytes, /*profiling=*/false);
+}
+
+TEST(BytecodeDifferential, CompiledGraphWorkload) {
+  workloads::GraphParams p;
+  p.num_edges = 6'000;
+  p.num_nodes = 1'500;
+  p.epochs = 2;
+  auto w1 = workloads::BuildGraphTraversal(p);
+  auto w2 = workloads::BuildGraphTraversal(p);
+  ExpectBitIdentical(CompiledWorkloadRun(w1, EngineKind::kTree),
+                     CompiledWorkloadRun(w2, EngineKind::kBytecode), "graph");
+}
+
+TEST(BytecodeDifferential, CompiledDataFrameWorkload) {
+  workloads::DataFrameParams p;
+  p.rows = 8'000;
+  p.groups = 128;
+  auto w1 = workloads::BuildDataFrame(p);
+  auto w2 = workloads::BuildDataFrame(p);
+  ExpectBitIdentical(CompiledWorkloadRun(w1, EngineKind::kTree),
+                     CompiledWorkloadRun(w2, EngineKind::kBytecode), "dataframe");
+}
+
+// ---------------------------------------------------------------------------
+// 3. Edge paths.
+
+TEST(BytecodeDifferential, MaxInstrBudgetAbortsIdentically) {
+  ir::Module m;
+  FunctionBuilder f(&m, "main", {}, Type::kI64);
+  const Local x = f.DeclLocal(Type::kI64);
+  f.StoreLocal(x, f.ConstI(0));
+  f.While([&] { return f.ConstI(1); },
+          [&] { f.StoreLocal(x, f.Add(f.LoadLocal(x), f.ConstI(1))); });
+  f.Return(f.LoadLocal(x));
+  ASSERT_TRUE(ir::VerifyModule(m).ok());
+  const auto tree =
+      RunWith(m, "main", EngineKind::kTree, {}, 1 << 20, false, /*max_instrs=*/10'000);
+  const auto bc =
+      RunWith(m, "main", EngineKind::kBytecode, {}, 1 << 20, false, /*max_instrs=*/10'000);
+  EXPECT_FALSE(tree.ok);
+  ExpectBitIdentical(tree, bc, "budget abort");
+}
+
+TEST(Bytecode, CodeCacheSharesCompilations) {
+  ir::Module m;
+  {
+    FunctionBuilder f(&m, "main", {}, Type::kI64);
+    const Local acc = f.DeclLocal(Type::kI64);
+    f.StoreLocal(acc, f.ConstI(0));
+    f.For(f.ConstI(0), f.ConstI(16), f.ConstI(1),
+          [&](Value i) { f.StoreLocal(acc, f.Add(f.LoadLocal(acc), i)); });
+    f.Return(f.LoadLocal(acc));
+  }
+  const auto before = interp::bytecode::GetCodeCacheStats();
+  auto first = interp::bytecode::SharedBytecode(m);
+  auto again = interp::bytecode::SharedBytecode(m);
+  // Same module → same shared compilation, served from the cache.
+  EXPECT_EQ(first.get(), again.get());
+  // A clone has the same content fingerprint, so it shares the entry too.
+  const ir::Module clone = m.Clone();
+  auto from_clone = interp::bytecode::SharedBytecode(clone);
+  EXPECT_EQ(first.get(), from_clone.get());
+  EXPECT_EQ(first->fingerprint, ir::ModuleFingerprint(clone));
+  const auto after = interp::bytecode::GetCodeCacheStats();
+  EXPECT_GE(after.hits, before.hits + 2);
+  EXPECT_GE(after.entries, 1u);
+}
+
+TEST(Bytecode, EngineNameRoundTrip) {
+  EXPECT_EQ(interp::ParseEngineName("tree"), EngineKind::kTree);
+  EXPECT_EQ(interp::ParseEngineName("bytecode"), EngineKind::kBytecode);
+  EXPECT_EQ(interp::ParseEngineName("nope"), EngineKind::kDefault);
+  EXPECT_STREQ(interp::EngineName(EngineKind::kTree), "tree");
+  EXPECT_STREQ(interp::EngineName(EngineKind::kBytecode), "bytecode");
+  // The resolved default is never kDefault.
+  EXPECT_NE(interp::DefaultEngine(), EngineKind::kDefault);
+}
+
+}  // namespace
+}  // namespace mira

@@ -58,6 +58,10 @@ struct Args {
   std::string out_dir = ".";
   std::vector<std::string> fail_oracles;
   std::string replay_path;
+  // Execution engine (tree | bytecode); kDefault = MIRA_INTERP / bytecode.
+  // Engines are bit-identical, so an artifact found under one engine must
+  // replay EXACT under the other — --interp makes that cross-check easy.
+  mira::interp::EngineKind engine = mira::interp::EngineKind::kDefault;
   bool verbose = false;
 };
 
@@ -65,8 +69,9 @@ int Usage() {
   std::fprintf(stderr,
                "usage: mira_chaos [--seeds=A..B] [--workloads=graph,dataframe]\n"
                "                  [--local-percent=N] [--max-events=N] [--out-dir=DIR]\n"
-               "                  [--fail-oracle=kind[,kind...]] [--verbose]\n"
-               "       mira_chaos --replay=chaos_repro_*.json\n");
+               "                  [--fail-oracle=kind[,kind...]] [--interp=tree|bytecode]\n"
+               "                  [--verbose]\n"
+               "       mira_chaos --replay=chaos_repro_*.json [--interp=tree|bytecode]\n");
   return 2;
 }
 
@@ -123,6 +128,11 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->fail_oracles = SplitCommas(a + 14);
     } else if (std::strncmp(a, "--replay=", 9) == 0) {
       args->replay_path = a + 9;
+    } else if (std::strncmp(a, "--interp=", 9) == 0) {
+      args->engine = mira::interp::ParseEngineName(a + 9);
+      if (args->engine == mira::interp::EngineKind::kDefault) {
+        return false;
+      }
     } else if (std::strcmp(a, "--verbose") == 0) {
       args->verbose = true;
     } else {
@@ -191,7 +201,7 @@ bool RunCase(const ChaosRunner& runner, uint64_t seed, const Args& args) {
   return false;
 }
 
-int Replay(const std::string& path) {
+int Replay(const std::string& path, mira::interp::EngineKind engine) {
   auto loaded = mira::chaos::LoadArtifact(path);
   if (!loaded.ok()) {
     std::fprintf(stderr, "mira_chaos: %s\n", loaded.status().ToString().c_str());
@@ -202,6 +212,7 @@ int Replay(const std::string& path) {
   ropts.workload = artifact.workload;
   ropts.local_percent = artifact.local_percent;
   ropts.interp_seed = artifact.interp_seed;
+  ropts.engine = engine;
   const ChaosRunner runner(ropts);
 
   // Composition purity check first: the saved plan must equal recomposing
@@ -244,7 +255,7 @@ int main(int argc, char** argv) {
     return Usage();
   }
   if (!args.replay_path.empty()) {
-    return Replay(args.replay_path);
+    return Replay(args.replay_path, args.engine);
   }
   for (const std::string& w : args.workloads) {
     bool known = false;
@@ -263,6 +274,7 @@ int main(int argc, char** argv) {
     RunnerOptions ropts;
     ropts.workload = w;
     ropts.local_percent = args.local_percent;
+    ropts.engine = args.engine;
     const ChaosRunner runner(ropts);
     for (uint64_t seed = args.seed_begin; seed <= args.seed_end; ++seed) {
       ++cases;
