@@ -31,6 +31,10 @@ void PublishSectionStats(telemetry::MetricsRegistry& registry, const std::string
   registry.SetCounter(prefix + ".prefetch.wasted", stats.prefetch_wasted);
   registry.SetCounter(prefix + ".prefetch.late_ns", stats.prefetch_late_ns);
   registry.SetGauge(prefix + ".prefetch.accuracy", stats.prefetch_accuracy());
+  registry.SetCounter(prefix + ".inflight.joins", stats.inflight_joins);
+  registry.SetCounter(prefix + ".inflight.join_wait_ns", stats.inflight_join_ns);
+  registry.SetCounter(prefix + ".coalesced.fetches", stats.coalesced_fetches);
+  registry.SetCounter(prefix + ".coalesced.lines", stats.coalesced_lines);
   registry.SetCounter(prefix + ".bytes_fetched", stats.bytes_fetched);
   registry.SetCounter(prefix + ".bytes_written_back", stats.bytes_written_back);
   registry.SetCounter(prefix + ".degraded_ns", stats.degraded_ns);
@@ -166,6 +170,25 @@ void Section::AccessLine(sim::SimClock& clk, uint64_t line, bool write, bool ful
     m.ready_at_ns = clk.now_ns();
     return;
   }
+  // MSHR join: a fetch covering this line may already be in flight — a
+  // prefetched line whose frame was soft-evicted before the data landed, or
+  // another logical thread's fetch for the same range. Adopt it and charge
+  // only the residual latency instead of issuing a duplicate verb.
+  const uint64_t line_raddr = line * config_.line_bytes;
+  if (const uint64_t pending = net_->TryJoinRead(clk, line_raddr, config_.line_bytes);
+      pending != 0 && JoinVerified(clk, line_raddr, config_.line_bytes)) {
+    const uint64_t wait = pending > clk.now_ns() ? pending - clk.now_ns() : 0;
+    ++stats_.inflight_joins;
+    stats_.inflight_join_ns += wait;
+    stats_.stall_ns += wait;
+    m.ready_at_ns = pending;
+    clk.AdvanceTo(pending);
+    auto& join_prof = telemetry::Profiler();
+    if (join_prof.enabled()) {
+      join_prof.ChargeStall(clk, "inflight_wait", config_.name, wait);
+    }
+    return;
+  }
   const uint64_t t0 = clk.now_ns();
   auto& prof = telemetry::Profiler();
   const bool profiled = prof.enabled();
@@ -222,6 +245,29 @@ support::Result<uint64_t> Section::TryFetchLine(sim::SimClock& clk, uint64_t lin
   }
   stats_.bytes_fetched += bytes;
   return r;
+}
+
+bool Section::JoinVerified(sim::SimClock& clk, uint64_t raddr, uint32_t len) {
+  auto* integ = ActiveIntegrity(net_);
+  if (integ == nullptr) {
+    return true;
+  }
+  const auto verdict = integ->VerifyFetch(clk, raddr, raddr, len, net_->last_delivery());
+  if (verdict == integrity::FetchVerdict::kClean ||
+      verdict == integrity::FetchVerdict::kFatal) {
+    // Fatal (quarantined) joins stand too, exactly like FetchLineReliable:
+    // the interpreter surfaces kDataLoss before the data is consumed.
+    return true;
+  }
+  if (verdict == integrity::FetchVerdict::kStale) {
+    DrainPendingWritebacks(clk);
+  }
+  // Tainted shared fetch: one failure fails every waiter the same way. The
+  // entry dies here, so this waiter and all later ones share the single
+  // demand ladder the caller now runs (whose verify rounds heal the episode
+  // this check opened).
+  net_->DropInflight(raddr, len);
+  return false;
 }
 
 uint64_t Section::FetchLineReliable(sim::SimClock& clk, uint64_t line) {
@@ -369,16 +415,22 @@ void Section::DrainPendingWritebacks(sim::SimClock& clk) {
     const uint64_t raddr = pending_writebacks_.back();
     const bool tear = applied >= tear_at;
     for (int round = 0;; ++round) {
-      support::Status s = net_->TryWriteSync(clk, raddr, nullptr, config_.line_bytes);
-      if (s.ok()) {
+      // Async drain: the verb only charges issue CPU here and completes on
+      // the link in the background, so the drain overlaps whatever demand
+      // fetch interrupted it. Sync points (FlushAll / Release) still wait on
+      // last_writeback_done_ns_, so durability ordering is unchanged.
+      support::Result<uint64_t> r =
+          net_->TryWriteAsync(clk, raddr, nullptr, config_.line_bytes);
+      if (r.ok()) {
         if (tear || integ == nullptr ||
             integ->CommitWriteback(clk, raddr, config_.line_bytes, net_->last_delivery())) {
+          last_writeback_done_ns_ = std::max(last_writeback_done_ns_, r.value());
           break;
         }
         // Frame rejected at the far node: retransmit (counts as a round).
-      } else if (s.code() == support::ErrorCode::kUnavailable) {
+      } else if (r.status().code() == support::ErrorCode::kUnavailable) {
         WaitOutOutage(clk);
-      } else if (s.code() == support::ErrorCode::kNodeFailed) {
+      } else if (r.status().code() == support::ErrorCode::kNodeFailed) {
         if (net_->RecoverNodeFailure(clk, raddr, config_.line_bytes).ok()) {
           ++stats_.node_failovers;
         } else if (integ != nullptr) {
@@ -387,7 +439,9 @@ void Section::DrainPendingWritebacks(sim::SimClock& clk) {
       }
       if (round + 1 >= config_.max_fault_rounds) {
         ++stats_.reliable_escalations;
-        net_->WriteSync(clk, raddr, nullptr, config_.line_bytes);
+        last_writeback_done_ns_ = std::max(
+            last_writeback_done_ns_,
+            net_->WriteAsync(clk, raddr, nullptr, config_.line_bytes));
         if (!tear && integ != nullptr) {
           integ->ForceCommit(raddr, config_.line_bytes);
         }
@@ -453,9 +507,12 @@ void Section::EvictSlot(sim::SimClock& clk, uint32_t slot) {
 void Section::AccessBatch(sim::SimClock& clk,
                           const std::vector<std::pair<uint64_t, uint32_t>>& accesses,
                           bool write) {
-  // Phase 1: identify the distinct missing lines, reserving slots.
+  // Phase 1: identify the distinct missing lines, reserving slots. Misses
+  // covered by an in-flight fetch join it (MSHR) instead of re-fetching.
   std::vector<net::Segment> segs;
   std::vector<uint32_t> filled_slots;
+  uint64_t joined_done = 0;
+  uint64_t late_hit_done = 0;
   for (const auto& [raddr, len] : accesses) {
     const uint64_t first = LineOf(raddr);
     const uint64_t last = LineOf(raddr + (len > 0 ? len - 1 : 0));
@@ -465,6 +522,20 @@ void Section::AccessBatch(sim::SimClock& clk,
       const uint32_t slot = LookupSlot(line);
       if (slot != kNoSlot && slots_[slot].valid() && slots_[slot].tag == line) {
         LineMeta& m = slots_[slot];
+        if (m.ready_at_ns > clk.now_ns()) {
+          // Hit on an in-flight (prefetched) line: the batch consumes the
+          // data, so the residual latency is an honest stall — but it
+          // overlaps the batch's own gather below, exactly like an MSHR
+          // join. (This wait was silently skipped before — in-flight lines
+          // looked free to batched accesses while charging every other
+          // path.)
+          late_hit_done = std::max(late_hit_done, m.ready_at_ns);
+        }
+        if (m.prefetched) {
+          ++stats_.prefetched_hits;
+          m.prefetched = false;
+          soft_pins_[slot] = 0;
+        }
         stats_.lines.Hit();
         m.last_use = ++use_counter_;
         if (write) {
@@ -488,13 +559,27 @@ void Section::AccessBatch(sim::SimClock& clk,
       MemoizeSlot(line, victim);
       clk.Advance(net_->cost().line_insert_ns);
       stats_.runtime_ns += net_->cost().line_insert_ns;
-      segs.push_back(net::Segment{line * config_.line_bytes, nullptr, config_.line_bytes});
+      const uint64_t line_raddr = line * config_.line_bytes;
+      if (const uint64_t pending = net_->TryJoinRead(clk, line_raddr, config_.line_bytes);
+          pending != 0 && JoinVerified(clk, line_raddr, config_.line_bytes)) {
+        // Duplicate suppressed: the line rides the fetch already in flight
+        // (no segment, no bytes); the batch waits for it below.
+        ++stats_.inflight_joins;
+        m.ready_at_ns = pending;
+        joined_done = std::max(joined_done, pending);
+        continue;
+      }
+      segs.push_back(net::Segment{line_raddr, nullptr, config_.line_bytes});
       filled_slots.push_back(victim);
       stats_.bytes_fetched += config_.line_bytes;
     }
   }
   // Phase 2: one gather message for everything that missed.
   if (!segs.empty()) {
+    if (segs.size() >= 2) {
+      ++stats_.coalesced_fetches;
+      stats_.coalesced_lines += segs.size();
+    }
     auto* integ = ActiveIntegrity(net_);
     const uint64_t gather_key = segs.front().raddr;  // episode key for the message
     const uint64_t t0 = clk.now_ns();
@@ -608,74 +693,185 @@ void Section::AccessBatch(sim::SimClock& clk,
   }
   // Phase 3: the data accesses themselves.
   clk.Advance(accesses.size() * net_->cost().native_access_ns);
+  // Lines that were already in flight when the batch began — prefetched
+  // lines it hit and fetches it joined (MSHR): the batch consumes lines as
+  // they land, so it computes on the ready ones while a late one finishes,
+  // and stalls only for whatever residual outlives both the gather and the
+  // batch's own compute (usually nothing — those fetches started earlier).
+  if (late_hit_done > clk.now_ns()) {
+    const uint64_t wait = late_hit_done - clk.now_ns();
+    stats_.stall_ns += wait;
+    stats_.prefetch_late_ns += wait;
+    clk.AdvanceTo(late_hit_done);
+    auto& prof = telemetry::Profiler();
+    if (prof.enabled()) {
+      prof.ChargeStall(clk, "prefetch_wait", config_.name, wait);
+    }
+  }
+  if (joined_done > clk.now_ns()) {
+    const uint64_t wait = joined_done - clk.now_ns();
+    stats_.stall_ns += wait;
+    stats_.inflight_join_ns += wait;
+    clk.AdvanceTo(joined_done);
+    auto& prof = telemetry::Profiler();
+    if (prof.enabled()) {
+      prof.ChargeStall(clk, "inflight_wait", config_.name, wait);
+    }
+  }
+}
+
+void Section::PrefetchInserted(sim::SimClock& clk, uint64_t line, uint32_t slot,
+                               uint64_t ready_at_ns) {
+  LineMeta& m = slots_[slot];
+  m.ready_at_ns = ready_at_ns;
+  ++stats_.prefetches_issued;
+  auto& trace = telemetry::Trace();
+  if (trace.enabled()) {
+    trace.InstantOn(LaneTid(), clk.now_ns(), "cache." + config_.name + ".prefetch", "cache",
+                    support::StrFormat("{\"line\":%llu,\"ready_at_ns\":%llu}",
+                                       static_cast<unsigned long long>(line),
+                                       static_cast<unsigned long long>(m.ready_at_ns)));
+  }
+}
+
+void Section::PrefetchAborted(sim::SimClock& clk, uint64_t line, uint32_t slot) {
+  // Hand the reserved slot back and move on. The line downgrades to a
+  // demand fetch at its first real access — correctness is unaffected, only
+  // the latency hiding is lost (and, for tainted discards, the open
+  // integrity episode heals at that verified demand fetch or at the final
+  // audit if the line is never touched again).
+  LineMeta& m = slots_[slot];
+  OnInvalidate(slot, m.tag);
+  soft_pins_[slot] = 0;
+  m.Invalidate();
+  MIRA_CHECK(resident_ > 0);
+  --resident_;
+  ++stats_.prefetch_aborted;
+  auto& trace = telemetry::Trace();
+  if (trace.enabled()) {
+    trace.InstantOn(LaneTid(), clk.now_ns(), "cache." + config_.name + ".prefetch_aborted",
+                    "cache",
+                    support::StrFormat("{\"line\":%llu}",
+                                       static_cast<unsigned long long>(line)));
+  }
 }
 
 void Section::Prefetch(sim::SimClock& clk, uint64_t raddr, uint32_t len) {
   const uint64_t first = LineOf(raddr);
   const uint64_t last = LineOf(raddr + (len > 0 ? len - 1 : 0));
+  // Selective transmission (two-sided partial reads) keeps the per-line
+  // verb: the far CPU gathers fields per line, and merging lines into one
+  // message would change the modeled transfer shape.
+  const bool coalescible =
+      !(config_.comm == CommMethod::kTwoSided && config_.transfer_fraction < 1.0);
+  // Phase 1: reserve a slot per missing line — victim choice, eviction, and
+  // issue CPU are charged per line exactly as the serial path always did —
+  // and insert the line as in-flight so later lines in this same burst see
+  // it as resident.
+  std::vector<std::pair<uint64_t, uint32_t>> pending;  // (line, slot)
   for (uint64_t line = first; line <= last; ++line) {
     if (FindSlot(line) != kNoSlot) {
       continue;  // already resident or in flight
     }
     const uint32_t victim = ChooseSlot(line);
     if (victim == kNoSlot) {
-      return;  // nothing evictable; drop the prefetch
+      break;  // nothing evictable; drop the rest of the burst
     }
     EvictSlot(clk, victim);
+    // A tiny section can be forced to soft-evict a line reserved earlier in
+    // this very burst; its pending entry died with the slot.
+    for (size_t i = 0; i < pending.size(); ++i) {
+      if (pending[i].second == victim) {
+        pending.erase(pending.begin() + static_cast<ptrdiff_t>(i));
+        break;
+      }
+    }
     clk.Advance(net_->cost().prefetch_issue_ns);
     stats_.runtime_ns += net_->cost().prefetch_issue_ns;
-    const support::Result<uint64_t> fetch = TryFetchLine(clk, line, /*demand=*/false);
-    if (!fetch.ok()) {
-      // Fault-dropped prefetch: leave the slot invalid and move on. The line
-      // downgrades to a demand fetch at its first real access — correctness
-      // is unaffected, only the latency hiding is lost.
-      ++stats_.prefetch_aborted;
-      auto& trace = telemetry::Trace();
-      if (trace.enabled()) {
-        trace.InstantOn(LaneTid(), clk.now_ns(), "cache." + config_.name + ".prefetch_aborted",
-                        "cache",
-                        support::StrFormat("{\"line\":%llu}",
-                                           static_cast<unsigned long long>(line)));
-      }
-      continue;
-    }
-    if (auto* integ = ActiveIntegrity(net_); integ != nullptr) {
-      const uint64_t line_raddr = line * config_.line_bytes;
-      const auto verdict = integ->VerifyFetch(clk, line_raddr, line_raddr, config_.line_bytes,
-                                              net_->last_delivery());
-      if (verdict == integrity::FetchVerdict::kRetry ||
-          verdict == integrity::FetchVerdict::kStale) {
-        // Tainted prefetch: discard the copy rather than retry — the open
-        // episode heals at the line's (verified) demand fetch, or at the
-        // final audit if the line is never touched again.
-        ++stats_.prefetch_aborted;
-        auto& trace = telemetry::Trace();
-        if (trace.enabled()) {
-          trace.InstantOn(LaneTid(), clk.now_ns(),
-                          "cache." + config_.name + ".prefetch_aborted", "cache",
-                          support::StrFormat("{\"line\":%llu}",
-                                             static_cast<unsigned long long>(line)));
-        }
-        continue;
-      }
-    }
     LineMeta& m = slots_[victim];
     m.tag = line;
     m.last_use = ++use_counter_;
     m.dirty = false;
+    m.evictable = false;
     m.prefetched = true;
-    m.ready_at_ns = fetch.value();
+    m.ready_at_ns = clk.now_ns();  // provisional; set when the fetch issues
     ++resident_;
-    ++stats_.prefetches_issued;
     soft_pins_[victim] = 1;
     OnInsert(victim, line);
-    auto& trace = telemetry::Trace();
-    if (trace.enabled()) {
-      trace.InstantOn(LaneTid(), clk.now_ns(), "cache." + config_.name + ".prefetch", "cache",
-                      support::StrFormat("{\"line\":%llu,\"ready_at_ns\":%llu}",
-                                         static_cast<unsigned long long>(line),
-                                         static_cast<unsigned long long>(m.ready_at_ns)));
+    pending.push_back({line, victim});
+  }
+  if (pending.empty()) {
+    return;
+  }
+  auto* integ = ActiveIntegrity(net_);
+  // Phase 2, single line (or non-coalescible section): the historical
+  // one-verb-per-line path, bit-identical to the serial issue.
+  if (!coalescible || pending.size() == 1) {
+    for (const auto& [line, slot] : pending) {
+      const support::Result<uint64_t> fetch = TryFetchLine(clk, line, /*demand=*/false);
+      if (!fetch.ok()) {
+        PrefetchAborted(clk, line, slot);
+        continue;
+      }
+      if (integ != nullptr) {
+        const uint64_t line_raddr = line * config_.line_bytes;
+        const auto verdict = integ->VerifyFetch(clk, line_raddr, line_raddr,
+                                                config_.line_bytes, net_->last_delivery());
+        if (verdict == integrity::FetchVerdict::kRetry ||
+            verdict == integrity::FetchVerdict::kStale) {
+          // Tainted prefetch: discard the copy rather than retry, and kill
+          // its in-flight entry so no demand miss joins the bad fetch.
+          net_->DropInflight(line_raddr, config_.line_bytes);
+          PrefetchAborted(clk, line, slot);
+          continue;
+        }
+      }
+      PrefetchInserted(clk, line, slot, fetch.value());
     }
+    return;
+  }
+  // Phase 2, coalesced: every pending line rides ONE scatter-gather verb —
+  // one per-message CPU charge, one link occupancy, one RTT — instead of a
+  // doorbell ring per line.
+  std::vector<net::Segment> segs;
+  segs.reserve(pending.size());
+  for (const auto& [line, slot] : pending) {
+    segs.push_back(net::Segment{line * config_.line_bytes, nullptr, config_.line_bytes});
+  }
+  std::vector<uint64_t> seg_done;
+  const support::Result<uint64_t> fetch = net_->TryReadGatherAsync(clk, segs, &seg_done);
+  if (!fetch.ok()) {
+    // The whole message faulted out: every line in the burst aborts, just
+    // as each would have under per-line issue. First demand access re-fetches.
+    for (const auto& [line, slot] : pending) {
+      PrefetchAborted(clk, line, slot);
+    }
+    return;
+  }
+  ++stats_.coalesced_fetches;
+  stats_.coalesced_lines += pending.size();
+  stats_.bytes_fetched += pending.size() * config_.line_bytes;
+  // One message, one delivery: the first segment carries the wire taint
+  // (one corruption episode per message, mirroring AccessBatch); every line
+  // still gets its own per-line verdict so a discard stays line-granular.
+  net::Delivery delivery = net_->last_delivery();
+  for (size_t i = 0; i < pending.size(); ++i) {
+    const auto [line, slot] = pending[i];
+    if (integ != nullptr) {
+      const uint64_t line_raddr = line * config_.line_bytes;
+      const auto verdict =
+          integ->VerifyFetch(clk, line_raddr, line_raddr, config_.line_bytes, delivery);
+      delivery = net::Delivery{};
+      if (verdict == integrity::FetchVerdict::kRetry ||
+          verdict == integrity::FetchVerdict::kStale) {
+        net_->DropInflight(line_raddr, config_.line_bytes);
+        PrefetchAborted(clk, line, slot);
+        continue;
+      }
+    }
+    // Each line is ready when its own segment's bytes land, not when the
+    // whole message does — coalescing must not delay the first line.
+    PrefetchInserted(clk, line, slot, seg_done[i]);
   }
 }
 

@@ -43,6 +43,11 @@ struct SectionStats {
   uint64_t prefetch_wasted = 0;    // prefetched lines evicted/released unused
   uint64_t bytes_fetched = 0;
   uint64_t bytes_written_back = 0;
+  // ---- In-flight merging & coalescing (DESIGN.md §5.1) ----
+  uint64_t inflight_joins = 0;     // demand misses absorbed by an in-flight fetch
+  uint64_t inflight_join_ns = 0;   // residual latency those joins charged
+  uint64_t coalesced_fetches = 0;  // gather verbs that merged >= 2 pending segments
+  uint64_t coalesced_lines = 0;    // lines/pages carried by those gathers
   // ---- Failure-model counters (DESIGN.md "Failure model") ----
   uint64_t degraded_ns = 0;            // time spent waiting out far-node outages
   uint64_t prefetch_aborted = 0;       // prefetches dropped by faults (later demand-fetched)
@@ -52,10 +57,15 @@ struct SectionStats {
   uint64_t node_failovers = 0;         // kNodeFailed verbs recovered via replica promotion
 
   uint64_t overhead_ns() const { return runtime_ns + stall_ns; }
-  // 3PO-style prefetch accuracy: useful / issued-and-resolved. 0 when no
-  // prefetched line has been used or discarded yet.
+  // 3PO-style prefetch accuracy: useful / issued-and-resolved. Aborted
+  // prefetches count against accuracy too — they consumed an issue slot and
+  // (on taint discards) wire bandwidth without producing a hit, and the
+  // line pays a full demand fetch later anyway. Leaving them out of the
+  // denominator inflated accuracy exactly when faults were suppressing
+  // prefetch, which is when the issue throttle most needs the signal. 0
+  // when no prefetched line has been used or discarded yet.
   double prefetch_accuracy() const {
-    const uint64_t resolved = prefetched_hits + prefetch_wasted;
+    const uint64_t resolved = prefetched_hits + prefetch_wasted + prefetch_aborted;
     return resolved > 0 ? static_cast<double>(prefetched_hits) / static_cast<double>(resolved)
                         : 0.0;
   }
@@ -199,6 +209,21 @@ class Section {
   // One fallible fetch of `line` (the transport retries per its policy).
   // Returns the completion timestamp, or the transport's failure.
   support::Result<uint64_t> TryFetchLine(sim::SimClock& clk, uint64_t line, bool demand);
+
+  // Integrity check for a joined in-flight fetch (the adopted delivery is
+  // in net_->last_delivery()). True = the join stands. False = the verdict
+  // demanded a re-fetch: the shared entry is dropped so every waiter after
+  // this one falls back to the real retry ladder, and the caller must
+  // demand-fetch through FetchLineReliable (whose verify rounds close the
+  // episode this check opened).
+  bool JoinVerified(sim::SimClock& clk, uint64_t raddr, uint32_t len);
+
+  // Prefetch bookkeeping. Prefetch() reserves + inserts a slot per missing
+  // line up front (so a burst sees its own earlier lines as in flight),
+  // then either finalizes the reservation once the fetch issued or rolls it
+  // back on an abort.
+  void PrefetchInserted(sim::SimClock& clk, uint64_t line, uint32_t slot, uint64_t ready_at_ns);
+  void PrefetchAborted(sim::SimClock& clk, uint64_t line, uint32_t slot);
 
   // Demand-fetch degradation ladder: retry, wait out outage windows, verify
   // the delivery when integrity checking is attached (tainted or stale

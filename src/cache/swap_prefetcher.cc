@@ -17,8 +17,11 @@ void ReadaheadPrefetcher::OnFault(uint64_t page, std::vector<uint64_t>* out) {
 }
 
 int64_t LeapPrefetcher::MajorityStride() const {
-  // Boyer-Moore majority vote over the recorded deltas; a candidate must
-  // actually hold a strict majority to win.
+  // Boyer-Moore majority vote over the recorded deltas. Leap accepts a
+  // candidate holding at least half the window (not a strict majority):
+  // with an even-length history a perfectly regular stride interrupted by
+  // every-other-access noise sits at exactly half, and demanding one more
+  // vote silenced the prefetcher on exactly the streams it was built for.
   int64_t cand = 0;
   int count = 0;
   for (const int64_t d : deltas_) {
@@ -35,7 +38,7 @@ int64_t LeapPrefetcher::MajorityStride() const {
     return 0;
   }
   const auto occur = std::count(deltas_.begin(), deltas_.end(), cand);
-  return static_cast<size_t>(occur) * 2 > deltas_.size() ? cand : 0;
+  return static_cast<size_t>(occur) * 2 >= deltas_.size() ? cand : 0;
 }
 
 void LeapPrefetcher::OnFault(uint64_t page, std::vector<uint64_t>* out) {

@@ -76,7 +76,7 @@ void SwapSection::Access(sim::SimClock& clk, uint64_t raddr, uint32_t len, bool 
       lru_.OnTouch(frame_hit);
     } else {
       stats_.lines.Miss();
-      const uint32_t frame = FaultIn(clk, page, /*demand=*/true);
+      const uint32_t frame = FaultIn(clk, page);
       MIRA_CHECK(frame != UINT32_MAX);
       frames_[frame].dirty = write;
       // Prefetcher reacts to the demand fault. Reuse one scratch buffer
@@ -85,18 +85,34 @@ void SwapSection::Access(sim::SimClock& clk, uint64_t raddr, uint32_t len, bool 
       std::vector<uint64_t>& candidates = prefetch_scratch_;
       candidates.clear();
       prefetcher_->OnFault(page, &candidates);
-      for (const uint64_t p : candidates) {
-        if (table_.Find(p) == support::FlatMap64::kNotFound) {
-          FaultIn(clk, p, /*demand=*/false);
-        }
-      }
+      PrefetchPages(clk, candidates);
     }
   }
   // Mapped pages are accessed at native speed.
   clk.Advance(native_access_ns_);
 }
 
-uint32_t SwapSection::FaultIn(sim::SimClock& clk, uint64_t page, bool demand) {
+bool SwapSection::JoinVerified(sim::SimClock& clk, uint64_t raddr) {
+  auto* integ = integrity::ActiveOrNull(net_->integrity());
+  if (integ == nullptr) {
+    return true;
+  }
+  const auto verdict =
+      integ->VerifyFetch(clk, raddr, raddr, kPageBytes, net_->last_delivery());
+  if (verdict == integrity::FetchVerdict::kClean ||
+      verdict == integrity::FetchVerdict::kFatal) {
+    return true;
+  }
+  if (verdict == integrity::FetchVerdict::kStale) {
+    DrainPendingWritebacks(clk);
+  }
+  // Tainted shared fetch: drop the entry so every later waiter shares the
+  // single demand ladder this caller now runs.
+  net_->DropInflight(raddr, kPageBytes);
+  return false;
+}
+
+uint32_t SwapSection::FaultIn(sim::SimClock& clk, uint64_t page) {
   uint32_t frame;
   if (!free_frames_.empty()) {
     frame = free_frames_.back();
@@ -111,9 +127,9 @@ uint32_t SwapSection::FaultIn(sim::SimClock& clk, uint64_t page, bool demand) {
   PageMeta& m = frames_[frame];
   m.page = page;
   m.dirty = false;
-  m.prefetched = !demand;
+  m.prefetched = false;
   const uint64_t raddr = page << kPageShift;
-  if (demand) {
+  {
     // Kernel fault path + synchronous page fetch, serialized across
     // threads when a fault lock is configured.
     const uint64_t fault = demand_fault_ns_;
@@ -126,6 +142,35 @@ uint32_t SwapSection::FaultIn(sim::SimClock& clk, uint64_t page, bool demand) {
       stats_.runtime_ns += fault;
     }
     const uint64_t t0 = clk.now_ns();
+    // MSHR join: a fetch for this page may still be on the wire (e.g. its
+    // frame was soft-evicted before the prefetched data landed). Ride it
+    // for the residual latency instead of issuing a duplicate verb.
+    if (const uint64_t pending = net_->TryJoinRead(clk, raddr, kPageBytes);
+        pending != 0 && JoinVerified(clk, raddr)) {
+      const uint64_t wait = pending > clk.now_ns() ? pending - clk.now_ns() : 0;
+      ++stats_.inflight_joins;
+      stats_.inflight_join_ns += wait;
+      stats_.stall_ns += wait;
+      if (wait > 0) {
+        clk.AdvanceTo(pending);
+      }
+      auto& join_prof = telemetry::Profiler();
+      if (join_prof.enabled()) {
+        join_prof.ChargeStall(clk, "inflight_wait", "swap", wait);
+      }
+      m.ready_at_ns = clk.now_ns();
+      auto& trace = telemetry::Trace();
+      if (trace.enabled()) {
+        trace.CompleteOn(LaneTid(), t0, clk.now_ns() - t0, "cache.swap.fault_join", "cache",
+                         support::StrFormat("{\"page\":%llu}",
+                                            static_cast<unsigned long long>(page)));
+      }
+      table_.Insert(page, frame);
+      memo_page_ = page;
+      memo_frame_ = frame;
+      lru_.OnInsert(frame);
+      return frame;
+    }
     auto& prof = telemetry::Profiler();
     const bool profiled = prof.enabled();
     if (profiled) {
@@ -207,34 +252,6 @@ uint32_t SwapSection::FaultIn(sim::SimClock& clk, uint64_t page, bool demand) {
                        support::StrFormat("{\"page\":%llu}",
                                           static_cast<unsigned long long>(page)));
     }
-  } else {
-    const uint64_t issue = net_->cost().prefetch_issue_ns;
-    clk.Advance(issue);
-    stats_.runtime_ns += issue;
-    const support::Result<uint64_t> r = net_->TryReadAsync(clk, raddr, nullptr, kPageBytes);
-    if (!r.ok()) {
-      // Fault-dropped prefetch: hand the frame back unmapped; the page
-      // downgrades to a demand fault at its first access.
-      ++stats_.prefetch_aborted;
-      m = PageMeta{};
-      free_frames_.push_back(frame);
-      return UINT32_MAX;
-    }
-    if (auto* integ = integrity::ActiveOrNull(net_->integrity()); integ != nullptr) {
-      const auto verdict =
-          integ->VerifyFetch(clk, raddr, raddr, kPageBytes, net_->last_delivery());
-      if (verdict == integrity::FetchVerdict::kRetry ||
-          verdict == integrity::FetchVerdict::kStale) {
-        // Tainted prefetched page: discard it; the open episode heals at the
-        // page's verified demand fault or at the final audit.
-        ++stats_.prefetch_aborted;
-        m = PageMeta{};
-        free_frames_.push_back(frame);
-        return UINT32_MAX;
-      }
-    }
-    m.ready_at_ns = r.value();
-    ++stats_.prefetches_issued;
   }
   stats_.bytes_fetched += kPageBytes;
   table_.Insert(page, frame);
@@ -242,6 +259,131 @@ uint32_t SwapSection::FaultIn(sim::SimClock& clk, uint64_t page, bool demand) {
   memo_frame_ = frame;
   lru_.OnInsert(frame);
   return frame;
+}
+
+void SwapSection::PrefetchRollback(uint64_t page, uint32_t frame) {
+  // Fault-dropped or tainted prefetch: hand the frame back unmapped; the
+  // page downgrades to a demand fault at its first access (where any open
+  // integrity episode heals, or at the final audit if never touched).
+  ++stats_.prefetch_aborted;
+  table_.Erase(page);
+  lru_.Remove(frame);
+  frames_[frame] = PageMeta{};
+  free_frames_.push_back(frame);
+}
+
+void SwapSection::PrefetchPages(sim::SimClock& clk, const std::vector<uint64_t>& candidates) {
+  // Phase 1: reserve + map a frame per missing page — victim choice,
+  // eviction, and issue CPU are charged per page exactly as the serial path
+  // always did — so later candidates in this burst see earlier ones as
+  // resident.
+  std::vector<std::pair<uint64_t, uint32_t>> pending;  // (page, frame)
+  pending.reserve(candidates.size());
+  for (const uint64_t page : candidates) {
+    if (table_.Find(page) != support::FlatMap64::kNotFound) {
+      continue;
+    }
+    uint32_t frame;
+    if (!free_frames_.empty()) {
+      frame = free_frames_.back();
+      free_frames_.pop_back();
+    } else {
+      frame = lru_.ChooseVictim(no_pins_);
+      if (frame == ActiveInactiveLru::kNil) {
+        break;  // nothing evictable; drop the rest of the burst
+      }
+      EvictFrame(clk, frame);
+      // A tiny pool can be forced to evict a page reserved earlier in this
+      // very burst; its pending entry died with the frame.
+      for (size_t i = 0; i < pending.size(); ++i) {
+        if (pending[i].second == frame) {
+          pending.erase(pending.begin() + static_cast<ptrdiff_t>(i));
+          break;
+        }
+      }
+    }
+    const uint64_t issue = net_->cost().prefetch_issue_ns;
+    clk.Advance(issue);
+    stats_.runtime_ns += issue;
+    PageMeta& m = frames_[frame];
+    m.page = page;
+    m.dirty = false;
+    m.prefetched = true;
+    m.ready_at_ns = clk.now_ns();  // provisional; set when the fetch issues
+    table_.Insert(page, frame);
+    lru_.OnInsert(frame);
+    pending.push_back({page, frame});
+  }
+  if (pending.empty()) {
+    return;
+  }
+  auto* integ = integrity::ActiveOrNull(net_->integrity());
+  // Phase 2, single page: the historical one-verb path, bit-identical.
+  if (pending.size() == 1) {
+    const auto [page, frame] = pending[0];
+    const uint64_t raddr = page << kPageShift;
+    const support::Result<uint64_t> r = net_->TryReadAsync(clk, raddr, nullptr, kPageBytes);
+    if (!r.ok()) {
+      PrefetchRollback(page, frame);
+      return;
+    }
+    if (integ != nullptr) {
+      const auto verdict =
+          integ->VerifyFetch(clk, raddr, raddr, kPageBytes, net_->last_delivery());
+      if (verdict == integrity::FetchVerdict::kRetry ||
+          verdict == integrity::FetchVerdict::kStale) {
+        net_->DropInflight(raddr, kPageBytes);
+        PrefetchRollback(page, frame);
+        return;
+      }
+    }
+    frames_[frame].ready_at_ns = r.value();
+    ++stats_.prefetches_issued;
+    stats_.bytes_fetched += kPageBytes;
+    return;
+  }
+  // Phase 2, coalesced: the whole readahead window rides ONE scatter-gather
+  // verb — one per-message CPU charge, one doorbell — instead of a verb per
+  // page.
+  std::vector<net::Segment> segs;
+  segs.reserve(pending.size());
+  for (const auto& [page, frame] : pending) {
+    segs.push_back(net::Segment{page << kPageShift, nullptr, kPageBytes});
+  }
+  std::vector<uint64_t> seg_done;
+  const support::Result<uint64_t> r = net_->TryReadGatherAsync(clk, segs, &seg_done);
+  if (!r.ok()) {
+    // The whole message faulted out: every page aborts, as each would have
+    // under per-page issue. First demand access re-faults.
+    for (const auto& [page, frame] : pending) {
+      PrefetchRollback(page, frame);
+    }
+    return;
+  }
+  ++stats_.coalesced_fetches;
+  stats_.coalesced_lines += pending.size();
+  // One message, one delivery: the first segment carries the wire taint;
+  // every page still gets its own verdict so a discard stays page-granular.
+  net::Delivery delivery = net_->last_delivery();
+  for (size_t i = 0; i < pending.size(); ++i) {
+    const auto [page, frame] = pending[i];
+    if (integ != nullptr) {
+      const uint64_t raddr = page << kPageShift;
+      const auto verdict = integ->VerifyFetch(clk, raddr, raddr, kPageBytes, delivery);
+      delivery = net::Delivery{};
+      if (verdict == integrity::FetchVerdict::kRetry ||
+          verdict == integrity::FetchVerdict::kStale) {
+        net_->DropInflight(raddr, kPageBytes);
+        PrefetchRollback(page, frame);
+        continue;
+      }
+    }
+    // Each page is ready when its own segment's bytes land, not when the
+    // whole message does — coalescing must not delay the first page.
+    frames_[frame].ready_at_ns = seg_done[i];
+    ++stats_.prefetches_issued;
+    stats_.bytes_fetched += kPageBytes;
+  }
 }
 
 void SwapSection::EvictFrame(sim::SimClock& clk, uint32_t slot) {
@@ -326,15 +468,20 @@ void SwapSection::DrainPendingWritebacks(sim::SimClock& clk) {
     const uint64_t raddr = pending_writebacks_.back();
     const bool tear = applied >= tear_at;
     for (int round = 0;; ++round) {
-      const support::Status s = net_->TryWriteSync(clk, raddr, nullptr, kPageBytes);
-      if (s.ok()) {
+      // Async drain (see cache::Section::DrainPendingWritebacks): the verb
+      // completes on the link in the background; sync points still wait on
+      // last_writeback_done_ns_.
+      const support::Result<uint64_t> r =
+          net_->TryWriteAsync(clk, raddr, nullptr, kPageBytes);
+      if (r.ok()) {
         if (tear || integ == nullptr ||
             integ->CommitWriteback(clk, raddr, kPageBytes, net_->last_delivery())) {
+          last_writeback_done_ns_ = std::max(last_writeback_done_ns_, r.value());
           break;
         }
-      } else if (s.code() == support::ErrorCode::kUnavailable) {
+      } else if (r.status().code() == support::ErrorCode::kUnavailable) {
         WaitOutOutage(clk);
-      } else if (s.code() == support::ErrorCode::kNodeFailed) {
+      } else if (r.status().code() == support::ErrorCode::kNodeFailed) {
         if (net_->RecoverNodeFailure(clk, raddr, kPageBytes).ok()) {
           ++stats_.node_failovers;
         } else if (integ != nullptr) {
@@ -343,7 +490,9 @@ void SwapSection::DrainPendingWritebacks(sim::SimClock& clk) {
       }
       if (round + 1 >= max_fault_rounds_) {
         ++stats_.reliable_escalations;
-        net_->WriteSync(clk, raddr, nullptr, kPageBytes);
+        last_writeback_done_ns_ = std::max(
+            last_writeback_done_ns_,
+            net_->WriteAsync(clk, raddr, nullptr, kPageBytes));
         if (!tear && integ != nullptr) {
           integ->ForceCommit(raddr, kPageBytes);
         }

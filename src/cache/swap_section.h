@@ -82,9 +82,19 @@ class SwapSection {
     return frame;
   }
 
-  // Faults `page` in (demand or prefetch); returns the chosen slot, or
-  // UINT32_MAX if no frame could be freed (or a prefetch fetch faulted).
-  uint32_t FaultIn(sim::SimClock& clk, uint64_t page, bool demand);
+  // Demand-faults `page` in; returns the chosen slot, or UINT32_MAX if no
+  // frame could be freed. Joins an in-flight fetch of the page when one is
+  // pending (residual latency only, no duplicate verb).
+  uint32_t FaultIn(sim::SimClock& clk, uint64_t page);
+  // Prefetches every candidate page not already mapped. Two or more missing
+  // pages coalesce into a single scatter-gather verb; a single page keeps
+  // the historical one-verb path.
+  void PrefetchPages(sim::SimClock& clk, const std::vector<uint64_t>& candidates);
+  // Unmaps a reserved prefetch frame whose fetch aborted (fault or taint).
+  void PrefetchRollback(uint64_t page, uint32_t frame);
+  // Integrity check for a joined in-flight fetch; mirrors
+  // cache::Section::JoinVerified (false = entry dropped, run the ladder).
+  bool JoinVerified(sim::SimClock& clk, uint64_t raddr);
   void EvictFrame(sim::SimClock& clk, uint32_t slot);
 
   // Failure-model ladder (mirrors cache::Section; DESIGN.md "Failure

@@ -1,0 +1,152 @@
+// In-flight read table: MSHR semantics for the far-memory data plane.
+//
+// Every successful *asynchronous* read (one-sided async, gather segments)
+// registers the range it is bringing in together with its completion
+// timestamp and the winning attempt's delivery taint. A later request for
+// the same range that arrives before the completion timestamp can *join*
+// the pending entry instead of issuing a duplicate verb: the joiner is
+// charged only the residual latency (entry completion − its own now) and
+// no message, bytes, or link occupancy — exactly a miss-status holding
+// register hit in a hardware cache.
+//
+// Entries expire lazily: once the simulated clock passes `done_ns` the data
+// has landed and cache residency governs — a miss after that point means
+// the frame was evicted, so a real re-fetch is the correct model. The table
+// is a small fixed-capacity ring (registration overwrites the oldest slot);
+// a dropped entry only costs the would-be joiner a full fetch, never
+// correctness.
+//
+// Fault semantics: only *successful* verbs register (a failed attempt never
+// moved bytes), but success can still be silently tainted (corrupt / stale
+// / duplicated delivery). The taint rides the entry so every joiner runs
+// the same integrity verification the original issuer did; a joiner whose
+// verdict demands a re-fetch calls Drop() so the shared entry dies with the
+// episode and subsequent requesters fall back to the real retry ladder —
+// one ladder, shared by all waiters that joined the faulted verb.
+//
+// The table is owned by a Transport, which is per-evaluation-world, so no
+// locking is needed and parallel evaluation stays deterministic.
+
+#ifndef MIRA_SRC_NET_INFLIGHT_H_
+#define MIRA_SRC_NET_INFLIGHT_H_
+
+#include <array>
+#include <cstdint>
+
+#include "src/net/fault_injector.h"
+
+namespace mira::net {
+
+// Counters for the table itself. Cumulative, like FaultStats: Transport's
+// ResetStats() does not touch them.
+struct InflightStats {
+  uint64_t registered = 0;    // async reads entered into the table
+  uint64_t joined = 0;        // requests absorbed by a pending entry
+  uint64_t joined_bytes = 0;  // bytes those joins did NOT re-transfer
+  uint64_t dropped = 0;       // entries killed by a tainted joiner / write
+  void Reset() { *this = InflightStats{}; }
+};
+
+class InflightTable {
+ public:
+  struct Entry {
+    uint64_t raddr = 0;
+    uint32_t len = 0;
+    uint64_t done_ns = 0;  // 0 = empty slot
+    Delivery delivery;
+  };
+
+  // Registers a successful async read of [raddr, raddr+len) completing at
+  // `done_ns`. Re-registering a range whose live entry starts at the same
+  // raddr overwrites it in place (latest fetch wins — e.g. an integrity
+  // heal round re-issuing the same line), so at most one live entry exists
+  // per start address.
+  void Register(uint64_t raddr, uint32_t len, uint64_t done_ns, const Delivery& delivery) {
+    if (!live_hint_) {
+      // Empty table (the steady state for demand-only workloads): no live
+      // entry can share the start address, so skip the scan.
+      entries_[next_victim_] = Entry{raddr, len, done_ns, delivery};
+      next_victim_ = (next_victim_ + 1) % entries_.size();
+      live_hint_ = true;
+      return;
+    }
+    Entry* slot = nullptr;
+    for (Entry& e : entries_) {
+      if (e.done_ns != 0 && e.raddr == raddr) {
+        slot = &e;  // same start address: overwrite
+        break;
+      }
+      if (slot == nullptr && e.done_ns == 0) {
+        slot = &e;
+      }
+    }
+    if (slot == nullptr) {
+      slot = &entries_[next_victim_];
+      next_victim_ = (next_victim_ + 1) % entries_.size();
+    }
+    *slot = Entry{raddr, len, done_ns, delivery};
+    live_hint_ = true;
+  }
+
+  // A live entry covering [raddr, raddr+len) at time `now_ns`, or nullptr.
+  // Expired entries are reclaimed on the way.
+  const Entry* Find(uint64_t raddr, uint32_t len, uint64_t now_ns) {
+    if (!live_hint_) {
+      return nullptr;
+    }
+    const Entry* found = nullptr;
+    bool any_live = false;
+    for (Entry& e : entries_) {
+      if (e.done_ns == 0) {
+        continue;
+      }
+      if (e.done_ns <= now_ns) {
+        e = Entry{};  // landed: residency governs from here on
+        continue;
+      }
+      any_live = true;
+      if (raddr >= e.raddr && raddr + len <= e.raddr + e.len) {
+        found = &e;
+      }
+    }
+    live_hint_ = any_live;
+    return found;
+  }
+
+  // Kills every live entry overlapping [raddr, raddr+len): a joiner saw a
+  // tainted delivery (the shared fetch must not serve anyone else), or a
+  // write made the in-flight data stale. Returns how many entries died.
+  uint32_t Drop(uint64_t raddr, uint64_t len) {
+    if (!live_hint_) {
+      return 0;
+    }
+    uint32_t dropped = 0;
+    for (Entry& e : entries_) {
+      if (e.done_ns != 0 && raddr < e.raddr + e.len && e.raddr < raddr + len) {
+        e = Entry{};
+        ++dropped;
+      }
+    }
+    return dropped;
+  }
+
+  void Clear() {
+    entries_.fill(Entry{});
+    live_hint_ = false;
+  }
+
+  // True when at least one entry *may* be live (cleared lazily by Find).
+  bool maybe_live() const { return live_hint_; }
+
+ private:
+  // 64 entries comfortably covers the deepest prefetch windows (Leap caps
+  // at 16 pages) plus concurrent logical threads; the scan is branch-cheap
+  // and skipped entirely while the table is empty.
+  std::array<Entry, 64> entries_{};
+  size_t next_victim_ = 0;
+  bool live_hint_ = false;
+};
+
+}  // namespace mira::net
+
+#endif  // MIRA_SRC_NET_INFLIGHT_H_

@@ -44,6 +44,10 @@ Transport::Transport(farmem::FarMemoryNode* node, const sim::CostModel& cost)
   fault_telemetry_.node_failures.sink = m.Counter("net.fault.node_failures");
   fault_telemetry_.failover_wait_ns.sink = m.Counter("net.fault.failover_wait_ns");
   fault_telemetry_.rereplicate_ns.sink = m.Counter("net.cluster.rereplicate_ns");
+  inflight_telemetry_.registered.sink = m.Counter("net.inflight.registered");
+  inflight_telemetry_.joined.sink = m.Counter("net.inflight.joined");
+  inflight_telemetry_.joined_bytes.sink = m.Counter("net.inflight.joined_bytes");
+  inflight_telemetry_.dropped.sink = m.Counter("net.inflight.dropped");
 }
 
 Transport::~Transport() { FlushTelemetry(); }
@@ -87,6 +91,45 @@ void Transport::FlushTelemetry() {
   flush_counter(fault_telemetry_.node_failures);
   flush_counter(fault_telemetry_.failover_wait_ns);
   flush_counter(fault_telemetry_.rereplicate_ns);
+  flush_counter(inflight_telemetry_.registered);
+  flush_counter(inflight_telemetry_.joined);
+  flush_counter(inflight_telemetry_.joined_bytes);
+  flush_counter(inflight_telemetry_.dropped);
+}
+
+// ---- In-flight request table (MSHR semantics) ----
+
+uint64_t Transport::TryJoinRead(sim::SimClock& clk, farmem::RemoteAddr raddr, uint32_t len) {
+  const InflightTable::Entry* e = inflight_.Find(raddr, len, clk.now_ns());
+  if (e == nullptr) {
+    return 0;
+  }
+  // The joiner adopts the pending fetch wholesale: its delivery taint (so
+  // integrity checks see what the wire actually did) and its completion
+  // time. Nothing is charged here — no message, no bytes, no link
+  // occupancy; the caller decides how to account the residual wait.
+  last_delivery_ = e->delivery;
+  ++inflight_stats_.joined;
+  inflight_stats_.joined_bytes += len;
+  inflight_telemetry_.joined.Add(1);
+  inflight_telemetry_.joined_bytes.Add(len);
+  const uint64_t done = e->done_ns;
+  if (trace_->enabled()) {
+    trace_->Instant(clk, "net.inflight.join", "net",
+                    support::StrFormat("{\"raddr\":%llu,\"residual_ns\":%llu}",
+                                       static_cast<unsigned long long>(raddr),
+                                       static_cast<unsigned long long>(
+                                           done > clk.now_ns() ? done - clk.now_ns() : 0)));
+  }
+  return done;
+}
+
+void Transport::DropInflight(farmem::RemoteAddr raddr, uint64_t len) {
+  const uint32_t n = inflight_.Drop(raddr, len);
+  if (n > 0) {
+    inflight_stats_.dropped += n;
+    inflight_telemetry_.dropped.Add(n);
+  }
 }
 
 void Transport::SetRetryPolicy(const RetryPolicy& policy) {
@@ -425,6 +468,7 @@ support::Status Transport::TryReadSync(sim::SimClock& clk, farmem::RemoteAddr ra
 
 void Transport::WriteSyncImpl(sim::SimClock& clk, farmem::RemoteAddr raddr, const void* src,
                               uint32_t len, uint64_t extra_ns) {
+  DropInflight(raddr, len);  // overwritten: any in-flight read is now stale
   if (src != nullptr) {
     DataIn(raddr, src, len);
   }
@@ -468,6 +512,9 @@ uint64_t Transport::ReadAsyncImpl(sim::SimClock& clk, farmem::RemoteAddr raddr, 
   const uint64_t t0 = clk.now_ns();
   const uint64_t done = MessageDoneAt(clk, len, extra_ns);
   RecordVerb(read_async_, "net.read.async", clk, t0, done, len);
+  // The fetch is now in flight until `done`: later requests for the range
+  // can join it instead of duplicating the verb.
+  RegisterInflight(raddr, len, done);
   return done;
 }
 
@@ -494,6 +541,7 @@ support::Result<uint64_t> Transport::TryReadAsync(sim::SimClock& clk, farmem::Re
 
 uint64_t Transport::WriteAsyncImpl(sim::SimClock& clk, farmem::RemoteAddr raddr,
                                    const void* src, uint32_t len, uint64_t extra_ns) {
+  DropInflight(raddr, len);  // overwritten: any in-flight read is now stale
   if (src != nullptr) {
     DataIn(raddr, src, len);
   }
@@ -542,7 +590,7 @@ support::Status Transport::TryReadGatherSync(sim::SimClock& clk,
 }
 
 uint64_t Transport::ReadGatherAsyncImpl(sim::SimClock& clk, const std::vector<Segment>& segs,
-                                        uint64_t extra_ns) {
+                                        uint64_t extra_ns, std::vector<uint64_t>* seg_done) {
   uint64_t bytes = 0;
   for (const auto& s : segs) {
     if (s.dst != nullptr) {
@@ -557,25 +605,50 @@ uint64_t Transport::ReadGatherAsyncImpl(sim::SimClock& clk, const std::vector<Se
   const uint64_t t0 = clk.now_ns();
   const uint64_t done = MessageDoneAt(clk, bytes, sg_cost + extra_ns);
   RecordVerb(read_gather_, "net.read.gather", clk, t0, done, bytes);
+  if (seg_done != nullptr) {
+    seg_done->clear();
+    seg_done->reserve(segs.size());
+  }
+  // Bytes land in segment order on the serialized link: segment i's last
+  // byte clears the wire TransferNs(bytes after i) before the message
+  // completes, and carries only the i segment-handler charges the NIC has
+  // processed so far (the full sg_cost lands on the last segment). Each
+  // segment is individually joinable until then, at its own (earlier)
+  // completion.
+  const uint64_t occupancy = cost_.TransferNs(bytes);
+  uint64_t cum = 0;
+  size_t i = 0;
+  for (const auto& s : segs) {
+    cum += s.len;
+    const uint64_t at =
+        done - occupancy - sg_cost + cost_.TransferNs(cum) + i * cost_.sg_segment_ns;
+    RegisterInflight(s.raddr, s.len, at);
+    if (seg_done != nullptr) {
+      seg_done->push_back(at);
+    }
+    ++i;
+  }
   return done;
 }
 
-uint64_t Transport::ReadGatherAsync(sim::SimClock& clk, const std::vector<Segment>& segs) {
+uint64_t Transport::ReadGatherAsync(sim::SimClock& clk, const std::vector<Segment>& segs,
+                                    std::vector<uint64_t>* seg_done) {
   if (segs.empty()) {
     // Nothing to fetch: no message, no one-sided-read count, no CPU charge.
     return clk.now_ns();
   }
   last_delivery_ = Delivery{};
-  return ReadGatherAsyncImpl(clk, segs, 0);
+  return ReadGatherAsyncImpl(clk, segs, 0, seg_done);
 }
 
 support::Result<uint64_t> Transport::TryReadGatherAsync(sim::SimClock& clk,
-                                                        const std::vector<Segment>& segs) {
+                                                        const std::vector<Segment>& segs,
+                                                        std::vector<uint64_t>* seg_done) {
   if (segs.empty()) {
     return clk.now_ns();
   }
   if (!FaultsActive()) {
-    return ReadGatherAsyncImpl(clk, segs, 0);
+    return ReadGatherAsyncImpl(clk, segs, 0, seg_done);
   }
   uint64_t bytes = 0;
   for (const auto& s : segs) {
@@ -589,7 +662,7 @@ support::Result<uint64_t> Transport::TryReadGatherAsync(sim::SimClock& clk,
   if (!admit.ok()) {
     return admit.status();
   }
-  return ReadGatherAsyncImpl(clk, segs, admit.value());
+  return ReadGatherAsyncImpl(clk, segs, admit.value(), seg_done);
 }
 
 void Transport::TwoSidedReadSyncImpl(sim::SimClock& clk, farmem::RemoteAddr raddr, void* dst,
@@ -636,6 +709,7 @@ support::Status Transport::TryTwoSidedReadSync(sim::SimClock& clk, farmem::Remot
 void Transport::TwoSidedWriteSyncImpl(sim::SimClock& clk, farmem::RemoteAddr raddr,
                                       const void* src, uint32_t len, uint32_t gather_segments,
                                       uint64_t extra_ns) {
+  DropInflight(raddr, len);  // overwritten: any in-flight read is now stale
   if (src != nullptr) {
     DataIn(raddr, src, len);
   }

@@ -34,6 +34,7 @@
 
 #include "src/farmem/far_memory_node.h"
 #include "src/net/fault_injector.h"
+#include "src/net/inflight.h"
 #include "src/sim/clock.h"
 #include "src/sim/cost_model.h"
 #include "src/sim/resource.h"
@@ -138,8 +139,12 @@ class Transport {
   void ReadGatherSync(sim::SimClock& clk, const std::vector<Segment>& segs);
 
   // Async scatter-gather read. An empty segment list is a no-op returning
-  // the current time (no message, no stats).
-  uint64_t ReadGatherAsync(sim::SimClock& clk, const std::vector<Segment>& segs);
+  // the current time (no message, no stats). When `seg_done` is non-null it
+  // is replaced with one completion timestamp per segment: bytes land in
+  // segment order, so segment i clears the wire TransferNs(bytes after i)
+  // before the message completes (the last entry equals the return value).
+  uint64_t ReadGatherAsync(sim::SimClock& clk, const std::vector<Segment>& segs,
+                           std::vector<uint64_t>* seg_done = nullptr);
 
   // ---- Two-sided messages ----
 
@@ -172,7 +177,8 @@ class Transport {
                                           const void* src, uint32_t len);
   support::Status TryReadGatherSync(sim::SimClock& clk, const std::vector<Segment>& segs);
   support::Result<uint64_t> TryReadGatherAsync(sim::SimClock& clk,
-                                               const std::vector<Segment>& segs);
+                                               const std::vector<Segment>& segs,
+                                               std::vector<uint64_t>* seg_done = nullptr);
   support::Status TryTwoSidedReadSync(sim::SimClock& clk, farmem::RemoteAddr raddr, void* dst,
                                       uint32_t len, uint32_t gather_segments = 1);
   support::Status TryTwoSidedWriteSync(sim::SimClock& clk, farmem::RemoteAddr raddr,
@@ -238,6 +244,29 @@ class Transport {
   // FaultStats::outage_wait_ns and the "net.fault.outage_wait_ns" counter.
   void RecordOutageWait(uint64_t span_ns);
 
+  // ---- In-flight request table (MSHR semantics; see inflight.h) ----
+
+  // If a successful async read covering [raddr, raddr+len) is still in
+  // flight at clk.now(), join it instead of issuing a duplicate verb: no
+  // message, no bytes, no link occupancy — the caller charges only the
+  // residual wait (returned timestamp − its own now) to its clock.
+  // last_delivery() takes the joined entry's taint so the joiner runs the
+  // same integrity verification the issuer did. Returns the pending
+  // completion timestamp, or 0 when no live entry covers the range (every
+  // real fetch completes strictly after t=0, so 0 is unambiguous).
+  uint64_t TryJoinRead(sim::SimClock& clk, farmem::RemoteAddr raddr, uint32_t len);
+
+  // Kills any in-flight entry overlapping [raddr, raddr+len): a joiner's
+  // integrity verdict demanded a real re-fetch (the shared entry must not
+  // serve further waiters — they fall back to the retry ladder), or a
+  // write just made the in-flight data stale. Write verbs call this
+  // automatically.
+  void DropInflight(farmem::RemoteAddr raddr, uint64_t len);
+
+  // Cumulative, like FaultStats: ResetStats() does not touch them.
+  const InflightStats& inflight_stats() const { return inflight_stats_; }
+  void ResetInflightStats() { inflight_stats_.Reset(); }
+
   // ---- Integrity hooks ----
 
   // Attaches the integrity manager (not owned; nullptr detaches). The
@@ -296,6 +325,13 @@ class Transport {
     uint64_t pending = 0;
     void Add(uint64_t delta) { pending += delta; }
   };
+  // Batched "net.inflight.*" counters (same discipline as FaultTelemetry).
+  struct InflightTelemetry {
+    PendingCounter registered;
+    PendingCounter joined;
+    PendingCounter joined_bytes;
+    PendingCounter dropped;
+  };
   // Same batching for the "net.fault.*" / "net.retry.*" counters.
   struct FaultTelemetry {
     PendingCounter drops;
@@ -344,6 +380,15 @@ class Transport {
   void RecordVerbTrace(const char* name, const sim::SimClock& clk, uint64_t start_ns,
                        uint64_t done_ns, uint64_t bytes);
 
+  // Enters a successful async read into the in-flight table. Called by the
+  // read Impl bodies, where last_delivery_ already holds the winning
+  // attempt's taint (AdmitVerb set it; plain verbs reset it to clean).
+  void RegisterInflight(farmem::RemoteAddr raddr, uint32_t len, uint64_t done_ns) {
+    inflight_.Register(raddr, len, done_ns, last_delivery_);
+    ++inflight_stats_.registered;
+    inflight_telemetry_.registered.Add(1);
+  }
+
   // Fault/retry protocol for one Try* verb. On success returns the extra
   // wire latency (tail / degraded link) to charge the winning attempt; on
   // exhaustion returns kUnavailable or kDeadlineExceeded. All waiting is
@@ -375,7 +420,7 @@ class Transport {
   uint64_t WriteAsyncImpl(sim::SimClock& clk, farmem::RemoteAddr raddr, const void* src,
                           uint32_t len, uint64_t extra_ns);
   uint64_t ReadGatherAsyncImpl(sim::SimClock& clk, const std::vector<Segment>& segs,
-                               uint64_t extra_ns);
+                               uint64_t extra_ns, std::vector<uint64_t>* seg_done);
   void TwoSidedReadSyncImpl(sim::SimClock& clk, farmem::RemoteAddr raddr, void* dst,
                             uint32_t len, uint32_t gather_segments, uint64_t extra_ns);
   void TwoSidedWriteSyncImpl(sim::SimClock& clk, farmem::RemoteAddr raddr, const void* src,
@@ -420,6 +465,9 @@ class Transport {
   VerbTelemetry two_sided_write_;
   VerbTelemetry rpc_;
   FaultTelemetry fault_telemetry_;
+  InflightTable inflight_;
+  InflightStats inflight_stats_;
+  InflightTelemetry inflight_telemetry_;
 };
 
 }  // namespace mira::net

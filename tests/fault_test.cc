@@ -309,6 +309,27 @@ TEST(SectionFaults, PrefetchAbortsAndDemandPathEscalatesToReliableVerb) {
   EXPECT_EQ(section->resident_lines(), 1u);
 }
 
+TEST(SectionFaults, FaultedPrefetchNeverRegistersAJoinableFetch) {
+  // Duplicate suppression must only ever dedupe *successful* verbs: a
+  // prefetch dropped by the injector moved no bytes, so the demand miss
+  // that follows has nothing to join and must run the real ladder.
+  Env e;
+  net::FaultPlan p;
+  p.seed = 5;
+  p.verb(net::Verb::kReadAsync).drop_probability = 1.0;
+  net::FaultInjector inj(p);
+  e.net.SetFaultInjector(&inj);
+  auto section = SmallSection(&e.net);
+  section->Prefetch(e.clk, 0, 8);
+  EXPECT_EQ(section->stats().prefetch_aborted, 1u);
+  EXPECT_EQ(e.net.inflight_stats().registered, 0u);
+  EXPECT_EQ(e.net.TryJoinRead(e.clk, 0, 64), 0u);
+  section->Access(e.clk, 0, 8, /*write=*/false);
+  EXPECT_EQ(section->stats().inflight_joins, 0u);
+  EXPECT_GE(section->stats().reliable_escalations, 1u);  // the real ladder ran
+  EXPECT_EQ(section->resident_lines(), 1u);
+}
+
 TEST(SectionFaults, FailedWritebacksQueueUntilAForcedSyncFlush) {
   Env e;
   net::FaultPlan p;

@@ -1,0 +1,335 @@
+// The coalescing async data plane: the MSHR-style in-flight request table
+// (join semantics, residual-latency charging, duplicate-verb suppression),
+// the prefetch coalescer (adjacent pending lines → one scatter-gather
+// verb), and the fault semantics of both (a tainted shared fetch must fail
+// every joined waiter the same way; a faulted gather aborts every line it
+// carried).
+
+#include <gtest/gtest.h>
+
+#include "src/cache/section.h"
+#include "src/cache/swap_prefetcher.h"
+#include "src/cache/swap_section.h"
+#include "src/farmem/far_memory_node.h"
+#include "src/integrity/integrity.h"
+#include "src/net/fault_injector.h"
+#include "src/net/inflight.h"
+#include "src/net/transport.h"
+
+namespace mira {
+namespace {
+
+struct Env {
+  farmem::FarMemoryNode node;
+  net::Transport net{&node, sim::CostModel::Default()};
+  sim::SimClock clk;
+};
+
+std::unique_ptr<cache::Section> SmallSection(net::Transport* net, uint32_t lines = 8) {
+  cache::SectionConfig config;
+  config.name = "t";
+  config.structure = cache::SectionStructure::kDirectMapped;
+  config.line_bytes = 64;
+  config.size_bytes = static_cast<uint64_t>(64) * lines;
+  return cache::MakeSection(config, net);
+}
+
+// ---- InflightTable unit semantics ----
+
+TEST(InflightTable, RegisterFindAndLazyExpiry) {
+  net::InflightTable table;
+  EXPECT_EQ(table.Find(0, 64, 0), nullptr);  // empty
+  table.Register(0, 64, /*done_ns=*/1'000, net::Delivery{});
+  const net::InflightTable::Entry* e = table.Find(0, 64, 500);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->done_ns, 1'000u);
+  // Once the clock passes done_ns the data has landed: residency governs,
+  // and the entry is reclaimed lazily.
+  EXPECT_EQ(table.Find(0, 64, 1'000), nullptr);
+  EXPECT_FALSE(table.maybe_live());
+}
+
+TEST(InflightTable, ContainedRangesJoinPartialOverlapsDoNot) {
+  net::InflightTable table;
+  table.Register(4'096, 4'096, 9'999, net::Delivery{});
+  EXPECT_NE(table.Find(4'096, 64, 0), nullptr);   // prefix
+  EXPECT_NE(table.Find(8'000, 128, 0), nullptr);  // suffix
+  EXPECT_NE(table.Find(5'000, 8, 0), nullptr);    // interior
+  EXPECT_NE(table.Find(8'128, 64, 0), nullptr);   // flush with the end
+  EXPECT_EQ(table.Find(4'000, 128, 0), nullptr);  // straddles the front
+  EXPECT_EQ(table.Find(8'160, 64, 0), nullptr);   // straddles the back
+}
+
+TEST(InflightTable, DropKillsEveryOverlappingEntry) {
+  net::InflightTable table;
+  table.Register(0, 64, 9'999, net::Delivery{});
+  table.Register(64, 64, 9'999, net::Delivery{});
+  table.Register(4'096, 64, 9'999, net::Delivery{});
+  EXPECT_EQ(table.Drop(32, 64), 2u);  // clips both of the first two
+  EXPECT_EQ(table.Find(0, 64, 0), nullptr);
+  EXPECT_EQ(table.Find(64, 64, 0), nullptr);
+  EXPECT_NE(table.Find(4'096, 64, 0), nullptr);  // untouched
+}
+
+TEST(InflightTable, SameStartAddressOverwritesInPlace) {
+  net::InflightTable table;
+  table.Register(0, 64, 1'000, net::Delivery{});
+  table.Register(0, 64, 2'000, net::Delivery{});  // heal round re-issued
+  const net::InflightTable::Entry* e = table.Find(0, 64, 0);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->done_ns, 2'000u);  // latest fetch wins
+  EXPECT_EQ(table.Drop(0, 64), 1u);  // exactly one live entry existed
+}
+
+TEST(InflightTable, OverflowEvictsExactlyOneLiveEntryAndKeepsTheNewest) {
+  // Capacity is 64; registration #65 ring-evicts one live entry. Which one
+  // dies is a policy detail — the contract is that eviction never loses
+  // data, only a would-be joiner's shortcut (it re-fetches for real).
+  net::InflightTable table;
+  for (uint64_t i = 0; i < 65; ++i) {
+    table.Register(i * 64, 64, 9'999, net::Delivery{});
+  }
+  EXPECT_NE(table.Find(64 * 64, 64, 0), nullptr);  // the newest always survives
+  EXPECT_EQ(table.Drop(0, 65 * 64), 64u);          // exactly one entry was evicted
+}
+
+// ---- Transport join semantics ----
+
+TEST(InflightTransport, JoinReturnsTheCompletionWithoutANewMessage) {
+  Env e;
+  const auto addr = e.node.AllocRange(4'096).take();
+  const auto r = e.net.TryReadAsync(e.clk, addr, nullptr, 64);
+  ASSERT_TRUE(r.ok());
+  const uint64_t msgs = e.net.stats().messages;
+  const uint64_t bytes = e.net.stats().bytes_in;
+  const uint64_t joined_done = e.net.TryJoinRead(e.clk, addr, 64);
+  EXPECT_EQ(joined_done, r.value());
+  // A join is free on the wire: no message, no bytes, no link occupancy.
+  EXPECT_EQ(e.net.stats().messages, msgs);
+  EXPECT_EQ(e.net.stats().bytes_in, bytes);
+  EXPECT_EQ(e.net.inflight_stats().registered, 1u);
+  EXPECT_EQ(e.net.inflight_stats().joined, 1u);
+  EXPECT_EQ(e.net.inflight_stats().joined_bytes, 64u);
+}
+
+TEST(InflightTransport, WritesInvalidateOverlappingInflightReads) {
+  Env e;
+  const auto addr = e.node.AllocRange(4'096).take();
+  ASSERT_TRUE(e.net.TryReadAsync(e.clk, addr, nullptr, 64).ok());
+  e.net.WriteSync(e.clk, addr, nullptr, 64);  // overwrites the pending range
+  EXPECT_EQ(e.net.TryJoinRead(e.clk, addr, 64), 0u);
+  EXPECT_EQ(e.net.inflight_stats().dropped, 1u);
+}
+
+TEST(InflightTransport, JoinExpiresOnceTheFetchLands) {
+  Env e;
+  const auto addr = e.node.AllocRange(4'096).take();
+  const auto r = e.net.TryReadAsync(e.clk, addr, nullptr, 64);
+  ASSERT_TRUE(r.ok());
+  e.clk.AdvanceTo(r.value());
+  // Landed: cache residency governs; a miss now means eviction, and the
+  // correct model is a real re-fetch, not a free join.
+  EXPECT_EQ(e.net.TryJoinRead(e.clk, addr, 64), 0u);
+}
+
+TEST(InflightTransport, JoinAdoptsTheEntriesDeliveryTaint) {
+  // A silently corrupted async read registers its taint with the entry;
+  // every joiner sees the same delivery the original issuer saw, so the
+  // same integrity verdict applies to all waiters of the shared fetch.
+  Env e;
+  net::FaultPlan p;
+  p.seed = 7;
+  p.verb(net::Verb::kReadAsync).corrupt_probability = 1.0;
+  net::FaultInjector inj(p);
+  e.net.SetFaultInjector(&inj);
+  const auto addr = e.node.AllocRange(4'096).take();
+  ASSERT_TRUE(e.net.TryReadAsync(e.clk, addr, nullptr, 64).ok());
+  ASSERT_TRUE(e.net.last_delivery().corrupt);
+  ASSERT_NE(e.net.TryJoinRead(e.clk, addr, 64), 0u);
+  EXPECT_TRUE(e.net.last_delivery().corrupt);
+  // A tainted joiner kills the shared entry; later requesters re-fetch.
+  e.net.DropInflight(addr, 64);
+  EXPECT_EQ(e.net.TryJoinRead(e.clk, addr, 64), 0u);
+}
+
+// ---- Section-level MSHR joins ----
+
+TEST(InflightSection, DemandMissJoinsASoftEvictedPrefetchStillInFlight) {
+  Env e;
+  auto section = SmallSection(&e.net);
+  // Prefetch line 0, then prefetch line 8 (same direct-mapped slot): the
+  // conflict soft-evicts line 0 while its fetch is still on the wire.
+  section->Prefetch(e.clk, 0, 8);
+  section->Prefetch(e.clk, 64 * 8, 8);
+  EXPECT_EQ(section->stats().soft_evictions, 1u);
+  const uint64_t msgs = e.net.stats().messages;
+  // Demand access to line 0: the frame is gone but the fetch is not — the
+  // miss joins the in-flight read for the residual latency instead of
+  // issuing a duplicate verb.
+  section->Access(e.clk, 0, 8, /*write=*/false);
+  EXPECT_EQ(section->stats().inflight_joins, 1u);
+  EXPECT_EQ(e.net.stats().messages, msgs);  // no third fetch
+  EXPECT_EQ(e.net.inflight_stats().joined, 1u);
+  EXPECT_GT(section->stats().inflight_join_ns, 0u);
+}
+
+TEST(InflightSection, SectionsSharingATransportDedupeConcurrentFetches) {
+  // Two sections over one transport (one evaluation world): a demand miss
+  // in B for a range A is already fetching joins A's verb.
+  Env e;
+  auto a = SmallSection(&e.net);
+  auto b = SmallSection(&e.net);
+  a->Prefetch(e.clk, 0, 8);
+  const uint64_t msgs = e.net.stats().messages;
+  b->Access(e.clk, 0, 8, /*write=*/false);
+  EXPECT_EQ(b->stats().inflight_joins, 1u);
+  EXPECT_EQ(e.net.stats().messages, msgs);
+}
+
+// ---- Prefetch coalescing ----
+
+TEST(CoalescePrefetch, MultiLinePrefetchRidesOneGatherVerb) {
+  Env e;
+  auto section = SmallSection(&e.net);
+  section->Prefetch(e.clk, 0, 4 * 64);
+  EXPECT_EQ(e.net.stats().messages, 1u);  // one doorbell for four lines
+  EXPECT_EQ(e.net.stats().sg_segments, 4u);
+  EXPECT_EQ(section->stats().coalesced_fetches, 1u);
+  EXPECT_EQ(section->stats().coalesced_lines, 4u);
+  EXPECT_EQ(section->stats().prefetches_issued, 4u);
+  EXPECT_EQ(section->stats().bytes_fetched, 4u * 64);
+  // All four land with the gather and hit on first use.
+  for (uint64_t i = 0; i < 4; ++i) {
+    section->Access(e.clk, i * 64, 8, /*write=*/false);
+  }
+  EXPECT_EQ(section->stats().lines.hits, 4u);
+  EXPECT_EQ(section->stats().prefetched_hits, 4u);
+}
+
+TEST(CoalescePrefetch, SegmentsLandInOrderSoTheFirstLineIsNotDelayed) {
+  // A gather's bytes arrive in segment order: joining the first segment
+  // charges less residual wait than joining the last, and the last
+  // segment's completion is the message completion. Coalescing must never
+  // make the burst's first line *later* than its own solo fetch would be.
+  Env e;
+  std::vector<net::Segment> segs;
+  for (uint64_t i = 0; i < 4; ++i) {
+    segs.push_back(net::Segment{i * 4096, nullptr, 4096});
+  }
+  std::vector<uint64_t> seg_done;
+  const uint64_t done = e.net.ReadGatherAsync(e.clk, segs, &seg_done);
+  ASSERT_EQ(seg_done.size(), 4u);
+  EXPECT_LT(seg_done[0], seg_done[3]);
+  EXPECT_EQ(seg_done[3], done);
+  for (size_t i = 1; i < seg_done.size(); ++i) {
+    EXPECT_GE(seg_done[i], seg_done[i - 1]);
+  }
+  // The in-flight table carries the per-segment completions, so a demand
+  // join on the first line pays only that segment's residual latency.
+  EXPECT_EQ(e.net.TryJoinRead(e.clk, 0, 4096), seg_done[0]);
+  EXPECT_EQ(e.net.TryJoinRead(e.clk, 3 * 4096, 4096), seg_done[3]);
+}
+
+TEST(CoalescePrefetch, SingleLinePrefetchKeepsTheHistoricalAsyncVerb) {
+  Env e;
+  auto section = SmallSection(&e.net);
+  section->Prefetch(e.clk, 0, 8);
+  EXPECT_EQ(e.net.stats().messages, 1u);
+  EXPECT_EQ(e.net.stats().sg_segments, 0u);  // plain async read, no gather
+  EXPECT_EQ(section->stats().coalesced_fetches, 0u);
+  EXPECT_EQ(section->stats().prefetches_issued, 1u);
+}
+
+TEST(CoalesceSwap, LeapWindowRidesOneGatherVerb) {
+  Env e;
+  cache::SwapSection swap(256 << 10, &e.net, std::make_unique<cache::LeapPrefetcher>());
+  // A sequential scan settles Leap on stride 1 with its 2-page starting
+  // window; every multi-page prefetch burst must coalesce into a single
+  // scatter-gather verb.
+  for (uint64_t addr = 0; addr < (256 << 10); addr += 4'096) {
+    swap.Access(e.clk, addr, 8, /*write=*/false);
+  }
+  EXPECT_GT(swap.stats().coalesced_fetches, 0u);
+  EXPECT_GE(swap.stats().coalesced_lines, 2 * swap.stats().coalesced_fetches);
+  EXPECT_GT(swap.stats().prefetched_hits, 0u);
+  EXPECT_GT(e.net.stats().sg_segments, 0u);
+}
+
+// ---- Fault semantics of shared fetches ----
+
+TEST(InflightFaults, TaintedPrefetchNeverLeavesAJoinableEntry) {
+  // Silent corruption on every async read, integrity attached: the
+  // prefetch verifies its own delivery, sees the taint, discards the copy,
+  // AND kills its in-flight entry — so no demand miss can join the bad
+  // fetch. The later demand access runs the verified ladder and heals.
+  Env e;
+  integrity::IntegrityManager integ(&e.node);
+  e.net.SetIntegrity(&integ);
+  net::FaultPlan p;
+  p.seed = 11;
+  p.verb(net::Verb::kReadAsync).corrupt_probability = 1.0;
+  net::FaultInjector inj(p);
+  e.net.SetFaultInjector(&inj);
+  auto section = SmallSection(&e.net);
+  section->Prefetch(e.clk, 0, 8);
+  EXPECT_EQ(section->stats().prefetch_aborted, 1u);
+  EXPECT_GE(e.net.inflight_stats().dropped, 1u);
+  EXPECT_EQ(e.net.TryJoinRead(e.clk, 0, 64), 0u);  // entry died with the taint
+  section->Access(e.clk, 0, 8, /*write=*/false);
+  EXPECT_EQ(section->stats().lines.misses, 1u);
+  integ.FinalAudit(e.clk);
+  EXPECT_EQ(integ.stats().healed, integ.stats().detected);
+  EXPECT_TRUE(integ.fatal().ok());
+}
+
+TEST(CoalesceFaults, DroppedGatherAbortsEveryLineItCarried) {
+  // The coalesced verb is one message: if it faults out, every joined line
+  // fails the same way — all abort, none half-arrive.
+  Env e;
+  net::FaultPlan p;
+  p.seed = 5;
+  p.verb(net::Verb::kReadGather).drop_probability = 1.0;
+  net::FaultInjector inj(p);
+  e.net.SetFaultInjector(&inj);
+  auto section = SmallSection(&e.net);
+  section->Prefetch(e.clk, 0, 4 * 64);
+  EXPECT_EQ(section->stats().prefetch_aborted, 4u);
+  EXPECT_EQ(section->stats().prefetches_issued, 0u);
+  EXPECT_EQ(section->resident_lines(), 0u);
+  for (uint64_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(e.net.TryJoinRead(e.clk, i * 64, 64), 0u);  // nothing joinable
+  }
+  // Each line downgrades to a clean demand fetch.
+  for (uint64_t i = 0; i < 4; ++i) {
+    section->Access(e.clk, i * 64, 8, /*write=*/false);
+  }
+  EXPECT_EQ(section->stats().lines.misses, 4u);
+  EXPECT_EQ(section->resident_lines(), 4u);
+}
+
+TEST(CoalesceFaults, CorruptGatherDiscardsOnlyTheTaintedLine) {
+  // One delivery per message: the first segment carries the wire taint and
+  // is discarded; the other lines of the same gather stand. The discarded
+  // line's inflight entry dies so nothing joins it.
+  Env e;
+  integrity::IntegrityManager integ(&e.node);
+  e.net.SetIntegrity(&integ);
+  net::FaultPlan p;
+  p.seed = 3;
+  p.verb(net::Verb::kReadGather).corrupt_probability = 1.0;
+  net::FaultInjector inj(p);
+  e.net.SetFaultInjector(&inj);
+  auto section = SmallSection(&e.net);
+  section->Prefetch(e.clk, 0, 4 * 64);
+  EXPECT_EQ(section->stats().coalesced_fetches, 1u);
+  EXPECT_EQ(section->stats().prefetch_aborted, 1u);   // the tainted first line
+  EXPECT_EQ(section->stats().prefetches_issued, 3u);  // the rest stand
+  EXPECT_EQ(section->resident_lines(), 3u);
+  section->Access(e.clk, 0, 8, /*write=*/false);  // heals via the ladder
+  integ.FinalAudit(e.clk);
+  EXPECT_EQ(integ.stats().healed, integ.stats().detected);
+  EXPECT_TRUE(integ.fatal().ok());
+}
+
+}  // namespace
+}  // namespace mira

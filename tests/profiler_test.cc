@@ -242,6 +242,21 @@ TEST(StallProfilerReconcile, RetryChargesMatchTransportWastedNs) {
             net.fault_stats().wasted_ns());
 }
 
+TEST(StallProfilerReconcile, WastedNsExcludesOutageAndFailoverWait) {
+  // Pins the wasted_ns() contract the adaptive loop and the chaos
+  // counter-reconciliation oracle both depend on: only retry charges
+  // (backoff + lost completion waits) count. Outage wait-outs already flow
+  // through the sections' degraded_ns, and failover waits feed the crash
+  // trigger — folding either into wasted_ns() would double-charge the
+  // fault ratio.
+  net::FaultStats fs;
+  fs.backoff_ns = 100;
+  fs.lost_wait_ns = 40;
+  fs.outage_wait_ns = 1'000;
+  fs.failover_wait_ns = 500;
+  EXPECT_EQ(fs.wasted_ns(), 140u);
+}
+
 // ---- Determinism and non-perturbation across the full pipeline ----
 
 workloads::Workload TestGraph() {

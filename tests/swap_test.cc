@@ -150,6 +150,39 @@ TEST(Leap, NoMajorityOnInterleavedPatterns) {
   EXPECT_EQ(leap.MajorityStride(), 0);
 }
 
+TEST(Leap, ExactHalfOfWindowStillWins) {
+  // A regular stride-2 stream with every-other-access noise holds exactly
+  // half the delta window. The vote must accept it: deltas [3,4,2,2] give
+  // the Boyer-Moore candidate 2 with occurrence 2 of 4, and a strict ">"
+  // test silenced the prefetcher on this stream.
+  LeapPrefetcher leap;
+  std::vector<uint64_t> out;
+  for (const uint64_t page : {10u, 13u, 17u, 19u, 21u}) {
+    out.clear();
+    leap.OnFault(page, &out);
+  }
+  EXPECT_EQ(leap.MajorityStride(), 2);
+  ASSERT_FALSE(out.empty());
+  EXPECT_EQ(out[0], 23u);  // next page along the stride-2 trend
+}
+
+TEST(Leap, AlternatingStridesNeverProduceACandidate) {
+  // Alternating 1,3,1,3,... deltas: each stride holds exactly half the
+  // window, but the Boyer-Moore counter cancels to zero, so no candidate
+  // survives to the occurrence check — the at-least-half rule must not
+  // resurrect a stride the vote itself rejected.
+  LeapPrefetcher leap;
+  std::vector<uint64_t> out;
+  uint64_t page = 0;
+  for (int i = 0; i < 17; ++i) {  // 16 deltas: 8 full (1,3) pairs
+    out.clear();
+    leap.OnFault(page, &out);
+    page += (i % 2 == 0) ? 1 : 3;
+  }
+  EXPECT_EQ(leap.MajorityStride(), 0);
+  EXPECT_TRUE(out.empty());
+}
+
 TEST(Leap, WindowAdaptsToFeedback) {
   LeapPrefetcher leap(32, 16);
   std::vector<uint64_t> out;
